@@ -1,0 +1,62 @@
+"""Shared machinery for the figure/table benchmarks.
+
+Each benchmark evaluates workloads through the full framework pipeline and
+regenerates the corresponding figure's series (speedup vs. thread count) or
+table's rows.  Results are printed and also accumulated into
+``benchmarks/results.json`` so EXPERIMENTS.md can be refreshed from one run.
+
+Evaluations are cached per session: several benchmarks inspect the same
+workload, and one evaluation (two profiled runs + 16 simulations) is the
+natural unit of cost.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.core.framework import FrameworkConfig, ParallelizationFramework
+from repro.workloads.suite import SUITE, make_workload
+
+_RESULTS_PATH = Path(__file__).parent / "results.json"
+
+
+class EvaluationCache:
+    def __init__(self) -> None:
+        self._cache: Dict[str, object] = {}
+
+    def evaluate(self, name: str, config: FrameworkConfig = None):
+        key = f"{name}/{config!r}"
+        if key not in self._cache:
+            framework = ParallelizationFramework(config)
+            self._cache[key] = framework.evaluate(make_workload(name))
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def evaluations() -> EvaluationCache:
+    return EvaluationCache()
+
+
+@pytest.fixture(scope="session")
+def results_sink():
+    """Accumulates every regenerated series/row; flushed at session end."""
+    data: Dict[str, object] = {}
+    yield data
+    if data:
+        existing = {}
+        if _RESULTS_PATH.exists():
+            try:
+                existing = json.loads(_RESULTS_PATH.read_text())
+            except json.JSONDecodeError:
+                existing = {}
+        existing.update(data)
+        _RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True))
+
+
+def format_series(name: str, curve: Dict[int, float]) -> str:
+    points = "  ".join(f"{t}:{s:.2f}" for t, s in sorted(curve.items()))
+    return f"{name:<12} {points}"

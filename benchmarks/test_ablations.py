@@ -1,0 +1,184 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not in the paper as figures, but each isolates one mechanism the paper
+argues for:
+
+- speculation on/off — Section 2.1's "judicious use of speculation";
+- Commutative on/off — Section 2.3.2 (also paired into Figures 5/6);
+- Y-branch on/off — Section 2.3.1 (also paired into Figure 7);
+- queue capacity — Section 3.1's "full and empty conditions on 256
+  32-entry queues";
+- communication latency — the microarchitectural effect the paper's
+  simulator deliberately omits;
+- DSWP pipeline vs. TLS execution plan — Section 3.2's claim that "similar
+  parallelizations and results could be obtained with execution plans that
+  more closely resemble TLS".
+"""
+
+import pytest
+
+from repro.core.framework import FrameworkConfig, ParallelizationFramework
+from repro.core.simulator import PipelineSimulator
+from repro.core.tasks import TaskGraph
+from repro.hw.machine import MachineConfig
+from repro.tls.scheduler import simulate_tls
+from repro.workloads.suite import make_workload
+
+
+def test_ablation_speculation(benchmark, evaluations, results_sink):
+    """vortex with no speculation: every conflicting location synchronizes."""
+
+    def run():
+        return (
+            evaluations.evaluate("255.vortex"),
+            evaluations.evaluate(
+                "255.vortex", FrameworkConfig(enable_speculation=False)
+            ),
+        )
+
+    with_speculation, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    results_sink["ablation/speculation"] = {
+        "with": round(with_speculation.report.best_speedup, 3),
+        "without": round(without.report.best_speedup, 3),
+    }
+    assert without.report.best_speedup <= with_speculation.report.best_speedup
+
+
+def test_ablation_queue_capacity(benchmark, results_sink):
+    """Shrinking the 32-entry queues throttles pipeline run-ahead.
+
+    Uses a bursty pipeline (task costs alternate heavy/light) where run-ahead
+    matters: with deep queues the fast stages smooth the bursts; with
+    single-entry queues every burst stalls its producer.
+    """
+    from repro.core.tasks import Phase, Task
+
+    tasks = []
+    index = 0
+    for i in range(200):
+        b_cost = 100 if i % 8 == 0 else 10
+        for phase, cost in (("A", 6), ("B", b_cost), ("C", 6)):
+            tasks.append(Task(index, Phase(phase), i, cost))
+            index += 1
+    graph = TaskGraph(tasks)
+    sequential = graph.total_cost()
+
+    def sweep():
+        speedups = {}
+        for capacity in (1, 2, 8, 32, 128):
+            machine = MachineConfig(cores=4, queue_capacity=capacity)
+            result = PipelineSimulator(machine).simulate(graph)
+            speedups[capacity] = sequential / result.makespan
+        return speedups
+
+    speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results_sink["ablation/queue_capacity"] = {
+        str(c): round(s, 3) for c, s in speedups.items()
+    }
+    print("\nqueue capacity sweep:", {c: round(s, 2) for c, s in speedups.items()})
+    assert speedups[32] > speedups[1]
+    assert speedups[128] == pytest.approx(speedups[32], rel=0.10)
+
+
+def test_ablation_communication_latency(benchmark, evaluations, results_sink):
+    """Nonzero queue latency: what the paper's zero-latency model hides."""
+    evaluation = evaluations.evaluate("197.parser")
+    graph = evaluation.graph
+
+    def sweep():
+        speedups = {}
+        for latency in (0, 10, 100, 1000):
+            machine = MachineConfig(cores=32, communication_latency=latency)
+            result = PipelineSimulator(machine).simulate(graph)
+            speedups[latency] = evaluation.sequential_cost / result.makespan
+        return speedups
+
+    speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results_sink["ablation/communication_latency"] = {
+        str(l): round(s, 3) for l, s in speedups.items()
+    }
+    print("\nlatency sweep:", {l: round(s, 2) for l, s in speedups.items()})
+    assert speedups[0] >= speedups[100] >= speedups[1000]
+
+
+def test_ablation_dswp_vs_tls(benchmark, evaluations, results_sink):
+    """Section 3.2: TLS-style plans give similar results on these traces."""
+
+    def compare():
+        rows = {}
+        for name in ("256.bzip2", "197.parser", "300.twolf"):
+            evaluation = evaluations.evaluate(name)
+            machine = MachineConfig(cores=16)
+            dswp = PipelineSimulator(machine).simulate(evaluation.graph)
+            tls = simulate_tls(evaluation.graph, machine)
+            rows[name] = (
+                evaluation.sequential_cost / dswp.makespan,
+                evaluation.sequential_cost / tls.makespan,
+            )
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    results_sink["ablation/dswp_vs_tls"] = {
+        name: {"dswp": round(d, 3), "tls": round(t, 3)}
+        for name, (d, t) in rows.items()
+    }
+    print("\nDSWP vs TLS @16:", {n: (round(d, 2), round(t, 2)) for n, (d, t) in rows.items()})
+    for name, (dswp_speedup, tls_speedup) in rows.items():
+        assert 0.3 < dswp_speedup / tls_speedup < 3.0, name
+
+
+def test_ablation_multistage(benchmark, results_sink):
+    """Beyond the paper: multi-stage PS-DSWP vs. the 3-phase plan on a loop
+    with two DOALL regions split by a sequential recurrence."""
+    from repro.dswp.multistage import MultiStageSimulator, partition_loop_multistage
+    from repro.dswp.partition import partition_loop
+    from repro.testing import build_two_hump_loop
+
+    def compare():
+        program, loop = build_two_hump_loop()
+        iterations = 256
+        classic = partition_loop(program, loop)
+        classic_speedup = PipelineSimulator(MachineConfig(cores=32)).simulate(
+            classic.task_graph(iterations)
+        ).speedup
+        program2, loop2 = build_two_hump_loop()
+        multi = partition_loop_multistage(program2, loop2)
+        multi_speedup = MultiStageSimulator(MachineConfig(cores=32)).simulate(
+            multi, iterations
+        ).speedup
+        return classic_speedup, multi_speedup
+
+    classic_speedup, multi_speedup = benchmark.pedantic(compare, rounds=1, iterations=1)
+    results_sink["ablation/multistage"] = {
+        "three_phase": round(classic_speedup, 3),
+        "multi_stage": round(multi_speedup, 3),
+    }
+    print(f"\n3-phase: {classic_speedup:.2f}x   multi-stage: {multi_speedup:.2f}x")
+    assert multi_speedup > classic_speedup * 1.3
+
+
+def test_ablation_replication(benchmark, evaluations, results_sink):
+    """PS-DSWP replication vs. classic 3-stage DSWP (one core per stage).
+
+    Classic DSWP pins each stage to one core: with 3 cores total its best
+    case is the bottleneck stage; replication is what buys scalability
+    (Section 2.1).
+    """
+    evaluation = evaluations.evaluate("197.parser")
+    graph = evaluation.graph
+
+    def compare():
+        replicated = PipelineSimulator(MachineConfig(cores=32)).simulate(graph)
+        classic = PipelineSimulator(MachineConfig(cores=3)).simulate(graph)
+        return (
+            evaluation.sequential_cost / replicated.makespan,
+            evaluation.sequential_cost / classic.makespan,
+        )
+
+    replicated, classic = benchmark.pedantic(compare, rounds=1, iterations=1)
+    results_sink["ablation/replication"] = {
+        "ps_dswp_32": round(replicated, 3),
+        "classic_dswp_3": round(classic, 3),
+    }
+    print(f"\nreplicated @32: {replicated:.2f}  classic 3-stage: {classic:.2f}")
+    assert replicated > 4 * classic

@@ -1,0 +1,62 @@
+"""Figure 4: speedup vs. threads for the framework-only benchmarks.
+
+The paper's Figure 4 plots MT-over-ST speedup for 181.mcf, 253.perlbmk,
+255.vortex and 256.bzip2 — the four benchmarks parallelizable without any
+sequential-model extension (Section 4.1).  Each benchmark here regenerates
+one panel and asserts its paper-reported shape:
+
+- mcf: a low plateau (paper best 2.84x);
+- perlbmk: barely above 1 (paper 1.21x), saturating by ~5 threads;
+- vortex: mid-single-digit, still climbing late (paper 4.92x @ 32);
+- bzip2: capped by the block count (paper 6.72x @ 12, flat beyond).
+"""
+
+import pytest
+
+from repro.workloads.suite import FIGURE4, PAPER_TABLE2
+
+from conftest import format_series
+
+
+@pytest.mark.parametrize("name", FIGURE4)
+def test_figure4_panel(benchmark, evaluations, results_sink, name):
+    evaluation = benchmark.pedantic(
+        lambda: evaluations.evaluate(name), rounds=1, iterations=1
+    )
+    curve = evaluation.report.curve
+    results_sink[f"figure4/{name}"] = {
+        "curve": {str(t): round(s, 3) for t, s in curve.items()},
+        "best": round(evaluation.report.best_speedup, 3),
+        "best_threads": evaluation.report.best_threads,
+        "paper": PAPER_TABLE2[name],
+    }
+    print("\n" + format_series(name, curve))
+
+    paper_threads, paper_speedup = PAPER_TABLE2[name]
+    best = evaluation.report.best_speedup
+    # Shape check: within a factor of two of the paper's best speedup, and
+    # the 1-thread point is exactly 1.0.
+    assert curve[1] == pytest.approx(1.0)
+    assert paper_speedup / 2 < best < paper_speedup * 2
+
+
+def test_figure4_ordering(evaluations):
+    """Who wins in Figure 4: bzip2 > vortex > mcf > perlbmk."""
+    bests = {
+        name: evaluations.evaluate(name).report.best_speedup for name in FIGURE4
+    }
+    assert bests["256.bzip2"] > bests["255.vortex"] > bests["181.mcf"] > bests["253.perlbmk"]
+
+
+def test_bzip2_saturates_at_block_count(evaluations):
+    evaluation = evaluations.evaluate("256.bzip2")
+    curve = evaluation.report.curve
+    # Flat tail: 32 threads buy nothing over 16 (7 blocks cap it first).
+    assert curve[32] == pytest.approx(curve[16], rel=0.05)
+
+
+def test_perlbmk_saturates_early(evaluations):
+    evaluation = evaluations.evaluate("253.perlbmk")
+    curve = evaluation.report.curve
+    assert curve[32] < 1.6
+    assert curve[5] > curve[32] * 0.8  # most of the benefit by 5 threads

@@ -1,0 +1,60 @@
+"""Figure 5: speedup vs. threads for the Commutative-enabled benchmarks.
+
+176.gcc and 254.gap are unparallelizable by the bare framework; the
+*Commutative* annotation (symbol table + obstacks for gcc, the allocator for
+gap) unlocks them (Section 4.2).  Each panel is regenerated, and a paired
+ablation shows the annotation is load-bearing.
+"""
+
+import pytest
+
+from repro.core.framework import FrameworkConfig
+from repro.workloads.suite import FIGURE5, PAPER_TABLE2
+
+from conftest import format_series
+
+
+@pytest.mark.parametrize("name", FIGURE5)
+def test_figure5_panel(benchmark, evaluations, results_sink, name):
+    evaluation = benchmark.pedantic(
+        lambda: evaluations.evaluate(name), rounds=1, iterations=1
+    )
+    curve = evaluation.report.curve
+    results_sink[f"figure5/{name}"] = {
+        "curve": {str(t): round(s, 3) for t, s in curve.items()},
+        "best": round(evaluation.report.best_speedup, 3),
+        "best_threads": evaluation.report.best_threads,
+        "paper": PAPER_TABLE2[name],
+    }
+    print("\n" + format_series(name, curve))
+
+    paper_threads, paper_speedup = PAPER_TABLE2[name]
+    assert paper_speedup / 2 < evaluation.report.best_speedup < paper_speedup * 2
+
+
+@pytest.mark.parametrize("name", FIGURE5)
+def test_commutative_is_load_bearing(evaluations, results_sink, name):
+    """Without the annotation, both benchmarks collapse toward 1x."""
+    with_annotation = evaluations.evaluate(name)
+    without = evaluations.evaluate(name, FrameworkConfig(enable_commutative=False))
+    results_sink[f"figure5/{name}/ablation"] = {
+        "with": round(with_annotation.report.best_speedup, 3),
+        "without": round(without.report.best_speedup, 3),
+    }
+    assert without.report.best_speedup < with_annotation.report.best_speedup
+
+
+def test_gcc_beats_gap(evaluations):
+    """Figure 5's ordering: gcc (~5x) above gap (~2x)."""
+    gcc = evaluations.evaluate("176.gcc").report.best_speedup
+    gap = evaluations.evaluate("254.gap").report.best_speedup
+    assert gcc > gap
+
+
+def test_gap_gc_causes_misspeculation(evaluations):
+    evaluation = evaluations.evaluate("254.gap")
+    heap_conflicts = [
+        location for location, _ in evaluation.misspeculation.worst_locations(5)
+        if location[0] == "gap.heap"
+    ]
+    assert heap_conflicts, "copying GC should dominate the misspeculation"

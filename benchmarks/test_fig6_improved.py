@@ -1,0 +1,71 @@
+"""Figure 6: speedup vs. threads for annotation-improved parallelizations.
+
+186.crafty, 197.parser, 300.twolf and 175.vpr parallelize without
+annotations but misspeculate too much; *Commutative* on caches, allocators
+and RNGs improves them (Section 4.3).  Regenerates each panel plus the
+paper's per-benchmark signatures (crafty/parser near-linear; twolf ~2x;
+vpr saturating in the mid-teens of threads with its early/late misspec
+asymmetry).
+"""
+
+import pytest
+
+from repro.core.framework import FrameworkConfig
+from repro.workloads.suite import FIGURE6, PAPER_TABLE2
+
+from conftest import format_series
+
+
+@pytest.mark.parametrize("name", FIGURE6)
+def test_figure6_panel(benchmark, evaluations, results_sink, name):
+    evaluation = benchmark.pedantic(
+        lambda: evaluations.evaluate(name), rounds=1, iterations=1
+    )
+    curve = evaluation.report.curve
+    results_sink[f"figure6/{name}"] = {
+        "curve": {str(t): round(s, 3) for t, s in curve.items()},
+        "best": round(evaluation.report.best_speedup, 3),
+        "best_threads": evaluation.report.best_threads,
+        "paper": PAPER_TABLE2[name],
+    }
+    print("\n" + format_series(name, curve))
+
+    paper_threads, paper_speedup = PAPER_TABLE2[name]
+    assert paper_speedup / 2 < evaluation.report.best_speedup < paper_speedup * 2
+
+
+def test_crafty_and_parser_scale(evaluations):
+    for name in ("186.crafty", "197.parser"):
+        curve = evaluations.evaluate(name).report.curve
+        assert curve[32] > 15
+        assert curve[32] > curve[16] > curve[8]
+
+
+def test_twolf_saturates_low(evaluations):
+    report = evaluations.evaluate("300.twolf").report
+    assert report.best_speedup < 3.0
+    assert report.best_threads <= 14
+
+
+def test_vpr_early_late_misspeculation_asymmetry(evaluations, results_sink):
+    """Section 4.3.4: early try_place iterations misspeculate far more."""
+    evaluation = evaluations.evaluate("175.vpr")
+    windows = evaluation.misspeculation.windowed_rates(2 * 130)
+    results_sink["figure6/175.vpr/misspec_windows"] = [round(w, 3) for w in windows]
+    early = sum(windows[:2]) / 2
+    late = sum(windows[-2:]) / 2
+    assert early > 0.6
+    assert late < early / 1.5
+
+
+def test_commutative_rng_improvement(evaluations, results_sink):
+    """The Figure 2 annotation: RNG-bound annealers get unblocked."""
+    rows = {}
+    for name in ("300.twolf", "175.vpr"):
+        with_annotation = evaluations.evaluate(name).report.best_speedup
+        without = evaluations.evaluate(
+            name, FrameworkConfig(enable_commutative=False)
+        ).report.best_speedup
+        rows[name] = {"with": round(with_annotation, 3), "without": round(without, 3)}
+        assert without < 1.35  # the seed recurrence serializes everything
+    results_sink["figure6/commutative_rng"] = rows

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Figure 2 live: the Commutative annotation on 300.twolf's Yacm_random.
+
+"It seems counterintuitive for parallelism to be limited by the generation
+of random numbers" (Section 4.3.3) — yet the Lehmer generator's seed
+recurrence is a loop-carried dependence through every iteration that calls
+it.  The *Commutative* annotation declares all call orders legal; the
+internal seed dependence disappears from the parallelizer's view while each
+call still executes atomically.
+
+This script evaluates the twolf placement annealer with and without the
+annotation, then shows the same effect in isolation on a micro-loop.
+
+Run:  python examples/commutative_rng.py
+"""
+
+from repro.core.framework import FrameworkConfig, ParallelizationFramework
+from repro.profiling.memory_profile import MemoryProfile
+from repro.profiling.tracer import Tracer
+from repro.workloads.base import Workload, WorkloadInfo
+from repro.workloads.rng import AcmRandom
+from repro.workloads.twolf_w import TwolfWorkload
+
+
+class RngMicroLoop(Workload):
+    """Monte-Carlo-ish loop: every iteration draws two random numbers."""
+
+    info = WorkloadInfo(
+        name="rng-micro", loops=("loop",), exec_time_pct="100%",
+        lines_changed_all=1, lines_changed_model=1, techniques=("Commutative",),
+    )
+
+    def __init__(self, commutative: bool) -> None:
+        self.commutative = commutative
+
+    def run(self, tracer):
+        rng = AcmRandom(seed=1, commutative=self.commutative)
+        hits = 0
+        for i in range(300):
+            with tracer.task("A", i):
+                tracer.work(1)
+            with tracer.task("B", i):
+                x = rng.unit()
+                y = rng.unit()
+                if x * x + y * y < 1.0:
+                    hits += 1
+                tracer.work(40)
+            with tracer.task("C", i):
+                tracer.work(1)
+        return hits
+
+
+def main() -> None:
+    print("=== micro-loop: two RNG calls per iteration ===")
+    for commutative in (False, True):
+        evaluation = ParallelizationFramework().evaluate(RngMicroLoop(commutative))
+        label = "with @commutative" if commutative else "un-annotated    "
+        print(
+            f"  {label}: best speedup {evaluation.report.best_speedup:5.2f}x "
+            f"(cross-iteration seed deps: "
+            f"{len(evaluation.profile.cross_iteration_dependences())})"
+        )
+
+    print("\n=== 300.twolf: the paper's actual case study ===")
+    annotated = ParallelizationFramework().evaluate(TwolfWorkload())
+    stripped = ParallelizationFramework(
+        FrameworkConfig(enable_commutative=False)
+    ).evaluate(TwolfWorkload())
+    print(f"  with the annotation:    {annotated.report.best_speedup:.2f}x "
+          f"@ {annotated.report.best_threads} threads (paper: 2.06x @ 8)")
+    print(f"  without the annotation: {stripped.report.best_speedup:.2f}x "
+          "(the seed recurrence serializes uloop)")
+    print("\nOutput changes (different random choices), but per Section 4.3.3 "
+          "'the benchmark still runs as intended'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Beyond the paper: multi-stage PS-DSWP on a two-hump loop.
+
+The paper's evaluation always uses three phases (sequential A, replicated
+B, sequential C).  When a loop has *two* heavy DOALL regions separated by a
+sequential recurrence, that shape must leave one region unreplicated.  This
+example builds such a loop in the IR, partitions it both ways, and compares:
+
+- the classic 3-phase plan (`repro.dswp.partition.partition_loop`);
+- the generalized alternating chain
+  (`repro.dswp.multistage.partition_loop_multistage`) simulated by
+  `MultiStageSimulator` with water-filling core allocation.
+
+Run:  python examples/multistage_pipeline.py
+"""
+
+from repro.core.simulator import PipelineSimulator
+from repro.dswp.multistage import MultiStageSimulator, partition_loop_multistage
+from repro.dswp.partition import partition_loop
+from repro.hw.machine import MachineConfig
+from repro.ir.builder import ProgramBuilder
+from repro.ir.loops import find_loops
+from repro.ir.types import IntType
+
+
+def build_two_hump_loop():
+    """B1 (heavy, pure) -> S (carried recurrence) -> B2 (heavy, pure)."""
+    pb = ProgramBuilder("two_hump")
+    mid = pb.global_variable("mid")
+    out = pb.global_variable("out")
+    data = pb.global_variable("data")
+    fb = pb.function("main")
+    fb.block("entry")
+    fb.jump("loop")
+    fb.block("loop")
+    i = fb.phi(IntType(64), [(0, "entry")], name="i")
+    element = fb.load(data, [data], name="element", cost=2)
+    hump1 = fb.mul(element, element, name="hump1", cost=100)
+    carried = fb.load(mid, [mid], name="carried", cost=1)
+    mixed = fb.add(carried, hump1, name="mixed", cost=1)
+    fb.store(mixed, mid, [mid], cost=1)
+    hump2 = fb.mul(mixed, 3, name="hump2", cost=100)
+    acc = fb.load(out, [out], name="acc", cost=1)
+    fb.store(fb.add(acc, hump2, name="acc2", cost=1), out, [out], cost=1)
+    next_i = fb.add(i, 1, name="next_i")
+    phi = fb.function.block("loop").phis()[0]
+    phi.operands.append(next_i)
+    phi.incoming_blocks.append("loop")
+    fb.branch(fb.compare("lt", next_i, 100000, name="cond"), "loop", "exit")
+    fb.block("exit")
+    fb.ret()
+    program = pb.finish()
+    return program, find_loops(program.function("main")).outermost()
+
+
+def main() -> None:
+    iterations = 512
+
+    program, loop = build_two_hump_loop()
+    classic = partition_loop(program, loop)
+    print("=== classic 3-phase partition ===")
+    print(classic.describe())
+
+    program2, loop2 = build_two_hump_loop()
+    multi = partition_loop_multistage(program2, loop2)
+    print("\n=== multi-stage partition ===")
+    print(multi.describe())
+
+    print("\n=== speedup comparison ===")
+    print(f"{'cores':>6} {'3-phase':>9} {'multi-stage':>12}")
+    for cores in (4, 8, 16, 32):
+        machine = MachineConfig(cores=cores)
+        classic_result = PipelineSimulator(machine).simulate(
+            classic.task_graph(iterations)
+        )
+        multi_result = MultiStageSimulator(machine).simulate(multi, iterations)
+        print(
+            f"{cores:>6} {classic_result.speedup:>8.2f}x "
+            f"{multi_result.speedup:>11.2f}x   "
+            f"(cores per stage: {multi_result.core_allocation})"
+        )
+
+    print(
+        "\nThe 3-phase plan leaves one hump in a sequential stage, capping it "
+        "near 2x at any core count; the generalized chain replicates both "
+        "humps and scales to the machine.  (Below ~6 cores the 5-stage chain "
+        "cannot even be laid out, so the 3-phase plan wins there — stage "
+        "count is itself a resource decision.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Table 2 across the whole SPEC CINT2000 suite.
+
+Evaluates all eleven workload analogs through the full framework pipeline
+and prints the summary table: minimum threads at the best speedup, the
+speedup itself, the Moore's-law requirement (1.4x per core doubling) and
+the ratio — with GeoMean and ArithMean rows, next to the paper's reported
+numbers.
+
+Takes ~10 seconds.  Run:  python examples/suite_report.py
+"""
+
+from repro.core.framework import ParallelizationFramework
+from repro.core.report import SuiteReport
+from repro.workloads.suite import PAPER_TABLE2, SUITE
+
+
+def main() -> None:
+    framework = ParallelizationFramework()
+    suite = SuiteReport()
+    print("evaluating the suite...")
+    for name, factory in SUITE.items():
+        evaluation = framework.evaluate(factory())
+        suite.add(evaluation.report)
+        paper_threads, paper_speedup = PAPER_TABLE2[name]
+        print(
+            f"  {name:<12} ours {evaluation.report.speedup_at_best:6.2f}x "
+            f"@ {evaluation.report.best_threads:<2}   "
+            f"paper {paper_speedup:6.2f}x @ {paper_threads}"
+        )
+
+    print("\n" + suite.format_table())
+    print("\npaper's summary rows: GeoMean 17 threads, 5.54x, 3.97, 1.39 | "
+          "ArithMean 20 threads, 9.81x, 4.16, 2.04")
+
+
+if __name__ == "__main__":
+    main()

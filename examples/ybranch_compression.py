@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Figure 1 live: the Y-branch on a dictionary compressor.
+
+The paper's motivating example is a compressor whose heuristics "restart
+the dictionary at arbitrary intervals" — an unpredictable, data-dependent
+decision that serializes block compression.  The Y-branch annotation
+declares that the restart may legally happen at *any* dynamic instance, so
+the compiler can pick the restart schedule itself and unlock parallelism.
+
+This script runs the real LZ77 workload (164.gzip analog) both ways:
+
+- sequential policy: the heuristic decides; output is bit-exact but the
+  pipeline cannot run blocks in parallel;
+- parallel policy: the Y-branch fires on its probability-derived interval;
+  blocks become independent, speedup becomes near-linear, and the
+  compression ratio degrades by well under the paper's 1% bound.
+
+Run:  python examples/ybranch_compression.py
+"""
+
+from repro.core.framework import FrameworkConfig, ParallelizationFramework
+from repro.workloads.gzip_w import GzipWorkload
+
+
+def main() -> None:
+    print("=== with the Y-branch engaged (interval policy) ===")
+    framework = ParallelizationFramework()
+    engaged = framework.evaluate(GzipWorkload())
+    curve = engaged.report.curve
+    for threads in (1, 4, 8, 16, 32):
+        print(f"  {threads:>2} threads: {curve[threads]:5.2f}x")
+    print(f"  blocks compressed in parallel: {engaged.parallel_trace.iteration_count}")
+    print(f"  output: {engaged.output_comparison.note}")
+
+    print("\n=== Y-branch disabled (sequential policy only) ===")
+    disabled_framework = ParallelizationFramework(
+        FrameworkConfig(engage_ybranch=False)
+    )
+    disabled = disabled_framework.evaluate(GzipWorkload())
+    print(f"  best speedup: {disabled.report.best_speedup:.2f}x "
+          "(adaptive boundaries serialize every block)")
+    print(f"  output: bit-identical = {disabled.output_comparison.equivalent}")
+
+    gain = engaged.report.best_speedup / disabled.report.best_speedup
+    print(f"\nThe two annotated source lines buy a {gain:.0f}x improvement — "
+          "the paper's Table 1 lists exactly 2 model-extension lines for gzip.")
+
+
+if __name__ == "__main__":
+    main()

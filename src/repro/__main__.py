@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``suite``                  evaluate all eleven benchmarks, print Table 2;
+- ``bench NAME``             evaluate one benchmark, print its curve and plan;
+- ``figure N``               regenerate one of the paper's figures (4-7);
+- ``list``                   list the available benchmarks.
+
+Examples::
+
+    python -m repro suite
+    python -m repro bench 164.gzip
+    python -m repro figure 6 --threads 1 2 4 8 16 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.framework import FrameworkConfig, ParallelizationFramework
+from repro.core.report import SuiteReport, format_speedup_curve
+from repro.workloads.suite import (
+    FIGURE4,
+    FIGURE5,
+    FIGURE6,
+    FIGURE7,
+    PAPER_TABLE2,
+    SUITE,
+    make_workload,
+    suite_names,
+)
+
+_FIGURES = {4: FIGURE4, 5: FIGURE5, 6: FIGURE6, 7: FIGURE7}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Revisiting the Sequential Programming "
+                    "Model for Multi-Core' (MICRO 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available benchmarks")
+
+    suite_parser = sub.add_parser("suite", help="evaluate the whole suite (Table 2)")
+    _add_common(suite_parser)
+
+    bench_parser = sub.add_parser("bench", help="evaluate one benchmark")
+    bench_parser.add_argument("name", choices=suite_names())
+    _add_common(bench_parser)
+
+    figure_parser = sub.add_parser("figure", help="regenerate one paper figure")
+    figure_parser.add_argument("number", type=int, choices=sorted(_FIGURES))
+    _add_common(figure_parser)
+    return parser
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--threads", type=int, nargs="+", default=None,
+        help="thread counts to simulate (default: the paper's 1-32 grid)",
+    )
+    parser.add_argument(
+        "--no-speculation", action="store_true",
+        help="ablation: synchronize every conflicting dependence",
+    )
+    parser.add_argument(
+        "--no-commutative", action="store_true",
+        help="ablation: ignore Commutative annotations",
+    )
+    parser.add_argument(
+        "--no-ybranch", action="store_true",
+        help="ablation: keep Y-branches on sequential policy",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the results as JSON to PATH",
+    )
+
+
+def _config(args) -> FrameworkConfig:
+    config = FrameworkConfig()
+    overrides = {}
+    if args.threads:
+        overrides["thread_counts"] = tuple(sorted(set(args.threads)))
+    if args.no_speculation:
+        overrides["enable_speculation"] = False
+    if args.no_commutative:
+        overrides["enable_commutative"] = False
+    if args.no_ybranch:
+        overrides["engage_ybranch"] = False
+    return config.with_(**overrides) if overrides else config
+
+
+def _evaluate_and_print(name: str, framework: ParallelizationFramework) -> "SpeedupReport":
+    evaluation = framework.evaluate(make_workload(name))
+    print(format_speedup_curve(evaluation.report))
+    if evaluation.plan.decisions:
+        print("speculation:")
+        for decision in evaluation.plan.decisions[:8]:
+            print(f"  {decision}")
+        if len(evaluation.plan.decisions) > 8:
+            print(f"  ... and {len(evaluation.plan.decisions) - 8} more")
+    if evaluation.plan.commutative_groups:
+        print(f"commutative groups: {', '.join(evaluation.plan.commutative_groups)}")
+    print(f"misspeculation rate: {evaluation.misspeculation.rate:.1%}")
+    if not evaluation.output_comparison.equivalent:
+        print(f"output: {evaluation.output_comparison.note}")
+    for warning in evaluation.warnings:
+        print(f"WARNING: {warning}")
+    paper_threads, paper_speedup = PAPER_TABLE2[name]
+    print(f"paper reference: {paper_speedup}x @ {paper_threads} threads")
+    return evaluation.report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in suite_names():
+            threads, speedup = PAPER_TABLE2[name]
+            print(f"{name:<12} paper: {speedup:6.2f}x @ {threads} threads")
+        return 0
+
+    framework = ParallelizationFramework(_config(args))
+
+    if args.command == "bench":
+        _evaluate_and_print(args.name, framework)
+        return 0
+
+    if args.command == "figure":
+        for name in _FIGURES[args.number]:
+            print(f"=== {name} ===")
+            _evaluate_and_print(name, framework)
+            print()
+        return 0
+
+    # suite
+    suite = SuiteReport()
+    for name in suite_names():
+        evaluation = framework.evaluate(make_workload(name))
+        suite.add(evaluation.report)
+        print(f"evaluated {name}: {evaluation.report.best_speedup:.2f}x")
+    print()
+    print(suite.format_table())
+    if args.json:
+        import json
+
+        from repro.core.report import suite_to_json
+
+        with open(args.json, "w") as handle:
+            json.dump(suite_to_json(suite), handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

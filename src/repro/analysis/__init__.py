@@ -1,0 +1,59 @@
+"""Static analyses feeding the parallelization framework.
+
+Section 2.1 of the paper lists what the compiler must know before it can
+extract threads: dependences must not be over-estimated.  This package
+provides:
+
+- :mod:`repro.analysis.dominators` — dominator and post-dominator trees
+  (Cooper–Harvey–Kennedy);
+- :mod:`repro.analysis.dataflow` — a generic worklist dataflow engine;
+- :mod:`repro.analysis.liveness`, :mod:`repro.analysis.reaching` — classic
+  bit-vector problems on top of the engine;
+- :mod:`repro.analysis.controldep` — control dependence via post-dominance
+  frontiers;
+- :mod:`repro.analysis.alias` — Andersen-style points-to plus a may-alias
+  oracle over abstract memory objects (the paper's "aggressive alias
+  analysis [5]");
+- :mod:`repro.analysis.regdep` / :mod:`repro.analysis.memdep` — register and
+  memory dependence construction;
+- :mod:`repro.analysis.value_range` — constant/interval propagation
+  ("variable value analysis [22]");
+- :mod:`repro.analysis.callgraph` — whole-program call graph with side-effect
+  summaries;
+- :mod:`repro.analysis.loopcarried` — intra- vs. loop-carried classification
+  of dependences for a chosen loop.
+"""
+
+from repro.analysis.alias import AliasAnalysis, AliasResult
+from repro.analysis.callgraph import CallGraph, compute_side_effects
+from repro.analysis.controldep import ControlDependence
+from repro.analysis.dataflow import DataflowProblem, solve_dataflow
+from repro.analysis.dominators import DominatorTree, PostDominatorTree
+from repro.analysis.liveness import Liveness
+from repro.analysis.loopcarried import DependenceKind, classify_loop_dependences
+from repro.analysis.memdep import MemoryDependence, MemoryDependenceAnalysis
+from repro.analysis.reaching import ReachingDefinitions
+from repro.analysis.regdep import RegisterDependence, register_dependences
+from repro.analysis.value_range import ValueRange, ValueRangeAnalysis
+
+__all__ = [
+    "AliasAnalysis",
+    "AliasResult",
+    "CallGraph",
+    "ControlDependence",
+    "DataflowProblem",
+    "DependenceKind",
+    "DominatorTree",
+    "Liveness",
+    "MemoryDependence",
+    "MemoryDependenceAnalysis",
+    "PostDominatorTree",
+    "ReachingDefinitions",
+    "RegisterDependence",
+    "ValueRange",
+    "ValueRangeAnalysis",
+    "classify_loop_dependences",
+    "compute_side_effects",
+    "register_dependences",
+    "solve_dataflow",
+]

@@ -1,0 +1,195 @@
+"""Alias analysis: Andersen-style points-to plus a may-alias oracle.
+
+The paper's framework leans on "aggressive alias analysis [5]" (modular
+interprocedural pointer analysis using access paths) to avoid over-estimating
+memory dependences.  Here pointers are IR values, pointees are
+:class:`~repro.ir.values.MemoryObject` abstract locations, and constraints are
+gathered over the whole program:
+
+- ``p = alloc``            →  {obj(alloc)} ⊆ pts(p)
+- ``p = @global``          →  {global} ⊆ pts(p)      (address-of)
+- ``q = p`` (copy/phi)     →  pts(p) ⊆ pts(q)
+- ``q = load p``           →  pts(*p) ⊆ pts(q) for loads whose objects hold pointers
+- ``store q -> p``         →  pts(q) ⊆ pts(*p)
+
+Solved by a straightforward worklist over inclusion constraints.  Two memory
+operations may alias iff their may-access object sets intersect after
+points-to refinement.  Field-sensitive objects (``MemoryObject.field``) never
+alias across distinct fields of the same base — this is what the gcc case
+study's bit-flag expansion buys (Section 4.2.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.ir.instructions import Alloc, Call, Instruction, Load, Phi, Store
+from repro.ir.program import Program
+from repro.ir.values import MemoryObject, Value
+
+
+class AliasResult:
+    """Three-valued alias answers, ordered by certainty."""
+
+    NO = "no-alias"
+    MAY = "may-alias"
+    MUST = "must-alias"
+
+
+class AliasAnalysis:
+    """Whole-program inclusion-based points-to analysis."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        #: pts(value id) — objects a pointer value may point to.
+        self._points_to: Dict[int, Set[MemoryObject]] = defaultdict(set)
+        #: heap(object id) — objects stored *inside* an object's cells.
+        self._heap: Dict[int, Set[MemoryObject]] = defaultdict(set)
+        self._copy_edges: Dict[int, Set[int]] = defaultdict(set)
+        self._load_edges: List[Tuple[Value, Value]] = []   # (address, result)
+        self._store_edges: List[Tuple[Value, Value]] = []  # (value, address)
+        self._objects: Dict[int, MemoryObject] = {}
+        self._collect_constraints()
+        self._solve()
+
+    # -- constraint generation ---------------------------------------------------
+
+    def _collect_constraints(self) -> None:
+        for var in self.program.globals:
+            self._objects[var.id] = var
+        for instruction in self.program.instructions():
+            self._visit(instruction)
+
+    def _visit(self, instruction: Instruction) -> None:
+        if isinstance(instruction, Alloc):
+            self._objects[instruction.object.id] = instruction.object
+            self._points_to[instruction.result.id].add(instruction.object)
+        elif isinstance(instruction, Phi):
+            for operand in instruction.operands:
+                self._add_copy(operand, instruction.result)
+        elif isinstance(instruction, Load):
+            address = instruction.operands[0]
+            self._seed_address(address)
+            self._load_edges.append((address, instruction.result))
+            for obj in instruction.may_access:
+                self._objects[obj.id] = obj
+        elif isinstance(instruction, Store):
+            value, address = instruction.operands
+            self._seed_address(address)
+            self._seed_address(value)
+            self._store_edges.append((value, address))
+            for obj in instruction.may_access:
+                self._objects[obj.id] = obj
+        elif isinstance(instruction, Call):
+            # Arguments may flow into the callee's parameters; model
+            # conservatively by copying argument points-to into the result.
+            if instruction.result is not None:
+                for operand in instruction.operands:
+                    self._add_copy(operand, instruction.result)
+            for obj in instruction.reads + instruction.writes:
+                self._objects[obj.id] = obj
+        else:
+            # Arithmetic on pointers propagates pointees (p+1 aliases p's object).
+            if instruction.result is not None:
+                for operand in instruction.operands:
+                    self._add_copy(operand, instruction.result)
+
+    def _seed_address(self, value: Value) -> None:
+        if isinstance(value, MemoryObject):
+            self._objects[value.id] = value
+            self._points_to[value.id].add(value)
+
+    def _add_copy(self, source: Value, target: Value) -> None:
+        self._seed_address(source)
+        self._copy_edges[source.id].add(target.id)
+
+    # -- solving --------------------------------------------------------------------
+
+    def _solve(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for source_id, targets in self._copy_edges.items():
+                source_set = self._points_to.get(source_id, set())
+                for target_id in targets:
+                    before = len(self._points_to[target_id])
+                    self._points_to[target_id] |= source_set
+                    if len(self._points_to[target_id]) != before:
+                        changed = True
+            for value, address in self._store_edges:
+                value_set = self._points_to.get(value.id, set())
+                for obj in self._points_to.get(address.id, set()):
+                    before = len(self._heap[obj.id])
+                    self._heap[obj.id] |= value_set
+                    if len(self._heap[obj.id]) != before:
+                        changed = True
+            for address, result in self._load_edges:
+                for obj in self._points_to.get(address.id, set()):
+                    source_set = self._heap.get(obj.id, set())
+                    before = len(self._points_to[result.id])
+                    self._points_to[result.id] |= source_set
+                    if len(self._points_to[result.id]) != before:
+                        changed = True
+
+    # -- queries ----------------------------------------------------------------------
+
+    def points_to(self, value: Value) -> FrozenSet[MemoryObject]:
+        return frozenset(self._points_to.get(value.id, set()))
+
+    def objects_accessed(self, instruction: Instruction) -> FrozenSet[MemoryObject]:
+        """Refined may-access set: declared objects ∩-refined by points-to.
+
+        For loads/stores whose address has a non-empty points-to set, the
+        refined set is the intersection of the declared ``may_access`` with
+        what the address can actually reach; when points-to knows nothing the
+        declared set stands.
+        """
+        declared = set(instruction.memory_objects())
+        if isinstance(instruction, (Load, Store)):
+            address = instruction.operands[-1] if isinstance(instruction, Store) else instruction.operands[0]
+            reachable = self._points_to.get(address.id, set())
+            if reachable:
+                refined = {o for o in declared if o in reachable}
+                if refined:
+                    return frozenset(refined)
+        return frozenset(declared)
+
+    def alias(self, a: Instruction, b: Instruction) -> str:
+        """May/must/no-alias between two memory instructions."""
+        set_a = self.objects_accessed(a)
+        set_b = self.objects_accessed(b)
+        common = {
+            (obj_a, obj_b)
+            for obj_a in set_a
+            for obj_b in set_b
+            if self._objects_overlap(obj_a, obj_b)
+        }
+        if not common:
+            return AliasResult.NO
+        if (
+            len(set_a) == 1
+            and len(set_b) == 1
+            and next(iter(set_a)).id == next(iter(set_b)).id
+        ):
+            return AliasResult.MUST
+        return AliasResult.MAY
+
+    @staticmethod
+    def _objects_overlap(a: MemoryObject, b: MemoryObject) -> bool:
+        if a.id == b.id:
+            return True
+        # Distinct fields of the same base never overlap (field splitting,
+        # Section 4.2.1); distinct objects never overlap.
+        if a.name == b.name and a.field and b.field and a.field != b.field:
+            return False
+        if a.name == b.name and (a.field or b.field) and a.field != b.field:
+            # base vs. field of same name: conservatively may overlap
+            return True
+        return False
+
+    def may_alias(self, a: Instruction, b: Instruction) -> bool:
+        return self.alias(a, b) != AliasResult.NO
+
+    def all_objects(self) -> Iterable[MemoryObject]:
+        return list(self._objects.values())

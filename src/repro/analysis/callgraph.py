@@ -1,0 +1,198 @@
+"""Whole-program call graph with transitive side-effect summaries.
+
+The region former and the memory dependence analysis need to know, for an
+opaque call, which abstract memory objects the callee (transitively) may read
+or write.  :func:`compute_side_effects` propagates load/store object sets
+bottom-up over the call graph's SCC condensation so recursion converges.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+from repro.ir.instructions import Call
+from repro.ir.program import Program
+from repro.ir.values import MemoryObject
+
+
+class CallGraph:
+    """callers/callees by function name, plus SCC condensation."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.callees: Dict[str, Set[str]] = defaultdict(set)
+        self.callers: Dict[str, Set[str]] = defaultdict(set)
+        for function in program.functions:
+            self.callees.setdefault(function.name, set())
+            if function.is_external:
+                continue
+            for call in function.call_sites():
+                targets = [call.callee] if call.callee else list(call.may_call)
+                for target in targets:
+                    if target is None:
+                        continue
+                    self.callees[function.name].add(target)
+                    self.callers[target].add(function.name)
+
+    def is_recursive(self, name: str) -> bool:
+        """Direct or mutual recursion through the call graph."""
+        for scc in self.sccs():
+            if name in scc:
+                return len(scc) > 1 or name in self.callees[name]
+        return False
+
+    def sccs(self) -> List[Set[str]]:
+        """Tarjan SCCs in reverse topological order (callees first)."""
+        index_counter = [0]
+        stack: List[str] = []
+        lowlink: Dict[str, int] = {}
+        index: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        result: List[Set[str]] = []
+
+        def strongconnect(node: str) -> None:
+            work: List[Tuple[str, int]] = [(node, 0)]
+            while work:
+                current, child_index = work[-1]
+                if child_index == 0:
+                    index[current] = index_counter[0]
+                    lowlink[current] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(current)
+                    on_stack.add(current)
+                recurse = False
+                children = sorted(self.callees.get(current, set()))
+                for offset in range(child_index, len(children)):
+                    child = children[offset]
+                    if child not in self.callees:
+                        continue
+                    if child not in index:
+                        work[-1] = (current, offset + 1)
+                        work.append((child, 0))
+                        recurse = True
+                        break
+                    if child in on_stack:
+                        lowlink[current] = min(lowlink[current], index[child])
+                if recurse:
+                    continue
+                if lowlink[current] == index[current]:
+                    scc: Set[str] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.add(member)
+                        if member == current:
+                            break
+                    result.append(scc)
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[current])
+
+        for name in sorted(self.callees):
+            if name not in index:
+                strongconnect(name)
+        return result
+
+    def reachable_from(self, root: str) -> Set[str]:
+        seen: Set[str] = set()
+        stack = [root]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.callees.get(name, set()))
+        return seen
+
+
+def compute_side_effects(program: Program) -> Dict[str, Tuple[Set[MemoryObject], Set[MemoryObject]]]:
+    """Per-function (reads, writes) object sets, closed over the call graph.
+
+    Commutative functions report *empty* externally visible effects on their
+    internal state objects — the annotation's semantics ("outside of the
+    function, the outputs of the function call are only dependent upon its
+    inputs", Section 2.3.2); effects on objects not private to the group are
+    still reported.  The summaries are then copied onto every resolved call
+    site's ``reads``/``writes`` lists.
+    """
+    graph = CallGraph(program)
+    summaries: Dict[str, Tuple[Set[MemoryObject], Set[MemoryObject]]] = {}
+
+    # Objects touched only inside a Commutative group are that group's
+    # private internal state.
+    group_private = _commutative_private_objects(program)
+
+    for scc in graph.sccs():  # callees-first order
+        # Iterate within the SCC to a fixed point (handles recursion).
+        changed = True
+        for name in scc:
+            summaries.setdefault(name, (set(), set()))
+        while changed:
+            changed = False
+            for name in scc:
+                if not program.has_function(name):
+                    continue
+                function = program.function(name)
+                if function.is_external:
+                    continue
+                reads, writes = summaries[name]
+                before = (len(reads), len(writes))
+                for instruction in function.instructions():
+                    if instruction.reads_memory:
+                        reads.update(instruction.memory_objects())
+                    if instruction.writes_memory:
+                        writes.update(instruction.memory_objects())
+                    if isinstance(instruction, Call):
+                        targets = [instruction.callee] if instruction.callee else list(instruction.may_call)
+                        for target in targets:
+                            if target in summaries:
+                                callee_reads, callee_writes = summaries[target]
+                                reads.update(callee_reads)
+                                writes.update(callee_writes)
+                if (len(reads), len(writes)) != before:
+                    changed = True
+
+    # Apply Commutative masking.
+    for function in program.functions:
+        group = function.commutative_group
+        if group is None or function.name not in summaries:
+            continue
+        private = group_private.get(group, set())
+        reads, writes = summaries[function.name]
+        summaries[function.name] = (
+            {o for o in reads if o.id not in private},
+            {o for o in writes if o.id not in private},
+        )
+
+    # Annotate call sites.
+    for function in program.functions:
+        if function.is_external:
+            continue
+        for call in function.call_sites():
+            if call.callee and call.callee in summaries:
+                reads, writes = summaries[call.callee]
+                call.reads = sorted(reads, key=lambda o: o.id)
+                call.writes = sorted(writes, key=lambda o: o.id)
+    return summaries
+
+
+def _commutative_private_objects(program: Program) -> Dict[str, Set[int]]:
+    """Object ids touched exclusively by members of each Commutative group."""
+    touched_by_group: Dict[str, Set[int]] = defaultdict(set)
+    touched_outside: Set[int] = set()
+    for function in program.functions:
+        if function.is_external:
+            continue
+        group = function.commutative_group
+        for instruction in function.instructions():
+            for obj in instruction.memory_objects():
+                if group is not None:
+                    touched_by_group[group].add(obj.id)
+                else:
+                    touched_outside.add(obj.id)
+    return {
+        group: {oid for oid in objects if oid not in touched_outside}
+        for group, objects in touched_by_group.items()
+    }

@@ -1,0 +1,82 @@
+"""Control dependence via post-dominance.
+
+Block B is control dependent on branch block A iff A has successors S1, S2
+where B post-dominates S1 but does not post-dominate A (Ferrante–Ottenstein–
+Warren).  The PDG builder attaches control edges from each branch to every
+instruction in its dependent blocks.
+
+Y-branches weaken this relation: because the *true* path is always legal
+(Section 2.3.1), instructions reachable only when the Y-branch is taken are
+*not* control dependent on the Y-branch's computed condition — the compiler
+may fire the branch whenever it likes.  :meth:`ControlDependence.edges`
+therefore reports Y-branch-sourced dependences as *breakable*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Set
+
+from repro.analysis.dominators import PostDominatorTree
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Branch, YBranch
+
+
+class ControlEdge(NamedTuple):
+    """A control dependence: ``dependent_block`` runs only if ``branch`` goes a given way."""
+
+    branch_block: str
+    dependent_block: str
+    breakable: bool  # True when the source branch is a Y-branch
+
+
+class ControlDependence:
+    """Control dependence sets for one function."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self._post = PostDominatorTree(function)
+        self._dependents: Dict[str, Set[str]] = {b.name: set() for b in function.blocks}
+        self._compute()
+
+    def _compute(self) -> None:
+        for block in self.function.blocks:
+            successors = block.successor_names()
+            if len(successors) < 2:
+                continue
+            for successor in successors:
+                # Walk up the post-dominator tree from the successor until we
+                # reach the branch block's immediate post-dominator; every
+                # block on the way is control dependent on the branch.
+                runner = successor
+                stop = self._post.immediate_post_dominator(block.name)
+                while runner is not None and runner != stop:
+                    # A loop header is control dependent on its own branch
+                    # (runner may equal block.name), per Ferrante et al.
+                    self._dependents[block.name].add(runner)
+                    runner = self._post.immediate_post_dominator(runner)
+
+    def dependents_of(self, branch_block: str) -> Set[str]:
+        """Blocks whose execution is decided by ``branch_block``'s terminator."""
+        return set(self._dependents.get(branch_block, set()))
+
+    def controlling_branches(self, block_name: str) -> Set[str]:
+        return {
+            branch
+            for branch, dependents in self._dependents.items()
+            if block_name in dependents
+        }
+
+    def edges(self) -> List[ControlEdge]:
+        """All control dependences, flagging Y-branch sources as breakable."""
+        result: List[ControlEdge] = []
+        for branch_name, dependents in self._dependents.items():
+            terminator = self.function.block(branch_name).terminator
+            breakable = isinstance(terminator, YBranch)
+            for dependent in sorted(dependents):
+                result.append(ControlEdge(branch_name, dependent, breakable))
+        return result
+
+    def is_control_equivalent(self, a: str, b: str) -> bool:
+        """True when blocks a and b execute under identical branch outcomes."""
+        return self.controlling_branches(a) == self.controlling_branches(b)

@@ -1,0 +1,106 @@
+"""A generic worklist dataflow engine over basic blocks.
+
+Classic iterative fixed-point solving with set-valued facts.  Liveness and
+reaching definitions instantiate it; other analyses (value-range) use their
+own lattices but the same worklist discipline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Iterable
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+
+Fact = FrozenSet
+TransferFunction = Callable[[BasicBlock, Fact], Fact]
+
+
+class DataflowProblem:
+    """Description of one set-based dataflow problem.
+
+    Attributes:
+        direction: ``"forward"`` (facts flow entry→exit) or ``"backward"``.
+        meet: ``"union"`` (may analysis) or ``"intersection"`` (must).
+        transfer: per-block transfer function mapping in-fact to out-fact.
+        boundary: fact at the entry (forward) or the exits (backward).
+    """
+
+    def __init__(
+        self,
+        direction: str,
+        meet: str,
+        transfer: TransferFunction,
+        boundary: Fact = frozenset(),
+    ) -> None:
+        if direction not in ("forward", "backward"):
+            raise ValueError(f"direction must be forward/backward, got {direction!r}")
+        if meet not in ("union", "intersection"):
+            raise ValueError(f"meet must be union/intersection, got {meet!r}")
+        self.direction = direction
+        self.meet = meet
+        self.transfer = transfer
+        self.boundary = boundary
+
+    def apply_meet(self, facts: Iterable[Fact]) -> Fact:
+        facts = list(facts)
+        if not facts:
+            return self.boundary if self.meet == "intersection" else frozenset()
+        result = facts[0]
+        for fact in facts[1:]:
+            result = result | fact if self.meet == "union" else result & fact
+        return result
+
+
+def solve_dataflow(function: Function, problem: DataflowProblem) -> Dict[str, Dict[str, Fact]]:
+    """Solve ``problem`` on ``function``.
+
+    Returns ``{block_name: {"in": fact, "out": fact}}`` where "in"/"out" are
+    relative to program order regardless of analysis direction.
+    """
+    blocks = function.blocks
+    in_facts: Dict[str, Fact] = {b.name: frozenset() for b in blocks}
+    out_facts: Dict[str, Fact] = {b.name: frozenset() for b in blocks}
+
+    if problem.direction == "forward":
+        in_facts[function.entry_name] = problem.boundary
+        worklist = deque(blocks)
+        while worklist:
+            block = worklist.popleft()
+            predecessors = block.predecessors()
+            if block.name == function.entry_name:
+                meet_inputs = [problem.boundary] + [out_facts[p.name] for p in predecessors]
+            else:
+                meet_inputs = [out_facts[p.name] for p in predecessors]
+            new_in = problem.apply_meet(meet_inputs)
+            new_out = problem.transfer(block, new_in)
+            in_facts[block.name] = new_in
+            if new_out != out_facts[block.name]:
+                out_facts[block.name] = new_out
+                for successor in block.successors():
+                    if successor not in worklist:
+                        worklist.append(successor)
+    else:
+        worklist = deque(reversed(blocks))
+        exit_names = {b.name for b in blocks if not b.successor_names()}
+        while worklist:
+            block = worklist.popleft()
+            successors = block.successors()
+            if block.name in exit_names:
+                meet_inputs = [problem.boundary] + [in_facts[s.name] for s in successors]
+            else:
+                meet_inputs = [in_facts[s.name] for s in successors]
+            new_out = problem.apply_meet(meet_inputs)
+            new_in = problem.transfer(block, new_out)
+            out_facts[block.name] = new_out
+            if new_in != in_facts[block.name]:
+                in_facts[block.name] = new_in
+                for predecessor in block.predecessors():
+                    if predecessor not in worklist:
+                        worklist.append(predecessor)
+
+    return {
+        name: {"in": in_facts[name], "out": out_facts[name]}
+        for name in (b.name for b in blocks)
+    }

@@ -1,0 +1,51 @@
+"""Register liveness, a backward may-analysis over virtual registers.
+
+Used by the DSWP code generator to decide which register values must flow
+between pipeline stages through communication queues.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.analysis.dataflow import DataflowProblem, solve_dataflow
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Phi
+from repro.ir.values import Parameter, Value, VirtualRegister
+
+
+class Liveness:
+    """Live-in / live-out register sets per block, plus per-instruction uses."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        problem = DataflowProblem(
+            direction="backward",
+            meet="union",
+            transfer=self._transfer,
+            boundary=frozenset(),
+        )
+        self._facts = solve_dataflow(function, problem)
+
+    @staticmethod
+    def _transfer(block: BasicBlock, live_out: FrozenSet[Value]) -> FrozenSet[Value]:
+        live: Set[Value] = set(live_out)
+        for instruction in reversed(block.instructions):
+            if instruction.result is not None:
+                live.discard(instruction.result)
+            # Phi operands are live along specific edges; conservatively treat
+            # them live into the block — sound for queue-sizing purposes.
+            for operand in instruction.register_uses():
+                if isinstance(operand, (VirtualRegister, Parameter)):
+                    live.add(operand)
+        return frozenset(live)
+
+    def live_in(self, block_name: str) -> FrozenSet[Value]:
+        return self._facts[block_name]["in"]
+
+    def live_out(self, block_name: str) -> FrozenSet[Value]:
+        return self._facts[block_name]["out"]
+
+    def live_registers(self) -> Dict[str, FrozenSet[Value]]:
+        return {name: facts["in"] for name, facts in self._facts.items()}

@@ -1,0 +1,62 @@
+"""Classify all dependences of a loop as intra-iteration vs. loop-carried.
+
+This is the single query the DSWP partitioner actually needs: an SCC of the
+PDG may be replicated into a parallel stage iff it participates in *no*
+loop-carried dependence (Section 2.1: "DSWP must replicate stages that
+contain no loop-carried dependences").
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, NamedTuple, Optional
+
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.memdep import MemoryDependenceAnalysis
+from repro.analysis.regdep import register_dependences
+from repro.ir.instructions import Instruction
+from repro.ir.loops import Loop
+from repro.ir.program import Program
+
+
+class DependenceKind(Enum):
+    """The three dependence families the PDG carries."""
+
+    REGISTER = "register"
+    MEMORY = "memory"
+    CONTROL = "control"
+
+
+class LoopDependence(NamedTuple):
+    source: Instruction
+    target: Instruction
+    kind: DependenceKind
+    detail: str           # "raw"/"war"/"waw" for memory, register name, etc.
+    loop_carried: bool
+
+
+def classify_loop_dependences(
+    program: Program,
+    loop: Loop,
+    alias: Optional[AliasAnalysis] = None,
+) -> List[LoopDependence]:
+    """Register + memory dependences of ``loop``, flagged by carriedness."""
+    result: List[LoopDependence] = []
+
+    for dep in register_dependences(loop.function, loop):
+        result.append(
+            LoopDependence(
+                dep.source, dep.target, DependenceKind.REGISTER,
+                dep.register.name, dep.loop_carried,
+            )
+        )
+
+    memory = MemoryDependenceAnalysis(program, loop.function, loop, alias=alias)
+    for dep in memory.dependences:
+        result.append(
+            LoopDependence(
+                dep.source, dep.target, DependenceKind.MEMORY,
+                dep.kind, dep.loop_carried,
+            )
+        )
+    return result

@@ -1,0 +1,155 @@
+"""Memory dependence construction.
+
+Connects every pair of memory operations that may conflict (RAW, WAR, WAW)
+according to the alias oracle.  For a chosen loop, dependences are classified
+intra-iteration vs. loop-carried using block ordering within the loop body:
+a conflict from instruction A to instruction B is *intra-iteration* when A
+can reach B without crossing the loop back edge, and *loop-carried* when the
+only path crosses the latch.  Conservatively a conflict may be both.
+
+Silent stores (Section 2.1, [15]) are flagged so the speculation layer can
+ignore them as misspeculation sources; *Commutative* callees contribute no
+dependences on their internal state (Section 2.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Set
+
+from repro.analysis.alias import AliasAnalysis
+from repro.ir.function import Function
+from repro.ir.instructions import Call, Instruction
+from repro.ir.loops import Loop
+from repro.ir.program import Program
+
+
+class MemoryDependence(NamedTuple):
+    """A may-conflict between two memory instructions.
+
+    ``kind`` is one of ``"raw"``, ``"war"``, ``"waw"``; ``loop_carried`` /
+    ``intra_iteration`` report the path classification (both may be True).
+    """
+
+    source: Instruction
+    target: Instruction
+    kind: str
+    loop_carried: bool
+    intra_iteration: bool
+
+
+class MemoryDependenceAnalysis:
+    """Memory dependences for one loop region of a program."""
+
+    def __init__(self, program: Program, function: Function, loop: Optional[Loop] = None,
+                 alias: Optional[AliasAnalysis] = None) -> None:
+        self.program = program
+        self.function = function
+        self.loop = loop
+        self.alias = alias or AliasAnalysis(program)
+        self._dependences: List[MemoryDependence] = []
+        self._compute()
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _instructions(self) -> List[Instruction]:
+        if self.loop is not None:
+            return [i for i in self.loop.instructions()]
+        return list(self.function.instructions())
+
+    def _is_commutative_call(self, instruction: Instruction) -> bool:
+        if not isinstance(instruction, Call) or instruction.callee is None:
+            return False
+        if not self.program.has_function(instruction.callee):
+            return False
+        return self.program.function(instruction.callee).commutative_group is not None
+
+    def _commutative_group(self, instruction: Instruction) -> Optional[str]:
+        if not self._is_commutative_call(instruction):
+            return None
+        return self.program.function(instruction.callee).commutative_group
+
+    def _block_order(self) -> Dict[str, int]:
+        blocks = (
+            [b.name for b in self.loop.body_blocks()]
+            if self.loop is not None
+            else [b.name for b in self.function.blocks]
+        )
+        return {name: index for index, name in enumerate(blocks)}
+
+    # -- main computation ------------------------------------------------------------
+
+    def _compute(self) -> None:
+        instructions = [
+            i for i in self._instructions() if i.reads_memory or i.writes_memory
+        ]
+        order = self._block_order()
+        position: Dict[int, int] = {}
+        for instruction in instructions:
+            block = instruction.block
+            if block is None:
+                continue
+            base = order.get(block.name, 0) * 10_000
+            position[instruction.id] = base + block.instructions.index(instruction)
+
+        for i, a in enumerate(instructions):
+            for b in instructions[i:]:
+                self._consider_pair(a, b, position)
+                if a is not b:
+                    self._consider_pair(b, a, position)
+
+    def _consider_pair(self, a: Instruction, b: Instruction, position: Dict[int, int]) -> None:
+        kind = _dependence_kind(a, b)
+        if kind is None:
+            return
+        group_a = self._commutative_group(a)
+        group_b = self._commutative_group(b)
+        if group_a is not None and group_a == group_b:
+            # Calls within one Commutative group may execute in any order:
+            # their mutual state dependence is erased (Section 2.3.2).
+            return
+        if not self.alias.may_alias(a, b):
+            return
+
+        if self.loop is None:
+            if position.get(a.id, 0) <= position.get(b.id, 0):
+                self._dependences.append(MemoryDependence(a, b, kind, False, True))
+            return
+
+        pos_a = position.get(a.id, 0)
+        pos_b = position.get(b.id, 0)
+        intra = pos_a <= pos_b
+        # Within a loop every conflict can also recur across the back edge
+        # unless the written object is privatized per-iteration; the
+        # speculation layer later decides which carried edges to break.
+        self._dependences.append(MemoryDependence(a, b, kind, True, intra))
+
+    # -- queries -----------------------------------------------------------------------
+
+    @property
+    def dependences(self) -> List[MemoryDependence]:
+        return list(self._dependences)
+
+    def loop_carried(self) -> List[MemoryDependence]:
+        return [d for d in self._dependences if d.loop_carried]
+
+    def involving(self, instruction: Instruction) -> List[MemoryDependence]:
+        return [
+            d for d in self._dependences
+            if d.source is instruction or d.target is instruction
+        ]
+
+    def conflicting_pairs(self) -> Set[tuple]:
+        return {(d.source.id, d.target.id, d.kind) for d in self._dependences}
+
+
+def _dependence_kind(a: Instruction, b: Instruction) -> Optional[str]:
+    """RAW/WAR/WAW classification from a's and b's access modes, else None."""
+    if a.writes_memory and b.reads_memory:
+        return "raw"
+    if a.reads_memory and b.writes_memory:
+        return "war"
+    if a.writes_memory and b.writes_memory:
+        if a is b:
+            return None
+        return "waw"
+    return None

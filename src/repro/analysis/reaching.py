@@ -1,0 +1,60 @@
+"""Reaching definitions over memory objects, a forward may-analysis.
+
+A "definition" here is a store (or side-effecting call) to an abstract
+memory object; the memory dependence analysis consumes the per-block in-sets
+to connect loads to the stores that may feed them across block boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.analysis.dataflow import DataflowProblem, solve_dataflow
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+
+#: A definition fact: (instruction id, memory object id).
+Definition = Tuple[int, int]
+
+
+class ReachingDefinitions:
+    """Which (store, object) pairs may reach each block boundary."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self._instructions_by_id: Dict[int, Instruction] = {
+            i.id: i for i in function.instructions()
+        }
+        problem = DataflowProblem(
+            direction="forward",
+            meet="union",
+            transfer=self._transfer,
+            boundary=frozenset(),
+        )
+        self._facts = solve_dataflow(function, problem)
+
+    @staticmethod
+    def _transfer(block: BasicBlock, reaching_in: FrozenSet[Definition]) -> FrozenSet[Definition]:
+        live: Set[Definition] = set(reaching_in)
+        for instruction in block.instructions:
+            if not instruction.writes_memory:
+                continue
+            written = {obj.id for obj in instruction.memory_objects()}
+            # A store to a single unambiguous object kills prior defs of it.
+            # With may-aliasing (multiple objects), the write is not a kill.
+            if len(written) == 1:
+                only = next(iter(written))
+                live = {d for d in live if d[1] != only}
+            for obj_id in written:
+                live.add((instruction.id, obj_id))
+        return frozenset(live)
+
+    def reaching_in(self, block_name: str) -> FrozenSet[Definition]:
+        return self._facts[block_name]["in"]
+
+    def reaching_out(self, block_name: str) -> FrozenSet[Definition]:
+        return self._facts[block_name]["out"]
+
+    def defining_instruction(self, definition: Definition) -> Instruction:
+        return self._instructions_by_id[definition[0]]

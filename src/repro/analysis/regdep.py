@@ -1,0 +1,71 @@
+"""Register (data-flow) dependences.
+
+With SSA-style single definitions, a register dependence is simply
+definition → use.  Loop-carried register dependences flow through Phi nodes
+at loop headers whose incoming edge is the latch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Phi
+from repro.ir.loops import Loop
+from repro.ir.values import VirtualRegister
+
+
+class RegisterDependence(NamedTuple):
+    """A def→use edge between instructions."""
+
+    source: Instruction
+    target: Instruction
+    register: VirtualRegister
+    loop_carried: bool
+
+
+def register_dependences(
+    function: Function, loop: Optional[Loop] = None
+) -> List[RegisterDependence]:
+    """All register dependences in ``function`` (or restricted to ``loop``).
+
+    A dependence is loop-carried when it flows through a header Phi via the
+    latch edge — the def executes in iteration *i*, the use in *i+1*.
+    """
+    in_scope = None
+    if loop is not None:
+        in_scope = {i.id for i in loop.instructions()}
+
+    definitions: Dict[int, Instruction] = {}
+    for instruction in function.instructions():
+        if instruction.result is not None:
+            definitions[instruction.result.id] = instruction
+
+    latch_names = {latch.name for latch in loop.latches} if loop is not None else set()
+    edges: List[RegisterDependence] = []
+
+    for instruction in function.instructions():
+        if in_scope is not None and instruction.id not in in_scope:
+            continue
+        if isinstance(instruction, Phi):
+            for value, block_name in instruction.incoming():
+                if not isinstance(value, VirtualRegister):
+                    continue
+                source = definitions.get(value.id)
+                if source is None:
+                    continue
+                if in_scope is not None and source.id not in in_scope:
+                    continue
+                carried = block_name in latch_names
+                edges.append(RegisterDependence(source, instruction, value, carried))
+            continue
+        for operand in instruction.register_uses():
+            if not isinstance(operand, VirtualRegister):
+                continue
+            source = definitions.get(operand.id)
+            if source is None:
+                continue
+            if in_scope is not None and source.id not in in_scope:
+                continue
+            edges.append(RegisterDependence(source, instruction, operand, False))
+    return edges

@@ -1,0 +1,189 @@
+"""Value-range propagation ("variable value analysis [22]").
+
+A small abstract interpreter over intervals with a widening threshold.
+Two uses in the framework:
+
+- *constant discovery*: "proving that a variable holds a constant value at a
+  certain program point can be invaluable in unlocking parallelism"
+  (Section 2.1) — constant-valued branch conditions kill control dependences;
+- *branch bias*: comparisons between disjoint ranges are statically decided,
+  which feeds control speculation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import BinOp, Instruction, Phi, UnOp
+from repro.ir.values import Constant, Value
+
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+_WIDEN_AFTER = 16  # updates before an interval is widened to ±inf
+
+
+class ValueRange:
+    """A closed interval [low, high]; ±inf encodes unbounded ends."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: float, high: float) -> None:
+        if low > high:
+            raise ValueError(f"empty range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    @classmethod
+    def constant(cls, value: float) -> "ValueRange":
+        return cls(value, value)
+
+    @classmethod
+    def top(cls) -> "ValueRange":
+        return cls(_NEG_INF, _POS_INF)
+
+    @property
+    def is_constant(self) -> bool:
+        return self.low == self.high and self.low not in (_NEG_INF, _POS_INF)
+
+    def join(self, other: "ValueRange") -> "ValueRange":
+        return ValueRange(min(self.low, other.low), max(self.high, other.high))
+
+    def widen(self, other: "ValueRange") -> "ValueRange":
+        low = self.low if other.low >= self.low else _NEG_INF
+        high = self.high if other.high <= self.high else _POS_INF
+        return ValueRange(low, high)
+
+    def disjoint(self, other: "ValueRange") -> bool:
+        return self.high < other.low or other.high < self.low
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ValueRange)
+            and other.low == self.low
+            and other.high == self.high
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.low, self.high))
+
+    def __repr__(self) -> str:
+        return f"[{self.low}, {self.high}]"
+
+
+def _arith(op: str, a: ValueRange, b: ValueRange) -> ValueRange:
+    if op == "add":
+        return ValueRange(a.low + b.low, a.high + b.high)
+    if op == "sub":
+        return ValueRange(a.low - b.high, a.high - b.low)
+    if op == "mul":
+        corners = [a.low * b.low, a.low * b.high, a.high * b.low, a.high * b.high]
+        finite = [c for c in corners if c == c]  # drop NaN from inf*0
+        if not finite:
+            return ValueRange.top()
+        return ValueRange(min(finite), max(finite))
+    return ValueRange.top()
+
+
+def _compare(op: str, a: ValueRange, b: ValueRange) -> Optional[bool]:
+    """Statically decide a comparison when the ranges allow it."""
+    if op == "lt" and a.high < b.low:
+        return True
+    if op == "lt" and a.low >= b.high:
+        return False
+    if op == "le" and a.high <= b.low:
+        return True
+    if op == "le" and a.low > b.high:
+        return False
+    if op == "gt" and a.low > b.high:
+        return True
+    if op == "gt" and a.high <= b.low:
+        return False
+    if op == "ge" and a.low >= b.high:
+        return True
+    if op == "ge" and a.high < b.low:
+        return False
+    if op == "eq" and a.is_constant and b.is_constant:
+        return a.low == b.low
+    if op == "eq" and a.disjoint(b):
+        return False
+    if op == "ne" and a.is_constant and b.is_constant:
+        return a.low != b.low
+    if op == "ne" and a.disjoint(b):
+        return True
+    return None
+
+
+class ValueRangeAnalysis:
+    """Intra-procedural interval analysis with widening."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self._ranges: Dict[int, ValueRange] = {}
+        self._updates: Dict[int, int] = {}
+        self._run()
+
+    def _run(self) -> None:
+        changed = True
+        iterations = 0
+        while changed and iterations < 100:
+            changed = False
+            iterations += 1
+            for instruction in self.function.instructions():
+                new = self._evaluate(instruction)
+                if new is None or instruction.result is None:
+                    continue
+                key = instruction.result.id
+                old = self._ranges.get(key)
+                if old is not None:
+                    merged = old.join(new)
+                    self._updates[key] = self._updates.get(key, 0) + 1
+                    if self._updates[key] > _WIDEN_AFTER:
+                        merged = old.widen(merged)
+                    new = merged
+                if old != new:
+                    self._ranges[key] = new
+                    changed = True
+
+    def _evaluate(self, instruction: Instruction) -> Optional[ValueRange]:
+        if isinstance(instruction, BinOp):
+            a = self.range_of(instruction.operands[0])
+            b = self.range_of(instruction.operands[1])
+            if instruction.op in ("add", "sub", "mul"):
+                return _arith(instruction.op, a, b)
+            decided = _compare(instruction.op, a, b)
+            if decided is not None:
+                return ValueRange.constant(1.0 if decided else 0.0)
+            return ValueRange(0.0, 1.0)
+        if isinstance(instruction, UnOp):
+            a = self.range_of(instruction.operands[0])
+            if instruction.op == "neg":
+                return ValueRange(-a.high, -a.low)
+            return ValueRange.top()
+        if isinstance(instruction, Phi):
+            merged: Optional[ValueRange] = None
+            for operand in instruction.operands:
+                r = self.range_of(operand)
+                merged = r if merged is None else merged.join(r)
+            return merged
+        if instruction.result is not None:
+            return ValueRange.top()
+        return None
+
+    # -- queries -----------------------------------------------------------------
+
+    def range_of(self, value: Value) -> ValueRange:
+        if isinstance(value, Constant) and isinstance(value.value, (int, float)):
+            return ValueRange.constant(float(value.value))
+        return self._ranges.get(value.id, ValueRange.top())
+
+    def constant_value(self, value: Value) -> Optional[float]:
+        r = self.range_of(value)
+        return r.low if r.is_constant else None
+
+    def branch_statically_decided(self, condition: Value) -> Optional[bool]:
+        """True/False when the branch condition is provably constant."""
+        constant = self.constant_value(condition)
+        if constant is None:
+            return None
+        return bool(constant)

@@ -1,0 +1,30 @@
+"""The paper's two sequential-programming-model extensions (Section 2.3).
+
+- :mod:`repro.annotations.ybranch` — the *Y-branch*: a branch whose true
+  path may legally be taken on any dynamic instance, with a probability hint
+  telling the compiler how often taking it is worthwhile;
+- :mod:`repro.annotations.commutative` — the *Commutative* function
+  annotation: calls may execute in any order; internal state dependences are
+  invisible outside; groups share state; a rollback function supports
+  speculative execution;
+- :mod:`repro.annotations.registry` — the program-wide registry that
+  validates groups and rollback pairing.
+
+Both work on live Python code (the workload analogs) *and* have IR-level
+counterparts (:class:`repro.ir.instructions.YBranch`,
+:attr:`repro.ir.function.Function.commutative_group`).
+"""
+
+from repro.annotations.commutative import CommutativeFunction, commutative
+from repro.annotations.registry import AnnotationRegistry, global_registry
+from repro.annotations.ybranch import YBranchPolicy, YBranchSite, ybranch
+
+__all__ = [
+    "AnnotationRegistry",
+    "CommutativeFunction",
+    "YBranchPolicy",
+    "YBranchSite",
+    "commutative",
+    "global_registry",
+    "ybranch",
+]

@@ -1,0 +1,106 @@
+"""The *Commutative* annotation (Section 2.3.2).
+
+    "The semantics of the Commutative annotation is that, outside of the
+    function, the outputs of the function call are only dependent upon its
+    inputs. ... The Commutative function itself executes atomically when
+    called and, inside the function, dependences that are local to the
+    function are respected."
+
+Applied to a live Python function, the decorator:
+
+- tags the function with its group (functions sharing internal state — the
+  paper's malloc/free example — share a group name);
+- wraps every call in the ambient tracer's commutative context, so the
+  memory profile drops internal-state dependences between group members
+  while still recording the *atomic sections* the runtime must respect;
+- records the rollback function needed for speculative execution (the paper
+  maintains "a well-defined sequential sequence of calls" by running
+  Commutative functions in non-transactional memory with a rollback — e.g.
+  ``free`` undoes ``malloc``).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Optional, TypeVar
+
+from repro.profiling.context import current_tracer
+
+F = TypeVar("F", bound=Callable)
+
+
+class CommutativeFunction:
+    """Wrapper installed by :func:`commutative`.
+
+    Calls pass straight through to the wrapped function; when a tracer is
+    active, the call body runs inside ``tracer.commutative(group)`` so all
+    shared-state accesses it makes are tagged with the group.
+    """
+
+    def __init__(
+        self,
+        function: Callable,
+        group: str,
+        rollback: Optional[Callable] = None,
+    ) -> None:
+        functools.update_wrapper(self, function)
+        self.function = function
+        self.group = group
+        self.rollback = rollback
+        self.call_count = 0
+
+    def __call__(self, *args, **kwargs):
+        self.call_count += 1
+        tracer = current_tracer()
+        if tracer is None:
+            return self.function(*args, **kwargs)
+        with tracer.commutative(self.group):
+            return self.function(*args, **kwargs)
+
+    def set_rollback(self, rollback: Callable) -> Callable:
+        """Attach (or replace) the rollback; usable as a decorator."""
+        self.rollback = rollback
+        return rollback
+
+    def __get__(self, instance, owner=None):
+        # Support decorating methods: bind like a normal function would.
+        if instance is None:
+            return self
+        return functools.partial(self.__call__, instance)
+
+    def __repr__(self) -> str:
+        return f"CommutativeFunction({self.function.__name__!r}, group={self.group!r})"
+
+
+def commutative(
+    group: Optional[str] = None,
+    rollback: Optional[Callable] = None,
+) -> Callable[[F], CommutativeFunction]:
+    """Mark a function *Commutative*.
+
+    ``group`` defaults to the function's own name; pass an explicit group to
+    declare shared internal state across several functions::
+
+        @commutative(group="allocator")
+        def xalloc(size): ...
+
+        @commutative(group="allocator", rollback=xfree)
+        def xrealloc(block, size): ...
+
+    The paper's Figure 2 random-number generator is the canonical
+    single-function case: ``@commutative()`` on ``yacm_random`` removes the
+    seed recurrence from the parallelizer's view.
+    """
+
+    def wrap(function: F) -> CommutativeFunction:
+        from repro.annotations.registry import global_registry
+
+        wrapper = CommutativeFunction(
+            function,
+            group=group or function.__name__,
+            rollback=rollback,
+        )
+        global_registry().register_commutative(wrapper)
+        return wrapper
+
+    return wrap

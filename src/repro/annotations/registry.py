@@ -1,0 +1,92 @@
+"""Program-wide registry of annotation sites.
+
+The framework consults this to know which Commutative groups exist, to
+validate rollback pairing before enabling speculation, and to flip Y-branch
+policies when it decides parallelization is profitable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.annotations.commutative import CommutativeFunction
+    from repro.annotations.ybranch import YBranchSite
+
+
+class AnnotationRegistry:
+    """Holds every Commutative function and Y-branch site declared."""
+
+    def __init__(self) -> None:
+        self._commutative: Dict[str, List["CommutativeFunction"]] = defaultdict(list)
+        self._group_rollbacks: Dict[str, object] = {}
+        self._ybranches: Dict[str, "YBranchSite"] = {}
+
+    # -- commutative ------------------------------------------------------------
+
+    def register_commutative(self, wrapper: "CommutativeFunction") -> None:
+        self._commutative[wrapper.group].append(wrapper)
+
+    def register_group_rollback(self, group: str, rollback) -> None:
+        """Declare a rollback for a group used via ``tracer.commutative``
+        directly (objects like :class:`repro.workloads.rng.AcmRandom` that
+        are not plain decorated functions)."""
+        self._group_rollbacks[group] = rollback
+
+    def commutative_groups(self) -> List[str]:
+        return sorted(set(self._commutative) | set(self._group_rollbacks))
+
+    def group_members(self, group: str) -> List["CommutativeFunction"]:
+        return list(self._commutative.get(group, []))
+
+    def validate_rollbacks(self, groups: Optional[List[str]] = None) -> List[str]:
+        """Groups usable under speculation need at least one rollback.
+
+        Returns the list of offending groups (empty means all valid).
+        Section 2.3.2: "a rollback function existed to undo the effects of
+        calls to the Commutative function" is required in a speculative
+        execution environment.
+        """
+        to_check = groups if groups is not None else self.commutative_groups()
+        missing: List[str] = []
+        for group in to_check:
+            if group in self._group_rollbacks:
+                continue
+            members = self._commutative.get(group, [])
+            if members and not any(m.rollback is not None for m in members):
+                missing.append(group)
+        return missing
+
+    # -- y-branches ---------------------------------------------------------------
+
+    def register_ybranch(self, site: "YBranchSite") -> None:
+        self._ybranches[site.name] = site
+
+    def ybranch_sites(self) -> List["YBranchSite"]:
+        return [self._ybranches[name] for name in sorted(self._ybranches)]
+
+    def ybranch(self, name: str) -> "YBranchSite":
+        return self._ybranches[name]
+
+    def engage_parallel_policies(self) -> None:
+        """Flip every Y-branch to the interval policy (parallel mode)."""
+        for site in self._ybranches.values():
+            site.use_interval_policy()
+
+    def restore_sequential_policies(self) -> None:
+        for site in self._ybranches.values():
+            site.use_sequential_policy()
+
+    def reset(self) -> None:
+        """Forget everything — used between workload runs in tests."""
+        self._commutative.clear()
+        self._group_rollbacks.clear()
+        self._ybranches.clear()
+
+
+_registry = AnnotationRegistry()
+
+
+def global_registry() -> AnnotationRegistry:
+    return _registry

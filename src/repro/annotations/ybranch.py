@@ -1,0 +1,108 @@
+"""The Y-branch (Section 2.3.1).
+
+    "The semantics of the Y-branch is that for all dynamic instances, the
+    *true* path can be taken regardless of the condition of the branch.
+    The compiler is then free to generate code that pursues this path when
+    it is profitable to do so."
+
+For live Python workloads a :class:`YBranchSite` replaces the ``if``: the
+workload computes its natural condition and asks the site to decide.  Under
+the default :attr:`YBranchPolicy.SEQUENTIAL` policy the decision *is* the
+condition — single-threaded semantics, bit-identical output.  When the
+parallelizer engages the :attr:`YBranchPolicy.INTERVAL` policy, the site
+fires the true path at the fixed interval implied by the probability hint
+(``round(1/p)`` dynamic instances), regardless of the condition — exactly
+the transformation Figure 1 describes for dictionary compression, where the
+compiler picks the block size instead of the heuristic.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from repro.profiling.context import current_tracer
+
+
+class YBranchPolicy(Enum):
+    """How a Y-branch site resolves its dynamic instances."""
+
+    SEQUENTIAL = "sequential"  # honor the condition: original program output
+    INTERVAL = "interval"      # fire true path every round(1/probability) calls
+
+
+class YBranchSite:
+    """One static Y-branch.
+
+    Attributes:
+        name: stable site name, used by the branch profile.
+        probability: the hint from the source annotation
+            (``@YBRANCH(probability=.00001)`` in Figure 1a).
+        policy: how :meth:`decide` answers; the framework flips this to
+            INTERVAL when it parallelizes the enclosing loop.
+    """
+
+    def __init__(self, name: str, probability: float) -> None:
+        if not 0.0 < probability <= 1.0:
+            raise ValueError(
+                f"Y-branch probability must be in (0, 1], got {probability}"
+            )
+        self.name = name
+        self.probability = probability
+        self.policy = YBranchPolicy.SEQUENTIAL
+        self._calls = 0
+
+    @property
+    def interval(self) -> int:
+        """Dynamic instances between forced firings under INTERVAL policy."""
+        return max(1, round(1.0 / self.probability))
+
+    def decide(self, condition: bool) -> bool:
+        """Resolve one dynamic instance of the branch.
+
+        Returns the path to take.  The *true* return is always legal
+        regardless of ``condition``; the *false* return is only produced
+        when the condition itself is false (taking the false path against
+        a true condition would not be a Y-branch — only the true path has
+        the always-legal property).
+        """
+        self._calls += 1
+        if self.policy is YBranchPolicy.SEQUENTIAL:
+            taken = bool(condition)
+        else:
+            # Fire on the interval OR when the original condition demands it:
+            # honoring a true condition is always allowed and keeps outputs
+            # closer to the sequential run.
+            taken = bool(condition) or (self._calls % self.interval == 0)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.branch(self.name, taken, is_ybranch=True)
+        return taken
+
+    def reset(self) -> None:
+        self._calls = 0
+
+    def use_interval_policy(self) -> None:
+        self.policy = YBranchPolicy.INTERVAL
+
+    def use_sequential_policy(self) -> None:
+        self.policy = YBranchPolicy.SEQUENTIAL
+
+    def __repr__(self) -> str:
+        return (
+            f"YBranchSite({self.name!r}, p={self.probability}, "
+            f"policy={self.policy.value})"
+        )
+
+
+def ybranch(name: str, probability: float) -> YBranchSite:
+    """Declare a Y-branch site — the ``@YBRANCH(probability=...)`` of Figure 1.
+
+    Registered with the global annotation registry so the framework can
+    discover and re-police it.
+    """
+    from repro.annotations.registry import global_registry
+
+    site = YBranchSite(name, probability)
+    global_registry().register_ybranch(site)
+    return site

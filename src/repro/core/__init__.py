@@ -1,0 +1,42 @@
+"""The parallelization framework: the paper's primary contribution.
+
+- :mod:`repro.core.tasks` — tasks, phases and the task dependence graph the
+  simulator consumes (Section 3.1-3.2 methodology);
+- :mod:`repro.core.plan` — execution plans: which cores run which phases;
+- :mod:`repro.core.simulator` — the multi-core performance simulator with
+  queue backpressure, dynamic least-loaded B-core assignment, Commutative
+  atomic sections and misspeculation-as-serialization;
+- :mod:`repro.core.framework` — the orchestrator tying profiling,
+  annotations, speculation, partitioning, planning and simulation together
+  for both the IR route and the trace route;
+- :mod:`repro.core.report` — speedup curves, Table 2's Moore's-law
+  comparison, and suite-level aggregation.
+"""
+
+from repro.core.framework import (
+    FrameworkConfig,
+    ParallelizationFramework,
+    WorkloadEvaluation,
+)
+from repro.core.gantt import render_gantt
+from repro.core.plan import ExecutionPlan
+from repro.core.report import SpeedupReport, SuiteReport, moores_law_speedup
+from repro.core.simulator import PipelineSimulator, SimulationResult
+from repro.core.tasks import Phase, SerializationEdge, Task, TaskGraph
+
+__all__ = [
+    "ExecutionPlan",
+    "FrameworkConfig",
+    "ParallelizationFramework",
+    "Phase",
+    "PipelineSimulator",
+    "SerializationEdge",
+    "SimulationResult",
+    "SpeedupReport",
+    "SuiteReport",
+    "Task",
+    "TaskGraph",
+    "WorkloadEvaluation",
+    "moores_law_speedup",
+    "render_gantt",
+]

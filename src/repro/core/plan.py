@@ -1,0 +1,97 @@
+"""Execution plans: which cores run which phases (Section 3.2).
+
+    "Tasks from the first phase were executed serially on a single core.
+    Tasks from the second phase were then executed in parallel with one
+    another through dynamic assignment to the core with the least amount of
+    work enqueued.  Finally, like the first phase, tasks from the third
+    phase executed serially on a single core."
+
+The plan degrades gracefully at small core counts: with one core everything
+is sequential; with two, the sequential phases share core 0 and phase B gets
+core 1; from three cores up, A and C get dedicated cores and B takes the
+rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.tasks import Phase
+from repro.hw.machine import MachineConfig
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Core assignment for the three phases."""
+
+    machine: MachineConfig
+    a_core: Optional[int]
+    c_core: Optional[int]
+    b_cores: List[int]
+
+    @classmethod
+    def for_machine(
+        cls,
+        machine: MachineConfig,
+        has_a: bool = True,
+        has_c: bool = True,
+    ) -> "ExecutionPlan":
+        cores = machine.cores
+        if cores == 1:
+            return cls(machine, a_core=0 if has_a else None,
+                       c_core=0 if has_c else None, b_cores=[0])
+
+        sequential_cores_needed = 0
+        a_core = c_core = None
+        if has_a and has_c:
+            if cores >= 3:
+                a_core, c_core = 0, cores - 1
+                b_cores = list(range(1, cores - 1))
+            else:  # cores == 2: A and C share core 0
+                a_core = c_core = 0
+                b_cores = [1]
+        elif has_a:
+            a_core = 0
+            b_cores = list(range(1, cores))
+        elif has_c:
+            c_core = cores - 1
+            b_cores = list(range(0, cores - 1))
+        else:
+            b_cores = list(range(cores))
+        return cls(machine, a_core=a_core, c_core=c_core, b_cores=b_cores)
+
+    @property
+    def is_sequential(self) -> bool:
+        """True when every phase shares one core — no parallelism possible."""
+        cores_used = set(self.b_cores)
+        if self.a_core is not None:
+            cores_used.add(self.a_core)
+        if self.c_core is not None:
+            cores_used.add(self.c_core)
+        return len(cores_used) <= 1
+
+    @property
+    def replication_width(self) -> int:
+        """How many copies of the parallel stage run concurrently."""
+        return len(self.b_cores)
+
+    def core_of_phase(self, phase: Phase) -> Optional[int]:
+        if phase is Phase.A:
+            return self.a_core
+        if phase is Phase.C:
+            return self.c_core
+        return None
+
+    def describe(self) -> str:
+        pieces = []
+        if self.a_core is not None:
+            pieces.append(f"A->core{self.a_core}")
+        pieces.append(
+            f"B->cores{{{self.b_cores[0]}..{self.b_cores[-1]}}}"
+            if len(self.b_cores) > 1
+            else f"B->core{self.b_cores[0]}"
+        )
+        if self.c_core is not None:
+            pieces.append(f"C->core{self.c_core}")
+        return ", ".join(pieces)

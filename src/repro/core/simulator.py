@@ -1,0 +1,298 @@
+"""The multi-core performance simulator (Section 3.1).
+
+Deterministic, event-free implementation: because phase A and phase C are
+serial chains and every extra constraint points forward in sequential order,
+the whole schedule is computable in a single in-order pass of recurrences —
+each task's start time is the max of its structural predecessors, its queue
+availability, its core's free time, its serialization sources, and its
+Commutative lock waits.
+
+Modelled, per the paper:
+
+- tasks communicate through bounded core-to-core queues
+  (:class:`~repro.hw.queues.TimedQueueModel`); a producer stalls when its
+  queue is full, a consumer waits while it is empty;
+- phase B tasks are dynamically assigned to the least-loaded B core;
+- a speculated dependence that actually occurred serializes the dependent
+  task behind its source but costs nothing extra (misspeculation-as-
+  serialization);
+- Commutative groups execute atomically: each task's in-group section
+  acquires a per-group lock (Section 2.3.2 — calls may happen in any order
+  but must be atomic with respect to the group);
+- microarchitectural effects are not modelled (no caches, no bandwidth),
+  matching the paper's stated scope.
+
+Not modelled (also per the paper): rollback cost beyond serialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.plan import ExecutionPlan
+from repro.core.tasks import Phase, Task, TaskGraph
+from repro.hw.machine import MachineConfig
+from repro.hw.queues import TimedQueueModel
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one task graph on one machine."""
+
+    machine: MachineConfig
+    plan: ExecutionPlan
+    makespan: int
+    sequential_time: int
+    task_end_times: List[int] = field(default_factory=list)
+    #: Start times and core assignments, parallel to the task list; enough
+    #: to independently re-validate the whole schedule (see
+    #: tests/test_schedule_validity.py).
+    task_start_times: List[int] = field(default_factory=list)
+    task_cores: List[int] = field(default_factory=list)
+    queue_stall_time: int = 0
+    serialization_wait_time: int = 0
+    lock_wait_time: int = 0
+    core_busy_time: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.makespan == 0:
+            return 1.0
+        return self.sequential_time / self.makespan
+
+    @property
+    def utilization(self) -> float:
+        capacity = self.makespan * self.machine.cores
+        if capacity == 0:
+            return 1.0
+        return sum(self.core_busy_time.values()) / capacity
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult(cores={self.machine.cores}, "
+            f"makespan={self.makespan}, speedup={self.speedup:.2f})"
+        )
+
+
+class PipelineSimulator:
+    """Simulates a :class:`TaskGraph` under an :class:`ExecutionPlan`."""
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+
+    def simulate(self, graph: TaskGraph, plan: Optional[ExecutionPlan] = None) -> SimulationResult:
+        has_a = bool(graph.tasks_in_phase(Phase.A))
+        has_c = bool(graph.tasks_in_phase(Phase.C))
+        if plan is None:
+            plan = ExecutionPlan.for_machine(self.machine, has_a=has_a, has_c=has_c)
+
+        if plan.is_sequential:
+            return self._simulate_sequential(graph, plan)
+        return self._simulate_pipeline(graph, plan)
+
+    # -- one-core: the single-threaded baseline --------------------------------------
+
+    def _simulate_sequential(self, graph: TaskGraph, plan: ExecutionPlan) -> SimulationResult:
+        time = 0
+        starts: List[int] = []
+        ends: List[int] = []
+        for task in graph.tasks:
+            starts.append(time)
+            time += task.cost
+            ends.append(time)
+        return SimulationResult(
+            machine=self.machine,
+            plan=plan,
+            makespan=time,
+            sequential_time=graph.total_cost(),
+            task_end_times=ends,
+            task_start_times=starts,
+            task_cores=[0] * len(graph.tasks),
+            core_busy_time={0: time},
+        )
+
+    # -- pipelined execution ------------------------------------------------------------
+
+    def _simulate_pipeline(self, graph: TaskGraph, plan: ExecutionPlan) -> SimulationResult:
+        latency = self.machine.communication_latency
+        capacity = self.machine.queue_capacity
+        b_cores = plan.b_cores
+
+        queues_needed = 2 * len(b_cores)
+        if queues_needed > self.machine.queue_count:
+            raise ValueError(
+                f"plan needs {queues_needed} queues but the machine has "
+                f"{self.machine.queue_count}"
+            )
+
+        a_to_b: Dict[int, TimedQueueModel] = {
+            core: TimedQueueModel(capacity, name=f"A->B{core}") for core in b_cores
+        }
+        b_to_c: Dict[int, TimedQueueModel] = {
+            core: TimedQueueModel(capacity, name=f"B{core}->C") for core in b_cores
+        }
+
+        core_free: Dict[int, int] = {core: 0 for core in b_cores}
+        if plan.a_core is not None:
+            core_free.setdefault(plan.a_core, 0)
+        if plan.c_core is not None:
+            core_free.setdefault(plan.c_core, 0)
+        busy: Dict[int, int] = {core: 0 for core in core_free}
+        lock_free: Dict[str, int] = {}
+
+        task_end: List[int] = [0] * len(graph.tasks)
+        task_start: List[int] = [0] * len(graph.tasks)
+        task_core: List[int] = [-1] * len(graph.tasks)
+        serialization_wait = 0
+        lock_wait_total = 0
+
+        by_iteration = self._index_by_iteration(graph)
+        a_prev_end = 0
+        c_prev_end = 0
+        # Consume bookkeeping: C must consume tokens of one queue in the
+        # order they were produced; iterating iterations in order guarantees
+        # that because per-core B assignment is monotone in iteration number.
+
+        for iteration in range(graph.iterations()):
+            a_task, b_task, c_task = by_iteration.get(iteration, (None, None, None))
+
+            # ---- phase A: serial chain on the A core -------------------------------
+            a_end = a_prev_end
+            if a_task is not None:
+                # A's core may be shared with C (2-core plans): respect the
+                # core's actual availability, not just the A chain.
+                a_ready = max(a_prev_end, core_free.get(plan.a_core, 0))
+                ready, wait = self._constrained_start(
+                    graph, a_task, a_ready, task_end
+                )
+                serialization_wait += wait
+                finish = ready + a_task.cost
+                busy[plan.a_core] = busy.get(plan.a_core, 0) + a_task.cost
+                a_end = finish
+                task_start[a_task.index] = ready
+                task_core[a_task.index] = plan.a_core
+            # B-core selection happens when the producing A task completes:
+            # pick the least-loaded B core at that moment.
+            b_core = min(b_cores, key=lambda core: (max(core_free[core], a_end), core))
+
+            if a_task is not None and b_task is not None:
+                # Produce the iteration token; a full queue stalls the A core.
+                a_end = a_to_b[b_core].record_produce(a_end)
+                task_end[a_task.index] = a_end
+                a_prev_end = a_end
+                core_free[plan.a_core] = max(core_free.get(plan.a_core, 0), a_end)
+            elif a_task is not None:
+                task_end[a_task.index] = a_end
+                a_prev_end = a_end
+                core_free[plan.a_core] = max(core_free.get(plan.a_core, 0), a_end)
+
+            # ---- phase B: replicated parallel stage ----------------------------------
+            b_end = a_end
+            if b_task is not None:
+                ready = max(core_free[b_core], a_end + latency if a_task is not None else 0)
+                ready, wait = self._constrained_start(graph, b_task, ready, task_end)
+                serialization_wait += wait
+                if a_task is not None:
+                    ready = a_to_b[b_core].record_consume(ready)
+                start = ready
+                lock_delay = self._acquire_locks(b_task, start, lock_free)
+                lock_wait_total += lock_delay
+                b_end = start + b_task.cost + lock_delay
+                busy[b_core] = busy.get(b_core, 0) + b_task.cost
+                if c_task is not None:
+                    b_end = b_to_c[b_core].record_produce(b_end)
+                core_free[b_core] = b_end
+                task_end[b_task.index] = b_end
+                task_start[b_task.index] = start
+                task_core[b_task.index] = b_core
+
+            # ---- phase C: serial chain on the C core -----------------------------------
+            if c_task is not None:
+                ready = max(
+                    c_prev_end,
+                    core_free.get(plan.c_core, 0),
+                    (b_end + latency) if b_task is not None else 0,
+                )
+                ready, wait = self._constrained_start(graph, c_task, ready, task_end)
+                serialization_wait += wait
+                if b_task is not None:
+                    ready = b_to_c[b_core].record_consume(ready)
+                lock_delay = self._acquire_locks(c_task, ready, lock_free)
+                lock_wait_total += lock_delay
+                c_end = ready + c_task.cost + lock_delay
+                busy[plan.c_core] = busy.get(plan.c_core, 0) + c_task.cost
+                c_prev_end = c_end
+                task_end[c_task.index] = c_end
+                task_start[c_task.index] = ready
+                task_core[c_task.index] = plan.c_core
+                core_free[plan.c_core] = max(core_free.get(plan.c_core, 0), c_end)
+
+        makespan = max(task_end) if task_end else 0
+        queue_stall = sum(q.stall_time for q in a_to_b.values())
+        queue_stall += sum(q.stall_time for q in b_to_c.values())
+        return SimulationResult(
+            machine=self.machine,
+            plan=plan,
+            makespan=makespan,
+            sequential_time=graph.total_cost(),
+            task_end_times=task_end,
+            task_start_times=task_start,
+            task_cores=task_core,
+            queue_stall_time=queue_stall,
+            serialization_wait_time=serialization_wait,
+            lock_wait_time=lock_wait_total,
+            core_busy_time=busy,
+        )
+
+    # -- helpers ------------------------------------------------------------------------
+
+    @staticmethod
+    def _index_by_iteration(graph: TaskGraph) -> Dict[int, Tuple[Optional[Task], Optional[Task], Optional[Task]]]:
+        table: Dict[int, List[Optional[Task]]] = {}
+        previous_iteration = -1
+        for task in graph.tasks:
+            if task.iteration < previous_iteration:
+                # Serialization sources must be processed before their
+                # targets; tasks arriving out of iteration order would let a
+                # later-indexed source be scheduled after its target.
+                raise ValueError(
+                    "tasks must be supplied in iteration order "
+                    f"(task {task.index} is iteration {task.iteration} after "
+                    f"iteration {previous_iteration})"
+                )
+            previous_iteration = task.iteration
+        for task in graph.tasks:
+            slot = {"A": 0, "B": 1, "C": 2}[task.phase.value]
+            row = table.setdefault(task.iteration, [None, None, None])
+            if row[slot] is not None:
+                raise ValueError(
+                    f"iteration {task.iteration} has two {task.phase.value} tasks; "
+                    "the pipeline model expects at most one task per phase per iteration"
+                )
+            row[slot] = task
+        return {i: tuple(row) for i, row in table.items()}  # type: ignore[return-value]
+
+    @staticmethod
+    def _constrained_start(
+        graph: TaskGraph,
+        task: Task,
+        ready: int,
+        task_end: List[int],
+    ) -> Tuple[int, int]:
+        """Apply serialization edges; return (start time, wait attributable)."""
+        start = ready
+        for edge in graph.incoming(task.index):
+            start = max(start, task_end[edge.source])
+        return start, start - ready
+
+    @staticmethod
+    def _acquire_locks(task: Task, start: int, lock_free: Dict[str, int]) -> int:
+        """Serialize the task's Commutative sections; return total lock wait."""
+        wait_total = 0
+        for group in sorted(task.section_costs):
+            section = task.section_costs[group]
+            acquire_at = max(start + wait_total, lock_free.get(group, 0))
+            wait_total += acquire_at - (start + wait_total)
+            lock_free[group] = acquire_at + section
+        return wait_total

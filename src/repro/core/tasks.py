@@ -1,0 +1,230 @@
+"""Tasks, phases and the task dependence graph (Sections 3.1-3.2).
+
+The paper decomposes every studied loop into three phases:
+
+    "Ignoring dependences that were speculated, the tasks from the first
+    phase of each application depended only on prior tasks from the first
+    phase.  Tasks from the second phase depended on the corresponding task
+    from the first phase.  Finally, tasks from the third phase depended on
+    the corresponding task from the second phase as well as prior tasks
+    from the third phase."
+
+:class:`TaskGraph` holds the dynamic tasks plus the *extra* dependences the
+structural pattern does not imply: serialization edges from speculated
+dependences that actually occurred, synchronization chains, and Commutative
+atomic-section costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.profiling.memory_profile import MemoryProfile
+from repro.profiling.tracer import TraceResult
+from repro.speculation.manager import SpeculationPlan
+
+Location = Tuple[str, Hashable]
+
+
+class Phase(Enum):
+    """The three pipeline phases of Section 3.2."""
+
+    A = "A"  # sequential produce stage (one core)
+    B = "B"  # replicated parallel stage (dynamically assigned cores)
+    C = "C"  # sequential consume stage (one core)
+
+    @property
+    def sequential(self) -> bool:
+        return self is not Phase.B
+
+
+@dataclass
+class Task:
+    """One dynamic task.
+
+    Attributes:
+        index: position in original sequential execution order.
+        phase: which pipeline phase the task's static region belongs to.
+        iteration: originating loop iteration.
+        cost: execution time in abstract work units.
+        section_costs: work spent inside Commutative groups, by group name;
+            these slices execute under the group's mutual exclusion.
+    """
+
+    index: int
+    phase: Phase
+    iteration: int
+    cost: int
+    section_costs: Dict[str, int] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"Task({self.phase.value}{self.iteration}, cost={self.cost})"
+
+
+@dataclass(frozen=True)
+class SerializationEdge:
+    """An extra ordering constraint between two tasks.
+
+    ``reason`` is ``"misspeculation"`` for a speculated dependence that
+    actually occurred (the simulator serializes it, charging no extra cost,
+    per Section 3.1) or ``"synchronization"`` for a dependence the plan chose
+    to synchronize.  ``location`` names the responsible shared state.
+    """
+
+    source: int
+    target: int
+    reason: str
+    location: Optional[Location] = None
+
+
+class TaskGraph:
+    """Tasks in sequential order plus extra ordering constraints."""
+
+    def __init__(self, tasks: Sequence[Task], edges: Sequence[SerializationEdge] = ()) -> None:
+        self.tasks = list(tasks)
+        for position, task in enumerate(self.tasks):
+            if task.index != position:
+                raise ValueError(
+                    f"task at position {position} has index {task.index}; "
+                    "tasks must be supplied in sequential order"
+                )
+        self.edges: List[SerializationEdge] = []
+        self._incoming: Dict[int, List[SerializationEdge]] = {}
+        for edge in edges:
+            self.add_edge(edge)
+
+    def add_edge(self, edge: SerializationEdge) -> None:
+        if edge.source >= edge.target:
+            raise ValueError(
+                f"serialization edge {edge.source}->{edge.target} is not "
+                "forward in sequential order"
+            )
+        if edge.target >= len(self.tasks) or edge.source < 0:
+            raise ValueError(f"edge {edge.source}->{edge.target} out of range")
+        self.edges.append(edge)
+        self._incoming.setdefault(edge.target, []).append(edge)
+
+    # -- queries -------------------------------------------------------------------
+
+    def incoming(self, task_index: int) -> List[SerializationEdge]:
+        return list(self._incoming.get(task_index, []))
+
+    def tasks_in_phase(self, phase: Phase) -> List[Task]:
+        return [task for task in self.tasks if task.phase is phase]
+
+    def iterations(self) -> int:
+        if not self.tasks:
+            return 0
+        return max(task.iteration for task in self.tasks) + 1
+
+    def total_cost(self) -> int:
+        """Single-threaded time: the sum of all task costs."""
+        return sum(task.cost for task in self.tasks)
+
+    def phase_cost(self, phase: Phase) -> int:
+        return sum(task.cost for task in self.tasks_in_phase(phase))
+
+    def misspeculation_edges(self) -> List[SerializationEdge]:
+        return [edge for edge in self.edges if edge.reason == "misspeculation"]
+
+    def commutative_groups(self) -> List[str]:
+        groups = set()
+        for task in self.tasks:
+            groups.update(task.section_costs)
+        return sorted(groups)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __repr__(self) -> str:
+        return f"TaskGraph({len(self.tasks)} tasks, {len(self.edges)} extra edges)"
+
+    # -- construction from a trace --------------------------------------------------
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: TraceResult,
+        profile: Optional[MemoryProfile] = None,
+        plan: Optional[SpeculationPlan] = None,
+    ) -> "TaskGraph":
+        """Build the graph the simulator needs from one profiled run.
+
+        Without a plan, every cross-task dynamic dependence is honored
+        (fully conservative).  With a plan:
+
+        - speculated locations contribute their actual dynamic dependences
+          as ``misspeculation`` edges — a speculated dependence that really
+          occurred serializes the dependent task, with no additional cost
+          (Section 3.1);
+        - synchronized locations contribute the same actual dependences as
+          ``synchronization`` edges — the value flows through a queue at a
+          known program point instead of through rollback hardware, but the
+          serialization it imposes is identical (reads never conflict with
+          reads, so only true RAW/WAR/WAW pairs are ordered);
+        - other locations' dependences are dropped: they were proven
+          iteration-private (versioned-memory privatization) or erased by a
+          Commutative annotation.
+        """
+        tasks = [
+            Task(
+                index=record.index,
+                phase=Phase(record.phase),
+                iteration=record.iteration,
+                cost=record.cost,
+            )
+            for record in trace.tasks
+        ]
+        for (task_index, group), cost in trace.section_costs.items():
+            tasks[task_index].section_costs[group] = (
+                tasks[task_index].section_costs.get(group, 0) + cost
+            )
+
+        graph = cls(tasks)
+        if profile is None:
+            return graph
+
+        if plan is None:
+            for dependence in profile.dependences:
+                if dependence.source_index < dependence.target_index:
+                    graph.add_edge(
+                        SerializationEdge(
+                            dependence.source_index,
+                            dependence.target_index,
+                            reason="synchronization",
+                            location=dependence.location,
+                        )
+                    )
+            return graph
+
+        seen = set()
+        for dependence in profile.dependences:
+            if dependence.source_index >= dependence.target_index:
+                continue
+            if dependence.kind != "raw":
+                # The versioned memory subsystem ([33], Section 3.1)
+                # privatizes anti and output dependences: each task writes
+                # its own version and commits in order, so only true (RAW)
+                # dependences ever serialize execution.
+                continue
+            if dependence.location in plan.speculated:
+                reason = "misspeculation"
+            elif dependence.location in plan.synchronized:
+                reason = "synchronization"
+            else:
+                continue
+            key = (dependence.source_index, dependence.target_index)
+            if key in seen:
+                continue
+            seen.add(key)
+            graph.add_edge(
+                SerializationEdge(
+                    dependence.source_index,
+                    dependence.target_index,
+                    reason=reason,
+                    location=dependence.location,
+                )
+            )
+        return graph

@@ -1,0 +1,43 @@
+"""Decoupled Software Pipelining, extended per Section 2.1.
+
+Classic DSWP (Ottoni et al. [20], Rangan et al. [26]) splits a loop's PDG
+SCC-DAG into pipeline stages with forward-only inter-stage dependences.  The
+paper's framework extends it with:
+
+- **speculation** — PDG edges broken by alias/value/control speculation are
+  ignored during partitioning (:func:`repro.speculation.manager.speculate_pdg`
+  marks them; the SCC condensation skips them);
+- **parallel-stage replication** — a stage whose SCCs carry no loop-carried
+  dependence may run many iterations concurrently ("allowing different
+  iterations to run in parallel on the same static code, similar to TLS");
+- the resulting three-phase A/B/C shape of Section 3.2.
+
+Modules:
+
+- :mod:`repro.dswp.partition` — speculative PS-DSWP partitioning;
+- :mod:`repro.dswp.balance` — optimal contiguous stage balancing for classic
+  (non-replicated) DSWP, used as a baseline;
+- :mod:`repro.dswp.mtcg` — multithreaded "code generation": lowering a
+  partition to the task graph the simulator executes.
+"""
+
+from repro.dswp.balance import balance_stages
+from repro.dswp.mtcg import synthesize_task_graph
+from repro.dswp.multistage import (
+    MultiStageResult,
+    MultiStageSimulator,
+    partition_loop_multistage,
+)
+from repro.dswp.partition import Partition, Stage, StageKind, partition_loop
+
+__all__ = [
+    "MultiStageResult",
+    "MultiStageSimulator",
+    "Partition",
+    "Stage",
+    "StageKind",
+    "balance_stages",
+    "partition_loop",
+    "partition_loop_multistage",
+    "synthesize_task_graph",
+]

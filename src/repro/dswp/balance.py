@@ -1,0 +1,83 @@
+"""Classic DSWP stage balancing (the non-replicated baseline).
+
+Without parallel-stage replication, DSWP throughput is limited by the
+heaviest stage.  Given the SCC-DAG's topological order, the best contiguous
+assignment of SCCs to *k* stages that minimizes the maximum stage cost is
+the classic linear-partition problem, solved here by binary search over the
+bottleneck plus a greedy feasibility check.
+
+This module exists to quantify what replication buys: Section 2.1 observes
+that original-form DSWP "is not very effective" precisely because stage
+imbalance caps speedup at ``total / max_stage``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.pdg.scc import SCC
+
+
+def balance_stages(topo: Sequence[SCC], stage_count: int) -> List[List[SCC]]:
+    """Split ``topo`` (SCCs in topological order) into ``stage_count``
+    contiguous stages minimizing the maximum stage cost.
+
+    Returns the list of stages; stages may be empty when there are fewer
+    SCCs than stages.
+    """
+    if stage_count < 1:
+        raise ValueError("need at least one stage")
+    costs = [scc.cost for scc in topo]
+    if not costs:
+        return [[] for _ in range(stage_count)]
+
+    low = max(costs)
+    high = sum(costs)
+    while low < high:
+        mid = (low + high) // 2
+        if _feasible(costs, stage_count, mid):
+            high = mid
+        else:
+            low = mid + 1
+    bottleneck = low
+
+    stages: List[List[SCC]] = []
+    current: List[SCC] = []
+    current_cost = 0
+    remaining_stages = stage_count
+    for index, scc in enumerate(topo):
+        remaining_items = len(topo) - index
+        # Keep enough stages for the remaining items only when each stage
+        # must be non-empty; emptiness is allowed, so just respect the bound.
+        if current and current_cost + scc.cost > bottleneck and remaining_stages > 1:
+            stages.append(current)
+            remaining_stages -= 1
+            current = []
+            current_cost = 0
+        current.append(scc)
+        current_cost += scc.cost
+    stages.append(current)
+    while len(stages) < stage_count:
+        stages.append([])
+    return stages
+
+
+def pipeline_throughput_bound(stages: List[List[SCC]]) -> Tuple[int, int]:
+    """(total cost, bottleneck stage cost) — speedup bound is their ratio."""
+    totals = [sum(scc.cost for scc in stage) for stage in stages]
+    return sum(totals), max(totals) if totals else 0
+
+
+def _feasible(costs: List[int], stages: int, bound: int) -> bool:
+    used = 1
+    current = 0
+    for cost in costs:
+        if cost > bound:
+            return False
+        if current + cost > bound:
+            used += 1
+            current = 0
+            if used > stages:
+                return False
+        current += cost
+    return True

@@ -1,0 +1,66 @@
+"""Multithreaded code generation: lowering a partition to a task graph.
+
+Real MTCG emits per-stage thread bodies with queue produces/consumes; our
+execution substrate is the performance simulator, so "code generation" means
+synthesizing the dynamic task graph the partition implies:
+
+- every iteration contributes one task per stage, with the stage's static
+  cost (the IR's per-instruction ``cost`` attributes aggregated per SCC);
+- speculation decisions carry an ``expected_rate``; the synthesizer turns a
+  rate *r* into a deterministic misspeculation pattern — one serialization
+  edge between consecutive parallel-stage tasks every ``round(1/r)``
+  iterations — which is how the paper's profile-driven "dependences that
+  actually occurred" enter the model when only static information exists.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.tasks import Phase, SerializationEdge, Task, TaskGraph
+from repro.dswp.partition import Partition, StageKind
+
+
+def synthesize_task_graph(partition: Partition, iterations: int) -> TaskGraph:
+    """Expand ``partition`` into ``iterations`` dynamic iterations."""
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+
+    phase_costs = {stage.phase: stage.cost for stage in partition.stages}
+    phases_present = [stage.phase for stage in partition.stages]
+
+    tasks: List[Task] = []
+    index = 0
+    task_index_of = {}
+    for iteration in range(iterations):
+        for phase_name in ("A", "B", "C"):
+            if phase_name not in phases_present:
+                continue
+            task = Task(
+                index=index,
+                phase=Phase(phase_name),
+                iteration=iteration,
+                cost=phase_costs[phase_name],
+            )
+            tasks.append(task)
+            task_index_of[(phase_name, iteration)] = index
+            index += 1
+
+    graph = TaskGraph(tasks)
+
+    # Deterministic misspeculation pattern from the decisions' expected rates.
+    combined_rate = 0.0
+    for decision in partition.decisions:
+        combined_rate = max(combined_rate, decision.expected_rate)
+    if combined_rate > 0.0 and "B" in phases_present:
+        interval = max(2, round(1.0 / combined_rate))
+        for iteration in range(interval, iterations, interval):
+            source = task_index_of.get(("B", iteration - 1))
+            target = task_index_of.get(("B", iteration))
+            if source is not None and target is not None:
+                graph.add_edge(
+                    SerializationEdge(
+                        source, target, reason="misspeculation", location=None
+                    )
+                )
+    return graph

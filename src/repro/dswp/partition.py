@@ -1,0 +1,222 @@
+"""Speculative PS-DSWP partitioning.
+
+Pipeline stages are contiguous slices of the SCC-DAG's topological order, so
+all inter-stage dependences flow forward (through queues).  The parallel
+stage is chosen as the contiguous run of *doall* SCCs (no internal
+loop-carried dependence) with the greatest total cost — the replication
+candidate.  Everything before it forms the sequential produce stage (phase
+A), everything after the sequential consume stage (phase C).
+
+Speculation happens first: edges the profiles say are breakable are marked
+speculated on the PDG, which can merge or split SCCs and, critically, strip
+the loop-carried flags that disqualify SCCs from the parallel stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.loops import Loop
+from repro.ir.program import Program
+from repro.pdg.builder import build_loop_pdg
+from repro.pdg.graph import PDG
+from repro.pdg.scc import SCC, SCCDag, condense
+from repro.speculation.base import SpeculationDecision
+from repro.speculation.manager import PdgSpeculationConfig, speculate_pdg
+
+
+class StageKind(Enum):
+    """Sequential stages run on one core; parallel stages replicate."""
+
+    SEQUENTIAL = "sequential"
+    PARALLEL = "parallel"  # replicable: no internal loop-carried dependences
+
+
+@dataclass
+class Stage:
+    """One pipeline stage: a contiguous run of SCCs in topological order."""
+
+    kind: StageKind
+    phase: str  # "A", "B" or "C"
+    sccs: List[SCC] = field(default_factory=list)
+
+    @property
+    def cost(self) -> int:
+        return sum(scc.cost for scc in self.sccs)
+
+    @property
+    def node_ids(self) -> List[int]:
+        ids: List[int] = []
+        for scc in self.sccs:
+            ids.extend(sorted(scc.node_ids))
+        return ids
+
+    def __repr__(self) -> str:
+        return (
+            f"Stage({self.phase}, {self.kind.value}, {len(self.sccs)} SCCs, "
+            f"cost={self.cost})"
+        )
+
+
+@dataclass
+class Partition:
+    """The result of partitioning one loop."""
+
+    loop: Loop
+    pdg: PDG
+    dag: SCCDag
+    stages: List[Stage]
+    decisions: List[SpeculationDecision] = field(default_factory=list)
+
+    @property
+    def parallel_stage(self) -> Optional[Stage]:
+        for stage in self.stages:
+            if stage.kind is StageKind.PARALLEL:
+                return stage
+        return None
+
+    @property
+    def parallel_fraction(self) -> float:
+        total = sum(stage.cost for stage in self.stages)
+        parallel = self.parallel_stage
+        if total == 0 or parallel is None:
+            return 0.0
+        return parallel.cost / total
+
+    def stage_of_node(self, node_id: int) -> Stage:
+        for stage in self.stages:
+            if node_id in stage.node_ids:
+                return stage
+        raise KeyError(f"node {node_id} not in any stage")
+
+    def validate(self) -> None:
+        """All effective PDG edges must flow forward through the pipeline."""
+        order = {stage.phase: i for i, stage in enumerate(self.stages)}
+        placement: Dict[int, int] = {}
+        for stage in self.stages:
+            for node_id in stage.node_ids:
+                placement[node_id] = order[stage.phase]
+        for edge in self.pdg.effective_edges():
+            if edge.loop_carried:
+                continue  # carried edges target the *next* iteration
+            if placement[edge.source] > placement[edge.target]:
+                raise ValueError(
+                    f"backward inter-stage dependence {edge.describe()}"
+                )
+
+    def task_graph(self, iterations: int):
+        """Synthesize a simulatable task graph; see :mod:`repro.dswp.mtcg`."""
+        from repro.dswp.mtcg import synthesize_task_graph
+
+        return synthesize_task_graph(self, iterations)
+
+    def communication_summary(self) -> Dict[Tuple[str, str], int]:
+        """Values flowing between stages per iteration — the queue traffic.
+
+        For each ordered stage pair (producer phase, consumer phase), counts
+        the distinct producing instructions whose effective PDG edges cross
+        the boundary.  MTCG materializes one queue slot per such value per
+        iteration; the result is what sizes the machine's 256-queue budget
+        (Section 3.1).
+        """
+        phase_of: Dict[int, str] = {}
+        for stage in self.stages:
+            for node_id in stage.node_ids:
+                phase_of[node_id] = stage.phase
+        traffic: Dict[Tuple[str, str], set] = {}
+        for edge in self.pdg.effective_edges():
+            source_phase = phase_of[edge.source]
+            target_phase = phase_of[edge.target]
+            if source_phase == target_phase:
+                continue
+            traffic.setdefault((source_phase, target_phase), set()).add(edge.source)
+        return {pair: len(sources) for pair, sources in sorted(traffic.items())}
+
+    def queues_required(self, replication_width: int) -> int:
+        """Physical queues MTCG needs at a given parallel-stage width."""
+        summary = self.communication_summary()
+        total = 0
+        for (source_phase, target_phase), values in summary.items():
+            fan = replication_width if "B" in (source_phase, target_phase) else 1
+            total += values * fan
+        return total
+
+    def describe(self) -> str:
+        lines = [f"Partition of loop {self.loop.header.name!r}:"]
+        for stage in self.stages:
+            lines.append(f"  {stage!r}")
+        if self.decisions:
+            lines.append("  speculation:")
+            for decision in self.decisions:
+                lines.append(f"    {decision}")
+        return "\n".join(lines)
+
+
+def partition_loop(
+    program: Program,
+    loop: Loop,
+    *,
+    branch_profile=None,
+    value_profile=None,
+    memory_conflict_rates: Optional[Dict[Tuple[int, int], float]] = None,
+    speculation_config: Optional[PdgSpeculationConfig] = None,
+    iterations: int = 64,
+) -> Partition:
+    """Build PDG → speculate → condense → pick stages.
+
+    ``iterations`` is only a hint carried to :meth:`Partition.task_graph`
+    callers; partitioning itself is static.
+    """
+    pdg = build_loop_pdg(program, loop)
+    decisions = speculate_pdg(
+        pdg,
+        branch_profile=branch_profile,
+        value_profile=value_profile,
+        memory_conflict_rates=memory_conflict_rates,
+        config=speculation_config,
+    )
+    dag = condense(pdg)
+    topo = dag.topological_order()
+
+    best_run = _best_doall_run(topo)
+    stages: List[Stage] = []
+    if best_run is None:
+        # No replicable stage at all: classic 2-stage DSWP (A feeds C).
+        middle = len(topo) // 2 if len(topo) > 1 else 1
+        stages.append(Stage(StageKind.SEQUENTIAL, "A", topo[:middle]))
+        if topo[middle:]:
+            stages.append(Stage(StageKind.SEQUENTIAL, "C", topo[middle:]))
+    else:
+        start, end = best_run
+        if topo[:start]:
+            stages.append(Stage(StageKind.SEQUENTIAL, "A", topo[:start]))
+        stages.append(Stage(StageKind.PARALLEL, "B", topo[start:end]))
+        if topo[end:]:
+            stages.append(Stage(StageKind.SEQUENTIAL, "C", topo[end:]))
+
+    partition = Partition(loop=loop, pdg=pdg, dag=dag, stages=stages, decisions=decisions)
+    partition.validate()
+    return partition
+
+
+def _best_doall_run(topo: List[SCC]) -> Optional[Tuple[int, int]]:
+    """The contiguous run of doall SCCs with maximal total cost, as (start, end)."""
+    best: Optional[Tuple[int, int]] = None
+    best_cost = 0
+    start = None
+    cost = 0
+    for i, scc in enumerate(topo + [None]):  # sentinel flushes the last run
+        if scc is not None and scc.doall:
+            if start is None:
+                start = i
+                cost = 0
+            cost += scc.cost
+            continue
+        if start is not None and cost > best_cost:
+            best = (start, i)
+            best_cost = cost
+        start = None
+        cost = 0
+    return best

@@ -1,0 +1,156 @@
+"""An executable threaded DSWP pipeline runtime.
+
+The performance numbers come from the simulator, but MTCG's *correctness*
+story — stage threads communicating values through bounded queues, parallel
+stage replicas consuming work in any order while phase C commits in
+iteration order — deserves to be executable.  :class:`PipelineRuntime` runs
+a real 3-stage pipeline on Python threads:
+
+- one producer thread runs the phase-A function per iteration and pushes
+  its result into a bounded work queue (blocking when full — the
+  synchronization-array behaviour);
+- N worker threads run the phase-B function on whatever iteration they
+  dequeue (replication; any interleaving);
+- one consumer thread reorders results and applies the phase-C function
+  strictly in iteration order (in-order commit).
+
+Python's GIL means no wall-clock speedup — the point is that the pipeline's
+*outputs* are bit-identical to the sequential loop for any interleaving,
+which the test suite checks under many worker counts and queue capacities.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.hw.queues import BoundedQueue
+
+
+class _BlockingQueue:
+    """Condition-variable wrapper giving :class:`BoundedQueue` blocking ops."""
+
+    def __init__(self, capacity: int) -> None:
+        self._queue = BoundedQueue(capacity=capacity)
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+
+    def put(self, item) -> None:
+        with self._not_full:
+            while self._queue.full:
+                self._not_full.wait()
+            self._queue.produce(item)
+            self._not_empty.notify()
+
+    def get(self):
+        with self._not_empty:
+            while self._queue.empty:
+                self._not_empty.wait()
+            item = self._queue.consume()
+            self._not_full.notify()
+            return item
+
+
+_STOP = object()
+
+
+@dataclass
+class PipelineStatistics:
+    """Observed concurrency facts, for the tests' interleaving assertions."""
+
+    iterations: int = 0
+    worker_iterations: Dict[int, int] = field(default_factory=dict)
+    out_of_order_completions: int = 0
+
+
+class PipelineRuntime:
+    """Runs produce/work/consume stage functions over ``iterations``.
+
+    ``produce(i)`` returns the phase-A value for iteration *i*;
+    ``work(i, value)`` is the replicated phase-B computation;
+    ``consume(i, result)`` commits in strict iteration order (phase C).
+    """
+
+    def __init__(self, workers: int = 4, queue_capacity: int = 32) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self.queue_capacity = queue_capacity
+        self.stats = PipelineStatistics()
+
+    def run(
+        self,
+        iterations: int,
+        produce: Callable[[int], Any],
+        work: Callable[[int, Any], Any],
+        consume: Callable[[int, Any], None],
+    ) -> None:
+        self.stats = PipelineStatistics(iterations=iterations)
+        work_queue = _BlockingQueue(self.queue_capacity)
+        done_queue = _BlockingQueue(self.queue_capacity + self.workers + 1)
+        errors: List[BaseException] = []
+
+        def producer() -> None:
+            try:
+                for i in range(iterations):
+                    work_queue.put((i, produce(i)))
+            except BaseException as error:  # surface errors to the caller
+                errors.append(error)
+            finally:
+                for _ in range(self.workers):
+                    work_queue.put(_STOP)
+
+        def worker(worker_id: int) -> None:
+            try:
+                while True:
+                    item = work_queue.get()
+                    if item is _STOP:
+                        done_queue.put(_STOP)
+                        return
+                    i, value = item
+                    self.stats.worker_iterations[worker_id] = (
+                        self.stats.worker_iterations.get(worker_id, 0) + 1
+                    )
+                    done_queue.put((i, work(i, value)))
+            except BaseException as error:
+                errors.append(error)
+                done_queue.put(_STOP)
+
+        def consumer() -> None:
+            try:
+                pending: Dict[int, Any] = {}
+                next_commit = 0
+                stops = 0
+                while stops < self.workers:
+                    item = done_queue.get()
+                    if item is _STOP:
+                        stops += 1
+                        continue
+                    i, result = item
+                    if i != next_commit:
+                        self.stats.out_of_order_completions += 1
+                    pending[i] = result
+                    while next_commit in pending:
+                        consume(next_commit, pending.pop(next_commit))
+                        next_commit += 1
+                # Drain anything the workers finished after the last stop.
+                while next_commit in pending:
+                    consume(next_commit, pending.pop(next_commit))
+                    next_commit += 1
+            except BaseException as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=producer, name="dswp-A")]
+        threads += [
+            threading.Thread(target=worker, args=(w,), name=f"dswp-B{w}")
+            for w in range(self.workers)
+        ]
+        threads.append(threading.Thread(target=consumer, name="dswp-C"))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]

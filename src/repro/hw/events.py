@@ -1,0 +1,60 @@
+"""A small deterministic discrete-event kernel.
+
+Ordering is total: (time, priority, sequence number).  Used by the TLS
+runtime and available to user code; the DSWP performance simulator uses
+direct recurrences (its schedule is computable in one in-order pass) but the
+kernel backs the ablation that cross-checks the two.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+Event = Tuple[int, int, int, Callable[[], None]]
+
+
+class EventKernel:
+    """A priority-queue driven event loop with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self.now = 0
+        self.events_processed = 0
+
+    def schedule(self, time: int, action: Callable[[], None], priority: int = 0) -> None:
+        """Schedule ``action`` at ``time`` (must not be in the past)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time}, now is {self.now}")
+        heapq.heappush(self._queue, (time, priority, next(self._sequence), action))
+
+    def schedule_after(self, delay: int, action: Callable[[], None], priority: int = 0) -> None:
+        self.schedule(self.now + delay, action, priority)
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Drain the queue (optionally stopping after time ``until``); return final time."""
+        while self._queue:
+            time, priority, seq, action = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = time
+            self.events_processed += 1
+            action()
+        return self.now
+
+    def step(self) -> bool:
+        """Process one event; return False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, priority, seq, action = heapq.heappop(self._queue)
+        self.now = time
+        self.events_processed += 1
+        action()
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,41 @@
+"""Machine configuration: the paper's simulated multi-core (Section 3.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Parameters of the simulated machine.
+
+    Defaults mirror the paper: studies from 1 to 32 cores, and "the simulator
+    accurately modeled full and empty conditions on 256 32-entry queues".
+    ``communication_latency`` is the cost (in the same abstract units as task
+    costs) of a value crossing a core-to-core queue; the paper does not model
+    micro-architectural effects, so it defaults to zero and an ablation bench
+    explores nonzero values.
+    """
+
+    cores: int = 32
+    queue_count: int = 256
+    queue_capacity: int = 32
+    communication_latency: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"need at least one core, got {self.cores}")
+        if self.queue_capacity < 1:
+            raise ValueError("queue capacity must be positive")
+        if self.queue_count < 1:
+            raise ValueError("queue count must be positive")
+        if self.communication_latency < 0:
+            raise ValueError("communication latency cannot be negative")
+
+    def with_cores(self, cores: int) -> "MachineConfig":
+        return MachineConfig(
+            cores=cores,
+            queue_count=self.queue_count,
+            queue_capacity=self.queue_capacity,
+            communication_latency=self.communication_latency,
+        )

@@ -1,0 +1,82 @@
+"""Compiler intermediate representation.
+
+The framework of the paper requires "whole program optimization [32]" scope
+(Section 2.2): the compiler must be able to see and transform code at any loop
+level, across procedure boundaries.  This package provides the IR that makes
+that possible:
+
+- :mod:`repro.ir.values` / :mod:`repro.ir.instructions` — a small, typed,
+  register-based instruction set with explicit memory operations;
+- :mod:`repro.ir.basicblock` / :mod:`repro.ir.function` /
+  :mod:`repro.ir.program` — the containers, with CFG edges kept consistent;
+- :mod:`repro.ir.builder` — a fluent construction API used by tests, examples
+  and the mini-C front end in the gcc workload;
+- :mod:`repro.ir.loops` — natural-loop discovery and loop-nest trees;
+- :mod:`repro.ir.region` — region formation (Section 2.2) to bound the scope
+  handed to analysis and partitioning;
+- :mod:`repro.ir.inline` — call-site inlining, the mechanism for removing
+  procedure boundaries;
+- :mod:`repro.ir.printer` — a stable textual dump used in tests and docs.
+"""
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloc,
+    BinOp,
+    Branch,
+    Call,
+    CommutativeMarker,
+    Instruction,
+    Jump,
+    Load,
+    Phi,
+    Return,
+    Store,
+    UnOp,
+    YBranch,
+)
+from repro.ir.loops import Loop, LoopNest, find_loops
+from repro.ir.program import Program
+from repro.ir.region import Region, form_loop_region
+from repro.ir.types import BoolType, FloatType, IntType, PointerType, Type, VoidType
+from repro.ir.values import Constant, GlobalVariable, MemoryObject, Parameter, Value, VirtualRegister
+
+__all__ = [
+    "Alloc",
+    "BasicBlock",
+    "BinOp",
+    "BoolType",
+    "Branch",
+    "Call",
+    "CommutativeMarker",
+    "Constant",
+    "FloatType",
+    "Function",
+    "FunctionBuilder",
+    "GlobalVariable",
+    "Instruction",
+    "IntType",
+    "Jump",
+    "Load",
+    "Loop",
+    "LoopNest",
+    "MemoryObject",
+    "Parameter",
+    "Phi",
+    "PointerType",
+    "Program",
+    "ProgramBuilder",
+    "Region",
+    "Return",
+    "Store",
+    "Type",
+    "UnOp",
+    "Value",
+    "VirtualRegister",
+    "VoidType",
+    "YBranch",
+    "find_loops",
+    "form_loop_region",
+]

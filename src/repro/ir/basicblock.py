@@ -1,0 +1,84 @@
+"""Basic blocks: maximal straight-line instruction sequences."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.ir.instructions import Instruction, Phi
+
+
+class BasicBlock:
+    """A named block of instructions ending in at most one terminator.
+
+    Predecessor/successor edges are stored by block *name* and resolved
+    through the owning function, which keeps them trivially consistent under
+    transformations that clone or rename blocks (inlining, specialization).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instructions: List[Instruction] = []
+        self.function = None  # back-pointer, set by Function.add_block
+
+    # -- construction ---------------------------------------------------------
+
+    def append(self, instruction: Instruction) -> Instruction:
+        if self.terminator is not None:
+            raise ValueError(
+                f"block {self.name!r} already terminated by {self.terminator!r}"
+            )
+        instruction.block = self
+        self.instructions.append(instruction)
+        return instruction
+
+    def insert(self, index: int, instruction: Instruction) -> Instruction:
+        instruction.block = self
+        self.instructions.insert(index, instruction)
+        return instruction
+
+    def remove(self, instruction: Instruction) -> None:
+        self.instructions.remove(instruction)
+        instruction.block = None
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def successor_names(self) -> List[str]:
+        term = self.terminator
+        if term is None:
+            return []
+        return term.targets()
+
+    def successors(self) -> List["BasicBlock"]:
+        if self.function is None:
+            return []
+        return [self.function.block(name) for name in self.successor_names()]
+
+    def predecessors(self) -> List["BasicBlock"]:
+        if self.function is None:
+            return []
+        return [
+            block
+            for block in self.function.blocks
+            if self.name in block.successor_names()
+        ]
+
+    def phis(self) -> List[Phi]:
+        return [i for i in self.instructions if isinstance(i, Phi)]
+
+    def non_phi_instructions(self) -> List[Instruction]:
+        return [i for i in self.instructions if not isinstance(i, Phi)]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.name!r}, {len(self.instructions)} instructions)"

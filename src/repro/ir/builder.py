@@ -1,0 +1,182 @@
+"""Fluent construction helpers for IR programs.
+
+Used pervasively by tests and examples, and by the mini-C front end in the
+gcc workload analog.  The builder keeps a *current block* insertion point and
+offers one method per instruction kind.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloc,
+    BinOp,
+    Branch,
+    Call,
+    Jump,
+    Load,
+    Phi,
+    Return,
+    Store,
+    UnOp,
+    YBranch,
+)
+from repro.ir.program import Program
+from repro.ir.types import IntType, Type
+from repro.ir.values import Constant, MemoryObject, Value
+
+Operand = Union[Value, int, bool]
+
+
+def _as_value(operand: Operand) -> Value:
+    if isinstance(operand, Value):
+        return operand
+    if isinstance(operand, bool):
+        return Constant(int(operand))
+    if isinstance(operand, int):
+        return Constant(operand)
+    raise TypeError(f"cannot use {operand!r} as an IR operand")
+
+
+class FunctionBuilder:
+    """Builds one function, block by block."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self._current: Optional[BasicBlock] = None
+
+    # -- block management -------------------------------------------------------
+
+    def block(self, name: str) -> BasicBlock:
+        """Create block ``name`` (or fetch it) and make it the insertion point."""
+        if self.function.has_block(name):
+            self._current = self.function.block(name)
+        else:
+            self._current = self.function.new_block(name)
+        return self._current
+
+    @property
+    def current(self) -> BasicBlock:
+        if self._current is None:
+            raise ValueError("no current block; call .block(name) first")
+        return self._current
+
+    def param(self, index: int):
+        return self.function.parameters[index]
+
+    # -- instructions ------------------------------------------------------------
+
+    def binop(self, op: str, lhs: Operand, rhs: Operand, name: str = "", cost: int = 1):
+        instruction = BinOp(op, _as_value(lhs), _as_value(rhs), name=name, cost=cost)
+        self.current.append(instruction)
+        return instruction.result
+
+    def add(self, lhs, rhs, name="", cost=1):
+        return self.binop("add", lhs, rhs, name=name, cost=cost)
+
+    def sub(self, lhs, rhs, name="", cost=1):
+        return self.binop("sub", lhs, rhs, name=name, cost=cost)
+
+    def mul(self, lhs, rhs, name="", cost=1):
+        return self.binop("mul", lhs, rhs, name=name, cost=cost)
+
+    def compare(self, op: str, lhs, rhs, name="", cost=1):
+        return self.binop(op, lhs, rhs, name=name, cost=cost)
+
+    def unop(self, op: str, operand: Operand, name: str = "", cost: int = 1):
+        instruction = UnOp(op, _as_value(operand), name=name, cost=cost)
+        self.current.append(instruction)
+        return instruction.result
+
+    def load(self, address: Operand, may_access: Sequence[MemoryObject], name="", cost=1):
+        instruction = Load(_as_value(address), may_access, name=name, cost=cost)
+        self.current.append(instruction)
+        return instruction.result
+
+    def store(self, value: Operand, address: Operand, may_access: Sequence[MemoryObject], cost=1):
+        instruction = Store(_as_value(value), _as_value(address), may_access, cost=cost)
+        self.current.append(instruction)
+        return instruction
+
+    def alloc(self, name: str = "", cost: int = 1):
+        instruction = Alloc(name=name, cost=cost)
+        self.current.append(instruction)
+        return instruction
+
+    def call(self, callee: str, args: Sequence[Operand] = (), name="", cost=1,
+             reads: Sequence[MemoryObject] = (), writes: Sequence[MemoryObject] = ()):
+        instruction = Call(callee, [_as_value(a) for a in args], name=name, cost=cost)
+        instruction.reads = list(reads)
+        instruction.writes = list(writes)
+        self.current.append(instruction)
+        return instruction
+
+    def phi(self, type_: Type, incoming, name: str = ""):
+        resolved = [(_as_value(v), b) for v, b in incoming]
+        instruction = Phi(type_, resolved, name=name)
+        # Phis must precede non-phi instructions.
+        position = len(self.current.phis())
+        self.current.insert(position, instruction)
+        return instruction.result
+
+    def branch(self, condition: Operand, true_target: str, false_target: str, cost=1):
+        instruction = Branch(_as_value(condition), true_target, false_target, cost=cost)
+        self.current.append(instruction)
+        return instruction
+
+    def ybranch(self, condition: Operand, true_target: str, false_target: str,
+                probability: float = 0.0, cost: int = 1):
+        """Insert the paper's Y-branch (Section 2.3.1)."""
+        instruction = YBranch(
+            _as_value(condition), true_target, false_target,
+            probability=probability, cost=cost,
+        )
+        self.current.append(instruction)
+        return instruction
+
+    def jump(self, target: str):
+        instruction = Jump(target)
+        self.current.append(instruction)
+        return instruction
+
+    def ret(self, value: Optional[Operand] = None):
+        instruction = Return(_as_value(value) if value is not None else None)
+        self.current.append(instruction)
+        return instruction
+
+
+class ProgramBuilder:
+    """Builds a whole program: functions, globals, annotations."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.program = Program(name)
+
+    def global_variable(self, name: str, *, field: str = "") -> MemoryObject:
+        return self.program.add_global(name, field=field)
+
+    def function(
+        self,
+        name: str,
+        parameter_types: Sequence[Type] = (),
+        parameter_names: Sequence[str] = (),
+        return_type: Optional[Type] = None,
+    ) -> FunctionBuilder:
+        function = Function(name, parameter_types, parameter_names, return_type)
+        self.program.add_function(function)
+        return FunctionBuilder(function)
+
+    def external_function(self, name: str, parameter_types: Sequence[Type] = ()) -> Function:
+        function = Function(name, parameter_types)
+        function.is_external = True
+        self.program.add_function(function)
+        return function
+
+    def int_type(self, bits: int = 64) -> IntType:
+        return IntType(bits)
+
+    def finish(self) -> Program:
+        self.program.verify()
+        return self.program

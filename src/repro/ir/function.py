@@ -1,0 +1,126 @@
+"""Functions: named CFGs with parameters and annotation metadata."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import Call, Instruction
+from repro.ir.types import IntType, Type
+from repro.ir.values import Parameter
+
+
+class Function:
+    """A function: an entry block plus a set of named basic blocks.
+
+    Annotation metadata carried here (rather than at call sites) matches the
+    paper's design: "the programmer annotates Commutative based on the
+    definition of a function and not the many call sites it may have"
+    (Section 2.3.2).
+
+    Attributes:
+        commutative_group: if not ``None``, this function is *Commutative*;
+            functions sharing the string share internal state and must execute
+            atomically with respect to one another (e.g. ``"malloc"`` for
+            ``malloc``/``free``).
+        rollback: name of the function that undoes this one's effects, needed
+            when Commutative functions run under speculation (Section 2.3.2's
+            malloc → free example).
+        is_external: body-less functions (library calls) modelled only by the
+            side-effect summaries on their call sites.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parameter_types: Sequence[Type] = (),
+        parameter_names: Sequence[str] = (),
+        return_type: Optional[Type] = None,
+    ) -> None:
+        self.name = name
+        names = list(parameter_names) or [f"arg{i}" for i in range(len(parameter_types))]
+        if len(names) != len(parameter_types):
+            raise ValueError("parameter_names and parameter_types length mismatch")
+        self.parameters: List[Parameter] = [
+            Parameter(t, n, i) for i, (t, n) in enumerate(zip(parameter_types, names))
+        ]
+        self.return_type = return_type or IntType(64)
+        self._blocks: Dict[str, BasicBlock] = {}
+        self._block_order: List[str] = []
+        self.entry_name: Optional[str] = None
+        self.program = None  # back-pointer, set by Program.add_function
+        self.commutative_group: Optional[str] = None
+        self.rollback: Optional[str] = None
+        self.is_external = False
+
+    # -- block management -----------------------------------------------------
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if block.name in self._blocks:
+            raise ValueError(f"duplicate block name {block.name!r} in {self.name}")
+        block.function = self
+        self._blocks[block.name] = block
+        self._block_order.append(block.name)
+        if self.entry_name is None:
+            self.entry_name = block.name
+        return block
+
+    def new_block(self, name: str) -> BasicBlock:
+        return self.add_block(BasicBlock(name))
+
+    def block(self, name: str) -> BasicBlock:
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise KeyError(f"no block {name!r} in function {self.name}") from None
+
+    def has_block(self, name: str) -> bool:
+        return name in self._blocks
+
+    @property
+    def blocks(self) -> List[BasicBlock]:
+        return [self._blocks[name] for name in self._block_order]
+
+    @property
+    def entry(self) -> BasicBlock:
+        if self.entry_name is None:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self._blocks[self.entry_name]
+
+    # -- whole-function queries -------------------------------------------------
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def call_sites(self) -> List[Call]:
+        return [i for i in self.instructions() if isinstance(i, Call)]
+
+    def mark_commutative(self, group: Optional[str] = None, rollback: Optional[str] = None) -> None:
+        """Apply the *Commutative* annotation (Section 2.3.2)."""
+        self.commutative_group = group if group is not None else self.name
+        self.rollback = rollback
+
+    def verify(self) -> None:
+        """Check structural invariants; raise ``ValueError`` on violation."""
+        if self.is_external:
+            return
+        if self.entry_name is None:
+            raise ValueError(f"function {self.name} has no entry block")
+        for block in self.blocks:
+            if block.terminator is None:
+                raise ValueError(f"block {block.name} in {self.name} has no terminator")
+            for index, instruction in enumerate(block.instructions):
+                if instruction.is_terminator and index != len(block.instructions) - 1:
+                    raise ValueError(
+                        f"terminator {instruction!r} not last in block {block.name}"
+                    )
+            for successor in block.successor_names():
+                if successor not in self._blocks:
+                    raise ValueError(
+                        f"block {block.name} branches to unknown block {successor!r}"
+                    )
+
+    def __repr__(self) -> str:
+        tag = " commutative" if self.commutative_group else ""
+        return f"Function({self.name!r}, {len(self._blocks)} blocks{tag})"

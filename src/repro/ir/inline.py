@@ -1,0 +1,290 @@
+"""Call-site inlining: removing procedure boundaries (Section 2.2).
+
+"By using whole program optimization, procedure boundaries can be removed,
+giving the compiler the ability to both see and modify code, regardless of
+location in the program."  Inlining is also how the crafty case study
+"unrolls" recursion: :func:`specialize_recursion` clones ``Search`` one level
+deep so both the root loop and the first recursive level expose parallelism
+(Section 4.3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from copy import copy
+from typing import Dict, Optional
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloc,
+    BinOp,
+    Branch,
+    Call,
+    Instruction,
+    Jump,
+    Load,
+    Phi,
+    Return,
+    Store,
+    UnOp,
+    YBranch,
+)
+from repro.ir.program import Program
+from repro.ir.values import Constant, Value
+
+_inline_counter = itertools.count()
+
+
+class InliningError(ValueError):
+    """Raised when a call site cannot be inlined."""
+
+
+def inline_call(function: Function, call: Call) -> None:
+    """Inline ``call`` (which must live in ``function``) in place.
+
+    The callee's blocks are cloned with fresh names; its parameters are
+    substituted with the call's arguments; every ``Return`` is rewritten to a
+    jump to a continuation block.  Single-return value flow is forwarded by
+    operand substitution; multi-return callees get their result merged with a
+    Phi in the continuation block.
+    """
+    program = function.program
+    if program is None:
+        raise InliningError("function is not attached to a program")
+    if call.callee is None:
+        raise InliningError("cannot inline an indirect call")
+    callee = program.function(call.callee)
+    if callee.is_external:
+        raise InliningError(f"cannot inline external function {callee.name}")
+    if callee.commutative_group is not None:
+        raise InliningError(
+            f"refusing to inline Commutative function {callee.name}: its internal "
+            "dependences must stay hidden from the parallelizer"
+        )
+    if callee is function:
+        raise InliningError("direct self-inlining requires specialize_recursion")
+
+    site = call.block
+    if site is None or site.function is not function:
+        raise InliningError("call site is not inside the given function")
+
+    tag = f"inl{next(_inline_counter)}"
+    value_map: Dict[int, Value] = {}
+    for parameter, argument in zip(callee.parameters, call.operands):
+        value_map[parameter.id] = argument
+
+    block_map: Dict[str, str] = {
+        block.name: f"{tag}.{block.name}" for block in callee.blocks
+    }
+    continuation_name = f"{tag}.cont"
+
+    # Split the call site: instructions after the call move to the continuation.
+    call_index = site.instructions.index(call)
+    tail = site.instructions[call_index + 1:]
+    site.instructions = site.instructions[:call_index]
+
+    returns = []
+    for block in callee.blocks:
+        clone = function.new_block(block_map[block.name])
+        for instruction in block.instructions:
+            if isinstance(instruction, Return):
+                returns.append((clone, instruction, value_map))
+                continue
+            clone.append(_clone_instruction(instruction, value_map, block_map))
+
+    continuation = function.new_block(continuation_name)
+    for instruction in tail:
+        instruction.block = continuation
+        continuation.instructions.append(instruction)
+
+    # Wire returns to the continuation, merging return values.
+    return_values = []
+    for clone, ret, vmap in returns:
+        if ret.value is not None:
+            return_values.append((_mapped(ret.value, vmap), clone.name))
+        clone.append(Jump(continuation_name))
+
+    if call.result is not None and return_values:
+        if len(return_values) == 1:
+            replacement = return_values[0][0]
+        else:
+            phi = Phi(call.result.type, return_values, name=f"{tag}.ret")
+            continuation.insert(0, phi)
+            replacement = phi.result
+        _replace_uses(function, call.result, replacement)
+
+    site.append(Jump(block_map[callee.entry_name]))
+
+
+def specialize_recursion(function: Function, depth: int = 1) -> Function:
+    """"Unroll" recursion by cloning ``function`` ``depth`` levels deep.
+
+    Produces ``function@1 .. function@depth`` where level *k* calls level
+    *k+1* and the deepest level calls the original function, exactly the
+    transformation Section 4.3.1 applies to crafty's ``Search``.  Returns the
+    top-level specialized clone.
+    """
+    if depth < 1:
+        raise ValueError("specialization depth must be >= 1")
+    program = function.program
+    if program is None:
+        raise InliningError("function is not attached to a program")
+
+    previous_target = function.name
+    top: Optional[Function] = None
+    for level in range(depth, 0, -1):
+        clone = clone_function(function, f"{function.name}@{level}")
+        for call in clone.call_sites():
+            if call.callee == function.name:
+                call.callee = previous_target
+        program.add_function(clone)
+        previous_target = clone.name
+        top = clone
+    assert top is not None
+    return top
+
+
+def inline_loop_calls(program, loop, max_inlines: int = 16):
+    """Inline eligible call sites inside ``loop``; return the refreshed loop.
+
+    This is Section 2.2 in action: the parallelizer needs to "see and modify
+    code, regardless of location in the program", so calls within the target
+    loop are flattened into it before the PDG is built.  Commutative,
+    external, indirect and (self-)recursive callees stay opaque.  Because
+    inlining splits the call's block, the loop is re-discovered by header
+    name after every inline.
+    """
+    from repro.ir.loops import find_loops
+
+    function = loop.function
+    program_ref = program or function.program
+    header_name = loop.header.name
+    inlined = 0
+
+    while inlined < max_inlines:
+        candidate = None
+        for call in function.call_sites():
+            if call.block is None or call.block.name not in loop.blocks:
+                continue
+            if call.callee is None or not program_ref.has_function(call.callee):
+                continue
+            callee = program_ref.function(call.callee)
+            if callee.is_external or callee.commutative_group is not None:
+                continue
+            if callee is function:
+                continue
+            candidate = call
+            break
+        if candidate is None:
+            break
+        inline_call(function, candidate)
+        inlined += 1
+        nest = find_loops(function)
+        refreshed = nest.loop_with_header(header_name)
+        if refreshed is None:
+            raise InliningError(
+                f"loop header {header_name!r} vanished during inlining"
+            )
+        loop = refreshed
+    return loop
+
+
+def clone_function(function: Function, new_name: str) -> Function:
+    """Deep-copy ``function`` under ``new_name`` with fresh registers."""
+    clone = Function(
+        new_name,
+        [p.type for p in function.parameters],
+        [p.name for p in function.parameters],
+        function.return_type,
+    )
+    clone.commutative_group = function.commutative_group
+    clone.rollback = function.rollback
+    value_map: Dict[int, Value] = {
+        old.id: new for old, new in zip(function.parameters, clone.parameters)
+    }
+    identity_blocks = {block.name: block.name for block in function.blocks}
+    for block in function.blocks:
+        new_block = clone.new_block(block.name)
+        for instruction in block.instructions:
+            new_block.append(_clone_instruction(instruction, value_map, identity_blocks))
+    clone.entry_name = function.entry_name
+    return clone
+
+
+# -- cloning machinery -------------------------------------------------------------
+
+
+def _mapped(value: Value, value_map: Dict[int, Value]) -> Value:
+    return value_map.get(value.id, value)
+
+
+def _replace_uses(function: Function, old: Value, new: Value) -> None:
+    for instruction in function.instructions():
+        instruction.replace_operand(old, new)
+
+
+def _clone_instruction(
+    instruction: Instruction,
+    value_map: Dict[int, Value],
+    block_map: Dict[str, str],
+) -> Instruction:
+    """Clone one instruction, remapping operands and branch targets.
+
+    The clone's result register is recorded in ``value_map`` so later clones
+    see it.
+    """
+    ops = [_mapped(op, value_map) for op in instruction.operands]
+
+    if isinstance(instruction, BinOp):
+        clone: Instruction = BinOp(instruction.op, ops[0], ops[1], cost=instruction.cost)
+    elif isinstance(instruction, UnOp):
+        clone = UnOp(instruction.op, ops[0], cost=instruction.cost)
+    elif isinstance(instruction, Load):
+        clone = Load(ops[0], instruction.may_access, cost=instruction.cost)
+        clone.speculative_safe = instruction.speculative_safe
+    elif isinstance(instruction, Store):
+        clone = Store(ops[0], ops[1], instruction.may_access, cost=instruction.cost)
+        clone.maybe_silent = instruction.maybe_silent
+    elif isinstance(instruction, Alloc):
+        clone = Alloc(cost=instruction.cost)
+    elif isinstance(instruction, Call):
+        clone = Call(
+            instruction.callee, ops, cost=instruction.cost,
+            may_call=instruction.may_call,
+        )
+        clone.reads = list(instruction.reads)
+        clone.writes = list(instruction.writes)
+    elif isinstance(instruction, Phi):
+        incoming = [
+            (value, block_map.get(block, block))
+            for value, block in zip(ops, instruction.incoming_blocks)
+        ]
+        clone = Phi(instruction.result.type, incoming)
+    elif isinstance(instruction, YBranch):
+        clone = YBranch(
+            ops[0],
+            block_map.get(instruction.true_target, instruction.true_target),
+            block_map.get(instruction.false_target, instruction.false_target),
+            probability=instruction.probability,
+            cost=instruction.cost,
+        )
+    elif isinstance(instruction, Branch):
+        clone = Branch(
+            ops[0],
+            block_map.get(instruction.true_target, instruction.true_target),
+            block_map.get(instruction.false_target, instruction.false_target),
+            cost=instruction.cost,
+        )
+    elif isinstance(instruction, Jump):
+        clone = Jump(block_map.get(instruction.target, instruction.target))
+    elif isinstance(instruction, Return):
+        clone = Return(ops[0] if ops else None)
+    else:
+        clone = copy(instruction)
+        clone.operands = ops
+        clone.block = None
+
+    if instruction.result is not None and clone.result is not None:
+        value_map[instruction.result.id] = clone.result
+    return clone

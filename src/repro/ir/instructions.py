@@ -1,0 +1,375 @@
+"""IR instructions.
+
+The instruction set is register-based with explicit loads and stores.  Two
+instructions implement the paper's sequential-model extensions directly in the
+IR: :class:`YBranch` (Section 2.3.1) and :class:`CommutativeMarker`
+(Section 2.3.2).  Every instruction carries a ``cost`` — the abstract work
+units the profiler attributes to one dynamic execution — which stands in for
+the paper's pfmon cycle measurements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence
+
+from repro.ir.types import BoolType, IntType, PointerType, Type, VoidType
+from repro.ir.values import Constant, MemoryObject, Value, VirtualRegister
+
+_instruction_ids = itertools.count()
+
+#: Binary operators understood by :class:`BinOp`.
+BINARY_OPERATORS = {
+    "add", "sub", "mul", "div", "mod",
+    "and", "or", "xor", "shl", "shr",
+    "eq", "ne", "lt", "le", "gt", "ge",
+}
+
+#: Unary operators understood by :class:`UnOp`.
+UNARY_OPERATORS = {"neg", "not"}
+
+_COMPARISONS = {"eq", "ne", "lt", "le", "gt", "ge"}
+
+
+class Instruction:
+    """Base class for all instructions.
+
+    Attributes:
+        operands: the values this instruction reads.
+        result: the :class:`VirtualRegister` it defines, or ``None``.
+        block: back-pointer to the containing basic block (set on insertion).
+        cost: abstract work units for one dynamic execution (default 1).
+    """
+
+    #: Subclasses that end a basic block set this.
+    is_terminator = False
+
+    def __init__(
+        self,
+        operands: Sequence[Value],
+        result_type: Optional[Type] = None,
+        name: str = "",
+        cost: int = 1,
+    ) -> None:
+        self.id = next(_instruction_ids)
+        self.operands: List[Value] = list(operands)
+        self.block = None
+        self.cost = cost
+        if result_type is None or isinstance(result_type, VoidType):
+            self.result: Optional[VirtualRegister] = None
+        else:
+            self.result = VirtualRegister(result_type, name=name or f"t{self.id}")
+            self.result.defining_instruction = self
+
+    # -- structural queries used by analyses ---------------------------------
+
+    @property
+    def reads_memory(self) -> bool:
+        return False
+
+    @property
+    def writes_memory(self) -> bool:
+        return False
+
+    def memory_objects(self) -> List[MemoryObject]:
+        """Abstract locations this instruction may touch (empty if none)."""
+        return []
+
+    def register_uses(self) -> List[Value]:
+        """The non-constant values read through registers."""
+        return [op for op in self.operands if not isinstance(op, Constant)]
+
+    def replace_operand(self, old: Value, new: Value) -> int:
+        """Replace every use of ``old`` with ``new``; return the count."""
+        count = 0
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.operands[i] = new
+                count += 1
+        return count
+
+    def opcode(self) -> str:
+        return type(self).__name__.lower()
+
+    def __repr__(self) -> str:
+        res = f"{self.result} = " if self.result is not None else ""
+        ops = ", ".join(str(op) for op in self.operands)
+        return f"{res}{self.opcode()} {ops}".strip()
+
+
+class BinOp(Instruction):
+    """``result = lhs <op> rhs`` for ``op`` in :data:`BINARY_OPERATORS`."""
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, name: str = "", cost: int = 1) -> None:
+        if op not in BINARY_OPERATORS:
+            raise ValueError(f"unknown binary operator {op!r}")
+        result_type: Type = BoolType() if op in _COMPARISONS else lhs.type
+        super().__init__([lhs, rhs], result_type, name=name, cost=cost)
+        self.op = op
+
+    def opcode(self) -> str:
+        return self.op
+
+
+class UnOp(Instruction):
+    """``result = <op> operand`` for ``op`` in :data:`UNARY_OPERATORS`."""
+
+    def __init__(self, op: str, operand: Value, name: str = "", cost: int = 1) -> None:
+        if op not in UNARY_OPERATORS:
+            raise ValueError(f"unknown unary operator {op!r}")
+        super().__init__([operand], operand.type, name=name, cost=cost)
+        self.op = op
+
+    def opcode(self) -> str:
+        return self.op
+
+
+class Load(Instruction):
+    """``result = load address`` — may read any of ``may_access``.
+
+    ``may_access`` is the static over-approximation the front end knows;
+    the alias analysis refines it.  ``speculative_safe`` marks loads that a
+    control-speculation transformation may hoist.
+    """
+
+    def __init__(
+        self,
+        address: Value,
+        may_access: Sequence[MemoryObject],
+        name: str = "",
+        cost: int = 1,
+        result_type: Optional[Type] = None,
+    ) -> None:
+        super().__init__([address], result_type or IntType(64), name=name, cost=cost)
+        self.may_access = list(may_access)
+        self.speculative_safe = False
+
+    @property
+    def reads_memory(self) -> bool:
+        return True
+
+    def memory_objects(self) -> List[MemoryObject]:
+        return list(self.may_access)
+
+    def __repr__(self) -> str:
+        objs = ",".join(str(o) for o in self.may_access)
+        return f"{self.result} = load {self.operands[0]} [{objs}]"
+
+
+class Store(Instruction):
+    """``store value -> address`` — may write any of ``may_access``.
+
+    ``maybe_silent`` marks stores the silent-store analysis (Lepak & Lipasti,
+    cited in Section 2.1) found frequently write back an unchanged value; the
+    speculation manager will not count them as alias-misspeculation sources.
+    """
+
+    def __init__(
+        self,
+        value: Value,
+        address: Value,
+        may_access: Sequence[MemoryObject],
+        cost: int = 1,
+    ) -> None:
+        super().__init__([value, address], None, cost=cost)
+        self.may_access = list(may_access)
+        self.maybe_silent = False
+
+    @property
+    def writes_memory(self) -> bool:
+        return True
+
+    def memory_objects(self) -> List[MemoryObject]:
+        return list(self.may_access)
+
+    def __repr__(self) -> str:
+        objs = ",".join(str(o) for o in self.may_access)
+        return f"store {self.operands[0]} -> {self.operands[1]} [{objs}]"
+
+
+class Alloc(Instruction):
+    """Allocate a fresh object; defines a pointer and a memory object.
+
+    Each static ``Alloc`` is one allocation *site*; all objects it creates
+    share one :class:`MemoryObject`, matching allocation-site-based points-to.
+    """
+
+    def __init__(self, name: str = "", cost: int = 1) -> None:
+        super().__init__([], PointerType(IntType(64)), name=name, cost=cost)
+        self.object = MemoryObject(name or f"alloc{self.id}", allocation_site=self)
+
+    @property
+    def writes_memory(self) -> bool:
+        return True
+
+    def memory_objects(self) -> List[MemoryObject]:
+        return [self.object]
+
+    def __repr__(self) -> str:
+        return f"{self.result} = alloc {self.object}"
+
+
+class Call(Instruction):
+    """``result = call callee(args...)``.
+
+    ``callee`` is a function name resolved through the program's function
+    table; indirect calls carry ``callee=None`` plus a ``may_call`` set.  The
+    side-effect summary (``reads``/``writes``) is filled by the interprocedural
+    analysis or supplied directly for external functions.
+    """
+
+    def __init__(
+        self,
+        callee: Optional[str],
+        args: Sequence[Value],
+        name: str = "",
+        result_type: Optional[Type] = None,
+        cost: int = 1,
+        may_call: Sequence[str] = (),
+    ) -> None:
+        super().__init__(list(args), result_type or IntType(64), name=name, cost=cost)
+        self.callee = callee
+        self.may_call = list(may_call)
+        self.reads: List[MemoryObject] = []
+        self.writes: List[MemoryObject] = []
+
+    @property
+    def reads_memory(self) -> bool:
+        return bool(self.reads)
+
+    @property
+    def writes_memory(self) -> bool:
+        return bool(self.writes)
+
+    def memory_objects(self) -> List[MemoryObject]:
+        seen = {}
+        for obj in self.reads + self.writes:
+            seen[obj.id] = obj
+        return list(seen.values())
+
+    def __repr__(self) -> str:
+        res = f"{self.result} = " if self.result is not None else ""
+        args = ", ".join(str(a) for a in self.operands)
+        return f"{res}call {self.callee or '<indirect>'}({args})"
+
+
+class Phi(Instruction):
+    """SSA merge: ``result = phi [(value, predecessor-block-name), ...]``."""
+
+    def __init__(self, type_: Type, incoming, name: str = "") -> None:
+        values = [value for value, _ in incoming]
+        super().__init__(values, type_, name=name, cost=0)
+        self.incoming_blocks = [block for _, block in incoming]
+
+    def incoming(self):
+        return list(zip(self.operands, self.incoming_blocks))
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"[{v}, {b}]" for v, b in self.incoming())
+        return f"{self.result} = phi {pairs}"
+
+
+class Branch(Instruction):
+    """Conditional branch: ``br condition, true_target, false_target``."""
+
+    is_terminator = True
+
+    def __init__(self, condition: Value, true_target: str, false_target: str, cost: int = 1) -> None:
+        super().__init__([condition], None, cost=cost)
+        self.true_target = true_target
+        self.false_target = false_target
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    def targets(self) -> List[str]:
+        return [self.true_target, self.false_target]
+
+    def __repr__(self) -> str:
+        return f"br {self.condition}, {self.true_target}, {self.false_target}"
+
+
+class YBranch(Branch):
+    """The paper's Y-branch (Section 2.3.1).
+
+    Semantics: for *any* dynamic instance, taking the true path is legal
+    regardless of the condition.  ``probability`` is the hint that tells the
+    compiler how often the true path *should* fire (Figure 1 uses ``.00001``
+    to mean "restart the dictionary no more than once per 100 000 input
+    characters").  The partitioner uses this to break the control dependence
+    this branch would otherwise induce.
+    """
+
+    def __init__(
+        self,
+        condition: Value,
+        true_target: str,
+        false_target: str,
+        probability: float = 0.0,
+        cost: int = 1,
+    ) -> None:
+        super().__init__(condition, true_target, false_target, cost=cost)
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"Y-branch probability must be in [0,1], got {probability}")
+        self.probability = probability
+
+    def __repr__(self) -> str:
+        return (
+            f"ybranch(p={self.probability}) {self.condition}, "
+            f"{self.true_target}, {self.false_target}"
+        )
+
+
+class CommutativeMarker(Instruction):
+    """Marks a call site as calling a *Commutative* function (Section 2.3.2).
+
+    In practice the annotation lives on the function definition
+    (:class:`repro.ir.function.Function.commutative_group`); this marker exists
+    for front ends that want to annotate call sites produced before the callee
+    is known.  ``group`` names the shared internal state (e.g. ``"malloc"``
+    groups ``malloc``/``free``).
+    """
+
+    def __init__(self, call: Call, group: str) -> None:
+        super().__init__([], None, cost=0)
+        self.call = call
+        self.group = group
+
+    def __repr__(self) -> str:
+        return f"commutative<{self.group}> {self.call!r}"
+
+
+class Jump(Instruction):
+    """Unconditional branch."""
+
+    is_terminator = True
+
+    def __init__(self, target: str) -> None:
+        super().__init__([], None, cost=1)
+        self.target = target
+
+    def targets(self) -> List[str]:
+        return [self.target]
+
+    def __repr__(self) -> str:
+        return f"jmp {self.target}"
+
+
+class Return(Instruction):
+    """Return from the enclosing function, optionally with a value."""
+
+    is_terminator = True
+
+    def __init__(self, value: Optional[Value] = None) -> None:
+        super().__init__([value] if value is not None else [], None, cost=1)
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    def targets(self) -> List[str]:
+        return []
+
+    def __repr__(self) -> str:
+        return f"ret {self.value}" if self.operands else "ret"

@@ -1,0 +1,214 @@
+"""A reference interpreter for the IR.
+
+Gives the IR executable semantics, which the test suite uses to prove that
+the :mod:`repro.ir.transforms` passes are behavior-preserving (compile the
+same function optimized and unoptimized, compare results) and that the gcc
+workload's generated code computes what its source says.
+
+Memory is a flat ``{(object name, key): value}`` store; loads and stores use
+the *first* declared may-access object as the concrete location (the
+front ends built here always declare exact objects).  Calls dispatch through
+the program's function table.  Y-branches honor their condition (sequential
+semantics) unless a ``ybranch_forced_true`` predicate is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloc,
+    BinOp,
+    Branch,
+    Call,
+    Jump,
+    Load,
+    Phi,
+    Return,
+    Store,
+    UnOp,
+    YBranch,
+)
+from repro.ir.program import Program
+from repro.ir.values import Constant, Parameter, UndefValue, Value
+
+_BINARY = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a // b if b else 0,
+    "mod": lambda a, b: a % b if b else 0,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << b,
+    "shr": lambda a, b: a >> b,
+    "eq": lambda a, b: int(a == b),
+    "ne": lambda a, b: int(a != b),
+    "lt": lambda a, b: int(a < b),
+    "le": lambda a, b: int(a <= b),
+    "gt": lambda a, b: int(a > b),
+    "ge": lambda a, b: int(a >= b),
+}
+
+
+class InterpreterError(RuntimeError):
+    """Raised on ill-formed IR or runaway execution."""
+
+
+class Interpreter:
+    """Executes IR functions against a shared memory dictionary."""
+
+    def __init__(
+        self,
+        program: Optional[Program] = None,
+        memory: Optional[Dict[Tuple[str, Hashable], int]] = None,
+        max_steps: int = 1_000_000,
+        ybranch_forced_true: Optional[Callable[[YBranch, int], bool]] = None,
+        observer=None,
+    ) -> None:
+        """``observer``, when given, receives execution events — see
+        :class:`repro.ir.profile_collector.ProfileObserver` for the protocol
+        (``on_block``, ``on_branch``, ``on_define``, ``on_memory``)."""
+        self.program = program
+        self.memory: Dict[Tuple[str, Hashable], int] = memory if memory is not None else {}
+        self.max_steps = max_steps
+        self.steps = 0
+        self.ybranch_forced_true = ybranch_forced_true
+        self.observer = observer
+        self._ybranch_instances: Dict[int, int] = {}
+
+    def run_function(self, function: Function, arguments: List[int]) -> Optional[int]:
+        if len(arguments) != len(function.parameters):
+            raise InterpreterError(
+                f"{function.name} expects {len(function.parameters)} arguments"
+            )
+        registers: Dict[int, int] = {}
+        for parameter, argument in zip(function.parameters, arguments):
+            registers[parameter.id] = argument
+
+        block = function.entry
+        previous_block_name: Optional[str] = None
+
+        while True:
+            # Phis evaluate simultaneously against the incoming edge.
+            phi_values: Dict[int, int] = {}
+            for phi in block.phis():
+                value = None
+                for incoming_value, incoming_block in phi.incoming():
+                    if incoming_block == previous_block_name:
+                        value = self._value(incoming_value, registers)
+                        break
+                if value is None and previous_block_name is not None:
+                    raise InterpreterError(
+                        f"phi {phi!r} has no incoming value from {previous_block_name}"
+                    )
+                phi_values[phi.result.id] = value if value is not None else 0
+            registers.update(phi_values)
+
+            jump_target: Optional[str] = None
+            for instruction in block.non_phi_instructions():
+                self.steps += 1
+                if self.steps > self.max_steps:
+                    raise InterpreterError("step budget exhausted (endless loop?)")
+
+                if isinstance(instruction, BinOp):
+                    lhs = self._value(instruction.operands[0], registers)
+                    rhs = self._value(instruction.operands[1], registers)
+                    result = _BINARY[instruction.op](lhs, rhs)
+                    registers[instruction.result.id] = result
+                    if self.observer is not None:
+                        self.observer.on_define(instruction, result)
+                elif isinstance(instruction, UnOp):
+                    operand = self._value(instruction.operands[0], registers)
+                    result = -operand if instruction.op == "neg" else ~operand
+                    registers[instruction.result.id] = result
+                    if self.observer is not None:
+                        self.observer.on_define(instruction, result)
+                elif isinstance(instruction, Load):
+                    location = self._location(instruction, registers)
+                    result = self.memory.get(location, 0)
+                    registers[instruction.result.id] = result
+                    if self.observer is not None:
+                        self.observer.on_memory(instruction, location, is_store=False)
+                        self.observer.on_define(instruction, result)
+                elif isinstance(instruction, Store):
+                    location = self._location(instruction, registers)
+                    self.memory[location] = self._value(instruction.operands[0], registers)
+                    if self.observer is not None:
+                        self.observer.on_memory(instruction, location, is_store=True)
+                elif isinstance(instruction, Alloc):
+                    registers[instruction.result.id] = instruction.object.id
+                elif isinstance(instruction, Call):
+                    result = self._call(instruction, registers)
+                    if instruction.result is not None:
+                        registers[instruction.result.id] = result if result is not None else 0
+                elif isinstance(instruction, YBranch):
+                    condition = bool(self._value(instruction.condition, registers))
+                    count = self._ybranch_instances.get(instruction.id, 0) + 1
+                    self._ybranch_instances[instruction.id] = count
+                    forced = (
+                        self.ybranch_forced_true is not None
+                        and self.ybranch_forced_true(instruction, count)
+                    )
+                    taken = condition or forced
+                    jump_target = instruction.true_target if taken else instruction.false_target
+                    break
+                elif isinstance(instruction, Branch):
+                    condition = self._value(instruction.condition, registers)
+                    if self.observer is not None:
+                        self.observer.on_branch(instruction, bool(condition))
+                    jump_target = (
+                        instruction.true_target if condition else instruction.false_target
+                    )
+                    break
+                elif isinstance(instruction, Jump):
+                    jump_target = instruction.target
+                    break
+                elif isinstance(instruction, Return):
+                    if instruction.value is None:
+                        return None
+                    return self._value(instruction.value, registers)
+                else:
+                    raise InterpreterError(f"cannot interpret {instruction!r}")
+
+            if jump_target is None:
+                raise InterpreterError(f"block {block.name} fell through")
+            previous_block_name = block.name
+            block = function.block(jump_target)
+            if self.observer is not None:
+                self.observer.on_block(function, block.name)
+
+    def _call(self, call: Call, registers: Dict[int, int]) -> Optional[int]:
+        if self.program is None or call.callee is None:
+            raise InterpreterError(f"cannot resolve call {call!r}")
+        callee = self.program.function(call.callee)
+        if callee.is_external:
+            raise InterpreterError(f"cannot interpret external {callee.name}")
+        arguments = [self._value(op, registers) for op in call.operands]
+        return self.run_function(callee, arguments)
+
+    def _value(self, value: Value, registers: Dict[int, int]) -> int:
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, UndefValue):
+            raise InterpreterError("read of undef value")
+        if value.id in registers:
+            return registers[value.id]
+        raise InterpreterError(f"use of undefined value {value!r}")
+
+    def _location(self, instruction, registers) -> Tuple[str, Hashable]:
+        objects = instruction.memory_objects()
+        if not objects:
+            raise InterpreterError(f"{instruction!r} declares no memory object")
+        target = objects[0]
+        return (target.name, target.field or None)
+
+
+def run_program(program: Program, arguments: List[int] = (),
+                function: Optional[str] = None) -> Optional[int]:
+    """Convenience: interpret ``function`` (default: main) of ``program``."""
+    interpreter = Interpreter(program)
+    target = program.function(function) if function else program.main
+    return interpreter.run_function(target, list(arguments))

@@ -1,0 +1,162 @@
+"""Natural-loop discovery and loop-nest trees.
+
+The framework must "find, analyze, and optimize a loop without regard to its
+position in the code" (Section 2.2), so loops are first-class: a
+:class:`Loop` knows its header, body blocks, back edges, exits, and nesting.
+Detection uses the classic dominator-based natural-loop construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+
+
+class Loop:
+    """One natural loop.
+
+    Attributes:
+        header: the unique entry block.
+        blocks: all blocks in the loop body (header included).
+        latches: blocks with a back edge to the header.
+        parent: enclosing loop, or ``None`` for top-level loops.
+        children: immediately nested loops.
+    """
+
+    def __init__(self, header: BasicBlock) -> None:
+        self.header = header
+        self.blocks: Set[str] = {header.name}
+        self.latches: List[BasicBlock] = []
+        self.parent: Optional["Loop"] = None
+        self.children: List["Loop"] = []
+
+    @property
+    def function(self) -> Function:
+        return self.header.function
+
+    def contains_block(self, name: str) -> bool:
+        return name in self.blocks
+
+    def body_blocks(self) -> List[BasicBlock]:
+        function = self.function
+        return [function.block(name) for name in sorted(self.blocks)]
+
+    def exit_edges(self) -> List[tuple]:
+        """(from_block, to_block_name) pairs leaving the loop."""
+        edges = []
+        for block in self.body_blocks():
+            for successor in block.successor_names():
+                if successor not in self.blocks:
+                    edges.append((block, successor))
+        return edges
+
+    @property
+    def depth(self) -> int:
+        depth, loop = 0, self.parent
+        while loop is not None:
+            depth += 1
+            loop = loop.parent
+        return depth
+
+    def instructions(self):
+        for block in self.body_blocks():
+            yield from block.instructions
+
+    def __repr__(self) -> str:
+        return f"Loop(header={self.header.name!r}, {len(self.blocks)} blocks, depth={self.depth})"
+
+
+class LoopNest:
+    """All loops of one function, organized as a forest by nesting."""
+
+    def __init__(self, function: Function, loops: List[Loop]) -> None:
+        self.function = function
+        self.loops = loops
+
+    @property
+    def top_level(self) -> List[Loop]:
+        return [loop for loop in self.loops if loop.parent is None]
+
+    def loop_with_header(self, header_name: str) -> Optional[Loop]:
+        for loop in self.loops:
+            if loop.header.name == header_name:
+                return loop
+        return None
+
+    def innermost_containing(self, block_name: str) -> Optional[Loop]:
+        best: Optional[Loop] = None
+        for loop in self.loops:
+            if loop.contains_block(block_name):
+                if best is None or loop.depth > best.depth:
+                    best = loop
+        return best
+
+    def outermost(self) -> Optional[Loop]:
+        """The largest top-level loop — where Section 2.2 says parallelism lives."""
+        candidates = self.top_level
+        if not candidates:
+            return None
+        return max(candidates, key=lambda loop: len(loop.blocks))
+
+    def __iter__(self):
+        return iter(self.loops)
+
+    def __len__(self) -> int:
+        return len(self.loops)
+
+
+def find_loops(function: Function) -> LoopNest:
+    """Discover all natural loops of ``function``.
+
+    A back edge is an edge ``latch -> header`` where ``header`` dominates
+    ``latch``; the natural loop is the header plus all blocks that reach the
+    latch without passing through the header.  Loops sharing a header are
+    merged (as in LLVM), and nesting is established by body containment.
+    """
+    # Imported here, not at module top: repro.analysis depends on repro.ir,
+    # so a top-level import would be circular.
+    from repro.analysis.dominators import DominatorTree
+
+    dom = DominatorTree(function)
+    loops_by_header: Dict[str, Loop] = {}
+
+    for block in function.blocks:
+        for successor in block.successors():
+            if dom.dominates(successor.name, block.name):
+                loop = loops_by_header.setdefault(successor.name, Loop(successor))
+                loop.latches.append(block)
+                _grow_natural_loop(loop, block, successor)
+
+    loops = list(loops_by_header.values())
+    _establish_nesting(loops)
+    return LoopNest(function, loops)
+
+
+def _grow_natural_loop(loop: Loop, latch: BasicBlock, header: BasicBlock) -> None:
+    """Add to ``loop`` every block that reaches ``latch`` avoiding ``header``."""
+    stack = [latch]
+    while stack:
+        block = stack.pop()
+        if block.name in loop.blocks:
+            continue
+        loop.blocks.add(block.name)
+        for predecessor in block.predecessors():
+            if predecessor.name != header.name:
+                stack.append(predecessor)
+
+
+def _establish_nesting(loops: List[Loop]) -> None:
+    """Set parent/children pointers: the parent is the smallest strict superset."""
+    for loop in loops:
+        parent: Optional[Loop] = None
+        for candidate in loops:
+            if candidate is loop:
+                continue
+            if loop.blocks < candidate.blocks:
+                if parent is None or candidate.blocks < parent.blocks:
+                    parent = candidate
+        loop.parent = parent
+        if parent is not None:
+            parent.children.append(loop)

@@ -1,0 +1,42 @@
+"""Stable textual dumps of IR, for tests, debugging and documentation."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.program import Program
+
+
+def format_function(function: Function) -> str:
+    """Render a function as readable pseudo-assembly."""
+    params = ", ".join(f"{p.type} %{p.name}" for p in function.parameters)
+    lines: List[str] = []
+    tags = []
+    if function.commutative_group is not None:
+        tags.append(f"commutative({function.commutative_group})")
+    if function.rollback:
+        tags.append(f"rollback={function.rollback}")
+    if function.is_external:
+        tags.append("external")
+    suffix = ("  ; " + " ".join(tags)) if tags else ""
+    lines.append(f"func {function.name}({params}) -> {function.return_type}{suffix}")
+    if function.is_external:
+        return "\n".join(lines)
+    for block in function.blocks:
+        marker = " (entry)" if block.name == function.entry_name else ""
+        lines.append(f"{block.name}:{marker}")
+        for instruction in block.instructions:
+            lines.append(f"  {instruction!r}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program, globals first."""
+    lines: List[str] = [f"; program {program.name}"]
+    for var in program.globals:
+        lines.append(f"global {var}")
+    for function in program.functions:
+        lines.append("")
+        lines.append(format_function(function))
+    return "\n".join(lines)

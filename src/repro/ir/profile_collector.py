@@ -1,0 +1,150 @@
+"""Execution-based profile collection for the IR route.
+
+The trace route profiles live Python workloads; this module does the same
+for IR programs: run the program through the interpreter with an observer
+attached and harvest exactly the three profiles
+:func:`repro.speculation.manager.speculate_pdg` consumes:
+
+- **branch bias** per branch block (control speculation candidates);
+- **value predictability** per defining register (value speculation);
+- **loop-carried memory conflict rates** per (store, load) instruction pair
+  of the target loop — the fraction of the loop's iterations on which the
+  load actually consumed a value stored in an *earlier* iteration, which is
+  precisely the misspeculation rate alias speculation would pay.
+
+The collected profiles are packaged in the same classes the trace route
+uses (:class:`~repro.profiling.branch_profile.BranchProfile`,
+:class:`~repro.profiling.value_profile.ValueProfile`), so one speculation
+engine serves both front doors.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, YBranch
+from repro.ir.interp import Interpreter
+from repro.ir.loops import Loop
+from repro.ir.program import Program
+from repro.profiling.branch_profile import BranchProfile
+from repro.profiling.tracer import Tracer
+from repro.profiling.value_profile import ValueProfile
+
+
+class ProfileObserver:
+    """Interpreter observer accumulating raw events for one target loop."""
+
+    #: A dependence on a store more than this many iterations back is served
+    #: by committed state, not a speculative version — it cannot misspeculate
+    #: (matches the speculation window of the 32-core machine).
+    window = 32
+
+    def __init__(self, loop: Optional[Loop]) -> None:
+        self.loop = loop
+        self._loop_function = loop.function if loop is not None else None
+        self._header = loop.header.name if loop is not None else None
+        self._body_ids = (
+            {i.id for i in loop.instructions()} if loop is not None else set()
+        )
+        self.iteration = 0
+        self.branch_outcomes: Dict[str, List[bool]] = defaultdict(list)
+        self.value_observations: Dict[str, List[int]] = defaultdict(list)
+        #: location -> (iteration, store instruction id) of the last write
+        self._last_store: Dict[Tuple[str, object], Tuple[int, int]] = {}
+        #: (store id, load id) -> set of iterations where the dependence
+        #: crossed an iteration boundary
+        self.carried_conflicts: Dict[Tuple[int, int], set] = defaultdict(set)
+
+    # -- Interpreter protocol -------------------------------------------------------
+
+    def on_block(self, function: Function, block_name: str) -> None:
+        if self._loop_function is function and block_name == self._header:
+            self.iteration += 1
+
+    def on_branch(self, instruction, taken: bool) -> None:
+        block = instruction.block
+        if block is None:
+            return
+        site = block.name
+        self.branch_outcomes[site].append(taken)
+
+    def on_define(self, instruction: Instruction, value: int) -> None:
+        if instruction.result is None or instruction.id not in self._body_ids:
+            return
+        self.value_observations[instruction.result.name].append(value)
+
+    def on_memory(self, instruction: Instruction, location, is_store: bool) -> None:
+        if is_store:
+            self._last_store[location] = (self.iteration, instruction.id)
+            return
+        writer = self._last_store.get(location)
+        if writer is None:
+            return
+        writer_iteration, writer_id = writer
+        if (
+            writer_iteration < self.iteration
+            and self.iteration - writer_iteration <= self.window
+            and writer_id in self._body_ids
+            and instruction.id in self._body_ids
+        ):
+            self.carried_conflicts[(writer_id, instruction.id)].add(self.iteration)
+
+
+@dataclass
+class IRProfiles:
+    """Everything speculate_pdg needs, harvested from one execution."""
+
+    branch_profile: BranchProfile
+    value_profile: ValueProfile
+    memory_conflict_rates: Dict[Tuple[int, int], float]
+    iterations: int
+    return_value: Optional[int] = None
+
+
+def collect_profiles(
+    program: Program,
+    loop: Loop,
+    *,
+    entry: Optional[str] = None,
+    arguments: Sequence[int] = (),
+    max_steps: int = 5_000_000,
+) -> IRProfiles:
+    """Run ``program`` (from ``entry`` or its main) and profile ``loop``.
+
+    Branch bias covers the whole run; value observations and conflict rates
+    are scoped to the loop's body instructions.  Loop-carried conflict rates
+    are occurrences / iterations — the alias-speculation misspeculation
+    rate.
+    """
+    observer = ProfileObserver(loop)
+    interpreter = Interpreter(program, max_steps=max_steps, observer=observer)
+    target = program.function(entry) if entry else program.main
+    result = interpreter.run_function(target, list(arguments))
+
+    # Package the raw events through the trace-route profile classes.
+    tracer = Tracer()
+    with tracer.task("B", 0):
+        tracer.work(1)
+        for site, outcomes in observer.branch_outcomes.items():
+            for taken in outcomes:
+                tracer.branch(site, taken)
+        for site, values in observer.value_observations.items():
+            for value in values:
+                tracer.value(site, value)
+    trace = tracer.finish()
+
+    iterations = max(observer.iteration, 1)
+    rates = {
+        pair: len(iterations_hit) / iterations
+        for pair, iterations_hit in observer.carried_conflicts.items()
+    }
+    return IRProfiles(
+        branch_profile=BranchProfile(trace),
+        value_profile=ValueProfile(trace),
+        memory_conflict_rates=rates,
+        iterations=observer.iteration,
+        return_value=result,
+    )

@@ -1,0 +1,111 @@
+"""Programs: whole-program containers giving the framework its global scope."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.ir.function import Function
+from repro.ir.values import GlobalVariable
+
+
+class Program:
+    """A whole program: functions plus global memory objects.
+
+    Section 2.2 of the paper argues that parallelism in SPEC CINT2000 lives
+    "at or close to the outermost application loop", so the compiler needs the
+    whole program in view.  :class:`Program` is the unit every interprocedural
+    analysis (call graph, points-to, side-effect summaries) and transformation
+    (inlining, region formation) operates on.
+    """
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._functions: Dict[str, Function] = {}
+        self._globals: Dict[str, GlobalVariable] = {}
+        self.main_name: Optional[str] = None
+
+    # -- functions ---------------------------------------------------------------
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self._functions:
+            raise ValueError(f"duplicate function {function.name!r}")
+        function.program = self
+        self._functions[function.name] = function
+        if self.main_name is None and not function.is_external:
+            self.main_name = function.name
+        return function
+
+    def function(self, name: str) -> Function:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError(f"no function {name!r} in program {self.name}") from None
+
+    def has_function(self, name: str) -> bool:
+        return name in self._functions
+
+    @property
+    def functions(self) -> List[Function]:
+        return list(self._functions.values())
+
+    @property
+    def main(self) -> Function:
+        if self.main_name is None:
+            raise ValueError(f"program {self.name} has no functions")
+        return self._functions[self.main_name]
+
+    def set_main(self, name: str) -> None:
+        if name not in self._functions:
+            raise KeyError(f"no function {name!r}")
+        self.main_name = name
+
+    # -- globals -----------------------------------------------------------------
+
+    def add_global(self, name: str, *, field: str = "") -> GlobalVariable:
+        key = f"{name}.{field}" if field else name
+        if key in self._globals:
+            return self._globals[key]
+        var = GlobalVariable(name, field=field)
+        self._globals[key] = var
+        return var
+
+    def global_variable(self, name: str, *, field: str = "") -> GlobalVariable:
+        key = f"{name}.{field}" if field else name
+        try:
+            return self._globals[key]
+        except KeyError:
+            raise KeyError(f"no global {key!r} in program {self.name}") from None
+
+    @property
+    def globals(self) -> List[GlobalVariable]:
+        return list(self._globals.values())
+
+    # -- whole-program queries ------------------------------------------------------
+
+    def instructions(self) -> Iterator:
+        for function in self.functions:
+            if not function.is_external:
+                yield from function.instructions()
+
+    def commutative_functions(self) -> List[Function]:
+        """All functions carrying the *Commutative* annotation."""
+        return [f for f in self.functions if f.commutative_group is not None]
+
+    def commutative_group_members(self, group: str) -> List[Function]:
+        """Functions sharing internal state under one Commutative group."""
+        return [f for f in self.functions if f.commutative_group == group]
+
+    def verify(self) -> None:
+        for function in self.functions:
+            function.verify()
+            for call in function.call_sites():
+                if call.callee is not None and call.callee not in self._functions:
+                    raise ValueError(
+                        f"{function.name} calls unknown function {call.callee!r}"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"Program({self.name!r}, {len(self._functions)} functions, "
+            f"{len(self._globals)} globals)"
+        )

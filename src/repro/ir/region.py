@@ -1,0 +1,102 @@
+"""Region formation (Section 2.2).
+
+"Through region formation, the compiler can control the amount of code to
+analyze and optimize."  A :class:`Region` is a bounded slice of the whole
+program: a root loop plus, transitively, the bodies of functions it calls up
+to a budget.  Analyses and the partitioner take a region, never a raw
+program, which keeps outer-loop parallelization tractable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.ir.instructions import Call, Instruction
+from repro.ir.loops import Loop
+from repro.ir.program import Program
+
+
+class Region:
+    """A bounded analysis/optimization scope.
+
+    Attributes:
+        program: the owning whole program.
+        loop: the root loop (the paper's "loop close to the outermost
+            application loop").
+        functions: names of functions whose bodies are inside the region.
+        instructions: flattened instruction list, loop body first, then
+            callee bodies in discovery order.  Call sites whose callees fall
+            outside the region stay opaque (summaries only).
+    """
+
+    def __init__(self, program: Program, loop: Loop, functions: Set[str],
+                 instructions: List[Instruction]) -> None:
+        self.program = program
+        self.loop = loop
+        self.functions = functions
+        self.instructions = instructions
+
+    def contains(self, instruction: Instruction) -> bool:
+        return any(existing is instruction for existing in self.instructions)
+
+    def total_cost(self) -> int:
+        return sum(instruction.cost for instruction in self.instructions)
+
+    def call_sites(self) -> List[Call]:
+        return [i for i in self.instructions if isinstance(i, Call)]
+
+    def opaque_call_sites(self) -> List[Call]:
+        """Calls whose callee body is outside the region."""
+        return [
+            call for call in self.call_sites()
+            if call.callee is None or call.callee not in self.functions
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"Region(loop={self.loop.header.name!r}, "
+            f"{len(self.functions)} functions, {len(self.instructions)} instructions)"
+        )
+
+
+def form_loop_region(
+    program: Program,
+    loop: Loop,
+    max_functions: int = 64,
+    max_instructions: int = 100_000,
+) -> Region:
+    """Grow a region from ``loop`` outward through its call sites.
+
+    Callee bodies are pulled in breadth-first until either budget is hit;
+    external and *Commutative* functions are never expanded — Commutative
+    bodies must stay opaque because the annotation's whole point is that the
+    internal dependence recurrence is hidden from the parallelizer.
+    """
+    instructions: List[Instruction] = list(loop.instructions())
+    functions: Set[str] = {loop.function.name}
+    worklist: List[str] = _callees_of(instructions, program)
+
+    while worklist and len(functions) < max_functions and len(instructions) < max_instructions:
+        name = worklist.pop(0)
+        if name in functions or not program.has_function(name):
+            continue
+        callee = program.function(name)
+        if callee.is_external or callee.commutative_group is not None:
+            continue
+        functions.add(name)
+        body = [i for block in callee.blocks for i in block.instructions]
+        instructions.extend(body)
+        worklist.extend(_callees_of(body, program))
+
+    return Region(program, loop, functions, instructions)
+
+
+def _callees_of(instructions: List[Instruction], program: Program) -> List[str]:
+    names: List[str] = []
+    for instruction in instructions:
+        if isinstance(instruction, Call):
+            if instruction.callee is not None:
+                names.append(instruction.callee)
+            else:
+                names.extend(instruction.may_call)
+    return names

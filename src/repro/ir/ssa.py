@@ -1,0 +1,232 @@
+"""SSA construction (mem2reg) and loop-invariant code motion.
+
+Front ends like the mini-C lowerer keep local variables in memory objects
+(one load/store per mention).  That is simple but pessimizes everything
+downstream: the PDG sees memory dependences where there is only scalar
+dataflow.  :func:`promote_memory_to_registers` is the classic mem2reg:
+
+1. find *promotable* objects — accessed only by whole-object loads/stores
+   whose address operand is the object itself (no escaping pointers);
+2. place phi nodes at the iterated dominance frontier of the defining
+   blocks (Cytron et al.);
+3. rename along the dominator tree, replacing loads with the reaching
+   definition and deleting the stores.
+
+:func:`hoist_loop_invariants` then moves computations whose operands are
+loop-invariant into a preheader — the other classic enabling transformation
+for the paper's outer-loop parallelization scope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.dominators import DominatorTree
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import BinOp, Instruction, Jump, Load, Phi, Store, UnOp
+from repro.ir.loops import Loop
+from repro.ir.types import IntType
+from repro.ir.values import Constant, MemoryObject, UndefValue, Value
+
+
+def promotable_objects(function: Function) -> List[MemoryObject]:
+    """Objects safe to promote: every access is a direct load/store of the
+    object, and the object's address is never used any other way."""
+    direct: Dict[int, MemoryObject] = {}
+    disqualified: Set[int] = set()
+
+    for instruction in function.instructions():
+        if isinstance(instruction, Load):
+            address = instruction.operands[0]
+            objects = instruction.may_access
+            if (
+                len(objects) == 1
+                and isinstance(address, MemoryObject)
+                and address is objects[0]
+            ):
+                direct[objects[0].id] = objects[0]
+            else:
+                disqualified.update(o.id for o in objects)
+        elif isinstance(instruction, Store):
+            value, address = instruction.operands
+            objects = instruction.may_access
+            if (
+                len(objects) == 1
+                and isinstance(address, MemoryObject)
+                and address is objects[0]
+                and value is not objects[0]
+            ):
+                direct[objects[0].id] = objects[0]
+            else:
+                disqualified.update(o.id for o in objects)
+            if isinstance(value, MemoryObject):
+                disqualified.add(value.id)  # address escapes through a store
+        else:
+            for operand in instruction.operands:
+                if isinstance(operand, MemoryObject):
+                    disqualified.add(operand.id)
+
+    from repro.ir.values import GlobalVariable
+
+    return [
+        obj
+        for oid, obj in sorted(direct.items())
+        if oid not in disqualified and not isinstance(obj, GlobalVariable)
+    ]
+
+
+def promote_memory_to_registers(function: Function) -> int:
+    """Run mem2reg over every promotable object; return how many promoted."""
+    objects = promotable_objects(function)
+    if not objects:
+        return 0
+    dom = DominatorTree(function)
+    frontiers = dom.frontier()
+
+    for target in objects:
+        _promote_one(function, dom, frontiers, target)
+    return len(objects)
+
+
+def _promote_one(
+    function: Function,
+    dom: DominatorTree,
+    frontiers: Dict[str, List[str]],
+    target: MemoryObject,
+) -> None:
+    defining_blocks = {
+        instruction.block.name
+        for instruction in function.instructions()
+        if isinstance(instruction, Store)
+        and len(instruction.may_access) == 1
+        and instruction.may_access[0] is target
+    }
+
+    # Iterated dominance frontier: phi placement sites.
+    phi_blocks: Set[str] = set()
+    worklist = list(defining_blocks)
+    while worklist:
+        block_name = worklist.pop()
+        for frontier_block in frontiers.get(block_name, []):
+            if frontier_block not in phi_blocks:
+                phi_blocks.add(frontier_block)
+                worklist.append(frontier_block)
+
+    phis: Dict[str, Phi] = {}
+    for block_name in sorted(phi_blocks):
+        block = function.block(block_name)
+        placeholders = [
+            (UndefValue(IntType(64)), predecessor.name)
+            for predecessor in block.predecessors()
+        ]
+        phi = Phi(IntType(64), placeholders, name=f"{target.name}.phi")
+        block.insert(len(block.phis()), phi)
+        phis[block_name] = phi
+
+    # Rename along the dominator tree.
+    def rename(block_name: str, reaching: Value) -> None:
+        block = function.block(block_name)
+        if block_name in phis:
+            reaching = phis[block_name].result
+        for instruction in list(block.instructions):
+            if (
+                isinstance(instruction, Load)
+                and len(instruction.may_access) == 1
+                and instruction.may_access[0] is target
+            ):
+                _replace_uses(function, instruction.result, reaching)
+                block.remove(instruction)
+            elif (
+                isinstance(instruction, Store)
+                and len(instruction.may_access) == 1
+                and instruction.may_access[0] is target
+            ):
+                reaching = instruction.operands[0]
+                block.remove(instruction)
+        for successor in block.successors():
+            phi = phis.get(successor.name)
+            if phi is not None:
+                for index, incoming_block in enumerate(phi.incoming_blocks):
+                    if incoming_block == block_name:
+                        phi.operands[index] = reaching
+        for child in dom.children(block_name):
+            rename(child, reaching)
+
+    rename(function.entry_name, UndefValue(IntType(64)))
+
+
+def hoist_loop_invariants(function: Function, loop: Loop) -> int:
+    """Move loop-invariant pure computations into a fresh preheader.
+
+    An instruction is invariant when it is a pure BinOp/UnOp whose operands
+    are constants, values defined outside the loop, or other already-hoisted
+    invariants.  Returns the number of instructions hoisted.
+    """
+    body_ids = {instruction.id for instruction in loop.instructions()}
+    defined_inside = {
+        instruction.result.id
+        for instruction in loop.instructions()
+        if instruction.result is not None
+    }
+
+    invariant: List[Instruction] = []
+    invariant_results: Set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for instruction in loop.instructions():
+            if instruction.id in {i.id for i in invariant}:
+                continue
+            if not isinstance(instruction, (BinOp, UnOp)):
+                continue
+            if all(
+                isinstance(op, Constant)
+                or op.id not in defined_inside
+                or op.id in invariant_results
+                for op in instruction.operands
+            ):
+                invariant.append(instruction)
+                if instruction.result is not None:
+                    invariant_results.add(instruction.result.id)
+                changed = True
+    if not invariant:
+        return 0
+
+    preheader = _make_preheader(function, loop)
+    for instruction in invariant:
+        instruction.block.remove(instruction)
+        preheader.insert(len(preheader.instructions) - 1, instruction)
+    return len(invariant)
+
+
+def _make_preheader(function: Function, loop: Loop) -> BasicBlock:
+    """Insert a preheader block on every entry edge into the loop header."""
+    header = loop.header
+    preheader = function.new_block(f"{header.name}.preheader")
+    latch_names = {latch.name for latch in loop.latches}
+    for predecessor in header.predecessors():
+        if predecessor.name in latch_names or predecessor is preheader:
+            continue
+        terminator = predecessor.terminator
+        if isinstance(terminator, Jump):
+            terminator.target = preheader.name
+        else:
+            if getattr(terminator, "true_target", None) == header.name:
+                terminator.true_target = preheader.name
+            if getattr(terminator, "false_target", None) == header.name:
+                terminator.false_target = preheader.name
+        # Phi incoming edges move to the preheader.
+        for phi in header.phis():
+            for index, block_name in enumerate(phi.incoming_blocks):
+                if block_name == predecessor.name:
+                    phi.incoming_blocks[index] = preheader.name
+    preheader.append(Jump(header.name))
+    return preheader
+
+
+def _replace_uses(function: Function, old: Value, new: Value) -> None:
+    if old is None:
+        return
+    for instruction in function.instructions():
+        instruction.replace_operand(old, new)

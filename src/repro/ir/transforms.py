@@ -1,0 +1,174 @@
+"""Classic scalar optimization passes over the IR.
+
+These are the "single pass of optimizations, though some optimizations are
+applied multiple times" that dominate 176.gcc's runtime (Section 4.2.1) —
+and they are real transformations, usable on any :class:`repro.ir.Function`:
+
+- :func:`constant_fold` — evaluate operations over constants;
+- :func:`eliminate_dead_code` — drop unused, effect-free instructions;
+- :func:`common_subexpression_elimination` — reuse identical pure
+  computations within a block;
+- :func:`simplify_branches` — turn constant-condition branches into jumps.
+
+Each returns the number of changes made, so pass managers can iterate to a
+fixed point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import BinOp, Branch, Instruction, Jump, UnOp, YBranch
+from repro.ir.values import Constant, Value
+
+_FOLDABLE = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a // b if b else 0,
+    "mod": lambda a, b: a % b if b else 0,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << min(b, 63),
+    "shr": lambda a, b: a >> min(b, 63),
+    "eq": lambda a, b: int(a == b),
+    "ne": lambda a, b: int(a != b),
+    "lt": lambda a, b: int(a < b),
+    "le": lambda a, b: int(a <= b),
+    "gt": lambda a, b: int(a > b),
+    "ge": lambda a, b: int(a >= b),
+}
+
+
+def constant_fold(function: Function) -> int:
+    """Fold BinOps/UnOps whose operands are integer constants."""
+    changes = 0
+    for block in function.blocks:
+        for instruction in list(block.instructions):
+            folded = _fold_one(instruction)
+            if folded is None:
+                continue
+            _replace_all_uses(function, instruction.result, folded)
+            block.remove(instruction)
+            changes += 1
+    return changes
+
+
+def _fold_one(instruction: Instruction):
+    if isinstance(instruction, BinOp):
+        lhs, rhs = instruction.operands
+        if (
+            isinstance(lhs, Constant) and isinstance(rhs, Constant)
+            and isinstance(lhs.value, int) and isinstance(rhs.value, int)
+        ):
+            return Constant(_FOLDABLE[instruction.op](lhs.value, rhs.value))
+    if isinstance(instruction, UnOp):
+        operand = instruction.operands[0]
+        if isinstance(operand, Constant) and isinstance(operand.value, int):
+            value = -operand.value if instruction.op == "neg" else ~operand.value
+            return Constant(value)
+    return None
+
+
+def eliminate_dead_code(function: Function) -> int:
+    """Remove instructions whose results are never used and that have no
+    side effects (no memory writes, no control flow, no calls)."""
+    changes = 0
+    while True:
+        used = set()
+        for instruction in function.instructions():
+            for operand in instruction.operands:
+                used.add(operand.id)
+        removed_this_round = 0
+        for block in function.blocks:
+            for instruction in list(block.instructions):
+                if instruction.is_terminator or instruction.writes_memory:
+                    continue
+                if instruction.opcode() in ("call", "phi"):
+                    continue
+                if instruction.reads_memory:
+                    # Loads are pure here (no volatile), safe to drop if dead.
+                    pass
+                if instruction.result is not None and instruction.result.id not in used:
+                    block.remove(instruction)
+                    removed_this_round += 1
+        changes += removed_this_round
+        if not removed_this_round:
+            return changes
+
+
+def common_subexpression_elimination(function: Function) -> int:
+    """Within each block, reuse the first of identical pure computations."""
+    changes = 0
+    for block in function.blocks:
+        available: Dict[Tuple, Instruction] = {}
+        for instruction in list(block.instructions):
+            if not isinstance(instruction, (BinOp, UnOp)):
+                continue
+            key = (
+                instruction.opcode(),
+                tuple(_operand_key(op) for op in instruction.operands),
+            )
+            existing = available.get(key)
+            if existing is None:
+                available[key] = instruction
+                continue
+            _replace_all_uses(function, instruction.result, existing.result)
+            block.remove(instruction)
+            changes += 1
+    return changes
+
+
+def simplify_branches(function: Function) -> int:
+    """Rewrite branches with constant conditions into unconditional jumps.
+
+    Y-branches are never simplified on a *true* constant — their semantics
+    already allow the true path — but a constant-false Y-branch still keeps
+    both successors (the compiler may fire it), so it is left alone.
+    """
+    changes = 0
+    for block in function.blocks:
+        terminator = block.terminator
+        if not isinstance(terminator, Branch) or isinstance(terminator, YBranch):
+            continue
+        condition = terminator.condition
+        if not isinstance(condition, Constant):
+            continue
+        target = terminator.true_target if condition.value else terminator.false_target
+        block.remove(terminator)
+        block.append(Jump(target))
+        changes += 1
+    return changes
+
+
+def run_pass_pipeline(function: Function, rounds: int = 3) -> Dict[str, int]:
+    """gcc's rest_of_compilation: the standard pass order, iterated."""
+    totals = {"constant_fold": 0, "cse": 0, "dce": 0, "branches": 0}
+    for _ in range(rounds):
+        changed = 0
+        changed += (folds := constant_fold(function))
+        changed += (cses := common_subexpression_elimination(function))
+        changed += (branches := simplify_branches(function))
+        changed += (dces := eliminate_dead_code(function))
+        totals["constant_fold"] += folds
+        totals["cse"] += cses
+        totals["branches"] += branches
+        totals["dce"] += dces
+        if not changed:
+            break
+    return totals
+
+
+def _operand_key(value: Value):
+    if isinstance(value, Constant):
+        return ("const", value.value)
+    return ("value", value.id)
+
+
+def _replace_all_uses(function: Function, old: Value, new: Value) -> None:
+    if old is None:
+        return
+    for instruction in function.instructions():
+        instruction.replace_operand(old, new)

@@ -1,0 +1,97 @@
+"""A deliberately small type system for the IR.
+
+The paper's framework operates on C programs; the analyses it needs (alias,
+value-range, dependence) care about three distinctions only: integral values,
+pointers (and what they may point to), and booleans produced by comparisons.
+The type objects here are immutable and interned where it is cheap to do so.
+"""
+
+from __future__ import annotations
+
+
+class Type:
+    """Base class for IR types.  Types compare by structure."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self).__name__)
+
+    def __repr__(self) -> str:
+        return type(self).__name__
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+
+class VoidType(Type):
+    """The type of instructions that produce no value (stores, branches)."""
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """A signed integer of a given bit width (default 64)."""
+
+    def __init__(self, bits: int = 64) -> None:
+        if bits <= 0:
+            raise ValueError(f"integer width must be positive, got {bits}")
+        self.bits = bits
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntType) and other.bits == self.bits
+
+    def __hash__(self) -> int:
+        return hash(("IntType", self.bits))
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+    def __repr__(self) -> str:
+        return f"IntType({self.bits})"
+
+
+class FloatType(Type):
+    """A double-precision floating point value."""
+
+    def __str__(self) -> str:
+        return "f64"
+
+
+class BoolType(Type):
+    """The result of comparisons; the condition operand of branches."""
+
+    def __str__(self) -> str:
+        return "i1"
+
+
+class PointerType(Type):
+    """A pointer to a value of ``pointee`` type."""
+
+    def __init__(self, pointee: Type) -> None:
+        self.pointee = pointee
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointerType) and other.pointee == self.pointee
+
+    def __hash__(self) -> int:
+        return hash(("PointerType", self.pointee))
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+    def __repr__(self) -> str:
+        return f"PointerType({self.pointee!r})"
+
+
+#: Shared singletons for the common cases.
+VOID = VoidType()
+I64 = IntType(64)
+I32 = IntType(32)
+I8 = IntType(8)
+I1 = BoolType()
+F64 = FloatType()
+PTR = PointerType(I64)

@@ -1,0 +1,117 @@
+"""Values: the operands and results of IR instructions.
+
+A :class:`Value` is anything an instruction may read: constants, virtual
+registers (instruction results), function parameters, and the addresses of
+memory objects.  Memory itself is modelled through :class:`MemoryObject`
+abstract locations — the granularity at which the alias analysis and the
+versioned-memory model reason.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.ir.types import IntType, PointerType, Type
+
+_value_ids = itertools.count()
+
+
+class Value:
+    """Base class for everything that can appear as an operand."""
+
+    def __init__(self, type_: Type, name: str = "") -> None:
+        self.type = type_
+        self.name = name
+        self.id = next(_value_ids)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name or self.id})"
+
+
+class Constant(Value):
+    """An immediate constant."""
+
+    def __init__(self, value, type_: Optional[Type] = None) -> None:
+        if type_ is None:
+            type_ = IntType(64)
+        super().__init__(type_, name=str(value))
+        self.value = value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and other.value == self.value
+            and other.type == self.type
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Constant", self.value, self.type))
+
+
+class VirtualRegister(Value):
+    """The SSA-style result of an instruction.
+
+    Registers are written exactly once by their defining instruction in
+    well-formed functions (Phi nodes provide the merge points); the register
+    dependence analysis relies on this.
+    """
+
+    def __init__(self, type_: Type, name: str = "") -> None:
+        super().__init__(type_, name=name or f"v{next(_value_ids)}")
+        self.defining_instruction = None  # set by Instruction.__init__
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+class Parameter(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, type_: Type, name: str, index: int) -> None:
+        super().__init__(type_, name=name)
+        self.index = index
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+class MemoryObject(Value):
+    """An abstract memory location.
+
+    One :class:`MemoryObject` stands for a set of concrete addresses that the
+    analyses never need to distinguish: a global variable, all cells of one
+    array, one allocation site's objects, or one field of a structure when the
+    front end chooses field-sensitive modelling (the paper's gcc case study
+    splits bit-flag fields into separate objects for exactly this reason).
+    """
+
+    def __init__(self, name: str, *, field: str = "", allocation_site=None) -> None:
+        super().__init__(PointerType(IntType(64)), name=name)
+        self.field = field
+        self.allocation_site = allocation_site
+
+    def __str__(self) -> str:
+        if self.field:
+            return f"@{self.name}.{self.field}"
+        return f"@{self.name}"
+
+
+class GlobalVariable(MemoryObject):
+    """A named global; its address is a compile-time constant."""
+
+    def __init__(self, name: str, *, field: str = "") -> None:
+        super().__init__(name, field=field)
+
+
+class UndefValue(Value):
+    """An undefined value; reading one is a program error the verifier flags."""
+
+    def __init__(self, type_: Type) -> None:
+        super().__init__(type_, name="undef")
+
+    def __str__(self) -> str:
+        return "undef"

@@ -1,0 +1,22 @@
+"""The Program Dependence Graph and its SCC condensation.
+
+DSWP operates on the PDG of a loop body: nodes are instructions, edges are
+register, memory, and control dependences, each flagged loop-carried or not.
+The strongly connected components of the PDG are the atomic units of
+pipelining — an SCC must live within one stage, and the condensation DAG's
+topological order is the pipeline order (Ottoni et al. [20]).
+"""
+
+from repro.pdg.builder import build_loop_pdg
+from repro.pdg.graph import PDG, PDGEdge, PDGNode
+from repro.pdg.scc import SCC, SCCDag, condense
+
+__all__ = [
+    "PDG",
+    "PDGEdge",
+    "PDGNode",
+    "SCC",
+    "SCCDag",
+    "build_loop_pdg",
+    "condense",
+]

@@ -1,0 +1,84 @@
+"""Build the PDG of a loop from the static analyses."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.controldep import ControlDependence
+from repro.analysis.loopcarried import DependenceKind, classify_loop_dependences
+from repro.ir.instructions import YBranch
+from repro.ir.loops import Loop
+from repro.ir.program import Program
+from repro.pdg.graph import PDG, PDGEdge
+
+
+def build_loop_pdg(
+    program: Program,
+    loop: Loop,
+    alias: Optional[AliasAnalysis] = None,
+) -> PDG:
+    """Construct the PDG for ``loop``.
+
+    Nodes are the loop body's instructions.  Edges come from three analyses:
+
+    - register dependences (SSA def→use, Phi-carried across the back edge);
+    - memory dependences (may-alias conflicts, carried and intra);
+    - control dependences (post-dominance frontiers); the terminator of each
+      controlling block gains an edge to every instruction of the dependent
+      block.  Control edges from loop latch branches to the header's
+      instructions are loop-carried (they decide the *next* iteration).
+
+    Y-branch control edges are *not* added at all: by Section 2.3.1 the true
+    path is always legal, so nothing is semantically control dependent on the
+    Y-branch's computed condition.  (The recommended firing rate travels via
+    the branch profile instead.)
+    """
+    pdg = PDG()
+    body_ids = set()
+    for instruction in loop.instructions():
+        pdg.add_node(instruction)
+        body_ids.add(instruction.id)
+
+    for dependence in classify_loop_dependences(program, loop, alias=alias):
+        if dependence.source.id not in body_ids or dependence.target.id not in body_ids:
+            continue
+        pdg.add_edge(
+            PDGEdge(
+                source=dependence.source.id,
+                target=dependence.target.id,
+                kind=dependence.kind.value,
+                detail=dependence.detail,
+                loop_carried=dependence.loop_carried,
+            )
+        )
+
+    control = ControlDependence(loop.function)
+    latch_names = {latch.name for latch in loop.latches}
+    for branch_block_name in (b.name for b in loop.body_blocks()):
+        branch_block = loop.function.block(branch_block_name)
+        terminator = branch_block.terminator
+        if terminator is None or terminator.id not in body_ids:
+            continue
+        if isinstance(terminator, YBranch):
+            continue  # Y-branch: always-legal true path, no control dependence
+        for dependent_name in control.dependents_of(branch_block_name):
+            if not loop.contains_block(dependent_name):
+                continue
+            carried = (
+                branch_block_name in latch_names
+                and dependent_name == loop.header.name
+            ) or dependent_name == loop.header.name
+            for instruction in loop.function.block(dependent_name).instructions:
+                if instruction.id not in body_ids or instruction.id == terminator.id:
+                    continue
+                pdg.add_edge(
+                    PDGEdge(
+                        source=terminator.id,
+                        target=instruction.id,
+                        kind="control",
+                        detail=branch_block_name,
+                        loop_carried=carried,
+                    )
+                )
+    return pdg

@@ -1,0 +1,148 @@
+"""PDG data structure: typed, loop-carried-aware dependence edges."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.ir.instructions import Instruction
+
+
+@dataclass(frozen=True)
+class PDGEdge:
+    """A dependence between two PDG nodes.
+
+    Attributes:
+        source, target: instruction ids.
+        kind: ``"register"``, ``"memory"`` or ``"control"``.
+        detail: register name / raw-war-waw / branch direction.
+        loop_carried: True when the dependence crosses the loop back edge.
+        breakable: True when some speculation or annotation may remove the
+            edge (set by the speculation manager / Y-branch handling).
+        removed_by: name of the technique that removed the edge, if any
+            (edges are never physically deleted — the simulator needs them
+            to model misspeculation).
+    """
+
+    source: int
+    target: int
+    kind: str
+    detail: str = ""
+    loop_carried: bool = False
+
+    def describe(self) -> str:
+        carried = "carried" if self.loop_carried else "intra"
+        return f"{self.source}->{self.target} [{self.kind}:{self.detail} {carried}]"
+
+
+@dataclass
+class PDGNode:
+    instruction: Instruction
+
+    @property
+    def id(self) -> int:
+        return self.instruction.id
+
+    @property
+    def cost(self) -> int:
+        return self.instruction.cost
+
+    def __repr__(self) -> str:
+        return f"PDGNode({self.instruction!r})"
+
+
+class PDG:
+    """A mutable program dependence graph over one loop region.
+
+    Speculation does not delete edges; it marks them *speculated* so the
+    partitioner ignores them while the misspeculation model still sees them.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, PDGNode] = {}
+        self._edges: List[PDGEdge] = []
+        self._speculated: Dict[PDGEdge, str] = {}
+        self._successors: Dict[int, Set[int]] = defaultdict(set)
+        self._predecessors: Dict[int, Set[int]] = defaultdict(set)
+
+    # -- construction ---------------------------------------------------------------
+
+    def add_node(self, instruction: Instruction) -> PDGNode:
+        node = self._nodes.get(instruction.id)
+        if node is None:
+            node = PDGNode(instruction)
+            self._nodes[instruction.id] = node
+        return node
+
+    def add_edge(self, edge: PDGEdge) -> None:
+        if edge.source not in self._nodes or edge.target not in self._nodes:
+            raise KeyError(f"edge {edge.describe()} references unknown node")
+        self._edges.append(edge)
+        self._successors[edge.source].add(edge.target)
+        self._predecessors[edge.target].add(edge.source)
+
+    # -- speculation marking -----------------------------------------------------------
+
+    def speculate_edge(self, edge: PDGEdge, technique: str) -> None:
+        """Mark ``edge`` as broken by ``technique`` (alias/value/control/...)."""
+        if edge not in self._edges:
+            raise KeyError(f"unknown edge {edge.describe()}")
+        self._speculated[edge] = technique
+
+    def is_speculated(self, edge: PDGEdge) -> bool:
+        return edge in self._speculated
+
+    def speculation_technique(self, edge: PDGEdge) -> Optional[str]:
+        return self._speculated.get(edge)
+
+    def speculated_edges(self) -> List[Tuple[PDGEdge, str]]:
+        return list(self._speculated.items())
+
+    # -- queries ---------------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[PDGNode]:
+        return list(self._nodes.values())
+
+    @property
+    def edges(self) -> List[PDGEdge]:
+        return list(self._edges)
+
+    def node(self, instruction_id: int) -> PDGNode:
+        return self._nodes[instruction_id]
+
+    def has_node(self, instruction_id: int) -> bool:
+        return instruction_id in self._nodes
+
+    def effective_edges(self) -> List[PDGEdge]:
+        """Edges the partitioner must respect: all non-speculated edges."""
+        return [e for e in self._edges if e not in self._speculated]
+
+    def effective_successors(self, node_id: int) -> Set[int]:
+        return {
+            e.target for e in self._edges
+            if e.source == node_id and e not in self._speculated
+        }
+
+    def edges_between(self, source: int, target: int) -> List[PDGEdge]:
+        return [e for e in self._edges if e.source == source and e.target == target]
+
+    def loop_carried_edges(self, include_speculated: bool = False) -> List[PDGEdge]:
+        edges = self._edges if include_speculated else self.effective_edges()
+        return [e for e in edges if e.loop_carried]
+
+    def incident_edges(self, node_id: int) -> List[PDGEdge]:
+        return [e for e in self._edges if e.source == node_id or e.target == node_id]
+
+    def total_cost(self) -> int:
+        return sum(node.cost for node in self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"PDG({len(self._nodes)} nodes, {len(self._edges)} edges, "
+            f"{len(self._speculated)} speculated)"
+        )

@@ -1,0 +1,163 @@
+"""SCC condensation of the PDG (the "DAG-SCC" of the DSWP literature).
+
+Pipelining assigns whole SCCs to stages: instructions in a dependence cycle
+cannot be split across stages without a backward inter-stage dependence.
+The condensation is a DAG; its topological order is the legal stage order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.pdg.graph import PDG, PDGEdge
+
+
+@dataclass(frozen=True)
+class SCC:
+    """One strongly connected component of the (effective) PDG.
+
+    ``doall`` is the property PS-DSWP replication needs: an SCC is *doall*
+    when it participates in no effective loop-carried dependence, internal
+    or incident — its dynamic instances from different iterations can run
+    concurrently (Section 2.1: "replicate stages that contain no loop-carried
+    dependences").
+    """
+
+    index: int
+    node_ids: FrozenSet[int]
+    cost: int
+    doall: bool
+
+    def __len__(self) -> int:
+        return len(self.node_ids)
+
+
+class SCCDag:
+    """The condensation DAG with per-SCC cost annotations."""
+
+    def __init__(self, pdg: PDG, sccs: List[SCC], edges: Set[Tuple[int, int]]) -> None:
+        self.pdg = pdg
+        self.sccs = sccs
+        self.edges = edges  # (scc index, scc index), forward in topo order
+        self._by_node: Dict[int, int] = {}
+        for scc in sccs:
+            for node_id in scc.node_ids:
+                self._by_node[node_id] = scc.index
+
+    def scc_of(self, node_id: int) -> SCC:
+        return self.sccs[self._by_node[node_id]]
+
+    def successors(self, scc_index: int) -> Set[int]:
+        return {b for a, b in self.edges if a == scc_index}
+
+    def predecessors(self, scc_index: int) -> Set[int]:
+        return {a for a, b in self.edges if b == scc_index}
+
+    def topological_order(self) -> List[SCC]:
+        """Kahn topological sort; ties broken by SCC index for determinism."""
+        in_degree = {scc.index: 0 for scc in self.sccs}
+        for _, target in self.edges:
+            in_degree[target] += 1
+        ready = sorted(i for i, d in in_degree.items() if d == 0)
+        order: List[SCC] = []
+        while ready:
+            index = ready.pop(0)
+            order.append(self.sccs[index])
+            for successor in sorted(self.successors(index)):
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    ready.append(successor)
+            ready.sort()
+        if len(order) != len(self.sccs):
+            raise RuntimeError("SCC condensation contains a cycle — Tarjan bug")
+        return order
+
+    def total_cost(self) -> int:
+        return sum(scc.cost for scc in self.sccs)
+
+    def doall_cost(self) -> int:
+        return sum(scc.cost for scc in self.sccs if scc.doall)
+
+    def __repr__(self) -> str:
+        return f"SCCDag({len(self.sccs)} SCCs, {len(self.edges)} edges)"
+
+
+def condense(pdg: PDG) -> SCCDag:
+    """Tarjan SCCs over the *effective* (non-speculated) edges of ``pdg``."""
+    successors: Dict[int, List[int]] = {node.id: [] for node in pdg.nodes}
+    for edge in pdg.effective_edges():
+        successors[edge.source].append(edge.target)
+
+    index_counter = [0]
+    stack: List[int] = []
+    on_stack: Set[int] = set()
+    index: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    components: List[Set[int]] = []
+
+    for root in sorted(successors):
+        if root in index:
+            continue
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            node, child_offset = work[-1]
+            if child_offset == 0:
+                index[node] = index_counter[0]
+                lowlink[node] = index_counter[0]
+                index_counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            pushed = False
+            children = sorted(successors[node])
+            for offset in range(child_offset, len(children)):
+                child = children[offset]
+                if child not in index:
+                    work[-1] = (node, offset + 1)
+                    work.append((child, 0))
+                    pushed = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if pushed:
+                continue
+            if lowlink[node] == index[node]:
+                component: Set[int] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    # Tarjan emits SCCs in reverse topological order; flip for forward order.
+    components.reverse()
+
+    sccs: List[SCC] = []
+    by_node: Dict[int, int] = {}
+    for i, component in enumerate(components):
+        cost = sum(pdg.node(node_id).cost for node_id in component)
+        # PS-DSWP criterion: an SCC is replicable iff it contains no
+        # *internal* loop-carried dependence.  Carried edges to or from other
+        # SCCs flow through inter-stage queues and do not block replication.
+        internal_carried = any(
+            edge.loop_carried
+            and edge.source in component
+            and edge.target in component
+            for edge in pdg.effective_edges()
+        )
+        sccs.append(SCC(i, frozenset(component), cost, not internal_carried))
+        for node_id in component:
+            by_node[node_id] = i
+
+    edges: Set[Tuple[int, int]] = set()
+    for edge in pdg.effective_edges():
+        a, b = by_node[edge.source], by_node[edge.target]
+        if a != b:
+            edges.add((a, b))
+    return SCCDag(pdg, sccs, edges)

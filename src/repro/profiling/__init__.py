@@ -1,0 +1,41 @@
+"""Profiling: the reproduction's stand-in for native measurement.
+
+Section 3.1 of the paper measures dynamic task times with Itanium hardware
+performance counters (pfmon) and obtains "the dynamic dependences that
+actually occurred ... from a memory profiling pass run prior to simulation".
+This package provides both halves in a machine-independent way:
+
+- :mod:`repro.profiling.tracer` — a :class:`Tracer` the workload analogs run
+  under.  Workloads declare tasks (phase + iteration), accumulate abstract
+  work units (deterministic cost, replacing cycle counts), and record every
+  shared-memory access at a chosen granularity;
+- :mod:`repro.profiling.memory_profile` — turns the access log into dynamic
+  task-to-task dependences (RAW/WAR/WAW), with *Commutative* accesses
+  excluded by group;
+- :mod:`repro.profiling.value_profile` — per-site value predictability, used
+  to choose value speculation (Section 4.1.3's ``PL_stack_sp`` discovery);
+- :mod:`repro.profiling.branch_profile` — branch bias, used to choose control
+  speculation;
+- :mod:`repro.profiling.loop_profile` — iteration counts and task-cost
+  distributions.
+"""
+
+from repro.profiling.branch_profile import BranchProfile
+from repro.profiling.events import AccessEvent, AccessKind, TaskRecord
+from repro.profiling.loop_profile import LoopProfile
+from repro.profiling.memory_profile import DynamicDependence, MemoryProfile
+from repro.profiling.tracer import TraceResult, Tracer
+from repro.profiling.value_profile import ValueProfile
+
+__all__ = [
+    "AccessEvent",
+    "AccessKind",
+    "BranchProfile",
+    "DynamicDependence",
+    "LoopProfile",
+    "MemoryProfile",
+    "TaskRecord",
+    "TraceResult",
+    "Tracer",
+    "ValueProfile",
+]

@@ -1,0 +1,71 @@
+"""Branch profiling: bias of each branch site, Y-branches flagged.
+
+Control speculation (Section 2.1) breaks control dependences on branches
+that nearly always go one way — e.g. crafty's ``next_time_check`` branch
+"must be speculated not taken" (Section 4.3.1).  A Y-branch's bias is
+advisory only: its true path is always legal, so the reported probability
+is the *recommended* firing rate rather than a correctness constraint.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.profiling.tracer import TraceResult
+
+
+@dataclass
+class BranchSummary:
+    site: str
+    executions: int
+    taken: int
+    is_ybranch: bool
+
+    @property
+    def taken_fraction(self) -> float:
+        return self.taken / self.executions if self.executions else 0.0
+
+    @property
+    def bias(self) -> float:
+        """How one-sided the branch is: max(taken, not-taken) fraction."""
+        fraction = self.taken_fraction
+        return max(fraction, 1.0 - fraction)
+
+
+class BranchProfile:
+    """Execution counts and bias per branch site."""
+
+    def __init__(self, trace: TraceResult) -> None:
+        self.trace = trace
+        self._executions: Dict[str, int] = defaultdict(int)
+        self._taken: Dict[str, int] = defaultdict(int)
+        self._ybranch: Dict[str, bool] = defaultdict(bool)
+        for event in trace.branches:
+            self._executions[event.site] += 1
+            if event.taken:
+                self._taken[event.site] += 1
+            if event.is_ybranch:
+                self._ybranch[event.site] = True
+
+    def sites(self) -> List[str]:
+        return sorted(self._executions)
+
+    def summary(self, site: str) -> BranchSummary:
+        if site not in self._executions:
+            raise KeyError(f"no observations for branch site {site!r}")
+        return BranchSummary(
+            site=site,
+            executions=self._executions[site],
+            taken=self._taken[site],
+            is_ybranch=self._ybranch[site],
+        )
+
+    def speculation_candidates(self, threshold: float = 0.99) -> List[BranchSummary]:
+        """Branches biased enough to control-speculate."""
+        return [
+            self.summary(site)
+            for site in self.sites()
+            if self.summary(site).bias >= threshold
+        ]

@@ -1,0 +1,32 @@
+"""Ambient tracer context.
+
+Workload code and the annotation decorators need to reach the active
+:class:`~repro.profiling.tracer.Tracer` without threading it through every
+call (a Commutative-annotated allocator may sit many frames below the loop).
+A context variable keeps this re-entrant and safe under nested activation.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+from repro.profiling.tracer import Tracer
+
+_active: ContextVar[Optional[Tracer]] = ContextVar("repro_active_tracer", default=None)
+
+
+@contextmanager
+def activate(tracer: Tracer) -> Iterator[Tracer]:
+    """Make ``tracer`` the ambient tracer within the ``with`` body."""
+    token = _active.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _active.reset(token)
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The ambient tracer, or ``None`` outside any activation."""
+    return _active.get()

@@ -1,0 +1,83 @@
+"""Loop profiling: iteration counts, task-cost distributions, imbalance.
+
+The execution-plan builder uses these statistics to size the parallel stage:
+crafty's ~2x ceiling at 32 threads, for example, traces directly to "the
+amount of time it takes to search a particular move is highly variable"
+(Section 4.3.1) — a property this profile exposes as the cost coefficient of
+variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Dict, List
+
+from repro.profiling.tracer import TraceResult
+
+
+@dataclass
+class PhaseStats:
+    phase: str
+    task_count: int
+    total_cost: int
+    min_cost: int
+    max_cost: int
+    mean_cost: float
+    stdev_cost: float
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        return self.stdev_cost / self.mean_cost if self.mean_cost else 0.0
+
+
+class LoopProfile:
+    """Cost statistics per phase for one traced loop."""
+
+    def __init__(self, trace: TraceResult) -> None:
+        self.trace = trace
+
+    @property
+    def iteration_count(self) -> int:
+        return self.trace.iteration_count
+
+    def phase_stats(self, phase: str) -> PhaseStats:
+        costs = [task.cost for task in self.trace.tasks_in_phase(phase)]
+        if not costs:
+            return PhaseStats(phase, 0, 0, 0, 0, 0.0, 0.0)
+        mean = sum(costs) / len(costs)
+        variance = sum((c - mean) ** 2 for c in costs) / len(costs)
+        return PhaseStats(
+            phase=phase,
+            task_count=len(costs),
+            total_cost=sum(costs),
+            min_cost=min(costs),
+            max_cost=max(costs),
+            mean_cost=mean,
+            stdev_cost=sqrt(variance),
+        )
+
+    def all_phases(self) -> Dict[str, PhaseStats]:
+        return {phase: self.phase_stats(phase) for phase in ("A", "B", "C")}
+
+    def parallel_fraction(self) -> float:
+        """Fraction of total cost in the replicable phase B (Amdahl input)."""
+        total = self.trace.total_cost
+        if total == 0:
+            return 0.0
+        return self.phase_stats("B").total_cost / total
+
+    def pipeline_bound(self) -> float:
+        """Upper bound on pipeline speedup: total / max sequential phase.
+
+        Phases A and C execute serially on dedicated cores, so no plan can
+        finish faster than the heavier of the two (ignoring B imbalance).
+        """
+        total = self.trace.total_cost
+        if total == 0:
+            return 1.0
+        stats = self.all_phases()
+        serial_bottleneck = max(stats["A"].total_cost, stats["C"].total_cost)
+        longest_b = stats["B"].max_cost
+        bound_denominator = max(serial_bottleneck, longest_b, 1)
+        return total / bound_denominator

@@ -1,0 +1,141 @@
+"""Condense an access log into dynamic task-to-task dependences.
+
+This is the paper's "memory profiling pass run prior to simulation"
+(Section 3.1): the simulator is informed of the dynamic dependences that
+actually occurred, which models serialization due to misspeculation without
+charging an extra misspeculation penalty.
+
+Rules:
+
+- RAW: a load sees a dependence from the most recent store to its location.
+- WAW: a store depends on the most recent prior store to its location.
+- WAR: a store depends on loads of the location since the last store.
+- Accesses within the same *Commutative* group never depend on each other —
+  the annotation declares all orders legal (Section 2.3.2).  They are instead
+  collected as *atomic sections* so the runtime can enforce that group
+  members execute atomically with respect to one another.
+- Silent stores do not create RAW/WAW sources (Section 2.1, [15]): a reader
+  after a silent store reads the same value the previous store produced, so
+  the dependence is charged to that earlier store.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.profiling.events import AccessEvent, AccessKind, Location, TaskRecord
+from repro.profiling.tracer import TraceResult
+
+
+@dataclass(frozen=True)
+class DynamicDependence:
+    """A dependence observed between two dynamic tasks.
+
+    ``location`` names the shared state responsible; ``kind`` is
+    RAW/WAR/WAW.  Self-dependences (same task) are never reported.
+    """
+
+    source_index: int
+    target_index: int
+    kind: str
+    location: Location
+
+    def cross_iteration(self, tasks: List[TaskRecord]) -> bool:
+        return tasks[self.source_index].iteration != tasks[self.target_index].iteration
+
+
+class MemoryProfile:
+    """Dynamic dependences plus Commutative atomic-section bookkeeping."""
+
+    def __init__(self, trace: TraceResult, honor_commutative: bool = True) -> None:
+        """``honor_commutative=False`` treats Commutative-tagged accesses as
+        ordinary accesses — the ablation that shows what the annotation buys
+        (the paper's gcc/crafty/twolf case studies describe exactly this
+        failure mode: alias speculation alone drowns in misspeculation)."""
+        self.trace = trace
+        self.honor_commutative = honor_commutative
+        self.dependences: List[DynamicDependence] = []
+        #: group name -> ordered list of task indices that entered the group;
+        #: the runtime must serialize these pairwise (atomicity), though in
+        #: any order.
+        self.commutative_sections: Dict[str, List[int]] = defaultdict(list)
+        #: location -> task indices that touched it (first-touch order,
+        #: commutative accesses excluded).  Synchronization chains all
+        #: accessors of a location in this order.
+        self.location_accessors: Dict[Location, List[int]] = defaultdict(list)
+        self._build()
+
+    def _build(self) -> None:
+        last_store: Dict[Location, int] = {}
+        last_effective_store: Dict[Location, int] = {}
+        loads_since_store: Dict[Location, List[int]] = defaultdict(list)
+        seen_deps: Set[Tuple[int, int, str, Location]] = set()
+        seen_sections: Dict[str, Set[int]] = defaultdict(set)
+        seen_accessors: Dict[Location, Set[int]] = defaultdict(set)
+
+        def emit(source: int, target: int, kind: str, location: Location) -> None:
+            if source == target:
+                return
+            key = (source, target, kind, location)
+            if key in seen_deps:
+                return
+            seen_deps.add(key)
+            self.dependences.append(DynamicDependence(source, target, kind, location))
+
+        for event in self.trace.accesses:
+            if event.commutative_group is not None and self.honor_commutative:
+                group = event.commutative_group
+                if event.task_index not in seen_sections[group]:
+                    seen_sections[group].add(event.task_index)
+                    self.commutative_sections[group].append(event.task_index)
+                continue
+
+            location = event.location
+            if event.task_index not in seen_accessors[location]:
+                seen_accessors[location].add(event.task_index)
+                self.location_accessors[location].append(event.task_index)
+            if event.kind is AccessKind.LOAD:
+                source = last_effective_store.get(location)
+                if source is not None:
+                    emit(source, event.task_index, "raw", location)
+                readers = loads_since_store[location]
+                if not readers or readers[-1] != event.task_index:
+                    readers.append(event.task_index)
+            else:
+                prior = last_store.get(location)
+                if prior is not None:
+                    emit(prior, event.task_index, "waw", location)
+                for reader in loads_since_store[location]:
+                    emit(reader, event.task_index, "war", location)
+                loads_since_store[location] = []
+                last_store[location] = event.task_index
+                if not event.silent:
+                    last_effective_store[location] = event.task_index
+
+    # -- queries --------------------------------------------------------------------
+
+    def cross_iteration_dependences(self) -> List[DynamicDependence]:
+        tasks = self.trace.tasks
+        return [d for d in self.dependences if d.cross_iteration(tasks)]
+
+    def cross_iteration_raw(self) -> List[DynamicDependence]:
+        return [d for d in self.cross_iteration_dependences() if d.kind == "raw"]
+
+    def dependences_between_phases(self, source_phase: str, target_phase: str) -> List[DynamicDependence]:
+        tasks = self.trace.tasks
+        return [
+            d for d in self.dependences
+            if tasks[d.source_index].phase == source_phase
+            and tasks[d.target_index].phase == target_phase
+        ]
+
+    def locations(self) -> Set[Location]:
+        return {d.location for d in self.dependences}
+
+    def dependence_count_by_location(self) -> Dict[Location, int]:
+        counts: Dict[Location, int] = defaultdict(int)
+        for dependence in self.dependences:
+            counts[dependence.location] += 1
+        return dict(counts)

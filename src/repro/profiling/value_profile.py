@@ -1,0 +1,78 @@
+"""Value profiling: per-site value predictability.
+
+This is what lets the framework discover speculation candidates like
+perlbmk's ``PL_stack_sp``: "value profiling reveals that the PL_stack_sp and
+PL_temp_ixs variables will often have the same value every time a NEXTSTATE
+operation finishes" (Section 4.1.3).  A site is a *good value-speculation
+candidate* when one value dominates its observations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from repro.profiling.tracer import TraceResult
+
+
+@dataclass
+class SiteSummary:
+    site: str
+    observations: int
+    top_value: Hashable
+    top_fraction: float
+    distinct_values: int
+
+    @property
+    def predictable(self) -> bool:
+        return self.top_fraction >= 0.95
+
+
+class ValueProfile:
+    """Summaries over every value site the trace recorded."""
+
+    def __init__(self, trace: TraceResult) -> None:
+        self.trace = trace
+        self._by_site: Dict[str, Counter] = defaultdict(Counter)
+        for event in trace.values:
+            self._by_site[event.site][event.value] += 1
+
+    def sites(self) -> List[str]:
+        return sorted(self._by_site)
+
+    def summary(self, site: str) -> SiteSummary:
+        counter = self._by_site.get(site)
+        if not counter:
+            raise KeyError(f"no observations for value site {site!r}")
+        total = sum(counter.values())
+        value, count = counter.most_common(1)[0]
+        return SiteSummary(
+            site=site,
+            observations=total,
+            top_value=value,
+            top_fraction=count / total,
+            distinct_values=len(counter),
+        )
+
+    def predictability(self, site: str) -> float:
+        """Fraction of observations explained by the most common value."""
+        try:
+            return self.summary(site).top_fraction
+        except KeyError:
+            return 0.0
+
+    def predicted_value(self, site: str) -> Optional[Hashable]:
+        counter = self._by_site.get(site)
+        if not counter:
+            return None
+        return counter.most_common(1)[0][0]
+
+    def speculation_candidates(self, threshold: float = 0.95) -> List[SiteSummary]:
+        """Sites where one value covers at least ``threshold`` of observations."""
+        candidates = []
+        for site in self.sites():
+            summary = self.summary(site)
+            if summary.top_fraction >= threshold:
+                candidates.append(summary)
+        return candidates

@@ -1,0 +1,43 @@
+"""Speculation: breaking dependences the profile says rarely matter.
+
+Section 2.1: "Both TLS and DSWP require judicious use of speculation to
+break infrequent or easily predictable dependences inhibiting
+parallelization.  This involves not only alias speculation, but also value
+speculation and control speculation."
+
+Two consumers, two interfaces:
+
+- the **IR route** marks PDG edges as speculated
+  (:func:`repro.speculation.manager.speculate_pdg`), guided by branch bias,
+  value predictability and silent-store information;
+- the **trace route** builds a :class:`~repro.speculation.manager.SpeculationPlan`
+  over profiled memory *locations*
+  (:func:`repro.speculation.manager.plan_from_profile`): each conflicting
+  location is either speculated (only its *actual* dynamic dependences
+  serialize — the paper's misspeculation-as-serialization model, Section
+  3.1), synchronized (all accesses keep sequential order), or erased by a
+  *Commutative* annotation.
+"""
+
+from repro.speculation.base import (
+    SpeculationDecision,
+    SpeculationKind,
+    SynchronizationDecision,
+)
+from repro.speculation.manager import (
+    SpeculationPlan,
+    plan_from_profile,
+    speculate_pdg,
+)
+from repro.speculation.misspec import MisspeculationReport, analyze_misspeculation
+
+__all__ = [
+    "MisspeculationReport",
+    "SpeculationDecision",
+    "SpeculationKind",
+    "SpeculationPlan",
+    "SynchronizationDecision",
+    "analyze_misspeculation",
+    "plan_from_profile",
+    "speculate_pdg",
+]

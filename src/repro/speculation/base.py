@@ -1,0 +1,56 @@
+"""Common vocabulary for speculation decisions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Hashable, Optional, Tuple
+
+Location = Tuple[str, Hashable]
+
+
+class SpeculationKind(Enum):
+    """The paper's speculation techniques (Sections 2.1, 4.x)."""
+
+    ALIAS = "alias"              # assume two memory operations do not conflict
+    VALUE = "value"              # predict a variable's value (e.g. STATUS=NORMAL)
+    CONTROL = "control"          # predict a biased branch direction
+    SILENT_STORE = "silent-store"  # stores of unchanged values conflict with nobody
+    COMMUTATIVE = "commutative"  # annotation: any call order is legal
+    YBRANCH = "ybranch"          # annotation: true path always legal
+
+
+@dataclass(frozen=True)
+class SpeculationDecision:
+    """One choice to break a dependence.
+
+    ``target`` identifies what was speculated — a profiled memory location
+    for the trace route or an edge description for the IR route.
+    ``expected_rate`` is the profile-predicted fraction of iterations on
+    which the broken dependence will actually occur (the misspeculation
+    rate the plan accepts).
+    """
+
+    kind: SpeculationKind
+    target: str
+    expected_rate: float = 0.0
+    note: str = ""
+
+    def __str__(self) -> str:
+        rate = f", expect {self.expected_rate:.2%} misspec" if self.expected_rate else ""
+        return f"{self.kind.value}({self.target}{rate})"
+
+
+@dataclass(frozen=True)
+class SynchronizationDecision:
+    """A dependence deliberately synchronized rather than speculated.
+
+    Section 2.1: "some dependences must be synchronized, rather than
+    speculated, to avoid excessive misspeculation."  ``to_phase`` optionally
+    names the phase the involved code is moved to (the parser case study
+    moves command handling into phase A, Section 4.3.2).
+    """
+
+    target: str
+    reason: str = ""
+    to_phase: Optional[str] = None

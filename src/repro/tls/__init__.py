@@ -1,0 +1,25 @@
+"""Thread-Level Speculation: the comparison execution model (Section 2.1).
+
+"TLS techniques speculatively execute subsequent iterations of a loop before
+the current iteration finishes, attempting to extract DOALL parallelism."
+
+- :mod:`repro.tls.epochs` — an executable TLS runtime on top of
+  :class:`repro.hw.versioned_memory.VersionedMemory`: iterations run as
+  speculative epochs, commit strictly in order, squash and re-execute on
+  conflict.  Used to validate that speculative execution preserves
+  sequential semantics (including under the Commutative rollback protocol);
+- :mod:`repro.tls.scheduler` — a TLS *performance* model over the same
+  profiled traces the DSWP simulator consumes, honoring the paper's
+  refinements: synchronized (not speculated) high-frequency dependences and
+  enough buffering that cores need not stall at commit.
+"""
+
+from repro.tls.epochs import TLSExecution, TLSMemoryView
+from repro.tls.scheduler import TLSSimulationResult, simulate_tls
+
+__all__ = [
+    "TLSExecution",
+    "TLSMemoryView",
+    "TLSSimulationResult",
+    "simulate_tls",
+]

@@ -1,0 +1,134 @@
+"""An executable TLS runtime over versioned memory.
+
+Loop iterations execute as speculative epochs.  The runtime:
+
+1. begins an epoch per iteration (in order);
+2. runs the user's loop body against a :class:`TLSMemoryView` bound to the
+   epoch (every read/write goes through the versioned memory);
+3. commits epochs strictly in order; each commit may squash younger epochs
+   whose reads proved stale — those are re-executed in fresh epochs;
+4. runs *Commutative* side effects non-transactionally with registered
+   rollback functions, per Section 2.3.2's protocol ("Commutative functions
+   executed in non-transactional memory and ... a rollback function existed
+   to undo the effects").
+
+Because execution here is sequential under the hood (epochs are simulated,
+not OS threads), the runtime is deterministic and the squash/replay
+machinery can be tested exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.hw.versioned_memory import Epoch, EpochState, VersionedMemory
+
+
+class TLSMemoryView:
+    """The loop body's window onto versioned memory for one epoch."""
+
+    def __init__(self, memory: VersionedMemory, epoch: Epoch) -> None:
+        self._memory = memory
+        self._epoch = epoch
+        #: non-transactional (Commutative) actions with their rollbacks,
+        #: applied immediately, undone if the epoch squashes.
+        self._rollbacks: List[Callable[[], None]] = []
+
+    def read(self, obj: str, key: Hashable = None) -> Any:
+        return self._memory.read(self._epoch, obj, key)
+
+    def write(self, obj: str, key: Hashable, value: Any) -> None:
+        self._memory.write(self._epoch, obj, key, value)
+
+    def commutative_call(
+        self,
+        action: Callable[[], Any],
+        rollback: Callable[[], None],
+    ) -> Any:
+        """Run ``action`` non-transactionally; register ``rollback`` for squash."""
+        result = action()
+        self._rollbacks.append(rollback)
+        return result
+
+    def undo_commutative_effects(self) -> None:
+        for rollback in reversed(self._rollbacks):
+            rollback()
+        self._rollbacks.clear()
+
+    @property
+    def epoch_number(self) -> int:
+        return self._epoch.number
+
+
+@dataclass
+class TLSStatistics:
+    iterations: int = 0
+    squashes: int = 0
+    commits: int = 0
+    commutative_rollbacks: int = 0
+
+
+class TLSExecution:
+    """Run a loop body speculatively and return per-iteration results.
+
+    ``body(view, iteration)`` must perform all shared-state access through
+    ``view``.  The runtime window is ``max_epochs_in_flight`` (the paper's
+    buffering observation: enough buffering that a core never stalls waiting
+    to commit).
+    """
+
+    def __init__(self, memory: Optional[VersionedMemory] = None,
+                 max_epochs_in_flight: int = 8) -> None:
+        if max_epochs_in_flight < 1:
+            raise ValueError("need at least one epoch in flight")
+        self.memory = memory or VersionedMemory()
+        self.window = max_epochs_in_flight
+        self.stats = TLSStatistics()
+
+    def execute(
+        self,
+        body: Callable[[TLSMemoryView, int], Any],
+        iterations: int,
+    ) -> List[Any]:
+        results: List[Any] = [None] * iterations
+        self.stats.iterations = iterations
+
+        in_flight: List[Tuple[int, Epoch, TLSMemoryView]] = []
+        next_iteration = 0
+
+        while next_iteration < iterations or in_flight:
+            # Fill the speculative window (program order).
+            while next_iteration < iterations and len(in_flight) < self.window:
+                epoch = self.memory.begin_epoch()
+                view = TLSMemoryView(self.memory, epoch)
+                results[next_iteration] = body(view, next_iteration)
+                in_flight.append((next_iteration, epoch, view))
+                next_iteration += 1
+
+            # Commit the oldest epoch; squashed younger epochs re-execute.
+            iteration, epoch, view = in_flight.pop(0)
+            squashed = self.memory.commit(epoch)
+            self.stats.commits += 1
+            if squashed:
+                squashed_numbers = {e.number for e in squashed}
+                survivors: List[Tuple[int, Epoch, TLSMemoryView]] = []
+                to_replay: List[Tuple[int, Epoch, TLSMemoryView]] = []
+                for entry in in_flight:
+                    if entry[1].number in squashed_numbers:
+                        to_replay.append(entry)
+                    else:
+                        survivors.append(entry)
+                # Undo Commutative effects of squashed epochs, newest first.
+                for replay_iteration, old_epoch, old_view in reversed(to_replay):
+                    old_view.undo_commutative_effects()
+                    self.stats.commutative_rollbacks += 1
+                replays: List[Tuple[int, Epoch, TLSMemoryView]] = []
+                for replay_iteration, old_epoch, _ in to_replay:
+                    self.stats.squashes += 1
+                    fresh = self.memory.reissue(old_epoch)
+                    fresh_view = TLSMemoryView(self.memory, fresh)
+                    results[replay_iteration] = body(fresh_view, replay_iteration)
+                    replays.append((replay_iteration, fresh, fresh_view))
+                in_flight = sorted(survivors + replays, key=lambda e: e[0])
+        return results

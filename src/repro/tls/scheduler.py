@@ -1,0 +1,100 @@
+"""TLS performance model over profiled traces.
+
+Whole iterations (A+B+C cost) are the speculation unit: iteration *i* runs
+on any free core, commits in order (with enough buffering that commit never
+stalls the core — the Garzarán-style tradeoff the paper cites), and a
+dynamic cross-iteration dependence source→target delays the target past the
+source's completion — the serialization model of Section 3.1 applied to TLS.
+
+Used as the comparison baseline in the ablation benchmarks: the paper notes
+"similar parallelizations and results could be obtained with execution plans
+that more closely resemble TLS" (Section 3.2), and this model lets the
+benches check that claim on our traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.tasks import TaskGraph
+from repro.hw.machine import MachineConfig
+
+
+@dataclass
+class TLSSimulationResult:
+    machine: MachineConfig
+    makespan: int
+    sequential_time: int
+    serialization_wait_time: int = 0
+
+    @property
+    def speedup(self) -> float:
+        if self.makespan == 0:
+            return 1.0
+        return self.sequential_time / self.makespan
+
+
+def simulate_tls(graph: TaskGraph, machine: MachineConfig) -> TLSSimulationResult:
+    """Simulate ``graph`` under a TLS execution plan on ``machine``.
+
+    The task graph's per-iteration tasks are fused into one speculative unit
+    per iteration; serialization edges are lifted to iteration granularity.
+    Commutative atomic sections serialize across iterations exactly as in the
+    pipeline simulator.
+    """
+    iterations = graph.iterations()
+    iteration_cost: List[int] = [0] * iterations
+    section_costs: List[Dict[str, int]] = [dict() for _ in range(iterations)]
+    iteration_of_task: Dict[int, int] = {}
+    for task in graph.tasks:
+        iteration_cost[task.iteration] += task.cost
+        iteration_of_task[task.index] = task.iteration
+        for group, cost in task.section_costs.items():
+            section_costs[task.iteration][group] = (
+                section_costs[task.iteration].get(group, 0) + cost
+            )
+
+    # Lift serialization edges to iteration pairs.
+    iteration_sources: List[List[int]] = [[] for _ in range(iterations)]
+    for edge in graph.edges:
+        source_iter = iteration_of_task[edge.source]
+        target_iter = iteration_of_task[edge.target]
+        if source_iter < target_iter:
+            iteration_sources[target_iter].append(source_iter)
+
+    sequential_time = graph.total_cost()
+    cores = machine.cores
+    if cores == 1:
+        return TLSSimulationResult(machine, sequential_time, sequential_time)
+
+    core_free = [0] * cores
+    iteration_end = [0] * iterations
+    lock_free: Dict[str, int] = {}
+    serialization_wait = 0
+
+    for i in range(iterations):
+        core = min(range(cores), key=lambda c: (core_free[c], c))
+        start = core_free[core]
+        constrained = start
+        for source in iteration_sources[i]:
+            constrained = max(constrained, iteration_end[source])
+        serialization_wait += constrained - start
+        # Commutative sections: group-exclusive slices inside the iteration.
+        wait_total = 0
+        for group in sorted(section_costs[i]):
+            section = section_costs[i][group]
+            acquire_at = max(constrained + wait_total, lock_free.get(group, 0))
+            wait_total += acquire_at - (constrained + wait_total)
+            lock_free[group] = acquire_at + section
+        end = constrained + iteration_cost[i] + wait_total
+        iteration_end[i] = end
+        core_free[core] = end
+
+    makespan = max(iteration_end) if iterations else 0
+    return TLSSimulationResult(
+        machine=machine,
+        makespan=makespan,
+        sequential_time=sequential_time,
+        serialization_wait_time=serialization_wait,
+    )

@@ -1,0 +1,209 @@
+"""186.crafty analog: iterative-deepening alpha-beta game-tree search.
+
+Section 4.3.1's parallelization, reproduced structurally:
+
+- ``Iterate`` runs searches of increasing depth (the outer loop);
+- ``SearchRoot`` searches each root move independently; the recursive
+  ``Search`` is "unrolled" one level by specialization, so the unit of
+  parallel work is a *(root move, reply move)* subtree — that is what lets
+  the speedup scale with threads instead of stalling at ~2x;
+- the ``search`` state variable is value-predicted to be identical after
+  every iteration (MakeMove/UnMakeMove cancel out) — recorded as a value
+  site the profile proves constant;
+- the ``next_time_check`` cutoff branch is control-speculated not-taken —
+  recorded as a heavily biased branch site;
+- the transposition and pawn-structure caches would otherwise be an alias
+  nightmare ("the sheer amount of misspeculation limits performance"); each
+  cache access goes through a *Commutative* section, so only the tiny atomic
+  sections remain.
+
+The game is a deterministic synthetic zero-sum tree: node identities are
+64-bit mixes, branching factors and leaf values derive from the node hash.
+Alpha-beta pruning inside each subtree gives realistically skewed task costs
+("the amount of time it takes to search a particular move is highly
+variable").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.profiling.context import current_tracer
+from repro.profiling.tracer import Tracer
+from repro.workloads.base import Workload, WorkloadInfo
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+_INFINITY = 10 ** 9
+
+
+def _mix(node: int, index: int) -> int:
+    value = (node * 0x9E3779B97F4A7C15 + index * 0xBF58476D1CE4E5B9 + 0x94D049BB) & _MASK
+    value ^= value >> 29
+    return (value * 0x2545F4914F6CDD1D) & _MASK
+
+
+def _branching(node: int) -> int:
+    return 3 + ((node >> 7) % 5)  # 3..7 children
+
+
+def _leaf_value(node: int) -> int:
+    return int((node >> 13) % 2001) - 1000
+
+
+class _Caches:
+    """Transposition + pawn caches; every access is a Commutative section.
+
+    A cache probe is a few dozen cycles inside a node evaluation of a few
+    thousand, so the tracer samples one access event in
+    ``_SAMPLE`` — enough for the memory profile (and the no-annotation
+    ablation) to see the sharing pattern without inflating the atomic
+    sections beyond their true share of the work.
+    """
+
+    _SAMPLE = 8
+
+    def __init__(self) -> None:
+        self.trans_ref: Dict[int, Tuple[int, int]] = {}
+        self.pawn_hash_table: Dict[int, int] = {}
+        self.hits = 0
+        self.probes = 0
+        # Caches are semantically transparent: rolling back a speculative
+        # store just means tolerating (or dropping) a stale entry.
+        from repro.annotations.registry import global_registry
+
+        global_registry().register_group_rollback(
+            "crafty.caches", self.trans_ref.clear
+        )
+
+    def probe(self, node: int, depth: int):
+        self.probes += 1
+        tracer = current_tracer()
+        if tracer is not None and self.probes % self._SAMPLE == 0:
+            with tracer.commutative("crafty.caches"):
+                tracer.load("trans_ref", node % 64)
+                tracer.work(1)
+        entry = self.trans_ref.get(node)
+        if entry is not None and entry[0] >= depth:
+            self.hits += 1
+            return entry[1]
+        return None
+
+    def store(self, node: int, depth: int, score: int) -> None:
+        tracer = current_tracer()
+        if tracer is not None and self.probes % self._SAMPLE == 0:
+            with tracer.commutative("crafty.caches"):
+                tracer.store("trans_ref", node % 64, value=(depth, score))
+                tracer.work(1)
+        self.trans_ref[node] = (depth, score)
+
+
+class CraftyWorkload(Workload):
+    """Iterate -> SearchRoot -> Search, unrolled one recursion level."""
+
+    info = WorkloadInfo(
+        name="186.crafty",
+        loops=(
+            "SearchRoot (searchr.c:52-153)",
+            "Search (search.c:218-368)",
+        ),
+        exec_time_pct=("100%", "98%"),
+        lines_changed_all=0,
+        lines_changed_model=9,
+        techniques=("Commutative", "TLS Memory", "DSWP", "Nested"),
+    )
+
+    #: Root positions offer more moves than mid-tree nodes (chess: ~30).
+    root_branching = 14
+
+    def __init__(self, seed: int = 186, max_depth: int = 6) -> None:
+        self.root = _mix(seed, 0)
+        self.max_depth = max_depth
+
+    def run(self, tracer: Tracer):
+        caches = _Caches()
+        best_overall: Tuple[int, int, int] = (-_INFINITY, -1, -1)
+        iteration = 0
+        nodes_searched = 0
+
+        for depth in range(2, self.max_depth + 1):
+            root_moves = [
+                _mix(self.root, i) for i in range(self.root_branching)
+            ]
+            best_at_depth: Tuple[int, int, int] = (-_INFINITY, -1, -1)
+            for root_index, root_child in enumerate(root_moves):
+                replies = [
+                    _mix(root_child, j) for j in range(_branching(root_child))
+                ]
+                for reply_index, reply in enumerate(replies):
+                    with tracer.task("A", iteration):
+                        # MakeMove twice (root move + reply).  The search
+                        # state is provably identical after UnMakeMove —
+                        # the value speculation of Section 4.3.1.
+                        tracer.value("search.state", self.root)
+                        tracer.work(2)
+
+                    with tracer.task("B", iteration):
+                        score, work, visited = self._search(
+                            reply, depth - 2, -_INFINITY, _INFINITY, caches
+                        )
+                        # Two plies of negation back to the root's view.
+                        root_view = score if depth % 2 == 0 else -score
+                        nodes_searched += visited
+                        # The time-check branch: speculated not-taken.
+                        tracer.branch("crafty.next_time_check", taken=False)
+                        tracer.store("search.result", iteration, value=root_view)
+                        tracer.work(work)
+
+                    with tracer.task("C", iteration):
+                        tracer.load("search.result", iteration)
+                        candidate = (root_view, root_index, reply_index)
+                        if candidate > best_at_depth:
+                            best_at_depth = candidate
+                        tracer.work(2)
+
+                    iteration += 1
+            best_overall = best_at_depth
+
+        return {
+            "best_score": best_overall[0],
+            "best_move": best_overall[1],
+            "best_reply": best_overall[2],
+            "nodes": nodes_searched,
+            "cache_hits": caches.hits,
+        }
+
+    def _search(self, node: int, depth: int, alpha: int, beta: int,
+                caches: _Caches) -> Tuple[int, int, int]:
+        """Negamax with alpha-beta and the transposition cache.
+
+        Returns (score, work units, nodes visited).
+        """
+        if depth <= 0:
+            # Static evaluation is the expensive part of a chess node:
+            # material, pawn structure, king safety...
+            return _leaf_value(node), 14, 1
+
+        cached = caches.probe(node, depth)
+        if cached is not None:
+            return cached, 3, 1
+
+        work = 3
+        visited = 1
+        best = -_INFINITY
+        for index in range(_branching(node)):
+            child = _mix(node, index)
+            score, child_work, child_visited = self._search(
+                child, depth - 1, -beta, -alpha, caches
+            )
+            score = -score
+            work += child_work + 1
+            visited += child_visited
+            if score > best:
+                best = score
+            if best > alpha:
+                alpha = best
+            if alpha >= beta:
+                break  # the aggressive pruning that skews task times
+
+        caches.store(node, depth, best)
+        return best, work, visited

@@ -1,0 +1,235 @@
+"""254.gap analog: an algebra interpreter with a copying garbage collector.
+
+Section 4.2.2: gap's Read-Evaluate-Print loop can run input statements in
+parallel once (a) the ``Last`` variable (result of the previous statement)
+is alias-speculated and (b) the bump allocator is marked *Commutative*.
+"For the input sets of 254.gap, this parallelization obtains a speedup of
+almost 2x before misspeculation becomes a factor. ... the copy garbage
+collection causes a large amount of the misspeculation because it touches
+all 'memory', moving around objects to compact the space used."
+
+The analog interprets a small expression language over heap-allocated
+integer and list objects.  The heap is a real two-space arena: when an
+allocation would overflow, a copying collection walks the environment
+roots, copies every live object into to-space and rewrites the slots — the
+tracer sees stores on every surviving object, which is exactly the
+misspeculation bomb the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.annotations.commutative import commutative
+from repro.profiling.context import current_tracer
+from repro.profiling.tracer import Tracer
+from repro.workloads.base import Workload, WorkloadInfo
+from repro.workloads.generators import Xorshift
+
+_allocation_cursor = [0]
+
+
+def _reset_allocator() -> None:
+    _allocation_cursor[0] = 0
+
+
+def gap_free_all() -> None:
+    """Rollback partner: reclaim the bump allocator wholesale."""
+    _allocation_cursor[0] = 0
+
+
+@commutative(group="gap.alloc", rollback=gap_free_all)
+def gap_alloc(cells: int) -> int:
+    """Bump-allocate ``cells`` from the interpreter's arena (Commutative)."""
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.load("gap.alloc", "cursor")
+    offset = _allocation_cursor[0]
+    _allocation_cursor[0] = offset + cells
+    if tracer is not None:
+        tracer.store("gap.alloc", "cursor", value=_allocation_cursor[0])
+        tracer.work(1)
+    return offset
+
+
+class _Heap:
+    """Two-space copying heap of boxed values."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.objects: Dict[int, Tuple[str, object]] = {}
+        self.next_slot = 0
+        self.live_cells = 0
+        self.collections = 0
+
+    def allocate(self, kind: str, payload, cells: int, roots: Dict[str, int],
+                 tracer: Optional[Tracer]) -> Tuple[int, int]:
+        """Allocate; returns (slot, gc work or 0)."""
+        gc_work = 0
+        if self.live_cells + cells > self.capacity:
+            gc_work = self.collect(roots, tracer)
+        gap_alloc(cells)
+        slot = self.next_slot
+        self.next_slot += 1
+        self.objects[slot] = (kind, payload)
+        self.live_cells += cells
+        if tracer is not None:
+            tracer.store("gap.heap", slot, value=kind)
+        return slot, gc_work
+
+    def collect(self, roots: Dict[str, int], tracer: Optional[Tracer]) -> int:
+        """Copying GC: every live object moves — and is visibly written."""
+        self.collections += 1
+        live = {}
+        work = 4
+        for name, slot in roots.items():
+            if slot in self.objects:
+                live[slot] = self.objects[slot]
+                work += 2
+        # Copy to to-space: new slot ids, slots rewritten in the roots.
+        self.objects = {}
+        self.live_cells = 0
+        remap: Dict[int, int] = {}
+        for old_slot, (kind, payload) in live.items():
+            new_slot = self.next_slot
+            self.next_slot += 1
+            remap[old_slot] = new_slot
+            self.objects[new_slot] = (kind, payload)
+            self.live_cells += _cells_of(kind, payload)
+            work += 3
+            if tracer is not None:
+                # The copy touches all "memory": the misspeculation source.
+                tracer.store("gap.heap", new_slot, value=kind)
+                tracer.store("gap.heap", old_slot, value="moved")
+        for name in list(roots):
+            if roots[name] in remap:
+                roots[name] = remap[roots[name]]
+        return work
+
+    def value(self, slot: int):
+        return self.objects[slot][1]
+
+
+def _cells_of(kind: str, payload) -> int:
+    return 1 if kind == "int" else 1 + len(payload)
+
+
+#: Statement kinds the generator emits.
+_ASSIGN, _LIST, _SUM, _USE_LAST = range(4)
+
+
+def generate_statements(seed: int, count: int, variables: int = 10):
+    rng = Xorshift(seed)
+    statements = []
+    for _ in range(count):
+        draw = rng.below(100)
+        if draw < 22:
+            statements.append((_ASSIGN, rng.below(variables), rng.below(50) + 1,
+                               rng.below(variables)))
+        elif draw < 45:
+            statements.append((_LIST, rng.below(variables), 2 + rng.below(6),
+                               rng.below(variables)))
+        elif draw < 60:
+            statements.append((_SUM, rng.below(variables), 0, rng.below(variables)))
+        else:
+            statements.append((_USE_LAST, rng.below(variables), rng.below(9) + 1, 0))
+    return statements
+
+
+class GapWorkload(Workload):
+    """The Read-Evaluate-Print loop of the gap interpreter."""
+
+    info = WorkloadInfo(
+        name="254.gap",
+        loops=("main (gap.c:191-227)",),
+        exec_time_pct="100%",
+        lines_changed_all=3,
+        lines_changed_model=3,
+        techniques=("Commutative", "TLS Memory", "DSWP", "Alias Speculation"),
+    )
+
+    def __init__(self, seed: int = 254, statement_count: int = 420,
+                 heap_capacity: int = 100) -> None:
+        self.statements = generate_statements(seed, statement_count)
+        self.heap_capacity = heap_capacity
+
+    def run(self, tracer: Tracer):
+        _reset_allocator()
+        heap = _Heap(self.heap_capacity)
+        env: Dict[str, int] = {}
+        last_value = 0
+        printed: List[int] = []
+
+        for iteration, (kind, target, literal, source) in enumerate(self.statements):
+            with tracer.task("A", iteration):
+                # Read and tokenize one input statement.
+                tracer.work(3)
+
+            with tracer.task("B", iteration):
+                work = 8
+                if kind == _ASSIGN:
+                    base = self._load_int(heap, env, f"v{source}", tracer)
+                    value = (base + literal) % (1 << 30)
+                    slot, gc_work = heap.allocate("int", value, 1, env, tracer)
+                    env[f"v{target}"] = slot
+                    work += 6 + gc_work
+                elif kind == _LIST:
+                    items = [
+                        (self._load_int(heap, env, f"v{source}", tracer) + i) % 997
+                        for i in range(literal)
+                    ]
+                    slot, gc_work = heap.allocate(
+                        "list", items, 1 + literal, env, tracer
+                    )
+                    env[f"v{target}"] = slot
+                    # Last holds the list; its printable value is the sum.
+                    value = sum(items) % (1 << 30)
+                    work += 4 + 3 * literal + gc_work
+                elif kind == _SUM:
+                    slot = env.get(f"v{source}")
+                    value = 0
+                    if slot is not None and slot in heap.objects:
+                        tracer.load("gap.heap", slot)
+                        payload = heap.value(slot)
+                        value = (
+                            sum(payload) if isinstance(payload, list) else payload
+                        )
+                        work += 2 + (
+                            len(payload) if isinstance(payload, list) else 1
+                        )
+                    new_slot, gc_work = heap.allocate("int", value, 1, env, tracer)
+                    env[f"v{target}"] = new_slot
+                    work += gc_work
+                else:  # _USE_LAST: the alias-speculated Last variable
+                    tracer.load("gap", "Last")
+                    value = (last_value * literal) % (1 << 30)
+                    slot, gc_work = heap.allocate("int", value, 1, env, tracer)
+                    env[f"v{target}"] = slot
+                    work += 4 + gc_work
+                last_value = value
+                tracer.store("gap", "Last", value=last_value)
+                tracer.store("gap.result", iteration, value=last_value)
+                tracer.work(work * 6)
+
+            with tracer.task("C", iteration):
+                tracer.load("gap.result", iteration)
+                printed.append(last_value)
+                tracer.work(2)
+
+        return {
+            "digest": sum(i * v for i, v in enumerate(printed)) % (1 << 32),
+            "collections": heap.collections,
+            "statements": len(printed),
+        }
+
+    @staticmethod
+    def _load_int(heap: _Heap, env: Dict[str, int], name: str,
+                  tracer: Tracer) -> int:
+        slot = env.get(name)
+        if slot is None or slot not in heap.objects:
+            return 0
+        tracer.load("gap.heap", slot)
+        payload = heap.value(slot)
+        if isinstance(payload, list):
+            return payload[0] if payload else 0
+        return payload

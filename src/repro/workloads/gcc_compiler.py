@@ -1,0 +1,416 @@
+"""A mini-C compiler front end and code generator, built on :mod:`repro.ir`.
+
+This is the substrate of the 176.gcc workload analog: a real (small)
+compiler — tokenizer, recursive-descent parser, AST, lowering to the
+package's own IR, the scalar pass pipeline of :mod:`repro.ir.transforms`,
+and a textual code generator with function-local label numbering (the
+paper's ``label_num`` fix, Section 4.2.1: labels become *(function, number)*
+pairs, so the assembly differs only in label spelling — semantically,
+though not syntactically, equivalent output).
+
+Grammar (statements end with ';', blocks with braces)::
+
+    function := 'func' NAME '(' params ')' '{' statement* '}'
+    statement := NAME '=' expr ';'
+               | 'while' '(' expr ')' '{' statement* '}'
+               | 'if' '(' expr ')' '{' statement* '}' ('else' '{' statement* '}')?
+               | 'return' expr ';'
+    expr := comparison over + - * with parentheses, names, integers
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.transforms import run_pass_pipeline
+from repro.ir.values import MemoryObject
+from repro.workloads.generators import Xorshift
+
+# ---------------------------------------------------------------------------------
+# Source generation
+# ---------------------------------------------------------------------------------
+
+def generate_source(seed: int, function_count: int = 40) -> str:
+    """A compilation unit of ``function_count`` functions with skewed sizes."""
+    rng = Xorshift(seed)
+    functions: List[str] = []
+    for index in range(function_count):
+        # Heavy tail: a few big functions dominate, as in real C files.
+        draw = rng.below(100)
+        if draw < 60:
+            statements = 4 + rng.below(8)
+        elif draw < 90:
+            statements = 12 + rng.below(20)
+        else:
+            statements = 40 + rng.below(50)
+        functions.append(_generate_function(rng, f"fn{index}", statements))
+    return "\n\n".join(functions)
+
+
+def _generate_function(rng: Xorshift, name: str, statement_count: int) -> str:
+    params = ["a", "b"]
+    variables = params + ["x", "y", "z", "t"]
+    lines = [f"func {name}(a, b) {{"]
+    lines.append("  x = a + 1; y = b * 2; z = 0; t = 3;")
+    produced = 0
+    depth = 1
+    while produced < statement_count:
+        choice = rng.below(100)
+        indent = "  " * depth
+        if choice < 55 or depth >= 3:
+            target = variables[2 + rng.below(4)]
+            lines.append(f"{indent}{target} = {_generate_expr(rng, variables)};")
+            produced += 1
+        elif choice < 75:
+            # The loop variable is also the decremented one, so every
+            # generated loop terminates (the interpreter-based tests run
+            # these functions to completion).
+            bound_var = variables[2 + rng.below(4)]
+            lines.append(f"{indent}while ({bound_var} > {rng.below(9)}) {{")
+            lines.append(f"{indent}  {bound_var} = {bound_var} - {1 + rng.below(3)};")
+            body_target = variables[2 + rng.below(4)]
+            if body_target != bound_var:
+                lines.append(
+                    f"{indent}  {body_target} = {body_target} + {bound_var};"
+                )
+            lines.append(f"{indent}}}")
+            produced += 2
+        else:
+            lines.append(
+                f"{indent}if ({_generate_expr(rng, variables)} > {rng.below(50)}) {{"
+            )
+            target = variables[2 + rng.below(4)]
+            lines.append(f"{indent}  {target} = {_generate_expr(rng, variables)};")
+            lines.append(f"{indent}}} else {{")
+            lines.append(f"{indent}  {target} = {rng.below(100)};")
+            lines.append(f"{indent}}}")
+            produced += 2
+    lines.append("  return x + y;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _generate_expr(rng: Xorshift, variables: List[str]) -> str:
+    terms = []
+    for _ in range(1 + rng.below(3)):
+        if rng.chance(0.5):
+            terms.append(variables[rng.below(len(variables))])
+        else:
+            terms.append(str(rng.below(64)))
+    ops = ["+", "-", "*"]
+    expr = terms[0]
+    for term in terms[1:]:
+        expr = f"{expr} {ops[rng.below(3)]} {term}"
+    return expr
+
+
+# ---------------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------------
+
+_KEYWORDS = {"func", "while", "if", "else", "return"}
+_SYMBOLS = {"(", ")", "{", "}", ";", ",", "=", "+", "-", "*", ">", "<"}
+
+
+def tokenize(source: str) -> List[Tuple[str, str]]:
+    """(kind, text) tokens; kinds: kw, name, int, sym."""
+    tokens: List[Tuple[str, str]] = []
+    i = 0
+    while i < len(source):
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < len(source) and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            tokens.append(("kw" if word in _KEYWORDS else "name", word))
+            i = j
+            continue
+        if ch.isdigit():
+            j = i
+            while j < len(source) and source[j].isdigit():
+                j += 1
+            tokens.append(("int", source[i:j]))
+            i = j
+            continue
+        if ch in _SYMBOLS:
+            tokens.append(("sym", ch))
+            i += 1
+            continue
+        raise SyntaxError(f"unexpected character {ch!r} at offset {i}")
+    return tokens
+
+
+# ---------------------------------------------------------------------------------
+# Parser -> AST  (tuples: ("assign", name, expr), ("while", cond, body), ...)
+# ---------------------------------------------------------------------------------
+
+class Parser:
+    """Recursive-descent parser over the token stream; produces tuple ASTs."""
+
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    def _peek(self) -> Tuple[str, str]:
+        return self.tokens[self.position] if self.position < len(self.tokens) else ("eof", "")
+
+    def _take(self, kind: Optional[str] = None, text: Optional[str] = None) -> Tuple[str, str]:
+        token = self._peek()
+        if kind is not None and token[0] != kind:
+            raise SyntaxError(f"expected {kind}, got {token}")
+        if text is not None and token[1] != text:
+            raise SyntaxError(f"expected {text!r}, got {token}")
+        self.position += 1
+        return token
+
+    def parse_unit(self) -> List[Tuple]:
+        functions = []
+        while self._peek()[0] != "eof":
+            functions.append(self.parse_function())
+        return functions
+
+    def parse_function(self) -> Tuple:
+        self._take("kw", "func")
+        name = self._take("name")[1]
+        self._take("sym", "(")
+        params = []
+        while self._peek() != ("sym", ")"):
+            params.append(self._take("name")[1])
+            if self._peek() == ("sym", ","):
+                self._take()
+        self._take("sym", ")")
+        body = self.parse_block()
+        return ("function", name, params, body)
+
+    def parse_block(self) -> List[Tuple]:
+        self._take("sym", "{")
+        statements = []
+        while self._peek() != ("sym", "}"):
+            statements.append(self.parse_statement())
+        self._take("sym", "}")
+        return statements
+
+    def parse_statement(self) -> Tuple:
+        kind, text = self._peek()
+        if (kind, text) == ("kw", "while"):
+            self._take()
+            self._take("sym", "(")
+            condition = self.parse_expression()
+            self._take("sym", ")")
+            return ("while", condition, self.parse_block())
+        if (kind, text) == ("kw", "if"):
+            self._take()
+            self._take("sym", "(")
+            condition = self.parse_expression()
+            self._take("sym", ")")
+            then_body = self.parse_block()
+            else_body: List[Tuple] = []
+            if self._peek() == ("kw", "else"):
+                self._take()
+                else_body = self.parse_block()
+            return ("if", condition, then_body, else_body)
+        if (kind, text) == ("kw", "return"):
+            self._take()
+            value = self.parse_expression()
+            self._take("sym", ";")
+            return ("return", value)
+        name = self._take("name")[1]
+        self._take("sym", "=")
+        value = self.parse_expression()
+        self._take("sym", ";")
+        return ("assign", name, value)
+
+    def parse_expression(self) -> Tuple:
+        left = self.parse_additive()
+        while self._peek()[1] in (">", "<"):
+            op = self._take()[1]
+            right = self.parse_additive()
+            left = ("cmp", "gt" if op == ">" else "lt", left, right)
+        return left
+
+    def parse_additive(self) -> Tuple:
+        left = self.parse_multiplicative()
+        while self._peek()[1] in ("+", "-"):
+            op = self._take()[1]
+            right = self.parse_multiplicative()
+            left = ("bin", "add" if op == "+" else "sub", left, right)
+        return left
+
+    def parse_multiplicative(self) -> Tuple:
+        left = self.parse_primary()
+        while self._peek()[1] == "*":
+            self._take()
+            right = self.parse_primary()
+            left = ("bin", "mul", left, right)
+        return left
+
+    def parse_primary(self) -> Tuple:
+        kind, text = self._peek()
+        if kind == "int":
+            self._take()
+            return ("const", int(text))
+        if kind == "name":
+            self._take()
+            return ("var", text)
+        if (kind, text) == ("sym", "("):
+            self._take()
+            inner = self.parse_expression()
+            self._take("sym", ")")
+            return inner
+        raise SyntaxError(f"unexpected token {self._peek()}")
+
+
+# ---------------------------------------------------------------------------------
+# Lowering: AST -> repro.ir
+# ---------------------------------------------------------------------------------
+
+class Lowerer:
+    """Lowers one parsed function to IR; locals live in memory objects."""
+
+    def __init__(self) -> None:
+        self.block_counter = 0
+        self.work = 0
+
+    def lower(self, ast: Tuple) -> Function:
+        _, name, params, body = ast
+        from repro.ir.types import IntType
+
+        function = Function(name, [IntType(64)] * len(params), list(params))
+        builder = FunctionBuilder(function)
+        builder.block("entry")
+        self.variables: Dict[str, MemoryObject] = {}
+        for index, param in enumerate(params):
+            slot = MemoryObject(f"{name}.{param}")
+            self.variables[param] = slot
+            builder.store(builder.param(index), slot, [slot])
+            self.work += 2
+        self._lower_body(builder, name, body)
+        if builder.current.terminator is None:
+            builder.ret(0)
+        return function
+
+    def _fresh_block(self, prefix: str) -> str:
+        self.block_counter += 1
+        return f"{prefix}{self.block_counter}"
+
+    def _slot(self, function_name: str, var: str) -> MemoryObject:
+        if var not in self.variables:
+            self.variables[var] = MemoryObject(f"{function_name}.{var}")
+        return self.variables[var]
+
+    def _lower_body(self, builder: FunctionBuilder, fname: str, body: List[Tuple]) -> None:
+        for statement in body:
+            self.work += 3
+            kind = statement[0]
+            if kind == "assign":
+                _, name, expr = statement
+                value = self._lower_expr(builder, fname, expr)
+                slot = self._slot(fname, name)
+                builder.store(value, slot, [slot])
+            elif kind == "return":
+                builder.ret(self._lower_expr(builder, fname, statement[1]))
+                # Statements after a return are unreachable; park them in a
+                # fresh block so the IR stays well formed.
+                builder.block(self._fresh_block("dead"))
+            elif kind == "while":
+                _, condition, loop_body = statement
+                header = self._fresh_block("while")
+                body_name = self._fresh_block("body")
+                exit_name = self._fresh_block("endwhile")
+                builder.jump(header)
+                builder.block(header)
+                test = self._lower_expr(builder, fname, condition)
+                builder.branch(test, body_name, exit_name)
+                builder.block(body_name)
+                self._lower_body(builder, fname, loop_body)
+                if builder.current.terminator is None:
+                    builder.jump(header)
+                builder.block(exit_name)
+            elif kind == "if":
+                _, condition, then_body, else_body = statement
+                then_name = self._fresh_block("then")
+                else_name = self._fresh_block("else")
+                join_name = self._fresh_block("join")
+                test = self._lower_expr(builder, fname, condition)
+                builder.branch(test, then_name, else_name)
+                builder.block(then_name)
+                self._lower_body(builder, fname, then_body)
+                if builder.current.terminator is None:
+                    builder.jump(join_name)
+                builder.block(else_name)
+                self._lower_body(builder, fname, else_body)
+                if builder.current.terminator is None:
+                    builder.jump(join_name)
+                builder.block(join_name)
+            else:
+                raise ValueError(f"unknown statement {kind}")
+
+    def _lower_expr(self, builder: FunctionBuilder, fname: str, expr: Tuple):
+        self.work += 1
+        kind = expr[0]
+        if kind == "const":
+            from repro.ir.values import Constant
+
+            return Constant(expr[1])
+        if kind == "var":
+            slot = self._slot(fname, expr[1])
+            return builder.load(slot, [slot])
+        if kind in ("bin", "cmp"):
+            _, op, left, right = expr
+            lhs = self._lower_expr(builder, fname, left)
+            rhs = self._lower_expr(builder, fname, right)
+            return builder.binop(op, lhs, rhs)
+        raise ValueError(f"unknown expression {kind}")
+
+
+# ---------------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------------
+
+def generate_assembly(function: Function, function_index: int) -> Tuple[List[str], int]:
+    """Textual assembly with (function, number) labels; returns (lines, work)."""
+    lines = [f".globl {function.name}", f"{function.name}:"]
+    work = 2
+    label_numbers: Dict[str, str] = {}
+    for number, block in enumerate(function.blocks):
+        label_numbers[block.name] = f".L{function_index}_{number}"
+    for block in function.blocks:
+        lines.append(f"{label_numbers[block.name]}:")
+        for instruction in block.instructions:
+            rendered = repr(instruction)
+            for name, label in label_numbers.items():
+                rendered = rendered.replace(name, label)
+            lines.append(f"    {rendered}")
+            work += 1
+    return lines, work
+
+
+def compile_function(source_ast: Tuple, function_index: int,
+                     optimization_rounds: int = 3):
+    """Lower, optimize and codegen one function.
+
+    Returns (assembly lines, statistics dict, work units) — the unit of
+    phase-B work in the gcc workload.
+    """
+    from repro.ir.ssa import promote_memory_to_registers
+
+    lowerer = Lowerer()
+    function = lowerer.lower(source_ast)
+    size_before = sum(1 for _ in function.instructions())
+    promoted = promote_memory_to_registers(function)
+    stats = run_pass_pipeline(function, rounds=optimization_rounds)
+    stats["mem2reg"] = promoted
+    size_after = sum(1 for _ in function.instructions())
+    assembly, gen_work = generate_assembly(function, function_index)
+    # Pass cost: each round walks the whole function several times, and gcc's
+    # passes are superlinear in practice.
+    pass_work = optimization_rounds * (size_before * 4 + size_before ** 2 // 16)
+    work = lowerer.work + pass_work + gen_work
+    stats.update({"size_before": size_before, "size_after": size_after})
+    return assembly, stats, work

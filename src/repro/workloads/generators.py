@@ -1,0 +1,150 @@
+"""Deterministic input generators shared by the workload analogs.
+
+All generators are pure functions of their seed, so every workload run —
+on any machine, any Python — sees identical input and produces an identical
+trace.  The text generator produces English-like byte streams with enough
+repetition that LZ77/BWT compression behaves realistically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class Xorshift:
+    """A tiny, portable PRNG (xorshift64*), independent of ``random``."""
+
+    def __init__(self, seed: int) -> None:
+        self.state = (seed or 0x9E3779B9) & 0xFFFFFFFFFFFFFFFF
+
+    def next(self) -> int:
+        x = self.state
+        x ^= (x >> 12) & 0xFFFFFFFFFFFFFFFF
+        x ^= (x << 25) & 0xFFFFFFFFFFFFFFFF
+        x ^= (x >> 27) & 0xFFFFFFFFFFFFFFFF
+        self.state = x & 0xFFFFFFFFFFFFFFFF
+        return (x * 0x2545F4914F6CDD1D) & 0xFFFFFFFFFFFFFFFF
+
+    def below(self, bound: int) -> int:
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.next() % bound
+
+    def chance(self, probability: float) -> bool:
+        return self.next() % 1_000_000 < probability * 1_000_000
+
+    def choice(self, items):
+        return items[self.below(len(items))]
+
+
+_WORD_STEMS = [
+    "the", "of", "and", "to", "in", "that", "it", "was", "for", "on",
+    "are", "with", "as", "his", "they", "be", "at", "one", "have", "this",
+    "from", "or", "had", "by", "word", "but", "what", "some", "we", "can",
+    "out", "other", "were", "all", "there", "when", "up", "use", "your",
+    "how", "said", "an", "each", "she", "which", "do", "their", "time",
+    "if", "will", "way", "about", "many", "then", "them", "write", "would",
+    "like", "so", "these", "her", "long", "make", "thing", "see", "him",
+    "two", "has", "look", "more", "day", "could", "go", "come", "did",
+    "number", "sound", "no", "most", "people", "my", "over", "know",
+    "water", "than", "call", "first", "who", "may", "down", "side",
+    "been", "now", "find", "any", "new", "work", "part", "take", "get",
+    "place", "made", "live", "where", "after", "back", "little", "only",
+    "round", "man", "year", "came", "show", "every", "good", "me",
+]
+
+
+def generate_text(seed: int, size: int) -> bytes:
+    """English-like byte text of exactly ``size`` bytes (Zipf-ish words)."""
+    rng = Xorshift(seed)
+    pieces: List[bytes] = []
+    produced = 0
+    vocabulary = len(_WORD_STEMS)
+    while produced < size:
+        # Zipf-like: squaring a uniform fraction concentrates mass on the
+        # low indices (P(index <= k) = sqrt(k/n)), so common words dominate.
+        draw = rng.below(vocabulary * vocabulary)
+        index = (draw * draw) // (vocabulary ** 3)
+        word = _WORD_STEMS[min(index, vocabulary - 1)].encode()
+        if rng.chance(0.08):
+            word = word.capitalize()
+        pieces.append(word)
+        produced += len(word)
+        if rng.chance(0.12):
+            pieces.append(b".\n" if rng.chance(0.3) else b", ")
+            produced += 2
+        else:
+            pieces.append(b" ")
+            produced += 1
+    return b"".join(pieces)[:size]
+
+
+def generate_sentences(seed: int, count: int,
+                       min_words: int = 4, max_words: int = 18) -> List[List[str]]:
+    """Token lists for the parser workload (terminals of its grammar)."""
+    rng = Xorshift(seed)
+    determiners = ["the", "a"]
+    nouns = ["dog", "cat", "bird", "tree", "house", "river", "cloud", "stone"]
+    verbs = ["sees", "likes", "chases", "finds", "watches"]
+    adjectives = ["big", "small", "old", "quick", "quiet"]
+    prepositions = ["near", "under", "over"]
+    sentences: List[List[str]] = []
+    for _ in range(count):
+        length_budget = min_words + rng.below(max_words - min_words + 1)
+        words: List[str] = [rng.choice(determiners), rng.choice(nouns), rng.choice(verbs)]
+        while len(words) < length_budget:
+            tail = rng.below(3)
+            if tail == 0:
+                words.extend([rng.choice(determiners), rng.choice(adjectives), rng.choice(nouns)])
+            elif tail == 1:
+                words.extend([rng.choice(prepositions), rng.choice(determiners), rng.choice(nouns)])
+            else:
+                words.extend([rng.choice(verbs), rng.choice(determiners), rng.choice(nouns)])
+        sentences.append(words[:max_words])
+    return sentences
+
+
+def generate_flow_network(seed: int, nodes: int, arcs_per_node: int) -> Tuple[List[int], List[Tuple[int, int, int, int]]]:
+    """A feasible min-cost-flow instance: (supplies, arcs).
+
+    Arcs are (tail, head, capacity, cost).  Supplies sum to zero: the first
+    quarter of nodes are sources, the last quarter sinks, balanced exactly.
+    A chain of high-capacity arcs guarantees feasibility.
+    """
+    rng = Xorshift(seed)
+    supplies = [0] * nodes
+    quarter = max(1, nodes // 4)
+    unit = 5
+    for i in range(quarter):
+        supplies[i] = unit
+        supplies[nodes - 1 - i] = -unit
+    arcs: List[Tuple[int, int, int, int]] = []
+    for tail in range(nodes - 1):  # feasibility chain
+        arcs.append((tail, tail + 1, unit * quarter, 50 + rng.below(20)))
+    for tail in range(nodes):
+        for _ in range(arcs_per_node):
+            head = rng.below(nodes)
+            if head == tail:
+                head = (head + 1) % nodes
+            arcs.append((tail, head, 1 + rng.below(10), 1 + rng.below(40)))
+    return supplies, arcs
+
+
+def generate_netlist(seed: int, cells: int, nets: int,
+                     max_pins: int = 4) -> List[List[int]]:
+    """Nets (cell-index lists) for the placement workloads."""
+    rng = Xorshift(seed)
+    netlist: List[List[int]] = []
+    for _ in range(nets):
+        pins = 2 + rng.below(max_pins - 1)
+        members = []
+        anchor = rng.below(cells)
+        members.append(anchor)
+        while len(members) < pins:
+            # Locality: most connections are to nearby cell indices.
+            offset = rng.below(cells // 8 + 1) - cells // 16
+            candidate = (anchor + offset) % cells
+            if candidate not in members:
+                members.append(candidate)
+        netlist.append(members)
+    return netlist

@@ -1,0 +1,347 @@
+"""A capacitated network-simplex min-cost-flow solver.
+
+181.mcf solves single-depot vehicle scheduling as min-cost flow with the
+primal network simplex.  This is a from-scratch implementation of that
+algorithm — spanning-tree basis, node potentials, Dantzig pricing with a
+Bland anti-cycling fallback, pivots with subtree re-rooting and potential
+refresh — structured so the mcf workload can drive it one pricing chunk /
+one pivot at a time, mirroring the paper's ``price_out_impl`` (arc pricing)
+and ``primal_net_simplex`` (pivoting, ``refresh_potential``) loops.
+
+Correctness is cross-validated against ``networkx.min_cost_flow`` in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+_BIG_COST = 10 ** 7
+
+#: Arc basis states.
+TREE, LOWER, UPPER = 0, 1, 2
+
+
+@dataclass
+class PivotResult:
+    """What one pivot did: for the workload's potential-store instrumentation."""
+
+    entering_arc: int
+    leaving_arc: int
+    delta: int
+    changed_nodes: List[int]
+    work: int
+    degenerate: bool
+
+
+class NetworkSimplex:
+    """Primal network simplex over (tail, head, capacity, cost) arcs.
+
+    ``supplies[i] > 0`` means node *i* ships ``supplies[i]`` units.  An
+    artificial root (index ``n``) with big-cost artificial arcs provides the
+    initial feasible spanning tree.
+    """
+
+    def __init__(self, supplies: Sequence[int], arcs: Sequence[Tuple[int, int, int, int]]) -> None:
+        if sum(supplies) != 0:
+            raise ValueError("supplies must sum to zero")
+        self.n = len(supplies)
+        self.root = self.n
+        self.supplies = list(supplies)
+
+        self.tail: List[int] = []
+        self.head: List[int] = []
+        self.capacity: List[int] = []
+        self.cost: List[int] = []
+        for tail, head, capacity, cost in arcs:
+            if not (0 <= tail < self.n and 0 <= head < self.n):
+                raise ValueError(f"arc ({tail},{head}) out of range")
+            if tail == head:
+                raise ValueError("self-loop arcs are not allowed")
+            self.tail.append(tail)
+            self.head.append(head)
+            self.capacity.append(capacity)
+            self.cost.append(cost)
+        self.real_arc_count = len(self.tail)
+
+        # Artificial arcs: supply nodes point at the root, others hang off it.
+        for node in range(self.n):
+            if self.supplies[node] > 0:
+                self.tail.append(node)
+                self.head.append(self.root)
+            else:
+                self.tail.append(self.root)
+                self.head.append(node)
+            self.capacity.append(abs(self.supplies[node]) or 1)
+            self.cost.append(_BIG_COST)
+
+        total = len(self.tail)
+        self.flow = [0] * total
+        self.state = [LOWER] * total
+        self.parent: List[Optional[int]] = [None] * (self.n + 1)
+        self.parent_arc: List[Optional[int]] = [None] * (self.n + 1)
+        self.potential = [0] * (self.n + 1)
+        self.pivots = 0
+        self.degenerate_streak = 0
+
+        for node in range(self.n):
+            arc = self.real_arc_count + node
+            self.state[arc] = TREE
+            self.flow[arc] = abs(self.supplies[node])
+            self.parent[node] = self.root
+            self.parent_arc[node] = arc
+        self._refresh_potentials_from(self.root)
+
+    # -- pricing ---------------------------------------------------------------------
+
+    def reduced_cost(self, arc: int) -> int:
+        return self.cost[arc] - self.potential[self.tail[arc]] + self.potential[self.head[arc]]
+
+    def arc_is_eligible(self, arc: int) -> bool:
+        if self.state[arc] == LOWER:
+            return self.reduced_cost(arc) < 0
+        if self.state[arc] == UPPER:
+            return self.reduced_cost(arc) > 0
+        return False
+
+    def scan_chunk(self, start: int, end: int) -> Tuple[Optional[int], int, int]:
+        """Dantzig pricing over arcs [start, end).
+
+        Returns (best arc or None, its |reduced cost|, work units).
+        Only real arcs are priced; artificial arcs never re-enter.
+        """
+        best_arc: Optional[int] = None
+        best_violation = 0
+        work = 0
+        for arc in range(start, min(end, self.real_arc_count)):
+            work += 1
+            state = self.state[arc]
+            if state == TREE:
+                continue
+            rc = self.reduced_cost(arc)
+            violation = -rc if state == LOWER else rc
+            if violation > best_violation:
+                best_violation = violation
+                best_arc = arc
+        return best_arc, best_violation, work
+
+    def find_entering_arc(self) -> Optional[int]:
+        if self.degenerate_streak > 50:
+            # Bland's rule: smallest eligible index — breaks pivot cycles.
+            for arc in range(self.real_arc_count):
+                if self.arc_is_eligible(arc):
+                    return arc
+            return None
+        best, violation, _ = self.scan_chunk(0, self.real_arc_count)
+        return best
+
+    # -- pivoting ---------------------------------------------------------------------
+
+    def pivot(self, entering: int) -> PivotResult:
+        """Push flow around the entering arc's cycle; swap basis arcs."""
+        work = 4
+        forward = self.state[entering] == LOWER  # push tail->head
+        source = self.tail[entering] if forward else self.head[entering]
+        sink = self.head[entering] if forward else self.tail[entering]
+
+        path_up_source, path_up_sink, ancestor, walk_work = self._cycle(source, sink)
+        work += walk_work
+
+        # Bottleneck: entering residual, then residuals along both legs.
+        delta = self.capacity[entering] - self.flow[entering] if forward else self.flow[entering]
+        leaving = entering
+        leaving_on_source_leg = True
+
+        # Source leg: flow moves from `source` toward the ancestor — each tree
+        # arc is traversed *against* the direction child->parent orientation
+        # if the arc points up, etc.  Residual depends on geometry.
+        # The cycle runs: source --entering--> sink --up--> ancestor --down--> source.
+        # Source leg (node -> parent edges): the cycle traverses them
+        # DOWNWARD (ancestor toward source), so an arc oriented
+        # child->parent (tail == node) has its flow *decreased*.
+        for node in path_up_source:
+            arc = self.parent_arc[node]
+            residual = (
+                self.flow[arc]
+                if self.tail[arc] == node
+                else self.capacity[arc] - self.flow[arc]
+            )
+            work += 1
+            if residual < delta:
+                delta = residual
+                leaving = arc
+                leaving_on_source_leg = True
+
+        # Sink leg: traversed UPWARD (sink toward ancestor), so an arc
+        # oriented child->parent (tail == node) has its flow *increased*.
+        for node in path_up_sink:
+            arc = self.parent_arc[node]
+            residual = (
+                self.capacity[arc] - self.flow[arc]
+                if self.tail[arc] == node
+                else self.flow[arc]
+            )
+            work += 1
+            if residual < delta:
+                delta = residual
+                leaving = arc
+                leaving_on_source_leg = False
+
+        # Apply the push.
+        if forward:
+            self.flow[entering] += delta
+        else:
+            self.flow[entering] -= delta
+        for node in path_up_source:
+            arc = self.parent_arc[node]
+            self.flow[arc] += -delta if self.tail[arc] == node else delta
+            work += 1
+        for node in path_up_sink:
+            arc = self.parent_arc[node]
+            self.flow[arc] += delta if self.tail[arc] == node else -delta
+            work += 1
+
+        degenerate = delta == 0
+        self.degenerate_streak = self.degenerate_streak + 1 if degenerate else 0
+        self.pivots += 1
+
+        if leaving == entering:
+            # The entering arc saturated: it flips bound without entering the basis.
+            self.state[entering] = UPPER if forward else LOWER
+            return PivotResult(entering, leaving, delta, [], work, degenerate)
+
+        # Basis exchange: detach the subtree cut off by the leaving arc and
+        # re-root it at the entering arc's endpoint inside it.
+        leaving_child = (
+            self._lower_endpoint(leaving, path_up_source)
+            if leaving_on_source_leg
+            else self._lower_endpoint(leaving, path_up_sink)
+        )
+        entering_inside = source if leaving_on_source_leg else sink
+        entering_outside = sink if leaving_on_source_leg else source
+
+        self.state[leaving] = UPPER if self.flow[leaving] >= self.capacity[leaving] else LOWER
+        self.state[entering] = TREE
+
+        self._reroot(entering_inside, leaving_child)
+        self.parent[entering_inside] = entering_outside
+        self.parent_arc[entering_inside] = entering
+        changed = self._refresh_potentials_from(entering_inside)
+        work += 2 * len(changed) + 4
+        return PivotResult(entering, leaving, delta, changed, work, degenerate)
+
+    def _cycle(self, source: int, sink: int) -> Tuple[List[int], List[int], int, int]:
+        """Paths from source and sink up to their common ancestor."""
+        work = 0
+        ancestors: Set[int] = set()
+        node: Optional[int] = source
+        while node is not None:
+            ancestors.add(node)
+            node = self.parent[node]
+            work += 1
+        node = sink
+        while node not in ancestors:
+            node = self.parent[node]
+            work += 1
+        common = node
+
+        path_source: List[int] = []
+        node = source
+        while node != common:
+            path_source.append(node)
+            node = self.parent[node]
+        path_sink: List[int] = []
+        node = sink
+        while node != common:
+            path_sink.append(node)
+            node = self.parent[node]
+        return path_source, path_sink, common, work
+
+    def _lower_endpoint(self, arc: int, leg: List[int]) -> int:
+        """The leg node whose parent arc is ``arc`` (the subtree side)."""
+        for node in leg:
+            if self.parent_arc[node] == arc:
+                return node
+        raise RuntimeError("leaving arc not found on its leg")
+
+    def _reroot(self, new_root: int, old_subroot: int) -> None:
+        """Reverse parent pointers along new_root -> ... -> old_subroot."""
+        chain: List[int] = []
+        node = new_root
+        while True:
+            chain.append(node)
+            if node == old_subroot:
+                break
+            node = self.parent[node]
+        previous_parent: Optional[int] = None
+        previous_arc: Optional[int] = None
+        for node in chain:
+            next_parent = self.parent[node]
+            next_arc = self.parent_arc[node]
+            self.parent[node] = previous_parent
+            self.parent_arc[node] = previous_arc
+            previous_parent = node
+            previous_arc = next_arc
+        # new_root's parent gets set by the caller (the entering arc).
+
+    def _refresh_potentials_from(self, subroot: int) -> List[int]:
+        """refresh_potential: recompute π below ``subroot`` from the tree.
+
+        Returns nodes whose potential was (re)computed — the paper
+        speculates these rarely actually change (Section 4.1.4).
+        """
+        children: List[List[int]] = [[] for _ in range(self.n + 1)]
+        for node in range(self.n):
+            parent = self.parent[node]
+            if parent is not None:
+                children[parent].append(node)
+
+        changed: List[int] = []
+        if subroot == self.root:
+            self.potential[self.root] = 0
+        else:
+            parent = self.parent[subroot]
+            arc = self.parent_arc[subroot]
+            self.potential[subroot] = self._potential_from(parent, arc, subroot)
+        stack = [subroot]
+        while stack:
+            node = stack.pop()
+            changed.append(node)
+            for child in children[node]:
+                arc = self.parent_arc[child]
+                self.potential[child] = self._potential_from(node, arc, child)
+                stack.append(child)
+        return changed
+
+    def _potential_from(self, parent: int, arc: int, child: int) -> int:
+        # Tree arcs have zero reduced cost: c - π_tail + π_head == 0.
+        if self.tail[arc] == child:
+            return self.cost[arc] + self.potential[self.head[arc]]
+        return self.potential[self.tail[arc]] - self.cost[arc]
+
+    # -- solution-level API ----------------------------------------------------------------
+
+    def solve(self, max_pivots: int = 100_000) -> int:
+        """Run to optimality; return the objective over real arcs."""
+        while self.pivots < max_pivots:
+            entering = self.find_entering_arc()
+            if entering is None:
+                break
+            self.pivot(entering)
+        return self.objective()
+
+    def objective(self) -> int:
+        return sum(
+            self.flow[arc] * self.cost[arc] for arc in range(self.real_arc_count)
+        )
+
+    def artificial_flow(self) -> int:
+        """Remaining flow on artificial arcs (0 at a genuine optimum)."""
+        return sum(
+            self.flow[arc]
+            for arc in range(self.real_arc_count, len(self.flow))
+        )
+
+    def is_optimal(self) -> bool:
+        return all(not self.arc_is_eligible(a) for a in range(self.real_arc_count))

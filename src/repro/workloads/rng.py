@@ -1,0 +1,81 @@
+"""The paper's Figure 2: ``Yacm_random`` from 300.twolf, made Commutative.
+
+The ACM "minimal standard" Lehmer generator maintains an internal recurrence
+on its *seed* — exactly the dependence that serializes every loop containing
+a call to it.  Marking the generator *Commutative* tells the framework the
+calls may execute in any order (Section 2.3.2 / 4.3.3): "it seems
+counterintuitive for parallelism to be limited by the generation of random
+numbers."
+
+:class:`AcmRandom` reports its seed accesses to the ambient tracer so the
+memory profile sees the recurrence; when ``commutative=True`` the accesses
+are group-tagged and the dependence disappears from the parallelizer's view
+while the tiny atomic section remains.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.profiling.context import current_tracer
+
+_MODULUS = 2147483647  # 2^31 - 1
+_MULTIPLIER = 16807    # 7^5, Lewis-Goodman-Miller
+
+
+class AcmRandom:
+    """Lehmer LCG with tracer-visible internal state.
+
+    Attributes:
+        group: the Commutative group name its accesses are tagged with, or
+            ``None`` to run un-annotated (the ablation case — every call then
+            serializes on the seed recurrence).
+    """
+
+    def __init__(self, seed: int = 1, commutative: bool = True,
+                 group: str = "Yacm_random") -> None:
+        if not 0 < seed < _MODULUS:
+            seed = (seed % (_MODULUS - 1)) + 1
+        self.seed = seed
+        self.group: Optional[str] = group if commutative else None
+        self.calls = 0
+        if self.group is not None:
+            # Section 2.3.2: speculative use of a Commutative function needs
+            # a rollback; for the generator that is restoring the seed.
+            from repro.annotations.registry import global_registry
+
+            global_registry().register_group_rollback(self.group, self.restore)
+
+    def next(self) -> int:
+        """One Lehmer step; returns the new seed value in [1, 2^31-2]."""
+        tracer = current_tracer()
+        if tracer is not None and self.group is not None:
+            with tracer.commutative(self.group):
+                return self._step(tracer)
+        return self._step(tracer)
+
+    def _step(self, tracer) -> int:
+        if tracer is not None:
+            tracer.load("Yacm_random", "seed")
+        self.seed = (_MULTIPLIER * self.seed) % _MODULUS
+        self.calls += 1
+        if tracer is not None:
+            tracer.store("Yacm_random", "seed", value=self.seed)
+            tracer.work(1)
+        return self.seed
+
+    def below(self, bound: int) -> int:
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.next() % bound
+
+    def unit(self) -> float:
+        """Uniform float in (0, 1)."""
+        return self.next() / _MODULUS
+
+    def snapshot(self) -> int:
+        return self.seed
+
+    def restore(self, seed: int) -> None:
+        """Rollback support for speculative execution (Section 2.3.2)."""
+        self.seed = seed

@@ -1,0 +1,152 @@
+"""300.twolf analog: standard-cell place-and-route annealing.
+
+Section 4.3.3: the uloop/ucxx2 new-orientation loop is parallelized by
+speculatively executing iterations of ``uloop`` in parallel.  Misspeculation
+"comes from two sources, misprediction of the number of calls to the
+pseudo-random number generator and memory alias violation on the block and
+network structures."  The RNG dependence is removed with *Commutative*
+(Figure 2 — this module's generator IS that figure's ``Yacm_random``);
+the block/net conflicts remain and cap the speedup around 2x (Table 2:
+2.06 at 8 threads).
+
+Compared to the vpr analog this design is smaller and stays hot: cells are
+swapped between *rows* (twolf's row-based placement), each move touches a
+larger fraction of the netlist, and the schedule keeps acceptance high, so
+cross-iteration conflicts stay dense throughout — the reason twolf scales
+so much worse than vpr despite the similar algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.profiling.tracer import Tracer
+from repro.workloads.base import Workload, WorkloadInfo
+from repro.workloads.generators import generate_netlist
+from repro.workloads.rng import AcmRandom
+
+
+class TwolfWorkload(Workload):
+    """uloop: speculative parallel iterations of the cell-swap loop."""
+
+    info = WorkloadInfo(
+        name="300.twolf",
+        loops=("uloop (uloop.c:154-361)",),
+        exec_time_pct="100%",
+        lines_changed_all=1,
+        lines_changed_model=1,
+        techniques=(
+            "Commutative", "Alias & Control Speculation", "TLS Memory", "DSWP",
+        ),
+    )
+
+    def __init__(self, seed: int = 300, rows: int = 8, cells: int = 120,
+                 nets: int = 260, outer_iterations: int = 10,
+                 moves_per_iteration: int = 120,
+                 initial_temperature: float = 400.0,
+                 cooling_rate: float = 0.75) -> None:
+        self.rows = rows
+        self.cells = cells
+        self.netlist = generate_netlist(seed, cells, nets, max_pins=5)
+        self.outer_iterations = outer_iterations
+        self.moves_per_iteration = moves_per_iteration
+        self.initial_temperature = initial_temperature
+        self.cooling_rate = cooling_rate
+        self.seed = seed
+        self.row_width = (cells + rows - 1) // rows
+        self.nets_of_cell: Dict[int, List[int]] = {c: [] for c in range(cells)}
+        for net_index, members in enumerate(self.netlist):
+            for cell in members:
+                self.nets_of_cell[cell].append(net_index)
+
+    def run(self, tracer: Tracer):
+        rng = AcmRandom(self.seed, commutative=True)
+        # slot[cell] = (row, column); random deterministic initial placement.
+        from repro.workloads.generators import Xorshift
+
+        shuffler = Xorshift(self.seed * 17 + 3)
+        slots: List[Tuple[int, int]] = [
+            (cell // self.row_width, cell % self.row_width)
+            for cell in range(self.cells)
+        ]
+        for i in range(len(slots) - 1, 0, -1):
+            j = shuffler.below(i + 1)
+            slots[i], slots[j] = slots[j], slots[i]
+        temperature = self.initial_temperature
+        iteration = 0
+        initial_cost = self._wirelength(slots)
+        cost = initial_cost
+        accepted = 0
+
+        for outer in range(self.outer_iterations):
+            for move in range(self.moves_per_iteration):
+                with tracer.task("A", iteration):
+                    tracer.work(1)
+
+                with tracer.task("B", iteration):
+                    took, delta, work = self._ucxx2(
+                        tracer, rng, slots, temperature
+                    )
+                    tracer.work(work)
+                    tracer.store("accept", iteration, value=took)
+                    if took:
+                        cost += delta
+                        accepted += 1
+
+                with tracer.task("C", iteration):
+                    tracer.load("accept", iteration)
+                    tracer.work(1)
+                iteration += 1
+            temperature *= self.cooling_rate
+
+        return {
+            "initial_wirelength": round(initial_cost, 3),
+            "wirelength": round(cost, 3),
+            "accepted": accepted,
+            "moves": iteration,
+        }
+
+    def _ucxx2(self, tracer: Tracer, rng: AcmRandom,
+               slots: List[Tuple[int, int]], temperature: float) -> Tuple[bool, float, int]:
+        """Try exchanging two cells between rows (twolf's new-position move)."""
+        work = 5
+        a = rng.below(self.cells)
+        b = rng.below(self.cells)
+        while b == a:
+            b = rng.below(self.cells)
+            work += 1
+
+        affected = sorted(set(self.nets_of_cell[a]) | set(self.nets_of_cell[b]))
+        tracer.load("block", a)
+        tracer.load("block", b)
+        before = 0.0
+        for net in affected:
+            tracer.load("net", net)
+            before += self._net_cost(net, slots)
+            work += 2 + len(self.netlist[net])
+
+        slots[a], slots[b] = slots[b], slots[a]
+        after = sum(self._net_cost(net, slots) for net in affected)
+        work += len(affected)
+        delta = after - before
+
+        if delta < 0 or rng.unit() < math.exp(-delta / max(temperature, 1e-9)):
+            tracer.store("block", a, value=slots[a])
+            tracer.store("block", b, value=slots[b])
+            for net in affected:
+                tracer.store("net", net, value=(slots[a], slots[b]))
+            work += len(affected)
+            return True, delta, work
+
+        slots[a], slots[b] = slots[b], slots[a]
+        return False, 0.0, work
+
+    def _net_cost(self, net: int, slots: List[Tuple[int, int]]) -> float:
+        """Row-aware half perimeter: vertical span is weighted by row pitch."""
+        rows = [slots[cell][0] for cell in self.netlist[net]]
+        cols = [slots[cell][1] for cell in self.netlist[net]]
+        return (max(cols) - min(cols)) + 4.0 * (max(rows) - min(rows))
+
+    def _wirelength(self, slots: List[Tuple[int, int]]) -> float:
+        return sum(self._net_cost(net, slots) for net in range(len(self.netlist)))

@@ -1,0 +1,298 @@
+"""255.vortex analog: an object-oriented database on a real B-tree.
+
+Section 4.1.2: vortex tests a single-user OO database with batches of
+Lookup, Delete and Create transactions.  The parallelization runs the
+iterations of BMT_CreateParts / BMT_DeleteParts in parallel using:
+
+- **value speculation** on the ubiquitous ``STATUS`` argument — almost every
+  call leaves it NORMAL, so the backedge dependence is speculated away
+  (recorded here as a value-profile site that proves >99% predictable);
+- **alias speculation** for "the rare case that an update to the database is
+  dependent on a previous update's modification of the internal
+  representation.  Specifically, the internal structure of the database is a
+  B-tree, which is only rarely rebalanced" — and the analog's B-tree is
+  real: inserts split nodes, deletes merge them, and a later transaction
+  whose search path crosses a freshly rebalanced node carries a true
+  dependence ("alias misspeculation on these dependences, though rare, is
+  the limiting factor in the speedup obtained");
+- the memory manager's ``ExpandChunk`` arena doublings, also rare, also
+  speculated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.profiling.tracer import Tracer
+from repro.workloads.base import Workload, WorkloadInfo
+from repro.workloads.generators import Xorshift
+
+_ORDER = 8  # max keys per node
+
+
+class _Node:
+    __slots__ = ("id", "keys", "values", "children")
+    _next_id = 0
+
+    def __init__(self) -> None:
+        self.id = _Node._next_id
+        _Node._next_id = self.id + 1
+        self.keys: List[int] = []
+        self.values: List[int] = []
+        self.children: List["_Node"] = []
+
+    @property
+    def leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """An order-8 B-tree with tracer-visible node accesses."""
+
+    def __init__(self, tracer: Optional[Tracer]) -> None:
+        self.root = _Node()
+        self.tracer = tracer
+        self.size = 0
+        self.splits = 0
+        self.merges = 0
+        self.work = 0
+
+    # -- tracer hooks -------------------------------------------------------------
+
+    def _touch(self, node: _Node) -> None:
+        self.work += 2
+        if self.tracer is not None:
+            self.tracer.load("btree.node", node.id)
+
+    def _dirty(self, node: _Node) -> None:
+        self.work += 2
+        if self.tracer is not None:
+            self.tracer.store("btree.node", node.id, value=tuple(node.keys))
+
+    # -- operations ----------------------------------------------------------------
+
+    def lookup(self, key: int) -> Optional[int]:
+        node = self.root
+        while True:
+            self._touch(node)
+            index = self._position(node, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return node.values[index]
+            if node.leaf:
+                return None
+            node = node.children[index]
+
+    def insert(self, key: int, value: int) -> bool:
+        if len(self.root.keys) >= _ORDER:
+            old_root = self.root
+            self.root = _Node()
+            self.root.children.append(old_root)
+            self._split_child(self.root, 0)
+        inserted = self._insert_nonfull(self.root, key, value)
+        if inserted:
+            self.size += 1
+        return inserted
+
+    def delete(self, key: int) -> bool:
+        """Simplified deletion: remove from leaf; merge underfull leaves."""
+        path: List[Tuple[_Node, int]] = []
+        node = self.root
+        while True:
+            self._touch(node)
+            index = self._position(node, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                if node.leaf:
+                    node.keys.pop(index)
+                    node.values.pop(index)
+                    self._dirty(node)
+                    self.size -= 1
+                    self._maybe_merge(path)
+                    return True
+                # Interior hit: replace with predecessor from the leaf.
+                donor = node.children[index]
+                while not donor.leaf:
+                    self._touch(donor)
+                    donor = donor.children[-1]
+                self._touch(donor)
+                if not donor.keys:
+                    return False
+                node.keys[index] = donor.keys.pop()
+                node.values[index] = donor.values.pop()
+                self._dirty(node)
+                self._dirty(donor)
+                self.size -= 1
+                return True
+            if node.leaf:
+                return False
+            path.append((node, index))
+            node = node.children[index]
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _position(self, node: _Node, key: int) -> int:
+        index = 0
+        while index < len(node.keys) and node.keys[index] < key:
+            index += 1
+            self.work += 1
+        return index
+
+    def _insert_nonfull(self, node: _Node, key: int, value: int) -> bool:
+        self._touch(node)
+        index = self._position(node, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            return False  # duplicate
+        if node.leaf:
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            self._dirty(node)
+            return True
+        child = node.children[index]
+        if len(child.keys) >= _ORDER:
+            self._split_child(node, index)
+            if key > node.keys[index]:
+                index += 1
+            elif key == node.keys[index]:
+                return False
+        return self._insert_nonfull(node.children[index], key, value)
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        """The rare rebalance that creates real cross-transaction deps."""
+        self.splits += 1
+        child = parent.children[index]
+        middle = len(child.keys) // 2
+        sibling = _Node()
+        sibling.keys = child.keys[middle + 1:]
+        sibling.values = child.values[middle + 1:]
+        parent.keys.insert(index, child.keys[middle])
+        parent.values.insert(index, child.values[middle])
+        child.keys = child.keys[:middle]
+        child.values = child.values[:middle]
+        if child.children:
+            sibling.children = child.children[middle + 1:]
+            child.children = child.children[:middle + 1]
+        parent.children.insert(index + 1, sibling)
+        self._dirty(parent)
+        self._dirty(child)
+        self._dirty(sibling)
+        self.work += _ORDER
+
+    def _maybe_merge(self, path: List[Tuple[_Node, int]]) -> None:
+        if not path:
+            return
+        parent, index = path[-1]
+        child = parent.children[index]
+        if child.leaf and not child.keys and len(parent.children) > 1:
+            self.merges += 1
+            parent.children.pop(index)
+            if index < len(parent.keys):
+                # Fold the separator into the right neighbour.
+                neighbour = parent.children[index]
+                neighbour.keys.insert(0, parent.keys.pop(index))
+                neighbour.values.insert(0, parent.values.pop(index))
+                self._dirty(neighbour)
+            elif parent.keys:
+                neighbour = parent.children[-1]
+                neighbour.keys.append(parent.keys.pop())
+                neighbour.values.append(parent.values.pop())
+                self._dirty(neighbour)
+            self._dirty(parent)
+            self.work += _ORDER
+
+
+class VortexWorkload(Workload):
+    """BMT_Test: batches of Lookup / Delete / Create against the B-tree."""
+
+    info = WorkloadInfo(
+        name="255.vortex",
+        loops=(
+            "BMT_CreateParts (bmt01.c:82-252)",
+            "BMT_DeleteParts (bmt10.c:371-393)",
+        ),
+        exec_time_pct=("20%", "70%"),
+        lines_changed_all=0,
+        lines_changed_model=0,
+        techniques=("Alias & Value Speculation", "TLS Memory", "DSWP"),
+    )
+
+    def __init__(self, seed: int = 255, transactions: int = 700,
+                 initial_parts: int = 600) -> None:
+        self.seed = seed
+        self.transactions = transactions
+        self.initial_parts = initial_parts
+
+    def run(self, tracer: Tracer):
+        _Node._next_id = 0
+        rng = Xorshift(self.seed)
+        tree = BTree(tracer=None)  # setup phase: untraced, like BMT's preload
+        for i in range(self.initial_parts):
+            tree.insert(rng.below(1 << 30), i)
+        tree.tracer = tracer
+        tree.work = 0
+
+        chunk_capacity = self.initial_parts * 2
+        allocations = self.initial_parts
+        status_normal = 0
+        status_failed = 0
+        live_keys: List[int] = []
+        results = {"lookups": 0, "hits": 0, "creates": 0, "deletes": 0}
+
+        for iteration in range(self.transactions):
+            kind = ("lookup", "delete", "create")[iteration % 3]
+            with tracer.task("A", iteration):
+                # Read the next command from the input schedule.
+                part_keys = [rng.below(1 << 30) for _ in range(4)]
+                tracer.work(2)
+
+            with tracer.task("B", iteration):
+                before = tree.work
+                ok = True
+                if kind == "lookup":
+                    for key in part_keys:
+                        results["lookups"] += 1
+                        if tree.lookup(key) is not None:
+                            results["hits"] += 1
+                elif kind == "create":
+                    for key in part_keys:
+                        allocations += 1
+                        if allocations > chunk_capacity:
+                            # ExpandChunk: the internal memory manager grows
+                            # its arena — a rare, speculated dependence.
+                            chunk_capacity *= 2
+                            tracer.store("chunk", "capacity", value=chunk_capacity)
+                            tree.work += 16
+                        tracer.load("chunk", "capacity")
+                        if tree.insert(key, iteration):
+                            results["creates"] += 1
+                            live_keys.append(key)
+                        else:
+                            ok = False
+                else:
+                    for key in part_keys:
+                        # The input schedule deletes parts it created, so
+                        # deletions usually hit — and dirty — real nodes.
+                        if live_keys and key % 4:
+                            target = live_keys[key % len(live_keys)]
+                        else:
+                            target = key
+                        if tree.delete(target):
+                            results["deletes"] += 1
+                            if target in live_keys:
+                                live_keys.remove(target)
+                # STATUS: NORMAL on success — the value-speculated variable.
+                tracer.value("STATUS", "NORMAL" if ok else "DUPLICATE")
+                if ok:
+                    status_normal += 1
+                else:
+                    status_failed += 1
+                tracer.store("txn.result", iteration, value=ok)
+                tracer.work(tree.work - before)
+
+            with tracer.task("C", iteration):
+                tracer.load("txn.result", iteration)
+                tracer.work(1)
+
+        results["status_normal"] = status_normal
+        results["status_failed"] = status_failed
+        results["splits"] = tree.splits
+        results["size"] = tree.size
+        return results

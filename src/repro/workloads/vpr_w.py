@@ -1,0 +1,189 @@
+"""175.vpr analog: simulated-annealing FPGA placement.
+
+Section 4.3.4: placement "consists of repeated calls to try_swap in the
+try_place function" — move a random block to a random position (swapping the
+occupant), evaluate the bounding-box cost change of the affected nets, and
+accept or revert.  The parallelization speculatively runs try_swap calls in
+parallel; two sources of misspeculation are reproduced faithfully:
+
+- *the pseudo-random number generator* — its seed recurrence would serialize
+  everything; the Commutative annotation removes it (:class:`AcmRandom`);
+- *block coordinates and net structures* — accepted swaps write them, and a
+  later swap reading the same net or block has truly consumed a speculative
+  value.  These dependences emerge from the real annealer below: early,
+  hot-temperature iterations accept most moves ("the speculation fails more
+  than 80% of the time") while late, cold iterations accept almost none
+  ("succeeds more than 80% of the time"), so the parallelism is concentrated
+  in the later outer-loop iterations — which is why the paper's best vpr
+  speedup (3.59x) needs a moderate thread count (15).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.profiling.tracer import Tracer
+from repro.workloads.base import Workload, WorkloadInfo
+from repro.workloads.generators import generate_netlist
+from repro.workloads.rng import AcmRandom
+
+
+class VprWorkload(Workload):
+    """try_place over an annealing schedule; one task per try_swap call."""
+
+    info = WorkloadInfo(
+        name="175.vpr",
+        loops=("try_place (place.c:506-513)",),
+        exec_time_pct="100%",
+        lines_changed_all=1,
+        lines_changed_model=1,
+        techniques=(
+            "Commutative", "Alias, Value, & Control Speculation",
+            "TLS Memory", "DSWP",
+        ),
+    )
+
+    def __init__(self, seed: int = 175, grid: int = 24, cells: int = 150,
+                 nets: int = 220, outer_iterations: int = 16,
+                 moves_per_iteration: int = 130,
+                 initial_temperature: float = 500.0,
+                 cooling_rate: float = 0.7) -> None:
+        self.initial_temperature = initial_temperature
+        self.cooling_rate = cooling_rate
+        self.grid = grid
+        self.cells = cells
+        self.netlist = generate_netlist(seed, cells, nets)
+        self.outer_iterations = outer_iterations
+        self.moves_per_iteration = moves_per_iteration
+        self.seed = seed
+        # nets touching each cell, precomputed once (like vpr's pin lookup)
+        self.nets_of_cell: Dict[int, List[int]] = {c: [] for c in range(cells)}
+        for net_index, members in enumerate(self.netlist):
+            for cell in members:
+                self.nets_of_cell[cell].append(net_index)
+
+    def run(self, tracer: Tracer):
+        rng = AcmRandom(self.seed, commutative=True)
+        # Random (but deterministic) initial placement, as vpr's -place does.
+        from repro.workloads.generators import Xorshift
+
+        shuffler = Xorshift(self.seed * 13 + 5)
+        slots = [(x, y) for y in range(self.grid) for x in range(self.grid)]
+        for i in range(len(slots) - 1, 0, -1):
+            j = shuffler.below(i + 1)
+            slots[i], slots[j] = slots[j], slots[i]
+        positions: List[Tuple[int, int]] = slots[: self.cells]
+        occupancy: Dict[Tuple[int, int], int] = {
+            location: cell for cell, location in enumerate(positions)
+        }
+
+        temperature = self.initial_temperature
+        iteration = 0
+        initial_cost = self._total_cost(positions)
+        total_cost = initial_cost
+        accepted_total = 0
+
+        for outer in range(self.outer_iterations):
+            for move in range(self.moves_per_iteration):
+                with tracer.task("A", iteration):
+                    tracer.work(1)
+
+                with tracer.task("B", iteration):
+                    accepted, delta, work = self._try_swap(
+                        tracer, rng, positions, occupancy, temperature
+                    )
+                    tracer.work(work)
+                    tracer.store("swap.outcome", iteration, value=accepted)
+                    if accepted:
+                        total_cost += delta
+                        accepted_total += 1
+
+                with tracer.task("C", iteration):
+                    tracer.load("swap.outcome", iteration)
+                    tracer.work(1)
+
+                iteration += 1
+            # vpr's schedule: geometric cooling with stage-dependent rate.
+            temperature *= self.cooling_rate
+
+        return {
+            "initial_cost": round(initial_cost, 3),
+            "final_cost": round(total_cost, 3),
+            "accepted": accepted_total,
+            "moves": iteration,
+        }
+
+    # -- the annealer ------------------------------------------------------------------
+
+    def _try_swap(self, tracer: Tracer, rng: AcmRandom,
+                  positions: List[Tuple[int, int]],
+                  occupancy: Dict[Tuple[int, int], int],
+                  temperature: float) -> Tuple[bool, float, int]:
+        work = 4
+        block = rng.below(self.cells)
+        x, y = rng.below(self.grid), rng.below(self.grid)
+        while (x, y) == positions[block]:
+            x, y = rng.below(self.grid), rng.below(self.grid)
+            work += 1
+        other = occupancy.get((x, y))
+
+        affected = list(self.nets_of_cell[block])
+        if other is not None:
+            affected.extend(self.nets_of_cell[other])
+        affected = sorted(set(affected))
+
+        tracer.load("block", block)
+        if other is not None:
+            tracer.load("block", other)
+        before = 0.0
+        for net in affected:
+            tracer.load("net", net)
+            before += self._net_cost(net, positions)
+            work += 2 + len(self.netlist[net])
+
+        old_block, old_other = positions[block], (x, y)
+        positions[block] = (x, y)
+        if other is not None:
+            positions[other] = old_block
+
+        after = sum(self._net_cost(net, positions) for net in affected)
+        work += len(affected)
+        delta = after - before
+
+        accept = delta < 0 or rng.unit() < math.exp(
+            -delta / max(temperature, 1e-9)
+        )
+        if accept:
+            occupancy[old_other] = block
+            if other is not None:
+                occupancy[old_block] = other
+            elif old_block in occupancy and occupancy[old_block] == block:
+                del occupancy[old_block]
+            tracer.store("block", block, value=positions[block])
+            if other is not None:
+                tracer.store("block", other, value=positions[other])
+            for net in affected:
+                tracer.store("net", net, value=iteration_tag(positions, net))
+            work += len(affected)
+            return True, delta, work
+
+        # Revert.
+        positions[block] = old_block
+        if other is not None:
+            positions[other] = old_other
+        return False, 0.0, work
+
+    def _net_cost(self, net: int, positions: List[Tuple[int, int]]) -> float:
+        """Half-perimeter bounding box, vpr's placement cost."""
+        xs = [positions[cell][0] for cell in self.netlist[net]]
+        ys = [positions[cell][1] for cell in self.netlist[net]]
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    def _total_cost(self, positions: List[Tuple[int, int]]) -> float:
+        return sum(self._net_cost(net, positions) for net in range(len(self.netlist)))
+
+
+def iteration_tag(positions: List[Tuple[int, int]], net: int) -> int:
+    """A compact change marker for a net's stored value (silent-store aware)."""
+    return hash(tuple(positions[cell] for cell in range(0, len(positions), 37)))

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+
+# Deterministic property tests: same examples on every machine, every run.
+settings.register_profile("repro", derandomize=True, deadline=None)
+settings.load_profile("repro")
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.loops import find_loops
+from repro.ir.types import IntType
+
+
+@pytest.fixture
+def counter_program():
+    """A tiny program with a global-counter loop (one natural loop)."""
+    pb = ProgramBuilder("counter")
+    counter = pb.global_variable("counter")
+    fb = pb.function("main")
+    fb.block("entry")
+    fb.jump("loop")
+    fb.block("loop")
+    value = fb.load(counter, [counter], name="value")
+    incremented = fb.add(value, 1, name="incremented")
+    fb.store(incremented, counter, [counter])
+    done = fb.compare("lt", incremented, 100, name="done")
+    fb.branch(done, "loop", "exit")
+    fb.block("exit")
+    fb.ret(0)
+    return pb.finish()
+
+
+@pytest.fixture
+def counter_loop(counter_program):
+    nest = find_loops(counter_program.function("main"))
+    return nest.outermost()
+
+
+@pytest.fixture
+def pipeline_program():
+    """A loop with a clean A (induction) / B (heavy pure compute) / C
+    (accumulator) structure: the canonical DSWP-friendly shape."""
+    pb = ProgramBuilder("pipeline")
+    total = pb.global_variable("total")
+    data = pb.global_variable("data")
+    fb = pb.function("main")
+    fb.block("entry")
+    fb.jump("loop")
+    fb.block("loop")
+    i = fb.phi(IntType(64), [(0, "entry")], name="i")
+    element = fb.load(data, [data], name="element", cost=2)
+    squared = fb.mul(element, element, name="squared", cost=50)
+    running = fb.load(total, [total], name="running", cost=1)
+    updated = fb.add(running, squared, name="updated", cost=1)
+    fb.store(updated, total, [total], cost=1)
+    next_i = fb.add(i, 1, name="next_i", cost=1)
+    phi = fb.function.block("loop").phis()[0]
+    phi.operands.append(next_i)
+    phi.incoming_blocks.append("loop")
+    cond = fb.compare("lt", next_i, 1000, name="cond")
+    fb.branch(cond, "loop", "exit")
+    fb.block("exit")
+    fb.ret()
+    return pb.finish()
+
+
+@pytest.fixture
+def pipeline_loop(pipeline_program):
+    nest = find_loops(pipeline_program.function("main"))
+    return nest.outermost()

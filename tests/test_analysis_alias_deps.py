@@ -1,0 +1,286 @@
+"""Tests for alias analysis, memory/register/control dependences, value ranges."""
+
+from repro.analysis.alias import AliasAnalysis, AliasResult
+from repro.analysis.callgraph import CallGraph, compute_side_effects
+from repro.analysis.controldep import ControlDependence
+from repro.analysis.loopcarried import DependenceKind, classify_loop_dependences
+from repro.analysis.memdep import MemoryDependenceAnalysis
+from repro.analysis.regdep import register_dependences
+from repro.analysis.value_range import ValueRange, ValueRangeAnalysis
+from repro.ir.builder import ProgramBuilder
+from repro.ir.loops import find_loops
+from repro.ir.types import IntType
+
+
+class TestAliasAnalysis:
+    def test_distinct_globals_do_not_alias(self):
+        pb = ProgramBuilder()
+        a = pb.global_variable("a")
+        b = pb.global_variable("b")
+        fb = pb.function("main")
+        fb.block("entry")
+        la = fb.load(a, [a], name="la")
+        lb = fb.load(b, [b], name="lb")
+        fb.ret()
+        program = pb.finish()
+        alias = AliasAnalysis(program)
+        loads = [i for i in program.function("main").instructions() if i.opcode() == "load"]
+        assert alias.alias(loads[0], loads[1]) == AliasResult.NO
+
+    def test_same_global_must_alias(self, counter_program):
+        alias = AliasAnalysis(counter_program)
+        instructions = list(counter_program.function("main").instructions())
+        load = next(i for i in instructions if i.opcode() == "load")
+        store = next(i for i in instructions if i.opcode() == "store")
+        assert alias.alias(load, store) == AliasResult.MUST
+
+    def test_field_splitting_prevents_alias(self):
+        """The gcc case study's bit-flag expansion (Section 4.2.1)."""
+        pb = ProgramBuilder()
+        public_flag = pb.global_variable("common", field="public_flag")
+        static_flag = pb.global_variable("common", field="static_flag")
+        fb = pb.function("main")
+        fb.block("entry")
+        fb.load(public_flag, [public_flag], name="p")
+        fb.store(1, static_flag, [static_flag])
+        fb.ret()
+        program = pb.finish()
+        alias = AliasAnalysis(program)
+        instructions = list(program.function("main").instructions())
+        load = next(i for i in instructions if i.opcode() == "load")
+        store = next(i for i in instructions if i.opcode() == "store")
+        assert alias.alias(load, store) == AliasResult.NO
+
+    def test_allocation_sites_are_distinct(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        fb.block("entry")
+        p = fb.alloc(name="p")
+        q = fb.alloc(name="q")
+        fb.store(1, p.result, [p.object])
+        fb.store(2, q.result, [q.object])
+        fb.ret()
+        program = pb.finish()
+        alias = AliasAnalysis(program)
+        stores = [i for i in program.function("main").instructions() if i.opcode() == "store"]
+        assert alias.alias(stores[0], stores[1]) == AliasResult.NO
+
+    def test_points_to_through_copy(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        fb.block("entry")
+        p = fb.alloc(name="p")
+        q = fb.add(p.result, 0, name="q")  # pointer arithmetic copy
+        fb.ret()
+        program = pb.finish()
+        alias = AliasAnalysis(program)
+        assert p.object in alias.points_to(q)
+
+
+class TestMemoryDependence:
+    def test_loop_carried_raw_on_counter(self, counter_program, counter_loop):
+        analysis = MemoryDependenceAnalysis(
+            counter_program, counter_program.function("main"), counter_loop
+        )
+        kinds = {(d.kind, d.loop_carried) for d in analysis.dependences}
+        assert ("raw", True) in kinds
+
+    def test_commutative_calls_have_no_mutual_dependence(self):
+        pb = ProgramBuilder()
+        seed = pb.global_variable("seed")
+        rng = pb.function("rng")
+        rng.block("entry")
+        s = rng.load(seed, [seed], name="s")
+        rng.store(rng.mul(s, 16807), seed, [seed])
+        rng.ret(s)
+        rng.function.mark_commutative()
+        fb = pb.function("main")
+        fb.block("entry")
+        fb.jump("loop")
+        fb.block("loop")
+        c1 = fb.call("rng", name="c1")
+        c2 = fb.call("rng", name="c2")
+        cond = fb.compare("lt", c2.result, 100, name="cond")
+        fb.branch(cond, "loop", "exit")
+        fb.block("exit")
+        fb.ret()
+        program = pb.finish()
+        program.set_main("main")
+        compute_side_effects(program)
+        loop = find_loops(program.function("main")).outermost()
+        analysis = MemoryDependenceAnalysis(program, program.function("main"), loop)
+        call_deps = [
+            d for d in analysis.dependences
+            if d.source.opcode() == "call" and d.target.opcode() == "call"
+        ]
+        assert call_deps == []
+
+    def test_without_commutative_calls_do_depend(self):
+        pb = ProgramBuilder()
+        seed = pb.global_variable("seed")
+        rng = pb.function("rng")
+        rng.block("entry")
+        s = rng.load(seed, [seed], name="s")
+        rng.store(rng.mul(s, 16807), seed, [seed])
+        rng.ret(s)
+        fb = pb.function("main")
+        fb.block("entry")
+        fb.jump("loop")
+        fb.block("loop")
+        fb.call("rng", name="c1")
+        c2 = fb.call("rng", name="c2")
+        cond = fb.compare("lt", c2.result, 100, name="cond")
+        fb.branch(cond, "loop", "exit")
+        fb.block("exit")
+        fb.ret()
+        program = pb.finish()
+        program.set_main("main")
+        compute_side_effects(program)
+        loop = find_loops(program.function("main")).outermost()
+        analysis = MemoryDependenceAnalysis(program, program.function("main"), loop)
+        call_deps = [
+            d for d in analysis.dependences
+            if d.source.opcode() == "call" and d.target.opcode() == "call"
+        ]
+        assert call_deps
+
+
+class TestRegisterDependence:
+    def test_def_use_edges(self, counter_program):
+        deps = register_dependences(counter_program.function("main"))
+        pairs = {(d.source.opcode(), d.target.opcode()) for d in deps}
+        assert ("load", "add") in pairs
+        assert ("add", "store") in pairs
+
+    def test_loop_carried_through_phi(self, pipeline_program, pipeline_loop):
+        deps = register_dependences(pipeline_program.function("main"), pipeline_loop)
+        carried = [d for d in deps if d.loop_carried]
+        assert carried
+        assert all(d.target.opcode() == "phi" for d in carried)
+
+
+class TestControlDependence:
+    def test_loop_body_control_dependent_on_latch_branch(self, counter_program):
+        control = ControlDependence(counter_program.function("main"))
+        assert "loop" in control.dependents_of("loop")
+
+    def test_diamond_sides_depend_on_entry_branch(self):
+        pb = ProgramBuilder()
+        g = pb.global_variable("g")
+        fb = pb.function("main")
+        fb.block("entry")
+        cond = fb.compare("lt", fb.load(g, [g], name="x"), 10, name="cond")
+        fb.branch(cond, "then", "else")
+        fb.block("then")
+        fb.jump("join")
+        fb.block("else")
+        fb.jump("join")
+        fb.block("join")
+        fb.ret()
+        fn = pb.finish().function("main")
+        control = ControlDependence(fn)
+        assert control.dependents_of("entry") == {"then", "else"}
+        assert control.controlling_branches("join") == set()
+
+    def test_ybranch_edges_marked_breakable(self):
+        pb = ProgramBuilder()
+        g = pb.global_variable("g")
+        fb = pb.function("main")
+        fb.block("entry")
+        cond = fb.compare("lt", fb.load(g, [g], name="x"), 10, name="cond")
+        fb.ybranch(cond, "then", "else", probability=0.001)
+        fb.block("then")
+        fb.jump("join")
+        fb.block("else")
+        fb.jump("join")
+        fb.block("join")
+        fb.ret()
+        fn = pb.finish().function("main")
+        control = ControlDependence(fn)
+        edges = [e for e in control.edges() if e.branch_block == "entry"]
+        assert edges and all(e.breakable for e in edges)
+
+
+class TestValueRange:
+    def test_constant_folding(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        fb.block("entry")
+        x = fb.add(2, 3, name="x")
+        y = fb.mul(x, 4, name="y")
+        fb.ret(y)
+        fn = pb.finish().function("main")
+        vra = ValueRangeAnalysis(fn)
+        assert vra.constant_value(y) == 20.0
+
+    def test_statically_decided_branch(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        fb.block("entry")
+        x = fb.add(2, 3, name="x")
+        cond = fb.compare("lt", x, 100, name="cond")
+        fb.branch(cond, "a", "b")
+        fb.block("a")
+        fb.ret(1)
+        fb.block("b")
+        fb.ret(0)
+        fn = pb.finish().function("main")
+        vra = ValueRangeAnalysis(fn)
+        assert vra.branch_statically_decided(cond) is True
+
+    def test_join_widens_to_interval(self):
+        r = ValueRange.constant(1).join(ValueRange.constant(5))
+        assert (r.low, r.high) == (1, 5)
+        assert not r.is_constant
+
+    def test_disjoint_ranges(self):
+        assert ValueRange(0, 1).disjoint(ValueRange(2, 3))
+        assert not ValueRange(0, 2).disjoint(ValueRange(2, 3))
+
+
+class TestCallGraph:
+    def test_sccs_detect_recursion(self):
+        pb = ProgramBuilder()
+        f = pb.function("f")
+        f.block("entry")
+        f.call("g")
+        f.ret()
+        g = pb.function("g")
+        g.block("entry")
+        g.call("f")
+        g.ret()
+        program = pb.finish()
+        graph = CallGraph(program)
+        assert graph.is_recursive("f")
+        assert graph.is_recursive("g")
+        assert {"f", "g"} in graph.sccs()
+
+    def test_side_effect_summaries_propagate(self):
+        pb = ProgramBuilder()
+        table = pb.global_variable("table")
+        leaf = pb.function("leaf")
+        leaf.block("entry")
+        leaf.store(1, table, [table])
+        leaf.ret()
+        top = pb.function("top")
+        top.block("entry")
+        call = top.call("leaf")
+        top.ret()
+        program = pb.finish()
+        summaries = compute_side_effects(program)
+        assert table in summaries["top"][1]  # writes propagate up
+        assert table in call.writes
+
+    def test_commutative_internal_state_masked(self):
+        pb = ProgramBuilder()
+        seed = pb.global_variable("seed")
+        rng = pb.function("rng")
+        rng.block("entry")
+        s = rng.load(seed, [seed], name="s")
+        rng.store(s, seed, [seed])
+        rng.ret(s)
+        rng.function.mark_commutative()
+        program = pb.finish()
+        summaries = compute_side_effects(program)
+        reads, writes = summaries["rng"]
+        assert seed not in reads and seed not in writes

@@ -1,0 +1,146 @@
+"""Tests for dominators, post-dominators, dataflow, liveness, reaching."""
+
+from repro.analysis.dataflow import DataflowProblem, solve_dataflow
+from repro.analysis.dominators import DominatorTree, PostDominatorTree
+from repro.analysis.liveness import Liveness
+from repro.analysis.reaching import ReachingDefinitions
+from repro.ir.builder import ProgramBuilder
+
+
+def build_diamond():
+    """entry -> (then | else) -> join -> exit."""
+    pb = ProgramBuilder("diamond")
+    g = pb.global_variable("g")
+    fb = pb.function("main")
+    fb.block("entry")
+    cond = fb.compare("lt", fb.load(g, [g], name="x"), 10, name="cond")
+    fb.branch(cond, "then", "else")
+    fb.block("then")
+    fb.store(1, g, [g])
+    fb.jump("join")
+    fb.block("else")
+    fb.store(2, g, [g])
+    fb.jump("join")
+    fb.block("join")
+    fb.jump("exit")
+    fb.block("exit")
+    fb.ret()
+    return pb.finish().function("main")
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        fn = build_diamond()
+        dom = DominatorTree(fn)
+        for block in fn.blocks:
+            assert dom.dominates("entry", block.name)
+
+    def test_branches_do_not_dominate_join(self):
+        dom = DominatorTree(build_diamond())
+        assert not dom.dominates("then", "join")
+        assert not dom.dominates("else", "join")
+
+    def test_immediate_dominator_of_join_is_entry(self):
+        dom = DominatorTree(build_diamond())
+        assert dom.immediate_dominator("join") == "entry"
+
+    def test_dominator_chain_ends_at_entry(self):
+        dom = DominatorTree(build_diamond())
+        assert dom.dominator_chain("exit")[-1] == "entry"
+
+    def test_loop_header_dominates_latch(self, counter_program):
+        dom = DominatorTree(counter_program.function("main"))
+        assert dom.dominates("loop", "loop")
+        assert dom.dominates("entry", "exit")
+
+
+class TestPostDominators:
+    def test_exit_post_dominates_everything(self):
+        fn = build_diamond()
+        post = PostDominatorTree(fn)
+        for block in fn.blocks:
+            assert post.post_dominates("exit", block.name)
+
+    def test_join_post_dominates_branches(self):
+        post = PostDominatorTree(build_diamond())
+        assert post.post_dominates("join", "then")
+        assert post.post_dominates("join", "else")
+        assert post.post_dominates("join", "entry")
+
+    def test_branch_sides_do_not_post_dominate_entry(self):
+        post = PostDominatorTree(build_diamond())
+        assert not post.post_dominates("then", "entry")
+
+
+class TestDataflowEngine:
+    def test_forward_union_reaches_fixed_point(self):
+        fn = build_diamond()
+
+        def transfer(block, fact):
+            return fact | {block.name}
+
+        problem = DataflowProblem("forward", "union", transfer, frozenset())
+        facts = solve_dataflow(fn, problem)
+        assert "entry" in facts["exit"]["in"]
+        assert {"then", "else"} <= facts["join"]["in"]
+
+    def test_backward_union(self):
+        fn = build_diamond()
+
+        def transfer(block, fact):
+            return fact | {block.name}
+
+        problem = DataflowProblem("backward", "union", transfer, frozenset())
+        facts = solve_dataflow(fn, problem)
+        assert "exit" in facts["entry"]["out"]
+
+    def test_intersection_meet(self):
+        fn = build_diamond()
+
+        def transfer(block, fact):
+            return fact | {block.name}
+
+        problem = DataflowProblem(
+            "forward", "intersection", transfer, frozenset({"seed"})
+        )
+        facts = solve_dataflow(fn, problem)
+        # join's in-set keeps only what BOTH sides provide.
+        assert "then" not in facts["join"]["in"]
+        assert "entry" in facts["join"]["in"]
+
+
+class TestLivenessAndReaching:
+    def test_register_defined_and_used_in_loop_not_live_in(self, counter_program):
+        liveness = Liveness(counter_program.function("main"))
+        assert liveness.live_in("loop") == frozenset()
+
+    def test_value_live_across_blocks(self):
+        pb = ProgramBuilder()
+        g = pb.global_variable("g")
+        fb = pb.function("main")
+        fb.block("entry")
+        x = fb.load(g, [g], name="x")
+        fb.jump("next")
+        fb.block("next")
+        fb.store(x, g, [g])
+        fb.ret()
+        fn = pb.finish().function("main")
+        liveness = Liveness(fn)
+        assert x in liveness.live_in("next")
+        assert x in liveness.live_out("entry")
+
+    def test_reaching_definitions_flow_through_diamond(self):
+        fn = build_diamond()
+        reaching = ReachingDefinitions(fn)
+        defs_at_join = reaching.reaching_in("join")
+        stores = {
+            reaching.defining_instruction(d).operands[0].value for d in defs_at_join
+        }
+        assert stores == {1, 2}
+
+    def test_store_kills_previous_definition(self, counter_program):
+        fn = counter_program.function("main")
+        reaching = ReachingDefinitions(fn)
+        # Only the single loop store defines @counter at loop exit.
+        defs_at_exit = reaching.reaching_in("exit")
+        assert len(defs_at_exit) == 1

@@ -1,0 +1,46 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    assert "164.gzip" in output
+    assert "300.twolf" in output
+
+
+def test_bench_single(capsys):
+    assert main(["bench", "256.bzip2", "--threads", "1", "8"]) == 0
+    output = capsys.readouterr().out
+    assert "256.bzip2" in output
+    assert "paper reference" in output
+
+
+def test_bench_unknown_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["bench", "999.unknown"])
+
+
+def test_figure(capsys):
+    assert main(["figure", "5", "--threads", "1", "8"]) == 0
+    output = capsys.readouterr().out
+    assert "176.gcc" in output
+    assert "254.gap" in output
+
+
+def test_ablation_flags(capsys):
+    assert main(
+        ["bench", "300.twolf", "--threads", "1", "8", "--no-commutative"]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "300.twolf" in output
+
+
+def test_threads_deduplicated_and_sorted(capsys):
+    assert main(["bench", "253.perlbmk", "--threads", "8", "1", "8"]) == 0
+    output = capsys.readouterr().out
+    lines = [l for l in output.splitlines() if "|" in l]
+    assert len(lines) == 2  # 1 and 8 only

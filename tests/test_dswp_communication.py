@@ -1,0 +1,44 @@
+"""Tests for DSWP inter-stage communication estimation (queue sizing)."""
+
+import pytest
+
+from repro.core.framework import ParallelizationFramework
+from repro.dswp.partition import partition_loop
+from repro.hw.machine import MachineConfig
+
+
+class TestCommunicationSummary:
+    def test_pipeline_loop_traffic(self, pipeline_program, pipeline_loop):
+        partition = partition_loop(pipeline_program, pipeline_loop)
+        summary = partition.communication_summary()
+        # Something must flow A->B (the induction state feeds the body) and
+        # B->C (the computed value feeds the accumulator).
+        assert any(pair[1] == "B" for pair in summary)
+        assert any(pair == ("B", "C") for pair in summary)
+        assert all(count >= 1 for count in summary.values())
+
+    def test_traffic_only_forward(self, pipeline_program, pipeline_loop):
+        partition = partition_loop(pipeline_program, pipeline_loop)
+        order = {"A": 0, "B": 1, "C": 2}
+        for source_phase, target_phase in partition.communication_summary():
+            # Loop-carried edges may point backward (next iteration), but
+            # phases must still exist in the plan.
+            assert source_phase in order and target_phase in order
+
+    def test_queues_scale_with_replication(self, pipeline_program, pipeline_loop):
+        partition = partition_loop(pipeline_program, pipeline_loop)
+        narrow = partition.queues_required(replication_width=1)
+        wide = partition.queues_required(replication_width=30)
+        assert wide > narrow
+        # The default machine's 256 queues accommodate full 30-wide
+        # replication for this loop — the paper's configuration is ample.
+        assert wide <= MachineConfig().queue_count
+
+    def test_whole_program_example_fits_queue_budget(self):
+        from repro.testing import build_caller_callee_loop
+
+        program, loop = build_caller_callee_loop()
+        partition = ParallelizationFramework().parallelize_loop(
+            program, loop, inline_calls=True
+        )
+        assert partition.queues_required(30) <= 256

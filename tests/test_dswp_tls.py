@@ -1,0 +1,192 @@
+"""Tests for DSWP partitioning, stage balancing, MTCG and the TLS runtime."""
+
+import pytest
+
+from repro.core.simulator import PipelineSimulator
+from repro.dswp.balance import balance_stages, pipeline_throughput_bound
+from repro.dswp.partition import StageKind, partition_loop
+from repro.hw.machine import MachineConfig
+from repro.hw.versioned_memory import VersionedMemory
+from repro.pdg.builder import build_loop_pdg
+from repro.pdg.scc import condense
+from repro.tls.epochs import TLSExecution
+from repro.tls.scheduler import simulate_tls
+
+
+class TestPartition:
+    def test_pipeline_loop_gets_three_stages(self, pipeline_program, pipeline_loop):
+        partition = partition_loop(pipeline_program, pipeline_loop)
+        phases = [stage.phase for stage in partition.stages]
+        assert phases == ["A", "B", "C"]
+        assert partition.parallel_stage is not None
+        assert partition.parallel_stage.kind is StageKind.PARALLEL
+
+    def test_heavy_compute_lands_in_parallel_stage(self, pipeline_program, pipeline_loop):
+        partition = partition_loop(pipeline_program, pipeline_loop)
+        assert partition.parallel_stage.cost >= 50
+        assert partition.parallel_fraction > 0.8
+
+    def test_validation_accepts_partition(self, pipeline_program, pipeline_loop):
+        partition = partition_loop(pipeline_program, pipeline_loop)
+        partition.validate()  # must not raise
+
+    def test_fully_serial_loop_degrades_to_sequential_stages(
+        self, counter_program, counter_loop
+    ):
+        partition = partition_loop(counter_program, counter_loop)
+        parallel = partition.parallel_stage
+        # The counter loop is one big recurrence: any parallel stage found
+        # must be trivial (the loop-control SCC only).
+        if parallel is not None:
+            assert parallel.cost <= partition_total(partition) / 2
+
+    def test_task_graph_synthesis(self, pipeline_program, pipeline_loop):
+        partition = partition_loop(pipeline_program, pipeline_loop)
+        graph = partition.task_graph(100)
+        assert graph.iterations() == 100
+        result = PipelineSimulator(MachineConfig(cores=16)).simulate(graph)
+        assert result.speedup > 5
+
+
+def partition_total(partition):
+    return sum(stage.cost for stage in partition.stages)
+
+
+class TestBalance:
+    def test_balancing_minimizes_bottleneck(self, pipeline_program, pipeline_loop):
+        pdg = build_loop_pdg(pipeline_program, pipeline_loop)
+        topo = condense(pdg).topological_order()
+        stages = balance_stages(topo, 2)
+        total, bottleneck = pipeline_throughput_bound(stages)
+        assert total == sum(s.cost for s in topo)
+        # The heavy 50-cost SCC dictates the floor.
+        assert bottleneck >= max(s.cost for s in topo)
+        assert bottleneck < total
+
+    def test_more_stages_never_worse(self, pipeline_program, pipeline_loop):
+        pdg = build_loop_pdg(pipeline_program, pipeline_loop)
+        topo = condense(pdg).topological_order()
+        _, bottleneck2 = pipeline_throughput_bound(balance_stages(topo, 2))
+        _, bottleneck4 = pipeline_throughput_bound(balance_stages(topo, 4))
+        assert bottleneck4 <= bottleneck2
+
+    def test_empty_input(self):
+        assert balance_stages([], 3) == [[], [], []]
+
+    def test_invalid_stage_count(self):
+        with pytest.raises(ValueError):
+            balance_stages([], 0)
+
+
+class TestTLSRuntime:
+    def test_independent_iterations_commit_cleanly(self):
+        execution = TLSExecution()
+
+        def body(view, i):
+            view.write("cell", i, i * i)
+            return i * i
+
+        results = execution.execute(body, 10)
+        assert results == [i * i for i in range(10)]
+        assert execution.stats.squashes == 0
+        assert execution.memory.committed_value("cell", 3) == 9
+
+    def test_dependent_iterations_squash_and_replay(self):
+        execution = TLSExecution(VersionedMemory(eager_forwarding=False), max_epochs_in_flight=4)
+
+        def body(view, i):
+            current = view.read("sum") or 0
+            view.write("sum", None, current + 1)
+            return current + 1
+
+        results = execution.execute(body, 8)
+        assert execution.memory.committed_value("sum") == 8
+        assert results[-1] == 8
+        assert execution.stats.squashes > 0
+
+    def test_eager_forwarding_avoids_squashes_in_window(self):
+        execution = TLSExecution(VersionedMemory(eager_forwarding=True), max_epochs_in_flight=4)
+
+        def body(view, i):
+            current = view.read("sum") or 0
+            view.write("sum", None, current + 1)
+            return current + 1
+
+        execution.execute(body, 8)
+        assert execution.memory.committed_value("sum") == 8
+        # Within one window, forwarding supplies fresh values: no squashes.
+        assert execution.stats.squashes == 0
+
+    def test_commutative_rollback_on_squash(self):
+        allocations = []
+
+        def xalloc():
+            allocations.append(len(allocations))
+            return allocations[-1]
+
+        def xfree():
+            allocations.pop()
+
+        execution = TLSExecution(VersionedMemory(eager_forwarding=False), max_epochs_in_flight=2)
+
+        def body(view, i):
+            view.commutative_call(xalloc, xfree)
+            stale = view.read("x")
+            view.write("x", None, i)
+            return stale
+
+        execution.execute(body, 4)
+        # Every surviving iteration allocated exactly once.
+        assert len(allocations) == 4
+
+    def test_sequential_semantics_preserved(self):
+        """The TLS result must match plain sequential execution."""
+
+        def sequential():
+            memory = {}
+            out = []
+            for i in range(12):
+                value = memory.get("acc", 1)
+                memory["acc"] = (value * 3 + i) % 97
+                out.append(memory["acc"])
+            return out, memory["acc"]
+
+        execution = TLSExecution(VersionedMemory(eager_forwarding=False), max_epochs_in_flight=5)
+
+        def body(view, i):
+            value = view.read("acc")
+            if value is None:
+                value = 1
+            new = (value * 3 + i) % 97
+            view.write("acc", None, new)
+            return new
+
+        results = execution.execute(body, 12)
+        expected_list, expected_final = sequential()
+        assert results == expected_list
+        assert execution.memory.committed_value("acc") == expected_final
+
+
+class TestTLSScheduler:
+    def test_independent_iterations_scale(self):
+        from tests.test_core_simulator import make_graph
+
+        graph = make_graph(iterations=64, a=0, b=100, c=0)
+        result = simulate_tls(graph, MachineConfig(cores=8))
+        assert result.speedup > 7.0
+
+    def test_serial_chain_does_not_scale(self):
+        from repro.core.tasks import Phase, SerializationEdge, Task, TaskGraph
+
+        tasks = [Task(i, Phase.B, i, 10) for i in range(32)]
+        edges = [SerializationEdge(i - 1, i, "misspeculation") for i in range(1, 32)]
+        graph = TaskGraph(tasks, edges)
+        result = simulate_tls(graph, MachineConfig(cores=8))
+        assert result.speedup == pytest.approx(1.0)
+
+    def test_single_core_is_baseline(self):
+        from tests.test_core_simulator import make_graph
+
+        graph = make_graph(iterations=10)
+        result = simulate_tls(graph, MachineConfig(cores=1))
+        assert result.speedup == 1.0

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs to completion and says what it
+promises.  Examples are the public API's front porch; they must not rot."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(_EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    output = run_example("quickstart.py")
+    assert "speculation plan" in output
+    assert "speedup vs. threads" in output
+    assert "best speedup" in output
+
+
+def test_ybranch_compression():
+    output = run_example("ybranch_compression.py")
+    assert "compression loss" in output
+    assert "Y-branch disabled" in output
+    assert "bit-identical = True" in output
+
+
+def test_commutative_rng():
+    output = run_example("commutative_rng.py")
+    assert "with @commutative" in output
+    assert "300.twolf" in output
+
+
+def test_compile_and_partition():
+    output = run_example("compile_and_partition.py")
+    assert "PS-DSWP partition" in output
+    assert "parallel fraction" in output
+    assert "32 cores" in output
+
+
+def test_multistage_pipeline():
+    output = run_example("multistage_pipeline.py")
+    assert "multi-stage partition" in output
+    assert "speedup comparison" in output
+
+
+@pytest.mark.slow
+def test_suite_report():
+    output = run_example("suite_report.py", timeout=600)
+    assert "GeoMean" in output
+    assert "164.gzip" in output

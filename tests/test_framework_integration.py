@@ -1,0 +1,149 @@
+"""Integration tests: the full framework pipeline on both front doors."""
+
+import pytest
+
+from repro.core.framework import (
+    DEFAULT_THREAD_COUNTS,
+    FrameworkConfig,
+    ParallelizationFramework,
+)
+from repro.core.simulator import PipelineSimulator
+from repro.hw.machine import MachineConfig
+from repro.ir.loops import find_loops
+from repro.profiling.tracer import Tracer
+from repro.tls.scheduler import simulate_tls
+from repro.workloads.base import Workload, WorkloadInfo
+from repro.workloads.suite import SUITE, make_workload, suite_names
+
+
+class ToyWorkload(Workload):
+    """A controllable pipeline: mostly parallel B with one hot location."""
+
+    info = WorkloadInfo("toy", ("loop",), "100%", 0, 0, ("DSWP",))
+
+    def __init__(self, iterations=60, conflict_every=10):
+        self.iterations = iterations
+        self.conflict_every = conflict_every
+
+    def run(self, tracer):
+        total = 0
+        for i in range(self.iterations):
+            with tracer.task("A", i):
+                tracer.work(2)
+                tracer.store("input", i, value=i)
+            with tracer.task("B", i):
+                tracer.load("input", i)
+                tracer.work(60)
+                if self.conflict_every and i % self.conflict_every == 0:
+                    tracer.load("hot", 0)
+                    tracer.store("hot", 0, value=i)
+                tracer.store("result", i, value=i * 2)
+            with tracer.task("C", i):
+                tracer.load("result", i)
+                total += i * 2
+                tracer.work(2)
+        return total
+
+
+class TestTraceRoute:
+    def test_evaluation_structure(self):
+        evaluation = ParallelizationFramework().evaluate(ToyWorkload())
+        assert set(evaluation.report.curve) == set(DEFAULT_THREAD_COUNTS)
+        assert evaluation.report.curve[1] == pytest.approx(1.0)
+        assert evaluation.output_comparison.equivalent
+
+    def test_speculation_chosen_for_rare_conflict(self):
+        evaluation = ParallelizationFramework().evaluate(ToyWorkload())
+        assert ("hot", 0) in evaluation.plan.speculated
+
+    def test_speedup_monotone_enough(self):
+        evaluation = ParallelizationFramework().evaluate(ToyWorkload())
+        curve = evaluation.report.curve
+        assert curve[8] > curve[2]
+        assert curve[32] >= curve[8] * 0.9
+
+    def test_speculation_ablation_not_faster(self):
+        base = ParallelizationFramework().evaluate(ToyWorkload())
+        no_spec = ParallelizationFramework(
+            FrameworkConfig(enable_speculation=False)
+        ).evaluate(ToyWorkload())
+        assert no_spec.report.best_speedup <= base.report.best_speedup + 1e-9
+
+    def test_iteration_private_locations_free(self):
+        evaluation = ParallelizationFramework().evaluate(
+            ToyWorkload(conflict_every=0)
+        )
+        assert evaluation.misspeculation.rate == 0.0
+        assert evaluation.report.best_speedup > 10
+
+    def test_sequential_baseline_cost(self):
+        evaluation = ParallelizationFramework().evaluate(ToyWorkload(iterations=10))
+        assert evaluation.sequential_cost == 10 * 64
+
+
+class TestSuite:
+    def test_all_eleven_present(self):
+        assert len(SUITE) == 11
+        assert sorted(suite_names()) == suite_names()
+
+    def test_factories_produce_fresh_instances(self):
+        first = make_workload("256.bzip2")
+        second = make_workload("256.bzip2")
+        assert first is not second
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            make_workload("999.nope")
+
+    @pytest.mark.parametrize("name", ["256.bzip2", "300.twolf", "253.perlbmk"])
+    def test_workload_evaluations_deterministic(self, name):
+        first = ParallelizationFramework().evaluate(make_workload(name))
+        second = ParallelizationFramework().evaluate(make_workload(name))
+        assert first.report.curve == second.report.curve
+
+    def test_table1_metadata_complete(self):
+        for name in suite_names():
+            info = make_workload(name).info
+            assert info.name == name
+            assert info.loops
+            assert info.techniques
+            # Note: Table 1's crafty row has All=0 but Model=9, so the two
+            # columns are independent counts, not a superset relation.
+            assert info.lines_changed_all >= 0
+            assert info.lines_changed_model >= 0
+
+
+class TestIrRoute:
+    def test_partition_and_simulate(self, pipeline_program, pipeline_loop):
+        framework = ParallelizationFramework()
+        partition = framework.parallelize_loop(pipeline_program, pipeline_loop)
+        graph = partition.task_graph(128)
+        result = framework.simulate_graph(graph, 16)
+        assert result.speedup > 5
+
+    def test_tls_and_dswp_agree_on_shape(self, pipeline_program, pipeline_loop):
+        """Section 3.2: TLS-style plans give 'similar parallelizations'."""
+        framework = ParallelizationFramework()
+        partition = framework.parallelize_loop(pipeline_program, pipeline_loop)
+        graph = partition.task_graph(128)
+        dswp = framework.simulate_graph(graph, 16)
+        tls = simulate_tls(graph, MachineConfig(cores=16))
+        assert tls.speedup > 5
+        assert 0.4 < dswp.speedup / tls.speedup < 2.5
+
+
+class TestPolicies:
+    def test_ybranch_policy_restored_after_evaluation(self):
+        from repro.annotations.registry import global_registry
+        from repro.annotations.ybranch import YBranchPolicy
+        from repro.workloads.gzip_w import GzipWorkload
+
+        workload = GzipWorkload(size=32 * 1024, block_interval=4096)
+        ParallelizationFramework().evaluate(workload)
+        assert workload.ybranch.policy is YBranchPolicy.SEQUENTIAL
+
+    def test_profile_workload_runs_outside_parallel_policy(self):
+        workload = ToyWorkload(iterations=5)
+        trace, output = ParallelizationFramework().profile_workload(workload, False)
+        assert output == sum(i * 2 for i in range(5))
+        assert trace.iteration_count == 5

@@ -1,0 +1,72 @@
+"""Tests for the framework's speculation reporting and rollback warnings."""
+
+import pytest
+
+from repro.core.framework import FrameworkConfig, ParallelizationFramework
+from repro.workloads.base import Workload, WorkloadInfo
+from repro.workloads.suite import make_workload
+
+
+class TestValueAndControlSpeculationReporting:
+    def test_crafty_reports_both(self):
+        evaluation = ParallelizationFramework().evaluate(make_workload("186.crafty"))
+        value_sites = {s.site for s in evaluation.value_speculations}
+        control_sites = {s.site for s in evaluation.control_speculations}
+        # The paper's Section 4.3.1 claims, discovered from the profile:
+        assert "search.state" in value_sites          # MakeMove/UnMakeMove cancel
+        assert "crafty.next_time_check" in control_sites
+
+    def test_perlbmk_reports_vm_globals(self):
+        evaluation = ParallelizationFramework().evaluate(make_workload("253.perlbmk"))
+        sites = {s.site for s in evaluation.value_speculations}
+        assert "PL_temp_ixs" in sites                  # Section 4.1.3
+
+    def test_vortex_status_value_site(self):
+        evaluation = ParallelizationFramework().evaluate(make_workload("255.vortex"))
+        sites = {s.site for s in evaluation.value_speculations}
+        assert "STATUS" in sites                       # Section 4.1.2
+
+    def test_ybranches_not_counted_as_control_speculation(self):
+        evaluation = ParallelizationFramework().evaluate(make_workload("164.gzip"))
+        assert all(not s.is_ybranch for s in evaluation.control_speculations)
+
+    def test_disabled_speculation_reports_nothing(self):
+        framework = ParallelizationFramework(
+            FrameworkConfig(enable_speculation=False)
+        )
+        evaluation = framework.evaluate(make_workload("186.crafty"))
+        assert evaluation.value_speculations == []
+        assert evaluation.control_speculations == []
+
+
+class RollbackFreeWorkload(Workload):
+    """Uses a Commutative group that never registers a rollback."""
+
+    info = WorkloadInfo("rollback-free", ("loop",), "100%", 0, 0, ("Commutative",))
+
+    def run(self, tracer):
+        from repro.annotations.commutative import commutative
+        from repro.annotations.registry import global_registry
+
+        @commutative(group="tests.norollback")
+        def bump():
+            from repro.profiling.context import current_tracer
+
+            current_tracer().store("counter", 0, value=1)
+
+        for i in range(4):
+            with tracer.task("B", i):
+                tracer.work(5)
+                bump()
+        return None
+
+
+class TestRollbackWarnings:
+    def test_missing_rollback_warned(self):
+        evaluation = ParallelizationFramework().evaluate(RollbackFreeWorkload())
+        assert any("tests.norollback" in w for w in evaluation.warnings)
+
+    def test_suite_workloads_all_clean(self):
+        for name in ("300.twolf", "197.parser", "254.gap", "176.gcc", "186.crafty"):
+            evaluation = ParallelizationFramework().evaluate(make_workload(name))
+            assert evaluation.warnings == [], name

@@ -1,0 +1,58 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.core.gantt import render_gantt
+from repro.core.simulator import PipelineSimulator
+from repro.core.tasks import Phase, Task, TaskGraph
+from repro.hw.machine import MachineConfig
+
+
+def simulate(iterations=10, cores=4):
+    tasks = []
+    index = 0
+    for i in range(iterations):
+        for phase, cost in (("A", 2), ("B", 20), ("C", 2)):
+            tasks.append(Task(index, Phase(phase), i, cost))
+            index += 1
+    graph = TaskGraph(tasks)
+    return graph, PipelineSimulator(MachineConfig(cores=cores)).simulate(graph)
+
+
+class TestGantt:
+    def test_all_cores_rendered(self):
+        graph, result = simulate(cores=4)
+        art = render_gantt(graph, result)
+        for core in range(4):
+            assert f"core   {core}" in art
+
+    def test_phase_glyphs_on_right_rows(self):
+        graph, result = simulate(cores=4)
+        lines = render_gantt(graph, result).splitlines()
+        a_row = next(l for l in lines if "(A)" in l)
+        c_row = next(l for l in lines if "(C)" in l)
+        assert "A" in a_row and "B" not in a_row
+        assert "C" in c_row and "A" not in c_row
+
+    def test_shared_core_labelled(self):
+        graph, result = simulate(cores=2)
+        art = render_gantt(graph, result)
+        assert "(A+C)" in art
+
+    def test_core_eliding(self):
+        graph, result = simulate(iterations=40, cores=32)
+        art = render_gantt(graph, result, max_cores=8)
+        assert "elided" in art
+        assert art.count("core ") == 8
+
+    def test_empty_schedule(self):
+        graph = TaskGraph([])
+        result = PipelineSimulator(MachineConfig(cores=4)).simulate(graph)
+        assert render_gantt(graph, result) == "(empty schedule)"
+
+    def test_width_respected(self):
+        graph, result = simulate()
+        lines = render_gantt(graph, result, width=40).splitlines()
+        for line in lines[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) <= 41

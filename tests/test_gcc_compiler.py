@@ -1,0 +1,122 @@
+"""Tests for the mini-C compiler front end (the gcc workload's substrate)."""
+
+import pytest
+
+from repro.ir.interp import Interpreter
+from repro.workloads.gcc_compiler import (
+    Lowerer,
+    Parser,
+    compile_function,
+    generate_assembly,
+    generate_source,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize("func f(a) { x = a + 12; }")
+        kinds = [k for k, _ in tokens]
+        assert kinds[0] == "kw"
+        assert ("name", "x") in tokens
+        assert ("int", "12") in tokens
+        assert ("sym", ";") in tokens
+
+    def test_keywords_vs_names(self):
+        tokens = tokenize("while whilex")
+        assert tokens[0] == ("kw", "while")
+        assert tokens[1] == ("name", "whilex")
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(SyntaxError):
+            tokenize("x = 1 $ 2;")
+
+
+class TestParser:
+    def parse_one(self, source):
+        return Parser(tokenize(source)).parse_unit()[0]
+
+    def test_function_shape(self):
+        ast = self.parse_one("func f(a, b) { return a + b; }")
+        assert ast[0] == "function"
+        assert ast[1] == "f"
+        assert ast[2] == ["a", "b"]
+        assert ast[3][0][0] == "return"
+
+    def test_precedence_mul_over_add(self):
+        ast = self.parse_one("func f(a) { x = a + 2 * 3; return x; }")
+        assign = ast[3][0]
+        _, _, expr = assign
+        assert expr[0] == "bin" and expr[1] == "add"
+        assert expr[3] == ("bin", "mul", ("const", 2), ("const", 3))
+
+    def test_parentheses_override(self):
+        ast = self.parse_one("func f(a) { x = (a + 2) * 3; return x; }")
+        expr = ast[3][0][2]
+        assert expr[1] == "mul"
+
+    def test_if_else(self):
+        ast = self.parse_one(
+            "func f(a) { if (a > 3) { x = 1; } else { x = 2; } return x; }"
+        )
+        statement = ast[3][0]
+        assert statement[0] == "if"
+        assert statement[2] and statement[3]  # both branches present
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(SyntaxError):
+            self.parse_one("func f(a) { x = 1 }")
+
+
+class TestLoweringAndCodegen:
+    def run_source(self, source, name, args):
+        ast = next(a for a in Parser(tokenize(source)).parse_unit() if a[1] == name)
+        function = Lowerer().lower(ast)
+        return Interpreter(max_steps=1_000_000).run_function(function, list(args))
+
+    def test_arithmetic(self):
+        src = "func f(a, b) { x = a * 3 + b; return x; }"
+        assert self.run_source(src, "f", (4, 5)) == 17
+
+    def test_while_loop(self):
+        src = (
+            "func f(a, b) { t = 0; while (a > 0) { t = t + b; a = a - 1; } "
+            "return t; }"
+        )
+        assert self.run_source(src, "f", (5, 7)) == 35
+
+    def test_if_else_paths(self):
+        src = "func f(a, b) { if (a > b) { r = a; } else { r = b; } return r; }"
+        assert self.run_source(src, "f", (3, 9)) == 9
+        assert self.run_source(src, "f", (10, 9)) == 10
+
+    def test_comparison_result(self):
+        src = "func f(a, b) { return a < b; }"
+        assert self.run_source(src, "f", (1, 2)) == 1
+        assert self.run_source(src, "f", (2, 1)) == 0
+
+    def test_generated_functions_all_compile_and_run(self):
+        unit = Parser(tokenize(generate_source(99, 8))).parse_unit()
+        for ast in unit:
+            assembly, stats, work = compile_function(ast, 0)
+            assert assembly[1].endswith(":")
+            assert stats["size_after"] <= stats["size_before"]
+            assert work > 0
+
+    def test_label_numbering_is_function_local(self):
+        """The paper's label_num fix: labels are (function, number) pairs."""
+        src = "func f(a) { return a; } func g(a) { return a; }"
+        unit = Parser(tokenize(src)).parse_unit()
+        asm_f, _ = generate_assembly(Lowerer().lower(unit[0]), 0)
+        asm_g, _ = generate_assembly(Lowerer().lower(unit[1]), 1)
+        labels_f = [l for l in asm_f if l.startswith(".L")]
+        labels_g = [l for l in asm_g if l.startswith(".L")]
+        assert labels_f and labels_g
+        assert all(l.startswith(".L0_") for l in labels_f)
+        assert all(l.startswith(".L1_") for l in labels_g)
+
+    def test_source_generator_deterministic_and_skewed(self):
+        src = generate_source(7, 30)
+        assert src == generate_source(7, 30)
+        sizes = [len(f.splitlines()) for f in src.split("\n\n")]
+        assert max(sizes) > 3 * min(sizes)  # the heavy tail gcc's profile shows

@@ -1,0 +1,236 @@
+"""Tests for the hardware model: queues, versioned memory, event kernel."""
+
+import pytest
+
+from repro.hw.events import EventKernel
+from repro.hw.machine import MachineConfig
+from repro.hw.queues import (
+    BoundedQueue,
+    QueueEmptyError,
+    QueueFullError,
+    TimedQueueModel,
+)
+from repro.hw.versioned_memory import ConflictError, EpochState, VersionedMemory
+
+
+class TestMachineConfig:
+    def test_defaults_match_paper(self):
+        machine = MachineConfig()
+        assert machine.queue_count == 256
+        assert machine.queue_capacity == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(cores=0)
+        with pytest.raises(ValueError):
+            MachineConfig(queue_capacity=0)
+
+    def test_with_cores_preserves_other_fields(self):
+        machine = MachineConfig(communication_latency=3)
+        resized = machine.with_cores(8)
+        assert resized.cores == 8
+        assert resized.communication_latency == 3
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        queue = BoundedQueue(capacity=4)
+        for i in range(4):
+            queue.produce(i)
+        assert [queue.consume() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_full_raises(self):
+        queue = BoundedQueue(capacity=2)
+        queue.produce(1)
+        queue.produce(2)
+        with pytest.raises(QueueFullError):
+            queue.produce(3)
+        assert queue.full_rejections == 1
+
+    def test_empty_raises(self):
+        queue = BoundedQueue(capacity=2)
+        with pytest.raises(QueueEmptyError):
+            queue.consume()
+
+    def test_try_variants(self):
+        queue = BoundedQueue(capacity=1)
+        assert queue.try_produce("a")
+        assert not queue.try_produce("b")
+        assert queue.try_consume() == "a"
+        assert queue.try_consume() is None
+
+    def test_max_occupancy_tracked(self):
+        queue = BoundedQueue(capacity=8)
+        for i in range(5):
+            queue.produce(i)
+        queue.consume()
+        assert queue.max_occupancy == 5
+
+
+class TestTimedQueueModel:
+    def test_produce_unblocked_when_space(self):
+        queue = TimedQueueModel(capacity=2)
+        assert queue.record_produce(10) == 10
+
+    def test_produce_blocked_by_full_queue(self):
+        queue = TimedQueueModel(capacity=2)
+        queue.record_produce(0)
+        queue.record_produce(1)
+        queue.record_consume(5)  # first token consumed at t=5
+        # Third produce must wait for the first consume.
+        assert queue.record_produce(2) == 5
+        assert queue.stall_time == 3
+
+    def test_consume_waits_for_produce(self):
+        queue = TimedQueueModel(capacity=2)
+        queue.record_produce(10)
+        assert queue.record_consume(3) == 10
+
+    def test_deadlock_detection_on_overfull(self):
+        queue = TimedQueueModel(capacity=1)
+        queue.record_produce(0)
+        with pytest.raises(QueueFullError):
+            queue.record_produce(1)
+
+    def test_consume_before_produce_rejected(self):
+        queue = TimedQueueModel(capacity=1)
+        with pytest.raises(QueueEmptyError):
+            queue.record_consume(0)
+
+
+class TestVersionedMemory:
+    def test_privatization_isolates_epochs(self):
+        memory = VersionedMemory()
+        e0 = memory.begin_epoch()
+        e1 = memory.begin_epoch()
+        memory.write(e1, "x", None, 42)
+        # e0 is OLDER than e1: the younger epoch's buffered write must not be
+        # visible backwards.
+        assert memory.read(e0, "x") is None
+
+    def test_eager_forwarding_to_younger(self):
+        memory = VersionedMemory()
+        e0 = memory.begin_epoch()
+        e1 = memory.begin_epoch()
+        memory.write(e0, "x", None, 7)
+        assert memory.read(e1, "x") == 7
+
+    def test_forwarding_disabled(self):
+        memory = VersionedMemory(eager_forwarding=False)
+        e0 = memory.begin_epoch()
+        e1 = memory.begin_epoch()
+        memory.write(e0, "x", None, 7)
+        assert memory.read(e1, "x") is None
+
+    def test_in_order_commit_enforced(self):
+        memory = VersionedMemory()
+        memory.begin_epoch()
+        e1 = memory.begin_epoch()
+        with pytest.raises(ConflictError):
+            memory.commit(e1)
+
+    def test_stale_read_squashed_on_commit(self):
+        memory = VersionedMemory(eager_forwarding=False)
+        e0 = memory.begin_epoch()
+        e1 = memory.begin_epoch()
+        assert memory.read(e1, "x") is None  # speculative read, will be stale
+        memory.write(e0, "x", None, 99)
+        squashed = memory.commit(e0)
+        assert squashed == [e1]
+        assert e1.state is EpochState.SQUASHED
+        assert memory.conflicts_detected == 1
+
+    def test_forwarded_read_survives_commit(self):
+        memory = VersionedMemory()
+        e0 = memory.begin_epoch()
+        e1 = memory.begin_epoch()
+        memory.write(e0, "x", None, 99)
+        assert memory.read(e1, "x") == 99  # eager forwarding: correct value
+        squashed = memory.commit(e0)
+        assert squashed == []
+
+    def test_silent_store_triggers_no_conflict(self):
+        memory = VersionedMemory()
+        e_init = memory.begin_epoch()
+        memory.write(e_init, "x", None, 5)
+        memory.commit(e_init)
+        e0 = memory.begin_epoch()
+        e1 = memory.begin_epoch()
+        assert memory.read(e1, "x") == 5
+        memory.write(e0, "x", None, 5)  # silent: writes back the same value
+        squashed = memory.commit(e0)
+        assert squashed == []
+        assert memory.silent_stores_suppressed >= 1
+
+    def test_reissue_takes_commit_slot(self):
+        memory = VersionedMemory(eager_forwarding=False)
+        e0 = memory.begin_epoch()
+        e1 = memory.begin_epoch()
+        memory.read(e1, "x")
+        memory.write(e0, "x", None, 1)
+        (squashed,) = memory.commit(e0)
+        fresh = memory.reissue(squashed)
+        assert memory.read(fresh, "x") == 1
+        memory.commit(fresh)
+        assert memory.committed_value("x") == 1
+
+    def test_stale_handle_rejected(self):
+        memory = VersionedMemory(eager_forwarding=False)
+        e0 = memory.begin_epoch()
+        e1 = memory.begin_epoch()
+        memory.read(e1, "x")
+        memory.write(e0, "x", None, 1)
+        (squashed,) = memory.commit(e0)
+        memory.reissue(squashed)
+        with pytest.raises(ConflictError, match="stale"):
+            memory.read(squashed, "y")
+
+    def test_architectural_state_only_after_commit(self):
+        memory = VersionedMemory()
+        e0 = memory.begin_epoch()
+        memory.write(e0, "x", None, 1)
+        assert memory.committed_value("x") is None
+        memory.commit(e0)
+        assert memory.committed_value("x") == 1
+
+
+class TestEventKernel:
+    def test_events_fire_in_time_order(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule(5, lambda: fired.append("b"))
+        kernel.schedule(1, lambda: fired.append("a"))
+        kernel.schedule(9, lambda: fired.append("c"))
+        kernel.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_tie_break_by_priority_then_fifo(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule(1, lambda: fired.append("low"), priority=5)
+        kernel.schedule(1, lambda: fired.append("high"), priority=0)
+        kernel.schedule(1, lambda: fired.append("low2"), priority=5)
+        kernel.run()
+        assert fired == ["high", "low", "low2"]
+
+    def test_scheduling_in_past_rejected(self):
+        kernel = EventKernel()
+        kernel.schedule(5, lambda: kernel.schedule(1, lambda: None))
+        with pytest.raises(ValueError):
+            kernel.run()
+
+    def test_cascading_events(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule(1, lambda: kernel.schedule_after(2, lambda: fired.append(kernel.now)))
+        kernel.run()
+        assert fired == [3]
+
+    def test_run_until(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule(1, lambda: fired.append(1))
+        kernel.schedule(10, lambda: fired.append(10))
+        kernel.run(until=5)
+        assert fired == [1]
+        assert kernel.pending == 1

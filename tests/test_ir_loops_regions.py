@@ -1,0 +1,176 @@
+"""Tests for loop discovery, region formation and inlining."""
+
+import pytest
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.inline import InliningError, inline_call, specialize_recursion
+from repro.ir.loops import find_loops
+from repro.ir.region import form_loop_region
+from repro.ir.types import IntType
+
+
+def build_nested_loop_program():
+    pb = ProgramBuilder("nested")
+    acc = pb.global_variable("acc")
+    fb = pb.function("main")
+    fb.block("entry")
+    fb.jump("outer")
+    fb.block("outer")
+    fb.jump("inner")
+    fb.block("inner")
+    value = fb.load(acc, [acc], name="value")
+    fb.store(fb.add(value, 1), acc, [acc])
+    inner_done = fb.compare("lt", value, 10, name="inner_done")
+    fb.branch(inner_done, "inner", "outer_latch")
+    fb.block("outer_latch")
+    outer_done = fb.compare("lt", value, 100, name="outer_done")
+    fb.branch(outer_done, "outer", "exit")
+    fb.block("exit")
+    fb.ret()
+    return pb.finish()
+
+
+class TestLoopDiscovery:
+    def test_single_loop(self, counter_program):
+        nest = find_loops(counter_program.function("main"))
+        assert len(nest) == 1
+        loop = nest.outermost()
+        assert loop.header.name == "loop"
+        assert loop.blocks == {"loop"}
+
+    def test_nested_loops(self):
+        program = build_nested_loop_program()
+        nest = find_loops(program.function("main"))
+        assert len(nest) == 2
+        outer = nest.loop_with_header("outer")
+        inner = nest.loop_with_header("inner")
+        assert inner.parent is outer
+        assert inner in outer.children
+        assert outer.depth == 0 and inner.depth == 1
+        assert inner.blocks < outer.blocks
+
+    def test_innermost_containing(self):
+        program = build_nested_loop_program()
+        nest = find_loops(program.function("main"))
+        assert nest.innermost_containing("inner").header.name == "inner"
+        assert nest.innermost_containing("outer_latch").header.name == "outer"
+        assert nest.innermost_containing("entry") is None
+
+    def test_exit_edges(self, counter_loop):
+        exits = counter_loop.exit_edges()
+        assert [(block.name, target) for block, target in exits] == [("loop", "exit")]
+
+    def test_no_loops_in_straightline_code(self):
+        pb = ProgramBuilder()
+        fb = pb.function("f")
+        fb.block("entry")
+        fb.ret(0)
+        nest = find_loops(pb.finish().function("f"))
+        assert len(nest) == 0
+        assert nest.outermost() is None
+
+
+class TestRegionFormation:
+    def build_caller_callee(self, commutative=False):
+        pb = ProgramBuilder("rc")
+        table = pb.global_variable("table")
+        helper = pb.function("helper")
+        helper.block("entry")
+        value = helper.load(table, [table], name="value", cost=3)
+        helper.ret(value)
+        if commutative:
+            helper.function.mark_commutative(group="table")
+        fb = pb.function("main")
+        fb.block("entry")
+        fb.jump("loop")
+        fb.block("loop")
+        result = fb.call("helper", name="result")
+        cond = fb.compare("lt", result.result, 10, name="cond")
+        fb.branch(cond, "loop", "exit")
+        fb.block("exit")
+        fb.ret()
+        program = pb.finish()
+        program.set_main("main")
+        loop = find_loops(program.function("main")).outermost()
+        return program, loop
+
+    def test_region_pulls_in_callee(self):
+        program, loop = self.build_caller_callee()
+        region = form_loop_region(program, loop)
+        assert region.functions == {"main", "helper"}
+        assert not region.opaque_call_sites()
+
+    def test_commutative_callee_stays_opaque(self):
+        program, loop = self.build_caller_callee(commutative=True)
+        region = form_loop_region(program, loop)
+        assert region.functions == {"main"}
+        assert len(region.opaque_call_sites()) == 1
+
+    def test_budget_limits_region(self):
+        program, loop = self.build_caller_callee()
+        region = form_loop_region(program, loop, max_functions=1)
+        assert region.functions == {"main"}
+
+    def test_region_cost_sums_instruction_costs(self):
+        program, loop = self.build_caller_callee()
+        region = form_loop_region(program, loop)
+        assert region.total_cost() >= 3  # the callee's load is inside
+
+
+class TestInlining:
+    def build_inline_candidate(self):
+        pb = ProgramBuilder("inl")
+        double = pb.function("double", [IntType(64)], ["x"])
+        double.block("entry")
+        doubled = double.mul(double.param(0), 2, name="doubled")
+        double.ret(doubled)
+        fb = pb.function("main")
+        fb.block("entry")
+        call = fb.call("double", [21], name="answer")
+        fb.ret(call.result)
+        program = pb.finish()
+        program.set_main("main")
+        return program, call
+
+    def test_inline_replaces_call(self):
+        program, call = self.build_inline_candidate()
+        main = program.function("main")
+        inline_call(main, call)
+        main.verify()
+        opcodes = [i.opcode() for i in main.instructions()]
+        assert "call" not in opcodes
+        assert "mul" in opcodes
+
+    def test_inline_forwards_return_value(self):
+        program, call = self.build_inline_candidate()
+        main = program.function("main")
+        inline_call(main, call)
+        ret = next(i for i in main.instructions() if i.opcode() == "return")
+        assert ret.value is not None
+        assert ret.value.defining_instruction.opcode() == "mul"
+
+    def test_inlining_commutative_refused(self):
+        program, call = self.build_inline_candidate()
+        program.function("double").mark_commutative()
+        with pytest.raises(InliningError, match="Commutative"):
+            inline_call(program.function("main"), call)
+
+    def test_specialize_recursion_unrolls_one_level(self):
+        pb = ProgramBuilder("rec")
+        search = pb.function("search", [IntType(64)], ["depth"])
+        search.block("entry")
+        is_leaf = search.compare("le", search.param(0), 0, name="is_leaf")
+        search.branch(is_leaf, "leaf", "recurse")
+        search.block("leaf")
+        search.ret(1)
+        search.block("recurse")
+        shallower = search.sub(search.param(0), 1, name="shallower")
+        inner = search.call("search", [shallower], name="inner")
+        search.ret(inner.result)
+        program = pb.finish()
+
+        top = specialize_recursion(program.function("search"), depth=1)
+        assert top.name == "search@1"
+        callees = [c.callee for c in top.call_sites()]
+        assert callees == ["search"]
+        program.verify()

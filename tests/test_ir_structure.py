@@ -1,0 +1,200 @@
+"""Unit tests for the IR containers: blocks, functions, programs, builder."""
+
+import pytest
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Jump,
+    Load,
+    Return,
+    Store,
+    YBranch,
+)
+from repro.ir.printer import format_function, format_program
+from repro.ir.program import Program
+from repro.ir.types import BoolType, IntType, PointerType, VoidType
+from repro.ir.values import Constant, MemoryObject
+
+
+class TestTypes:
+    def test_int_types_compare_by_width(self):
+        assert IntType(64) == IntType(64)
+        assert IntType(32) != IntType(64)
+        assert hash(IntType(8)) == hash(IntType(8))
+
+    def test_pointer_types_compare_by_pointee(self):
+        assert PointerType(IntType(64)) == PointerType(IntType(64))
+        assert PointerType(IntType(32)) != PointerType(IntType(64))
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+
+    def test_pointer_predicate(self):
+        assert PointerType(IntType(64)).is_pointer
+        assert not IntType(64).is_pointer
+
+
+class TestInstructions:
+    def test_binop_result_type_follows_operands(self):
+        op = BinOp("add", Constant(1), Constant(2))
+        assert op.result is not None
+        assert op.result.type == IntType(64)
+
+    def test_comparison_produces_bool(self):
+        op = BinOp("lt", Constant(1), Constant(2))
+        assert isinstance(op.result.type, BoolType)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("frobnicate", Constant(1), Constant(2))
+
+    def test_load_reports_memory_objects(self):
+        obj = MemoryObject("table")
+        load = Load(obj, [obj])
+        assert load.reads_memory
+        assert not load.writes_memory
+        assert load.memory_objects() == [obj]
+
+    def test_store_reports_memory_objects(self):
+        obj = MemoryObject("table")
+        store = Store(Constant(7), obj, [obj])
+        assert store.writes_memory
+        assert not store.reads_memory
+
+    def test_branch_targets(self):
+        br = Branch(Constant(1), "then", "else")
+        assert br.targets() == ["then", "else"]
+        assert br.is_terminator
+
+    def test_ybranch_probability_validation(self):
+        with pytest.raises(ValueError):
+            YBranch(Constant(1), "a", "b", probability=1.5)
+
+    def test_ybranch_carries_probability(self):
+        yb = YBranch(Constant(0), "a", "b", probability=0.0001)
+        assert yb.probability == 0.0001
+        assert isinstance(yb, Branch)
+
+    def test_replace_operand(self):
+        a, b = Constant(1), Constant(2)
+        op = BinOp("add", a, a)
+        assert op.replace_operand(a, b) == 2
+        assert op.operands == [b, b]
+
+
+class TestBasicBlock:
+    def test_append_after_terminator_rejected(self):
+        block = BasicBlock("b")
+        block.append(Jump("next"))
+        with pytest.raises(ValueError):
+            block.append(Return())
+
+    def test_successor_names_from_terminator(self):
+        block = BasicBlock("b")
+        block.append(Branch(Constant(1), "x", "y"))
+        assert block.successor_names() == ["x", "y"]
+
+    def test_block_without_terminator_has_no_successors(self):
+        block = BasicBlock("b")
+        assert block.terminator is None
+        assert block.successor_names() == []
+
+
+class TestFunctionAndProgram:
+    def test_duplicate_block_rejected(self):
+        fn = Function("f")
+        fn.new_block("entry")
+        with pytest.raises(ValueError):
+            fn.new_block("entry")
+
+    def test_entry_is_first_block(self):
+        fn = Function("f")
+        fn.new_block("start")
+        fn.new_block("other")
+        assert fn.entry.name == "start"
+
+    def test_verify_catches_missing_terminator(self):
+        fn = Function("f")
+        fn.new_block("entry")
+        with pytest.raises(ValueError, match="terminator"):
+            fn.verify()
+
+    def test_verify_catches_unknown_target(self):
+        fn = Function("f")
+        block = fn.new_block("entry")
+        block.append(Jump("nowhere"))
+        with pytest.raises(ValueError, match="unknown block"):
+            fn.verify()
+
+    def test_commutative_marking(self):
+        fn = Function("rng")
+        fn.mark_commutative()
+        assert fn.commutative_group == "rng"
+        fn2 = Function("xmalloc")
+        fn2.mark_commutative(group="allocator", rollback="xfree")
+        assert fn2.commutative_group == "allocator"
+        assert fn2.rollback == "xfree"
+
+    def test_program_duplicate_function_rejected(self):
+        program = Program()
+        program.add_function(Function("f"))
+        with pytest.raises(ValueError):
+            program.add_function(Function("f"))
+
+    def test_program_verify_catches_unknown_callee(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        fb.block("entry")
+        fb.call("missing")
+        fb.ret()
+        with pytest.raises(ValueError, match="unknown function"):
+            pb.finish()
+
+    def test_commutative_group_members(self):
+        program = Program()
+        malloc = Function("malloc")
+        malloc.mark_commutative(group="heap", rollback="free")
+        free = Function("free")
+        free.mark_commutative(group="heap")
+        program.add_function(malloc)
+        program.add_function(free)
+        assert {f.name for f in program.commutative_group_members("heap")} == {
+            "malloc",
+            "free",
+        }
+
+
+class TestBuilder:
+    def test_builder_produces_verified_program(self, counter_program):
+        counter_program.verify()
+        main = counter_program.function("main")
+        assert {b.name for b in main.blocks} == {"entry", "loop", "exit"}
+
+    def test_builder_coerces_python_ints(self):
+        pb = ProgramBuilder()
+        fb = pb.function("f")
+        fb.block("entry")
+        result = fb.add(1, 2)
+        fb.ret(result)
+        program = pb.finish()
+        add = next(i for i in program.function("f").instructions() if i.opcode() == "add")
+        assert all(isinstance(op, Constant) for op in add.operands)
+
+    def test_printer_round_trips_names(self, counter_program):
+        text = format_program(counter_program)
+        assert "func main" in text
+        assert "loop:" in text
+        assert "@counter" in text
+
+    def test_printer_shows_commutative_tag(self):
+        pb = ProgramBuilder()
+        fb = pb.function("rng")
+        fb.block("entry")
+        fb.ret(0)
+        fb.function.mark_commutative()
+        assert "commutative(rng)" in format_function(fb.function)

@@ -1,0 +1,188 @@
+"""Tests for the IR interpreter and the optimization passes."""
+
+import pytest
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.interp import Interpreter, InterpreterError, run_program
+from repro.ir.transforms import (
+    common_subexpression_elimination,
+    constant_fold,
+    eliminate_dead_code,
+    run_pass_pipeline,
+    simplify_branches,
+)
+from repro.ir.types import IntType
+from repro.workloads.gcc_compiler import Lowerer, Parser, generate_source, tokenize
+
+
+def build_abs_function():
+    pb = ProgramBuilder()
+    fb = pb.function("abs", [IntType(64)], ["x"])
+    fb.block("entry")
+    negative = fb.compare("lt", fb.param(0), 0, name="negative")
+    fb.branch(negative, "flip", "keep")
+    fb.block("flip")
+    flipped = fb.unop("neg", fb.param(0), name="flipped")
+    fb.ret(flipped)
+    fb.block("keep")
+    fb.ret(fb.param(0))
+    return pb.finish()
+
+
+class TestInterpreter:
+    def test_branches_and_arithmetic(self):
+        program = build_abs_function()
+        assert run_program(program, [-7], function="abs") == 7
+        assert run_program(program, [9], function="abs") == 9
+
+    def test_memory_roundtrip(self, counter_program):
+        result = run_program(counter_program, [])
+        # Loop increments @counter from 0 until it reaches 100.
+        interp = Interpreter(counter_program)
+        interp.run_function(counter_program.function("main"), [])
+        assert interp.memory[("counter", None)] == 100
+
+    def test_loop_with_phi(self, pipeline_program):
+        interp = Interpreter(pipeline_program, max_steps=100_000)
+        interp.run_function(pipeline_program.function("main"), [])
+        # sum of squares of @data (always 0 here) — just check termination
+        assert interp.steps > 1000
+
+    def test_call_dispatch(self):
+        pb = ProgramBuilder()
+        double = pb.function("double", [IntType(64)], ["x"])
+        double.block("entry")
+        double.ret(double.mul(double.param(0), 2))
+        fb = pb.function("main")
+        fb.block("entry")
+        call = fb.call("double", [21])
+        fb.ret(call.result)
+        program = pb.finish()
+        program.set_main("main")
+        assert run_program(program) == 42
+
+    def test_step_budget(self):
+        pb = ProgramBuilder()
+        fb = pb.function("spin")
+        fb.block("entry")
+        fb.jump("entry2")
+        fb.block("entry2")
+        fb.jump("entry")
+        program = pb.finish()
+        with pytest.raises(InterpreterError, match="budget"):
+            Interpreter(program, max_steps=100).run_function(
+                program.function("spin"), []
+            )
+
+    def test_wrong_arity_rejected(self):
+        program = build_abs_function()
+        with pytest.raises(InterpreterError, match="arguments"):
+            run_program(program, [1, 2], function="abs")
+
+    def test_ybranch_sequential_vs_forced(self):
+        pb = ProgramBuilder()
+        fb = pb.function("f", [IntType(64)], ["x"])
+        fb.block("entry")
+        cond = fb.compare("gt", fb.param(0), 100, name="cond")
+        fb.ybranch(cond, "big", "small", probability=0.5)
+        fb.block("big")
+        fb.ret(1)
+        fb.block("small")
+        fb.ret(0)
+        program = pb.finish()
+        assert run_program(program, [5], function="f") == 0
+        forced = Interpreter(program, ybranch_forced_true=lambda yb, n: True)
+        assert forced.run_function(program.function("f"), [5]) == 1
+
+
+class TestPasses:
+    def test_constant_fold_chain(self):
+        pb = ProgramBuilder()
+        fb = pb.function("f")
+        fb.block("entry")
+        a = fb.add(2, 3)
+        b = fb.mul(a, 4)
+        fb.ret(b)
+        program = pb.finish()
+        function = program.function("f")
+        assert constant_fold(function) == 2
+        ret = next(i for i in function.instructions() if i.opcode() == "return")
+        assert ret.value.value == 20
+
+    def test_dce_removes_unused(self):
+        pb = ProgramBuilder()
+        g = pb.global_variable("g")
+        fb = pb.function("f")
+        fb.block("entry")
+        fb.add(1, 2)            # dead
+        kept = fb.load(g, [g])  # dead load, also removable
+        fb.ret(0)
+        function = pb.finish().function("f")
+        removed = eliminate_dead_code(function)
+        assert removed == 2
+        assert [i.opcode() for i in function.instructions()] == ["return"]
+
+    def test_dce_keeps_stores(self):
+        pb = ProgramBuilder()
+        g = pb.global_variable("g")
+        fb = pb.function("f")
+        fb.block("entry")
+        fb.store(1, g, [g])
+        fb.ret(0)
+        function = pb.finish().function("f")
+        assert eliminate_dead_code(function) == 0
+
+    def test_cse_merges_duplicates(self):
+        pb = ProgramBuilder()
+        fb = pb.function("f", [IntType(64)], ["x"])
+        fb.block("entry")
+        a = fb.mul(fb.param(0), 3)
+        b = fb.mul(fb.param(0), 3)
+        c = fb.add(a, b)
+        fb.ret(c)
+        function = pb.finish().function("f")
+        assert common_subexpression_elimination(function) == 1
+
+    def test_branch_simplification(self):
+        pb = ProgramBuilder()
+        fb = pb.function("f")
+        fb.block("entry")
+        cond = fb.compare("lt", 1, 2)
+        fb.branch(cond, "a", "b")
+        fb.block("a")
+        fb.ret(1)
+        fb.block("b")
+        fb.ret(0)
+        function = pb.finish().function("f")
+        constant_fold(function)
+        assert simplify_branches(function) == 1
+        assert function.block("entry").terminator.opcode() == "jump"
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_pipeline_preserves_semantics(self, seed):
+        """The gcc analog's core guarantee: optimized == unoptimized."""
+        unit = Parser(tokenize(generate_source(seed, 5))).parse_unit()
+        for ast in unit:
+            reference = Lowerer().lower(ast)
+            optimized = Lowerer().lower(ast)
+            run_pass_pipeline(optimized)
+            for args in ((0, 0), (3, 4), (25, 13)):
+                expected = Interpreter(max_steps=3_000_000).run_function(
+                    reference, list(args)
+                )
+                actual = Interpreter(max_steps=3_000_000).run_function(
+                    optimized, list(args)
+                )
+                assert expected == actual
+
+    def test_pipeline_shrinks_code(self):
+        unit = Parser(tokenize(generate_source(3, 8))).parse_unit()
+        shrunk = 0
+        for ast in unit:
+            function = Lowerer().lower(ast)
+            before = sum(1 for _ in function.instructions())
+            run_pass_pipeline(function)
+            after = sum(1 for _ in function.instructions())
+            assert after <= before
+            shrunk += before - after
+        assert shrunk > 0

@@ -1,0 +1,105 @@
+"""Tests for the generalized multi-stage PS-DSWP extension."""
+
+import pytest
+
+from repro.core.simulator import PipelineSimulator
+from repro.dswp.multistage import (
+    MultiStageSimulator,
+    partition_loop_multistage,
+)
+from repro.dswp.partition import StageKind, partition_loop
+from repro.hw.machine import MachineConfig
+from repro.testing import build_two_hump_loop
+from repro.ir.builder import ProgramBuilder
+from repro.ir.loops import find_loops
+from repro.ir.types import IntType
+
+
+class TestMultiStagePartition:
+    def test_two_parallel_stages_found(self):
+        program, loop = build_two_hump_loop()
+        partition = partition_loop_multistage(program, loop)
+        parallel = [s for s in partition.stages if s.kind is StageKind.PARALLEL]
+        heavy = [s for s in parallel if s.cost >= 100]
+        assert len(heavy) >= 2
+
+    def test_stage_phases_alternate(self):
+        program, loop = build_two_hump_loop()
+        partition = partition_loop_multistage(program, loop)
+        for first, second in zip(partition.stages, partition.stages[1:]):
+            assert first.kind is not second.kind  # merged runs alternate
+
+    def test_three_phase_leaves_one_hump_sequential(self):
+        program, loop = build_two_hump_loop()
+        classic = partition_loop(program, loop)
+        assert classic.parallel_stage is not None
+        # The classic plan's parallel stage cannot cover both humps.
+        assert classic.parallel_stage.cost < 205
+
+
+class TestCoreAllocation:
+    def test_waterfilling_prefers_heavier_stage(self):
+        program, loop = build_two_hump_loop()
+        partition = partition_loop_multistage(program, loop)
+        simulator = MultiStageSimulator(MachineConfig(cores=16))
+        allocation = simulator.allocate_cores(partition.stages)
+        assert sum(allocation) <= 16
+        for index, stage in enumerate(partition.stages):
+            if stage.kind is StageKind.SEQUENTIAL:
+                assert allocation[index] == 1
+            else:
+                assert allocation[index] >= 1
+        parallel_shares = [
+            allocation[i]
+            for i, s in enumerate(partition.stages)
+            if s.kind is StageKind.PARALLEL and s.cost >= 100
+        ]
+        assert all(share >= 5 for share in parallel_shares)
+
+
+class TestMultiStageSimulation:
+    def test_beats_three_phase_on_two_humps(self):
+        program, loop = build_two_hump_loop()
+        iterations = 256
+
+        classic = partition_loop(program, loop)
+        classic_result = PipelineSimulator(MachineConfig(cores=32)).simulate(
+            classic.task_graph(iterations)
+        )
+
+        multi = partition_loop_multistage(program, loop)
+        multi_result = MultiStageSimulator(MachineConfig(cores=32)).simulate(
+            multi, iterations
+        )
+        assert multi_result.speedup > classic_result.speedup * 1.3
+
+    def test_reduces_to_three_phase_shape(self, pipeline_program, pipeline_loop):
+        """On a plain A/B/C loop both planners agree within noise."""
+        iterations = 256
+        classic = partition_loop(pipeline_program, pipeline_loop)
+        classic_result = PipelineSimulator(MachineConfig(cores=16)).simulate(
+            classic.task_graph(iterations)
+        )
+        multi = partition_loop_multistage(pipeline_program, pipeline_loop)
+        multi_result = MultiStageSimulator(MachineConfig(cores=16)).simulate(
+            multi, iterations
+        )
+        ratio = multi_result.speedup / classic_result.speedup
+        assert 0.6 < ratio < 1.7
+
+    def test_too_few_cores_degenerates_to_sequential(self):
+        program, loop = build_two_hump_loop()
+        multi = partition_loop_multistage(program, loop)
+        result = MultiStageSimulator(MachineConfig(cores=2)).simulate(multi, 32)
+        assert result.speedup == pytest.approx(1.0)
+
+    def test_makespan_at_least_bottleneck(self):
+        program, loop = build_two_hump_loop()
+        multi = partition_loop_multistage(program, loop)
+        iterations = 128
+        result = MultiStageSimulator(MachineConfig(cores=8)).simulate(multi, iterations)
+        allocation = result.core_allocation
+        for index, stage in enumerate(multi.stages):
+            # No stage can finish its per-iteration work faster than
+            # cost * iterations / cores_assigned.
+            assert result.makespan >= stage.cost * iterations / max(allocation[index], 1) - 1

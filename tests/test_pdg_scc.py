@@ -1,0 +1,111 @@
+"""Tests for PDG construction and SCC condensation."""
+
+import pytest
+
+from repro.pdg.builder import build_loop_pdg
+from repro.pdg.graph import PDG, PDGEdge
+from repro.pdg.scc import condense
+from repro.ir.builder import ProgramBuilder
+from repro.ir.loops import find_loops
+from repro.ir.types import IntType
+
+
+class TestPDGGraph:
+    def test_edges_require_known_nodes(self, counter_program, counter_loop):
+        pdg = build_loop_pdg(counter_program, counter_loop)
+        with pytest.raises(KeyError):
+            pdg.add_edge(PDGEdge(999999, 999998, "register"))
+
+    def test_speculated_edges_excluded_from_effective(self, counter_program, counter_loop):
+        pdg = build_loop_pdg(counter_program, counter_loop)
+        edge = pdg.edges[0]
+        before = len(pdg.effective_edges())
+        pdg.speculate_edge(edge, "alias")
+        assert len(pdg.effective_edges()) == before - 1
+        assert pdg.is_speculated(edge)
+        assert pdg.speculation_technique(edge) == "alias"
+
+    def test_loop_carried_edges_present(self, counter_program, counter_loop):
+        pdg = build_loop_pdg(counter_program, counter_loop)
+        assert pdg.loop_carried_edges()
+
+    def test_total_cost_matches_instructions(self, counter_program, counter_loop):
+        pdg = build_loop_pdg(counter_program, counter_loop)
+        assert pdg.total_cost() == sum(i.cost for i in counter_loop.instructions())
+
+
+class TestPDGBuilder:
+    def test_control_edges_from_loop_branch(self, counter_program, counter_loop):
+        pdg = build_loop_pdg(counter_program, counter_loop)
+        control = [e for e in pdg.edges if e.kind == "control"]
+        assert control
+        branch = counter_loop.function.block("loop").terminator
+        assert all(e.source == branch.id for e in control)
+
+    def test_ybranch_induces_no_control_edges(self):
+        pb = ProgramBuilder()
+        g = pb.global_variable("g")
+        fb = pb.function("main")
+        fb.block("entry")
+        fb.jump("loop")
+        fb.block("loop")
+        v = fb.load(g, [g], name="v")
+        fb.store(fb.add(v, 1), g, [g])
+        cond = fb.compare("lt", v, 10, name="cond")
+        fb.ybranch(cond, "loop", "exit", probability=0.01)
+        fb.block("exit")
+        fb.ret()
+        program = pb.finish()
+        loop = find_loops(program.function("main")).outermost()
+        pdg = build_loop_pdg(program, loop)
+        assert [e for e in pdg.edges if e.kind == "control"] == []
+
+
+class TestSCCCondensation:
+    def test_counter_loop_forms_memory_cycle(self, counter_program, counter_loop):
+        pdg = build_loop_pdg(counter_program, counter_loop)
+        dag = condense(pdg)
+        # load->add->store->load(carried) must collapse into one SCC.
+        sizes = sorted(len(scc) for scc in dag.sccs)
+        assert max(sizes) >= 3
+
+    def test_condensation_is_acyclic(self, pipeline_program, pipeline_loop):
+        pdg = build_loop_pdg(pipeline_program, pipeline_loop)
+        dag = condense(pdg)
+        order = dag.topological_order()  # raises on cycle
+        position = {scc.index: i for i, scc in enumerate(order)}
+        for a, b in dag.edges:
+            assert position[a] < position[b]
+
+    def test_pure_compute_scc_is_doall(self, pipeline_program, pipeline_loop):
+        pdg = build_loop_pdg(pipeline_program, pipeline_loop)
+        dag = condense(pdg)
+        heavy = max(dag.sccs, key=lambda s: s.cost)
+        assert heavy.doall
+        assert heavy.cost >= 50
+
+    def test_accumulator_scc_not_doall(self, pipeline_program, pipeline_loop):
+        pdg = build_loop_pdg(pipeline_program, pipeline_loop)
+        dag = condense(pdg)
+        store = next(
+            i for i in pipeline_loop.instructions() if i.opcode() == "store"
+        )
+        assert not dag.scc_of(store.id).doall
+
+    def test_speculation_enables_doall(self, counter_program, counter_loop):
+        pdg = build_loop_pdg(counter_program, counter_loop)
+        before = condense(pdg)
+        assert not any(scc.doall and scc.cost > 1 for scc in before.sccs)
+        for edge in pdg.loop_carried_edges():
+            pdg.speculate_edge(edge, "alias")
+        after = condense(pdg)
+        assert len(after.sccs) > len(before.sccs) or any(
+            scc.doall and scc.cost > 1 for scc in after.sccs
+        )
+
+    def test_costs_partition_total(self, pipeline_program, pipeline_loop):
+        pdg = build_loop_pdg(pipeline_program, pipeline_loop)
+        dag = condense(pdg)
+        assert dag.total_cost() == pdg.total_cost()
+        node_count = sum(len(scc) for scc in dag.sccs)
+        assert node_count == len(pdg)

@@ -1,0 +1,96 @@
+"""Tests for the executable threaded DSWP pipeline runtime."""
+
+import threading
+
+import pytest
+
+from repro.dswp.runtime import PipelineRuntime
+
+
+def run_sequentially(iterations, produce, work):
+    out = []
+    for i in range(iterations):
+        out.append(work(i, produce(i)))
+    return out
+
+
+class TestPipelineRuntime:
+    @pytest.mark.parametrize("workers", [1, 2, 4, 8])
+    @pytest.mark.parametrize("capacity", [1, 4, 32])
+    def test_outputs_equal_sequential(self, workers, capacity):
+        produce = lambda i: i * 3
+        work = lambda i, v: (v * v + i) % 1009
+        expected = run_sequentially(200, produce, work)
+
+        committed = []
+        runtime = PipelineRuntime(workers=workers, queue_capacity=capacity)
+        runtime.run(200, produce, work, lambda i, r: committed.append((i, r)))
+        assert [r for _, r in committed] == expected
+        # Phase C saw iterations strictly in order.
+        assert [i for i, _ in committed] == list(range(200))
+
+    def test_all_workers_participate(self):
+        gate = threading.Barrier(4, timeout=10)
+
+        def slowish(i, v):
+            if i < 4:
+                gate.wait()  # forces 4 concurrent workers at the start
+            return v + 1
+
+        runtime = PipelineRuntime(workers=4, queue_capacity=8)
+        committed = []
+        runtime.run(64, lambda i: i, slowish, lambda i, r: committed.append(r))
+        assert len(runtime.stats.worker_iterations) == 4
+        assert sum(runtime.stats.worker_iterations.values()) == 64
+
+    def test_commit_order_despite_reordering(self):
+        import time
+
+        def jittery(i, v):
+            if i % 7 == 0:
+                time.sleep(0.001)  # let later iterations overtake
+            return v
+
+        committed = []
+        runtime = PipelineRuntime(workers=4, queue_capacity=16)
+        runtime.run(100, lambda i: i, jittery, lambda i, r: committed.append(i))
+        assert committed == list(range(100))
+
+    def test_worker_exception_propagates(self):
+        def explode(i, v):
+            if i == 10:
+                raise RuntimeError("boom at 10")
+            return v
+
+        runtime = PipelineRuntime(workers=2, queue_capacity=4)
+        with pytest.raises(RuntimeError, match="boom"):
+            runtime.run(32, lambda i: i, explode, lambda i, r: None)
+
+    def test_producer_exception_propagates(self):
+        def bad_produce(i):
+            if i == 5:
+                raise ValueError("bad input")
+            return i
+
+        runtime = PipelineRuntime(workers=2, queue_capacity=4)
+        with pytest.raises(ValueError, match="bad input"):
+            runtime.run(32, bad_produce, lambda i, v: v, lambda i, r: None)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            PipelineRuntime(workers=0)
+
+    def test_commutative_side_effects_any_order(self):
+        """A Commutative counter bumped from phase B: total is exact even
+        though the order of bumps is nondeterministic."""
+        lock = threading.Lock()
+        counter = [0]
+
+        def bump(i, v):
+            with lock:  # the atomicity Commutative demands
+                counter[0] += 1
+            return v
+
+        runtime = PipelineRuntime(workers=8, queue_capacity=8)
+        runtime.run(300, lambda i: i, bump, lambda i, r: None)
+        assert counter[0] == 300

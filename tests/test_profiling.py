@@ -1,0 +1,229 @@
+"""Tests for the tracer and the profile condensers."""
+
+import pytest
+
+from repro.profiling.branch_profile import BranchProfile
+from repro.profiling.context import activate, current_tracer
+from repro.profiling.loop_profile import LoopProfile
+from repro.profiling.memory_profile import MemoryProfile
+from repro.profiling.tracer import Tracer
+from repro.profiling.value_profile import ValueProfile
+
+
+def trace_simple(iterations=4):
+    tracer = Tracer()
+    for i in range(iterations):
+        with tracer.task("A", i):
+            tracer.work(2)
+            tracer.store("block", i, value=i)
+        with tracer.task("B", i):
+            tracer.load("block", i)
+            tracer.work(10)
+            tracer.store("out", i, value=i)
+        with tracer.task("C", i):
+            tracer.load("out", i)
+            tracer.work(1)
+    return tracer.finish()
+
+
+class TestTracer:
+    def test_task_costs_accumulate(self):
+        trace = trace_simple()
+        assert trace.total_cost == 4 * 13
+        assert trace.tasks_in_phase("B")[0].cost == 10
+
+    def test_tasks_cannot_nest(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError, match="nest"):
+            with tracer.task("A", 0):
+                with tracer.task("B", 0):
+                    pass
+
+    def test_invalid_phase_rejected(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.task("D", 0):
+                pass
+
+    def test_work_outside_task_rejected(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            tracer.work(1)
+
+    def test_finish_with_open_task_rejected(self):
+        tracer = Tracer()
+        manager = tracer.task("A", 0)
+        manager.__enter__()
+        with pytest.raises(RuntimeError, match="still open"):
+            tracer.finish()
+
+    def test_commutative_sections_accumulate_cost(self):
+        tracer = Tracer()
+        with tracer.task("B", 0):
+            tracer.work(5)
+            with tracer.commutative("alloc"):
+                tracer.work(3)
+        trace = tracer.finish()
+        assert trace.section_costs == {(0, "alloc"): 3}
+        assert trace.tasks[0].cost == 8
+
+    def test_context_activation(self):
+        tracer = Tracer()
+        assert current_tracer() is None
+        with activate(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+
+class TestMemoryProfile:
+    def test_raw_dependence_detected(self):
+        trace = trace_simple()
+        profile = MemoryProfile(trace)
+        kinds = {d.kind for d in profile.dependences}
+        assert "raw" in kinds
+
+    def test_same_iteration_dependences_not_cross(self):
+        trace = trace_simple()
+        profile = MemoryProfile(trace)
+        # block/out locations are iteration-private here.
+        assert profile.cross_iteration_dependences() == []
+
+    def test_cross_iteration_raw(self):
+        tracer = Tracer()
+        for i in range(3):
+            with tracer.task("B", i):
+                tracer.load("shared", 0)
+                tracer.work(1)
+                tracer.store("shared", 0, value=i)
+        profile = MemoryProfile(tracer.finish())
+        cross = profile.cross_iteration_raw()
+        assert {(d.source_index, d.target_index) for d in cross} == {(0, 1), (1, 2)}
+
+    def test_silent_store_not_a_raw_source(self):
+        tracer = Tracer()
+        with tracer.task("B", 0):
+            tracer.work(1)
+            tracer.store("flag", 0, value=7)
+        with tracer.task("B", 1):
+            tracer.work(1)
+            tracer.store("flag", 0, value=7)  # silent: same value
+        with tracer.task("B", 2):
+            tracer.work(1)
+            tracer.load("flag", 0)
+        profile = MemoryProfile(tracer.finish())
+        raw = [d for d in profile.dependences if d.kind == "raw"]
+        assert {(d.source_index, d.target_index) for d in raw} == {(0, 2)}
+
+    def test_commutative_accesses_create_no_dependences(self):
+        tracer = Tracer()
+        for i in range(3):
+            with tracer.task("B", i):
+                tracer.work(1)
+                with tracer.commutative("rng"):
+                    tracer.load("seed", 0)
+                    tracer.store("seed", 0, value=i)
+        profile = MemoryProfile(tracer.finish())
+        assert profile.dependences == []
+        assert profile.commutative_sections["rng"] == [0, 1, 2]
+
+    def test_commutative_ablation_restores_dependences(self):
+        tracer = Tracer()
+        for i in range(3):
+            with tracer.task("B", i):
+                tracer.work(1)
+                with tracer.commutative("rng"):
+                    tracer.load("seed", 0)
+                    tracer.store("seed", 0, value=i)
+        profile = MemoryProfile(tracer.finish(), honor_commutative=False)
+        assert profile.dependences
+
+    def test_location_accessors_ordered(self):
+        tracer = Tracer()
+        for i in range(3):
+            with tracer.task("B", i):
+                tracer.work(1)
+                tracer.load("shared", "k")
+        profile = MemoryProfile(tracer.finish())
+        assert profile.location_accessors[("shared", "k")] == [0, 1, 2]
+
+    def test_waw_and_war(self):
+        tracer = Tracer()
+        with tracer.task("B", 0):
+            tracer.work(1)
+            tracer.store("x", 0, value=1)
+        with tracer.task("B", 1):
+            tracer.work(1)
+            tracer.load("x", 0)
+        with tracer.task("B", 2):
+            tracer.work(1)
+            tracer.store("x", 0, value=2)
+        profile = MemoryProfile(tracer.finish())
+        kinds = {(d.kind, d.source_index, d.target_index) for d in profile.dependences}
+        assert ("waw", 0, 2) in kinds
+        assert ("war", 1, 2) in kinds
+
+
+class TestValueAndBranchProfiles:
+    def test_value_predictability(self):
+        tracer = Tracer()
+        with tracer.task("B", 0):
+            tracer.work(1)
+            for i in range(99):
+                tracer.value("PL_stack_sp", 0xBEEF)
+            tracer.value("PL_stack_sp", 0xDEAD)
+        profile = ValueProfile(tracer.finish())
+        assert profile.predictability("PL_stack_sp") == 0.99
+        assert profile.predicted_value("PL_stack_sp") == 0xBEEF
+        assert profile.speculation_candidates(threshold=0.95)
+
+    def test_unknown_site_has_zero_predictability(self):
+        profile = ValueProfile(trace_simple())
+        assert profile.predictability("nope") == 0.0
+        assert profile.predicted_value("nope") is None
+
+    def test_branch_bias(self):
+        tracer = Tracer()
+        with tracer.task("B", 0):
+            tracer.work(1)
+            for i in range(100):
+                tracer.branch("next_time_check", taken=(i == 0))
+        profile = BranchProfile(tracer.finish())
+        summary = profile.summary("next_time_check")
+        assert summary.bias == 0.99
+        assert summary.executions == 100
+        assert profile.speculation_candidates(threshold=0.99)
+
+    def test_ybranch_flag_propagates(self):
+        tracer = Tracer()
+        with tracer.task("A", 0):
+            tracer.work(1)
+            tracer.branch("gzip.block", taken=True, is_ybranch=True)
+        profile = BranchProfile(tracer.finish())
+        assert profile.summary("gzip.block").is_ybranch
+
+
+class TestLoopProfile:
+    def test_phase_stats(self):
+        profile = LoopProfile(trace_simple(iterations=10))
+        stats = profile.phase_stats("B")
+        assert stats.task_count == 10
+        assert stats.total_cost == 100
+        assert stats.mean_cost == 10
+        assert stats.coefficient_of_variation == 0.0
+
+    def test_parallel_fraction(self):
+        profile = LoopProfile(trace_simple())
+        assert profile.parallel_fraction() == pytest.approx(10 / 13)
+
+    def test_pipeline_bound(self):
+        profile = LoopProfile(trace_simple(iterations=10))
+        # total = 130; serial bottleneck = max(sum A, sum C) = 20
+        assert profile.pipeline_bound() == pytest.approx(130 / 20)
+
+    def test_empty_phase(self):
+        tracer = Tracer()
+        with tracer.task("B", 0):
+            tracer.work(1)
+        profile = LoopProfile(tracer.finish())
+        assert profile.phase_stats("A").task_count == 0
+        assert profile.phase_stats("A").mean_cost == 0

@@ -1,0 +1,149 @@
+"""Property-based tests over the workload substrates.
+
+- the B-tree behaves exactly like a dict under random insert/delete/lookup;
+- the BWT equals the classic sorted-rotations construction and inverts;
+- the network simplex matches networkx on random instances;
+- Huffman codes are optimal (match a brute-force check on tiny alphabets).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.bzip2_w import burrows_wheeler_transform, huffman_cost
+from repro.workloads.mcf_solver import NetworkSimplex
+from repro.workloads.vortex_w import BTree
+
+
+# ---------------------------------------------------------------------------------
+# B-tree vs dict
+# ---------------------------------------------------------------------------------
+
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "lookup"]),
+            st.integers(min_value=0, max_value=50),
+        ),
+        max_size=300,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_btree_matches_dict(operations):
+    tree = BTree(tracer=None)
+    reference = {}
+    for index, (op, key) in enumerate(operations):
+        if op == "insert":
+            inserted = tree.insert(key, index)
+            assert inserted == (key not in reference)
+            if inserted:
+                reference[key] = index
+        elif op == "delete":
+            deleted = tree.delete(key)
+            assert deleted == (key in reference)
+            reference.pop(key, None)
+        else:
+            assert tree.lookup(key) == reference.get(key)
+    assert tree.size == len(reference)
+    for key, value in reference.items():
+        assert tree.lookup(key) == value
+
+
+# ---------------------------------------------------------------------------------
+# BWT vs sorted rotations
+# ---------------------------------------------------------------------------------
+
+def reference_bwt(block: bytes):
+    """Classic O(n^2 log n) construction over explicit rotations of
+    block + sentinel (sentinel = -1, smaller than every byte)."""
+    symbols = [b for b in block] + [-1]
+    n = len(symbols)
+    rotations = sorted(range(n), key=lambda i: symbols[i:] + symbols[:i])
+    return [symbols[(i - 1) % n] for i in rotations]
+
+
+@given(block=st.binary(min_size=0, max_size=64))
+@settings(max_examples=120, deadline=None)
+def test_bwt_equals_sorted_rotations(block):
+    fast, _ = burrows_wheeler_transform(block)
+    assert fast == reference_bwt(block)
+
+
+# ---------------------------------------------------------------------------------
+# Network simplex vs networkx on random instances
+# ---------------------------------------------------------------------------------
+
+@st.composite
+def flow_instances(draw):
+    nodes = draw(st.integers(min_value=2, max_value=8))
+    amount = draw(st.integers(min_value=1, max_value=5))
+    supplies = [0] * nodes
+    supplies[0] = amount
+    supplies[-1] = -amount
+    arcs = [(i, i + 1, amount, 10) for i in range(nodes - 1)]  # feasibility chain
+    extra_count = draw(st.integers(min_value=0, max_value=10))
+    for _ in range(extra_count):
+        tail = draw(st.integers(min_value=0, max_value=nodes - 1))
+        head = draw(st.integers(min_value=0, max_value=nodes - 1))
+        if tail == head:
+            continue
+        capacity = draw(st.integers(min_value=1, max_value=6))
+        cost = draw(st.integers(min_value=0, max_value=20))
+        arcs.append((tail, head, capacity, cost))
+    return supplies, arcs
+
+
+@given(instance=flow_instances())
+@settings(max_examples=60, deadline=None)
+def test_network_simplex_matches_networkx(instance):
+    import networkx as nx
+
+    supplies, arcs = instance
+    solver = NetworkSimplex(supplies, arcs)
+    ours = solver.solve()
+    graph = nx.MultiDiGraph()
+    for node, supply in enumerate(supplies):
+        graph.add_node(node, demand=-supply)
+    for tail, head, capacity, cost in arcs:
+        graph.add_edge(tail, head, capacity=capacity, weight=cost)
+    assert ours == nx.min_cost_flow_cost(graph)
+    assert solver.artificial_flow() == 0
+
+
+# ---------------------------------------------------------------------------------
+# Huffman optimality on tiny alphabets (brute force over code trees)
+# ---------------------------------------------------------------------------------
+
+def brute_force_optimal_bits(counts):
+    """Minimum total bits over all binary code trees for <=4 symbols."""
+    symbols = list(counts)
+    if len(symbols) == 1:
+        return counts[symbols[0]]
+
+    best = [float("inf")]
+
+    def merge(items):
+        if len(items) == 1:
+            best[0] = min(best[0], items[0][1])
+            return
+        for i in range(len(items)):
+            for j in range(i + 1, len(items)):
+                merged = (items[i][0] + items[j][0],
+                          items[i][1] + items[j][1] + items[i][0] + items[j][0])
+                rest = [items[k] for k in range(len(items)) if k not in (i, j)]
+                merge(rest + [merged])
+
+    merge([(count, 0) for count in counts.values()])
+    return best[0]
+
+
+@given(
+    counts=st.dictionaries(
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=1, max_value=40),
+        min_size=1,
+        max_size=4,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_huffman_is_optimal_on_small_alphabets(counts):
+    assert huffman_cost(counts) == brute_force_optimal_bits(counts)

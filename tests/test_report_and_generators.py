@@ -1,0 +1,150 @@
+"""Tests for speedup reporting (Table 2 math) and the input generators."""
+
+import math
+
+import pytest
+
+from repro.core.report import (
+    SpeedupReport,
+    SuiteReport,
+    format_speedup_curve,
+    moores_law_speedup,
+)
+from repro.workloads.generators import (
+    Xorshift,
+    generate_flow_network,
+    generate_netlist,
+    generate_sentences,
+    generate_text,
+)
+
+
+class TestMooresLaw:
+    def test_paper_values(self):
+        # Table 2's Moore's Speedup column.
+        assert moores_law_speedup(32) == pytest.approx(5.38, abs=0.01)
+        assert moores_law_speedup(16) == pytest.approx(3.84, abs=0.01)
+        assert moores_law_speedup(8) == pytest.approx(2.74, abs=0.01)
+
+    def test_one_thread_needs_nothing(self):
+        assert moores_law_speedup(1) == 1.0
+
+    def test_doubling_multiplies_by_1_4(self):
+        assert moores_law_speedup(16) / moores_law_speedup(8) == pytest.approx(1.4)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            moores_law_speedup(0)
+
+
+class TestSpeedupReport:
+    def make(self, curve):
+        return SpeedupReport(name="test", curve=curve)
+
+    def test_best_threads_is_minimum_at_max(self):
+        report = self.make({1: 1.0, 8: 6.0, 16: 6.02, 32: 6.02})
+        # 8 threads reaches within 1% of the max: Table 2's "minimum # of
+        # threads at which the maximum speedup occurs".
+        assert report.best_threads == 8
+
+    def test_ratio(self):
+        report = self.make({1: 1.0, 32: 10.76})
+        assert report.moores_speedup == pytest.approx(5.38, abs=0.01)
+        assert report.ratio == pytest.approx(2.0, abs=0.01)
+
+    def test_row_and_format(self):
+        report = self.make({1: 1.0, 4: 3.0})
+        name, threads, speedup, moores, ratio = report.row()
+        assert (name, threads) == ("test", 4)
+        assert "test" in report.format_row()
+
+    def test_curve_rendering(self):
+        report = self.make({1: 1.0, 2: 2.0})
+        art = format_speedup_curve(report)
+        assert "1 |" in art and "2 |" in art
+
+
+class TestSuiteReport:
+    def test_geo_and_arith_means(self):
+        suite = SuiteReport()
+        suite.add(SpeedupReport("a", {1: 1.0, 4: 4.0}))
+        suite.add(SpeedupReport("b", {1: 1.0, 16: 1.0}))
+        geo = suite.geo_mean_row()
+        arith = suite.arith_mean_row()
+        assert geo[2] == pytest.approx(math.sqrt(4.0 * 1.0))
+        assert arith[2] == pytest.approx(2.5)
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            SuiteReport().geo_mean_row()
+
+    def test_table_contains_all_rows(self):
+        suite = SuiteReport()
+        suite.add(SpeedupReport("alpha", {1: 1.0, 2: 1.5}))
+        table = suite.format_table()
+        assert "alpha" in table
+        assert "GeoMean" in table and "ArithMean" in table
+
+
+class TestXorshift:
+    def test_deterministic(self):
+        a = Xorshift(7)
+        b = Xorshift(7)
+        assert [a.next() for _ in range(10)] == [b.next() for _ in range(10)]
+
+    def test_zero_seed_handled(self):
+        rng = Xorshift(0)
+        assert rng.next() != rng.next()
+
+    def test_below_range(self):
+        rng = Xorshift(3)
+        values = [rng.below(7) for _ in range(200)]
+        assert set(values) <= set(range(7))
+        assert len(set(values)) == 7  # all residues hit eventually
+
+    def test_below_invalid(self):
+        with pytest.raises(ValueError):
+            Xorshift(1).below(0)
+
+    def test_chance_extremes(self):
+        rng = Xorshift(5)
+        assert not any(rng.chance(0.0) for _ in range(50))
+        assert all(rng.chance(1.0) for _ in range(50))
+
+
+class TestGenerators:
+    def test_text_exact_size_and_determinism(self):
+        text = generate_text(11, 4096)
+        assert len(text) == 4096
+        assert text == generate_text(11, 4096)
+        assert text != generate_text(12, 4096)
+
+    def test_text_is_compressible_english_like(self):
+        text = generate_text(1, 8192)
+        words = text.split()
+        # Zipf-ish: the most common word covers a sizeable share.
+        from collections import Counter
+
+        top_share = Counter(words).most_common(1)[0][1] / len(words)
+        assert top_share > 0.05
+
+    def test_sentences_shape(self):
+        sentences = generate_sentences(2, 50, 4, 12)
+        assert len(sentences) == 50
+        assert all(4 <= len(s) <= 12 for s in sentences)
+        assert all(isinstance(w, str) for s in sentences for w in s)
+
+    def test_flow_network_balanced_and_feasible(self):
+        supplies, arcs = generate_flow_network(3, 24, 4)
+        assert sum(supplies) == 0
+        # The feasibility chain exists: arcs (i, i+1) with ample capacity.
+        chain = {(t, h) for t, h, _, _ in arcs}
+        assert all((i, i + 1) in chain for i in range(23))
+
+    def test_netlist_members_valid(self):
+        netlist = generate_netlist(4, 50, 30)
+        assert len(netlist) == 30
+        for net in netlist:
+            assert 2 <= len(net) <= 4
+            assert len(set(net)) == len(net)
+            assert all(0 <= c < 50 for c in net)

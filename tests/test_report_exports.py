@@ -1,0 +1,56 @@
+"""Tests for report export helpers and the simulator's ordering guard."""
+
+import pytest
+
+from repro.core.report import SpeedupReport, SuiteReport, curve_to_csv, suite_to_json
+from repro.core.simulator import PipelineSimulator
+from repro.core.tasks import Phase, Task, TaskGraph
+from repro.hw.machine import MachineConfig
+
+
+class TestExports:
+    def make_suite(self):
+        suite = SuiteReport()
+        suite.add(SpeedupReport("a", {1: 1.0, 8: 5.0}))
+        suite.add(SpeedupReport("b", {1: 1.0, 8: 2.0}))
+        return suite
+
+    def test_csv_rows(self):
+        suite = self.make_suite()
+        csv = curve_to_csv(suite.reports)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "benchmark,threads,speedup"
+        assert "a,8,5.0000" in csv
+        assert len(lines) == 1 + 4
+
+    def test_json_structure(self):
+        data = suite_to_json(self.make_suite())
+        assert {row["benchmark"] for row in data["rows"]} == {"a", "b"}
+        assert data["geomean"]["speedup"] == pytest.approx((5.0 * 2.0) ** 0.5)
+        assert "curve" in data["rows"][0]
+
+    def test_json_round_trips_through_stdlib(self):
+        import json
+
+        blob = json.dumps(suite_to_json(self.make_suite()))
+        assert json.loads(blob)["arithmean"]["speedup"] == pytest.approx(3.5)
+
+
+class TestIterationOrderGuard:
+    def test_out_of_order_iterations_rejected(self):
+        tasks = [
+            Task(0, Phase.B, 1, 5),   # iteration 1 first...
+            Task(1, Phase.B, 0, 5),   # ...then iteration 0
+        ]
+        graph = TaskGraph(tasks)
+        with pytest.raises(ValueError, match="iteration order"):
+            PipelineSimulator(MachineConfig(cores=4)).simulate(graph)
+
+    def test_in_order_accepted(self):
+        tasks = [
+            Task(0, Phase.B, 0, 5),
+            Task(1, Phase.B, 1, 5),
+        ]
+        graph = TaskGraph(tasks)
+        result = PipelineSimulator(MachineConfig(cores=4)).simulate(graph)
+        assert result.makespan == 5

