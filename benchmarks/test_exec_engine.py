@@ -1,0 +1,118 @@
+"""First real wall-clock numbers: the multiprocess engine vs. sequential.
+
+Everything else in ``benchmarks/`` measures *simulated* makespans over
+abstract work units.  This benchmark measures *actual seconds*: the bzip2
+analog's block loop executed sequentially and on the `repro.exec` engine at
+1/2/4 workers, plus the simulated speedup at the matching thread counts for
+the calibration table EXPERIMENTS.md records.
+
+Wall-clock speedup is hardware-dependent, so the speedup assertion is gated
+on CPU count (ISSUE acceptance: >=1.3x at 4 workers, skipped with a reason
+on machines with <4 CPUs); the bit-identical-output assertion always runs.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.report import CalibrationRow, format_calibration_table
+from repro.exec import ExecutionEngine, run_sequential
+from repro.workloads.bzip2_w import Bzip2Workload
+
+from conftest import format_series
+
+#: Enough independent blocks that 4 workers all stay busy, small enough
+#: that the whole sweep stays in benchmark territory (~10s of seconds).
+BZIP2_ARGS = dict(block_size=12 * 1024, blocks=8)
+WORKER_COUNTS = [1, 2, 4]
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_exec_engine_wall_clock(benchmark, evaluations, results_sink):
+    sequential_output, sequential_seconds = run_sequential(
+        Bzip2Workload(**BZIP2_ARGS).exec_spec()
+    )
+
+    measured = {}
+
+    def sweep():
+        for workers in WORKER_COUNTS:
+            engine = ExecutionEngine(workers=workers, capacity=8)
+            result = engine.run(Bzip2Workload(**BZIP2_ARGS).exec_spec())
+            assert result.output == sequential_output, (
+                f"engine output diverged at {workers} workers"
+            )
+            result.metrics.sequential_seconds = sequential_seconds
+            measured[workers] = result.metrics
+        return measured
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    curve = {
+        workers: round(metrics.measured_speedup, 3)
+        for workers, metrics in measured.items()
+    }
+    print("\n" + format_series("exec/bzip2", curve))
+    print(f"sequential: {sequential_seconds:.3f}s on {_cpu_count()} CPU(s)")
+
+    # Simulated-vs-measured calibration at the matching thread counts
+    # (N workers ~= N+2 simulated threads: + phase-A core + phase-C core).
+    rows = []
+    evaluation = evaluations.evaluate("256.bzip2")
+    for workers, metrics in measured.items():
+        threads = workers + 2
+        simulated = evaluation.report.curve.get(threads)
+        if simulated is None:
+            continue
+        rows.append(
+            CalibrationRow(
+                workers=workers,
+                threads=threads,
+                simulated_speedup=simulated,
+                measured_speedup=metrics.measured_speedup,
+            )
+        )
+    if rows:
+        print(format_calibration_table("256.bzip2", rows))
+
+    results_sink["exec_engine"] = {
+        "workload": "256.bzip2",
+        "config": BZIP2_ARGS,
+        "cpus": _cpu_count(),
+        "sequential_seconds": round(sequential_seconds, 3),
+        "measured_speedup": curve,
+        "wall_seconds": {
+            workers: round(metrics.wall_seconds, 3)
+            for workers, metrics in measured.items()
+        },
+        "calibration": [
+            {
+                "workers": row.workers,
+                "threads": row.threads,
+                "simulated": round(row.simulated_speedup, 3),
+                "measured": round(row.measured_speedup, 3),
+                "ratio": round(row.ratio, 3),
+            }
+            for row in rows
+        ],
+    }
+
+    # Outputs identical everywhere (asserted inside the sweep); the
+    # wall-clock speedup claim needs real cores.
+    cpus = _cpu_count()
+    if cpus < 4:
+        pytest.skip(
+            f"wall-clock speedup assertion needs >=4 CPUs, machine has {cpus}: "
+            f"measured curve {curve} is recorded but not asserted"
+        )
+    assert curve[4] >= 1.3, (
+        f"expected >=1.3x at 4 workers on {cpus} CPUs, got {curve[4]}"
+    )
+    assert curve[2] > curve[1] * 0.9  # 2 workers should not be slower

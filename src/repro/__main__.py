@@ -5,6 +5,8 @@ Commands:
 - ``suite``                  evaluate all eleven benchmarks, print Table 2;
 - ``bench NAME``             evaluate one benchmark, print its curve and plan;
 - ``figure N``               regenerate one of the paper's figures (4-7);
+- ``exec NAME``              run a workload for REAL on the multiprocess
+  execution engine and print measured metrics;
 - ``list``                   list the available benchmarks.
 
 Examples::
@@ -12,6 +14,7 @@ Examples::
     python -m repro suite
     python -m repro bench 164.gzip
     python -m repro figure 6 --threads 1 2 4 8 16 32
+    python -m repro exec 256.bzip2 --workers 4 --inject-faults
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from repro.workloads.suite import (
     FIGURE7,
     PAPER_TABLE2,
     SUITE,
+    exec_names,
     make_workload,
     suite_names,
 )
@@ -56,6 +60,33 @@ def _build_parser() -> argparse.ArgumentParser:
     figure_parser = sub.add_parser("figure", help="regenerate one paper figure")
     figure_parser.add_argument("number", type=int, choices=sorted(_FIGURES))
     _add_common(figure_parser)
+
+    exec_parser = sub.add_parser(
+        "exec",
+        help="run a workload for real on the multiprocess execution engine",
+    )
+    exec_parser.add_argument("name", choices=exec_names())
+    exec_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="phase-B worker processes (default 2)",
+    )
+    exec_parser.add_argument(
+        "--capacity", type=int, default=8,
+        help="inter-process channel capacity (default 8)",
+    )
+    exec_parser.add_argument(
+        "--inject-faults", action="store_true",
+        help="kill one worker mid-task and raise in another, proving recovery",
+    )
+    exec_parser.add_argument(
+        "--calibrate", action="store_true",
+        help="also simulate at the matching thread count and print the "
+             "simulated-vs-measured calibration table",
+    )
+    exec_parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the run metrics as JSON to PATH",
+    )
     return parser
 
 
@@ -117,8 +148,61 @@ def _evaluate_and_print(name: str, framework: ParallelizationFramework) -> "Spee
     return evaluation.report
 
 
+def _run_exec(args) -> int:
+    from repro.core.report import CalibrationRow, format_calibration_table
+    from repro.exec import ExecutionEngine, FaultPlan, run_sequential
+
+    workload = make_workload(args.name)
+    # Fresh specs for the reference and engine runs: phase-A producers may
+    # be stateful.
+    sequential_output, sequential_seconds = run_sequential(workload.exec_spec())
+    spec = workload.exec_spec()
+    fault_plan = (
+        FaultPlan.default_for(spec.iterations) if args.inject_faults else None
+    )
+    engine = ExecutionEngine(
+        workers=args.workers, capacity=args.capacity, fault_plan=fault_plan
+    )
+    result = engine.run(spec)
+    result.metrics.sequential_seconds = sequential_seconds
+
+    print(result.metrics.format_summary())
+    identical = result.output == sequential_output
+    if identical:
+        print("output: bit-identical to sequential execution")
+    else:
+        print(f"output: MISMATCH — engine {result.output!r} "
+              f"vs sequential {sequential_output!r}")
+
+    if args.calibrate:
+        threads = args.workers + 2  # + phase-A core + phase-C core
+        config = FrameworkConfig().with_(thread_counts=(1, threads))
+        evaluation = ParallelizationFramework(config).evaluate(
+            make_workload(args.name)
+        )
+        row = CalibrationRow(
+            workers=args.workers,
+            threads=threads,
+            simulated_speedup=evaluation.report.curve[threads],
+            measured_speedup=result.metrics.measured_speedup or 0.0,
+        )
+        print()
+        print(format_calibration_table(args.name, [row]))
+
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(result.metrics.to_json(), handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0 if identical else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+
+    if args.command == "exec":
+        return _run_exec(args)
 
     if args.command == "list":
         for name in suite_names():

@@ -161,6 +161,43 @@ def suite_to_json(suite: "SuiteReport") -> Dict:
     }
 
 
+@dataclass(frozen=True)
+class CalibrationRow:
+    """One simulated-vs-measured point from the execution engine.
+
+    The engine's N phase-B workers correspond to a simulated plan with
+    N + 2 threads (one phase-A core, one phase-C core); ``threads`` records
+    that mapping so rows line up against the simulator's curves.
+    """
+
+    workers: int
+    threads: int
+    simulated_speedup: float
+    measured_speedup: float
+
+    @property
+    def ratio(self) -> float:
+        """Measured over simulated — 1.0 means the model is perfectly calibrated."""
+        if self.simulated_speedup <= 0:
+            raise ValueError("simulated speedup must be positive")
+        return self.measured_speedup / self.simulated_speedup
+
+
+def format_calibration_table(name: str, rows: Sequence[CalibrationRow]) -> str:
+    """Render the simulated-vs-measured calibration table for one workload."""
+    header = (
+        f"{'Workers':>7} {'Threads':>7} {'Simulated':>10} "
+        f"{'Measured':>9} {'Ratio':>6}"
+    )
+    lines = [f"{name} — simulated vs. measured speedup", header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.workers:>7} {row.threads:>7} {row.simulated_speedup:>10.2f} "
+            f"{row.measured_speedup:>9.2f} {row.ratio:>6.2f}"
+        )
+    return "\n".join(lines)
+
+
 def format_speedup_curve(report: SpeedupReport, width: int = 50) -> str:
     """ASCII rendition of one figure panel (speedup vs. thread count)."""
     lines = [f"{report.name} — speedup vs. threads"]

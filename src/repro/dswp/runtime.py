@@ -25,33 +25,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.hw.queues import BoundedQueue
-
-
-class _BlockingQueue:
-    """Condition-variable wrapper giving :class:`BoundedQueue` blocking ops."""
-
-    def __init__(self, capacity: int) -> None:
-        self._queue = BoundedQueue(capacity=capacity)
-        self._lock = threading.Lock()
-        self._not_full = threading.Condition(self._lock)
-        self._not_empty = threading.Condition(self._lock)
-
-    def put(self, item) -> None:
-        with self._not_full:
-            while self._queue.full:
-                self._not_full.wait()
-            self._queue.produce(item)
-            self._not_empty.notify()
-
-    def get(self):
-        with self._not_empty:
-            while self._queue.empty:
-                self._not_empty.wait()
-            item = self._queue.consume()
-            self._not_full.notify()
-            return item
-
+from repro.hw.queues import BlockingBoundedQueue
 
 _STOP = object()
 
@@ -88,8 +62,10 @@ class PipelineRuntime:
         consume: Callable[[int, Any], None],
     ) -> None:
         self.stats = PipelineStatistics(iterations=iterations)
-        work_queue = _BlockingQueue(self.queue_capacity)
-        done_queue = _BlockingQueue(self.queue_capacity + self.workers + 1)
+        work_queue = BlockingBoundedQueue(self.queue_capacity, name="dswp.work")
+        done_queue = BlockingBoundedQueue(
+            self.queue_capacity + self.workers + 1, name="dswp.done"
+        )
         errors: List[BaseException] = []
 
         def producer() -> None:

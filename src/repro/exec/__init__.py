@@ -1,0 +1,45 @@
+"""repro.exec — the real multiprocess pipeline execution engine.
+
+The simulator (:mod:`repro.core.simulator`) predicts; the threaded runtime
+(:mod:`repro.dswp.runtime`) demonstrates correctness under the GIL; this
+package *executes*: the paper's A/B/C pipeline on real OS processes with
+bounded full/empty-blocking channels, speculative write buffers with
+commit-time validation and rollback, bounded crash/hang recovery with
+graceful degradation to sequential execution, and per-run metrics that
+calibrate the simulator against measured wall clock.
+
+- :mod:`repro.exec.engine`   — :class:`ExecutionEngine`, :class:`PipelineSpec`,
+  the sequential reference, and TaskGraph replay;
+- :mod:`repro.exec.workers`  — producer/worker process entry points;
+- :mod:`repro.exec.channels` — bounded blocking inter-process channels;
+- :mod:`repro.exec.rollback` — write buffers, version validation, commit;
+- :mod:`repro.exec.faults`   — fault injection and the robustness policy;
+- :mod:`repro.exec.metrics`  — the observability record of one run.
+"""
+
+from repro.exec.channels import ProcessChannel
+from repro.exec.engine import (
+    EngineResult,
+    ExecutionEngine,
+    PipelineSpec,
+    run_sequential,
+    spec_from_task_graph,
+)
+from repro.exec.faults import FaultPlan, InjectedFault, RobustnessPolicy
+from repro.exec.metrics import EngineMetrics
+from repro.exec.rollback import CommittedStore, WriteBuffer
+
+__all__ = [
+    "CommittedStore",
+    "EngineMetrics",
+    "EngineResult",
+    "ExecutionEngine",
+    "FaultPlan",
+    "InjectedFault",
+    "PipelineSpec",
+    "ProcessChannel",
+    "RobustnessPolicy",
+    "WriteBuffer",
+    "run_sequential",
+    "spec_from_task_graph",
+]

@@ -1,0 +1,140 @@
+"""Inter-process channels with the paper's full/empty blocking semantics.
+
+:class:`ProcessChannel` is the multiprocess sibling of
+:class:`repro.hw.queues.BlockingBoundedQueue`: a bounded FIFO where a
+produce *blocks* while the channel is full and a consume *blocks* while it
+is empty — the synchronization-array behaviour the simulator models on its
+256 32-entry queues, realized on real OS pipes.
+
+The transport is :class:`multiprocessing.Queue` (which already provides the
+bounded blocking discipline); the wrapper adds what the engine's
+observability layer needs: produce/consume counters in shared memory and an
+occupancy-sampling hook, since exact occupancy tracking across processes
+would serialize the very parallelism the engine exists to demonstrate.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as _queue_module
+from typing import Any, Optional
+
+#: Sentinel that survives pickling with identity-free equality: workers
+#: compare by value, so the producer's copy and the worker's copy agree.
+STOP = ("__repro.exec.stop__",)
+
+
+class ChannelTimeout(Exception):
+    """A bounded get/put did not complete within its timeout."""
+
+
+class ProcessChannel:
+    """A bounded, blocking, cross-process FIFO with occupancy statistics."""
+
+    def __init__(self, capacity: int, name: str = "", ctx=None) -> None:
+        if capacity < 1:
+            raise ValueError("channel capacity must be positive")
+        ctx = ctx or multiprocessing.get_context()
+        self.capacity = capacity
+        self.name = name
+        self._queue = ctx.Queue(maxsize=capacity)
+        self._produces = ctx.Value("L", 0)
+        self._consumes = ctx.Value("L", 0)
+        self.max_occupancy_seen = 0
+        self.occupancy_samples = 0
+        self.occupancy_total = 0
+
+    def put(self, item: Any, timeout: Optional[float] = None) -> None:
+        """Produce ``item``; block while full (raise on timeout, if given)."""
+        try:
+            self._queue.put(item, block=True, timeout=timeout)
+        except _queue_module.Full:
+            raise ChannelTimeout(
+                f"channel {self.name or id(self)} full for {timeout}s"
+            ) from None
+        with self._produces.get_lock():
+            self._produces.value += 1
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        """Consume the oldest item; block while empty (raise on timeout)."""
+        try:
+            item = self._queue.get(block=True, timeout=timeout)
+        except _queue_module.Empty:
+            raise ChannelTimeout(
+                f"channel {self.name or id(self)} empty for {timeout}s"
+            ) from None
+        with self._consumes.get_lock():
+            self._consumes.value += 1
+        return item
+
+    @property
+    def produces(self) -> int:
+        return self._produces.value
+
+    @property
+    def consumes(self) -> int:
+        return self._consumes.value
+
+    def sample_occupancy(self) -> int:
+        """Record one occupancy observation (engine-side polling).
+
+        ``qsize`` is advisory on a live multiprocess queue — items may be in
+        a feeder thread's buffer — which is exactly the fidelity a hardware
+        occupancy counter would give a polling observer.
+        """
+        try:
+            occupancy = self._queue.qsize()
+        except NotImplementedError:  # macOS lacks sem_getvalue
+            occupancy = max(0, self.produces - self.consumes)
+        self.max_occupancy_seen = max(self.max_occupancy_seen, occupancy)
+        self.occupancy_samples += 1
+        self.occupancy_total += occupancy
+        return occupancy
+
+    def occupancy_stats(self) -> dict:
+        mean = (
+            self.occupancy_total / self.occupancy_samples
+            if self.occupancy_samples
+            else 0.0
+        )
+        return {
+            "capacity": self.capacity,
+            "produces": self.produces,
+            "consumes": self.consumes,
+            "max_occupancy": self.max_occupancy_seen,
+            "mean_occupancy": round(mean, 3),
+            "samples": self.occupancy_samples,
+        }
+
+    def drain(self) -> list:
+        """Non-blocking removal of everything currently visible."""
+        items = []
+        while True:
+            try:
+                items.append(self._queue.get_nowait())
+            except _queue_module.Empty:
+                return items
+            except (EOFError, OSError):
+                return items
+
+    def flush_and_close(self) -> None:
+        """Flush this process's pending puts to the pipe, then close.
+
+        A process about to hard-exit (``os._exit``) must call this first:
+        puts are serviced by a feeder thread, and an immediate exit could
+        drop messages that the committer's crash recovery depends on.
+        """
+        self._queue.close()
+        self._queue.join_thread()
+
+    def close(self) -> None:
+        """Close the transport without waiting for the feeder thread.
+
+        Called on teardown paths where child processes may already be dead;
+        ``cancel_join_thread`` keeps an unflushed feeder from wedging exit.
+        """
+        self._queue.cancel_join_thread()
+        self._queue.close()
+
+    def __repr__(self) -> str:
+        return f"ProcessChannel({self.name!r}, capacity={self.capacity})"

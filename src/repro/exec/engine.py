@@ -1,0 +1,508 @@
+"""The multiprocess pipeline execution engine.
+
+Where :mod:`repro.core.simulator` *predicts* the makespan of the paper's
+A/B/C pipeline from abstract task costs, and :mod:`repro.dswp.runtime`
+*demonstrates* its correctness on GIL-bound threads, this engine *runs* it:
+one phase-A producer process, N replicated phase-B worker processes pulling
+from a bounded inter-process channel, and an in-order committer (phase C)
+in the calling process — real parallelism on real cores.
+
+Execution is speculative in the versioned-memory sense: each B task runs
+against a private :class:`~repro.exec.rollback.WriteBuffer`; the committer
+validates read versions at commit time and, on conflict, discards the
+buffer and re-executes the task serially — misspeculation-as-re-execution.
+The same serial-re-execution path absorbs worker crashes, hangs, and soft
+faults (:mod:`repro.exec.faults`), so every iteration commits exactly once,
+in order, no matter what the processes do.  If failures exhaust the respawn
+budget or progress stalls entirely, the engine degrades to sequential
+execution and still produces the exact sequential output.
+
+:class:`PipelineSpec` describes one pipeline; workloads expose one via
+:meth:`repro.workloads.base.Workload.exec_spec`.  A spec can also be built
+from the simulator's own :class:`~repro.core.tasks.TaskGraph`
+(:func:`spec_from_task_graph`), which replays abstract costs as calibrated
+busy-work — the bridge for simulated-vs-measured calibration tables.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.plan import ExecutionPlan
+from repro.core.tasks import Phase, TaskGraph
+from repro.exec.channels import ChannelTimeout, ProcessChannel
+from repro.exec.faults import FaultPlan, RobustnessPolicy
+from repro.exec.metrics import EngineMetrics
+from repro.exec.rollback import CommittedStore, Location, WriteBuffer
+from repro.exec.workers import producer_main, worker_main
+
+
+def _identity(accumulator: Any) -> Any:
+    return accumulator
+
+
+def _dict_accumulator() -> dict:
+    return {}
+
+
+@dataclass
+class PipelineSpec:
+    """One executable A/B/C pipeline.
+
+    ``produce`` and ``work`` cross process boundaries and must be picklable
+    (module-level functions, ``functools.partial`` over picklable state, or
+    instances of module-level classes).  ``init``/``commit``/``finalize``
+    run only in the committer and may close over anything.
+
+    When ``speculative`` is true, ``work`` takes ``(i, value, ctx)`` where
+    ``ctx`` is a :class:`WriteBuffer` over shared state seeded from
+    ``shared_state``; otherwise ``work`` takes ``(i, value)``.
+    """
+
+    iterations: int
+    produce: Callable[[int], Any]
+    work: Callable
+    init: Callable[[], Any] = _dict_accumulator
+    commit: Callable[[int, Any, Any], None] = lambda i, result, acc: None
+    finalize: Callable[[Any], Any] = _identity
+    shared_state: Dict[Location, Any] = field(default_factory=dict)
+    speculative: bool = False
+
+    def __post_init__(self):
+        if self.iterations < 0:
+            raise ValueError("iterations cannot be negative")
+
+
+@dataclass
+class EngineResult:
+    """What one engine run produced."""
+
+    output: Any
+    metrics: EngineMetrics
+    state: Dict[Location, Any]
+
+
+def run_sequential(spec: PipelineSpec) -> Tuple[Any, float]:
+    """The bit-exact sequential reference; returns (output, wall seconds).
+
+    This is the baseline the engine's outputs are asserted identical to and
+    the denominator of every measured speedup.
+    """
+    started = time.monotonic()
+    store = CommittedStore(spec.shared_state)
+    accumulator = spec.init()
+    for i in range(spec.iterations):
+        value = spec.produce(i)
+        if spec.speculative:
+            buffer = WriteBuffer(store.snapshot())
+            result = spec.work(i, value, buffer)
+            store.apply(buffer.writes)
+        else:
+            result = spec.work(i, value)
+        spec.commit(i, result, accumulator)
+    return spec.finalize(accumulator), time.monotonic() - started
+
+
+class ExecutionEngine:
+    """Runs a :class:`PipelineSpec` on real OS processes.
+
+    ``workers`` may come straight from an :class:`ExecutionPlan` — the same
+    plan the simulator consumes — via ``plan.replication_width``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        capacity: int = 32,
+        policy: Optional[RobustnessPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        plan: Optional[ExecutionPlan] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if plan is not None:
+            workers = max(1, plan.replication_width)
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if capacity < 1:
+            raise ValueError("channel capacity must be positive")
+        self.workers = workers
+        self.capacity = capacity
+        self.policy = policy or RobustnessPolicy()
+        self.fault_plan = fault_plan
+        self._start_method = start_method
+        self.metrics = EngineMetrics()
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self, spec: PipelineSpec) -> EngineResult:
+        self.metrics = EngineMetrics(
+            workers=self.workers, capacity=self.capacity,
+            iterations=spec.iterations,
+        )
+        if spec.iterations == 0:
+            accumulator = spec.init()
+            return EngineResult(spec.finalize(accumulator), self.metrics, {})
+        started = time.monotonic()
+        result = self._run_pipeline(spec)
+        self.metrics.wall_seconds = time.monotonic() - started
+        return result
+
+    # -- the committer loop -----------------------------------------------------
+
+    def _run_pipeline(self, spec: PipelineSpec) -> EngineResult:
+        policy = self.policy
+        metrics = self.metrics
+        ctx = (
+            multiprocessing.get_context(self._start_method)
+            if self._start_method
+            else multiprocessing.get_context()
+        )
+        work = ProcessChannel(self.capacity, name="work", ctx=ctx)
+        done = ProcessChannel(
+            self.capacity + 2 * self.workers + 4, name="done", ctx=ctx
+        )
+        shutdown = ctx.Event()
+        store = CommittedStore(spec.shared_state)
+        accumulator = spec.init()
+
+        producer = ctx.Process(
+            target=producer_main,
+            args=(work, spec.iterations, spec.produce, self.fault_plan, shutdown),
+            name="exec-A",
+            daemon=True,
+        )
+        producer.start()
+
+        processes: Dict[int, Any] = {}
+        next_worker_id = 0
+
+        def spawn_worker() -> None:
+            nonlocal next_worker_id
+            wid = next_worker_id
+            next_worker_id += 1
+            proc = ctx.Process(
+                target=worker_main,
+                args=(wid, work, done, spec.work, spec.speculative,
+                      store.snapshot(), self.fault_plan, shutdown),
+                name=f"exec-B{wid}",
+                daemon=True,
+            )
+            proc.start()
+            processes[wid] = proc
+
+        for _ in range(self.workers):
+            spawn_worker()
+
+        # Committer state.  ``inflight_values`` holds each claimed
+        # iteration's phase-A value until commit, so any lost task can be
+        # re-executed serially.
+        inflight_values: Dict[int, Any] = {}
+        claim_info: Dict[int, Tuple[int, float]] = {}
+        worker_claims: Dict[int, Set[int]] = {}
+        pending: Dict[int, Tuple[Any, dict, dict]] = {}
+        serial_needed: Set[int] = set()
+        next_commit = 0
+        respawns_left = policy.max_respawns
+        producer_failed = False
+        last_activity = time.monotonic()
+
+        def serial_reexecute(i: int) -> Any:
+            """Misspeculation-as-re-execution: run task *i* on live state."""
+            value = inflight_values[i]
+            started = time.monotonic()
+            if spec.speculative:
+                buffer = WriteBuffer(store.snapshot())
+                result = spec.work(i, value, buffer)
+                store.apply(buffer.writes)
+            else:
+                result = spec.work(i, value)
+            metrics.stage_seconds["B"] += time.monotonic() - started
+            metrics.serial_reexecutions += 1
+            return result
+
+        def commit(i: int, result: Any) -> None:
+            nonlocal next_commit, last_activity
+            started = time.monotonic()
+            spec.commit(i, result, accumulator)
+            metrics.stage_seconds["C"] += time.monotonic() - started
+            metrics.commits += 1
+            next_commit = i + 1
+            inflight_values.pop(i, None)
+            info = claim_info.pop(i, None)
+            if info is not None:
+                worker_claims.get(info[0], set()).discard(i)
+            serial_needed.discard(i)
+            last_activity = time.monotonic()
+
+        def advance_commits() -> None:
+            while next_commit < spec.iterations:
+                i = next_commit
+                if i in pending:
+                    result, reads, writes = pending.pop(i)
+                    stale = store.validate(reads) if spec.speculative else []
+                    if stale:
+                        metrics.conflicts += 1
+                        result = serial_reexecute(i)
+                    else:
+                        store.apply(writes)
+                    commit(i, result)
+                elif i in serial_needed and i in inflight_values:
+                    commit(i, serial_reexecute(i))
+                else:
+                    return
+
+        def handle_lost_worker(wid: int) -> None:
+            """Route a dead/hung worker's unresolved claims to serial retry."""
+            for i in worker_claims.pop(wid, set()):
+                if i >= next_commit and i not in pending:
+                    serial_needed.add(i)
+                    metrics.retries += 1
+
+        def check_health() -> None:
+            nonlocal producer_failed, respawns_left, last_activity
+            now = time.monotonic()
+            # Hung tasks: claimed long ago by a still-live worker.
+            for i, (wid, claimed_at) in list(claim_info.items()):
+                if i < next_commit or i in pending or i in serial_needed:
+                    continue
+                proc = processes.get(wid)
+                if proc is None or not proc.is_alive():
+                    continue  # crash handling below covers dead workers
+                if now - claimed_at > policy.task_timeout:
+                    metrics.worker_timeouts += 1
+                    proc.terminate()
+                    proc.join(policy.join_timeout)
+                    processes[wid] = None
+                    handle_lost_worker(wid)
+                    if respawns_left > 0:
+                        respawns_left -= 1
+                        metrics.respawns += 1
+                        spawn_worker()
+                    last_activity = now
+            # Crashed workers: exited nonzero (clean stop exits 0).
+            for wid, proc in list(processes.items()):
+                if proc is None or proc.is_alive():
+                    continue
+                proc.join()
+                processes[wid] = None
+                if proc.exitcode != 0:
+                    metrics.worker_crashes += 1
+                    handle_lost_worker(wid)
+                    if respawns_left > 0:
+                        respawns_left -= 1
+                        metrics.respawns += 1
+                        spawn_worker()
+                    last_activity = now
+            # Producer death before dispatching everything.
+            if (
+                not producer_failed
+                and not producer.is_alive()
+                and producer.exitcode not in (0, None)
+            ):
+                producer_failed = True
+                metrics.producer_crashed = True
+
+        def handle_message(message: tuple) -> None:
+            nonlocal last_activity
+            last_activity = time.monotonic()
+            tag = message[0]
+            if tag == "claim":
+                _, wid, i, value, a_seconds = message
+                if i < next_commit:
+                    return  # late duplicate of an already-committed task
+                inflight_values[i] = value
+                claim_info[i] = (wid, last_activity)
+                worker_claims.setdefault(wid, set()).add(i)
+                metrics.stage_seconds["A"] += a_seconds
+            elif tag == "result":
+                _, wid, i, result, reads, writes, b_seconds = message
+                if i < next_commit:
+                    metrics.duplicates_dropped += 1
+                    return
+                if i != next_commit:
+                    metrics.out_of_order_completions += 1
+                pending[i] = (result, reads, writes)
+                metrics.stage_seconds["B"] += b_seconds
+                metrics.worker_iterations[wid] = (
+                    metrics.worker_iterations.get(wid, 0) + 1
+                )
+            elif tag == "fault":
+                _, wid, i, _message = message
+                metrics.soft_faults += 1
+                if i >= next_commit and i not in pending:
+                    serial_needed.add(i)
+                    metrics.retries += 1
+            elif tag == "stopped":
+                pass  # clean exit; health check sees exitcode 0
+
+        # -- main loop ----------------------------------------------------------
+        degraded = False
+        try:
+            while next_commit < spec.iterations:
+                advance_commits()
+                if next_commit >= spec.iterations:
+                    break
+                try:
+                    handle_message(done.get(timeout=policy.poll_interval))
+                    continue  # drain greedily before health checks
+                except ChannelTimeout:
+                    pass
+                work.sample_occupancy()
+                done.sample_occupancy()
+                check_health()
+                live_workers = any(
+                    proc is not None and proc.is_alive()
+                    for proc in processes.values()
+                )
+                stalled = (
+                    time.monotonic() - last_activity > policy.stall_timeout
+                )
+                if producer_failed or not live_workers or stalled:
+                    degraded = True
+                    break
+        finally:
+            shutdown.set()
+
+        if degraded:
+            self._degrade(
+                spec, store, accumulator, next_commit, pending, producer,
+                processes,
+            )
+        else:
+            self._teardown(producer, processes, done)
+
+        for channel in (work, done):
+            metrics.channel_stats[channel.name] = channel.occupancy_stats()
+            channel.close()
+        return EngineResult(
+            spec.finalize(accumulator), metrics, store.architectural_state()
+        )
+
+    # -- failure paths ----------------------------------------------------------
+
+    def _degrade(
+        self,
+        spec: PipelineSpec,
+        store: CommittedStore,
+        accumulator: Any,
+        next_commit: int,
+        pending: Dict[int, Tuple[Any, dict, dict]],
+        producer,
+        processes,
+    ) -> None:
+        """Graceful degradation: finish the run sequentially, in-process.
+
+        Phase A is replayed from iteration 0 on the engine's own (pristine,
+        never-called) copy of ``produce`` — workload determinism guarantees
+        identical values — but only uncommitted iterations execute B and C.
+        Already-validated worker results in ``pending`` are reused.
+        """
+        metrics = self.metrics
+        metrics.degraded_to_sequential = True
+        for proc in [producer] + list(processes.values()):
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+        for proc in [producer] + list(processes.values()):
+            if proc is not None:
+                proc.join(self.policy.join_timeout)
+
+        for i in range(spec.iterations):
+            value = spec.produce(i)  # replay for phase-A state evolution
+            if i < next_commit:
+                continue
+            if i in pending:
+                result, reads, writes = pending.pop(i)
+                stale = store.validate(reads) if spec.speculative else []
+                if not stale:
+                    store.apply(writes)
+                    spec.commit(i, result, accumulator)
+                    metrics.commits += 1
+                    continue
+                metrics.conflicts += 1
+            if spec.speculative:
+                buffer = WriteBuffer(store.snapshot())
+                result = spec.work(i, value, buffer)
+                store.apply(buffer.writes)
+            else:
+                result = spec.work(i, value)
+            metrics.serial_reexecutions += 1
+            spec.commit(i, result, accumulator)
+            metrics.commits += 1
+
+    def _teardown(self, producer, processes, done: ProcessChannel) -> None:
+        """Normal completion: let children observe shutdown and exit."""
+        deadline = time.monotonic() + self.policy.join_timeout
+        procs = [producer] + [p for p in processes.values() if p is not None]
+        while time.monotonic() < deadline:
+            # Keep draining so a worker blocked on a full done channel can
+            # finish its put and see the shutdown event.
+            done.drain()
+            if not any(proc.is_alive() for proc in procs):
+                break
+            time.sleep(0.01)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(self.policy.join_timeout)
+
+
+# -- TaskGraph replay (simulated-vs-measured calibration) ------------------------
+
+
+def _busy_wait(seconds: float) -> None:
+    """Burn CPU for ``seconds`` — abstract work units made physical."""
+    deadline = time.perf_counter() + seconds
+    x = 0
+    while time.perf_counter() < deadline:
+        x += 1
+
+
+class _ReplayProduce:
+    """Phase-A replay: burn the A cost, hand the B cost downstream."""
+
+    def __init__(self, a_costs: List[float], b_costs: List[float]) -> None:
+        self.a_costs = a_costs
+        self.b_costs = b_costs
+
+    def __call__(self, i: int) -> float:
+        _busy_wait(self.a_costs[i])
+        return self.b_costs[i]
+
+
+class _ReplayWork:
+    def __call__(self, i: int, b_cost: float) -> int:
+        _busy_wait(b_cost)
+        return i
+
+
+def spec_from_task_graph(
+    graph: TaskGraph, seconds_per_unit: float = 1e-6
+) -> PipelineSpec:
+    """Replay a simulator :class:`TaskGraph` as real busy-work.
+
+    Each iteration's per-phase abstract costs become calibrated CPU burns,
+    so the engine's measured wall clock can be put next to the simulator's
+    predicted makespan for the same graph — the calibration bridge.
+    """
+    iterations = graph.iterations()
+    a_costs = [0.0] * iterations
+    b_costs = [0.0] * iterations
+    c_costs = [0.0] * iterations
+    for task in graph.tasks:
+        costs = {Phase.A: a_costs, Phase.B: b_costs, Phase.C: c_costs}[task.phase]
+        costs[task.iteration] += task.cost * seconds_per_unit
+
+    def commit(i: int, result: int, acc: dict) -> None:
+        _busy_wait(c_costs[i])
+        acc["committed"] = acc.get("committed", 0) + 1
+
+    return PipelineSpec(
+        iterations=iterations,
+        produce=_ReplayProduce(a_costs, b_costs),
+        work=_ReplayWork(),
+        commit=commit,
+        finalize=lambda acc: acc.get("committed", 0),
+    )

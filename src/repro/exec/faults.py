@@ -1,0 +1,106 @@
+"""Fault injection and the engine's robustness policy.
+
+Real multiprocess pipelines fail in ways the threaded runtime never could:
+a worker segfaults, hangs, or the producer dies mid-stream.  The engine
+treats every such event as a *misspeculation of the scheduling kind* — the
+lost task is re-executed serially by the committer and committed exactly
+once, in order.
+
+:class:`FaultPlan` describes deliberate failures for testing and the
+``--inject-faults`` CLI path; :class:`RobustnessPolicy` bounds how patient
+and how forgiving the engine is (per-task timeout, respawn budget, and the
+stall deadline after which it degrades to sequential execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deliberate failures, keyed by the iteration a worker picks up.
+
+    ``crash_iterations``  — the worker hard-exits (``os._exit``) after
+    claiming the task: a real process death, detected by the engine through
+    the exit code, never through an exception.
+    ``error_iterations``  — the worker raises; it reports the fault and
+    survives (a soft fault).
+    ``hang_iterations``   — the worker sleeps past the policy's task
+    timeout, forcing the engine to declare it hung and kill it.
+    ``producer_crash_at`` — the producer hard-exits before dispatching this
+    iteration, exercising the sequential-fallback path.
+
+    Crashes fire at most once per iteration by construction: a claimed
+    iteration is retried *serially* by the committer, where no injection
+    applies.
+    """
+
+    crash_iterations: FrozenSet[int] = field(default_factory=frozenset)
+    error_iterations: FrozenSet[int] = field(default_factory=frozenset)
+    hang_iterations: FrozenSet[int] = field(default_factory=frozenset)
+    hang_seconds: float = 60.0
+    producer_crash_at: Optional[int] = None
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "crash_iterations", frozenset(self.crash_iterations)
+        )
+        object.__setattr__(
+            self, "error_iterations", frozenset(self.error_iterations)
+        )
+        object.__setattr__(
+            self, "hang_iterations", frozenset(self.hang_iterations)
+        )
+
+    @classmethod
+    def default_for(cls, iterations: int) -> "FaultPlan":
+        """The CLI's ``--inject-faults`` plan: one crash, one soft error."""
+        crash = {iterations // 3} if iterations else frozenset()
+        error = {(2 * iterations) // 3} if iterations > 1 else frozenset()
+        return cls(crash_iterations=crash, error_iterations=error - crash)
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(
+            self.crash_iterations
+            or self.error_iterations
+            or self.hang_iterations
+            or self.producer_crash_at is not None
+        )
+
+
+class InjectedFault(RuntimeError):
+    """The soft fault a worker raises for ``error_iterations``."""
+
+
+@dataclass(frozen=True)
+class RobustnessPolicy:
+    """How patient and forgiving the engine is.
+
+    ``task_timeout``  — seconds a claimed task may run before its worker is
+    presumed hung and killed;
+    ``stall_timeout`` — seconds without any commit progress before the
+    engine abandons the pipeline and finishes sequentially;
+    ``max_respawns``  — total replacement workers across the run; beyond
+    this budget dead workers stay dead (graceful degradation);
+    ``poll_interval`` — the committer's channel-poll granularity, which is
+    also the health-check and occupancy-sampling cadence;
+    ``join_timeout``  — seconds to wait for clean child exit at teardown
+    before resorting to ``terminate``.
+    """
+
+    task_timeout: float = 30.0
+    stall_timeout: float = 60.0
+    max_respawns: int = 3
+    poll_interval: float = 0.05
+    join_timeout: float = 5.0
+
+    def __post_init__(self):
+        if self.task_timeout <= 0 or self.stall_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.poll_interval <= 0:
+            raise ValueError("poll interval must be positive")
+        if self.max_respawns < 0:
+            raise ValueError("respawn budget cannot be negative")

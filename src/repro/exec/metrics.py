@@ -1,0 +1,158 @@
+"""Runtime observability: what the engine actually did, measured.
+
+The simulator reports *predicted* makespans in abstract work units; the
+engine reports *measured* wall-clock seconds plus every robustness event it
+weathered.  :class:`EngineMetrics` is the single record of one run —
+exportable as JSON (for dashboards and the benchmark harness) and formatted
+for the CLI.  ``measured_speedup`` against a timed sequential run feeds
+:func:`repro.core.report.format_calibration_table`, closing the
+simulated-vs-measured loop.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class EngineMetrics:
+    """Counters and timings for one :class:`~repro.exec.engine.ExecutionEngine` run."""
+
+    workers: int = 0
+    capacity: int = 0
+    iterations: int = 0
+
+    # -- wall-clock observability ------------------------------------------------
+    wall_seconds: float = 0.0
+    #: per-stage busy time summed over tasks (A: produce, B: worker compute,
+    #: C: commit callbacks) — the measured analog of the simulator's
+    #: per-phase costs
+    stage_seconds: Dict[str, float] = field(
+        default_factory=lambda: {"A": 0.0, "B": 0.0, "C": 0.0}
+    )
+    sequential_seconds: Optional[float] = None
+
+    # -- pipeline progress -------------------------------------------------------
+    commits: int = 0
+    in_order_commits: int = 0
+    out_of_order_completions: int = 0
+    duplicates_dropped: int = 0
+    worker_iterations: Dict[int, int] = field(default_factory=dict)
+
+    # -- speculation -------------------------------------------------------------
+    conflicts: int = 0
+    serial_reexecutions: int = 0
+
+    # -- robustness --------------------------------------------------------------
+    worker_crashes: int = 0
+    worker_timeouts: int = 0
+    soft_faults: int = 0
+    respawns: int = 0
+    retries: int = 0
+    producer_crashed: bool = False
+    degraded_to_sequential: bool = False
+
+    # -- channels ----------------------------------------------------------------
+    channel_stats: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def measured_speedup(self) -> Optional[float]:
+        """Sequential wall time over engine wall time, when both were timed."""
+        if not self.sequential_seconds or not self.wall_seconds:
+            return None
+        return self.sequential_seconds / self.wall_seconds
+
+    @property
+    def misspeculation_rate(self) -> float:
+        return self.conflicts / self.commits if self.commits else 0.0
+
+    def to_json(self) -> dict:
+        data = {
+            "workers": self.workers,
+            "capacity": self.capacity,
+            "iterations": self.iterations,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "sequential_seconds": (
+                round(self.sequential_seconds, 6)
+                if self.sequential_seconds is not None
+                else None
+            ),
+            "measured_speedup": (
+                round(self.measured_speedup, 4)
+                if self.measured_speedup is not None
+                else None
+            ),
+            "stage_seconds": {
+                stage: round(seconds, 6)
+                for stage, seconds in self.stage_seconds.items()
+            },
+            "commits": self.commits,
+            "out_of_order_completions": self.out_of_order_completions,
+            "duplicates_dropped": self.duplicates_dropped,
+            "worker_iterations": {
+                str(worker): count
+                for worker, count in sorted(self.worker_iterations.items())
+            },
+            "conflicts": self.conflicts,
+            "misspeculation_rate": round(self.misspeculation_rate, 4),
+            "serial_reexecutions": self.serial_reexecutions,
+            "worker_crashes": self.worker_crashes,
+            "worker_timeouts": self.worker_timeouts,
+            "soft_faults": self.soft_faults,
+            "respawns": self.respawns,
+            "retries": self.retries,
+            "producer_crashed": self.producer_crashed,
+            "degraded_to_sequential": self.degraded_to_sequential,
+            "channels": self.channel_stats,
+        }
+        return data
+
+    def to_json_str(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent, sort_keys=True)
+
+    def format_summary(self) -> str:
+        """Human-readable run summary for the CLI."""
+        lines = [
+            f"exec: {self.iterations} iterations on {self.workers} worker(s), "
+            f"channel capacity {self.capacity}",
+            f"wall clock        {self.wall_seconds:.3f}s  "
+            f"(A {self.stage_seconds['A']:.3f}s, B {self.stage_seconds['B']:.3f}s, "
+            f"C {self.stage_seconds['C']:.3f}s busy)",
+        ]
+        if self.sequential_seconds is not None:
+            lines.append(
+                f"sequential        {self.sequential_seconds:.3f}s  "
+                f"-> measured speedup {self.measured_speedup:.2f}x"
+            )
+        lines.append(
+            f"commits           {self.commits} in order "
+            f"({self.out_of_order_completions} completed out of order, "
+            f"{self.duplicates_dropped} duplicates dropped)"
+        )
+        lines.append(
+            f"speculation       {self.conflicts} conflicts "
+            f"({self.misspeculation_rate:.1%}), "
+            f"{self.serial_reexecutions} serial re-executions"
+        )
+        lines.append(
+            f"robustness        {self.worker_crashes} crashes, "
+            f"{self.worker_timeouts} timeouts, {self.soft_faults} soft faults, "
+            f"{self.respawns} respawns, {self.retries} retries"
+            + (", producer crashed" if self.producer_crashed else "")
+            + (", DEGRADED to sequential" if self.degraded_to_sequential else "")
+        )
+        for name, stats in self.channel_stats.items():
+            lines.append(
+                f"channel {name:<9} max occupancy {stats['max_occupancy']}/"
+                f"{stats['capacity']}, mean {stats['mean_occupancy']}, "
+                f"{stats['produces']} produces / {stats['consumes']} consumes"
+            )
+        if self.worker_iterations:
+            shares = ", ".join(
+                f"B{worker}:{count}"
+                for worker, count in sorted(self.worker_iterations.items())
+            )
+            lines.append(f"worker shares     {shares}")
+        return "\n".join(lines)

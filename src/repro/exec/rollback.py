@@ -1,0 +1,115 @@
+"""Speculative write buffers and commit-time validation.
+
+The runtime analog of :mod:`repro.hw.versioned_memory`: every phase-B task
+executes against a private :class:`WriteBuffer` seeded from a version-stamped
+snapshot of committed state.  Reads record the version they observed; writes
+never escape the buffer.  At commit time (strictly in iteration order, in the
+committer) :class:`CommittedStore.validate` checks each recorded read against
+the current committed version — a newer committed version means the task read
+stale state and has *misspeculated*.  The engine then discards the buffer and
+re-executes the task serially against live state: misspeculation-as-
+re-execution, the wall-clock counterpart of the simulator's
+misspeculation-as-serialization (§3.1).
+
+Workers live in other processes, so unlike :class:`VersionedMemory` there is
+no eager forwarding between uncommitted epochs — each buffer forwards only
+from the snapshot it was seeded with, and the committer is the single point
+of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Tuple
+
+Location = Tuple[str, Hashable]
+
+#: Version number meaning "location was never written" — matches the
+#: committed-version convention of :mod:`repro.hw.versioned_memory`.
+NEVER_WRITTEN = -1
+
+Snapshot = Dict[Location, Tuple[Any, int]]
+
+
+class WriteBuffer:
+    """One task's private speculative version of shared state.
+
+    Picklable both empty and populated: buffers are built worker-side and
+    their read/write sets travel back to the committer over a channel.
+    """
+
+    def __init__(self, snapshot: Snapshot) -> None:
+        self._snapshot = snapshot
+        #: location -> version observed by this task's *first* read of it
+        self.reads: Dict[Location, int] = {}
+        #: buffered (privatized) writes; applied only on successful commit
+        self.writes: Dict[Location, Any] = {}
+
+    def read(self, obj: str, key: Hashable = None) -> Any:
+        location: Location = (obj, key)
+        if location in self.writes:  # own version first
+            return self.writes[location]
+        value, version = self._snapshot.get(location, (None, NEVER_WRITTEN))
+        if location not in self.reads:
+            self.reads[location] = version
+        return value
+
+    def write(self, obj: str, key: Hashable, value: Any) -> None:
+        self.writes[(obj, key)] = value
+
+    def discard(self) -> None:
+        """Rollback: forget everything this task speculated."""
+        self.reads.clear()
+        self.writes.clear()
+
+
+class CommittedStore:
+    """The committer's authoritative, version-stamped shared state."""
+
+    def __init__(self, initial: Dict[Location, Any] = None) -> None:
+        self._values: Dict[Location, Any] = dict(initial or {})
+        # Seed state carries version 0 so buffers snapshotted before any
+        # commit validate cleanly against it.
+        self._versions: Dict[Location, int] = {
+            location: 0 for location in self._values
+        }
+        self._commit_counter = 0
+        self.conflicts_detected = 0
+
+    def snapshot(self) -> Snapshot:
+        """A version-stamped copy for seeding a :class:`WriteBuffer`."""
+        return {
+            location: (self._values[location], self._versions[location])
+            for location in self._values
+        }
+
+    def validate(self, reads: Dict[Location, int]) -> List[Location]:
+        """Locations whose committed version moved past what a task read."""
+        stale = [
+            location
+            for location, seen_version in reads.items()
+            if self._versions.get(location, NEVER_WRITTEN) != seen_version
+        ]
+        if stale:
+            self.conflicts_detected += 1
+        return stale
+
+    def apply(self, writes: Dict[Location, Any]) -> None:
+        """Commit a validated buffer's writes, bumping versions."""
+        if not writes:
+            return
+        self._commit_counter += 1
+        for location, value in writes.items():
+            self._values[location] = value
+            self._versions[location] = self._commit_counter
+
+    def value(self, obj: str, key: Hashable = None) -> Any:
+        return self._values.get((obj, key))
+
+    def architectural_state(self) -> Dict[Location, Any]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        return (
+            f"CommittedStore({len(self._values)} locations, "
+            f"{self.conflicts_detected} conflicts)"
+        )

@@ -1,0 +1,122 @@
+"""Process entry points for the pipeline stages.
+
+The engine runs phase A in one producer process and phase B in N replicated
+worker processes; phase C (the committer) stays in the engine's own process
+so commits can touch the authoritative store and the user's accumulator
+without cross-process state.
+
+Message protocol (all on the ``done`` channel, tagged tuples):
+
+``("claim", wid, i, value, a_seconds)``
+    A worker announces it dequeued iteration *i* **before** executing it,
+    carrying the phase-A value.  The committer keeps the value until commit
+    so a task lost to a crash, hang, or soft fault can be re-executed
+    serially without re-running the (stateful, sequential) phase A.
+``("result", wid, i, result, reads, writes, b_seconds)``
+    The speculative outcome: read-set versions and buffered writes for
+    commit-time validation (empty for non-speculative specs).
+``("fault", wid, i, message)``
+    A soft fault: the task raised; the worker survives and the committer
+    re-executes the claimed task serially.
+``("stopped", wid)``
+    Clean worker exit (shutdown event observed).
+
+Per-producer FIFO ordering of :class:`multiprocessing.Queue` guarantees a
+claim is visible before its result or fault.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Optional
+
+from repro.exec.channels import ChannelTimeout, ProcessChannel, STOP
+from repro.exec.faults import FaultPlan, InjectedFault
+from repro.exec.rollback import Snapshot, WriteBuffer
+
+#: How often an idle stage re-checks the shutdown event (seconds).
+_IDLE_POLL = 0.2
+
+
+def producer_main(
+    work: ProcessChannel,
+    iterations: int,
+    produce: Callable[[int], Any],
+    fault_plan: Optional[FaultPlan],
+    shutdown,
+) -> None:
+    """Phase A: run ``produce`` per iteration, push into the work channel."""
+    for i in range(iterations):
+        if fault_plan is not None and fault_plan.producer_crash_at == i:
+            work.flush_and_close()
+            os._exit(3)
+        started = time.monotonic()
+        value = produce(i)
+        elapsed = time.monotonic() - started
+        while True:
+            if shutdown.is_set():
+                return
+            try:
+                work.put((i, value, elapsed), timeout=_IDLE_POLL)
+                break
+            except ChannelTimeout:
+                continue  # full channel: keep blocking, re-check shutdown
+    work.flush_and_close()
+
+
+def worker_main(
+    worker_id: int,
+    work: ProcessChannel,
+    done: ProcessChannel,
+    work_fn: Callable,
+    speculative: bool,
+    snapshot: Snapshot,
+    fault_plan: Optional[FaultPlan],
+    shutdown,
+) -> None:
+    """Phase B replica: claim, execute speculatively, report."""
+    while True:
+        try:
+            item = work.get(timeout=_IDLE_POLL)
+        except ChannelTimeout:
+            if shutdown.is_set():
+                done.put(("stopped", worker_id))
+                return
+            continue
+        except (EOFError, OSError):
+            # The producer's end of the channel is gone; the engine will
+            # finish sequentially.
+            return
+        if item == STOP:
+            done.put(("stopped", worker_id))
+            return
+
+        i, value, a_seconds = item
+        done.put(("claim", worker_id, i, value, a_seconds))
+
+        if fault_plan is not None:
+            if i in fault_plan.crash_iterations:
+                # A hard crash: no exception, no goodbye — only the exit
+                # code.  Flush the claim first so the committer can retry.
+                done.flush_and_close()
+                os._exit(1)
+            if i in fault_plan.hang_iterations:
+                time.sleep(fault_plan.hang_seconds)
+
+        started = time.monotonic()
+        try:
+            if fault_plan is not None and i in fault_plan.error_iterations:
+                raise InjectedFault(f"injected fault at iteration {i}")
+            if speculative:
+                buffer = WriteBuffer(snapshot)
+                result = work_fn(i, value, buffer)
+                reads, writes = buffer.reads, buffer.writes
+            else:
+                result = work_fn(i, value)
+                reads, writes = {}, {}
+        except Exception as error:
+            done.put(("fault", worker_id, i, repr(error)))
+            continue
+        elapsed = time.monotonic() - started
+        done.put(("result", worker_id, i, result, reads, writes, elapsed))

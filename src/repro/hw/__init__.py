@@ -18,7 +18,13 @@ subsystem, allowing for privatization of data and memory alias speculation.
 
 from repro.hw.events import EventKernel
 from repro.hw.machine import MachineConfig
-from repro.hw.queues import BoundedQueue, QueueFullError, QueueEmptyError, TimedQueueModel
+from repro.hw.queues import (
+    BlockingBoundedQueue,
+    BoundedQueue,
+    QueueEmptyError,
+    QueueFullError,
+    TimedQueueModel,
+)
 from repro.hw.versioned_memory import (
     ConflictError,
     Epoch,
@@ -27,6 +33,7 @@ from repro.hw.versioned_memory import (
 )
 
 __all__ = [
+    "BlockingBoundedQueue",
     "BoundedQueue",
     "ConflictError",
     "Epoch",

@@ -87,6 +87,25 @@ class Workload(ABC):
     def run(self, tracer: Tracer) -> Any:
         """Execute the workload under ``tracer``; return the program output."""
 
+    # -- real execution (repro.exec) -------------------------------------------------
+
+    #: True when :meth:`exec_spec` is implemented — the workload's A/B/C
+    #: decomposition can run for real on the multiprocess engine, not just
+    #: under the tracer/simulator.
+    has_exec_spec = False
+
+    def exec_spec(self):
+        """A :class:`repro.exec.PipelineSpec` executing this workload for real.
+
+        The spec's sequential reference must produce the *same output dict*
+        as :meth:`run` — the engine's outputs are asserted bit-identical to
+        it across worker counts.  ``produce`` and ``work`` cross process
+        boundaries and must be picklable.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not define a real-execution pipeline spec"
+        )
+
     # -- parallelization hints (the case studies' manual choices) -------------------
 
     def forced_synchronized(self) -> Sequence[Location]:

@@ -21,6 +21,7 @@ from the block count, exactly as in the paper.
 
 from __future__ import annotations
 
+from functools import partial
 from heapq import heapify, heappop, heappush
 from typing import Dict, List, Tuple
 
@@ -84,18 +85,67 @@ class Bzip2Workload(Workload):
             "blocks": iteration,
         }
 
+    # -- real execution on the multiprocess engine ----------------------------------
+
+    has_exec_spec = True
+
+    def exec_spec(self):
+        """Run the block loop for real: A slices, B compresses, C commits.
+
+        No cross-block state exists, so phase B is pure — the first genuine
+        wall-clock-parallel target, exactly as Section 4.1.1 predicts.
+        """
+        from repro.exec.engine import PipelineSpec
+
+        iterations = (len(self.text) + self.block_size - 1) // self.block_size
+        return PipelineSpec(
+            iterations=iterations,
+            produce=partial(_exec_produce, self.text, self.block_size),
+            work=_exec_work,
+            init=_exec_init,
+            commit=_exec_commit,
+        )
+
     # -- the algorithm chain --------------------------------------------------------
 
     def _compress_block(self, block: bytes) -> Tuple[int, int, int]:
         """(output bits, checksum, work units) for one block."""
-        bwt, bwt_work = burrows_wheeler_transform(block)
-        mtf = move_to_front(bwt)
-        bits = rle_huffman_bits(mtf)
-        checksum = 0
-        for symbol in mtf[:256]:
-            checksum = (checksum * 131 + symbol) % (1 << 32)
-        work = bwt_work + len(mtf) + len(mtf) // 2
-        return bits, checksum, work
+        return compress_block(block)
+
+
+def compress_block(block: bytes) -> Tuple[int, int, int]:
+    """(output bits, checksum, work units) for one block."""
+    bwt, bwt_work = burrows_wheeler_transform(block)
+    mtf = move_to_front(bwt)
+    bits = rle_huffman_bits(mtf)
+    checksum = 0
+    for symbol in mtf[:256]:
+        checksum = (checksum * 131 + symbol) % (1 << 32)
+    work = bwt_work + len(mtf) + len(mtf) // 2
+    return bits, checksum, work
+
+
+# -- picklable pipeline stages for repro.exec --------------------------------------
+
+
+def _exec_produce(text: bytes, block_size: int, i: int) -> bytes:
+    return text[i * block_size:(i + 1) * block_size]
+
+
+def _exec_work(i: int, block: bytes) -> Tuple[int, int]:
+    bits, checksum, _work = compress_block(block)
+    return bits, checksum
+
+
+def _exec_init() -> dict:
+    return {"compressed_bits": 0, "checksum": 0, "blocks": 0}
+
+
+def _exec_commit(i: int, result: Tuple[int, int], acc: dict) -> None:
+    bits, block_checksum = result
+    acc["compressed_bits"] += bits
+    acc["checksum"] = (acc["checksum"] * 37 + block_checksum) % (1 << 32)
+    acc["blocks"] += 1
 
 
 def burrows_wheeler_transform(block: bytes) -> Tuple[List[int], int]:

@@ -112,6 +112,27 @@ class ParserWorkload(Workload):
         # dependence the paper synchronizes rather than speculates.
         return [("parser", "echo_mode")]
 
+    # -- real execution on the multiprocess engine ----------------------------------
+
+    has_exec_spec = True
+
+    def exec_spec(self):
+        """Run batch_process for real: per-sentence parallel CYK parses.
+
+        Commands (and the echo-mode flag they toggle) stay in the stateful
+        phase-A producer, exactly where Section 4.3.2 puts them, so phase B
+        is pure per-sentence work.
+        """
+        from repro.exec.engine import PipelineSpec
+
+        return PipelineSpec(
+            iterations=len(self.sentences),
+            produce=_ExecProduce(self.sentences, self.command_every),
+            work=_exec_work,
+            init=_exec_init,
+            commit=_exec_commit,
+        )
+
     def run(self, tracer: Tracer):
         _reset_arena()
         echo_mode = False
@@ -152,6 +173,48 @@ class ParserWorkload(Workload):
             "rejected": len(results) - sum(results),
             "echoed": echoed,
         }
+
+
+# -- picklable pipeline stages for repro.exec --------------------------------------
+
+
+class _ExecProduce:
+    """Stateful phase A: tokenize, handle commands, track echo mode."""
+
+    def __init__(self, sentences: List[List[str]], command_every: int) -> None:
+        self.sentences = sentences
+        self.command_every = command_every
+        self.echo_mode = False
+
+    def __call__(self, i: int) -> Tuple[List[str], bool, bool]:
+        words = self.sentences[i]
+        is_command = bool(
+            self.command_every and i % self.command_every == self.command_every - 1
+        )
+        if is_command:
+            self.echo_mode = not self.echo_mode
+        return words, is_command, self.echo_mode
+
+
+def _exec_work(i: int, payload: Tuple[List[str], bool, bool]) -> Tuple[bool, int]:
+    words, is_command, echo_mode = payload
+    if is_command:
+        return True, 0
+    grammatical, _work = cyk_parse(words)
+    return grammatical, 1 if echo_mode else 0
+
+
+def _exec_init() -> dict:
+    return {"accepted": 0, "rejected": 0, "echoed": 0}
+
+
+def _exec_commit(i: int, result: Tuple[bool, int], acc: dict) -> None:
+    grammatical, echoed = result
+    if grammatical:
+        acc["accepted"] += 1
+    else:
+        acc["rejected"] += 1
+    acc["echoed"] += echoed
 
 
 def cyk_parse(words: List[str]) -> Tuple[bool, int]:

@@ -66,6 +66,11 @@ def suite_names() -> List[str]:
     return list(SUITE)
 
 
+def exec_names() -> List[str]:
+    """Benchmarks that can run for real on the multiprocess engine."""
+    return [name for name, factory in SUITE.items() if factory.has_exec_spec]
+
+
 def make_workload(name: str) -> Workload:
     try:
         return SUITE[name]()

@@ -44,3 +44,40 @@ def test_threads_deduplicated_and_sorted(capsys):
     output = capsys.readouterr().out
     lines = [l for l in output.splitlines() if "|" in l]
     assert len(lines) == 2  # 1 and 8 only
+
+
+class TestExecCommand:
+    """The ``exec`` subcommand: real multiprocess execution."""
+
+    def test_exec_bzip2(self, capsys):
+        assert main(["exec", "256.bzip2", "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "bit-identical to sequential execution" in output
+        assert "measured speedup" in output
+        assert "commits" in output
+
+    def test_exec_with_fault_injection(self, capsys):
+        assert main(
+            ["exec", "256.bzip2", "--workers", "2", "--inject-faults"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "bit-identical to sequential execution" in output
+        # The injected crash and soft fault were absorbed and retried.
+        assert "1 crashes" in output
+        assert "1 soft faults" in output
+
+    def test_exec_json_export(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(
+            ["exec", "197.parser", "--workers", "2", "--json", str(path)]
+        ) == 0
+        import json
+
+        data = json.loads(path.read_text())
+        assert data["commits"] == data["iterations"] > 0
+        assert data["measured_speedup"] is not None
+
+    def test_exec_rejects_workload_without_spec(self):
+        # 186.crafty has no exec spec; argparse rejects it up front.
+        with pytest.raises(SystemExit):
+            main(["exec", "186.crafty"])
