@@ -1,0 +1,57 @@
+"""Chaos-resilience counters for the benchmark record.
+
+The figure/table benchmarks measure *performance*; this one measures
+*survivability* and exports the evidence: seeded chaos runs over the bzip2
+analog (the CI seed matrix honours ``CHAOS_SEED``), the injection mix, the
+recovery counters, and the invariant audit — all merged into
+``benchmarks/results.json`` so EXPERIMENTS.md can cite reproducible
+fault-tolerance numbers next to the speedup curves.
+"""
+
+import os
+
+from repro.resilience import run_chaos
+from repro.workloads.bzip2_w import Bzip2Workload
+
+#: Small blocks, many of them: 40 iterations gives the default chaos mix
+#: (21 worker-side + 3 channel-side injections) room to sample disjointly.
+BZIP2_ARGS = dict(block_size=4 * 1024, blocks=40)
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "1337"))
+
+
+def test_chaos_counters_exported(benchmark, results_sink):
+    report = benchmark.pedantic(
+        lambda: run_chaos(
+            Bzip2Workload(**BZIP2_ARGS).exec_spec, CHAOS_SEED, workers=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.ok, report.format_summary()
+    assert report.output_identical
+
+    metrics = report.result.metrics
+    results_sink["resilience_chaos"] = {
+        "seed": report.seed,
+        "injected_faults": report.injected_faults,
+        "channel_injections": report.channel_injections,
+        "ok": report.ok,
+        "output_identical": report.output_identical,
+        "violations": [str(v) for v in report.violations],
+        "worker_crashes": metrics.worker_crashes,
+        "worker_timeouts": metrics.worker_timeouts,
+        "soft_faults": metrics.soft_faults,
+        "conflicts": metrics.conflicts,
+        "serial_reexecutions": metrics.serial_reexecutions,
+        "respawns": metrics.respawns,
+        "retries": metrics.retries,
+        "duplicates_dropped": metrics.duplicates_dropped,
+        "degraded_to_sequential": metrics.degraded_to_sequential,
+        "throttle_shrinks": metrics.throttle_shrinks,
+        "throttle_grows": metrics.throttle_grows,
+        "min_window": metrics.min_window,
+        "checkpoints_taken": metrics.checkpoints_taken,
+        "wall_seconds": round(metrics.wall_seconds, 3),
+    }
+    print()
+    print(report.format_summary())

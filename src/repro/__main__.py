@@ -76,7 +76,36 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     exec_parser.add_argument(
         "--inject-faults", action="store_true",
-        help="kill one worker mid-task and raise in another, proving recovery",
+        help="kill one worker mid-task and raise in another, proving "
+             "recovery; the plan is drawn from --seed (printed, so any run "
+             "is reproducible)",
+    )
+    exec_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="seed for fault/chaos injection schedules (default: fresh "
+             "entropy, printed for replay)",
+    )
+    exec_parser.add_argument(
+        "--chaos", type=int, metavar="N", default=None,
+        help="run the seeded chaos harness with ~N randomized injections "
+             "(crashes, hangs, soft faults, forced conflicts, latency, "
+             "duplicates, drops) and audit cross-layer invariants",
+    )
+    exec_parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="periodically checkpoint the committed prefix to PATH",
+    )
+    exec_parser.add_argument(
+        "--checkpoint-interval", type=int, default=8, metavar="K",
+        help="commits between checkpoints (default 8)",
+    )
+    exec_parser.add_argument(
+        "--resume", metavar="PATH", default=None,
+        help="resume from a checkpoint file written by --checkpoint",
+    )
+    exec_parser.add_argument(
+        "--no-throttle", action="store_true",
+        help="disable the adaptive speculation-throttling controller",
     )
     exec_parser.add_argument(
         "--calibrate", action="store_true",
@@ -148,22 +177,81 @@ def _evaluate_and_print(name: str, framework: ParallelizationFramework) -> "Spee
     return evaluation.report
 
 
+def _chaos_seed(args) -> int:
+    """The run's injection seed: the user's, or fresh printed entropy."""
+    import os
+
+    if args.seed is not None:
+        return args.seed
+    return int.from_bytes(os.urandom(4), "big")
+
+
+def _run_chaos(args) -> int:
+    """``exec NAME --chaos N``: one audited seeded chaos run."""
+    from repro.resilience import ChaosConfig, CheckpointConfig, run_chaos
+
+    workload = make_workload(args.name)
+    seed = _chaos_seed(args)
+    print(f"chaos seed: {seed}  (replay with --seed {seed})")
+    checkpoint_config = (
+        CheckpointConfig(
+            interval=args.checkpoint_interval, path=args.checkpoint
+        )
+        if args.checkpoint
+        else None
+    )
+    report = run_chaos(
+        workload.exec_spec,
+        seed,
+        workers=args.workers,
+        capacity=args.capacity,
+        config=ChaosConfig.sized(args.chaos),
+        checkpoint_config=checkpoint_config,
+    )
+    print(report.format_summary())
+    print(report.result.metrics.format_summary())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
+
+
 def _run_exec(args) -> int:
     from repro.core.report import CalibrationRow, format_calibration_table
     from repro.exec import ExecutionEngine, FaultPlan, run_sequential
+    from repro.resilience import CheckpointConfig, ThrottleConfig
+
+    if args.chaos is not None:
+        return _run_chaos(args)
 
     workload = make_workload(args.name)
     # Fresh specs for the reference and engine runs: phase-A producers may
     # be stateful.
     sequential_output, sequential_seconds = run_sequential(workload.exec_spec())
     spec = workload.exec_spec()
-    fault_plan = (
-        FaultPlan.default_for(spec.iterations) if args.inject_faults else None
+    fault_plan = None
+    if args.inject_faults:
+        seed = _chaos_seed(args)
+        print(f"fault injection seed: {seed}  (replay with --seed {seed})")
+        fault_plan = FaultPlan.seeded(spec.iterations, seed)
+    checkpoint_config = (
+        CheckpointConfig(
+            interval=args.checkpoint_interval, path=args.checkpoint
+        )
+        if args.checkpoint
+        else None
     )
     engine = ExecutionEngine(
-        workers=args.workers, capacity=args.capacity, fault_plan=fault_plan
+        workers=args.workers,
+        capacity=args.capacity,
+        fault_plan=fault_plan,
+        throttle=ThrottleConfig(enabled=not args.no_throttle),
+        checkpoints=checkpoint_config,
     )
-    result = engine.run(spec)
+    result = engine.run(spec, resume_from=args.resume)
     result.metrics.sequential_seconds = sequential_seconds
 
     print(result.metrics.format_summary())

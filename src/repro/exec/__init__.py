@@ -17,7 +17,7 @@ calibrate the simulator against measured wall clock.
 - :mod:`repro.exec.metrics`  — the observability record of one run.
 """
 
-from repro.exec.channels import ProcessChannel
+from repro.exec.channels import ChannelChaos, ProcessChannel
 from repro.exec.engine import (
     EngineResult,
     ExecutionEngine,
@@ -30,6 +30,7 @@ from repro.exec.metrics import EngineMetrics
 from repro.exec.rollback import CommittedStore, WriteBuffer
 
 __all__ = [
+    "ChannelChaos",
     "CommittedStore",
     "EngineMetrics",
     "EngineResult",

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import multiprocessing
 import queue as _queue_module
-from typing import Any, Optional
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional
 
 #: Sentinel that survives pickling with identity-free equality: workers
 #: compare by value, so the producer's copy and the worker's copy agree.
@@ -28,15 +30,57 @@ class ChannelTimeout(Exception):
     """A bounded get/put did not complete within its timeout."""
 
 
+@dataclass(frozen=True)
+class ChannelChaos:
+    """Put-side misbehaviour for the chaos harness, keyed by put index.
+
+    Indices count this *process's* puts on the channel, so schedules are
+    deterministic on single-producer channels (the engine applies chaos to
+    the phase-A work channel only).  A dropped put vanishes silently — the
+    committer recovers through its stall/degradation path; a duplicated put
+    exercises the exactly-once commit dedup; a delayed put is a latency
+    spike on the wire.
+    """
+
+    latency_by_index: Dict[int, float] = field(default_factory=dict)
+    duplicate_indices: FrozenSet[int] = field(default_factory=frozenset)
+    drop_indices: FrozenSet[int] = field(default_factory=frozenset)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "latency_by_index", dict(self.latency_by_index)
+        )
+        object.__setattr__(
+            self, "duplicate_indices", frozenset(self.duplicate_indices)
+        )
+        object.__setattr__(self, "drop_indices", frozenset(self.drop_indices))
+
+    @property
+    def injection_count(self) -> int:
+        return (
+            len(self.latency_by_index)
+            + len(self.duplicate_indices)
+            + len(self.drop_indices)
+        )
+
+
 class ProcessChannel:
     """A bounded, blocking, cross-process FIFO with occupancy statistics."""
 
-    def __init__(self, capacity: int, name: str = "", ctx=None) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        name: str = "",
+        ctx=None,
+        chaos: Optional[ChannelChaos] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("channel capacity must be positive")
         ctx = ctx or multiprocessing.get_context()
         self.capacity = capacity
         self.name = name
+        self.chaos = chaos
+        self._put_index = 0  # per-process; see ChannelChaos determinism note
         self._queue = ctx.Queue(maxsize=capacity)
         self._produces = ctx.Value("L", 0)
         self._consumes = ctx.Value("L", 0)
@@ -46,14 +90,31 @@ class ProcessChannel:
 
     def put(self, item: Any, timeout: Optional[float] = None) -> None:
         """Produce ``item``; block while full (raise on timeout, if given)."""
-        try:
-            self._queue.put(item, block=True, timeout=timeout)
-        except _queue_module.Full:
-            raise ChannelTimeout(
-                f"channel {self.name or id(self)} full for {timeout}s"
-            ) from None
-        with self._produces.get_lock():
-            self._produces.value += 1
+        # The index advances only once the put resolves (success or drop):
+        # producers retry timed-out puts, and a retry must replay the same
+        # chaos decision rather than burn a fresh index.
+        index = self._put_index
+        chaos = self.chaos
+        repeats = 1
+        if chaos is not None:
+            if index in chaos.drop_indices:
+                self._put_index = index + 1
+                return
+            delay = chaos.latency_by_index.get(index)
+            if delay:
+                time.sleep(delay)
+            if index in chaos.duplicate_indices:
+                repeats = 2
+        for _ in range(repeats):
+            try:
+                self._queue.put(item, block=True, timeout=timeout)
+            except _queue_module.Full:
+                raise ChannelTimeout(
+                    f"channel {self.name or id(self)} full for {timeout}s"
+                ) from None
+            with self._produces.get_lock():
+                self._produces.value += 1
+        self._put_index = index + 1
 
     def get(self, timeout: Optional[float] = None) -> Any:
         """Consume the oldest item; block while empty (raise on timeout)."""

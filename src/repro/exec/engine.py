@@ -17,6 +17,19 @@ in order, no matter what the processes do.  If failures exhaust the respawn
 budget or progress stalls entirely, the engine degrades to sequential
 execution and still produces the exact sequential output.
 
+Resilience (PR 2) is layered on top via :mod:`repro.resilience`:
+
+- **checkpoint/resume** — the committer snapshots the committed prefix
+  every ``CheckpointConfig.interval`` commits; ``run(spec, resume_from=...)``
+  restarts from the last committed iteration instead of from zero;
+- **adaptive speculation throttling** — an AIMD controller watches the
+  live conflict/fault rate and shrinks the speculative window (published
+  to workers through shared memory) under misspeculation storms, probing
+  back up when they pass;
+- **chaos injection** — the extended :class:`FaultPlan` and
+  :class:`~repro.exec.channels.ChannelChaos` carry seeded randomized
+  schedules; cross-layer invariants audit every run.
+
 :class:`PipelineSpec` describes one pipeline; workloads expose one via
 :meth:`repro.workloads.base.Workload.exec_spec`.  A spec can also be built
 from the simulator's own :class:`~repro.core.tasks.TaskGraph`
@@ -29,15 +42,27 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.core.plan import ExecutionPlan
 from repro.core.tasks import Phase, TaskGraph
-from repro.exec.channels import ChannelTimeout, ProcessChannel
+from repro.exec.channels import ChannelChaos, ChannelTimeout, ProcessChannel
 from repro.exec.faults import FaultPlan, RobustnessPolicy
 from repro.exec.metrics import EngineMetrics
 from repro.exec.rollback import CommittedStore, Location, WriteBuffer
 from repro.exec.workers import producer_main, worker_main
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointConfig,
+    CheckpointError,
+    CheckpointManager,
+    spec_fingerprint,
+)
+from repro.resilience.throttle import SpeculationThrottle, ThrottleConfig
+
+#: Window published to workers when throttling is disabled: effectively
+#: unbounded speculation depth.
+_UNTHROTTLED_WINDOW = 2 ** 30
 
 
 def _identity(accumulator: Any) -> Any:
@@ -83,6 +108,7 @@ class EngineResult:
     output: Any
     metrics: EngineMetrics
     state: Dict[Location, Any]
+    checkpoints: List[Checkpoint] = field(default_factory=list)
 
 
 def run_sequential(spec: PipelineSpec) -> Tuple[Any, float]:
@@ -111,6 +137,14 @@ class ExecutionEngine:
 
     ``workers`` may come straight from an :class:`ExecutionPlan` — the same
     plan the simulator consumes — via ``plan.replication_width``.
+
+    ``throttle`` (default: enabled) is the adaptive-speculation controller;
+    ``checkpoints`` (default: off) enables periodic committed-prefix
+    checkpoints; ``channel_chaos`` injects put-side misbehaviour into the
+    phase-A work channel (chaos harness only).  Any ``fault_plan`` has its
+    ``hang_seconds`` clamped to the policy's task timeout at construction,
+    so a misconfigured hang injection can never stall a run past the
+    timeout it is meant to exercise.
     """
 
     def __init__(
@@ -121,6 +155,9 @@ class ExecutionEngine:
         fault_plan: Optional[FaultPlan] = None,
         plan: Optional[ExecutionPlan] = None,
         start_method: Optional[str] = None,
+        throttle: Optional[ThrottleConfig] = None,
+        checkpoints: Optional[CheckpointConfig] = None,
+        channel_chaos: Optional[ChannelChaos] = None,
     ) -> None:
         if plan is not None:
             workers = max(1, plan.replication_width)
@@ -131,46 +168,122 @@ class ExecutionEngine:
         self.workers = workers
         self.capacity = capacity
         self.policy = policy or RobustnessPolicy()
-        self.fault_plan = fault_plan
+        self.fault_plan = (
+            fault_plan.clamped_to(self.policy)
+            if fault_plan is not None
+            else None
+        )
+        self.throttle_config = throttle if throttle is not None else ThrottleConfig()
+        self.checkpoint_config = checkpoints
+        self.channel_chaos = channel_chaos
         self._start_method = start_method
         self.metrics = EngineMetrics()
+        self.checkpoint_manager: Optional[CheckpointManager] = None
 
     # -- public API -------------------------------------------------------------
 
-    def run(self, spec: PipelineSpec) -> EngineResult:
+    def run(
+        self,
+        spec: PipelineSpec,
+        resume_from: Union[Checkpoint, str, None] = None,
+    ) -> EngineResult:
+        checkpoint = self._resolve_resume(spec, resume_from)
+        start = checkpoint.next_commit if checkpoint is not None else 0
         self.metrics = EngineMetrics(
             workers=self.workers, capacity=self.capacity,
             iterations=spec.iterations,
         )
-        if spec.iterations == 0:
-            accumulator = spec.init()
-            return EngineResult(spec.finalize(accumulator), self.metrics, {})
+        if checkpoint is not None:
+            self.metrics.resumed_from = start
+        self.checkpoint_manager = (
+            CheckpointManager(
+                self.checkpoint_config,
+                spec_fingerprint(spec),
+                next_index=(checkpoint.index + 1 if checkpoint else 0),
+            )
+            if self.checkpoint_config is not None
+            else None
+        )
+        if spec.iterations == 0 or start >= spec.iterations:
+            # Nothing (left) to execute; finalize the restored prefix.
+            if checkpoint is not None:
+                accumulator = checkpoint.restore_accumulator()
+                state = checkpoint.restore_store().architectural_state()
+            else:
+                accumulator = spec.init()
+                state = {}
+            return EngineResult(spec.finalize(accumulator), self.metrics, state)
         started = time.monotonic()
-        result = self._run_pipeline(spec)
+        result = self._run_pipeline(spec, start, checkpoint)
         self.metrics.wall_seconds = time.monotonic() - started
         return result
 
+    def _resolve_resume(
+        self, spec: PipelineSpec, resume_from: Union[Checkpoint, str, None]
+    ) -> Optional[Checkpoint]:
+        if resume_from is None:
+            return None
+        checkpoint = (
+            Checkpoint.load(resume_from)
+            if isinstance(resume_from, str)
+            else resume_from
+        )
+        expected = spec_fingerprint(spec)
+        if checkpoint.fingerprint != expected:
+            raise CheckpointError(
+                f"checkpoint fingerprint {checkpoint.fingerprint!r} does not "
+                f"match spec {expected!r}; refusing to resume"
+            )
+        return checkpoint
+
     # -- the committer loop -----------------------------------------------------
 
-    def _run_pipeline(self, spec: PipelineSpec) -> EngineResult:
+    def _run_pipeline(
+        self,
+        spec: PipelineSpec,
+        start: int,
+        resume_checkpoint: Optional[Checkpoint],
+    ) -> EngineResult:
         policy = self.policy
         metrics = self.metrics
+        manager = self.checkpoint_manager
         ctx = (
             multiprocessing.get_context(self._start_method)
             if self._start_method
             else multiprocessing.get_context()
         )
-        work = ProcessChannel(self.capacity, name="work", ctx=ctx)
+        work = ProcessChannel(
+            self.capacity, name="work", ctx=ctx, chaos=self.channel_chaos
+        )
         done = ProcessChannel(
             self.capacity + 2 * self.workers + 4, name="done", ctx=ctx
         )
         shutdown = ctx.Event()
-        store = CommittedStore(spec.shared_state)
-        accumulator = spec.init()
+        if resume_checkpoint is not None:
+            store = resume_checkpoint.restore_store()
+            accumulator = resume_checkpoint.restore_accumulator()
+        else:
+            store = CommittedStore(spec.shared_state)
+            accumulator = spec.init()
+
+        # Adaptive speculation throttling: the committer is the controller;
+        # workers observe the watermark/window pair through shared memory.
+        throttle = (
+            SpeculationThrottle(
+                self.throttle_config, self.workers + self.capacity
+            )
+            if self.throttle_config.enabled
+            else None
+        )
+        watermark_value = ctx.Value("l", start)
+        window_value = ctx.Value(
+            "l", throttle.window if throttle else _UNTHROTTLED_WINDOW
+        )
 
         producer = ctx.Process(
             target=producer_main,
-            args=(work, spec.iterations, spec.produce, self.fault_plan, shutdown),
+            args=(work, spec.iterations, spec.produce, self.fault_plan,
+                  shutdown, start),
             name="exec-A",
             daemon=True,
         )
@@ -186,7 +299,8 @@ class ExecutionEngine:
             proc = ctx.Process(
                 target=worker_main,
                 args=(wid, work, done, spec.work, spec.speculative,
-                      store.snapshot(), self.fault_plan, shutdown),
+                      store.snapshot(), self.fault_plan, shutdown,
+                      watermark_value, window_value),
                 name=f"exec-B{wid}",
                 daemon=True,
             )
@@ -204,7 +318,7 @@ class ExecutionEngine:
         worker_claims: Dict[int, Set[int]] = {}
         pending: Dict[int, Tuple[Any, dict, dict]] = {}
         serial_needed: Set[int] = set()
-        next_commit = 0
+        next_commit = start
         respawns_left = policy.max_respawns
         producer_failed = False
         last_activity = time.monotonic()
@@ -223,19 +337,29 @@ class ExecutionEngine:
             metrics.serial_reexecutions += 1
             return result
 
-        def commit(i: int, result: Any) -> None:
+        def commit(i: int, result: Any, misspeculated: bool = False) -> None:
             nonlocal next_commit, last_activity
             started = time.monotonic()
             spec.commit(i, result, accumulator)
             metrics.stage_seconds["C"] += time.monotonic() - started
             metrics.commits += 1
+            if i == next_commit:
+                metrics.in_order_commits += 1
             next_commit = i + 1
+            watermark_value.value = next_commit
             inflight_values.pop(i, None)
             info = claim_info.pop(i, None)
             if info is not None:
                 worker_claims.get(info[0], set()).discard(i)
             serial_needed.discard(i)
             last_activity = time.monotonic()
+            if throttle is not None:
+                new_window = throttle.record(misspeculated)
+                if new_window is not None:
+                    window_value.value = new_window
+            if manager is not None:
+                manager.maybe(next_commit, store, accumulator, metrics)
+                metrics.checkpoints_taken = manager.taken
 
         def advance_commits() -> None:
             while next_commit < spec.iterations:
@@ -245,12 +369,12 @@ class ExecutionEngine:
                     stale = store.validate(reads) if spec.speculative else []
                     if stale:
                         metrics.conflicts += 1
-                        result = serial_reexecute(i)
+                        commit(i, serial_reexecute(i), misspeculated=True)
                     else:
                         store.apply(writes)
-                    commit(i, result)
+                        commit(i, result)
                 elif i in serial_needed and i in inflight_values:
-                    commit(i, serial_reexecute(i))
+                    commit(i, serial_reexecute(i), misspeculated=True)
                 else:
                     return
 
@@ -271,6 +395,12 @@ class ExecutionEngine:
                 proc = processes.get(wid)
                 if proc is None or not proc.is_alive():
                     continue  # crash handling below covers dead workers
+                if i - next_commit >= window_value.value:
+                    # Throttle-gated, not hung: the worker is deliberately
+                    # waiting for the window.  Refresh its claim clock so it
+                    # gets a full timeout once it becomes eligible.
+                    claim_info[i] = (wid, now)
+                    continue
                 if now - claimed_at > policy.task_timeout:
                     metrics.worker_timeouts += 1
                     proc.terminate()
@@ -324,6 +454,9 @@ class ExecutionEngine:
                     return
                 if i != next_commit:
                     metrics.out_of_order_completions += 1
+                if i in pending:
+                    metrics.duplicates_dropped += 1
+                    return
                 pending[i] = (result, reads, writes)
                 metrics.stage_seconds["B"] += b_seconds
                 metrics.worker_iterations[wid] = (
@@ -374,11 +507,19 @@ class ExecutionEngine:
         else:
             self._teardown(producer, processes, done)
 
+        if throttle is not None:
+            metrics.throttle_shrinks = throttle.shrinks
+            metrics.throttle_grows = throttle.grows
+            metrics.min_window = throttle.min_window_seen
+            metrics.final_window = throttle.window
         for channel in (work, done):
             metrics.channel_stats[channel.name] = channel.occupancy_stats()
             channel.close()
         return EngineResult(
-            spec.finalize(accumulator), metrics, store.architectural_state()
+            spec.finalize(accumulator),
+            metrics,
+            store.architectural_state(),
+            checkpoints=list(manager.checkpoints) if manager else [],
         )
 
     # -- failure paths ----------------------------------------------------------
@@ -398,9 +539,12 @@ class ExecutionEngine:
         Phase A is replayed from iteration 0 on the engine's own (pristine,
         never-called) copy of ``produce`` — workload determinism guarantees
         identical values — but only uncommitted iterations execute B and C.
-        Already-validated worker results in ``pending`` are reused.
+        Already-validated worker results in ``pending`` are reused, and the
+        committed prefix keeps checkpointing, so even a degraded run can be
+        resumed incrementally if it is interrupted.
         """
         metrics = self.metrics
+        manager = self.checkpoint_manager
         metrics.degraded_to_sequential = True
         for proc in [producer] + list(processes.values()):
             if proc is not None and proc.is_alive():
@@ -408,6 +552,13 @@ class ExecutionEngine:
         for proc in [producer] + list(processes.values()):
             if proc is not None:
                 proc.join(self.policy.join_timeout)
+
+        def committed(i: int) -> None:
+            metrics.commits += 1
+            metrics.in_order_commits += 1
+            if manager is not None:
+                manager.maybe(i + 1, store, accumulator, metrics)
+                metrics.checkpoints_taken = manager.taken
 
         for i in range(spec.iterations):
             value = spec.produce(i)  # replay for phase-A state evolution
@@ -419,7 +570,7 @@ class ExecutionEngine:
                 if not stale:
                     store.apply(writes)
                     spec.commit(i, result, accumulator)
-                    metrics.commits += 1
+                    committed(i)
                     continue
                 metrics.conflicts += 1
             if spec.speculative:
@@ -430,7 +581,7 @@ class ExecutionEngine:
                 result = spec.work(i, value)
             metrics.serial_reexecutions += 1
             spec.commit(i, result, accumulator)
-            metrics.commits += 1
+            committed(i)
 
     def _teardown(self, producer, processes, done: ProcessChannel) -> None:
         """Normal completion: let children observe shutdown and exit."""

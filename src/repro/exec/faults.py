@@ -14,7 +14,7 @@ stall deadline after which it degrades to sequential execution).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import FrozenSet, Optional
 
 
@@ -32,6 +32,19 @@ class FaultPlan:
     ``producer_crash_at`` — the producer hard-exits before dispatching this
     iteration, exercising the sequential-fallback path.
 
+    The chaos-harness extensions (:mod:`repro.resilience.chaos`) inject
+    misbehaviour *between* healthy execution and hard failure:
+
+    ``conflict_iterations``  — the worker poisons its reported read set so
+    commit-time validation fails (a forced misspeculation; on
+    non-speculative specs it degenerates to a soft fault);
+    ``latency_iterations``   — the worker sleeps ``latency_seconds`` before
+    reporting its result (a channel latency spike);
+    ``duplicate_result_iterations`` — the result message is sent twice,
+    exercising the committer's exactly-once dedup;
+    ``drop_result_iterations``      — the result message is silently lost;
+    recovery rides the hung-task timeout path.
+
     Crashes fire at most once per iteration by construction: a claimed
     iteration is retried *serially* by the committer, where no injection
     applies.
@@ -42,17 +55,25 @@ class FaultPlan:
     hang_iterations: FrozenSet[int] = field(default_factory=frozenset)
     hang_seconds: float = 60.0
     producer_crash_at: Optional[int] = None
+    conflict_iterations: FrozenSet[int] = field(default_factory=frozenset)
+    latency_iterations: FrozenSet[int] = field(default_factory=frozenset)
+    latency_seconds: float = 0.02
+    duplicate_result_iterations: FrozenSet[int] = field(
+        default_factory=frozenset
+    )
+    drop_result_iterations: FrozenSet[int] = field(default_factory=frozenset)
 
     def __post_init__(self):
-        object.__setattr__(
-            self, "crash_iterations", frozenset(self.crash_iterations)
-        )
-        object.__setattr__(
-            self, "error_iterations", frozenset(self.error_iterations)
-        )
-        object.__setattr__(
-            self, "hang_iterations", frozenset(self.hang_iterations)
-        )
+        for name in (
+            "crash_iterations",
+            "error_iterations",
+            "hang_iterations",
+            "conflict_iterations",
+            "latency_iterations",
+            "duplicate_result_iterations",
+            "drop_result_iterations",
+        ):
+            object.__setattr__(self, name, frozenset(getattr(self, name)))
 
     @classmethod
     def default_for(cls, iterations: int) -> "FaultPlan":
@@ -61,14 +82,54 @@ class FaultPlan:
         error = {(2 * iterations) // 3} if iterations > 1 else frozenset()
         return cls(crash_iterations=crash, error_iterations=error - crash)
 
+    @classmethod
+    def seeded(cls, iterations: int, seed: int) -> "FaultPlan":
+        """A small reproducible plan for ``--inject-faults --seed N``.
+
+        One crash and one soft error like :meth:`default_for`, but at
+        seed-chosen iterations, so every injected run is replayable from its
+        printed seed.
+        """
+        import random
+
+        if iterations <= 0:
+            return cls()
+        rng = random.Random(seed)
+        picks = rng.sample(range(iterations), min(2, iterations))
+        crash = {picks[0]}
+        error = {picks[1]} if len(picks) > 1 else set()
+        return cls(crash_iterations=crash, error_iterations=error)
+
     @property
     def any_faults(self) -> bool:
-        return bool(
-            self.crash_iterations
-            or self.error_iterations
-            or self.hang_iterations
-            or self.producer_crash_at is not None
+        return self.injected_fault_count > 0
+
+    @property
+    def injected_fault_count(self) -> int:
+        """Total distinct injections this plan will attempt."""
+        return (
+            len(self.crash_iterations)
+            + len(self.error_iterations)
+            + len(self.hang_iterations)
+            + len(self.conflict_iterations)
+            + len(self.latency_iterations)
+            + len(self.duplicate_result_iterations)
+            + len(self.drop_result_iterations)
+            + (1 if self.producer_crash_at is not None else 0)
         )
+
+    def clamped_to(self, policy: "RobustnessPolicy") -> "FaultPlan":
+        """Bound ``hang_seconds`` by the policy's task timeout (plus a grace
+        margin so the hang is still *detected* as a hang).
+
+        A misconfigured ``hang_seconds`` of minutes against a sub-second
+        ``task_timeout`` would otherwise stall teardown paths toward CI's
+        job ceiling; the engine applies this clamp at start.
+        """
+        ceiling = policy.task_timeout + max(1.0, 4 * policy.poll_interval)
+        if self.hang_seconds <= ceiling:
+            return self
+        return replace(self, hang_seconds=ceiling)
 
 
 class InjectedFault(RuntimeError):

@@ -54,6 +54,19 @@ class EngineMetrics:
     producer_crashed: bool = False
     degraded_to_sequential: bool = False
 
+    # -- resilience: checkpoint/resume -------------------------------------------
+    checkpoints_taken: int = 0
+    #: first iteration executed by this run (non-zero when resumed)
+    resumed_from: Optional[int] = None
+
+    # -- resilience: adaptive speculation throttling -----------------------------
+    throttle_shrinks: int = 0
+    throttle_grows: int = 0
+    #: smallest in-flight window the controller reached (0: throttle off)
+    min_window: int = 0
+    #: window in force when the run ended (0: throttle off)
+    final_window: int = 0
+
     # -- channels ----------------------------------------------------------------
     channel_stats: Dict[str, dict] = field(default_factory=dict)
 
@@ -89,6 +102,7 @@ class EngineMetrics:
                 for stage, seconds in self.stage_seconds.items()
             },
             "commits": self.commits,
+            "in_order_commits": self.in_order_commits,
             "out_of_order_completions": self.out_of_order_completions,
             "duplicates_dropped": self.duplicates_dropped,
             "worker_iterations": {
@@ -105,6 +119,12 @@ class EngineMetrics:
             "retries": self.retries,
             "producer_crashed": self.producer_crashed,
             "degraded_to_sequential": self.degraded_to_sequential,
+            "checkpoints_taken": self.checkpoints_taken,
+            "resumed_from": self.resumed_from,
+            "throttle_shrinks": self.throttle_shrinks,
+            "throttle_grows": self.throttle_grows,
+            "min_window": self.min_window,
+            "final_window": self.final_window,
             "channels": self.channel_stats,
         }
         return data
@@ -143,6 +163,21 @@ class EngineMetrics:
             + (", producer crashed" if self.producer_crashed else "")
             + (", DEGRADED to sequential" if self.degraded_to_sequential else "")
         )
+        resilience_bits = []
+        if self.resumed_from:
+            resilience_bits.append(
+                f"resumed from iteration {self.resumed_from}"
+            )
+        if self.checkpoints_taken:
+            resilience_bits.append(f"{self.checkpoints_taken} checkpoints")
+        if self.throttle_shrinks or self.throttle_grows:
+            resilience_bits.append(
+                f"throttle {self.throttle_shrinks} shrinks / "
+                f"{self.throttle_grows} grows (window min {self.min_window}, "
+                f"final {self.final_window})"
+            )
+        if resilience_bits:
+            lines.append("resilience        " + ", ".join(resilience_bits))
         for name, stats in self.channel_stats.items():
             lines.append(
                 f"channel {name:<9} max occupancy {stats['max_occupancy']}/"

@@ -108,6 +108,27 @@ class CommittedStore:
     def architectural_state(self) -> Dict[Location, Any]:
         return dict(self._values)
 
+    # -- checkpoint support ---------------------------------------------------------
+
+    def export_state(self) -> Tuple[Dict[Location, Any], Dict[Location, int], int]:
+        """(values, versions, commit counter) — everything a checkpoint needs
+        to rebuild this store exactly, version discipline included."""
+        return dict(self._values), dict(self._versions), self._commit_counter
+
+    @classmethod
+    def restore(
+        cls,
+        values: Dict[Location, Any],
+        versions: Dict[Location, int],
+        commit_counter: int,
+    ) -> "CommittedStore":
+        """Rebuild a store from :meth:`export_state` output (resume path)."""
+        store = cls()
+        store._values = dict(values)
+        store._versions = dict(versions)
+        store._commit_counter = commit_counter
+        return store
+
     def __repr__(self) -> str:
         return (
             f"CommittedStore({len(self._values)} locations, "

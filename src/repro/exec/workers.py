@@ -23,6 +23,12 @@ Message protocol (all on the ``done`` channel, tagged tuples):
 
 Per-producer FIFO ordering of :class:`multiprocessing.Queue` guarantees a
 claim is visible before its result or fault.
+
+Speculation throttling: the committer publishes its commit watermark and
+the controller's current window in shared memory; a worker holding
+iteration ``i`` waits (after claiming, so the committer can still recover
+the value) while ``i - watermark >= window``.  The committer exempts gated
+claims from the hung-task timeout.
 """
 
 from __future__ import annotations
@@ -37,6 +43,8 @@ from repro.exec.rollback import Snapshot, WriteBuffer
 
 #: How often an idle stage re-checks the shutdown event (seconds).
 _IDLE_POLL = 0.2
+#: How often a throttle-gated worker re-checks the commit watermark.
+_GATE_POLL = 0.005
 
 
 def producer_main(
@@ -45,15 +53,28 @@ def producer_main(
     produce: Callable[[int], Any],
     fault_plan: Optional[FaultPlan],
     shutdown,
+    start: int = 0,
 ) -> None:
-    """Phase A: run ``produce`` per iteration, push into the work channel."""
+    """Phase A: run ``produce`` per iteration, push into the work channel.
+
+    On resume (``start > 0``) every iteration is still *produced* — stateful
+    producers must evolve deterministically — but only iterations at or past
+    ``start`` are dispatched, and injections keyed below ``start`` are
+    treated as already spent.
+    """
     for i in range(iterations):
-        if fault_plan is not None and fault_plan.producer_crash_at == i:
+        if (
+            fault_plan is not None
+            and fault_plan.producer_crash_at == i
+            and i >= start
+        ):
             work.flush_and_close()
             os._exit(3)
         started = time.monotonic()
         value = produce(i)
         elapsed = time.monotonic() - started
+        if i < start:
+            continue
         while True:
             if shutdown.is_set():
                 return
@@ -74,8 +95,11 @@ def worker_main(
     snapshot: Snapshot,
     fault_plan: Optional[FaultPlan],
     shutdown,
+    watermark=None,
+    window=None,
 ) -> None:
-    """Phase B replica: claim, execute speculatively, report."""
+    """Phase B replica: claim, gate on the throttle window, execute
+    speculatively, report."""
     while True:
         try:
             item = work.get(timeout=_IDLE_POLL)
@@ -95,6 +119,16 @@ def worker_main(
         i, value, a_seconds = item
         done.put(("claim", worker_id, i, value, a_seconds))
 
+        # Throttle gate: hold execution until iteration i enters the
+        # speculative window.  The claim above lets the committer recover
+        # the value even if this process dies while gated.
+        if watermark is not None and window is not None:
+            while (
+                i - watermark.value >= window.value
+                and not shutdown.is_set()
+            ):
+                time.sleep(_GATE_POLL)
+
         if fault_plan is not None:
             if i in fault_plan.crash_iterations:
                 # A hard crash: no exception, no goodbye — only the exit
@@ -106,7 +140,12 @@ def worker_main(
 
         started = time.monotonic()
         try:
-            if fault_plan is not None and i in fault_plan.error_iterations:
+            if fault_plan is not None and (
+                i in fault_plan.error_iterations
+                or (i in fault_plan.conflict_iterations and not speculative)
+            ):
+                # Forced conflicts degenerate to soft faults when there is
+                # no read set to poison: the serial-retry path still runs.
                 raise InjectedFault(f"injected fault at iteration {i}")
             if speculative:
                 buffer = WriteBuffer(snapshot)
@@ -119,4 +158,22 @@ def worker_main(
             done.put(("fault", worker_id, i, repr(error)))
             continue
         elapsed = time.monotonic() - started
-        done.put(("result", worker_id, i, result, reads, writes, elapsed))
+
+        if fault_plan is not None:
+            if i in fault_plan.conflict_iterations and speculative:
+                # Forced misspeculation: report a read of a version that
+                # can never validate, so the committer must roll back and
+                # re-execute serially.
+                reads = dict(reads)
+                reads[("__chaos__", i)] = 0
+            if i in fault_plan.latency_iterations:
+                time.sleep(fault_plan.latency_seconds)
+            if i in fault_plan.drop_result_iterations:
+                continue  # the result message is lost on the wire
+        message = ("result", worker_id, i, result, reads, writes, elapsed)
+        done.put(message)
+        if (
+            fault_plan is not None
+            and i in fault_plan.duplicate_result_iterations
+        ):
+            done.put(message)

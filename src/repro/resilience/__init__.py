@@ -1,0 +1,69 @@
+"""repro.resilience — survive arbitrary fault timing, recover incrementally.
+
+PR 1's engine made misspeculation survivable; this package makes it
+*resumable*, *adaptive*, and *auditable*:
+
+- :mod:`repro.resilience.checkpoint` — the committer periodically freezes
+  the committed prefix (iteration index, committed store, accumulator,
+  counters) so producer death, budget exhaustion, or an engine-level crash
+  resumes from the last checkpoint instead of a cold sequential re-run;
+- :mod:`repro.resilience.throttle`   — an AIMD feedback controller over the
+  speculative window: exponential backoff under misspeculation storms,
+  additive probing back up when they pass — the live-runtime analog of the
+  paper's profile-driven misspeculation-as-serialization;
+- :mod:`repro.resilience.chaos`      — seeded, reproducible randomized
+  fault schedules (crash/hang/soft-fault/forced-conflict/latency/
+  duplicate/drop, worker- and channel-side), every run replayable from its
+  printed seed;
+- :mod:`repro.resilience.invariants` — cross-layer checkers (exactly-once
+  in-order commit, sequential-oracle output fidelity, bounded queue
+  occupancy, monotone checkpoints, metric consistency) that turn any
+  violation into a structured, taxonomized error.
+"""
+
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointConfig,
+    CheckpointError,
+    CheckpointManager,
+    spec_fingerprint,
+)
+from repro.resilience.chaos import (
+    CHAOS_POLICY,
+    ChaosConfig,
+    ChaosReport,
+    chaos_channel_plan,
+    chaos_plan,
+    run_chaos,
+)
+from repro.resilience.invariants import (
+    InvariantError,
+    InvariantKind,
+    InvariantViolation,
+    assert_run,
+    check_checkpoints,
+    check_run,
+)
+from repro.resilience.throttle import SpeculationThrottle, ThrottleConfig
+
+__all__ = [
+    "CHAOS_POLICY",
+    "ChaosConfig",
+    "ChaosReport",
+    "Checkpoint",
+    "CheckpointConfig",
+    "CheckpointError",
+    "CheckpointManager",
+    "InvariantError",
+    "InvariantKind",
+    "InvariantViolation",
+    "SpeculationThrottle",
+    "ThrottleConfig",
+    "assert_run",
+    "chaos_channel_plan",
+    "chaos_plan",
+    "check_checkpoints",
+    "check_run",
+    "run_chaos",
+    "spec_fingerprint",
+]

@@ -1,0 +1,311 @@
+"""The seeded chaos harness: randomized, reproducible fault schedules.
+
+``FaultPlan.default_for`` hand-picks two iterations; real speculative
+runtimes must survive *arbitrary* fault timing.  :func:`chaos_plan`
+generalizes the plan into a randomized schedule drawn from one integer
+seed — worker crashes, hangs, soft faults, forced conflicts, result-latency
+spikes, duplicated results, dropped results, and (optionally) work-channel
+latency/duplicate/drop injection — every run replayable bit-for-bit from
+its printed seed.
+
+:func:`run_chaos` is the harness proper: it times the sequential oracle,
+runs the engine under the seeded schedule (with checkpointing and adaptive
+throttling live), then audits the run with the cross-layer invariant
+checkers (:mod:`repro.resilience.invariants`).  Any violation surfaces as a
+structured, taxonomized :class:`~repro.resilience.invariants.InvariantError`
+— never a silent divergence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Any, Callable, List, Optional
+
+from repro.exec.channels import ChannelChaos
+from repro.exec.faults import FaultPlan, RobustnessPolicy
+from repro.resilience.checkpoint import CheckpointConfig
+from repro.resilience.invariants import (
+    InvariantError,
+    InvariantViolation,
+    check_run,
+)
+from repro.resilience.throttle import ThrottleConfig
+
+#: Fast-recovery policy for chaos runs: sub-second hang detection, a respawn
+#: budget sized for the default injection mix, tight polling.
+CHAOS_POLICY = RobustnessPolicy(
+    task_timeout=1.0,
+    stall_timeout=20.0,
+    max_respawns=8,
+    poll_interval=0.01,
+)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """How much of each misbehaviour one chaos run injects.
+
+    Worker-side counts are iterations (disjointly sampled); channel-side
+    counts are put indices on the phase-A work channel.  ``drops`` lose a
+    worker's *result* message (recovered via the hung-task timeout);
+    ``channel_drops`` lose a work item entirely, which forces graceful
+    degradation — off by default, enabled for degradation-path tests.
+    """
+
+    crashes: int = 2
+    hangs: int = 1
+    soft_faults: int = 5
+    conflicts: int = 5
+    latencies: int = 4
+    duplicates: int = 3
+    drops: int = 1
+    producer_crash: bool = False
+    channel_latencies: int = 2
+    channel_duplicates: int = 1
+    channel_drops: int = 0
+    latency_seconds: float = 0.02
+    hang_seconds: float = 30.0
+
+    @property
+    def worker_total(self) -> int:
+        return (
+            self.crashes
+            + self.hangs
+            + self.soft_faults
+            + self.conflicts
+            + self.latencies
+            + self.duplicates
+            + self.drops
+        )
+
+    @property
+    def total(self) -> int:
+        return (
+            self.worker_total
+            + self.channel_latencies
+            + self.channel_duplicates
+            + self.channel_drops
+            + (1 if self.producer_crash else 0)
+        )
+
+    @classmethod
+    def sized(cls, total: int) -> "ChaosConfig":
+        """Scale the default mix to roughly ``total`` injections."""
+        base = cls()
+        factor = total / base.total
+        scaled = {
+            name: max(0, round(getattr(base, name) * factor))
+            for name in (
+                "crashes",
+                "hangs",
+                "soft_faults",
+                "conflicts",
+                "latencies",
+                "duplicates",
+                "drops",
+                "channel_latencies",
+                "channel_duplicates",
+            )
+        }
+        if sum(scaled.values()) == 0:
+            scaled["soft_faults"] = max(1, total)
+        return replace(base, **scaled)
+
+    def fitted(self, iterations: int) -> "ChaosConfig":
+        """Scale counts down so worker-side injections fit the run.
+
+        At most half the iterations carry a worker-side injection, keeping
+        disjoint sampling possible and the run recognizably a pipeline
+        rather than pure fault traffic.
+        """
+        budget = max(1, iterations // 2)
+        if self.worker_total <= budget:
+            return self
+        scale = budget / self.worker_total
+        scaled = {
+            name: int(getattr(self, name) * scale)
+            for name in (
+                "crashes",
+                "hangs",
+                "soft_faults",
+                "conflicts",
+                "latencies",
+                "duplicates",
+                "drops",
+            )
+        }
+        if sum(scaled.values()) == 0:
+            scaled["soft_faults"] = 1
+        return replace(self, **scaled)
+
+
+def chaos_plan(
+    iterations: int, seed: int, config: Optional[ChaosConfig] = None
+) -> FaultPlan:
+    """A reproducible randomized :class:`FaultPlan` for one run."""
+    config = (config or ChaosConfig()).fitted(iterations)
+    rng = random.Random(seed)
+    picks = rng.sample(
+        range(iterations), min(iterations, config.worker_total)
+    )
+    cursor = 0
+
+    def draw(count: int) -> frozenset:
+        nonlocal cursor
+        chunk = frozenset(picks[cursor : cursor + count])
+        cursor += len(chunk)
+        return chunk
+
+    crash = draw(config.crashes)
+    hang = draw(config.hangs)
+    error = draw(config.soft_faults)
+    conflict = draw(config.conflicts)
+    latency = draw(config.latencies)
+    duplicate = draw(config.duplicates)
+    drop = draw(config.drops)
+    producer_crash_at = (
+        rng.randrange(iterations) if config.producer_crash else None
+    )
+    return FaultPlan(
+        crash_iterations=crash,
+        error_iterations=error,
+        hang_iterations=hang,
+        hang_seconds=config.hang_seconds,
+        producer_crash_at=producer_crash_at,
+        conflict_iterations=conflict,
+        latency_iterations=latency,
+        latency_seconds=config.latency_seconds,
+        duplicate_result_iterations=duplicate,
+        drop_result_iterations=drop,
+    )
+
+
+def chaos_channel_plan(
+    iterations: int, seed: int, config: Optional[ChaosConfig] = None
+) -> Optional[ChannelChaos]:
+    """Work-channel chaos for the same seed (distinct stream offset)."""
+    config = (config or ChaosConfig()).fitted(iterations)
+    total = (
+        config.channel_latencies
+        + config.channel_duplicates
+        + config.channel_drops
+    )
+    if total == 0 or iterations == 0:
+        return None
+    rng = random.Random(f"{seed}/channel")
+    picks = rng.sample(range(iterations), min(iterations, total))
+    latencies = picks[: config.channel_latencies]
+    duplicates = picks[
+        config.channel_latencies : config.channel_latencies
+        + config.channel_duplicates
+    ]
+    drops = picks[config.channel_latencies + config.channel_duplicates :]
+    return ChannelChaos(
+        latency_by_index={
+            index: config.latency_seconds for index in latencies
+        },
+        duplicate_indices=frozenset(duplicates),
+        drop_indices=frozenset(drops),
+    )
+
+
+@dataclass
+class ChaosReport:
+    """One audited chaos run: the seed, what was injected, what held."""
+
+    seed: int
+    injected_faults: int
+    channel_injections: int
+    result: Any  # EngineResult
+    sequential_output: Any
+    violations: List[InvariantViolation]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def output_identical(self) -> bool:
+        return self.result.output == self.sequential_output
+
+    def raise_on_violation(self) -> None:
+        if self.violations:
+            raise InvariantError(self.violations)
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "injected_faults": self.injected_faults,
+            "channel_injections": self.channel_injections,
+            "ok": self.ok,
+            "output_identical": self.output_identical,
+            "violations": [str(violation) for violation in self.violations],
+            "metrics": self.result.metrics.to_json(),
+        }
+
+    def format_summary(self) -> str:
+        status = "OK" if self.ok else "INVARIANT VIOLATIONS"
+        lines = [
+            f"chaos: seed {self.seed}, {self.injected_faults} worker-side + "
+            f"{self.channel_injections} channel-side injections -> {status}",
+            f"output            "
+            + (
+                "bit-identical to sequential oracle"
+                if self.output_identical
+                else "DIVERGED from sequential oracle"
+            ),
+        ]
+        lines += [f"  {violation}" for violation in self.violations]
+        return "\n".join(lines)
+
+
+def run_chaos(
+    spec_factory: Callable[[], Any],
+    seed: int,
+    *,
+    workers: int = 3,
+    capacity: int = 8,
+    config: Optional[ChaosConfig] = None,
+    policy: Optional[RobustnessPolicy] = None,
+    checkpoint_config: Optional[CheckpointConfig] = None,
+    throttle_config: Optional[ThrottleConfig] = None,
+    start_method: Optional[str] = None,
+) -> ChaosReport:
+    """One seeded chaos run, audited end to end.
+
+    ``spec_factory`` must build a fresh :class:`PipelineSpec` per call
+    (stateful phase-A producers!); the sequential oracle and the engine
+    each get their own.
+    """
+    # Imported here: repro.exec.engine imports this package at module load.
+    from repro.exec.engine import ExecutionEngine, run_sequential
+
+    oracle_output, oracle_seconds = run_sequential(spec_factory())
+    spec = spec_factory()
+    config = (config or ChaosConfig()).fitted(spec.iterations)
+    plan = chaos_plan(spec.iterations, seed, config)
+    channel_chaos = chaos_channel_plan(spec.iterations, seed, config)
+    engine = ExecutionEngine(
+        workers=workers,
+        capacity=capacity,
+        policy=policy or CHAOS_POLICY,
+        fault_plan=plan,
+        start_method=start_method,
+        throttle=throttle_config or ThrottleConfig(),
+        checkpoints=checkpoint_config or CheckpointConfig(),
+        channel_chaos=channel_chaos,
+    )
+    result = engine.run(spec)
+    result.metrics.sequential_seconds = oracle_seconds
+    violations = check_run(result, sequential_output=oracle_output)
+    return ChaosReport(
+        seed=seed,
+        injected_faults=plan.injected_fault_count,
+        channel_injections=(
+            channel_chaos.injection_count if channel_chaos else 0
+        ),
+        result=result,
+        sequential_output=oracle_output,
+        violations=violations,
+    )

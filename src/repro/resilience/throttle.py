@@ -1,0 +1,110 @@
+"""Adaptive speculation throttling: the runtime feedback analog of the
+paper's profile-driven misspeculation-as-serialization.
+
+The simulator *predicts* misspeculation cost from profiles and serializes
+accordingly; the live engine cannot see the future, so it watches the
+committed stream instead.  :class:`SpeculationThrottle` observes, per
+commit, whether the commit required a rollback (conflict) or a fault-driven
+serial retry, and controls the **speculative window** — how many iterations
+past the commit frontier workers may execute.  Under a misspeculation storm
+the window shrinks multiplicatively (exponential backoff toward serial
+execution, window 1 = the sequential model); when the storm passes it
+probes back up additively.  Classic AIMD, applied to speculation depth.
+
+Enforcement is cooperative and cheap: the engine publishes the commit
+watermark and the current window in shared memory; a worker holding
+iteration ``i`` waits while ``i - watermark >= window`` before executing.
+Gated claims are exempted from the hung-task timeout (the engine refreshes
+their claim clocks), so throttling can never be mistaken for a hang.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ThrottleConfig:
+    """Controller constants.
+
+    ``observation``    — commits per decision epoch;
+    ``high_watermark`` — misspeculation rate at/above which the window
+    backs off multiplicatively (``backoff`` factor);
+    ``low_watermark``  — rate at/below which the window probes up by
+    ``probe_step``;
+    ``min_window``     — the serial floor (1 = one in-flight iteration,
+    i.e. no speculation beyond the commit frontier).
+    """
+
+    enabled: bool = True
+    observation: int = 8
+    high_watermark: float = 0.5
+    low_watermark: float = 0.125
+    backoff: float = 0.5
+    probe_step: int = 1
+    min_window: int = 1
+
+    def __post_init__(self):
+        if self.observation < 1:
+            raise ValueError("observation epoch must be >= 1")
+        if not 0.0 < self.backoff < 1.0:
+            raise ValueError("backoff must be in (0, 1)")
+        if self.min_window < 1:
+            raise ValueError("min_window must be >= 1")
+        if self.probe_step < 1:
+            raise ValueError("probe_step must be >= 1")
+        if not 0.0 <= self.low_watermark <= self.high_watermark <= 1.0:
+            raise ValueError(
+                "need 0 <= low_watermark <= high_watermark <= 1"
+            )
+
+
+class SpeculationThrottle:
+    """AIMD controller over the speculative window.
+
+    ``record(misspeculated)`` is called once per commit by the committer;
+    it returns the new window when the epoch's decision changed it, else
+    ``None`` — the engine publishes changes to the workers' shared value.
+    """
+
+    def __init__(self, config: ThrottleConfig, max_window: int) -> None:
+        if max_window < config.min_window:
+            raise ValueError("max_window must be >= min_window")
+        self.config = config
+        self.max_window = max_window
+        self.window = max_window
+        self.min_window_seen = max_window
+        self.shrinks = 0
+        self.grows = 0
+        self._epoch_events = 0
+        self._epoch_bad = 0
+
+    def record(self, misspeculated: bool) -> "int | None":
+        if not self.config.enabled:
+            return None
+        self._epoch_events += 1
+        if misspeculated:
+            self._epoch_bad += 1
+        if self._epoch_events < self.config.observation:
+            return None
+        rate = self._epoch_bad / self._epoch_events
+        self._epoch_events = 0
+        self._epoch_bad = 0
+        new_window = self.window
+        if rate >= self.config.high_watermark:
+            new_window = max(
+                self.config.min_window, int(self.window * self.config.backoff)
+            )
+        elif rate <= self.config.low_watermark:
+            new_window = min(
+                self.max_window, self.window + self.config.probe_step
+            )
+        if new_window == self.window:
+            return None
+        if new_window < self.window:
+            self.shrinks += 1
+        else:
+            self.grows += 1
+        self.window = new_window
+        self.min_window_seen = min(self.min_window_seen, new_window)
+        return new_window
