@@ -1,0 +1,125 @@
+"""Raw transport throughput: what batching buys on the wire.
+
+Pushes a fixed item count through one :class:`ProcessChannel` at batch
+sizes 1 / 8 / 64 — once with small work-item-shaped tuples (the pickle
+fast path: one ``HIGHEST_PROTOCOL`` dump per frame) and once with
+homogeneous ``bytes`` payloads (the raw mode: no per-item pickle at all).
+Items/sec and per-item microseconds land in ``benchmarks/results.json``;
+the CI perf job replays this file with ``PERF_GATE=1`` and fails on
+regression against the recorded baseline.
+
+The producer runs on the calling thread and a consumer thread drains
+concurrently, so the measurement includes the real queue wakeups, feeder
+handoffs, and shared-counter traffic the engine pays — per item at batch
+size 1, per frame above it.
+"""
+
+import os
+import threading
+import time
+
+from repro.exec.channels import ProcessChannel
+
+ITEMS = 8000
+BATCH_SIZES = [1, 8, 64]
+#: Hard perf assertions run only in the CI perf job (and wherever a
+#: developer exports PERF_GATE=1); plain test runs assert sanity only.
+PERF_GATE = os.environ.get("PERF_GATE") == "1"
+
+
+def _tuple_payload(i):
+    return (i, i * 3, 0.000125)
+
+
+def _bytes_payload(i):
+    return (i % 251).to_bytes(1, "big") * 64
+
+
+def _throughput(batch_size: int, payload) -> float:
+    """Items/sec through one channel with a live consumer thread."""
+    channel = ProcessChannel(
+        capacity=256, batch_size=batch_size, flush_interval=0.05
+    )
+    received = 0
+    failure = []
+
+    def consume():
+        nonlocal received
+        try:
+            while received < ITEMS:
+                received += len(
+                    channel.get_many(max(batch_size, 1), timeout=10.0)
+                )
+        except Exception as error:  # surfaces in the main thread's assert
+            failure.append(error)
+
+    consumer = threading.Thread(target=consume, daemon=True)
+    started = time.perf_counter()
+    consumer.start()
+    for i in range(ITEMS):
+        channel.put(payload(i), timeout=10.0)
+    channel.flush(timeout=10.0)
+    consumer.join(timeout=30.0)
+    elapsed = time.perf_counter() - started
+    channel.close()
+    assert not failure, f"consumer died: {failure[0]!r}"
+    assert received == ITEMS
+    return ITEMS / elapsed
+
+
+def test_channel_throughput(benchmark, results_sink):
+    measured = {"tuples": {}, "raw_bytes": {}}
+
+    def sweep():
+        for batch_size in BATCH_SIZES:
+            measured["tuples"][batch_size] = _throughput(
+                batch_size, _tuple_payload
+            )
+            measured["raw_bytes"][batch_size] = _throughput(
+                batch_size, _bytes_payload
+            )
+        return measured
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    for mode, curve in measured.items():
+        series = "  ".join(
+            f"b{batch}:{rate:,.0f}/s ({1e6 / rate:.1f}us)"
+            for batch, rate in sorted(curve.items())
+        )
+        print(f"\nchannel/{mode:<9} {series}")
+
+    results_sink["channel_throughput"] = {
+        "items": ITEMS,
+        "capacity": 256,
+        "items_per_sec": {
+            mode: {
+                str(batch): round(rate, 1)
+                for batch, rate in curve.items()
+            }
+            for mode, curve in measured.items()
+        },
+        "per_item_us": {
+            mode: {
+                str(batch): round(1e6 / rate, 2)
+                for batch, rate in curve.items()
+            }
+            for mode, curve in measured.items()
+        },
+        "speedup_batch64_vs_1": {
+            mode: round(curve[64] / curve[1], 3)
+            for mode, curve in measured.items()
+        },
+    }
+
+    for mode, curve in measured.items():
+        if PERF_GATE:
+            assert curve[64] >= 2.0 * curve[1], (
+                f"{mode}: batch 64 must be >=2x batch 1, got "
+                f"{curve[64] / curve[1]:.2f}x"
+            )
+        else:
+            assert curve[64] >= 0.9 * curve[1], (
+                f"{mode}: batching made the transport slower "
+                f"({curve[64] / curve[1]:.2f}x)"
+            )

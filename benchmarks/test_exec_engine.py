@@ -17,7 +17,7 @@ import time
 import pytest
 
 from repro.core.report import CalibrationRow, format_calibration_table
-from repro.exec import ExecutionEngine, run_sequential
+from repro.exec import ExecutionEngine, PipelineSpec, run_sequential
 from repro.workloads.bzip2_w import Bzip2Workload
 
 from conftest import format_series
@@ -116,3 +116,109 @@ def test_exec_engine_wall_clock(benchmark, evaluations, results_sink):
         f"expected >=1.3x at 4 workers on {cpus} CPUs, got {curve[4]}"
     )
     assert curve[2] > curve[1] * 0.9  # 2 workers should not be slower
+
+
+# -- the fast path: batched transport on a communication-bound pipeline ------------
+
+#: Enough trivial iterations that per-item transport cost dominates the
+#: run (and process spawn-up does not) — exactly the regime the batched
+#: framed transport exists for.
+FAST_ITERATIONS = 12000
+FAST_BATCH_SIZES = [1, 8, 64]
+#: Hard perf assertions (the >=2x fast-path claim) run in the CI perf job.
+PERF_GATE = os.environ.get("PERF_GATE") == "1"
+
+
+def fast_produce(i):
+    return (i, i & 7)
+
+
+def fast_work(i, value):
+    return value[1] ^ (i & 3)
+
+
+def fast_commit(i, result, acc):
+    acc["sum"] = acc.get("sum", 0) + result
+
+
+def fast_finalize(acc):
+    return acc.get("sum", 0)
+
+
+def fast_spec():
+    return PipelineSpec(
+        iterations=FAST_ITERATIONS,
+        produce=fast_produce,
+        work=fast_work,
+        commit=fast_commit,
+        finalize=fast_finalize,
+    )
+
+
+def test_exec_fast_path_batching(benchmark, results_sink):
+    """Items/sec through the whole engine at batch sizes 1 / 8 / 64.
+
+    The work is deliberately negligible: at batch size 1 every iteration
+    pays a pickle, a pipe write, and per-item counter locks on each of the
+    two channels, so the run measures communication overhead — the cost the
+    framed transport, lock-light counters, and chunked dispatch amortize.
+    """
+    sequential_output, _ = run_sequential(fast_spec())
+    measured = {}
+
+    def sweep():
+        for batch_size in FAST_BATCH_SIZES:
+            engine = ExecutionEngine(
+                workers=2, capacity=64, batch_size=batch_size
+            )
+            result = engine.run(fast_spec())
+            assert result.output == sequential_output, (
+                f"engine output diverged at batch size {batch_size}"
+            )
+            measured[batch_size] = result.metrics
+        return measured
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rates = {
+        batch: FAST_ITERATIONS / metrics.wall_seconds
+        for batch, metrics in measured.items()
+    }
+    series = "  ".join(
+        f"b{batch}:{rate:,.0f}/s ({1e6 / rate:.0f}us)"
+        for batch, rate in sorted(rates.items())
+    )
+    print(f"\nexec/fast-path {series}  on {_cpu_count()} CPU(s)")
+
+    results_sink["exec_fast_path"] = {
+        "iterations": FAST_ITERATIONS,
+        "workers": 2,
+        "capacity": 64,
+        "cpus": _cpu_count(),
+        "items_per_sec": {
+            str(batch): round(rate, 1) for batch, rate in rates.items()
+        },
+        "per_item_us": {
+            str(batch): round(1e6 / rate, 2) for batch, rate in rates.items()
+        },
+        "wall_seconds": {
+            str(batch): round(metrics.wall_seconds, 3)
+            for batch, metrics in measured.items()
+        },
+        "work_channel_frames": {
+            str(batch): metrics.channel_stats["work"]["flushes"]
+            for batch, metrics in measured.items()
+        },
+        "speedup_batch64_vs_1": round(rates[64] / rates[1], 3),
+    }
+
+    # The fast-path claim: batching wins >=2x on communication-bound work.
+    if PERF_GATE:
+        assert rates[64] >= 2.0 * rates[1], (
+            f"fast path must be >=2x at batch 64, got "
+            f"{rates[64] / rates[1]:.2f}x"
+        )
+    else:
+        assert rates[64] >= 0.9 * rates[1], (
+            f"batching made the engine slower ({rates[64] / rates[1]:.2f}x)"
+        )

@@ -75,6 +75,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="inter-process channel capacity (default 8)",
     )
     exec_parser.add_argument(
+        "--batch-size", type=int, default=16,
+        help="transport batch size: items carried per channel frame "
+             "(default 16; 1 = classic unbatched wire format)",
+    )
+    exec_parser.add_argument(
+        "--flush-interval", type=float, default=0.005,
+        help="latency bound in seconds before a partial frame is flushed "
+             "(default 0.005)",
+    )
+    exec_parser.add_argument(
         "--inject-faults", action="store_true",
         help="kill one worker mid-task and raise in another, proving "
              "recovery; the plan is drawn from --seed (printed, so any run "
@@ -207,6 +217,8 @@ def _run_chaos(args) -> int:
         capacity=args.capacity,
         config=ChaosConfig.sized(args.chaos),
         checkpoint_config=checkpoint_config,
+        batch_size=args.batch_size,
+        flush_interval=args.flush_interval,
     )
     print(report.format_summary())
     print(report.result.metrics.format_summary())
@@ -250,6 +262,8 @@ def _run_exec(args) -> int:
         fault_plan=fault_plan,
         throttle=ThrottleConfig(enabled=not args.no_throttle),
         checkpoints=checkpoint_config,
+        batch_size=args.batch_size,
+        flush_interval=args.flush_interval,
     )
     result = engine.run(spec, resume_from=args.resume)
     result.metrics.sequential_seconds = sequential_seconds

@@ -17,7 +17,13 @@ calibrate the simulator against measured wall clock.
 - :mod:`repro.exec.metrics`  — the observability record of one run.
 """
 
-from repro.exec.channels import ChannelChaos, ProcessChannel
+from repro.exec.channels import (
+    ChannelChaos,
+    ChannelTimeout,
+    ProcessChannel,
+    decode_frame,
+    encode_frame,
+)
 from repro.exec.engine import (
     EngineResult,
     ExecutionEngine,
@@ -31,7 +37,10 @@ from repro.exec.rollback import CommittedStore, WriteBuffer
 
 __all__ = [
     "ChannelChaos",
+    "ChannelTimeout",
     "CommittedStore",
+    "decode_frame",
+    "encode_frame",
     "EngineMetrics",
     "EngineResult",
     "ExecutionEngine",

@@ -6,40 +6,118 @@ produce *blocks* while the channel is full and a consume *blocks* while it
 is empty — the synchronization-array behaviour the simulator models on its
 256 32-entry queues, realized on real OS pipes.
 
-The transport is :class:`multiprocessing.Queue` (which already provides the
-bounded blocking discipline); the wrapper adds what the engine's
-observability layer needs: produce/consume counters in shared memory and an
-occupancy-sampling hook, since exact occupancy tracking across processes
-would serialize the very parallelism the engine exists to demonstrate.
+The transport is :class:`multiprocessing.Queue`; the wrapper adds what the
+engine needs on top:
+
+**Batched framed transport (the fast path).**  The paper's synchronization
+array moves a value between cores in a handful of cycles; a naive
+``Queue.put`` per work item instead pays a pickle, a pipe write, and two
+shared-memory lock acquisitions per item, so small-payload pipelines are
+dominated by communication overhead.  A channel constructed with
+``batch_size > 1`` therefore *frames* its traffic: producers accumulate up
+to ``batch_size`` items and flush them as one frame — a single serialized
+payload, one pipe round-trip — when the batch fills, when ``flush_interval``
+seconds have passed since the first buffered item (the latency bound), or
+when the producer explicitly flushes (on STOP, before blocking waits, and
+at close).  Consumers unframe transparently: :meth:`get` still hands back
+one item at a time, in order, so the committer, throttle watermarks, chaos
+schedules, and exactly-once dedup all keep their per-item semantics.
+
+Frames are serialized once with ``pickle.dumps(protocol=HIGHEST_PROTOCOL)``
+so the queue's feeder only re-pickles an opaque bytes blob; homogeneous
+``bytes`` payloads skip pickle entirely via a length-prefixed raw mode.
+
+**Capacity is counted in items, not frames.**  The bounded-queue invariant
+("no channel ever observed above its 32-entry capacity") must survive
+batching, so flow control is credit-based on the shared produce/consume
+counters: a flush blocks while ``produces - consumes + frame_len`` would
+exceed ``capacity``.  :meth:`sample_occupancy` likewise reports
+item-granular occupancy, never frames.
+
+**Lock-light counters.**  Shared produce/consume counters are updated once
+per *frame* (one lock acquisition carries up to ``batch_size`` items)
+instead of once per item.
+
+Chaos decisions (:class:`ChannelChaos`) are keyed by *item* index and are
+applied exactly once, when the item is accepted into the send buffer — so a
+flush that times out and is retried can never re-apply a latency sleep or
+re-enqueue the first copy of a duplicated put.  Consequently a
+:class:`ChannelTimeout` from :meth:`put`/:meth:`put_many` means *accepted
+but not yet delivered*: retry with :meth:`flush`, not by re-putting the
+item.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import queue as _queue_module
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Optional
+from typing import Any, Dict, FrozenSet, List, Optional
 
 #: Sentinel that survives pickling with identity-free equality: workers
 #: compare by value, so the producer's copy and the worker's copy agree.
+#: STOP is never buried mid-frame: putting it flushes the batch first and
+#: sends the sentinel as its own unframed message.
 STOP = ("__repro.exec.stop__",)
+
+#: Frame tags.  Payload items in this engine are protocol tuples keyed by
+#: small ints/strings, so collision with user data is not a practical
+#: concern (and is documented: do not send 2/3-tuples led by these tags).
+_FRAME_TAG = "__repro.exec.frame__"
+_RAW_TAG = "__repro.exec.frame.raw__"
+
+#: How often a credit-starved flush re-checks the consume counter.
+_CREDIT_POLL = 0.001
 
 
 class ChannelTimeout(Exception):
-    """A bounded get/put did not complete within its timeout."""
+    """A bounded get/put/flush did not complete within its timeout."""
+
+
+def encode_frame(items: List[Any]) -> tuple:
+    """Serialize ``items`` into one frame payload.
+
+    Homogeneous ``bytes`` payloads use a length-prefixed raw concatenation
+    (no pickle of the items at all); everything else is pickled once at
+    ``HIGHEST_PROTOCOL`` so the queue's feeder thread only copies an opaque
+    blob instead of re-walking the object graph.
+    """
+    if len(items) > 1 and all(type(item) is bytes for item in items):
+        return (_RAW_TAG, tuple(len(item) for item in items), b"".join(items))
+    return (_FRAME_TAG, pickle.dumps(list(items), pickle.HIGHEST_PROTOCOL))
+
+
+def decode_frame(obj: Any) -> Optional[List[Any]]:
+    """The inverse of :func:`encode_frame`; ``None`` for unframed items."""
+    if type(obj) is tuple:
+        if len(obj) == 2 and obj[0] == _FRAME_TAG and type(obj[1]) is bytes:
+            return pickle.loads(obj[1])
+        if len(obj) == 3 and obj[0] == _RAW_TAG:
+            _, lengths, blob = obj
+            items: List[Any] = []
+            offset = 0
+            for length in lengths:
+                items.append(blob[offset : offset + length])
+                offset += length
+            return items
+    return None
 
 
 @dataclass(frozen=True)
 class ChannelChaos:
-    """Put-side misbehaviour for the chaos harness, keyed by put index.
+    """Put-side misbehaviour for the chaos harness, keyed by item index.
 
-    Indices count this *process's* puts on the channel, so schedules are
-    deterministic on single-producer channels (the engine applies chaos to
-    the phase-A work channel only).  A dropped put vanishes silently — the
-    committer recovers through its stall/degradation path; a duplicated put
-    exercises the exactly-once commit dedup; a delayed put is a latency
-    spike on the wire.
+    Indices count this *process's* payload items on the channel, so
+    schedules are deterministic on single-producer channels (the engine
+    applies chaos to the phase-A work channel only).  A dropped item
+    vanishes silently — the committer recovers through its
+    stall/degradation path; a duplicated item exercises the exactly-once
+    commit dedup; a delayed item is a latency spike on the wire.  Decisions
+    are applied exactly once per index, when the item enters the send
+    buffer, so timed-out flush retries are idempotent.
     """
 
     latency_by_index: Dict[int, float] = field(default_factory=dict)
@@ -65,7 +143,8 @@ class ChannelChaos:
 
 
 class ProcessChannel:
-    """A bounded, blocking, cross-process FIFO with occupancy statistics."""
+    """A bounded, blocking, cross-process FIFO with batched framed transport
+    and item-granular occupancy statistics."""
 
     def __init__(
         self,
@@ -73,60 +152,224 @@ class ProcessChannel:
         name: str = "",
         ctx=None,
         chaos: Optional[ChannelChaos] = None,
+        batch_size: int = 1,
+        flush_interval: float = 0.005,
     ) -> None:
         if capacity < 1:
             raise ValueError("channel capacity must be positive")
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        if flush_interval <= 0:
+            raise ValueError("flush interval must be positive")
         ctx = ctx or multiprocessing.get_context()
         self.capacity = capacity
+        #: Frames never outnumber their items, so a frame-count maxsize of
+        #: ``capacity`` can never bound tighter than the item credit does;
+        #: the credit check below is the real full/empty discipline.
+        self.batch_size = min(batch_size, capacity)
+        self.flush_interval = flush_interval
         self.name = name
         self.chaos = chaos
         self._put_index = 0  # per-process; see ChannelChaos determinism note
         self._queue = ctx.Queue(maxsize=capacity)
         self._produces = ctx.Value("L", 0)
         self._consumes = ctx.Value("L", 0)
+        self._flushes = ctx.Value("L", 0)
+        self._serialize_seconds = ctx.Value("d", 0.0)
+        self._serialize_local = 0.0
+        self._send_buffer: List[Any] = []
+        self._send_since: Optional[float] = None
+        self._recv: deque = deque()
         self.max_occupancy_seen = 0
         self.occupancy_samples = 0
         self.occupancy_total = 0
 
-    def put(self, item: Any, timeout: Optional[float] = None) -> None:
-        """Produce ``item``; block while full (raise on timeout, if given)."""
-        # The index advances only once the put resolves (success or drop):
-        # producers retry timed-out puts, and a retry must replay the same
-        # chaos decision rather than burn a fresh index.
+    # -- produce side -----------------------------------------------------------
+
+    def _append(self, item: Any) -> None:
+        """Accept one item into the send buffer, applying (and thereby
+        memoizing) its chaos decision exactly once."""
         index = self._put_index
+        self._put_index = index + 1
+        copies = 1
         chaos = self.chaos
-        repeats = 1
         if chaos is not None:
             if index in chaos.drop_indices:
-                self._put_index = index + 1
                 return
             delay = chaos.latency_by_index.get(index)
             if delay:
                 time.sleep(delay)
             if index in chaos.duplicate_indices:
-                repeats = 2
-        for _ in range(repeats):
-            try:
-                self._queue.put(item, block=True, timeout=timeout)
-            except _queue_module.Full:
-                raise ChannelTimeout(
-                    f"channel {self.name or id(self)} full for {timeout}s"
-                ) from None
+                copies = 2
+        for _ in range(copies):
+            self._send_buffer.append(item)
+        if self._send_since is None:
+            self._send_since = time.monotonic()
+
+    def put_buffered(self, item: Any) -> None:
+        """Accept ``item`` without flushing — the chunk-building primitive.
+
+        Never blocks; the caller decides when to :meth:`flush` (the engine's
+        producer grows its chunk adaptively and flushes per chunk).
+        """
+        self._append(item)
+
+    def put(self, item: Any, timeout: Optional[float] = None) -> None:
+        """Produce ``item``; block while the channel is full.
+
+        With ``batch_size == 1`` every put flushes immediately (the classic
+        unbatched wire format).  Otherwise the item joins the current batch,
+        which flushes when full or when the latency bound expires.  On
+        :class:`ChannelTimeout` the item remains accepted in the send
+        buffer — retry with :meth:`flush`, never by re-putting.
+        """
+        if item == STOP:
+            self.flush(timeout=timeout)
+            self._send_frame([STOP], self._deadline(timeout), framed=False)
+            return
+        self._append(item)
+        if self.batch_size == 1 or len(self._send_buffer) >= self.batch_size:
+            self.flush(timeout=timeout, partial=self.batch_size == 1)
+        elif self.flush_due():
+            self.flush(timeout=timeout)
+
+    def put_many(self, items: List[Any], timeout: Optional[float] = None) -> None:
+        """Produce ``items`` as (a) whole frame(s) — one chunk dispatch.
+
+        All items are accepted (chaos applied per item) before the flush, so
+        a timeout leaves them pending rather than half-applied.
+        """
+        for item in items:
+            self._append(item)
+        self.flush(timeout=timeout)
+
+    @property
+    def pending_items(self) -> int:
+        """Items accepted but not yet flushed to the transport."""
+        return len(self._send_buffer)
+
+    def flush_due(self) -> bool:
+        """Has the latency bound expired on the oldest buffered item?"""
+        return (
+            self._send_since is not None
+            and time.monotonic() - self._send_since >= self.flush_interval
+        )
+
+    @staticmethod
+    def _deadline(timeout: Optional[float]) -> Optional[float]:
+        return None if timeout is None else time.monotonic() + timeout
+
+    def flush(self, timeout: Optional[float] = None, partial: bool = True) -> None:
+        """Push buffered items to the transport as frames of ``batch_size``.
+
+        ``partial=False`` sends only full frames (leaving a short remainder
+        buffered for the next batch); the default drains everything.  Raises
+        :class:`ChannelTimeout` if item credit does not free up in time —
+        the unsent items stay buffered and a later flush retries them
+        without re-applying chaos.
+        """
+        deadline = self._deadline(timeout)
+        buffer = self._send_buffer
+        while buffer:
+            count = min(len(buffer), self.batch_size)
+            if count < self.batch_size and not partial:
+                return
+            self._send_frame(buffer[:count], deadline, framed=count > 1)
+            del buffer[:count]
+        self._send_since = None
+
+    def _send_frame(
+        self, items: List[Any], deadline: Optional[float], framed: bool
+    ) -> None:
+        if framed:
+            started = time.perf_counter()
+            payload = encode_frame(items)
+            self._serialize_local += time.perf_counter() - started
+        else:
+            payload = items[0]
+        self._acquire_credit(len(items), deadline)
+        try:
+            # Credit guarantees a frame slot (frames <= items <= capacity),
+            # so this put cannot block on maxsize in practice; the timeout
+            # is a defensive bound against a torn-down queue.
+            self._queue.put(payload, block=True, timeout=5.0)
+        except _queue_module.Full:
             with self._produces.get_lock():
-                self._produces.value += 1
-        self._put_index = index + 1
+                self._produces.value -= len(items)
+            raise ChannelTimeout(
+                f"channel {self.name or id(self)} transport full"
+            ) from None
+        with self._flushes.get_lock():
+            self._flushes.value += 1
+            if self._serialize_local:
+                with self._serialize_seconds.get_lock():
+                    self._serialize_seconds.value += self._serialize_local
+                self._serialize_local = 0.0
+
+    def _acquire_credit(self, count: int, deadline: Optional[float]) -> None:
+        """Block until ``count`` items fit under ``capacity`` — the
+        full-side of the synchronization-array blocking discipline, one
+        lock acquisition per frame."""
+        while True:
+            with self._produces.get_lock():
+                occupancy = self._produces.value - self._consumes.value
+                if occupancy + count <= self.capacity:
+                    self._produces.value += count
+                    return
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ChannelTimeout(
+                    f"channel {self.name or id(self)} full "
+                    f"({self.capacity} items)"
+                )
+            time.sleep(_CREDIT_POLL)
+
+    # -- consume side -----------------------------------------------------------
 
     def get(self, timeout: Optional[float] = None) -> Any:
-        """Consume the oldest item; block while empty (raise on timeout)."""
+        """Consume the oldest item; block while empty (raise on timeout).
+
+        Frames are decoded transparently: one queue read replenishes the
+        local receive buffer with up to ``batch_size`` items, and the
+        consume counter advances once per frame, not once per item.
+        """
+        if self._recv:
+            return self._recv.popleft()
         try:
-            item = self._queue.get(block=True, timeout=timeout)
+            raw = self._queue.get(block=True, timeout=timeout)
         except _queue_module.Empty:
             raise ChannelTimeout(
                 f"channel {self.name or id(self)} empty for {timeout}s"
             ) from None
+        items = decode_frame(raw)
+        if items is None:
+            with self._consumes.get_lock():
+                self._consumes.value += 1
+            return raw
         with self._consumes.get_lock():
-            self._consumes.value += 1
-        return item
+            self._consumes.value += len(items)
+        self._recv.extend(items)
+        return self._recv.popleft()
+
+    def get_many(self, max_items: int, timeout: Optional[float] = None) -> list:
+        """Consume up to ``max_items`` with a single blocking queue read.
+
+        Returns at least one item (blocking like :meth:`get` for the
+        first), then drains the already-decoded frame from the local buffer
+        — one worker wakeup per frame, and frame affinity keeps a dispatched
+        chunk on the worker that claimed it.  STOP is never mixed into a
+        batch: it is returned alone, and a buffered STOP ends the batch
+        early (left for the next call).
+        """
+        items = [self.get(timeout=timeout)]
+        if items[0] == STOP:
+            return items
+        while (
+            len(items) < max_items
+            and self._recv
+            and self._recv[0] != STOP
+        ):
+            items.append(self._recv.popleft())
+        return items
 
     @property
     def produces(self) -> int:
@@ -137,16 +380,15 @@ class ProcessChannel:
         return self._consumes.value
 
     def sample_occupancy(self) -> int:
-        """Record one occupancy observation (engine-side polling).
+        """Record one item-granular occupancy observation.
 
-        ``qsize`` is advisory on a live multiprocess queue — items may be in
-        a feeder thread's buffer — which is exactly the fidelity a hardware
-        occupancy counter would give a polling observer.
+        Occupancy is ``produces - consumes``: items flushed to the transport
+        and not yet decoded by a consumer.  Counting items (never frames)
+        keeps the bounded-queue invariant's 32-entry semantics under
+        batching, and the shared counters are exact where ``qsize`` is
+        advisory.
         """
-        try:
-            occupancy = self._queue.qsize()
-        except NotImplementedError:  # macOS lacks sem_getvalue
-            occupancy = max(0, self.produces - self.consumes)
+        occupancy = max(0, self.produces - self.consumes)
         self.max_occupancy_seen = max(self.max_occupancy_seen, occupancy)
         self.occupancy_samples += 1
         self.occupancy_total += occupancy
@@ -158,33 +400,58 @@ class ProcessChannel:
             if self.occupancy_samples
             else 0.0
         )
+        flushes = self._flushes.value
         return {
             "capacity": self.capacity,
+            "batch_size": self.batch_size,
             "produces": self.produces,
             "consumes": self.consumes,
             "max_occupancy": self.max_occupancy_seen,
             "mean_occupancy": round(mean, 3),
             "samples": self.occupancy_samples,
+            "flushes": flushes,
+            "mean_frame_items": (
+                round(self.produces / flushes, 3) if flushes else 0.0
+            ),
+            "serialize_seconds": round(self._serialize_seconds.value, 6),
         }
 
     def drain(self) -> list:
-        """Non-blocking removal of everything currently visible."""
-        items = []
+        """Non-blocking removal of everything currently visible.
+
+        Consumed frames are counted so their item credit is released —
+        teardown paths drain the done channel precisely to unwedge senders
+        blocked on a full channel.
+        """
+        items = list(self._recv)
+        self._recv.clear()
         while True:
             try:
-                items.append(self._queue.get_nowait())
+                raw = self._queue.get_nowait()
             except _queue_module.Empty:
                 return items
             except (EOFError, OSError):
                 return items
+            decoded = decode_frame(raw)
+            with self._consumes.get_lock():
+                self._consumes.value += len(decoded) if decoded else 1
+            if decoded:
+                items.extend(decoded)
+            else:
+                items.append(raw)
 
-    def flush_and_close(self) -> None:
-        """Flush this process's pending puts to the pipe, then close.
+    def flush_and_close(self, flush_timeout: float = 2.0) -> None:
+        """Flush this process's pending items to the pipe, then close.
 
         A process about to hard-exit (``os._exit``) must call this first:
-        puts are serviced by a feeder thread, and an immediate exit could
-        drop messages that the committer's crash recovery depends on.
+        batched items live in the send buffer and queued puts are serviced
+        by a feeder thread, so an immediate exit could drop messages that
+        the committer's crash recovery depends on.
         """
+        try:
+            self.flush(timeout=flush_timeout)
+        except ChannelTimeout:
+            pass  # full channel with no consumer left; don't wedge the exit
         self._queue.close()
         self._queue.join_thread()
 
@@ -198,4 +465,7 @@ class ProcessChannel:
         self._queue.close()
 
     def __repr__(self) -> str:
-        return f"ProcessChannel({self.name!r}, capacity={self.capacity})"
+        return (
+            f"ProcessChannel({self.name!r}, capacity={self.capacity}, "
+            f"batch_size={self.batch_size})"
+        )

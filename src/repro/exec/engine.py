@@ -58,7 +58,11 @@ from repro.resilience.checkpoint import (
     CheckpointManager,
     spec_fingerprint,
 )
-from repro.resilience.throttle import SpeculationThrottle, ThrottleConfig
+from repro.resilience.throttle import (
+    SpeculationThrottle,
+    ThrottleConfig,
+    max_window_for,
+)
 
 #: Window published to workers when throttling is disabled: effectively
 #: unbounded speculation depth.
@@ -145,6 +149,14 @@ class ExecutionEngine:
     ``hang_seconds`` clamped to the policy's task timeout at construction,
     so a misconfigured hang injection can never stall a run past the
     timeout it is meant to exercise.
+
+    ``batch_size`` (default 16, clamped to ``capacity``) is the fast path:
+    the producer dispatches adaptively-growing chunks of up to this many
+    iterations per frame, workers batch their claim/result messages the
+    same way, and both channels run the framed transport — one pickle and
+    one pipe round-trip per frame instead of per item.  ``batch_size=1``
+    restores the classic unbatched wire format.  ``flush_interval`` bounds
+    how long a partial batch may wait before it is flushed anyway.
     """
 
     def __init__(
@@ -158,6 +170,8 @@ class ExecutionEngine:
         throttle: Optional[ThrottleConfig] = None,
         checkpoints: Optional[CheckpointConfig] = None,
         channel_chaos: Optional[ChannelChaos] = None,
+        batch_size: int = 16,
+        flush_interval: float = 0.005,
     ) -> None:
         if plan is not None:
             workers = max(1, plan.replication_width)
@@ -165,8 +179,14 @@ class ExecutionEngine:
             raise ValueError("need at least one worker")
         if capacity < 1:
             raise ValueError("channel capacity must be positive")
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        if flush_interval <= 0:
+            raise ValueError("flush interval must be positive")
         self.workers = workers
         self.capacity = capacity
+        self.batch_size = min(batch_size, capacity)
+        self.flush_interval = flush_interval
         self.policy = policy or RobustnessPolicy()
         self.fault_plan = (
             fault_plan.clamped_to(self.policy)
@@ -191,7 +211,7 @@ class ExecutionEngine:
         start = checkpoint.next_commit if checkpoint is not None else 0
         self.metrics = EngineMetrics(
             workers=self.workers, capacity=self.capacity,
-            iterations=spec.iterations,
+            iterations=spec.iterations, batch_size=self.batch_size,
         )
         if checkpoint is not None:
             self.metrics.resumed_from = start
@@ -253,10 +273,17 @@ class ExecutionEngine:
             else multiprocessing.get_context()
         )
         work = ProcessChannel(
-            self.capacity, name="work", ctx=ctx, chaos=self.channel_chaos
+            self.capacity, name="work", ctx=ctx, chaos=self.channel_chaos,
+            batch_size=self.batch_size, flush_interval=self.flush_interval,
         )
+        # Worst-case in-flight done traffic: a claim and a result for every
+        # item in the transport plus every item held in a worker's chunk,
+        # plus one "stopped" per worker.
         done = ProcessChannel(
-            self.capacity + 2 * self.workers + 4, name="done", ctx=ctx
+            2 * (self.capacity + self.workers * self.batch_size)
+            + self.workers + 8,
+            name="done", ctx=ctx,
+            batch_size=self.batch_size, flush_interval=self.flush_interval,
         )
         shutdown = ctx.Event()
         if resume_checkpoint is not None:
@@ -270,7 +297,8 @@ class ExecutionEngine:
         # workers observe the watermark/window pair through shared memory.
         throttle = (
             SpeculationThrottle(
-                self.throttle_config, self.workers + self.capacity
+                self.throttle_config,
+                max_window_for(self.workers, self.capacity, self.batch_size),
             )
             if self.throttle_config.enabled
             else None
@@ -283,7 +311,7 @@ class ExecutionEngine:
         producer = ctx.Process(
             target=producer_main,
             args=(work, spec.iterations, spec.produce, self.fault_plan,
-                  shutdown, start),
+                  shutdown, start, self.batch_size),
             name="exec-A",
             daemon=True,
         )
@@ -300,7 +328,7 @@ class ExecutionEngine:
                 target=worker_main,
                 args=(wid, work, done, spec.work, spec.speculative,
                       store.snapshot(), self.fault_plan, shutdown,
-                      watermark_value, window_value),
+                      watermark_value, window_value, self.batch_size),
                 name=f"exec-B{wid}",
                 daemon=True,
             )
@@ -381,6 +409,9 @@ class ExecutionEngine:
         def handle_lost_worker(wid: int) -> None:
             """Route a dead/hung worker's unresolved claims to serial retry."""
             for i in worker_claims.pop(wid, set()):
+                info = claim_info.get(i)
+                if info is not None and info[0] != wid:
+                    continue  # re-claimed by a live worker since
                 if i >= next_commit and i not in pending:
                     serial_needed.add(i)
                     metrics.retries += 1
@@ -388,6 +419,15 @@ class ExecutionEngine:
         def check_health() -> None:
             nonlocal producer_failed, respawns_left, last_activity
             now = time.monotonic()
+            # A chunk executes serially within its worker, so only each
+            # worker's *oldest* unresolved claim can actually be running;
+            # younger chunk-mates are queued behind it, not hung.
+            oldest_claim: Dict[int, int] = {}
+            for i, (wid, _) in claim_info.items():
+                if i < next_commit or i in pending or i in serial_needed:
+                    continue
+                if wid not in oldest_claim or i < oldest_claim[wid]:
+                    oldest_claim[wid] = i
             # Hung tasks: claimed long ago by a still-live worker.
             for i, (wid, claimed_at) in list(claim_info.items()):
                 if i < next_commit or i in pending or i in serial_needed:
@@ -400,6 +440,9 @@ class ExecutionEngine:
                     # waiting for the window.  Refresh its claim clock so it
                     # gets a full timeout once it becomes eligible.
                     claim_info[i] = (wid, now)
+                    continue
+                if i != oldest_claim.get(wid):
+                    claim_info[i] = (wid, now)  # queued behind a chunk-mate
                     continue
                 if now - claimed_at > policy.task_timeout:
                     metrics.worker_timeouts += 1
@@ -446,6 +489,10 @@ class ExecutionEngine:
                 inflight_values[i] = value
                 claim_info[i] = (wid, last_activity)
                 worker_claims.setdefault(wid, set()).add(i)
+                # A fresh claim transfers ownership: the live claimant will
+                # deliver a result or fault (or fall to the hung-task
+                # timeout), so a previously scheduled serial retry yields.
+                serial_needed.discard(i)
                 metrics.stage_seconds["A"] += a_seconds
             elif tag == "result":
                 _, wid, i, result, reads, writes, b_seconds = message

@@ -23,6 +23,8 @@ class EngineMetrics:
     workers: int = 0
     capacity: int = 0
     iterations: int = 0
+    #: effective transport batch size (1 = classic unbatched wire format)
+    batch_size: int = 1
 
     # -- wall-clock observability ------------------------------------------------
     wall_seconds: float = 0.0
@@ -81,11 +83,25 @@ class EngineMetrics:
     def misspeculation_rate(self) -> float:
         return self.conflicts / self.commits if self.commits else 0.0
 
+    @property
+    def comm_overhead(self) -> Dict[str, dict]:
+        """Per-channel communication cost of the batched transport:
+        frame flushes, mean items per frame, and serialize seconds."""
+        overhead = {}
+        for name, stats in self.channel_stats.items():
+            overhead[name] = {
+                "flushes": stats.get("flushes", 0),
+                "mean_frame_items": stats.get("mean_frame_items", 0.0),
+                "serialize_seconds": stats.get("serialize_seconds", 0.0),
+            }
+        return overhead
+
     def to_json(self) -> dict:
         data = {
             "workers": self.workers,
             "capacity": self.capacity,
             "iterations": self.iterations,
+            "batch_size": self.batch_size,
             "wall_seconds": round(self.wall_seconds, 6),
             "sequential_seconds": (
                 round(self.sequential_seconds, 6)
@@ -126,6 +142,7 @@ class EngineMetrics:
             "min_window": self.min_window,
             "final_window": self.final_window,
             "channels": self.channel_stats,
+            "comm_overhead": self.comm_overhead,
         }
         return data
 
@@ -183,6 +200,17 @@ class EngineMetrics:
                 f"channel {name:<9} max occupancy {stats['max_occupancy']}/"
                 f"{stats['capacity']}, mean {stats['mean_occupancy']}, "
                 f"{stats['produces']} produces / {stats['consumes']} consumes"
+            )
+        overhead = self.comm_overhead
+        if overhead:
+            bits = ", ".join(
+                f"{name}: {info['flushes']} flushes x "
+                f"{info['mean_frame_items']:.1f} items, "
+                f"{info['serialize_seconds'] * 1e3:.1f}ms serialize"
+                for name, info in overhead.items()
+            )
+            lines.append(
+                f"comm overhead     batch {self.batch_size} -> {bits}"
             )
         if self.worker_iterations:
             shares = ", ".join(

@@ -22,13 +22,27 @@ Message protocol (all on the ``done`` channel, tagged tuples):
     Clean worker exit (shutdown event observed).
 
 Per-producer FIFO ordering of :class:`multiprocessing.Queue` guarantees a
-claim is visible before its result or fault.
+claim is visible before its result or fault; batched transport preserves
+this (frames decode in order).
+
+**Chunked dispatch (the fast path).**  The producer accumulates iterations
+into *chunks* and dispatches each chunk as one frame — one pickle, one pipe
+round-trip — with an adaptive chunk size: it starts at 1 so the pipeline
+fills and workers ramp immediately, then doubles per dispatch toward
+``max_chunk`` for steady-state amortization.  A worker claims its whole
+chunk with one flushed frame of claim messages *before executing anything*
+(crash recovery needs the claims on the wire), executes the chunk's items
+in order, and batches its result messages, flushing at chunk end and before
+any blocking wait.  A chunk executes serially within its worker, so the
+committer exempts all but a worker's oldest unresolved claim from the
+hung-task timeout.
 
 Speculation throttling: the committer publishes its commit watermark and
 the controller's current window in shared memory; a worker holding
 iteration ``i`` waits (after claiming, so the committer can still recover
-the value) while ``i - watermark >= window``.  The committer exempts gated
-claims from the hung-task timeout.
+the value) while ``i - watermark >= window``.  Pending results are flushed
+before the wait — gating must never hold back the very commits that would
+open the window.
 """
 
 from __future__ import annotations
@@ -47,6 +61,18 @@ _IDLE_POLL = 0.2
 _GATE_POLL = 0.005
 
 
+def _drain_flush(channel: ProcessChannel, shutdown) -> bool:
+    """Blockingly flush everything pending, re-checking ``shutdown``
+    between bounded attempts; False when interrupted by shutdown."""
+    while channel.pending_items:
+        try:
+            channel.flush(timeout=_IDLE_POLL)
+        except ChannelTimeout:
+            if shutdown is not None and shutdown.is_set():
+                return False
+    return True
+
+
 def producer_main(
     work: ProcessChannel,
     iterations: int,
@@ -54,20 +80,25 @@ def producer_main(
     fault_plan: Optional[FaultPlan],
     shutdown,
     start: int = 0,
+    max_chunk: int = 1,
 ) -> None:
-    """Phase A: run ``produce`` per iteration, push into the work channel.
+    """Phase A: run ``produce`` per iteration, dispatch chunks downstream.
 
     On resume (``start > 0``) every iteration is still *produced* — stateful
     producers must evolve deterministically — but only iterations at or past
     ``start`` are dispatched, and injections keyed below ``start`` are
     treated as already spent.
     """
+    chunk_target = 1
     for i in range(iterations):
         if (
             fault_plan is not None
             and fault_plan.producer_crash_at == i
             and i >= start
         ):
+            # Crash *before dispatching* iteration i: everything produced so
+            # far must still reach the workers.
+            _drain_flush(work, shutdown)
             work.flush_and_close()
             os._exit(3)
         started = time.monotonic()
@@ -75,14 +106,13 @@ def producer_main(
         elapsed = time.monotonic() - started
         if i < start:
             continue
-        while True:
-            if shutdown.is_set():
+        work.put_buffered((i, value, elapsed))
+        if work.pending_items >= chunk_target or work.flush_due():
+            if not _drain_flush(work, shutdown):
                 return
-            try:
-                work.put((i, value, elapsed), timeout=_IDLE_POLL)
-                break
-            except ChannelTimeout:
-                continue  # full channel: keep blocking, re-check shutdown
+            chunk_target = min(max_chunk, chunk_target * 2)
+    if not _drain_flush(work, shutdown):
+        return
     work.flush_and_close()
 
 
@@ -97,83 +127,117 @@ def worker_main(
     shutdown,
     watermark=None,
     window=None,
+    max_chunk: int = 1,
 ) -> None:
-    """Phase B replica: claim, gate on the throttle window, execute
-    speculatively, report."""
-    while True:
+    """Phase B replica: claim a chunk, gate on the throttle window, execute
+    speculatively, report in batched frames."""
+
+    def stop() -> None:
+        done.put(("stopped", worker_id))
         try:
-            item = work.get(timeout=_IDLE_POLL)
+            done.flush(timeout=1.0)
+        except ChannelTimeout:
+            pass
+
+    while True:
+        _drain_flush(done, shutdown)  # bound result latency before blocking
+        try:
+            items = work.get_many(max_chunk, timeout=_IDLE_POLL)
         except ChannelTimeout:
             if shutdown.is_set():
-                done.put(("stopped", worker_id))
+                stop()
                 return
             continue
         except (EOFError, OSError):
             # The producer's end of the channel is gone; the engine will
             # finish sequentially.
             return
-        if item == STOP:
-            done.put(("stopped", worker_id))
+        if items[0] == STOP:
+            stop()
             return
 
-        i, value, a_seconds = item
-        done.put(("claim", worker_id, i, value, a_seconds))
+        # Claim the whole chunk up front and *flush*: the committer holds
+        # each value until commit, so any item this process loses to a
+        # crash, hang, or soft fault can be re-executed serially.
+        for i, value, a_seconds in items:
+            done.put_buffered(("claim", worker_id, i, value, a_seconds))
+        if not _drain_flush(done, shutdown):
+            return  # shutdown mid-claim: nothing executed, nothing lost
 
-        # Throttle gate: hold execution until iteration i enters the
-        # speculative window.  The claim above lets the committer recover
-        # the value even if this process dies while gated.
-        if watermark is not None and window is not None:
-            while (
-                i - watermark.value >= window.value
-                and not shutdown.is_set()
-            ):
-                time.sleep(_GATE_POLL)
+        for i, value, a_seconds in items:
+            # Throttle gate: hold execution until iteration i enters the
+            # speculative window.  Flush first — buffered results feed the
+            # very commits that advance the watermark.
+            if watermark is not None and window is not None:
+                if i - watermark.value >= window.value:
+                    _drain_flush(done, shutdown)
+                    while (
+                        i - watermark.value >= window.value
+                        and not shutdown.is_set()
+                    ):
+                        time.sleep(_GATE_POLL)
 
-        if fault_plan is not None:
-            if i in fault_plan.crash_iterations:
-                # A hard crash: no exception, no goodbye — only the exit
-                # code.  Flush the claim first so the committer can retry.
-                done.flush_and_close()
-                os._exit(1)
-            if i in fault_plan.hang_iterations:
-                time.sleep(fault_plan.hang_seconds)
+            if fault_plan is not None:
+                if i in fault_plan.crash_iterations:
+                    # A hard crash: no exception, no goodbye — only the exit
+                    # code.  Hand the chunk-mates this process never reached
+                    # back to the work channel so a live worker (with its
+                    # per-iteration injections) picks them up; their claims
+                    # are already on the wire, so the committer's serial
+                    # retry still covers them if the hand-back is lost.
+                    rest = [item for item in items if item[0] > i]
+                    if rest:
+                        work.chaos = None  # injections already applied
+                        try:
+                            work.put_many(rest, timeout=0.5)
+                        except ChannelTimeout:
+                            pass
+                        # Joining the feeder thread is what actually pushes
+                        # the hand-back onto the pipe before the hard exit.
+                        work.flush_and_close(flush_timeout=0.5)
+                    done.flush_and_close()
+                    os._exit(1)
+                if i in fault_plan.hang_iterations:
+                    time.sleep(fault_plan.hang_seconds)
 
-        started = time.monotonic()
-        try:
-            if fault_plan is not None and (
-                i in fault_plan.error_iterations
-                or (i in fault_plan.conflict_iterations and not speculative)
-            ):
-                # Forced conflicts degenerate to soft faults when there is
-                # no read set to poison: the serial-retry path still runs.
-                raise InjectedFault(f"injected fault at iteration {i}")
-            if speculative:
-                buffer = WriteBuffer(snapshot)
-                result = work_fn(i, value, buffer)
-                reads, writes = buffer.reads, buffer.writes
-            else:
-                result = work_fn(i, value)
-                reads, writes = {}, {}
-        except Exception as error:
-            done.put(("fault", worker_id, i, repr(error)))
-            continue
-        elapsed = time.monotonic() - started
+            started = time.monotonic()
+            try:
+                if fault_plan is not None and (
+                    i in fault_plan.error_iterations
+                    or (i in fault_plan.conflict_iterations and not speculative)
+                ):
+                    # Forced conflicts degenerate to soft faults when there
+                    # is no read set to poison: the serial-retry path still
+                    # runs.
+                    raise InjectedFault(f"injected fault at iteration {i}")
+                if speculative:
+                    buffer = WriteBuffer(snapshot)
+                    result = work_fn(i, value, buffer)
+                    reads, writes = buffer.reads, buffer.writes
+                else:
+                    result = work_fn(i, value)
+                    reads, writes = {}, {}
+            except Exception as error:
+                done.put(("fault", worker_id, i, repr(error)))
+                continue
+            elapsed = time.monotonic() - started
 
-        if fault_plan is not None:
-            if i in fault_plan.conflict_iterations and speculative:
-                # Forced misspeculation: report a read of a version that
-                # can never validate, so the committer must roll back and
-                # re-execute serially.
-                reads = dict(reads)
-                reads[("__chaos__", i)] = 0
-            if i in fault_plan.latency_iterations:
-                time.sleep(fault_plan.latency_seconds)
-            if i in fault_plan.drop_result_iterations:
-                continue  # the result message is lost on the wire
-        message = ("result", worker_id, i, result, reads, writes, elapsed)
-        done.put(message)
-        if (
-            fault_plan is not None
-            and i in fault_plan.duplicate_result_iterations
-        ):
+            if fault_plan is not None:
+                if i in fault_plan.conflict_iterations and speculative:
+                    # Forced misspeculation: report a read of a version that
+                    # can never validate, so the committer must roll back
+                    # and re-execute serially.
+                    reads = dict(reads)
+                    reads[("__chaos__", i)] = 0
+                if i in fault_plan.latency_iterations:
+                    time.sleep(fault_plan.latency_seconds)
+                if i in fault_plan.drop_result_iterations:
+                    continue  # the result message is lost on the wire
+            message = ("result", worker_id, i, result, reads, writes, elapsed)
             done.put(message)
+            if (
+                fault_plan is not None
+                and i in fault_plan.duplicate_result_iterations
+            ):
+                done.put(message)
+        _drain_flush(done, shutdown)

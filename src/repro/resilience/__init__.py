@@ -44,7 +44,11 @@ from repro.resilience.invariants import (
     check_checkpoints,
     check_run,
 )
-from repro.resilience.throttle import SpeculationThrottle, ThrottleConfig
+from repro.resilience.throttle import (
+    SpeculationThrottle,
+    ThrottleConfig,
+    max_window_for,
+)
 
 __all__ = [
     "CHAOS_POLICY",
@@ -64,6 +68,7 @@ __all__ = [
     "chaos_plan",
     "check_checkpoints",
     "check_run",
+    "max_window_for",
     "run_chaos",
     "spec_fingerprint",
 ]

@@ -271,6 +271,8 @@ def run_chaos(
     checkpoint_config: Optional[CheckpointConfig] = None,
     throttle_config: Optional[ThrottleConfig] = None,
     start_method: Optional[str] = None,
+    batch_size: Optional[int] = None,
+    flush_interval: Optional[float] = None,
 ) -> ChaosReport:
     """One seeded chaos run, audited end to end.
 
@@ -286,6 +288,11 @@ def run_chaos(
     config = (config or ChaosConfig()).fitted(spec.iterations)
     plan = chaos_plan(spec.iterations, seed, config)
     channel_chaos = chaos_channel_plan(spec.iterations, seed, config)
+    engine_kwargs = {}
+    if batch_size is not None:
+        engine_kwargs["batch_size"] = batch_size
+    if flush_interval is not None:
+        engine_kwargs["flush_interval"] = flush_interval
     engine = ExecutionEngine(
         workers=workers,
         capacity=capacity,
@@ -295,6 +302,7 @@ def run_chaos(
         throttle=throttle_config or ThrottleConfig(),
         checkpoints=checkpoint_config or CheckpointConfig(),
         channel_chaos=channel_chaos,
+        **engine_kwargs,
     )
     result = engine.run(spec)
     result.metrics.sequential_seconds = oracle_seconds

@@ -111,6 +111,22 @@ def check_run(
                     f"{stats['max_occupancy']} > capacity {stats['capacity']}",
                 )
             )
+        if stats.get("consumes", 0) > stats.get("produces", 0):
+            violations.append(
+                InvariantViolation(
+                    InvariantKind.METRIC_CONSISTENCY,
+                    f"channel {name!r} consumed {stats['consumes']} items "
+                    f"but only {stats['produces']} were produced",
+                )
+            )
+        if stats.get("flushes", 0) > stats.get("produces", 0):
+            violations.append(
+                InvariantViolation(
+                    InvariantKind.METRIC_CONSISTENCY,
+                    f"channel {name!r} recorded {stats['flushes']} frame "
+                    f"flushes for only {stats['produces']} produced items",
+                )
+            )
     violations.extend(check_checkpoints(getattr(result, "checkpoints", [])))
     if metrics.serial_reexecutions < metrics.conflicts:
         violations.append(

@@ -23,6 +23,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
+def max_window_for(workers: int, capacity: int, batch_size: int = 1) -> int:
+    """The in-flight ceiling the controller starts from.
+
+    With chunked dispatch every worker can hold a full chunk of
+    ``batch_size`` claimed-but-uncommitted iterations on top of a full work
+    channel, so the uncontrolled speculation depth is
+    ``workers * batch_size + capacity`` — the window the throttle opens to
+    when the pipeline is clean, and backs off from under misspeculation.
+    """
+    return workers * max(1, batch_size) + capacity
+
+
 @dataclass(frozen=True)
 class ThrottleConfig:
     """Controller constants.

@@ -1,0 +1,278 @@
+"""The fast path under test: framed batch transport, chunked dispatch.
+
+Covers the batching-specific contracts on top of ``tests/test_exec_engine``:
+
+- frame encode/decode round-trips preserve content and order
+  (property-based, including the raw-bytes mode for homogeneous payloads);
+- STOP is never buried mid-frame — it flushes the batch and travels alone;
+- chaos decisions are memoized per put index, so a timed-out put retried
+  via ``flush()`` re-applies neither the latency sleep nor the first copy
+  of a duplicated item;
+- occupancy is item-granular: the bounded-queue invariant keeps its
+  32-entry semantics no matter how items are framed;
+- engine output is bit-identical across batch sizes 1 / 16 / 64;
+- the chaos seed matrix stays green with batching enabled;
+- ``comm_overhead`` (flushes, mean frame occupancy, serialize seconds)
+  lands in the metrics JSON.
+"""
+
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exec import PipelineSpec, run_sequential
+from repro.exec.channels import (
+    ChannelChaos,
+    ChannelTimeout,
+    ProcessChannel,
+    STOP,
+    decode_frame,
+    encode_frame,
+)
+from repro.exec.engine import ExecutionEngine
+from repro.resilience import ChaosConfig, run_chaos
+
+#: The CI chaos matrix, run here with batching explicitly on.
+SEED_MATRIX = (1337, 20071209, 424242)
+
+
+# -- module-level stage functions (picklable across processes) ---------------------
+
+
+def produce_seven(i):
+    return i * 7
+
+
+def mix_work(i, value):
+    return (value * value + i) % 2003
+
+
+def append_commit(i, result, acc):
+    acc.setdefault("out", []).append((i, result))
+
+
+def take_out(acc):
+    return acc.get("out", [])
+
+
+def batch_spec(iterations=60):
+    return PipelineSpec(
+        iterations=iterations,
+        produce=produce_seven,
+        work=mix_work,
+        commit=append_commit,
+        finalize=take_out,
+    )
+
+
+# -- framing round-trips (property-based) ------------------------------------------
+
+payload = st.one_of(
+    st.integers(),
+    st.text(max_size=8),
+    st.binary(max_size=16),
+    st.none(),
+    st.booleans(),
+    st.tuples(st.integers(), st.text(max_size=4)),
+)
+
+
+class TestFraming:
+    @given(st.lists(payload, max_size=40))
+    @settings(deadline=None, max_examples=80)
+    def test_roundtrip_preserves_content_and_order(self, items):
+        assert decode_frame(encode_frame(items)) == items
+
+    @given(st.lists(st.binary(max_size=32), min_size=2, max_size=20))
+    @settings(deadline=None, max_examples=40)
+    def test_homogeneous_bytes_use_raw_mode_and_roundtrip(self, items):
+        frame = encode_frame(items)
+        assert isinstance(frame[-1], bytes)  # joined blob, not a pickle
+        assert decode_frame(frame) == items
+
+    def test_single_and_empty_frames(self):
+        assert decode_frame(encode_frame([])) == []
+        assert decode_frame(encode_frame([b"only"])) == [b"only"]
+
+    def test_unframed_objects_pass_through(self):
+        for obj in (17, "plain", ("claim", 1, 2), None, b"raw"):
+            assert decode_frame(obj) is None
+
+    @given(
+        st.lists(st.integers(), min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(deadline=None, max_examples=15)
+    def test_channel_fifo_across_frame_boundaries(self, items, batch_size):
+        channel = ProcessChannel(capacity=64, batch_size=batch_size)
+        try:
+            channel.put_many(list(items), timeout=2.0)
+            received = []
+            while len(received) < len(items):
+                received.extend(
+                    channel.get_many(batch_size, timeout=2.0)
+                )
+            assert received == list(items)
+        finally:
+            channel.close()
+
+
+# -- STOP discipline ---------------------------------------------------------------
+
+
+class TestStopSentinel:
+    def test_stop_flushes_batch_and_travels_alone(self):
+        channel = ProcessChannel(capacity=16, batch_size=4)
+        try:
+            for value in ("a", "b", "c"):
+                channel.put_buffered(value)
+            channel.put(STOP, timeout=2.0)  # flushes the partial batch first
+            assert channel.pending_items == 0
+            batch = channel.get_many(10, timeout=2.0)
+            assert batch == ["a", "b", "c"]  # STOP ends the batch early
+            assert channel.get_many(10, timeout=2.0) == [STOP]
+        finally:
+            channel.close()
+
+    def test_stop_first_is_returned_alone(self):
+        channel = ProcessChannel(capacity=4, batch_size=4)
+        try:
+            channel.put(STOP, timeout=2.0)
+            assert channel.get_many(4, timeout=2.0) == [STOP]
+        finally:
+            channel.close()
+
+
+# -- chaos memoization: timed-out puts retry idempotently --------------------------
+
+
+class TestChaosPutRetry:
+    def test_duplicate_survives_timeout_retry_with_exactly_two_copies(self):
+        chaos = ChannelChaos(duplicate_indices=frozenset({0}))
+        channel = ProcessChannel(capacity=1, batch_size=1, chaos=chaos)
+        try:
+            # Two copies buffered, capacity one: the first flushes, the
+            # second starves for credit and the put times out.
+            with pytest.raises(ChannelTimeout):
+                channel.put("a", timeout=0.05)
+            assert channel.pending_items == 1
+            assert channel.get(timeout=2.0) == "a"
+            channel.flush(timeout=2.0)  # the retry path — never re-put
+            assert channel.get(timeout=2.0) == "a"
+            assert channel.pending_items == 0
+            with pytest.raises(ChannelTimeout):
+                channel.get(timeout=0.05)  # no third copy ever existed
+        finally:
+            channel.close()
+
+    def test_latency_not_reapplied_on_retry(self):
+        chaos = ChannelChaos(latency_by_index={1: 0.2})
+        channel = ProcessChannel(capacity=1, batch_size=1, chaos=chaos)
+        try:
+            channel.put("first", timeout=2.0)  # fills the channel
+            started = time.monotonic()
+            with pytest.raises(ChannelTimeout):
+                channel.put("delayed", timeout=0.05)
+            first_attempt = time.monotonic() - started
+            assert first_attempt >= 0.2  # the injected latency fired once
+            assert channel.get(timeout=2.0) == "first"
+            started = time.monotonic()
+            channel.flush(timeout=2.0)
+            retry_duration = time.monotonic() - started
+            assert retry_duration < 0.2  # ... and exactly once
+            assert channel.get(timeout=2.0) == "delayed"
+        finally:
+            channel.close()
+
+
+# -- item-granular occupancy -------------------------------------------------------
+
+
+class TestOccupancy:
+    def test_occupancy_counts_items_not_frames(self):
+        channel = ProcessChannel(capacity=8, batch_size=4)
+        try:
+            channel.put_many(list(range(8)), timeout=2.0)  # two frames
+            deadline = time.monotonic() + 2.0
+            while channel.produces < 8 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert channel.sample_occupancy() == 8
+            drained = []
+            while len(drained) < 8:
+                drained.extend(channel.get_many(8, timeout=2.0))
+            assert channel.sample_occupancy() == 0
+            stats = channel.occupancy_stats()
+            assert stats["max_occupancy"] == 8
+            assert stats["max_occupancy"] <= stats["capacity"]
+            assert stats["mean_frame_items"] == 4.0
+        finally:
+            channel.close()
+
+    def test_credit_blocks_at_item_capacity(self):
+        channel = ProcessChannel(capacity=4, batch_size=4)
+        try:
+            channel.put_many(list(range(4)), timeout=2.0)
+            with pytest.raises(ChannelTimeout):
+                channel.put_many([99], timeout=0.05)  # over item capacity
+            assert channel.get(timeout=2.0) == 0
+            channel.flush(timeout=2.0)  # freed credit admits the retry
+            assert [channel.get(timeout=2.0) for _ in range(4)] == [1, 2, 3, 99]
+        finally:
+            channel.close()
+
+
+# -- engine fidelity across batch sizes --------------------------------------------
+
+
+class TestEngineBatching:
+    @pytest.mark.parametrize("batch_size", [1, 16, 64])
+    def test_output_bit_identical_across_batch_sizes(self, batch_size):
+        sequential_output, _ = run_sequential(batch_spec())
+        engine = ExecutionEngine(
+            workers=2, capacity=64, batch_size=batch_size
+        )
+        result = engine.run(batch_spec())
+        assert result.output == sequential_output
+        assert result.metrics.commits == 60
+        assert result.metrics.in_order_commits == 60
+        assert result.metrics.batch_size == batch_size
+
+    def test_comm_overhead_exposed_in_metrics_json(self):
+        engine = ExecutionEngine(workers=2, capacity=32, batch_size=8)
+        result = engine.run(batch_spec(40))
+        data = result.metrics.to_json()
+        assert data["batch_size"] == 8
+        for name in ("work", "done"):
+            overhead = data["comm_overhead"][name]
+            assert overhead["flushes"] >= 1
+            assert overhead["mean_frame_items"] >= 1.0
+            assert overhead["serialize_seconds"] >= 0.0
+        assert "comm overhead" in result.metrics.format_summary()
+
+    def test_batched_run_amortizes_frames(self):
+        engine = ExecutionEngine(workers=2, capacity=32, batch_size=16)
+        result = engine.run(batch_spec(64))
+        work = result.metrics.channel_stats["work"]
+        # Chunked dispatch must move strictly fewer frames than items.
+        assert work["flushes"] < work["produces"]
+        assert work["mean_frame_items"] > 1.0
+
+
+# -- the chaos seed matrix, batching on --------------------------------------------
+
+
+class TestChaosWithBatching:
+    @pytest.mark.parametrize("seed", SEED_MATRIX)
+    def test_seed_matrix_green_with_batching(self, seed):
+        report = run_chaos(
+            lambda: batch_spec(40),
+            seed,
+            workers=3,
+            capacity=8,
+            config=ChaosConfig(latency_seconds=0.01),
+            batch_size=8,
+        )
+        report.raise_on_violation()
+        assert report.output_identical
+        assert report.result.metrics.batch_size == 8
