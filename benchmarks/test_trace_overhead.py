@@ -1,0 +1,177 @@
+"""What observability costs: engine throughput with tracing on vs off.
+
+The tracing layer's hot path is deliberately cheap — a ``struct.pack``
+and a ``bytearray`` append into a per-process ring spool, no pipe traffic,
+no cross-process locks — and this benchmark holds it to that claim on the
+least favourable workload: trivial per-item work, where every traced span
+is a visible fraction of the iteration.  Items/sec is measured with
+tracing off and on (best of ``ROUNDS`` runs each, interleaved so drift
+hits both alike); the overhead lands in ``benchmarks/results.json`` and
+the CI perf job (``PERF_GATE=1``) fails the build when tracing costs more
+than ``MAX_OVERHEAD`` of throughput.
+"""
+
+import gc
+import os
+import tempfile
+
+import pytest
+
+from repro.exec import ExecutionEngine, PipelineSpec, run_sequential
+from repro.obs import TraceConfig, merge_spool_dir
+
+TRACE_ITERATIONS = 6000
+#: The acceptance bound: tracing may cost at most this fraction of
+#: items/sec on a communication-bound pipeline.
+MAX_OVERHEAD = 0.10
+#: Interleaved measurement rounds per mode.  Single-round overhead on a
+#: loaded 1-CPU box swings by more than the gate itself, so the estimate
+#: is best-of-N for *both* modes — each mode's least-interfered run.
+ROUNDS = 5
+#: Hard assertions only under the CI perf gate; local runs record numbers.
+PERF_GATE = os.environ.get("PERF_GATE") == "1"
+
+
+def trace_produce(i):
+    return (i, i & 15)
+
+
+def trace_work(i, value):
+    return value[1] ^ (i & 7)
+
+
+def trace_commit(i, result, acc):
+    acc["sum"] = acc.get("sum", 0) + result
+
+
+def trace_finalize(acc):
+    return acc.get("sum", 0)
+
+
+def trace_spec():
+    return PipelineSpec(
+        iterations=TRACE_ITERATIONS,
+        produce=trace_produce,
+        work=trace_work,
+        commit=trace_commit,
+        finalize=trace_finalize,
+    )
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _run_once(trace: "TraceConfig | None", expected) -> float:
+    engine = ExecutionEngine(
+        workers=2, capacity=64, batch_size=8, trace=trace
+    )
+    result = engine.run(trace_spec())
+    assert result.output == expected
+    return TRACE_ITERATIONS / result.metrics.wall_seconds
+
+
+def _measure_rounds(rates, spool_dirs, expected, rounds) -> None:
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            rates["off"].append(_run_once(None, expected))
+            spool_dir = tempfile.mkdtemp(prefix="trace-overhead-")
+            spool_dirs.append(spool_dir)
+            rates["on"].append(
+                _run_once(TraceConfig(spool_dir=spool_dir), expected)
+            )
+    finally:
+        gc.enable()
+
+
+def _estimate(rates):
+    """Two estimators for two noise modes on a shared box.  Best-of-N
+    cancels one-sided interference (a background task landing on some
+    rounds); the median of per-round paired ratios cancels box-wide slow
+    phases (which depress an adjacent off/on pair together).  A genuine
+    hot-path regression inflates every traced round and therefore *both*
+    estimators, so the gate takes their minimum."""
+    best_of = 1.0 - max(rates["on"]) / max(rates["off"])
+    paired = sorted(
+        1.0 - on / off for off, on in zip(rates["off"], rates["on"])
+    )
+    paired_median = paired[len(paired) // 2]
+    return best_of, paired_median, min(best_of, paired_median)
+
+
+def test_trace_overhead(benchmark, results_sink):
+    expected, _ = run_sequential(trace_spec())
+    rates = {"off": [], "on": []}
+    spool_dirs = []
+
+    def sweep():
+        # Warmup pair: pay the fork/import/page-cache cold start outside
+        # the measurement.
+        _run_once(None, expected)
+        _run_once(
+            TraceConfig(spool_dir=tempfile.mkdtemp(prefix="trace-warm-")),
+            expected,
+        )
+        _measure_rounds(rates, spool_dirs, expected, ROUNDS)
+        return rates
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    best_of, paired_median, overhead = _estimate(rates)
+
+    # Escalate on suspicion: an over-gate first batch is far more often a
+    # noisy box than a regression, so buy statistical power only when it
+    # is needed.  A real hot-path regression holds across every extra
+    # batch; transient interference does not survive 15 paired rounds.
+    batches = 1
+    while overhead > MAX_OVERHEAD and batches < 3:
+        batches += 1
+        _measure_rounds(rates, spool_dirs, expected, ROUNDS)
+        best_of, paired_median, overhead = _estimate(rates)
+
+    best_off = max(rates["off"])
+    best_on = max(rates["on"])
+
+    # The traced runs must have actually traced: every commit shows up.
+    merged = merge_spool_dir(spool_dirs[-1])
+    commits = len(
+        [i for i in merged.instants if int(i.kind) == 21]  # COMMIT
+    )
+    assert commits == TRACE_ITERATIONS
+    print(
+        f"\ntrace-overhead  off:{best_off:,.0f}/s  on:{best_on:,.0f}/s  "
+        f"overhead {overhead:+.1%} "
+        f"(best-of {best_of:+.1%}, paired median {paired_median:+.1%}, "
+        f"{merged.span_count} spans) on {_cpu_count()} CPU(s)"
+    )
+
+    results_sink["trace_overhead"] = {
+        "iterations": TRACE_ITERATIONS,
+        "workers": 2,
+        "capacity": 64,
+        "batch_size": 8,
+        "cpus": _cpu_count(),
+        "rounds": len(rates["off"]),
+        "items_per_sec_no_trace": round(best_off, 1),
+        "items_per_sec_traced": round(best_on, 1),
+        "overhead_fraction": round(overhead, 4),
+        "overhead_best_of": round(best_of, 4),
+        "overhead_paired_median": round(paired_median, 4),
+        "max_overhead_gate": MAX_OVERHEAD,
+        "spans_merged": merged.span_count,
+    }
+
+    if PERF_GATE:
+        assert overhead <= MAX_OVERHEAD, (
+            f"tracing costs {overhead:.1%} of items/sec, "
+            f"gate is {MAX_OVERHEAD:.0%}"
+        )
+    else:
+        # Sanity bound for untuned local machines: tracing must never
+        # halve throughput.
+        assert overhead <= 0.5, (
+            f"tracing costs {overhead:.1%} of items/sec"
+        )

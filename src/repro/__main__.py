@@ -9,17 +9,29 @@ Commands:
   execution engine and print measured metrics;
 - ``list``                   list the available benchmarks.
 
+The ``exec`` command carries the observability surface: ``--trace out.json``
+records every process's spans/events into per-process spools and exports a
+Chrome trace-event file (loadable at https://ui.perfetto.dev);
+``--compare`` prints the predicted-vs-measured report (simulator Gantt vs
+measured timeline, per-phase busy-share error); ``--metrics-out m.json``
+writes the run metrics (including per-stage latency histograms) as JSON;
+``--log-level`` controls the ``repro.exec`` / ``repro.resilience`` logging
+namespaces (chaos injections log at INFO with their seed and indices).
+
 Examples::
 
     python -m repro suite
     python -m repro bench 164.gzip
     python -m repro figure 6 --threads 1 2 4 8 16 32
     python -m repro exec 256.bzip2 --workers 4 --inject-faults
+    python -m repro exec 256.bzip2 --workers 4 --trace trace.json --compare
+    python -m repro exec 197.parser --chaos 24 --trace t.json --log-level info
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -45,6 +57,12 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Revisiting the Sequential Programming "
                     "Model for Multi-Core' (MICRO 2007)",
+    )
+    parser.add_argument(
+        "--log-level", default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="logging threshold for the repro.* namespaces (default "
+             "warning; chaos/fault injections log at info)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -126,6 +144,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", default=None,
         help="also write the run metrics as JSON to PATH",
     )
+    exec_parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the engine metrics JSON (latency histograms included) "
+             "to PATH — the artifact the CI perf job uploads",
+    )
+    exec_parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a structured trace of the run (per-process spools, "
+             "merged post-run) and write a Chrome trace-event JSON file to "
+             "PATH (open it at https://ui.perfetto.dev)",
+    )
+    exec_parser.add_argument(
+        "--no-trace", action="store_true",
+        help="force tracing off, overriding --trace (tracing is already "
+             "off by default; this pins it for benchmark A/B runs)",
+    )
+    exec_parser.add_argument(
+        "--trace-events", type=int, default=None, metavar="N",
+        help="per-process trace ring capacity in records (default 262144; "
+             "overflow overwrites the oldest records and is reported as "
+             "dropped_events)",
+    )
+    exec_parser.add_argument(
+        "--compare", action="store_true",
+        help="print the predicted-vs-measured report: the simulator's "
+             "Gantt schedule next to the measured timeline (with --trace) "
+             "and per-phase busy-time shares with relative error",
+    )
     return parser
 
 
@@ -196,6 +242,45 @@ def _chaos_seed(args) -> int:
     return int.from_bytes(os.urandom(4), "big")
 
 
+def _trace_config(args):
+    """``(TraceConfig, spool_dir)`` for ``--trace``, else ``(None, None)``."""
+    if args.no_trace or not args.trace:
+        return None, None
+    import tempfile
+
+    from repro.obs import TraceConfig
+
+    spool_dir = tempfile.mkdtemp(prefix="repro-trace-")
+    kwargs = {"spool_dir": spool_dir}
+    if args.trace_events:
+        kwargs["max_events"] = args.trace_events
+    return TraceConfig(**kwargs), spool_dir
+
+
+def _export_trace(args, spool_dir):
+    """Merge the run's spools, write the Chrome trace, clean up."""
+    import shutil
+
+    from repro.obs import merge_spool_dir, write_chrome_trace
+
+    merged = merge_spool_dir(spool_dir)
+    write_chrome_trace(merged, args.trace)
+    print(merged.format_summary())
+    print(f"wrote {args.trace}  (open at https://ui.perfetto.dev)")
+    shutil.rmtree(spool_dir, ignore_errors=True)
+    return merged
+
+
+def _write_metrics(args, metrics) -> None:
+    if not args.metrics_out:
+        return
+    import json
+
+    with open(args.metrics_out, "w") as handle:
+        json.dump(metrics.to_json(), handle, indent=2, sort_keys=True)
+    print(f"wrote {args.metrics_out}")
+
+
 def _run_chaos(args) -> int:
     """``exec NAME --chaos N``: one audited seeded chaos run."""
     from repro.resilience import ChaosConfig, CheckpointConfig, run_chaos
@@ -210,6 +295,7 @@ def _run_chaos(args) -> int:
         if args.checkpoint
         else None
     )
+    trace_config, spool_dir = _trace_config(args)
     report = run_chaos(
         workload.exec_spec,
         seed,
@@ -219,9 +305,13 @@ def _run_chaos(args) -> int:
         checkpoint_config=checkpoint_config,
         batch_size=args.batch_size,
         flush_interval=args.flush_interval,
+        trace=trace_config,
     )
     print(report.format_summary())
     print(report.result.metrics.format_summary())
+    if spool_dir is not None:
+        _export_trace(args, spool_dir)
+    _write_metrics(args, report.result.metrics)
     if args.json:
         import json
 
@@ -256,6 +346,7 @@ def _run_exec(args) -> int:
         if args.checkpoint
         else None
     )
+    trace_config, spool_dir = _trace_config(args)
     engine = ExecutionEngine(
         workers=args.workers,
         capacity=args.capacity,
@@ -264,6 +355,7 @@ def _run_exec(args) -> int:
         checkpoints=checkpoint_config,
         batch_size=args.batch_size,
         flush_interval=args.flush_interval,
+        trace=trace_config,
     )
     result = engine.run(spec, resume_from=args.resume)
     result.metrics.sequential_seconds = sequential_seconds
@@ -275,6 +367,10 @@ def _run_exec(args) -> int:
     else:
         print(f"output: MISMATCH — engine {result.output!r} "
               f"vs sequential {sequential_output!r}")
+
+    merged = None
+    if spool_dir is not None:
+        merged = _export_trace(args, spool_dir)
 
     if args.calibrate:
         threads = args.workers + 2  # + phase-A core + phase-C core
@@ -291,6 +387,27 @@ def _run_exec(args) -> int:
         print()
         print(format_calibration_table(args.name, [row]))
 
+    if args.compare:
+        from repro.obs import format_report
+
+        threads = args.workers + 2  # + phase-A core + phase-C core
+        config = FrameworkConfig().with_(thread_counts=(1, threads))
+        evaluation = ParallelizationFramework(config).evaluate(
+            make_workload(args.name)
+        )
+        print()
+        print(
+            format_report(
+                args.name,
+                evaluation.graph,
+                evaluation.simulations[threads],
+                result.metrics.stage_seconds,
+                measured_speedup=result.metrics.measured_speedup,
+                merged=merged,
+            )
+        )
+
+    _write_metrics(args, result.metrics)
     if args.json:
         import json
 
@@ -302,6 +419,13 @@ def _run_exec(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+
+    # Configured before any child process forks so the repro.exec /
+    # repro.resilience namespaces inherit the threshold.
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(levelname)s %(name)s: %(message)s",
+    )
 
     if args.command == "exec":
         return _run_exec(args)

@@ -49,6 +49,7 @@ item.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import pickle
 import queue as _queue_module
@@ -56,6 +57,14 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional
+
+from repro.obs.events import CHANNEL_IDS, ChaosCode, EventKind
+
+logger = logging.getLogger(__name__)
+
+_CHAOS_LATENCY = int(ChaosCode.CHANNEL_LATENCY)
+_CHAOS_DUPLICATE = int(ChaosCode.CHANNEL_DUPLICATE)
+_CHAOS_DROP = int(ChaosCode.CHANNEL_DROP)
 
 #: Sentinel that survives pickling with identity-free equality: workers
 #: compare by value, so the producer's copy and the worker's copy agree.
@@ -71,6 +80,10 @@ _RAW_TAG = "__repro.exec.frame.raw__"
 
 #: How often a credit-starved flush re-checks the consume counter.
 _CREDIT_POLL = 0.001
+
+#: Queue waits shorter than this are not traced: they are scheduling
+#: noise, and recording them would swamp the bounded spool ring.
+_TRACE_WAIT_NS = 100_000
 
 
 class ChannelTimeout(Exception):
@@ -183,6 +196,27 @@ class ProcessChannel:
         self.max_occupancy_seen = 0
         self.occupancy_samples = 0
         self.occupancy_total = 0
+        #: Per-process trace sink (``repro.obs`` SpoolWriter), set *after*
+        #: fork/spawn by each process that wants its waits on the timeline.
+        #: Never pickled: every process owns its own spool.
+        self.tracer = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["tracer"] = None
+        return state
+
+    def _trace_wait(self, kind: int, t0_ns: int, t1_ns: int) -> None:
+        tracer = self.tracer
+        if tracer is not None and t1_ns - t0_ns >= _TRACE_WAIT_NS:
+            tracer.span(
+                kind, t0_ns, t1_ns, detail=CHANNEL_IDS.get(self.name, 255)
+            )
+
+    def _trace_chaos(self, kind: int, index: int, code: int) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(kind, arg=index, detail=code)
 
     # -- produce side -----------------------------------------------------------
 
@@ -195,11 +229,26 @@ class ProcessChannel:
         chaos = self.chaos
         if chaos is not None:
             if index in chaos.drop_indices:
+                logger.info(
+                    "chaos: dropping item at put-index %d on channel %r",
+                    index, self.name,
+                )
+                self._trace_chaos(EventKind.CHAOS, index, _CHAOS_DROP)
                 return
             delay = chaos.latency_by_index.get(index)
             if delay:
+                logger.info(
+                    "chaos: delaying item at put-index %d on channel %r "
+                    "by %.3fs", index, self.name, delay,
+                )
+                self._trace_chaos(EventKind.CHAOS, index, _CHAOS_LATENCY)
                 time.sleep(delay)
             if index in chaos.duplicate_indices:
+                logger.info(
+                    "chaos: duplicating item at put-index %d on channel %r",
+                    index, self.name,
+                )
+                self._trace_chaos(EventKind.CHAOS, index, _CHAOS_DUPLICATE)
                 copies = 2
         for _ in range(copies):
             self._send_buffer.append(item)
@@ -310,12 +359,21 @@ class ProcessChannel:
         """Block until ``count`` items fit under ``capacity`` — the
         full-side of the synchronization-array blocking discipline, one
         lock acquisition per frame."""
+        wait_started_ns: Optional[int] = None
         while True:
             with self._produces.get_lock():
                 occupancy = self._produces.value - self._consumes.value
                 if occupancy + count <= self.capacity:
                     self._produces.value += count
+                    if wait_started_ns is not None:
+                        self._trace_wait(
+                            EventKind.QUEUE_PUT_WAIT,
+                            wait_started_ns,
+                            time.perf_counter_ns(),
+                        )
                     return
+            if wait_started_ns is None:
+                wait_started_ns = time.perf_counter_ns()
             if deadline is not None and time.monotonic() >= deadline:
                 raise ChannelTimeout(
                     f"channel {self.name or id(self)} full "
@@ -334,12 +392,23 @@ class ProcessChannel:
         """
         if self._recv:
             return self._recv.popleft()
+        wait_started_ns = (
+            time.perf_counter_ns() if self.tracer is not None else 0
+        )
         try:
             raw = self._queue.get(block=True, timeout=timeout)
         except _queue_module.Empty:
+            # Idle polls (the committer's poll_interval heartbeat) are not
+            # queue waits; only a successful get records one.
             raise ChannelTimeout(
                 f"channel {self.name or id(self)} empty for {timeout}s"
             ) from None
+        if self.tracer is not None:
+            self._trace_wait(
+                EventKind.QUEUE_GET_WAIT,
+                wait_started_ns,
+                time.perf_counter_ns(),
+            )
         items = decode_frame(raw)
         if items is None:
             with self._consumes.get_lock():

@@ -39,6 +39,7 @@ busy-work — the bridge for simulated-vs-measured calibration tables.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import time
 from dataclasses import dataclass, field
@@ -51,6 +52,9 @@ from repro.exec.faults import FaultPlan, RobustnessPolicy
 from repro.exec.metrics import EngineMetrics
 from repro.exec.rollback import CommittedStore, Location, WriteBuffer
 from repro.exec.workers import producer_main, worker_main
+from repro.obs.clock import now_ns
+from repro.obs.events import EventKind, TraceConfig
+from repro.obs.spool import open_tracer
 from repro.resilience.checkpoint import (
     Checkpoint,
     CheckpointConfig,
@@ -63,6 +67,8 @@ from repro.resilience.throttle import (
     ThrottleConfig,
     max_window_for,
 )
+
+logger = logging.getLogger(__name__)
 
 #: Window published to workers when throttling is disabled: effectively
 #: unbounded speculation depth.
@@ -157,6 +163,13 @@ class ExecutionEngine:
     one pipe round-trip per frame instead of per item.  ``batch_size=1``
     restores the classic unbatched wire format.  ``flush_interval`` bounds
     how long a partial batch may wait before it is flushed anyway.
+
+    ``trace`` (default: off) attaches the structured tracing layer of
+    :mod:`repro.obs`: the producer, every worker, and the committer write
+    timestamped span/event records into per-process ring spools under
+    ``trace.spool_dir``; :func:`repro.obs.merge.merge_spool_dir` turns them
+    into one timeline after the run.  Tracing never takes down a run — an
+    unwritable spool degrades to no tracing for that process.
     """
 
     def __init__(
@@ -172,6 +185,7 @@ class ExecutionEngine:
         channel_chaos: Optional[ChannelChaos] = None,
         batch_size: int = 16,
         flush_interval: float = 0.005,
+        trace: Optional[TraceConfig] = None,
     ) -> None:
         if plan is not None:
             workers = max(1, plan.replication_width)
@@ -196,6 +210,7 @@ class ExecutionEngine:
         self.throttle_config = throttle if throttle is not None else ThrottleConfig()
         self.checkpoint_config = checkpoints
         self.channel_chaos = channel_chaos
+        self.trace_config = trace
         self._start_method = start_method
         self.metrics = EngineMetrics()
         self.checkpoint_manager: Optional[CheckpointManager] = None
@@ -286,6 +301,10 @@ class ExecutionEngine:
             batch_size=self.batch_size, flush_interval=self.flush_interval,
         )
         shutdown = ctx.Event()
+        # The committer's own spool: claims, commits, conflicts, robustness
+        # events, TASK_C spans, and its done-channel get waits.
+        tracer = open_tracer(self.trace_config, "committer")
+        done.tracer = tracer
         if resume_checkpoint is not None:
             store = resume_checkpoint.restore_store()
             accumulator = resume_checkpoint.restore_accumulator()
@@ -311,7 +330,7 @@ class ExecutionEngine:
         producer = ctx.Process(
             target=producer_main,
             args=(work, spec.iterations, spec.produce, self.fault_plan,
-                  shutdown, start, self.batch_size),
+                  shutdown, start, self.batch_size, self.trace_config),
             name="exec-A",
             daemon=True,
         )
@@ -328,7 +347,8 @@ class ExecutionEngine:
                 target=worker_main,
                 args=(wid, work, done, spec.work, spec.speculative,
                       store.snapshot(), self.fault_plan, shutdown,
-                      watermark_value, window_value, self.batch_size),
+                      watermark_value, window_value, self.batch_size,
+                      self.trace_config),
                 name=f"exec-B{wid}",
                 daemon=True,
             )
@@ -343,6 +363,7 @@ class ExecutionEngine:
         # re-executed serially.
         inflight_values: Dict[int, Any] = {}
         claim_info: Dict[int, Tuple[int, float]] = {}
+        claim_arrival_ns: Dict[int, int] = {}
         worker_claims: Dict[int, Set[int]] = {}
         pending: Dict[int, Tuple[Any, dict, dict]] = {}
         serial_needed: Set[int] = set()
@@ -351,25 +372,48 @@ class ExecutionEngine:
         producer_failed = False
         last_activity = time.monotonic()
 
+        def respawn(wid: int, reason: str) -> None:
+            nonlocal respawns_left
+            respawns_left -= 1
+            metrics.respawns += 1
+            spawn_worker()
+            new_wid = next_worker_id - 1
+            logger.info(
+                "respawned worker %d (replacing %d after %s, %d respawns "
+                "left)", new_wid, wid, reason, respawns_left,
+            )
+            if tracer is not None:
+                tracer.instant(EventKind.RESPAWN, arg=new_wid, arg2=wid)
+
         def serial_reexecute(i: int) -> Any:
             """Misspeculation-as-re-execution: run task *i* on live state."""
             value = inflight_values[i]
-            started = time.monotonic()
+            t0_ns = now_ns()
             if spec.speculative:
                 buffer = WriteBuffer(store.snapshot())
                 result = spec.work(i, value, buffer)
                 store.apply(buffer.writes)
             else:
                 result = spec.work(i, value)
-            metrics.stage_seconds["B"] += time.monotonic() - started
+            t1_ns = now_ns()
+            elapsed = (t1_ns - t0_ns) * 1e-9
+            metrics.stage_seconds["B"] += elapsed
             metrics.serial_reexecutions += 1
+            metrics.record_latency("serial_reexec", elapsed)
+            if tracer is not None:
+                tracer.record(EventKind.SERIAL_REEXEC, t0_ns, t1_ns, arg=i)
             return result
 
         def commit(i: int, result: Any, misspeculated: bool = False) -> None:
             nonlocal next_commit, last_activity
-            started = time.monotonic()
+            t0_ns = now_ns()
             spec.commit(i, result, accumulator)
-            metrics.stage_seconds["C"] += time.monotonic() - started
+            # One clock pair feeds stage_seconds, the latency histogram,
+            # commit lag, *and* the trace span — tracing adds no clock calls.
+            commit_ns = now_ns()
+            elapsed = (commit_ns - t0_ns) * 1e-9
+            metrics.stage_seconds["C"] += elapsed
+            metrics.record_latency("task_c", elapsed)
             metrics.commits += 1
             if i == next_commit:
                 metrics.in_order_commits += 1
@@ -381,13 +425,44 @@ class ExecutionEngine:
                 worker_claims.get(info[0], set()).discard(i)
             serial_needed.discard(i)
             last_activity = time.monotonic()
+            claimed_ns = claim_arrival_ns.pop(i, None)
+            if claimed_ns is not None and commit_ns >= claimed_ns:
+                metrics.record_latency(
+                    "commit_lag", (commit_ns - claimed_ns) / 1e9
+                )
+            if tracer is not None:
+                # The span's end *is* the commit point and arg2 carries the
+                # misspeculation flag; the merger synthesizes the COMMIT
+                # instant from it, halving committer record volume.
+                tracer.record(
+                    EventKind.TASK_C, t0_ns, commit_ns, arg=i,
+                    arg2=1 if misspeculated else 0,
+                )
             if throttle is not None:
                 new_window = throttle.record(misspeculated)
                 if new_window is not None:
+                    shrink = new_window < window_value.value
                     window_value.value = new_window
+                    logger.debug(
+                        "throttle %s: speculative window now %d",
+                        "shrink" if shrink else "grow", new_window,
+                    )
+                    if tracer is not None:
+                        tracer.instant(
+                            EventKind.THROTTLE, arg=new_window,
+                            detail=0 if shrink else 1,
+                        )
             if manager is not None:
+                taken_before = manager.taken
                 manager.maybe(next_commit, store, accumulator, metrics)
                 metrics.checkpoints_taken = manager.taken
+                if manager.taken > taken_before:
+                    logger.info(
+                        "checkpoint %d taken at commit watermark %d",
+                        manager.taken, next_commit,
+                    )
+                    if tracer is not None:
+                        tracer.instant(EventKind.CHECKPOINT, arg=next_commit)
 
         def advance_commits() -> None:
             while next_commit < spec.iterations:
@@ -397,6 +472,8 @@ class ExecutionEngine:
                     stale = store.validate(reads) if spec.speculative else []
                     if stale:
                         metrics.conflicts += 1
+                        if tracer is not None:
+                            tracer.instant(EventKind.CONFLICT, arg=i)
                         commit(i, serial_reexecute(i), misspeculated=True)
                     else:
                         store.apply(writes)
@@ -446,14 +523,20 @@ class ExecutionEngine:
                     continue
                 if now - claimed_at > policy.task_timeout:
                     metrics.worker_timeouts += 1
+                    logger.warning(
+                        "worker %d hung on iteration %d for more than "
+                        "%.1fs; terminating", wid, i, policy.task_timeout,
+                    )
+                    if tracer is not None:
+                        tracer.instant(
+                            EventKind.WORKER_TIMEOUT, arg=i, arg2=wid
+                        )
                     proc.terminate()
                     proc.join(policy.join_timeout)
                     processes[wid] = None
                     handle_lost_worker(wid)
                     if respawns_left > 0:
-                        respawns_left -= 1
-                        metrics.respawns += 1
-                        spawn_worker()
+                        respawn(wid, "hang timeout")
                     last_activity = now
             # Crashed workers: exited nonzero (clean stop exits 0).
             for wid, proc in list(processes.items()):
@@ -463,11 +546,18 @@ class ExecutionEngine:
                 processes[wid] = None
                 if proc.exitcode != 0:
                     metrics.worker_crashes += 1
+                    logger.warning(
+                        "worker %d crashed (exit code %s)",
+                        wid, proc.exitcode,
+                    )
+                    if tracer is not None:
+                        tracer.instant(
+                            EventKind.WORKER_CRASH, arg=wid,
+                            arg2=proc.exitcode or 0,
+                        )
                     handle_lost_worker(wid)
                     if respawns_left > 0:
-                        respawns_left -= 1
-                        metrics.respawns += 1
-                        spawn_worker()
+                        respawn(wid, f"crash (exit {proc.exitcode})")
                     last_activity = now
             # Producer death before dispatching everything.
             if (
@@ -477,6 +567,14 @@ class ExecutionEngine:
             ):
                 producer_failed = True
                 metrics.producer_crashed = True
+                logger.error(
+                    "producer crashed (exit code %s); degrading to "
+                    "sequential", producer.exitcode,
+                )
+                if tracer is not None:
+                    tracer.instant(
+                        EventKind.PRODUCER_CRASH, arg2=producer.exitcode or 0
+                    )
 
         def handle_message(message: tuple) -> None:
             nonlocal last_activity
@@ -488,12 +586,24 @@ class ExecutionEngine:
                     return  # late duplicate of an already-committed task
                 inflight_values[i] = value
                 claim_info[i] = (wid, last_activity)
+                if i not in claim_arrival_ns:
+                    # First claim wins: one timestamp serves both commit-lag
+                    # accounting and the CLAIM trace record (re-claims after
+                    # a crash hand-back keep the original arrival).
+                    claim_ns = now_ns()
+                    claim_arrival_ns[i] = claim_ns
+                    if tracer is not None:
+                        tracer.record(
+                            EventKind.CLAIM, claim_ns, claim_ns,
+                            arg=i, arg2=wid,
+                        )
                 worker_claims.setdefault(wid, set()).add(i)
                 # A fresh claim transfers ownership: the live claimant will
                 # deliver a result or fault (or fall to the hung-task
                 # timeout), so a previously scheduled serial retry yields.
                 serial_needed.discard(i)
                 metrics.stage_seconds["A"] += a_seconds
+                metrics.record_latency("task_a", a_seconds)
             elif tag == "result":
                 _, wid, i, result, reads, writes, b_seconds = message
                 if i < next_commit:
@@ -506,12 +616,19 @@ class ExecutionEngine:
                     return
                 pending[i] = (result, reads, writes)
                 metrics.stage_seconds["B"] += b_seconds
+                metrics.record_latency("task_b", b_seconds)
                 metrics.worker_iterations[wid] = (
                     metrics.worker_iterations.get(wid, 0) + 1
                 )
             elif tag == "fault":
-                _, wid, i, _message = message
+                _, wid, i, fault_message = message
                 metrics.soft_faults += 1
+                logger.warning(
+                    "worker %d reported soft fault on iteration %d: %s",
+                    wid, i, fault_message,
+                )
+                if tracer is not None:
+                    tracer.instant(EventKind.SOFT_FAULT, arg=i, arg2=wid)
                 if i >= next_commit and i not in pending:
                     serial_needed.add(i)
                     metrics.retries += 1
@@ -525,11 +642,17 @@ class ExecutionEngine:
                 advance_commits()
                 if next_commit >= spec.iterations:
                     break
+                wait_started = time.monotonic()
                 try:
-                    handle_message(done.get(timeout=policy.poll_interval))
-                    continue  # drain greedily before health checks
+                    message = done.get(timeout=policy.poll_interval)
                 except ChannelTimeout:
                     pass
+                else:
+                    metrics.record_latency(
+                        "queue_wait", time.monotonic() - wait_started
+                    )
+                    handle_message(message)
+                    continue  # drain greedily before health checks
                 work.sample_occupancy()
                 done.sample_occupancy()
                 check_health()
@@ -543,10 +666,34 @@ class ExecutionEngine:
                 if producer_failed or not live_workers or stalled:
                     degraded = True
                     break
+        except BaseException:
+            # A committer-side crash (a commit callback raising, an
+            # interrupt) must not leak the pipeline.  Children left alive
+            # keep writing the channels' shared counters, and once this
+            # frame unwinds the parent frees those counter blocks back to
+            # the multiprocessing heap — where the *next* engine's channels
+            # reuse them while the orphans still hold the same mapping,
+            # silently corrupting a later run's metrics.  Kill and reap
+            # everything, release the channels, then let the crash
+            # propagate (the committer's spool is closed cleanly so a
+            # post-mortem trace survives).
+            shutdown.set()
+            self._halt(producer, processes)
+            for channel in (work, done):
+                channel.close()
+            if tracer is not None:
+                tracer.close()
+            raise
         finally:
             shutdown.set()
 
         if degraded:
+            logger.warning(
+                "degrading to sequential execution at commit watermark %d",
+                next_commit,
+            )
+            if tracer is not None:
+                tracer.instant(EventKind.DEGRADE, arg=next_commit)
             self._degrade(
                 spec, store, accumulator, next_commit, pending, producer,
                 processes,
@@ -562,6 +709,8 @@ class ExecutionEngine:
         for channel in (work, done):
             metrics.channel_stats[channel.name] = channel.occupancy_stats()
             channel.close()
+        if tracer is not None:
+            tracer.close()
         return EngineResult(
             spec.finalize(accumulator),
             metrics,
@@ -629,6 +778,26 @@ class ExecutionEngine:
             metrics.serial_reexecutions += 1
             spec.commit(i, result, accumulator)
             committed(i)
+
+    def _halt(self, producer, processes) -> None:
+        """Emergency stop: terminate and reap every child, unconditionally.
+
+        The crashed-committer path.  Cooperative shutdown is not enough
+        here: with no consumer left a worker can be blocked mid-put
+        (credit starvation polls forever), so the children are killed
+        outright and joined — nothing may outlive the run and keep
+        touching its shared state.
+        """
+        procs = [producer] + list(processes.values())
+        for proc in procs:
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            if proc is not None:
+                proc.join(self.policy.join_timeout)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(self.policy.join_timeout)
 
     def _teardown(self, producer, processes, done: ProcessChannel) -> None:
         """Normal completion: let children observe shutdown and exit."""

@@ -15,6 +15,15 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.obs.hist import LatencyHistogram, format_seconds, summarize
+
+
+def _round_floats(summary: dict, digits: int = 6) -> dict:
+    return {
+        key: round(value, digits) if isinstance(value, float) else value
+        for key, value in summary.items()
+    }
+
 
 @dataclass
 class EngineMetrics:
@@ -72,6 +81,19 @@ class EngineMetrics:
     # -- channels ----------------------------------------------------------------
     channel_stats: Dict[str, dict] = field(default_factory=dict)
 
+    # -- latency distributions ---------------------------------------------------
+    #: Per-event latency histograms the committer populates live (no
+    #: tracing required): ``task_a``/``task_b``/``task_c`` execution time
+    #: per iteration, ``commit_lag`` (claim arrival -> commit), and
+    #: ``queue_wait`` (the committer's blocking done-channel reads).
+    latency: Dict[str, LatencyHistogram] = field(default_factory=dict)
+
+    def record_latency(self, series: str, seconds: float) -> None:
+        histogram = self.latency.get(series)
+        if histogram is None:
+            histogram = self.latency[series] = LatencyHistogram()
+        histogram.add(seconds)
+
     @property
     def measured_speedup(self) -> Optional[float]:
         """Sequential wall time over engine wall time, when both were timed."""
@@ -85,8 +107,9 @@ class EngineMetrics:
 
     @property
     def comm_overhead(self) -> Dict[str, dict]:
-        """Per-channel communication cost of the batched transport:
-        frame flushes, mean items per frame, and serialize seconds."""
+        """Per-channel communication cost of the batched transport (a view
+        over ``channel_stats`` for the CLI summary; the JSON export carries
+        the stats once, canonically, under ``"channels"``)."""
         overhead = {}
         for name, stats in self.channel_stats.items():
             overhead[name] = {
@@ -142,7 +165,10 @@ class EngineMetrics:
             "min_window": self.min_window,
             "final_window": self.final_window,
             "channels": self.channel_stats,
-            "comm_overhead": self.comm_overhead,
+            "latency_histograms": {
+                name: _round_floats(summary)
+                for name, summary in summarize(self.latency).items()
+            },
         }
         return data
 
@@ -195,11 +221,20 @@ class EngineMetrics:
             )
         if resilience_bits:
             lines.append("resilience        " + ", ".join(resilience_bits))
+        for name, histogram in sorted(self.latency.items()):
+            if histogram.count:
+                lines.append(
+                    f"latency {name:<11} {histogram.format_line()}"
+                )
+        # Channel stats may be partial (a resumed run that finished without
+        # restarting the pipeline, a degraded teardown): read defensively.
         for name, stats in self.channel_stats.items():
             lines.append(
-                f"channel {name:<9} max occupancy {stats['max_occupancy']}/"
-                f"{stats['capacity']}, mean {stats['mean_occupancy']}, "
-                f"{stats['produces']} produces / {stats['consumes']} consumes"
+                f"channel {name:<9} max occupancy "
+                f"{stats.get('max_occupancy', 0)}/{stats.get('capacity', 0)}, "
+                f"mean {stats.get('mean_occupancy', 0.0)}, "
+                f"{stats.get('produces', 0)} produces / "
+                f"{stats.get('consumes', 0)} consumes"
             )
         overhead = self.comm_overhead
         if overhead:

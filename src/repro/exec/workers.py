@@ -47,6 +47,7 @@ open the window.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from typing import Any, Callable, Optional
@@ -54,6 +55,11 @@ from typing import Any, Callable, Optional
 from repro.exec.channels import ChannelTimeout, ProcessChannel, STOP
 from repro.exec.faults import FaultPlan, InjectedFault
 from repro.exec.rollback import Snapshot, WriteBuffer
+from repro.obs.clock import now_ns
+from repro.obs.events import ChaosCode, EventKind, TraceConfig
+from repro.obs.spool import open_tracer
+
+logger = logging.getLogger(__name__)
 
 #: How often an idle stage re-checks the shutdown event (seconds).
 _IDLE_POLL = 0.2
@@ -81,6 +87,7 @@ def producer_main(
     shutdown,
     start: int = 0,
     max_chunk: int = 1,
+    trace: Optional[TraceConfig] = None,
 ) -> None:
     """Phase A: run ``produce`` per iteration, dispatch chunks downstream.
 
@@ -89,31 +96,48 @@ def producer_main(
     ``start`` are dispatched, and injections keyed below ``start`` are
     treated as already spent.
     """
+    tracer = open_tracer(trace, "producer")
+    work.tracer = tracer
     chunk_target = 1
-    for i in range(iterations):
-        if (
-            fault_plan is not None
-            and fault_plan.producer_crash_at == i
-            and i >= start
-        ):
-            # Crash *before dispatching* iteration i: everything produced so
-            # far must still reach the workers.
-            _drain_flush(work, shutdown)
-            work.flush_and_close()
-            os._exit(3)
-        started = time.monotonic()
-        value = produce(i)
-        elapsed = time.monotonic() - started
-        if i < start:
-            continue
-        work.put_buffered((i, value, elapsed))
-        if work.pending_items >= chunk_target or work.flush_due():
-            if not _drain_flush(work, shutdown):
-                return
-            chunk_target = min(max_chunk, chunk_target * 2)
-    if not _drain_flush(work, shutdown):
-        return
-    work.flush_and_close()
+    try:
+        for i in range(iterations):
+            if (
+                fault_plan is not None
+                and fault_plan.producer_crash_at == i
+                and i >= start
+            ):
+                # Crash *before dispatching* iteration i: everything produced
+                # so far must still reach the workers.
+                logger.info("injected producer crash before iteration %d", i)
+                _drain_flush(work, shutdown)
+                work.flush_and_close()
+                if tracer is not None:
+                    tracer.instant(
+                        EventKind.CHAOS, arg=i, detail=int(ChaosCode.CRASH)
+                    )
+                    tracer.flush()
+                os._exit(3)
+            # One clock pair serves both the metrics (a_seconds) and the
+            # trace span — tracing adds zero clock calls on this path.
+            t0_ns = now_ns()
+            value = produce(i)
+            t1_ns = now_ns()
+            elapsed = (t1_ns - t0_ns) * 1e-9
+            if tracer is not None and i >= start:
+                tracer.record(EventKind.TASK_A, t0_ns, t1_ns, arg=i)
+            if i < start:
+                continue
+            work.put_buffered((i, value, elapsed))
+            if work.pending_items >= chunk_target or work.flush_due():
+                if not _drain_flush(work, shutdown):
+                    return
+                chunk_target = min(max_chunk, chunk_target * 2)
+        if not _drain_flush(work, shutdown):
+            return
+        work.flush_and_close()
+    finally:
+        if tracer is not None:
+            tracer.close()
 
 
 def worker_main(
@@ -128,9 +152,13 @@ def worker_main(
     watermark=None,
     window=None,
     max_chunk: int = 1,
+    trace: Optional[TraceConfig] = None,
 ) -> None:
     """Phase B replica: claim a chunk, gate on the throttle window, execute
     speculatively, report in batched frames."""
+    tracer = open_tracer(trace, f"worker-{worker_id}")
+    work.tracer = tracer
+    done.tracer = tracer
 
     def stop() -> None:
         done.put(("stopped", worker_id))
@@ -139,6 +167,31 @@ def worker_main(
         except ChannelTimeout:
             pass
 
+    try:
+        _worker_loop(
+            worker_id, work, done, work_fn, speculative, snapshot,
+            fault_plan, shutdown, watermark, window, max_chunk, stop, tracer,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+
+
+def _worker_loop(
+    worker_id: int,
+    work: ProcessChannel,
+    done: ProcessChannel,
+    work_fn: Callable,
+    speculative: bool,
+    snapshot: Snapshot,
+    fault_plan: Optional[FaultPlan],
+    shutdown,
+    watermark,
+    window,
+    max_chunk: int,
+    stop: Callable[[], None],
+    tracer,
+) -> None:
     while True:
         _drain_flush(done, shutdown)  # bound result latency before blocking
         try:
@@ -170,12 +223,30 @@ def worker_main(
             # very commits that advance the watermark.
             if watermark is not None and window is not None:
                 if i - watermark.value >= window.value:
+                    gate_t0 = now_ns()
                     _drain_flush(done, shutdown)
                     while (
                         i - watermark.value >= window.value
                         and not shutdown.is_set()
                     ):
                         time.sleep(_GATE_POLL)
+                    if tracer is not None:
+                        tracer.span(
+                            EventKind.GATE_WAIT, gate_t0, now_ns(),
+                            arg=i, arg2=worker_id,
+                        )
+
+            # Begin marker *before* the injection checks: a task this
+            # process never finishes (crash, hang-then-kill) leaves an
+            # unmatched begin that the merger recovers as an aborted span.
+            # Written only under an active fault plan — the one regime where
+            # a process deliberately dies mid-task *and flushes first*, so
+            # the marker can actually reach disk.  A real crash loses the
+            # write buffer regardless, and unconditional begins would double
+            # the worker's record volume for insurance the buffer cannot
+            # honor.
+            if tracer is not None and fault_plan is not None:
+                tracer.instant(EventKind.TASK_B_BEGIN, arg=i, arg2=worker_id)
 
             if fault_plan is not None:
                 if i in fault_plan.crash_iterations:
@@ -185,6 +256,10 @@ def worker_main(
                     # per-iteration injections) picks them up; their claims
                     # are already on the wire, so the committer's serial
                     # retry still covers them if the hand-back is lost.
+                    logger.info(
+                        "injected crash in worker %d at iteration %d",
+                        worker_id, i,
+                    )
                     rest = [item for item in items if item[0] > i]
                     if rest:
                         work.chaos = None  # injections already applied
@@ -196,11 +271,29 @@ def worker_main(
                         # the hand-back onto the pipe before the hard exit.
                         work.flush_and_close(flush_timeout=0.5)
                     done.flush_and_close()
+                    if tracer is not None:
+                        tracer.instant(
+                            EventKind.CHAOS, arg=i, arg2=worker_id,
+                            detail=int(ChaosCode.CRASH),
+                        )
+                        tracer.flush()
                     os._exit(1)
                 if i in fault_plan.hang_iterations:
+                    logger.info(
+                        "injected hang in worker %d at iteration %d "
+                        "(%.3fs)", worker_id, i, fault_plan.hang_seconds,
+                    )
+                    if tracer is not None:
+                        tracer.instant(
+                            EventKind.CHAOS, arg=i, arg2=worker_id,
+                            detail=int(ChaosCode.HANG),
+                        )
+                        # A hung worker is killed, not asked: flush now so
+                        # the injection survives the SIGTERM.
+                        tracer.flush()
                     time.sleep(fault_plan.hang_seconds)
 
-            started = time.monotonic()
+            t0_ns = now_ns()
             try:
                 if fault_plan is not None and (
                     i in fault_plan.error_iterations
@@ -209,6 +302,15 @@ def worker_main(
                     # Forced conflicts degenerate to soft faults when there
                     # is no read set to poison: the serial-retry path still
                     # runs.
+                    logger.info(
+                        "injected soft fault in worker %d at iteration %d",
+                        worker_id, i,
+                    )
+                    if tracer is not None:
+                        tracer.instant(
+                            EventKind.CHAOS, arg=i, arg2=worker_id,
+                            detail=int(ChaosCode.SOFT_FAULT),
+                        )
                     raise InjectedFault(f"injected fault at iteration {i}")
                 if speculative:
                     buffer = WriteBuffer(snapshot)
@@ -218,20 +320,57 @@ def worker_main(
                     result = work_fn(i, value)
                     reads, writes = {}, {}
             except Exception as error:
+                # The task ran (and raised): record its span so the open
+                # begin marker is matched — aborted spans mean the *process*
+                # died mid-task, not that the task faulted.
+                if tracer is not None:
+                    tracer.record(
+                        EventKind.TASK_B, t0_ns, now_ns(),
+                        arg=i, arg2=worker_id,
+                    )
                 done.put(("fault", worker_id, i, repr(error)))
                 continue
-            elapsed = time.monotonic() - started
+            # Same clock pair for b_seconds and the span (see producer).
+            t1_ns = now_ns()
+            elapsed = (t1_ns - t0_ns) * 1e-9
+            if tracer is not None:
+                tracer.record(
+                    EventKind.TASK_B, t0_ns, t1_ns, arg=i, arg2=worker_id
+                )
 
             if fault_plan is not None:
                 if i in fault_plan.conflict_iterations and speculative:
                     # Forced misspeculation: report a read of a version that
                     # can never validate, so the committer must roll back
                     # and re-execute serially.
+                    logger.info(
+                        "injected forced conflict in worker %d at "
+                        "iteration %d", worker_id, i,
+                    )
+                    if tracer is not None:
+                        tracer.instant(
+                            EventKind.CHAOS, arg=i, arg2=worker_id,
+                            detail=int(ChaosCode.FORCED_CONFLICT),
+                        )
                     reads = dict(reads)
                     reads[("__chaos__", i)] = 0
                 if i in fault_plan.latency_iterations:
+                    if tracer is not None:
+                        tracer.instant(
+                            EventKind.CHAOS, arg=i, arg2=worker_id,
+                            detail=int(ChaosCode.RESULT_LATENCY),
+                        )
                     time.sleep(fault_plan.latency_seconds)
                 if i in fault_plan.drop_result_iterations:
+                    logger.info(
+                        "injected result drop in worker %d at iteration %d",
+                        worker_id, i,
+                    )
+                    if tracer is not None:
+                        tracer.instant(
+                            EventKind.CHAOS, arg=i, arg2=worker_id,
+                            detail=int(ChaosCode.RESULT_DROP),
+                        )
                     continue  # the result message is lost on the wire
             message = ("result", worker_id, i, result, reads, writes, elapsed)
             done.put(message)
@@ -239,5 +378,10 @@ def worker_main(
                 fault_plan is not None
                 and i in fault_plan.duplicate_result_iterations
             ):
+                if tracer is not None:
+                    tracer.instant(
+                        EventKind.CHAOS, arg=i, arg2=worker_id,
+                        detail=int(ChaosCode.RESULT_DUPLICATE),
+                    )
                 done.put(message)
         _drain_flush(done, shutdown)

@@ -1,0 +1,79 @@
+"""repro.obs — structured tracing for the execution stack.
+
+Where :mod:`repro.exec.metrics` reports end-of-run aggregates, this
+package records *when everything happened*: producer, workers, and the
+committer emit timestamped span/event records into per-process binary
+spool files (:mod:`repro.obs.spool` — ring-buffered, chaos-safe, no
+hot-path pipe traffic), timestamps merge across processes through a
+per-process clock handshake (:mod:`repro.obs.clock`), and a post-run
+merger (:mod:`repro.obs.merge`) recovers a coherent timeline that exports
+to the Chrome trace-event format (:mod:`repro.obs.export`, loadable in
+Perfetto), feeds per-stage latency histograms (:mod:`repro.obs.hist`),
+and lines up against the simulator's predicted schedule
+(:mod:`repro.obs.compare`).
+
+Tracing is **off by default** (pass a :class:`TraceConfig` to the engine
+or ``--trace out.json`` to the CLI), **bounded** (per-process ring with an
+explicit ``dropped_events`` count), and **must never take down a run**: an
+unwritable spool degrades to no tracing, and a spool truncated by a
+crashed worker merges into an aborted span, not a corrupt trace.
+"""
+
+from repro.obs.clock import ClockAnchor, now_ns
+from repro.obs.compare import (
+    PhaseComparison,
+    compare_phases,
+    format_report,
+    render_measured_timeline,
+)
+from repro.obs.events import (
+    ChaosCode,
+    EventKind,
+    Instant,
+    Span,
+    TraceConfig,
+)
+from repro.obs.export import (
+    load_and_validate,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.hist import LatencyHistogram, format_seconds, percentile
+from repro.obs.merge import MergedTrace, merge_spool_dir, merge_spools
+from repro.obs.spool import (
+    SpoolData,
+    SpoolError,
+    SpoolWriter,
+    open_tracer,
+    read_spool,
+)
+
+__all__ = [
+    "ChaosCode",
+    "ClockAnchor",
+    "EventKind",
+    "Instant",
+    "LatencyHistogram",
+    "MergedTrace",
+    "PhaseComparison",
+    "Span",
+    "SpoolData",
+    "SpoolError",
+    "SpoolWriter",
+    "TraceConfig",
+    "compare_phases",
+    "format_report",
+    "format_seconds",
+    "load_and_validate",
+    "merge_spool_dir",
+    "merge_spools",
+    "now_ns",
+    "open_tracer",
+    "percentile",
+    "read_spool",
+    "render_measured_timeline",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,194 @@
+"""Predicted vs measured: close the loop the metrics module promises.
+
+The simulator (:mod:`repro.core.simulator`) predicts a schedule from
+abstract per-phase task costs; the engine measures what real processes
+did.  This module lines the two up:
+
+- :func:`compare_phases` — per-phase (A/B/C) busy-time *shares*:
+  the simulator's abstract work units normalized against the engine's
+  measured ``stage_seconds``, with the relative error per phase.  Shares,
+  not absolutes: work units and wall seconds have no common scale, but a
+  correct cost model must put the same *fraction* of the total work in
+  each phase.
+- :func:`render_measured_timeline` — the measured analog of
+  :func:`repro.core.gantt.render_gantt`: one row per traced process,
+  bucketed over the run, phase letters for execution, ``#`` for queue/gate
+  waits, ``!`` for aborted spans.
+- :func:`format_report` — the side-by-side report the CLI prints for
+  ``python -m repro exec NAME --compare``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.gantt import render_gantt
+from repro.core.simulator import SimulationResult
+from repro.core.tasks import Phase, TaskGraph
+from repro.obs.events import EventKind, Span
+from repro.obs.merge import MergedTrace
+
+_PHASES = ("A", "B", "C")
+
+
+@dataclass(frozen=True)
+class PhaseComparison:
+    """One phase's predicted-vs-measured busy-time share."""
+
+    phase: str
+    predicted_units: int
+    predicted_share: float
+    measured_seconds: float
+    measured_share: float
+
+    @property
+    def relative_error(self) -> Optional[float]:
+        """|measured - predicted| / predicted, on shares; ``None`` when the
+        simulator predicts no work at all for the phase."""
+        if self.predicted_share == 0.0:
+            return None if self.measured_share == 0.0 else float("inf")
+        return abs(self.measured_share - self.predicted_share) / self.predicted_share
+
+
+def predicted_phase_units(graph: TaskGraph) -> Dict[str, int]:
+    """Total abstract work units per phase in the simulator's task graph."""
+    units = {phase: 0 for phase in _PHASES}
+    for task in graph.tasks:
+        units[task.phase.value] += task.cost
+    return units
+
+
+def compare_phases(graph: TaskGraph, stage_seconds: Dict[str, float]) -> List[PhaseComparison]:
+    """Per-phase share comparison between a task graph and measured stages."""
+    units = predicted_phase_units(graph)
+    predicted_total = sum(units.values())
+    measured_total = sum(stage_seconds.get(phase, 0.0) for phase in _PHASES)
+    rows = []
+    for phase in _PHASES:
+        predicted = units[phase]
+        measured = stage_seconds.get(phase, 0.0)
+        rows.append(
+            PhaseComparison(
+                phase=phase,
+                predicted_units=predicted,
+                predicted_share=(
+                    predicted / predicted_total if predicted_total else 0.0
+                ),
+                measured_seconds=measured,
+                measured_share=(
+                    measured / measured_total if measured_total else 0.0
+                ),
+            )
+        )
+    return rows
+
+
+def format_phase_table(rows: List[PhaseComparison]) -> str:
+    lines = [
+        "phase  predicted(units)  share   measured(s)  share   rel.error",
+    ]
+    for row in rows:
+        error = row.relative_error
+        error_text = "n/a" if error is None else f"{error:7.1%}"
+        lines.append(
+            f"  {row.phase}    {row.predicted_units:>14}  {row.predicted_share:6.1%}"
+            f"   {row.measured_seconds:>9.3f}  {row.measured_share:6.1%}   {error_text}"
+        )
+    return "\n".join(lines)
+
+
+def render_measured_timeline(
+    merged: MergedTrace, width: int = 100, max_rows: int = 16
+) -> str:
+    """The measured Gantt: one row per traced process, like the simulator's.
+
+    Glyphs: the phase letter (``A``/``B``/``C``) where task execution
+    occupied most of the bucket, ``r`` for serial re-execution, ``#`` for
+    queue/gate blocking, ``!`` for aborted spans, ``.`` idle.
+    """
+    total_ns = merged.duration_ns()
+    if total_ns <= 0 or not merged.spans:
+        return "(empty measured timeline)"
+    bucket_ns = max(1, -(-total_ns // width))
+    columns = -(-total_ns // bucket_ns)
+
+    glyph_for = {
+        EventKind.TASK_A: "A",
+        EventKind.TASK_B: "B",
+        EventKind.TASK_C: "C",
+        EventKind.SERIAL_REEXEC: "r",
+        EventKind.QUEUE_PUT_WAIT: "#",
+        EventKind.QUEUE_GET_WAIT: "#",
+        EventKind.GATE_WAIT: "#",
+    }
+    #: Lower number paints over higher: tasks beat waits beat idle.
+    priority = {"!": 0, "A": 1, "B": 1, "C": 1, "r": 1, "#": 2, ".": 9}
+
+    def order(role: str) -> tuple:
+        head = {"producer": 0, "committer": 2}.get(role.split("-")[0], 1)
+        return (head, role)
+
+    roles = sorted({span.role for span in merged.spans}, key=order)
+    if len(roles) > max_rows:
+        roles = roles[: max_rows - 1] + [roles[-1]]
+    rows = {role: ["."] * columns for role in roles}
+    for span in merged.spans:
+        row = rows.get(span.role)
+        if row is None:
+            continue
+        glyph = "!" if span.aborted else glyph_for.get(span.kind)
+        if glyph is None:
+            continue
+        first = span.start_ns // bucket_ns
+        last = min(-(-span.end_ns // bucket_ns), columns)
+        for column in range(first, max(last, first + 1)):
+            if column < columns and priority[glyph] < priority[row[column]]:
+                row[column] = glyph
+
+    lines = [
+        f"t = 0 .. {total_ns / 1e6:.1f}ms measured "
+        f"({bucket_ns / 1e6:.2f}ms per column)"
+    ]
+    width_role = max(len(role) for role in roles)
+    for role in roles:
+        lines.append(f"{role:>{width_role}} |{''.join(rows[role])}|")
+    return "\n".join(lines)
+
+
+def format_report(
+    name: str,
+    graph: TaskGraph,
+    sim_result: SimulationResult,
+    stage_seconds: Dict[str, float],
+    measured_speedup: Optional[float] = None,
+    merged: Optional[MergedTrace] = None,
+    width: int = 100,
+) -> str:
+    """The full side-by-side report for one workload."""
+    lines = [f"=== predicted vs measured: {name} ==="]
+    lines.append("")
+    lines.append(f"-- simulator schedule ({sim_result.machine.cores} cores) --")
+    lines.append(render_gantt(graph, sim_result, width=width))
+    lines.append("")
+    if merged is not None:
+        lines.append("-- measured timeline --")
+        lines.append(render_measured_timeline(merged, width=width))
+        lines.append("")
+    lines.append("-- per-phase busy-time shares --")
+    rows = compare_phases(graph, stage_seconds)
+    lines.append(format_phase_table(rows))
+    errors = [row.relative_error for row in rows if row.relative_error is not None]
+    finite = [error for error in errors if error != float("inf")]
+    if finite:
+        lines.append(
+            f"mean per-phase relative error: {sum(finite) / len(finite):.1%}"
+        )
+    if measured_speedup is not None and sim_result.makespan:
+        predicted = sim_result.speedup
+        lines.append(
+            f"speedup: predicted {predicted:.2f}x vs measured "
+            f"{measured_speedup:.2f}x "
+            f"(ratio {measured_speedup / predicted:.2f})"
+        )
+    return "\n".join(lines)

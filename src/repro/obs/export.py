@@ -1,0 +1,233 @@
+"""Chrome trace-event export: open the run in Perfetto.
+
+Turns a :class:`~repro.obs.merge.MergedTrace` into the JSON object format
+of the Chrome trace-event spec (the ``{"traceEvents": [...]}`` envelope
+that https://ui.perfetto.dev and ``chrome://tracing`` both load):
+
+- one track per traced OS process (producer, each worker incarnation, the
+  committer), named through ``process_name`` metadata events;
+- complete (``"ph": "X"``) events for spans — phase letters for task
+  execution, ``wait:*`` for queue/gate blocking, ``reexec`` for serial
+  recovery — with the iteration id in ``args``;
+- instant (``"ph": "i"``) events for claims, commits, conflicts, chaos
+  injections, throttle moves, checkpoints, and robustness events;
+- a synthetic **committed order** track (pid 0): one span per commit from
+  claim arrival to commit completion, in commit order — the engine's
+  in-order heartbeat laid out against the workers' out-of-order reality;
+- loss accounting under ``otherData`` (``dropped_events``,
+  ``aborted_spans``, ``corrupt_slots``, ``truncated_spools``) so a
+  recovered-from-chaos trace says so on its face.
+
+:func:`validate_chrome_trace` is the schema check the tests (and the CI
+chaos job) run against every produced file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Any, Dict, List
+
+from repro.obs.events import (
+    CATEGORY_BY_KIND,
+    CHANNEL_NAMES,
+    ChaosCode,
+    EventKind,
+    Instant,
+    Span,
+)
+from repro.obs.merge import MergedTrace, commit_lag_spans
+
+#: Synthetic pid for the committed-order track (real pids are never 0).
+COMMITTED_ORDER_PID = 0
+
+_SPAN_NAMES = {
+    EventKind.TASK_A: "A",
+    EventKind.TASK_B: "B",
+    EventKind.TASK_C: "C",
+    EventKind.SERIAL_REEXEC: "reexec",
+    EventKind.GATE_WAIT: "wait:gate",
+}
+
+
+def _span_name(span: Span) -> str:
+    if span.kind in (EventKind.QUEUE_PUT_WAIT, EventKind.QUEUE_GET_WAIT):
+        side = "put" if span.kind == EventKind.QUEUE_PUT_WAIT else "get"
+        channel = CHANNEL_NAMES.get(span.detail, f"ch{span.detail}")
+        return f"wait:{side}:{channel}"
+    return _SPAN_NAMES.get(span.kind, span.kind.name.lower())
+
+
+def _instant_name(instant: Instant) -> str:
+    if instant.kind == EventKind.CHAOS:
+        try:
+            return f"chaos:{ChaosCode(instant.detail).name.lower()}"
+        except ValueError:
+            return "chaos"
+    if instant.kind == EventKind.THROTTLE:
+        return "throttle:shrink" if instant.detail == 0 else "throttle:grow"
+    return instant.kind.name.lower()
+
+
+def to_chrome_trace(merged: MergedTrace) -> Dict[str, Any]:
+    """The trace-event JSON object for one merged run."""
+    events: List[dict] = []
+
+    def metadata(pid: int, name: str, sort_index: int) -> None:
+        events.append(
+            {
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": name},
+            }
+        )
+        events.append(
+            {
+                "ph": "M", "name": "process_sort_index", "pid": pid, "tid": 0,
+                "args": {"sort_index": sort_index},
+            }
+        )
+
+    metadata(COMMITTED_ORDER_PID, "committed order", 0)
+    for index, spool in enumerate(sorted(merged.spools, key=lambda s: s.role)):
+        metadata(spool.pid, spool.role, index + 1)
+
+    # Per-track payload events, emitted in timestamp order per (pid, tid):
+    # the spec does not require sorting, but sorted tracks make the file
+    # diffable and let the validator assert monotonicity.
+    per_track: Dict[tuple, List[dict]] = defaultdict(list)
+    for span in merged.spans:
+        args: Dict[str, Any] = {"iter": span.arg}
+        if span.kind == EventKind.TASK_B:
+            args["worker"] = span.arg2
+        if span.aborted:
+            args["aborted"] = True
+        per_track[(span.pid, 0)].append(
+            {
+                "name": _span_name(span),
+                "cat": "aborted" if span.aborted else CATEGORY_BY_KIND[span.kind],
+                "ph": "X",
+                "ts": span.start_ns / 1000.0,
+                "dur": span.duration_ns / 1000.0,
+                "pid": span.pid,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    for instant in merged.instants:
+        per_track[(instant.pid, 0)].append(
+            {
+                "name": _instant_name(instant),
+                "cat": CATEGORY_BY_KIND.get(instant.kind, "event"),
+                "ph": "i",
+                "s": "t",
+                "ts": instant.ts_ns / 1000.0,
+                "pid": instant.pid,
+                "tid": 0,
+                "args": {"arg": instant.arg, "arg2": instant.arg2},
+            }
+        )
+    for iteration, claim_ns, commit_ns in commit_lag_spans(merged):
+        per_track[(COMMITTED_ORDER_PID, 0)].append(
+            {
+                "name": "commit",
+                "cat": "commit",
+                "ph": "X",
+                "ts": claim_ns / 1000.0,
+                "dur": (commit_ns - claim_ns) / 1000.0,
+                "pid": COMMITTED_ORDER_PID,
+                "tid": 0,
+                "args": {"iter": iteration},
+            }
+        )
+    for _, track_events in sorted(per_track.items()):
+        track_events.sort(key=lambda event: event["ts"])
+        events.extend(track_events)
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "dropped_events": merged.dropped_events,
+            "aborted_spans": merged.aborted_spans,
+            "corrupt_slots": merged.corrupt_slots,
+            "truncated_spools": merged.truncated_spools,
+            "unreadable_spools": list(merged.unreadable_spools),
+        },
+    }
+
+
+def write_chrome_trace(merged: MergedTrace, path: str) -> Dict[str, Any]:
+    """Export ``merged`` to ``path``; returns the trace object."""
+    trace = to_chrome_trace(merged)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return trace
+
+
+# -- schema validation (tests + CI chaos job) --------------------------------------
+
+_REQUIRED_KEYS = {"name", "ph", "ts", "pid", "tid"}
+_KNOWN_PHASES = {"X", "i", "M"}
+
+
+def validate_chrome_trace(trace: Any) -> List[str]:
+    """Structural validation of a trace-event object.
+
+    Returns a list of problems (empty = valid): envelope shape, required
+    keys per event, known phase types, non-negative durations, and
+    non-decreasing ``ts`` within each (pid, tid) track.
+    """
+    problems: List[str] = []
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        return ["trace must be an object with a 'traceEvents' list"]
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    last_ts: Dict[tuple, float] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase == "M":
+            if "name" not in event or "args" not in event:
+                problems.append(f"event {index}: metadata without name/args")
+            continue
+        missing = _REQUIRED_KEYS - event.keys()
+        if missing:
+            problems.append(
+                f"event {index}: missing keys {sorted(missing)}"
+            )
+            continue
+        if phase not in _KNOWN_PHASES:
+            problems.append(f"event {index}: unknown phase {phase!r}")
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {index}: bad ts {ts!r}")
+            continue
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                problems.append(f"event {index}: X event with bad dur")
+        track = (event["pid"], event["tid"])
+        if ts < last_ts.get(track, 0.0):
+            problems.append(
+                f"event {index}: ts {ts} regresses on track {track}"
+            )
+        else:
+            last_ts[track] = ts
+    return problems
+
+
+def load_and_validate(path: str) -> Dict[str, Any]:
+    """Load a trace file and raise ``ValueError`` on schema problems."""
+    with open(path) as handle:
+        trace = json.load(handle)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        raise ValueError(
+            f"{path}: invalid chrome trace: " + "; ".join(problems[:10])
+        )
+    return trace

@@ -1,0 +1,142 @@
+"""Latency distributions with exact bounded-memory percentiles.
+
+End-of-run aggregates (total B seconds, mean occupancy) hide exactly the
+tail behaviour the paper's pipeline model is sensitive to: one slow task in
+a chunk stalls every chunk-mate behind it, and the committer's in-order
+discipline turns a p99 outlier into pipeline-wide commit lag.
+:class:`LatencyHistogram` records per-event samples and reports
+p50/p90/p95/p99 with the *linear interpolation between closest ranks*
+definition (numpy's default), which is exact over the retained samples.
+
+Memory is bounded: up to ``max_samples`` raw samples are kept verbatim
+(percentiles are exact there — the common case for any real run); beyond
+that the histogram degrades to deterministic reservoir sampling (seeded,
+so two identical runs report identical numbers) while ``count``, ``total``,
+``min``/``max`` stay exact forever.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Default sample retention: 64 Ki floats ~ 512 KiB worst case per series.
+DEFAULT_MAX_SAMPLES = 65536
+
+#: Percentiles every summary reports, in order.
+SUMMARY_PERCENTILES = (50.0, 90.0, 95.0, 99.0)
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation between
+    closest ranks — exact, deterministic, no dependency."""
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+@dataclass
+class LatencyHistogram:
+    """One event series' latency distribution (samples in seconds)."""
+
+    max_samples: int = DEFAULT_MAX_SAMPLES
+    samples: List[float] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+    #: Deterministic reservoir RNG, created lazily on first overflow.
+    _rng: Optional[random.Random] = field(default=None, repr=False)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+        if len(self.samples) < self.max_samples:
+            self.samples.append(value)
+            return
+        # Algorithm R reservoir: every sample keeps probability k/n, with a
+        # fixed seed so identical runs summarize identically.
+        if self._rng is None:
+            self._rng = random.Random(0xC0FFEE)
+        slot = self._rng.randrange(self.count)
+        if slot < self.max_samples:
+            self.samples[slot] = value
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def exact(self) -> bool:
+        """True while every recorded sample is retained (no reservoir)."""
+        return self.count == len(self.samples)
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.samples, q)
+
+    def summary(self) -> dict:
+        """The JSON shape exported by :meth:`EngineMetrics.to_json`."""
+        if not self.count:
+            return {"count": 0}
+        data = {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min_value,
+            "max": self.max_value,
+            "exact": self.exact,
+        }
+        for q in SUMMARY_PERCENTILES:
+            data[f"p{q:g}"] = self.percentile(q)
+        return data
+
+    def format_line(self) -> str:
+        """One CLI summary line: ``p50 1.2ms  p95 3.4ms  p99 5.6ms ...``."""
+        if not self.count:
+            return "no samples"
+        parts = [
+            f"p{q:g} {format_seconds(self.percentile(q))}"
+            for q in SUMMARY_PERCENTILES
+        ]
+        parts.append(f"max {format_seconds(self.max_value)}")
+        parts.append(f"n={self.count}")
+        return "  ".join(parts)
+
+
+def format_seconds(value: float) -> str:
+    """Human scale for latencies: ns/us/ms/s with 3 significant-ish digits."""
+    if value < 0:
+        return f"-{format_seconds(-value)}"
+    if value < 1e-6:
+        return f"{value * 1e9:.0f}ns"
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.3f}s"
+
+
+def summarize(histograms: Dict[str, LatencyHistogram]) -> Dict[str, dict]:
+    """Summaries for a dict of histograms, skipping empty series."""
+    return {
+        name: hist.summary()
+        for name, hist in sorted(histograms.items())
+        if hist.count
+    }

@@ -1,0 +1,287 @@
+"""The post-run merger: per-process spools -> one coherent timeline.
+
+Reads every ``*.spool`` file a traced run left behind, maps each record
+onto the shared wall clock through its spool's epoch handshake
+(:mod:`repro.obs.clock`), recovers from damage (truncated spools, torn
+slots, begin-markers whose span never arrived — crashed workers), and
+produces a :class:`MergedTrace`:
+
+- typed :class:`~repro.obs.events.Span` / :class:`~repro.obs.events.Instant`
+  lists on a run-relative nanosecond axis;
+- per-event-kind latency histograms (task exec per phase, queue put/get
+  waits, throttle gate waits, claim->commit lag);
+- accounting that is loud about loss: ``dropped_events`` (ring
+  overwrites), ``corrupt_slots``, ``truncated_spools``, ``aborted_spans``.
+
+The merger is deliberately forgiving: chaos runs *will* hand it spools
+that stop mid-record, and the contract is to recover a usable timeline —
+an aborted span, a counted drop — never to corrupt or crash.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.events import (
+    CHANNEL_NAMES,
+    EventKind,
+    Instant,
+    ROBUSTNESS_KINDS,
+    SPAN_KINDS,
+    Span,
+)
+from repro.obs.hist import LatencyHistogram
+from repro.obs.spool import SpoolData, SpoolError, read_spool
+
+#: Histogram series the merger always derives (when samples exist).
+_SPAN_SERIES = {
+    EventKind.TASK_A: "task_a",
+    EventKind.TASK_B: "task_b",
+    EventKind.TASK_C: "task_c",
+    EventKind.SERIAL_REEXEC: "serial_reexec",
+    EventKind.GATE_WAIT: "gate_wait",
+}
+
+
+@dataclass
+class MergedTrace:
+    """Everything one traced run produced, merged and recovered."""
+
+    spools: List[SpoolData] = field(default_factory=list)
+    spans: List[Span] = field(default_factory=list)
+    instants: List[Instant] = field(default_factory=list)
+    #: Run-relative zero point on the wall clock (ns since epoch).
+    origin_wall_ns: int = 0
+    histograms: Dict[str, LatencyHistogram] = field(default_factory=dict)
+    aborted_spans: int = 0
+    unreadable_spools: List[str] = field(default_factory=list)
+
+    @property
+    def dropped_events(self) -> int:
+        return sum(spool.dropped_events for spool in self.spools)
+
+    @property
+    def corrupt_slots(self) -> int:
+        return sum(spool.corrupt_slots for spool in self.spools)
+
+    @property
+    def truncated_spools(self) -> int:
+        return sum(1 for spool in self.spools if spool.truncated)
+
+    @property
+    def span_count(self) -> int:
+        return len(self.spans)
+
+    @property
+    def robustness_events(self) -> int:
+        return sum(
+            1 for instant in self.instants if instant.kind in ROBUSTNESS_KINDS
+        )
+
+    def spans_of(self, kind: EventKind) -> List[Span]:
+        return [span for span in self.spans if span.kind == kind]
+
+    def instants_of(self, kind: EventKind) -> List[Instant]:
+        return [i for i in self.instants if i.kind == kind]
+
+    def roles(self) -> List[str]:
+        return [spool.role for spool in self.spools]
+
+    def duration_ns(self) -> int:
+        latest = 0
+        for span in self.spans:
+            latest = max(latest, span.end_ns)
+        for instant in self.instants:
+            latest = max(latest, instant.ts_ns)
+        return latest
+
+    def format_summary(self) -> str:
+        """One CLI line each for scope, loss accounting, and recovery."""
+        lines = [
+            f"trace: {len(self.spools)} spool(s) "
+            f"({', '.join(sorted(self.roles()))}), "
+            f"{self.span_count} spans + {len(self.instants)} instants over "
+            f"{self.duration_ns() / 1e6:.1f}ms"
+        ]
+        lines.append(
+            f"loss accounting   {self.dropped_events} dropped (ring), "
+            f"{self.corrupt_slots} corrupt slot(s), "
+            f"{self.truncated_spools} truncated spool(s), "
+            f"{self.aborted_spans} aborted span(s)"
+        )
+        if self.unreadable_spools:
+            lines.append(
+                "unreadable        " + ", ".join(self.unreadable_spools)
+            )
+        return "\n".join(lines)
+
+
+def merge_spool_dir(spool_dir: str) -> MergedTrace:
+    """Merge every ``*.spool`` under ``spool_dir``."""
+    paths = sorted(glob.glob(os.path.join(spool_dir, "*.spool")))
+    return merge_spools(paths)
+
+
+def merge_spools(paths: List[str]) -> MergedTrace:
+    merged = MergedTrace()
+    spools: List[SpoolData] = []
+    for path in paths:
+        try:
+            spools.append(read_spool(path))
+        except (SpoolError, OSError) as error:
+            merged.unreadable_spools.append(
+                f"{os.path.basename(path)}: {error}"
+            )
+    merged.spools = spools
+    if not spools:
+        return merged
+
+    # The run-relative origin: the earliest wall-clock timestamp anywhere.
+    origin: Optional[int] = None
+    for spool in spools:
+        for record in spool.records:
+            wall = spool.anchor.to_wall(record.t0_ns)
+            if origin is None or wall < origin:
+                origin = wall
+    merged.origin_wall_ns = origin or 0
+
+    for spool in spools:
+        _merge_one(merged, spool)
+
+    merged.spans.sort(key=lambda span: (span.start_ns, span.role))
+    merged.instants.sort(key=lambda instant: (instant.ts_ns, instant.role))
+    _build_histograms(merged)
+    return merged
+
+
+def _merge_one(merged: MergedTrace, spool: SpoolData) -> None:
+    """Records of one spool -> spans/instants, recovering aborted tasks."""
+    to_rel = lambda perf_ns: spool.anchor.to_wall(perf_ns) - merged.origin_wall_ns
+    # Begin markers not yet matched by their full span: iteration -> marker.
+    open_begins: Dict[int, Tuple[int, int]] = {}
+    commit_args = set()
+    task_c_spans: List[Span] = []
+    for record in spool.records:
+        kind = EventKind(record.kind)
+        if kind == EventKind.TASK_B_BEGIN:
+            open_begins[record.arg] = (record.t0_ns, record.arg2)
+            continue
+        if kind in SPAN_KINDS:
+            if kind == EventKind.TASK_B:
+                open_begins.pop(record.arg, None)
+            span = Span(
+                kind=kind,
+                role=spool.role,
+                pid=spool.pid,
+                start_ns=to_rel(record.t0_ns),
+                duration_ns=record.t1_ns - record.t0_ns,
+                arg=record.arg,
+                arg2=record.arg2,
+                detail=record.detail,
+            )
+            merged.spans.append(span)
+            if kind == EventKind.TASK_C:
+                task_c_spans.append(span)
+        else:
+            if kind == EventKind.COMMIT:
+                commit_args.add(record.arg)
+            merged.instants.append(
+                Instant(
+                    kind=kind,
+                    role=spool.role,
+                    pid=spool.pid,
+                    ts_ns=to_rel(record.t0_ns),
+                    arg=record.arg,
+                    arg2=record.arg2,
+                    detail=record.detail,
+                )
+            )
+    # The committer folds the commit point into its TASK_C span (the span's
+    # end *is* the commit, arg2 carries the misspeculation flag) rather than
+    # paying for a separate record per item.  Synthesize the COMMIT instant
+    # here so the downstream vocabulary (commit lag, the committed-order
+    # track) is unchanged; spools carrying explicit COMMIT records
+    # (hand-built fixtures, older writers) are honored as-is.
+    for span in task_c_spans:
+        if span.arg in commit_args:
+            continue
+        merged.instants.append(
+            Instant(
+                kind=EventKind.COMMIT,
+                role=spool.role,
+                pid=spool.pid,
+                ts_ns=span.end_ns,
+                arg=span.arg,
+                arg2=span.arg2,
+                detail=span.detail,
+            )
+        )
+    # Whatever is still open when the spool ends was cut down mid-task —
+    # a crash, a kill, a hard exit.  Close it as an aborted span ending at
+    # the spool's last known timestamp so the timeline stays consistent.
+    last_ns = spool.last_timestamp_ns()
+    for iteration, (begin_ns, worker) in sorted(open_begins.items()):
+        end_ns = max(last_ns if last_ns is not None else begin_ns, begin_ns)
+        merged.spans.append(
+            Span(
+                kind=EventKind.TASK_B,
+                role=spool.role,
+                pid=spool.pid,
+                start_ns=to_rel(begin_ns),
+                duration_ns=end_ns - begin_ns,
+                arg=iteration,
+                arg2=worker,
+                aborted=True,
+            )
+        )
+        merged.aborted_spans += 1
+
+
+def _build_histograms(merged: MergedTrace) -> None:
+    histograms: Dict[str, LatencyHistogram] = {}
+
+    def series(name: str) -> LatencyHistogram:
+        if name not in histograms:
+            histograms[name] = LatencyHistogram()
+        return histograms[name]
+
+    for span in merged.spans:
+        if span.aborted:
+            continue
+        name = _SPAN_SERIES.get(span.kind)
+        if name is not None:
+            series(name).add(span.seconds)
+        elif span.kind in (EventKind.QUEUE_PUT_WAIT, EventKind.QUEUE_GET_WAIT):
+            channel = CHANNEL_NAMES.get(span.detail, f"ch{span.detail}")
+            side = "put" if span.kind == EventKind.QUEUE_PUT_WAIT else "get"
+            series(f"queue_{side}_wait_{channel}").add(span.seconds)
+
+    # Claim->commit lag: both instants live in the committer spool, so the
+    # pairing needs no cross-clock care at all.
+    claims: Dict[int, int] = {}
+    for instant in merged.instants:
+        if instant.kind == EventKind.CLAIM:
+            claims.setdefault(instant.arg, instant.ts_ns)
+        elif instant.kind == EventKind.COMMIT:
+            claimed = claims.pop(instant.arg, None)
+            if claimed is not None and instant.ts_ns >= claimed:
+                series("commit_lag").add((instant.ts_ns - claimed) / 1e9)
+    merged.histograms = histograms
+
+
+def commit_lag_spans(merged: MergedTrace) -> List[Tuple[int, int, int]]:
+    """``(iteration, claim_ns, commit_ns)`` per committed iteration — the
+    "committed order" track of the exported trace."""
+    claims: Dict[int, int] = {}
+    rows: List[Tuple[int, int, int]] = []
+    for instant in merged.instants:
+        if instant.kind == EventKind.CLAIM:
+            claims.setdefault(instant.arg, instant.ts_ns)
+        elif instant.kind == EventKind.COMMIT:
+            claimed = claims.pop(instant.arg, instant.ts_ns)
+            rows.append((instant.arg, min(claimed, instant.ts_ns), instant.ts_ns))
+    rows.sort()
+    return rows

@@ -1,0 +1,260 @@
+"""Per-process binary spool files: the hot-path side of tracing.
+
+Each traced process appends fixed-size records to its own spool file — no
+pipe traffic, no cross-process locks, nothing on the execution engine's
+message channels.  The file is a **ring**: slot ``seq % capacity`` holds
+the record with sequence number ``seq``, so once ``capacity`` records have
+been written the writer wraps and overwrites the oldest.  Sequence numbers
+are embedded in the records themselves, which makes the format crash-safe
+by construction:
+
+- the merger reconstructs order by sorting on ``seq`` — no footer, no
+  index, nothing that must be written at close;
+- ``dropped_events`` is *derived*, not trusted: ``max_seq + 1`` records
+  were written, ``len(valid slots)`` survive, the difference was dropped
+  by the ring — bounded tracing with an explicit count, never silent;
+- a process that dies mid-write leaves at most one torn slot, which fails
+  validation (bad magic / unknown kind / absurd timestamps) and is counted
+  as corrupt instead of poisoning the timeline.
+
+Writes are buffered (~4 KiB) to keep the per-record cost to a
+``struct.pack`` and a ``bytearray`` append; :meth:`SpoolWriter.flush` is
+called by the engine at the same points it already flushes its channels
+before a deliberate hard exit, so injected crashes lose at most one
+buffer's worth of records — and the *claims* those records describe are
+already on the done channel, so nothing the recovery path needs is lost.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.obs.clock import ClockAnchor, now_ns
+from repro.obs.events import EventKind, RawRecord, SPAN_KINDS, TraceConfig
+
+#: Spool file layout version; bump on any struct change.
+_MAGIC = b"RSPOOL01"
+#: Header: magic, pid, role (utf-8, zero padded), wall anchor, perf anchor,
+#: ring capacity in records.
+_HEADER = struct.Struct("<8sI32sQQI")
+#: Record: slot magic, kind, detail, seq, arg, arg2, t0, t1.
+_RECORD = struct.Struct("<HBBQqqQQ")
+_RECORD_MAGIC = 0xE5A7
+
+HEADER_SIZE = _HEADER.size
+RECORD_SIZE = _RECORD.size
+
+#: Buffered bytes before an implicit flush (~93 records).
+_FLUSH_BYTES = 4096
+
+_VALID_KINDS = frozenset(int(kind) for kind in EventKind)
+
+
+class SpoolError(RuntimeError):
+    """A spool file could not be parsed at all (bad magic / truncated
+    header).  Per-record damage is *not* an error — it is recovered."""
+
+
+class SpoolWriter:
+    """The per-process trace sink.  One instance per process per run."""
+
+    def __init__(self, config: TraceConfig, role: str) -> None:
+        self.role = role
+        self.capacity = config.max_events
+        self.path = os.path.join(config.spool_dir, f"{role}.spool")
+        self.anchor = ClockAnchor.sample()
+        self._seq = 0
+        self._buffer = bytearray()
+        #: File offset the buffer starts at (records are contiguous
+        #: between wraps, so one seek per wrap suffices).
+        self._buffer_offset = HEADER_SIZE
+        self._file = open(self.path, "wb", buffering=0)
+        self._file.write(
+            _HEADER.pack(
+                _MAGIC,
+                os.getpid() & 0xFFFFFFFF,
+                role.encode("utf-8", "replace")[:32],
+                self.anchor.wall_ns,
+                self.anchor.perf_ns,
+                self.capacity,
+            )
+        )
+        self._closed = False
+        #: Bound once: record() runs per pipeline item, and the attribute
+        #: lookups (module global + method descriptor) cost real time there.
+        self._pack = _RECORD.pack
+
+    # -- the hot path -----------------------------------------------------------
+
+    def record(
+        self,
+        kind: int,
+        t0_ns: int,
+        t1_ns: int,
+        arg: int = 0,
+        arg2: int = 0,
+        detail: int = 0,
+    ) -> None:
+        if self._closed:
+            return
+        seq = self._seq
+        self._seq = seq + 1
+        if seq and seq % self.capacity == 0:
+            # Ring wrap: everything buffered belongs before the wrap point.
+            self._flush_buffer()
+            self._buffer_offset = HEADER_SIZE
+        buffer = self._buffer
+        buffer += self._pack(
+            _RECORD_MAGIC, kind, detail & 0xFF, seq, arg, arg2, t0_ns, t1_ns
+        )
+        if len(buffer) >= _FLUSH_BYTES:
+            self._flush_buffer()
+
+    def instant(self, kind: int, arg: int = 0, arg2: int = 0, detail: int = 0) -> None:
+        ts = now_ns()
+        self.record(kind, ts, ts, arg, arg2, detail)
+
+    def span(
+        self,
+        kind: int,
+        t0_ns: int,
+        t1_ns: int,
+        arg: int = 0,
+        arg2: int = 0,
+        detail: int = 0,
+    ) -> None:
+        self.record(kind, t0_ns, t1_ns, arg, arg2, detail)
+
+    @property
+    def events_written(self) -> int:
+        return self._seq
+
+    @property
+    def dropped_events(self) -> int:
+        """Records overwritten by the ring so far."""
+        return max(0, self._seq - self.capacity)
+
+    # -- flushing / teardown ----------------------------------------------------
+
+    def _flush_buffer(self) -> None:
+        if not self._buffer:
+            return
+        self._file.seek(self._buffer_offset)
+        self._file.write(self._buffer)
+        self._buffer_offset += len(self._buffer)
+        self._buffer.clear()
+
+    def flush(self) -> None:
+        """Push buffered records to the OS — called before deliberate hard
+        exits, mirroring the channel ``flush_and_close`` discipline."""
+        if not self._closed:
+            self._flush_buffer()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._flush_buffer()
+        self._file.close()
+        self._closed = True
+
+
+def open_tracer(
+    config: Optional[TraceConfig], role: str
+) -> Optional[SpoolWriter]:
+    """The call-site constructor every process uses.
+
+    Returns ``None`` when tracing is off *or the spool cannot be opened* —
+    observability must never take down the run it observes, so an
+    unwritable spool directory silently degrades to no tracing for that
+    process (the merger reports the missing spool).
+    """
+    if config is None or not config.enabled:
+        return None
+    try:
+        return SpoolWriter(config, role)
+    except OSError:
+        return None
+
+
+@dataclass
+class SpoolData:
+    """One spool file, parsed and recovered."""
+
+    path: str
+    role: str
+    pid: int
+    anchor: ClockAnchor
+    capacity: int
+    #: Valid records, sorted by sequence number.
+    records: List[RawRecord] = field(default_factory=list)
+    #: Records the ring overwrote (derived from the surviving seq range).
+    dropped_events: int = 0
+    #: Slots that failed validation (torn writes, garbage).
+    corrupt_slots: int = 0
+    #: True when the file ends in a partial record — a crash signature.
+    truncated: bool = False
+
+    @property
+    def events_written(self) -> int:
+        return (self.records[-1].seq + 1) if self.records else 0
+
+    def last_timestamp_ns(self) -> Optional[int]:
+        """The latest perf-clock timestamp in this spool (for closing
+        aborted spans)."""
+        latest = None
+        for record in self.records:
+            for ts in (record.t0_ns, record.t1_ns):
+                if latest is None or ts > latest:
+                    latest = ts
+        return latest
+
+
+def read_spool(path: str) -> SpoolData:
+    """Parse one spool, recovering everything recoverable.
+
+    Never raises for damage *past* the header: torn slots are skipped and
+    counted, a truncated tail is flagged, out-of-order writes (impossible
+    today, cheap to tolerate) are repaired by the seq sort.
+    """
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if len(blob) < HEADER_SIZE:
+        raise SpoolError(f"{path}: truncated header ({len(blob)} bytes)")
+    magic, pid, role_bytes, wall_ns, perf_ns, capacity = _HEADER.unpack_from(blob)
+    if magic != _MAGIC:
+        raise SpoolError(f"{path}: bad magic {magic!r}")
+    data = SpoolData(
+        path=path,
+        role=role_bytes.rstrip(b"\x00").decode("utf-8", "replace"),
+        pid=pid,
+        anchor=ClockAnchor(wall_ns=wall_ns, perf_ns=perf_ns),
+        capacity=capacity,
+    )
+    body = blob[HEADER_SIZE:]
+    whole, remainder = divmod(len(body), RECORD_SIZE)
+    data.truncated = remainder != 0
+    by_seq = {}
+    for index in range(whole):
+        fields = _RECORD.unpack_from(body, index * RECORD_SIZE)
+        slot_magic, kind, detail, seq, arg, arg2, t0, t1 = fields
+        if (
+            slot_magic != _RECORD_MAGIC
+            or kind not in _VALID_KINDS
+            or t1 < t0
+            or (kind in SPAN_KINDS and t1 - t0 > 24 * 3600 * 10**9)
+        ):
+            data.corrupt_slots += 1
+            continue
+        # Later writes win a slot (can only collide via torn ring wraps).
+        current = by_seq.get(seq)
+        if current is None:
+            by_seq[seq] = RawRecord(seq, kind, detail, arg, arg2, t0, t1)
+    data.records = [by_seq[seq] for seq in sorted(by_seq)]
+    if data.records:
+        # The ring keeps the newest ``capacity`` records; anything the
+        # surviving seq range proves was written before that was dropped.
+        data.dropped_events = max(0, data.records[-1].seq + 1 - capacity)
+    return data

@@ -18,12 +18,14 @@ structured, taxonomized :class:`~repro.resilience.invariants.InvariantError`
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, replace
 from typing import Any, Callable, List, Optional
 
 from repro.exec.channels import ChannelChaos
 from repro.exec.faults import FaultPlan, RobustnessPolicy
+from repro.obs.events import TraceConfig
 from repro.resilience.checkpoint import CheckpointConfig
 from repro.resilience.invariants import (
     InvariantError,
@@ -31,6 +33,8 @@ from repro.resilience.invariants import (
     check_run,
 )
 from repro.resilience.throttle import ThrottleConfig
+
+logger = logging.getLogger(__name__)
 
 #: Fast-recovery policy for chaos runs: sub-second hang detection, a respawn
 #: budget sized for the default injection mix, tight polling.
@@ -273,12 +277,15 @@ def run_chaos(
     start_method: Optional[str] = None,
     batch_size: Optional[int] = None,
     flush_interval: Optional[float] = None,
+    trace: Optional[TraceConfig] = None,
 ) -> ChaosReport:
     """One seeded chaos run, audited end to end.
 
     ``spec_factory`` must build a fresh :class:`PipelineSpec` per call
     (stateful phase-A producers!); the sequential oracle and the engine
-    each get their own.
+    each get their own.  ``trace`` attaches the :mod:`repro.obs` tracing
+    layer — the chaos harness is its hardest customer (crashed workers
+    leave truncated spools; the merger must still produce a timeline).
     """
     # Imported here: repro.exec.engine imports this package at module load.
     from repro.exec.engine import ExecutionEngine, run_sequential
@@ -288,6 +295,12 @@ def run_chaos(
     config = (config or ChaosConfig()).fitted(spec.iterations)
     plan = chaos_plan(spec.iterations, seed, config)
     channel_chaos = chaos_channel_plan(spec.iterations, seed, config)
+    logger.info(
+        "chaos run: seed %d, %d worker-side + %d channel-side injections",
+        seed,
+        plan.injected_fault_count,
+        channel_chaos.injection_count if channel_chaos else 0,
+    )
     engine_kwargs = {}
     if batch_size is not None:
         engine_kwargs["batch_size"] = batch_size
@@ -302,6 +315,7 @@ def run_chaos(
         throttle=throttle_config or ThrottleConfig(),
         checkpoints=checkpoint_config or CheckpointConfig(),
         channel_chaos=channel_chaos,
+        trace=trace,
         **engine_kwargs,
     )
     result = engine.run(spec)

@@ -20,7 +20,10 @@ their claim clocks), so throttling can never be mistaken for a hang.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
+
+logger = logging.getLogger(__name__)
 
 
 def max_window_for(workers: int, capacity: int, batch_size: int = 1) -> int:
@@ -117,6 +120,11 @@ class SpeculationThrottle:
             self.shrinks += 1
         else:
             self.grows += 1
+        logger.debug(
+            "throttle %s: window %d -> %d (epoch misspeculation rate %.2f)",
+            "shrink" if new_window < self.window else "grow",
+            self.window, new_window, rate,
+        )
         self.window = new_window
         self.min_window_seen = min(self.min_window_seen, new_window)
         return new_window

@@ -243,12 +243,24 @@ class TestEngineBatching:
         result = engine.run(batch_spec(40))
         data = result.metrics.to_json()
         assert data["batch_size"] == 8
+        # One canonical shape: channel stats live under "channels" only
+        # (the old export duplicated a subset under "comm_overhead").
+        assert "comm_overhead" not in data
         for name in ("work", "done"):
-            overhead = data["comm_overhead"][name]
-            assert overhead["flushes"] >= 1
-            assert overhead["mean_frame_items"] >= 1.0
-            assert overhead["serialize_seconds"] >= 0.0
+            stats = data["channels"][name]
+            assert stats["flushes"] >= 1
+            assert stats["mean_frame_items"] >= 1.0
+            assert stats["serialize_seconds"] >= 0.0
         assert "comm overhead" in result.metrics.format_summary()
+
+    def test_format_summary_survives_partial_channel_stats(self):
+        from repro.exec.metrics import EngineMetrics
+
+        metrics = EngineMetrics(workers=2, capacity=8, iterations=10)
+        metrics.channel_stats["work"] = {"produces": 10}  # partial: no caps
+        summary = metrics.format_summary()
+        assert "channel work" in summary
+        assert "10 produces" in summary
 
     def test_batched_run_amortizes_frames(self):
         engine = ExecutionEngine(workers=2, capacity=32, batch_size=16)
