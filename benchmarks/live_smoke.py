@@ -1,0 +1,193 @@
+"""CI smoke for the live telemetry plane: scrape a chaotic run mid-flight.
+
+The unit tests exercise the registry, the watchdog, and the HTTP surface
+in-process; this script is the end-to-end acceptance check, run exactly the
+way an operator would use the feature:
+
+1. launch ``python -m repro exec 197.parser --chaos 24 --seed 1337 --serve``
+   as a real subprocess (the seed deterministically injects a worker hang,
+   which freezes the commit frontier long enough for the watchdog to flag
+   a stall);
+2. poll ``/health`` and scrape ``/metrics`` *while the run executes*,
+   asserting the exposition is valid Prometheus text, counters are
+   monotone scrape-over-scrape, and health transitions ok -> degraded and
+   back;
+3. after the run exits 0, assert its history record carries the watchdog's
+   stall verdict;
+4. run the same seed again and gate the pair through
+   ``python -m repro history --check`` — the cross-run regression gate the
+   record exists to feed.
+
+Usage: ``PYTHONPATH=src python benchmarks/live_smoke.py [HISTORY_PATH]``
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+SEED = 1337
+CHAOS = 24
+WORKERS = 3
+#: Wide tolerance for the cross-run gate: both runs inject the same ~1 s
+#: hang, but shared CI boxes add real timing noise on top.
+HISTORY_TOLERANCE = "0.5"
+DEADLINE_S = 180.0
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def get(port: int, path: str):
+    """(status, body) — 503 from /health is an answer, not an error."""
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=5.0
+        ) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+def parse_prometheus(text: str) -> dict:
+    """Validate exposition structure; return {sample-key: value}."""
+    samples = {}
+    seen_help, seen_type = set(), set()
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            seen_help.add(line.split(" ")[2])
+            continue
+        if line.startswith("# TYPE "):
+            name = line.split(" ")[2]
+            assert name in seen_help, f"TYPE before HELP: {name}"
+            seen_type.add(name)
+            continue
+        assert line.strip(), "blank line in exposition"
+        key, value = line.rsplit(" ", 1)
+        family = key.split("{")[0]
+        base = (
+            family.rsplit("_bucket", 1)[0]
+            .rsplit("_sum", 1)[0]
+            .rsplit("_count", 1)[0]
+        )
+        assert base in seen_type, f"sample before TYPE: {line}"
+        samples[key] = float(value)
+    assert samples, "empty exposition"
+    return samples
+
+
+def exec_command(history: str, port: int, label: str):
+    return [
+        sys.executable, "-m", "repro", "exec", "197.parser",
+        "--chaos", str(CHAOS), "--seed", str(SEED),
+        "--workers", str(WORKERS),
+        "--serve", str(port), "--live-interval", "0.1",
+        "--history", history, "--label", label,
+    ]
+
+
+def monitored_run(history: str) -> None:
+    port = free_port()
+    proc = subprocess.Popen(
+        exec_command(history, port, "live-smoke"),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    statuses = set()
+    scrapes = []
+    deadline = time.monotonic() + DEADLINE_S
+    try:
+        # Wait for the server (it comes up after the workers spawn).
+        while proc.poll() is None:
+            assert time.monotonic() < deadline, "server never came up"
+            try:
+                get(port, "/health")
+                break
+            except OSError:
+                time.sleep(0.05)
+        polls = 0
+        while proc.poll() is None and time.monotonic() < deadline:
+            try:
+                status, body = get(port, "/health")
+            except OSError:
+                break  # server torn down at run end
+            payload = json.loads(body)
+            statuses.add((status, payload["status"]))
+            if polls % 10 == 0:
+                try:
+                    _, text = get(port, "/metrics")
+                    scrapes.append(parse_prometheus(text))
+                except OSError:
+                    break
+            polls += 1
+            time.sleep(0.02)
+        proc.wait(timeout=DEADLINE_S)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    output = proc.stdout.read()
+    assert proc.returncode == 0, f"chaos run failed:\n{output}"
+
+    # Mid-run scrapes: valid exposition, monotone counters.
+    assert len(scrapes) >= 2, f"only {len(scrapes)} mid-run scrapes"
+    first, last = scrapes[0], scrapes[-1]
+    for key, value in first.items():
+        if "_total" in key or "_bucket" in key or "_count" in key:
+            assert last.get(key, 0) >= value, f"{key} went backwards"
+
+    # Health transitioned: healthy at some point, degraded during the
+    # injected hang (HTTP 503 is the probe contract).
+    assert (200, "ok") in statuses, f"never saw ok: {sorted(statuses)}"
+    assert (503, "degraded") in statuses, (
+        f"watchdog never surfaced the injected stall over /health: "
+        f"{sorted(statuses)}"
+    )
+
+    # The history record carries the watchdog's verdict durably.
+    with open(history, "r", encoding="utf-8") as handle:
+        records = [json.loads(line) for line in handle if line.strip()]
+    record = records[-1]
+    assert record["label"] == "live-smoke"
+    watchdog = record["watchdog"]
+    assert watchdog is not None and watchdog["stalls"] >= 1, (
+        f"no stall in the history record: {watchdog}"
+    )
+    print(
+        f"live smoke: {len(scrapes)} scrapes, statuses {sorted(statuses)}, "
+        f"watchdog {watchdog['stalls']} stall(s) -> recorded"
+    )
+
+
+def baseline_gate(history: str) -> None:
+    subprocess.run(
+        exec_command(history, free_port(), "live-smoke-2"),
+        check=True, stdout=subprocess.DEVNULL,
+    )
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro", "history",
+            "--history", history, "--check",
+            "--tolerance", HISTORY_TOLERANCE,
+        ],
+        check=True,
+    )
+
+
+def main() -> int:
+    history = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        "benchmarks", "history.jsonl"
+    )
+    monitored_run(history)
+    baseline_gate(history)
+    print("live smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

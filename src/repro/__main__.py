@@ -7,6 +7,8 @@ Commands:
 - ``figure N``               regenerate one of the paper's figures (4-7);
 - ``exec NAME``              run a workload for REAL on the multiprocess
   execution engine and print measured metrics;
+- ``history``                diff the latest recorded run against a baseline
+  from the cross-run history store (``benchmarks/history.jsonl``);
 - ``list``                   list the available benchmarks.
 
 The ``exec`` command carries the observability surface: ``--trace out.json``
@@ -18,6 +20,15 @@ writes the run metrics (including per-stage latency histograms) as JSON;
 ``--log-level`` controls the ``repro.exec`` / ``repro.resilience`` logging
 namespaces (chaos injections log at INFO with their seed and indices).
 
+The *live* telemetry plane (PR 5): ``--serve PORT`` exposes ``/metrics``
+(Prometheus text), ``/snapshot`` (JSON), and ``/health`` (liveness probe)
+over HTTP while the run executes; ``--watch`` renders a one-line status TUI
+to stderr; a stall/saturation/storm watchdog escalates log → degraded →
+(with ``--abort-on-stall``) abort.  Every exec run appends a
+schema-versioned summary to the history store (``--history PATH``,
+``--no-history`` to skip, ``--label`` to name a baseline) and
+``python -m repro history`` diffs the latest run against a baseline.
+
 Examples::
 
     python -m repro suite
@@ -26,6 +37,8 @@ Examples::
     python -m repro exec 256.bzip2 --workers 4 --inject-faults
     python -m repro exec 256.bzip2 --workers 4 --trace trace.json --compare
     python -m repro exec 197.parser --chaos 24 --trace t.json --log-level info
+    python -m repro exec 197.parser --chaos 24 --serve 9090 --watch
+    python -m repro history --baseline my-label --check
 """
 
 from __future__ import annotations
@@ -37,6 +50,7 @@ from typing import List, Optional
 
 from repro.core.framework import FrameworkConfig, ParallelizationFramework
 from repro.core.report import SuiteReport, format_speedup_curve
+from repro.obs.history import DEFAULT_HISTORY_PATH
 from repro.workloads.suite import (
     FIGURE4,
     FIGURE5,
@@ -172,6 +186,78 @@ def _build_parser() -> argparse.ArgumentParser:
              "Gantt schedule next to the measured timeline (with --trace) "
              "and per-phase busy-time shares with relative error",
     )
+    exec_parser.add_argument(
+        "--serve", type=int, metavar="PORT", default=None,
+        help="serve live telemetry over HTTP while the run executes: "
+             "/metrics (Prometheus text), /snapshot (JSON), /health "
+             "(liveness probe; 0 = ephemeral port, logged at startup)",
+    )
+    exec_parser.add_argument(
+        "--watch", action="store_true",
+        help="render a live one-line status TUI to stderr (items/sec, "
+             "commit lag, occupancy, throttle window, misspec/chaos, health)",
+    )
+    exec_parser.add_argument(
+        "--live-interval", type=float, default=0.2, metavar="SECONDS",
+        help="live monitor sampling period (default 0.2)",
+    )
+    exec_parser.add_argument(
+        "--abort-on-stall", action="store_true",
+        help="escalate a persistent commit stall from health=degraded to "
+             "an engine abort through the degradation path",
+    )
+    exec_parser.add_argument(
+        "--history", metavar="PATH", default=DEFAULT_HISTORY_PATH,
+        help="append this run's summary record to the cross-run history "
+             f"store (default {DEFAULT_HISTORY_PATH})",
+    )
+    exec_parser.add_argument(
+        "--no-history", action="store_true",
+        help="skip the history record for this run",
+    )
+    exec_parser.add_argument(
+        "--label", default=None,
+        help="label this run's history record (a name 'repro history "
+             "--baseline LABEL' can diff against)",
+    )
+
+    history_parser = sub.add_parser(
+        "history",
+        help="diff the latest recorded run against a baseline from the "
+             "history store",
+    )
+    history_parser.add_argument(
+        "--history", metavar="PATH", default=DEFAULT_HISTORY_PATH,
+        help=f"history store to read (default {DEFAULT_HISTORY_PATH})",
+    )
+    history_parser.add_argument(
+        "--baseline", default=None, metavar="LABEL_OR_INDEX",
+        help="baseline record: a --label value or an integer index "
+             "(negative = from the end); default: the most recent earlier "
+             "run with the same workload, workers, and batch size",
+    )
+    history_parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="relative regression tolerance for items/sec and gated p95 "
+             "latencies (default 0.30)",
+    )
+    history_parser.add_argument(
+        "--check", action="store_true",
+        help="CI gate: exit nonzero when any gated metric regresses "
+             "beyond tolerance",
+    )
+    history_parser.add_argument(
+        "--list", action="store_true", dest="list_records",
+        help="list the most recent history records instead of diffing",
+    )
+    history_parser.add_argument(
+        "--limit", type=int, default=10,
+        help="records shown by --list (default 10)",
+    )
+    history_parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the diff (or the record list) as JSON to PATH",
+    )
     return parser
 
 
@@ -271,14 +357,61 @@ def _export_trace(args, spool_dir):
     return merged
 
 
+def _ensure_parent(path: str) -> None:
+    """An output flag must not fail an otherwise-successful run at the very
+    end just because its directory does not exist yet."""
+    import os
+
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+
+
 def _write_metrics(args, metrics) -> None:
     if not args.metrics_out:
         return
     import json
 
+    _ensure_parent(args.metrics_out)
     with open(args.metrics_out, "w") as handle:
         json.dump(metrics.to_json(), handle, indent=2, sort_keys=True)
     print(f"wrote {args.metrics_out}")
+
+
+def _live_config(args):
+    """A ``LiveConfig`` when any live-telemetry flag is set, else None
+    (the registry and monitor thread only exist when asked for)."""
+    if args.serve is None and not args.watch and not args.abort_on_stall:
+        return None
+    from repro.obs import LiveConfig
+
+    return LiveConfig(
+        interval=args.live_interval,
+        serve=args.serve,
+        watch=args.watch,
+        abort_on_stall=args.abort_on_stall,
+    )
+
+
+def _append_history(
+    args, name: str, metrics, *, seed=None, chaos=None, ok=True
+) -> None:
+    """Append this run's summary record to the cross-run history store."""
+    if args.no_history or not args.history:
+        return
+    from repro.obs import append_record, make_record
+
+    record = make_record(
+        name=name,
+        metrics=metrics,
+        seed=seed,
+        label=args.label,
+        chaos=chaos,
+        ok=ok,
+        watchdog=metrics.watchdog,
+    )
+    append_record(args.history, record)
+    print(f"history: appended to {args.history}  "
+          f"(diff with: python -m repro history)")
 
 
 def _run_chaos(args) -> int:
@@ -306,15 +439,21 @@ def _run_chaos(args) -> int:
         batch_size=args.batch_size,
         flush_interval=args.flush_interval,
         trace=trace_config,
+        live=_live_config(args),
     )
     print(report.format_summary())
     print(report.result.metrics.format_summary())
     if spool_dir is not None:
         _export_trace(args, spool_dir)
     _write_metrics(args, report.result.metrics)
+    _append_history(
+        args, args.name, report.result.metrics,
+        seed=seed, chaos=args.chaos, ok=report.ok,
+    )
     if args.json:
         import json
 
+        _ensure_parent(args.json)
         with open(args.json, "w") as handle:
             json.dump(report.to_json(), handle, indent=2)
         print(f"wrote {args.json}")
@@ -356,9 +495,13 @@ def _run_exec(args) -> int:
         batch_size=args.batch_size,
         flush_interval=args.flush_interval,
         trace=trace_config,
+        live=_live_config(args),
     )
     result = engine.run(spec, resume_from=args.resume)
     result.metrics.sequential_seconds = sequential_seconds
+    if engine.live_server_port is not None:
+        print(f"live: served /metrics /snapshot /health on port "
+              f"{engine.live_server_port}")
 
     print(result.metrics.format_summary())
     identical = result.output == sequential_output
@@ -408,13 +551,73 @@ def _run_exec(args) -> int:
         )
 
     _write_metrics(args, result.metrics)
+    _append_history(
+        args, args.name, result.metrics,
+        seed=args.seed, ok=identical,
+    )
     if args.json:
         import json
 
+        _ensure_parent(args.json)
         with open(args.json, "w") as handle:
             json.dump(result.metrics.to_json(), handle, indent=2)
         print(f"wrote {args.json}")
     return 0 if identical else 1
+
+
+def _run_history(args) -> int:
+    """``history``: diff the latest recorded run against a baseline."""
+    from repro.obs.history import (
+        diff_records,
+        format_history_diff,
+        format_history_list,
+        load_history,
+        select_baseline,
+    )
+
+    records = load_history(args.history)
+    if not records:
+        print(f"history: no records in {args.history} "
+              f"(run 'python -m repro exec ...' first)")
+        return 1
+
+    if args.list_records:
+        print(format_history_list(records, limit=args.limit))
+        if args.json:
+            import json
+
+            _ensure_parent(args.json)
+            with open(args.json, "w") as handle:
+                json.dump(records[-args.limit:], handle, indent=2)
+            print(f"wrote {args.json}")
+        return 0
+
+    latest = records[-1]
+    baseline = select_baseline(records, latest, args.baseline)
+    if baseline is None or baseline is latest:
+        selector = (
+            f"baseline {args.baseline!r}" if args.baseline
+            else "a comparable earlier run"
+        )
+        print(f"history: {selector} not found in {args.history} "
+              f"({len(records)} record(s))")
+        print(format_history_list(records, limit=args.limit))
+        # Nothing to diff against is a setup problem for --check, not a
+        # regression: fail loudly only when the gate was requested.
+        return 1 if args.check else 0
+
+    diff = diff_records(baseline, latest, tolerance=args.tolerance)
+    print(format_history_diff(diff))
+    if args.json:
+        import json
+
+        _ensure_parent(args.json)
+        with open(args.json, "w") as handle:
+            json.dump(diff.to_json(), handle, indent=2)
+        print(f"wrote {args.json}")
+    if args.check and not diff.ok:
+        return 1
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -429,6 +632,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "exec":
         return _run_exec(args)
+
+    if args.command == "history":
+        return _run_history(args)
 
     if args.command == "list":
         for name in suite_names():

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
@@ -54,6 +55,15 @@ from repro.exec.rollback import CommittedStore, Location, WriteBuffer
 from repro.exec.workers import producer_main, worker_main
 from repro.obs.clock import now_ns
 from repro.obs.events import EventKind, TraceConfig
+from repro.obs.live import LiveConfig, LiveMonitor
+from repro.obs.registry import (
+    MetricsRegistry,
+    WRITER_COMMITTER,
+    WRITER_PRODUCER,
+    WRITER_WORKER0,
+    writers_for,
+)
+from repro.obs.serve import MetricsServer
 from repro.obs.spool import open_tracer
 from repro.resilience.checkpoint import (
     Checkpoint,
@@ -170,6 +180,19 @@ class ExecutionEngine:
     ``trace.spool_dir``; :func:`repro.obs.merge.merge_spool_dir` turns them
     into one timeline after the run.  Tracing never takes down a run — an
     unwritable spool degrades to no tracing for that process.
+
+    ``live`` (default: off) attaches the real-time telemetry plane of
+    :mod:`repro.obs.live`: a shared-memory :class:`MetricsRegistry` the
+    producer, workers, and committer write in-band (one lock-free slot
+    store per update), a sampling monitor thread with a
+    stall/saturation/storm watchdog, an optional HTTP endpoint serving
+    ``/metrics`` + ``/snapshot`` + ``/health`` (``live.serve``), and an
+    optional one-line TUI (``live.watch``).  The watchdog escalates the
+    resilience way — log, then health=degraded, then (with
+    ``live.abort_on_stall``) abort through the same degradation path the
+    engine already uses for dead pipelines, post-mortem trace included.
+    After the run the watchdog's summary is on ``metrics.watchdog`` and the
+    bound HTTP port (if any) on :attr:`live_server_port`.
     """
 
     def __init__(
@@ -186,6 +209,7 @@ class ExecutionEngine:
         batch_size: int = 16,
         flush_interval: float = 0.005,
         trace: Optional[TraceConfig] = None,
+        live: Optional[LiveConfig] = None,
     ) -> None:
         if plan is not None:
             workers = max(1, plan.replication_width)
@@ -211,9 +235,14 @@ class ExecutionEngine:
         self.checkpoint_config = checkpoints
         self.channel_chaos = channel_chaos
         self.trace_config = trace
+        self.live_config = live
         self._start_method = start_method
         self.metrics = EngineMetrics()
         self.checkpoint_manager: Optional[CheckpointManager] = None
+        #: The last run's live monitor (None when ``live`` is off) and the
+        #: port its HTTP endpoint bound (None when ``live.serve`` is off).
+        self.live_monitor: Optional[LiveMonitor] = None
+        self.live_server_port: Optional[int] = None
 
     # -- public API -------------------------------------------------------------
 
@@ -327,10 +356,27 @@ class ExecutionEngine:
             "l", throttle.window if throttle else _UNTHROTTLED_WINDOW
         )
 
+        # Live telemetry: the shared-memory registry must exist before any
+        # child is spawned (the shared arrays travel through process args).
+        live_cfg = self.live_config
+        live_abort = threading.Event()
+        registry: Optional[MetricsRegistry] = None
+        monitor: Optional[LiveMonitor] = None
+        server: Optional[MetricsServer] = None
+        if live_cfg is not None:
+            registry = MetricsRegistry.create(
+                ctx, writers_for(self.workers, policy.max_respawns)
+            )
+            registry.set_gauge("iterations", spec.iterations)
+            registry.set_gauge("watermark", start)
+            registry.set_gauge("window", window_value.value)
+            registry.set_gauge("workers_alive", self.workers)
+
         producer = ctx.Process(
             target=producer_main,
             args=(work, spec.iterations, spec.produce, self.fault_plan,
-                  shutdown, start, self.batch_size, self.trace_config),
+                  shutdown, start, self.batch_size, self.trace_config,
+                  registry, WRITER_PRODUCER),
             name="exec-A",
             daemon=True,
         )
@@ -343,12 +389,18 @@ class ExecutionEngine:
             nonlocal next_worker_id
             wid = next_worker_id
             next_worker_id += 1
+            # Every worker that ever exists gets its own counter row;
+            # clamp defensively so an overrun aliases the last row instead
+            # of corrupting foreign memory.
+            row = WRITER_WORKER0 + wid
+            if registry is not None and row >= registry.writers:
+                row = registry.writers - 1
             proc = ctx.Process(
                 target=worker_main,
                 args=(wid, work, done, spec.work, spec.speculative,
                       store.snapshot(), self.fault_plan, shutdown,
                       watermark_value, window_value, self.batch_size,
-                      self.trace_config),
+                      self.trace_config, registry, row),
                 name=f"exec-B{wid}",
                 daemon=True,
             )
@@ -357,6 +409,32 @@ class ExecutionEngine:
 
         for _ in range(self.workers):
             spawn_worker()
+
+        if registry is not None:
+            monitor = LiveMonitor(
+                registry, live_cfg,
+                capacity=self.capacity,
+                iterations=spec.iterations,
+                policy=policy,
+                channels=(work, done),
+                on_abort=live_abort.set,
+            )
+            monitor.start()
+            self.live_monitor = monitor
+            if live_cfg.serve is not None:
+                server = MetricsServer(monitor, port=live_cfg.serve).start()
+                self.live_server_port = server.port
+
+        def stop_live() -> None:
+            """Tear down the telemetry plane (idempotent): final sample,
+            then the watchdog's verdict lands on the run's metrics."""
+            nonlocal server
+            if server is not None:
+                server.stop()
+                server = None
+            if monitor is not None:
+                monitor.stop()
+                metrics.watchdog = monitor.watchdog.summary()
 
         # Committer state.  ``inflight_values`` holds each claimed
         # iteration's phase-A value until commit, so any lost task can be
@@ -376,6 +454,8 @@ class ExecutionEngine:
             nonlocal respawns_left
             respawns_left -= 1
             metrics.respawns += 1
+            if registry is not None:
+                registry.add(WRITER_COMMITTER, "respawns")
             spawn_worker()
             new_wid = next_worker_id - 1
             logger.info(
@@ -400,6 +480,8 @@ class ExecutionEngine:
             metrics.stage_seconds["B"] += elapsed
             metrics.serial_reexecutions += 1
             metrics.record_latency("serial_reexec", elapsed)
+            if registry is not None:
+                registry.add(WRITER_COMMITTER, "serial_reexec")
             if tracer is not None:
                 tracer.record(EventKind.SERIAL_REEXEC, t0_ns, t1_ns, arg=i)
             return result
@@ -419,6 +501,9 @@ class ExecutionEngine:
                 metrics.in_order_commits += 1
             next_commit = i + 1
             watermark_value.value = next_commit
+            if registry is not None:
+                registry.add(WRITER_COMMITTER, "committed")
+                registry.set_gauge("watermark", next_commit)
             inflight_values.pop(i, None)
             info = claim_info.pop(i, None)
             if info is not None:
@@ -427,9 +512,12 @@ class ExecutionEngine:
             last_activity = time.monotonic()
             claimed_ns = claim_arrival_ns.pop(i, None)
             if claimed_ns is not None and commit_ns >= claimed_ns:
-                metrics.record_latency(
-                    "commit_lag", (commit_ns - claimed_ns) / 1e9
-                )
+                lag_seconds = (commit_ns - claimed_ns) / 1e9
+                metrics.record_latency("commit_lag", lag_seconds)
+                if registry is not None:
+                    registry.observe(
+                        WRITER_COMMITTER, "commit_lag_seconds", lag_seconds
+                    )
             if tracer is not None:
                 # The span's end *is* the commit point and arg2 carries the
                 # misspeculation flag; the merger synthesizes the COMMIT
@@ -443,6 +531,8 @@ class ExecutionEngine:
                 if new_window is not None:
                     shrink = new_window < window_value.value
                     window_value.value = new_window
+                    if registry is not None:
+                        registry.set_gauge("window", new_window)
                     logger.debug(
                         "throttle %s: speculative window now %d",
                         "shrink" if shrink else "grow", new_window,
@@ -457,6 +547,11 @@ class ExecutionEngine:
                 manager.maybe(next_commit, store, accumulator, metrics)
                 metrics.checkpoints_taken = manager.taken
                 if manager.taken > taken_before:
+                    if registry is not None:
+                        registry.add(
+                            WRITER_COMMITTER, "checkpoints",
+                            manager.taken - taken_before,
+                        )
                     logger.info(
                         "checkpoint %d taken at commit watermark %d",
                         manager.taken, next_commit,
@@ -472,6 +567,8 @@ class ExecutionEngine:
                     stale = store.validate(reads) if spec.speculative else []
                     if stale:
                         metrics.conflicts += 1
+                        if registry is not None:
+                            registry.add(WRITER_COMMITTER, "conflicts")
                         if tracer is not None:
                             tracer.instant(EventKind.CONFLICT, arg=i)
                         commit(i, serial_reexecute(i), misspeculated=True)
@@ -523,6 +620,8 @@ class ExecutionEngine:
                     continue
                 if now - claimed_at > policy.task_timeout:
                     metrics.worker_timeouts += 1
+                    if registry is not None:
+                        registry.add(WRITER_COMMITTER, "worker_timeouts")
                     logger.warning(
                         "worker %d hung on iteration %d for more than "
                         "%.1fs; terminating", wid, i, policy.task_timeout,
@@ -546,6 +645,8 @@ class ExecutionEngine:
                 processes[wid] = None
                 if proc.exitcode != 0:
                     metrics.worker_crashes += 1
+                    if registry is not None:
+                        registry.add(WRITER_COMMITTER, "worker_crashes")
                     logger.warning(
                         "worker %d crashed (exit code %s)",
                         wid, proc.exitcode,
@@ -623,6 +724,8 @@ class ExecutionEngine:
             elif tag == "fault":
                 _, wid, i, fault_message = message
                 metrics.soft_faults += 1
+                if registry is not None:
+                    registry.add(WRITER_COMMITTER, "soft_faults")
                 logger.warning(
                     "worker %d reported soft fault on iteration %d: %s",
                     wid, i, fault_message,
@@ -660,9 +763,24 @@ class ExecutionEngine:
                     proc is not None and proc.is_alive()
                     for proc in processes.values()
                 )
+                if registry is not None:
+                    registry.set_gauge(
+                        "workers_alive",
+                        sum(
+                            1 for proc in processes.values()
+                            if proc is not None and proc.is_alive()
+                        ),
+                    )
                 stalled = (
                     time.monotonic() - last_activity > policy.stall_timeout
                 )
+                if live_abort.is_set():
+                    logger.warning(
+                        "live watchdog requested abort at commit watermark "
+                        "%d; taking the degradation path", next_commit,
+                    )
+                    degraded = True
+                    break
                 if producer_failed or not live_workers or stalled:
                     degraded = True
                     break
@@ -678,6 +796,7 @@ class ExecutionEngine:
             # propagate (the committer's spool is closed cleanly so a
             # post-mortem trace survives).
             shutdown.set()
+            stop_live()  # before channel.close(): the final sample reads them
             self._halt(producer, processes)
             for channel in (work, done):
                 channel.close()
@@ -686,6 +805,12 @@ class ExecutionEngine:
             raise
         finally:
             shutdown.set()
+
+        # The telemetry plane stops here, not after teardown: on the
+        # degradation path the sequential finisher bypasses the registry,
+        # and a watchdog left running would misread that silence as a
+        # stall.  The final sample captures the pipeline's true end state.
+        stop_live()
 
         if degraded:
             logger.warning(

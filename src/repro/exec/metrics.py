@@ -81,6 +81,12 @@ class EngineMetrics:
     # -- channels ----------------------------------------------------------------
     channel_stats: Dict[str, dict] = field(default_factory=dict)
 
+    # -- live telemetry ----------------------------------------------------------
+    #: The live watchdog's end-of-run summary (health, stall/saturation/
+    #: storm counts, recent events) when the run was observed live
+    #: (``LiveConfig`` on the engine); ``None`` otherwise.
+    watchdog: Optional[dict] = None
+
     # -- latency distributions ---------------------------------------------------
     #: Per-event latency histograms the committer populates live (no
     #: tracing required): ``task_a``/``task_b``/``task_c`` execution time
@@ -165,6 +171,7 @@ class EngineMetrics:
             "min_window": self.min_window,
             "final_window": self.final_window,
             "channels": self.channel_stats,
+            "watchdog": self.watchdog,
             "latency_histograms": {
                 name: _round_floats(summary)
                 for name, summary in summarize(self.latency).items()
@@ -221,6 +228,15 @@ class EngineMetrics:
             )
         if resilience_bits:
             lines.append("resilience        " + ", ".join(resilience_bits))
+        if self.watchdog is not None:
+            lines.append(
+                f"live health       {self.watchdog.get('health', '?')} "
+                f"({self.watchdog.get('stalls', 0)} stalls, "
+                f"{self.watchdog.get('saturations', 0)} saturations, "
+                f"{self.watchdog.get('storms', 0)} storms"
+                + (", ABORTED" if self.watchdog.get("aborted") else "")
+                + ")"
+            )
         for name, histogram in sorted(self.latency.items()):
             if histogram.count:
                 lines.append(

@@ -88,6 +88,8 @@ def producer_main(
     start: int = 0,
     max_chunk: int = 1,
     trace: Optional[TraceConfig] = None,
+    registry=None,
+    writer: int = 0,
 ) -> None:
     """Phase A: run ``produce`` per iteration, dispatch chunks downstream.
 
@@ -95,10 +97,22 @@ def producer_main(
     producers must evolve deterministically — but only iterations at or past
     ``start`` are dispatched, and injections keyed below ``start`` are
     treated as already spent.
+
+    ``registry``/``writer`` (live telemetry, may be None/unused): the
+    ``produced`` counter advances once per *flushed* chunk — the same
+    batch-amortized discipline as the channel's credit counters.
     """
     tracer = open_tracer(trace, "producer")
     work.tracer = tracer
     chunk_target = 1
+    staged = 0  # dispatched items not yet counted into the registry
+
+    def count_staged() -> None:
+        nonlocal staged
+        if registry is not None and staged:
+            registry.add(writer, "produced", staged)
+        staged = 0
+
     try:
         for i in range(iterations):
             if (
@@ -111,6 +125,9 @@ def producer_main(
                 logger.info("injected producer crash before iteration %d", i)
                 _drain_flush(work, shutdown)
                 work.flush_and_close()
+                count_staged()
+                if registry is not None:
+                    registry.add(writer, "chaos_injections")
                 if tracer is not None:
                     tracer.instant(
                         EventKind.CHAOS, arg=i, detail=int(ChaosCode.CRASH)
@@ -128,12 +145,15 @@ def producer_main(
             if i < start:
                 continue
             work.put_buffered((i, value, elapsed))
+            staged += 1
             if work.pending_items >= chunk_target or work.flush_due():
                 if not _drain_flush(work, shutdown):
                     return
+                count_staged()
                 chunk_target = min(max_chunk, chunk_target * 2)
         if not _drain_flush(work, shutdown):
             return
+        count_staged()
         work.flush_and_close()
     finally:
         if tracer is not None:
@@ -153,9 +173,16 @@ def worker_main(
     window=None,
     max_chunk: int = 1,
     trace: Optional[TraceConfig] = None,
+    registry=None,
+    writer: int = 0,
 ) -> None:
     """Phase B replica: claim a chunk, gate on the throttle window, execute
-    speculatively, report in batched frames."""
+    speculatively, report in batched frames.
+
+    ``registry``/``writer`` (live telemetry, may be None/unused): this
+    worker's private counter row — ``claimed`` advances once per chunk,
+    ``executed`` and the ``task_b_seconds`` histogram once per task.
+    """
     tracer = open_tracer(trace, f"worker-{worker_id}")
     work.tracer = tracer
     done.tracer = tracer
@@ -171,6 +198,7 @@ def worker_main(
         _worker_loop(
             worker_id, work, done, work_fn, speculative, snapshot,
             fault_plan, shutdown, watermark, window, max_chunk, stop, tracer,
+            registry, writer,
         )
     finally:
         if tracer is not None:
@@ -191,6 +219,8 @@ def _worker_loop(
     max_chunk: int,
     stop: Callable[[], None],
     tracer,
+    registry=None,
+    writer: int = 0,
 ) -> None:
     while True:
         _drain_flush(done, shutdown)  # bound result latency before blocking
@@ -216,6 +246,8 @@ def _worker_loop(
             done.put_buffered(("claim", worker_id, i, value, a_seconds))
         if not _drain_flush(done, shutdown):
             return  # shutdown mid-claim: nothing executed, nothing lost
+        if registry is not None:
+            registry.add(writer, "claimed", len(items))
 
         for i, value, a_seconds in items:
             # Throttle gate: hold execution until iteration i enters the
@@ -260,6 +292,8 @@ def _worker_loop(
                         "injected crash in worker %d at iteration %d",
                         worker_id, i,
                     )
+                    if registry is not None:
+                        registry.add(writer, "chaos_injections")
                     rest = [item for item in items if item[0] > i]
                     if rest:
                         work.chaos = None  # injections already applied
@@ -283,6 +317,8 @@ def _worker_loop(
                         "injected hang in worker %d at iteration %d "
                         "(%.3fs)", worker_id, i, fault_plan.hang_seconds,
                     )
+                    if registry is not None:
+                        registry.add(writer, "chaos_injections")
                     if tracer is not None:
                         tracer.instant(
                             EventKind.CHAOS, arg=i, arg2=worker_id,
@@ -306,6 +342,8 @@ def _worker_loop(
                         "injected soft fault in worker %d at iteration %d",
                         worker_id, i,
                     )
+                    if registry is not None:
+                        registry.add(writer, "chaos_injections")
                     if tracer is not None:
                         tracer.instant(
                             EventKind.CHAOS, arg=i, arg2=worker_id,
@@ -333,6 +371,9 @@ def _worker_loop(
             # Same clock pair for b_seconds and the span (see producer).
             t1_ns = now_ns()
             elapsed = (t1_ns - t0_ns) * 1e-9
+            if registry is not None:
+                registry.add(writer, "executed")
+                registry.observe(writer, "task_b_seconds", elapsed)
             if tracer is not None:
                 tracer.record(
                     EventKind.TASK_B, t0_ns, t1_ns, arg=i, arg2=worker_id
@@ -347,6 +388,8 @@ def _worker_loop(
                         "injected forced conflict in worker %d at "
                         "iteration %d", worker_id, i,
                     )
+                    if registry is not None:
+                        registry.add(writer, "chaos_injections")
                     if tracer is not None:
                         tracer.instant(
                             EventKind.CHAOS, arg=i, arg2=worker_id,
@@ -355,6 +398,8 @@ def _worker_loop(
                     reads = dict(reads)
                     reads[("__chaos__", i)] = 0
                 if i in fault_plan.latency_iterations:
+                    if registry is not None:
+                        registry.add(writer, "chaos_injections")
                     if tracer is not None:
                         tracer.instant(
                             EventKind.CHAOS, arg=i, arg2=worker_id,
@@ -366,6 +411,8 @@ def _worker_loop(
                         "injected result drop in worker %d at iteration %d",
                         worker_id, i,
                     )
+                    if registry is not None:
+                        registry.add(writer, "chaos_injections")
                     if tracer is not None:
                         tracer.instant(
                             EventKind.CHAOS, arg=i, arg2=worker_id,
@@ -378,6 +425,8 @@ def _worker_loop(
                 fault_plan is not None
                 and i in fault_plan.duplicate_result_iterations
             ):
+                if registry is not None:
+                    registry.add(writer, "chaos_injections")
                 if tracer is not None:
                     tracer.instant(
                         EventKind.CHAOS, arg=i, arg2=worker_id,

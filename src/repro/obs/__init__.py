@@ -17,6 +17,15 @@ or ``--trace out.json`` to the CLI), **bounded** (per-process ring with an
 explicit ``dropped_events`` count), and **must never take down a run**: an
 unwritable spool degrades to no tracing, and a spool truncated by a
 crashed worker merges into an aborted span, not a corrupt trace.
+
+The *live* plane complements the post-mortem one: a lock-light
+shared-memory :class:`MetricsRegistry` (:mod:`repro.obs.registry`) that
+producer/workers/committer write in-band, a :class:`LiveMonitor` sampling
+thread with a stall/saturation/storm :class:`Watchdog`
+(:mod:`repro.obs.live`), a stdlib HTTP :class:`MetricsServer` exposing
+``/metrics`` (Prometheus text), ``/snapshot``, and ``/health``
+(:mod:`repro.obs.serve`), and a cross-run JSONL history store with a CI
+regression gate (:mod:`repro.obs.history`).
 """
 
 from repro.obs.clock import ClockAnchor, now_ns
@@ -40,7 +49,30 @@ from repro.obs.export import (
     write_chrome_trace,
 )
 from repro.obs.hist import LatencyHistogram, format_seconds, percentile
+from repro.obs.history import (
+    HISTORY_SCHEMA,
+    HistoryDiff,
+    append_record,
+    diff_records,
+    format_history_diff,
+    load_history,
+    make_record,
+    select_baseline,
+)
+from repro.obs.live import (
+    HealthState,
+    LiveConfig,
+    LiveMonitor,
+    Watchdog,
+    WatchdogConfig,
+)
 from repro.obs.merge import MergedTrace, merge_spool_dir, merge_spools
+from repro.obs.registry import (
+    MetricsRegistry,
+    RegistrySnapshot,
+    writers_for,
+)
+from repro.obs.serve import MetricsServer, prometheus_exposition
 from repro.obs.spool import (
     SpoolData,
     SpoolError,
@@ -53,26 +85,43 @@ __all__ = [
     "ChaosCode",
     "ClockAnchor",
     "EventKind",
+    "HISTORY_SCHEMA",
+    "HealthState",
+    "HistoryDiff",
     "Instant",
     "LatencyHistogram",
+    "LiveConfig",
+    "LiveMonitor",
     "MergedTrace",
+    "MetricsRegistry",
+    "MetricsServer",
     "PhaseComparison",
+    "RegistrySnapshot",
     "Span",
     "SpoolData",
     "SpoolError",
     "SpoolWriter",
     "TraceConfig",
+    "Watchdog",
+    "WatchdogConfig",
+    "append_record",
     "compare_phases",
+    "diff_records",
+    "format_history_diff",
     "format_report",
     "format_seconds",
     "load_and_validate",
+    "load_history",
+    "make_record",
     "merge_spool_dir",
     "merge_spools",
     "now_ns",
     "open_tracer",
     "percentile",
+    "prometheus_exposition",
     "read_spool",
     "render_measured_timeline",
+    "select_baseline",
     "to_chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",

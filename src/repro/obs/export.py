@@ -25,6 +25,7 @@ chaos job) run against every produced file.
 from __future__ import annotations
 
 import json
+import os
 from collections import defaultdict
 from typing import Any, Dict, List
 
@@ -158,8 +159,14 @@ def to_chrome_trace(merged: MergedTrace) -> Dict[str, Any]:
 
 
 def write_chrome_trace(merged: MergedTrace, path: str) -> Dict[str, Any]:
-    """Export ``merged`` to ``path``; returns the trace object."""
+    """Export ``merged`` to ``path``; returns the trace object.
+
+    Creates missing parent directories: the export runs *after* the traced
+    run succeeded, and a mistyped output directory must not throw that
+    work away."""
     trace = to_chrome_trace(merged)
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
     with open(path, "w") as handle:
         json.dump(trace, handle)
     return trace

@@ -103,14 +103,25 @@ class LatencyHistogram:
             "max": self.max_value,
             "exact": self.exact,
         }
-        for q in SUMMARY_PERCENTILES:
-            data[f"p{q:g}"] = self.percentile(q)
+        # A histogram can carry a count with no retained samples (counters
+        # restored from a checkpoint, or a merged summary): aggregates stay
+        # exact, but percentiles are unknowable — omit them rather than
+        # raising or reporting a degenerate p50=p99=0.
+        if self.samples:
+            for q in SUMMARY_PERCENTILES:
+                data[f"p{q:g}"] = self.percentile(q)
         return data
 
     def format_line(self) -> str:
         """One CLI summary line: ``p50 1.2ms  p95 3.4ms  p99 5.6ms ...``."""
         if not self.count:
             return "no samples"
+        if not self.samples:
+            return (
+                f"mean {format_seconds(self.mean)}  "
+                f"max {format_seconds(self.max_value)}  "
+                f"n={self.count}  (no retained samples)"
+            )
         parts = [
             f"p{q:g} {format_seconds(self.percentile(q))}"
             for q in SUMMARY_PERCENTILES

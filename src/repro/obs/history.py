@@ -1,0 +1,384 @@
+"""The cross-run history store: one JSONL line per engine run.
+
+A single run's metrics answer "how did this run go"; regressions only show
+up *across* runs — yesterday's 40 k items/sec quietly becoming today's
+28 k, a p95 commit lag creeping up PR over PR.  Every CLI exec run appends
+one schema-versioned summary record to ``benchmarks/history.jsonl`` (or
+``--history PATH``), and ``python -m repro history`` diffs the latest run
+against a baseline — by label, by index, or automatically against the
+previous comparable run (same workload, worker count, and batch size).
+
+The store is append-only JSON Lines: one self-contained object per line,
+no global file rewrite (concurrent runs at worst interleave whole lines),
+corrupt lines skipped loudly rather than fatally.  ``schema`` is bumped on
+any shape change; readers ignore records from the future instead of
+misparsing them.
+
+``--check`` turns the diff into a CI gate: items/sec below
+``baseline * (1 - tolerance)``, p95 latency above
+``baseline * (1 + tolerance)``, or a misspeculation-rate jump beyond an
+absolute margin fails the build — the cross-run sibling of
+``benchmarks/check_perf.py``'s intra-run gate.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+logger = logging.getLogger(__name__)
+
+#: Bump on any record-shape change; readers skip records they postdate.
+HISTORY_SCHEMA = 1
+
+#: Default store, shared with the benchmark artifacts.
+DEFAULT_HISTORY_PATH = os.path.join("benchmarks", "history.jsonl")
+
+#: Latency series whose p95s are gated by ``--check``.
+GATED_LATENCY_SERIES = ("task_b", "commit_lag", "task_c")
+
+#: Absolute misspeculation-rate increase that fails the gate.
+MISSPEC_RATE_MARGIN = 0.10
+
+
+def make_record(
+    *,
+    name: str,
+    metrics,
+    seed: Optional[int] = None,
+    label: Optional[str] = None,
+    chaos: Optional[int] = None,
+    ok: bool = True,
+    watchdog: Optional[dict] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> dict:
+    """One history record from a finished run's :class:`EngineMetrics`.
+
+    ``watchdog`` is the live monitor's summary when the run was observed
+    live (``None`` otherwise); ``ok`` carries the run-level verdict (output
+    identical / invariants held).
+    """
+    from repro.obs.hist import summarize  # local: avoid cycle at import
+
+    wall = metrics.wall_seconds or 0.0
+    latency = {}
+    for series, summary in summarize(metrics.latency).items():
+        latency[series] = {
+            key: summary[key]
+            for key in ("count", "mean", "p50", "p95", "p99")
+            if key in summary
+        }
+    record = {
+        "schema": HISTORY_SCHEMA,
+        "ts": round(time.time(), 3),
+        "name": name,
+        "label": label,
+        "ok": bool(ok),
+        "seed": seed,
+        "chaos": chaos,
+        "workers": metrics.workers,
+        "capacity": metrics.capacity,
+        "batch_size": metrics.batch_size,
+        "iterations": metrics.iterations,
+        "wall_seconds": round(wall, 6),
+        "items_per_sec": round(metrics.commits / wall, 1) if wall else 0.0,
+        "misspec_rate": round(metrics.misspeculation_rate, 4),
+        "counters": {
+            "commits": metrics.commits,
+            "conflicts": metrics.conflicts,
+            "serial_reexecutions": metrics.serial_reexecutions,
+            "soft_faults": metrics.soft_faults,
+            "worker_crashes": metrics.worker_crashes,
+            "worker_timeouts": metrics.worker_timeouts,
+            "respawns": metrics.respawns,
+            "retries": metrics.retries,
+            "checkpoints": metrics.checkpoints_taken,
+        },
+        "degraded": metrics.degraded_to_sequential,
+        "latency": latency,
+        "watchdog": watchdog,
+    }
+    if extra:
+        record.update(extra)
+    return record
+
+
+def append_record(path: str, record: dict) -> None:
+    """Append one record as a JSON line, creating parent directories."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_history(path: str) -> List[dict]:
+    """Every readable record, oldest first; corrupt or future-schema lines
+    are skipped with a warning, never fatal (the store must survive a
+    crashed writer's torn last line)."""
+    records: List[dict] = []
+    if not os.path.exists(path):
+        return records
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                logger.warning(
+                    "history %s line %d: corrupt JSON skipped",
+                    path, line_number,
+                )
+                continue
+            if not isinstance(record, dict):
+                logger.warning(
+                    "history %s line %d: not an object, skipped",
+                    path, line_number,
+                )
+                continue
+            if record.get("schema", 0) > HISTORY_SCHEMA:
+                logger.warning(
+                    "history %s line %d: schema %s is newer than %d, "
+                    "skipped", path, line_number, record.get("schema"),
+                    HISTORY_SCHEMA,
+                )
+                continue
+            records.append(record)
+    return records
+
+
+def _comparable(a: dict, b: dict) -> bool:
+    return all(
+        a.get(key) == b.get(key)
+        for key in ("name", "workers", "batch_size")
+    )
+
+
+def select_baseline(
+    records: List[dict],
+    latest: dict,
+    selector: Optional[str] = None,
+) -> Optional[dict]:
+    """Resolve the baseline ``latest`` is diffed against.
+
+    ``selector`` may be a record label (``--label`` at record time), or an
+    integer index into the store (negative = from the end, with ``-1`` the
+    latest record itself).  Without a selector: the most recent *earlier*
+    record comparable to ``latest`` (same workload, workers, batch size).
+    """
+    if selector is not None:
+        try:
+            index = int(selector)
+        except ValueError:
+            for record in reversed(records):
+                if record.get("label") == selector and record is not latest:
+                    return record
+            return None
+        try:
+            return records[index]
+        except IndexError:
+            return None
+    for record in reversed(records):
+        if record is latest:
+            continue
+        if record.get("ts", 0) > latest.get("ts", 0):
+            continue
+        if _comparable(record, latest):
+            return record
+    return None
+
+
+@dataclass
+class DiffRow:
+    """One compared metric."""
+
+    metric: str
+    baseline: float
+    current: float
+    #: relative delta (current vs baseline); None when baseline is zero
+    delta: Optional[float]
+    #: "higher" or "lower" — which direction is better
+    better: str
+    regression: bool = False
+
+    def format(self) -> str:
+        delta_text = (
+            f"{self.delta:+.1%}" if self.delta is not None else "   n/a"
+        )
+        verdict = "REGRESSION" if self.regression else "ok"
+        return (
+            f"{verdict:>10}  {self.metric:<24} "
+            f"{self.baseline:>12,.4g} -> {self.current:>12,.4g}  "
+            f"({delta_text})"
+        )
+
+
+@dataclass
+class HistoryDiff:
+    """Latest-vs-baseline comparison, CI-gateable."""
+
+    baseline: dict
+    current: dict
+    tolerance: float
+    rows: List[DiffRow] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[DiffRow]:
+        return [row for row in self.rows if row.regression]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "tolerance": self.tolerance,
+            "baseline_ts": self.baseline.get("ts"),
+            "current_ts": self.current.get("ts"),
+            "rows": [
+                {
+                    "metric": row.metric,
+                    "baseline": row.baseline,
+                    "current": row.current,
+                    "delta": row.delta,
+                    "regression": row.regression,
+                }
+                for row in self.rows
+            ],
+        }
+
+
+def diff_records(
+    baseline: dict, current: dict, tolerance: float = 0.30
+) -> HistoryDiff:
+    """Compare two history records along the gated axes.
+
+    Throughput must not fall more than ``tolerance`` below baseline; gated
+    p95 latencies must not rise more than ``tolerance`` above it; the
+    misspeculation rate must not climb more than an absolute
+    :data:`MISSPEC_RATE_MARGIN`.  Latency series are only gated when both
+    records carry them (a stage that committed zero items has no
+    histogram — absence is not a regression).
+    """
+    diff = HistoryDiff(
+        baseline=baseline, current=current, tolerance=tolerance
+    )
+
+    def add(
+        metric: str, base_value, current_value, better: str,
+        gated: bool = True, absolute_margin: Optional[float] = None,
+    ) -> None:
+        if base_value is None or current_value is None:
+            return
+        base_value = float(base_value)
+        current_value = float(current_value)
+        delta = (
+            (current_value - base_value) / base_value if base_value else None
+        )
+        regression = False
+        if gated:
+            if absolute_margin is not None:
+                worse_by = (
+                    current_value - base_value
+                    if better == "lower"
+                    else base_value - current_value
+                )
+                regression = worse_by > absolute_margin
+            elif base_value > 0:
+                if better == "higher":
+                    regression = current_value < base_value * (1 - tolerance)
+                else:
+                    regression = current_value > base_value * (1 + tolerance)
+        diff.rows.append(
+            DiffRow(
+                metric=metric,
+                baseline=base_value,
+                current=current_value,
+                delta=delta,
+                better=better,
+                regression=regression,
+            )
+        )
+
+    add(
+        "items_per_sec",
+        baseline.get("items_per_sec"), current.get("items_per_sec"),
+        better="higher",
+    )
+    add(
+        "wall_seconds",
+        baseline.get("wall_seconds"), current.get("wall_seconds"),
+        better="lower", gated=False,
+    )
+    add(
+        "misspec_rate",
+        baseline.get("misspec_rate"), current.get("misspec_rate"),
+        better="lower", absolute_margin=MISSPEC_RATE_MARGIN,
+    )
+    base_latency = baseline.get("latency") or {}
+    current_latency = current.get("latency") or {}
+    for series in GATED_LATENCY_SERIES:
+        base_series = base_latency.get(series) or {}
+        current_series = current_latency.get(series) or {}
+        add(
+            f"{series}.p95",
+            base_series.get("p95"), current_series.get("p95"),
+            better="lower",
+        )
+    return diff
+
+
+def format_history_diff(diff: HistoryDiff) -> str:
+    """The CLI report for one latest-vs-baseline comparison."""
+
+    def describe(record: dict) -> str:
+        label = record.get("label")
+        label_text = f" [{label}]" if label else ""
+        return (
+            f"{record.get('name', '?')}{label_text} "
+            f"({record.get('workers', '?')}w batch "
+            f"{record.get('batch_size', '?')}, "
+            f"{record.get('iterations', '?')} iterations)"
+        )
+
+    lines = [
+        f"history: {describe(diff.current)}",
+        f"baseline {describe(diff.baseline)}  "
+        f"tolerance {diff.tolerance:.0%}",
+    ]
+    lines += [row.format() for row in diff.rows]
+    lines.append(
+        "verdict: "
+        + (
+            "ok — no gated regression"
+            if diff.ok
+            else f"{len(diff.regressions)} REGRESSION(S)"
+        )
+    )
+    return "\n".join(lines)
+
+
+def format_history_list(records: List[dict], limit: int = 10) -> str:
+    """The last ``limit`` records, one line each, oldest first."""
+    lines = []
+    for record in records[-limit:]:
+        watchdog = record.get("watchdog") or {}
+        health = watchdog.get("health", "-")
+        label = record.get("label")
+        lines.append(
+            f"{time.strftime('%Y-%m-%d %H:%M:%S', time.localtime(record.get('ts', 0)))}  "
+            f"{record.get('name', '?'):<12} "
+            f"{record.get('workers', '?')}w b{record.get('batch_size', '?'):<3} "
+            f"{record.get('items_per_sec', 0):>10,.1f}/s  "
+            f"misspec {record.get('misspec_rate', 0):.1%}  "
+            f"health {health:<8} "
+            f"{'ok' if record.get('ok') else 'FAIL'}"
+            + (f"  [{label}]" if label else "")
+        )
+    return "\n".join(lines) if lines else "history: no records"

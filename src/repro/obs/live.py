@@ -1,0 +1,488 @@
+"""The live monitor: sampling thread, stall watchdog, one-line TUI.
+
+The registry (:mod:`repro.obs.registry`) makes the run's state readable at
+any instant; this module is the reader.  A daemon thread in the engine's
+process samples the registry every ``LiveConfig.interval`` seconds and
+
+- keeps a short rate window so items/sec is a *current* rate, not a
+  lifetime average;
+- feeds the :class:`Watchdog`, which turns raw samples into liveness
+  verdicts — commit stalls, work-channel saturation, misspeculation
+  storms — and escalates exactly the way the resilience layer does:
+  **log** first, then **health=degraded** while the condition persists,
+  then (optionally) **abort** the run through the engine's degradation
+  path, post-mortem trace flush included;
+- renders the ``--watch`` status line (items/sec, commit lag p95, channel
+  occupancy, throttle window, misspeculation and chaos rates, health).
+
+Watchdog thresholds default to fractions of the engine's
+:class:`~repro.exec.faults.RobustnessPolicy` (``WatchdogConfig.from_policy``)
+so the live plane warns *before* the engine's own stall/timeout machinery
+gives up: the policy declares a run dead after ``stall_timeout``; the
+watchdog flags it unhealthy after a quarter of that.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, List, Optional
+
+from repro.obs.hist import format_seconds
+from repro.obs.registry import MetricsRegistry, RegistrySnapshot
+
+logger = logging.getLogger(__name__)
+
+
+class HealthState(str, Enum):
+    """The liveness verdict served at ``/health``."""
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    ABORTED = "aborted"
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """When the watchdog complains, and how far it escalates.
+
+    ``stall_seconds``        — commit frontier frozen this long => stall;
+    ``saturation_fraction``  — work-channel occupancy at/above this share
+    of capacity counts toward saturation;
+    ``saturation_samples``   — consecutive saturated samples => flagged;
+    ``storm_rate``           — misspeculation rate over a sampling window
+    at/above this => storm (the paper's serialization pathology, live);
+    ``storm_min_commits``    — commits a window needs before its rate is
+    trusted (tiny windows are noise);
+    ``abort_stall_seconds``  — optional hard escalation: a stall this long
+    aborts the run through the engine's degradation path (``None`` = never).
+    """
+
+    stall_seconds: float = 5.0
+    saturation_fraction: float = 0.95
+    saturation_samples: int = 10
+    storm_rate: float = 0.5
+    storm_min_commits: int = 8
+    abort_stall_seconds: Optional[float] = None
+
+    def __post_init__(self):
+        if self.stall_seconds <= 0:
+            raise ValueError("stall_seconds must be positive")
+        if not 0.0 < self.saturation_fraction <= 1.0:
+            raise ValueError("saturation_fraction must be in (0, 1]")
+        if self.saturation_samples < 1:
+            raise ValueError("saturation_samples must be >= 1")
+        if not 0.0 < self.storm_rate <= 1.0:
+            raise ValueError("storm_rate must be in (0, 1]")
+        if (
+            self.abort_stall_seconds is not None
+            and self.abort_stall_seconds < self.stall_seconds
+        ):
+            raise ValueError(
+                "abort_stall_seconds cannot be below stall_seconds"
+            )
+
+    @classmethod
+    def from_policy(cls, policy, **overrides) -> "WatchdogConfig":
+        """Derive thresholds from a :class:`RobustnessPolicy`: warn at half
+        the hung-task timeout, never later than a quarter of the stall
+        deadline — the watchdog must speak before the engine acts."""
+        stall = max(
+            0.25,
+            min(policy.task_timeout / 2, policy.stall_timeout / 4),
+        )
+        kwargs = {"stall_seconds": stall}
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+
+@dataclass
+class WatchdogEvent:
+    """One escalation the watchdog performed."""
+
+    kind: str       # "stall" | "saturation" | "storm" | "abort" | "recovered"
+    at_s: float     # monotonic timestamp
+    detail: str
+
+    def to_json(self) -> dict:
+        return {"kind": self.kind, "detail": self.detail}
+
+
+class Watchdog:
+    """Turns registry samples into liveness verdicts.
+
+    Single-threaded by contract: only the monitor thread calls
+    :meth:`observe`; readers (the HTTP server, the CLI) see plain
+    attributes, which CPython publishes atomically.
+    """
+
+    def __init__(
+        self,
+        config: WatchdogConfig,
+        capacity: int,
+        iterations: int,
+        on_abort: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.config = config
+        self.capacity = max(1, capacity)
+        self.iterations = iterations
+        self.on_abort = on_abort
+        self.health = HealthState.OK
+        self.events: List[WatchdogEvent] = []
+        self.stall_events = 0
+        self.saturation_events = 0
+        self.storm_events = 0
+        self.aborted = False
+        self.degraded_ever = False
+        self._last_committed = 0
+        self._last_commit_change_s: Optional[float] = None
+        self._saturated_run = 0
+        self._stalled = False
+        self._storming = False
+        self._saturation_flagged = False
+        self._prev: Optional[RegistrySnapshot] = None
+
+    # -- the one entry point -----------------------------------------------------
+
+    def observe(self, snapshot: RegistrySnapshot) -> None:
+        now = snapshot.monotonic_s
+        committed = snapshot.counters.get("committed", 0)
+        if self._last_commit_change_s is None:
+            self._last_commit_change_s = now
+        if committed != self._last_committed:
+            self._last_committed = committed
+            self._last_commit_change_s = now
+            if self._stalled:
+                self._stalled = False
+                self._event("recovered", now, "commits resumed")
+        self._check_stall(now, committed)
+        self._check_saturation(snapshot, now)
+        self._check_storm(snapshot, now)
+        self._prev = snapshot
+        finished = self.iterations and committed >= self.iterations
+        unhealthy = self._stalled or self._storming or self._saturation_flagged
+        if self.aborted:
+            self.health = HealthState.ABORTED
+        elif unhealthy and not finished:
+            self.health = HealthState.DEGRADED
+        else:
+            self.health = HealthState.OK
+
+    # -- detectors ---------------------------------------------------------------
+
+    def _check_stall(self, now: float, committed: int) -> None:
+        if self.iterations and committed >= self.iterations:
+            return  # run complete; a quiet frontier is success, not a stall
+        last_change = self._last_commit_change_s
+        if last_change is None:  # not `or`: monotonic 0.0 is a real time
+            last_change = now
+        stalled_for = now - last_change
+        if stalled_for <= self.config.stall_seconds:
+            return
+        if not self._stalled:
+            self._stalled = True
+            self.stall_events += 1
+            self._event(
+                "stall", now,
+                f"commit frontier frozen at {committed} for "
+                f"{stalled_for:.1f}s (threshold "
+                f"{self.config.stall_seconds:.1f}s)",
+            )
+        if (
+            self.config.abort_stall_seconds is not None
+            and stalled_for > self.config.abort_stall_seconds
+            and not self.aborted
+        ):
+            self.aborted = True
+            self._event(
+                "abort", now,
+                f"stall exceeded {self.config.abort_stall_seconds:.1f}s; "
+                f"aborting through the degradation path",
+            )
+            if self.on_abort is not None:
+                self.on_abort()
+
+    def _check_saturation(self, snapshot: RegistrySnapshot, now: float) -> None:
+        occupancy = snapshot.gauges.get("work_occupancy", 0)
+        threshold = self.config.saturation_fraction * self.capacity
+        if occupancy >= threshold:
+            self._saturated_run += 1
+        else:
+            self._saturated_run = 0
+            self._saturation_flagged = False
+        if (
+            self._saturated_run >= self.config.saturation_samples
+            and not self._saturation_flagged
+        ):
+            self._saturation_flagged = True
+            self.saturation_events += 1
+            self._event(
+                "saturation", now,
+                f"work channel at {occupancy}/{self.capacity} for "
+                f"{self._saturated_run} consecutive samples",
+            )
+
+    def _check_storm(self, snapshot: RegistrySnapshot, now: float) -> None:
+        if self._prev is None:
+            return
+        d_committed = snapshot.counters.get("committed", 0) - (
+            self._prev.counters.get("committed", 0)
+        )
+        if d_committed < self.config.storm_min_commits:
+            if d_committed > 0 and self._storming:
+                # Enough commits to say something, not enough for a rate:
+                # keep the current verdict.
+                pass
+            return
+        d_bad = (
+            snapshot.counters.get("conflicts", 0)
+            + snapshot.counters.get("serial_reexec", 0)
+            - self._prev.counters.get("conflicts", 0)
+            - self._prev.counters.get("serial_reexec", 0)
+        )
+        rate = d_bad / d_committed
+        if rate >= self.config.storm_rate:
+            if not self._storming:
+                self._storming = True
+                self.storm_events += 1
+                self._event(
+                    "storm", now,
+                    f"misspeculation rate {rate:.0%} over the last "
+                    f"{d_committed} commits (threshold "
+                    f"{self.config.storm_rate:.0%})",
+                )
+        elif self._storming:
+            self._storming = False
+            self._event("recovered", now, "misspeculation storm passed")
+
+    def _event(self, kind: str, now: float, detail: str) -> None:
+        self.events.append(WatchdogEvent(kind=kind, at_s=now, detail=detail))
+        if kind in ("stall", "saturation", "storm", "abort"):
+            self.degraded_ever = True
+            logger.warning("watchdog %s: %s", kind, detail)
+        else:
+            logger.info("watchdog %s: %s", kind, detail)
+
+    def summary(self) -> dict:
+        """The JSON shape embedded in ``/snapshot``, ``/health``, and every
+        history record."""
+        return {
+            "health": self.health.value,
+            "stalls": self.stall_events,
+            "saturations": self.saturation_events,
+            "storms": self.storm_events,
+            "aborted": self.aborted,
+            "degraded_ever": self.degraded_ever,
+            "events": [event.to_json() for event in self.events[-32:]],
+        }
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """How one engine run is observed live.
+
+    ``interval``  — monitor sampling period (seconds);
+    ``serve``     — TCP port for ``/metrics`` + ``/snapshot`` + ``/health``
+    (``0`` = ephemeral, ``None`` = no server);
+    ``watch``     — render the one-line status TUI to stderr each sample;
+    ``watchdog``  — explicit thresholds (``None`` = derived from the
+    engine's robustness policy via :meth:`WatchdogConfig.from_policy`);
+    ``abort_on_stall`` — escalate a long stall to an engine abort (wired
+    into the watchdog's ``abort_stall_seconds`` when set).
+    """
+
+    interval: float = 0.2
+    serve: Optional[int] = None
+    watch: bool = False
+    watchdog: Optional[WatchdogConfig] = None
+    abort_on_stall: bool = False
+
+    def __post_init__(self):
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+
+
+#: Samples retained for the rate window (items/sec over the recent past).
+_RATE_WINDOW = 16
+
+
+class LiveMonitor:
+    """The sampling thread over one engine run's registry.
+
+    Owns the watchdog and (via :mod:`repro.obs.serve`) feeds the HTTP
+    endpoints; the engine starts it right after spawning the pipeline and
+    stops it after teardown, so its lifetime brackets everything worth
+    observing.  ``channels`` are sampled by the monitor itself — reading a
+    channel's shared produce/consume counters is exactly as cheap and
+    lock-free as reading the registry.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        config: LiveConfig,
+        *,
+        capacity: int,
+        iterations: int,
+        policy=None,
+        channels=(),
+        on_abort: Optional[Callable[[], None]] = None,
+        watch_stream=None,
+    ) -> None:
+        self.registry = registry
+        self.config = config
+        self.capacity = capacity
+        self.iterations = iterations
+        self.channels = tuple(channels)
+        watchdog_config = config.watchdog
+        if watchdog_config is None:
+            if policy is not None:
+                watchdog_config = WatchdogConfig.from_policy(policy)
+            else:
+                watchdog_config = WatchdogConfig()
+        if config.abort_on_stall and watchdog_config.abort_stall_seconds is None:
+            stall_ceiling = (
+                policy.stall_timeout / 2 if policy is not None else None
+            )
+            abort_after = max(
+                watchdog_config.stall_seconds * 2,
+                stall_ceiling or watchdog_config.stall_seconds * 2,
+            )
+            watchdog_config = WatchdogConfig(
+                stall_seconds=watchdog_config.stall_seconds,
+                saturation_fraction=watchdog_config.saturation_fraction,
+                saturation_samples=watchdog_config.saturation_samples,
+                storm_rate=watchdog_config.storm_rate,
+                storm_min_commits=watchdog_config.storm_min_commits,
+                abort_stall_seconds=abort_after,
+            )
+        self.watchdog = Watchdog(
+            watchdog_config, capacity, iterations, on_abort=on_abort
+        )
+        self._watch_stream = watch_stream or sys.stderr
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._rate_window: deque = deque(maxlen=_RATE_WINDOW)
+        self.samples = 0
+        self.last_snapshot: Optional[RegistrySnapshot] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("monitor already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-live-monitor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop sampling; takes one final sample so the end state (all
+        commits in, final gauges) is observable after the run.
+        Idempotent — the engine's failure paths may race its happy path."""
+        self._stop_event.set()
+        if self._thread is None:
+            return
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self.sample()
+        if self.config.watch:
+            self._watch_stream.write("\n")
+            self._watch_stream.flush()
+
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.config.interval):
+            try:
+                snapshot = self.sample()
+                if self.config.watch:
+                    self._watch_stream.write(
+                        "\r" + self.status_line(snapshot)
+                    )
+                    self._watch_stream.flush()
+            except Exception:  # pragma: no cover - monitor must never kill a run
+                logger.exception("live monitor sample failed")
+
+    # -- sampling ----------------------------------------------------------------
+
+    def peek(self) -> RegistrySnapshot:
+        """A fresh registry read that does *not* advance the watchdog or
+        the rate window — safe from any thread (the HTTP handlers use
+        this; the watchdog is single-threaded by contract and only the
+        monitor thread may call :meth:`sample`)."""
+        return self.registry.snapshot()
+
+    def sample(self) -> RegistrySnapshot:
+        for channel in self.channels:
+            occupancy = max(0, channel.produces - channel.consumes)
+            gauge = f"{channel.name}_occupancy"
+            try:
+                self.registry.set_gauge(gauge, occupancy)
+            except KeyError:  # channel without a dedicated gauge
+                pass
+        snapshot = self.registry.snapshot()
+        self._rate_window.append(
+            (snapshot.monotonic_s, snapshot.counters.get("committed", 0))
+        )
+        self.watchdog.observe(snapshot)
+        self.samples += 1
+        self.last_snapshot = snapshot
+        return snapshot
+
+    @property
+    def items_per_sec(self) -> float:
+        """Commit rate over the recent rate window (not lifetime mean)."""
+        if len(self._rate_window) < 2:
+            return 0.0
+        t0, c0 = self._rate_window[0]
+        t1, c1 = self._rate_window[-1]
+        if t1 <= t0:
+            return 0.0
+        return (c1 - c0) / (t1 - t0)
+
+    @property
+    def health(self) -> HealthState:
+        return self.watchdog.health
+
+    def status_json(
+        self, snapshot: Optional[RegistrySnapshot] = None
+    ) -> dict:
+        """The ``/snapshot`` body: registry state + derived liveness."""
+        snapshot = snapshot or self.last_snapshot or self.peek()
+        return {
+            "snapshot": snapshot.to_json(),
+            "items_per_sec": round(self.items_per_sec, 1),
+            "progress": {
+                "committed": snapshot.counters.get("committed", 0),
+                "iterations": self.iterations,
+            },
+            "watchdog": self.watchdog.summary(),
+        }
+
+    def status_line(self, snapshot: Optional[RegistrySnapshot] = None) -> str:
+        """One terminal line: everything a stalled-run triage needs."""
+        snapshot = snapshot or self.last_snapshot
+        if snapshot is None:
+            return "live: warming up"
+        counters = snapshot.counters
+        gauges = snapshot.gauges
+        lag = snapshot.histograms.get("commit_lag_seconds")
+        lag_p95 = lag.percentile(95) if lag is not None else None
+        lag_text = (
+            format_seconds(lag_p95) if lag_p95 is not None else "-"
+        )
+        chaos = counters.get("chaos_injections", 0)
+        return (
+            f"live: {counters.get('committed', 0)}/{self.iterations} "
+            f"committed  {self.items_per_sec:7.1f} items/s  "
+            f"lag p95 {lag_text}  "
+            f"occ {gauges.get('work_occupancy', 0)}/{self.capacity}  "
+            f"win {gauges.get('window', 0)}  "
+            f"misspec {snapshot.misspeculation_rate:.1%}  "
+            f"chaos {chaos}  "
+            f"health {self.health.value}"
+        )

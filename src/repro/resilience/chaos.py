@@ -278,6 +278,7 @@ def run_chaos(
     batch_size: Optional[int] = None,
     flush_interval: Optional[float] = None,
     trace: Optional[TraceConfig] = None,
+    live=None,
 ) -> ChaosReport:
     """One seeded chaos run, audited end to end.
 
@@ -286,6 +287,9 @@ def run_chaos(
     each get their own.  ``trace`` attaches the :mod:`repro.obs` tracing
     layer — the chaos harness is its hardest customer (crashed workers
     leave truncated spools; the merger must still produce a timeline).
+    ``live`` (a :class:`repro.obs.LiveConfig`) attaches the real-time
+    telemetry plane the same way: injected hangs freeze the commit
+    frontier, which is exactly what the live watchdog exists to flag.
     """
     # Imported here: repro.exec.engine imports this package at module load.
     from repro.exec.engine import ExecutionEngine, run_sequential
@@ -316,6 +320,7 @@ def run_chaos(
         checkpoints=checkpoint_config or CheckpointConfig(),
         channel_chaos=channel_chaos,
         trace=trace,
+        live=live,
         **engine_kwargs,
     )
     result = engine.run(spec)

@@ -1,0 +1,37 @@
+"""Regenerate the golden Prometheus exposition file.
+
+Run after an *intentional* format change to ``repro.obs.serve``:
+
+    PYTHONPATH=src python tests/make_golden.py
+
+then review the diff of ``tests/golden/metrics_exposition.prom`` — it is a
+wire contract pinned byte-for-byte by ``tests/test_live.py``.
+"""
+
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, HERE)
+sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
+
+from test_live import _GOLDEN_LABELS, _GOLDEN_WATCHDOG, _golden_registry  # noqa: E402
+
+from repro.obs.serve import prometheus_exposition  # noqa: E402
+
+
+def main() -> None:
+    text = prometheus_exposition(
+        _golden_registry().snapshot(),
+        labels=_GOLDEN_LABELS,
+        watchdog=_GOLDEN_WATCHDOG,
+    )
+    path = os.path.join(HERE, "golden", "metrics_exposition.prom")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {path} ({len(text)} bytes)")
+
+
+if __name__ == "__main__":
+    main()

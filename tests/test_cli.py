@@ -1,8 +1,12 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
+from repro.exec.metrics import EngineMetrics
+from repro.obs.history import append_record, load_history, make_record
 
 
 def test_list(capsys):
@@ -81,3 +85,167 @@ class TestExecCommand:
         # 186.crafty has no exec spec; argparse rejects it up front.
         with pytest.raises(SystemExit):
             main(["exec", "186.crafty"])
+
+
+class TestExecLiveFlags:
+    """The live-telemetry and output-path flags of ``exec``."""
+
+    def test_serve_attaches_live_plane_and_records_history(
+        self, capsys, tmp_path
+    ):
+        history = tmp_path / "nested" / "history.jsonl"
+        assert main(
+            [
+                "exec", "256.bzip2", "--workers", "2",
+                "--serve", "0", "--live-interval", "0.05",
+                "--history", str(history), "--label", "smoke",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "live: served /metrics /snapshot /health on port" in output
+        assert "live health" in output
+        # The run appended a schema-versioned record, creating the
+        # missing parent directory on the way.
+        records = load_history(str(history))
+        assert len(records) == 1
+        assert records[0]["label"] == "smoke"
+        assert records[0]["watchdog"] is not None
+        assert records[0]["counters"]["commits"] > 0
+
+    def test_watch_renders_status_to_stderr(self, capsys, tmp_path):
+        assert main(
+            [
+                "exec", "256.bzip2", "--workers", "2",
+                "--watch", "--live-interval", "0.01",
+                "--history", str(tmp_path / "h.jsonl"),
+            ]
+        ) == 0
+        assert "live:" in capsys.readouterr().err
+
+    def test_no_history_skips_the_store(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        assert main(
+            [
+                "exec", "256.bzip2", "--workers", "2",
+                "--history", str(history), "--no-history",
+            ]
+        ) == 0
+        assert not history.exists()
+
+    def test_metrics_out_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "metrics.json"
+        assert main(
+            [
+                "exec", "256.bzip2", "--workers", "2",
+                "--metrics-out", str(path), "--no-history",
+            ]
+        ) == 0
+        assert json.loads(path.read_text())["commits"] > 0
+
+    def test_trace_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.json"
+        assert main(
+            [
+                "exec", "256.bzip2", "--workers", "2",
+                "--trace", str(path), "--no-history",
+            ]
+        ) == 0
+        assert "traceEvents" in json.loads(path.read_text())
+
+    def test_json_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "run.json"
+        assert main(
+            [
+                "exec", "256.bzip2", "--workers", "2",
+                "--json", str(path), "--no-history",
+            ]
+        ) == 0
+        assert json.loads(path.read_text())["commits"] > 0
+
+
+class TestHistoryCommand:
+    """The ``history`` subcommand: cross-run diffs and the CI gate."""
+
+    def _store(self, tmp_path, runs):
+        """A synthetic store: (wall_seconds, label) per record."""
+        path = tmp_path / "history.jsonl"
+        for wall, label in runs:
+            metrics = EngineMetrics(
+                workers=2, capacity=8, iterations=100, batch_size=16,
+                wall_seconds=wall, commits=100,
+            )
+            append_record(
+                str(path),
+                make_record(name="256.bzip2", metrics=metrics, label=label),
+            )
+        return str(path)
+
+    def test_diff_against_auto_baseline(self, capsys, tmp_path):
+        path = self._store(tmp_path, [(2.0, None), (2.1, None)])
+        assert main(["history", "--history", path]) == 0
+        output = capsys.readouterr().out
+        assert "verdict: ok" in output
+        assert "items_per_sec" in output
+
+    def test_check_fails_on_regression(self, capsys, tmp_path):
+        path = self._store(tmp_path, [(2.0, None), (4.0, None)])
+        # Without --check the regression is reported but not fatal.
+        assert main(["history", "--history", path]) == 0
+        assert "REGRESSION" in capsys.readouterr().out
+        assert main(["history", "--history", path, "--check"]) == 1
+
+    def test_tolerance_loosens_the_gate(self, tmp_path):
+        path = self._store(tmp_path, [(2.0, None), (4.0, None)])
+        assert main(
+            ["history", "--history", path, "--check", "--tolerance", "0.6"]
+        ) == 0
+
+    def test_baseline_by_label(self, tmp_path):
+        path = self._store(
+            tmp_path, [(2.0, "golden"), (3.9, None), (4.1, None)]
+        )
+        assert main(
+            ["history", "--history", path, "--baseline", "golden", "--check"]
+        ) == 1
+
+    def test_no_records_exits_nonzero(self, capsys, tmp_path):
+        path = str(tmp_path / "absent.jsonl")
+        assert main(["history", "--history", path]) == 1
+        assert "no records" in capsys.readouterr().out
+
+    def test_single_record_has_no_baseline(self, capsys, tmp_path):
+        path = self._store(tmp_path, [(2.0, None)])
+        # Informational without --check, fatal with it (a CI gate that
+        # silently has nothing to compare is not a gate).
+        assert main(["history", "--history", path]) == 0
+        assert "not found" in capsys.readouterr().out
+        assert main(["history", "--history", path, "--check"]) == 1
+
+    def test_list_and_json_export(self, capsys, tmp_path):
+        path = self._store(tmp_path, [(2.0, "a"), (2.1, None)])
+        json_path = tmp_path / "out" / "records.json"
+        assert main(
+            [
+                "history", "--history", path, "--list",
+                "--json", str(json_path),
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "256.bzip2" in output
+        assert "[a]" in output
+        assert len(json.loads(json_path.read_text())) == 2
+
+    def test_exec_to_history_round_trip(self, capsys, tmp_path):
+        """The full chain: two real engine runs through the CLI, then the
+        cross-run gate over the records they appended."""
+        history = str(tmp_path / "history.jsonl")
+        for _ in range(2):
+            assert main(
+                [
+                    "exec", "256.bzip2", "--workers", "2",
+                    "--history", history,
+                ]
+            ) == 0
+        capsys.readouterr()
+        assert main(["history", "--history", history, "--check"]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
