@@ -1,0 +1,177 @@
+"""CI smoke for repro.service: the job server driven exactly like an
+operator would, as a real subprocess over real HTTP.
+
+1. launch ``python -m repro serve`` on an ephemeral port and parse the
+   bound address from its banner line;
+2. run three consecutive jobs and assert the pool's worker PIDs never
+   change — the shared-pool reuse claim, scraped from ``/snapshot``;
+3. submit concurrent jobs from two tenants — tenant ``storm`` with a
+   seeded misspeculation storm (``chaos.conflicts``), tenant ``quiet``
+   clean — and assert the quiet tenant's outputs are bit-identical to a
+   solo run of the same spec while ``/health`` degrades only ``storm``;
+4. cancel one job mid-flight and assert it lands ``cancelled``;
+5. scrape ``/metrics`` for the per-tenant counters;
+6. SIGTERM the server and assert a clean drain (exit 0, "drained
+   cleanly" on stdout).
+
+Usage: ``PYTHONPATH=src python benchmarks/service_smoke.py``
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+DEADLINE_S = 240.0
+QUIET_PARAMS = {"iterations": 48, "spin": 400}
+STORM_PARAMS = {
+    "iterations": 64, "spin": 400,
+    "chaos": {"conflicts": 32, "seed": 11},
+}
+
+_deadline = time.monotonic() + DEADLINE_S
+
+
+def remaining() -> float:
+    left = _deadline - time.monotonic()
+    if left <= 0:
+        raise SystemExit("smoke deadline exceeded")
+    return left
+
+
+def request(method, url, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if data:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=min(15, remaining())) as resp:
+            return resp.status, json.loads(resp.read() or b"{}")
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read() or b"{}")
+
+
+def submit(base, tenant, params):
+    status, body = request(
+        "POST", f"{base}/jobs",
+        {"tenant": tenant, "workload": "synthetic", "params": params},
+    )
+    assert status == 202, f"submit for {tenant} refused: {status} {body}"
+    return body["id"]
+
+
+def wait_done(base, job_id, expect="done"):
+    while True:
+        _, body = request("GET", f"{base}/jobs/{job_id}")
+        if body["state"] in ("done", "failed", "cancelled"):
+            assert body["state"] == expect, f"{job_id}: {body}"
+            return body
+        remaining()
+        time.sleep(0.1)
+
+
+def pool_pids(base):
+    _, snapshot = request("GET", f"{base}/snapshot")
+    return snapshot["pool"]["pids"]
+
+
+def main() -> int:
+    # the solo-run reference the quiet tenant is compared against
+    from repro.exec.engine import run_sequential
+    from repro.service.jobs import build_spec
+
+    expected_quiet, _seconds = run_sequential(
+        build_spec("synthetic", QUIET_PARAMS)
+    )
+
+    env = dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--workers", "2", "--slots", "2", "--drain-timeout", "30"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=env, text=True,
+    )
+    try:
+        banner = proc.stdout.readline().strip()
+        match = re.search(r"serving on (http://[\d.]+:\d+)", banner)
+        assert match, f"unparseable banner: {banner!r}"
+        base = match.group(1)
+        print(f"server up at {base}")
+
+        # -- shared-pool reuse: 3 consecutive jobs, PIDs frozen ----------
+        pids = pool_pids(base)
+        assert len(pids) == 2, pids
+        for round_number in range(3):
+            job_id = submit(base, "reuse", QUIET_PARAMS)
+            wait_done(base, job_id)
+            now = pool_pids(base)
+            assert now == pids, f"round {round_number}: {now} != {pids}"
+        print(f"pool PIDs stable across 3 jobs: {pids}")
+
+        # -- two tenants, one storming; quiet stays bit-identical --------
+        storm_ids = [submit(base, "storm", STORM_PARAMS) for _ in range(2)]
+        quiet_ids = [submit(base, "quiet", QUIET_PARAMS) for _ in range(2)]
+        for job_id in quiet_ids:
+            wait_done(base, job_id)
+            _, result = request("GET", f"{base}/jobs/{job_id}/result")
+            assert result["output"] == expected_quiet, result
+            assert result["metrics"]["serial_reexecutions"] == 0
+        for job_id in storm_ids:
+            final = wait_done(base, job_id)
+            _, result = request("GET", f"{base}/jobs/{job_id}/result")
+            assert result["metrics"]["serial_reexecutions"] >= 32, result
+        status, health = request("GET", f"{base}/health")
+        assert status == 200 and health["status"] == "ok", health
+        assert health["tenants"]["storm"]["status"] == "degraded", health
+        assert health["tenants"]["quiet"]["status"] == "ok", health
+        print("storm isolated: quiet bit-identical, only storm degraded")
+
+        # -- cancel one mid-flight ---------------------------------------
+        job_id = submit(
+            base, "cancels", {"iterations": 100_000, "spin": 3000}
+        )
+        while True:
+            _, body = request("GET", f"{base}/jobs/{job_id}")
+            if body["state"] != "queued":
+                break
+            time.sleep(0.05)
+        status, body = request("POST", f"{base}/jobs/{job_id}/cancel")
+        assert status == 202, (status, body)
+        wait_done(base, job_id, expect="cancelled")
+        print("mid-flight cancel ok")
+
+        # -- per-tenant counters on /metrics -----------------------------
+        with urllib.request.urlopen(f"{base}/metrics", timeout=15) as resp:
+            text = resp.read().decode()
+        for needle in (
+            'repro_service_jobs_total{tenant="quiet",event="completed"} 2',
+            'repro_service_jobs_total{tenant="storm",event="completed"} 2',
+            'repro_service_jobs_total{tenant="cancels",event="cancelled"} 1',
+            'repro_service_tenant_degraded{tenant="storm"} 1',
+            'repro_service_tenant_degraded{tenant="quiet"} 0',
+            "repro_service_pool_spawned_total 2",
+        ):
+            assert needle in text, f"missing from /metrics: {needle}"
+        print("per-tenant /metrics counters ok")
+
+        # -- SIGTERM => clean drain --------------------------------------
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=remaining())
+        assert proc.returncode == 0, f"exit {proc.returncode}:\n{out}"
+        assert "drained cleanly" in out, out
+        print("SIGTERM drained cleanly")
+        print("SERVICE SMOKE PASSED")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

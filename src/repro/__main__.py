@@ -221,6 +221,62 @@ def _build_parser() -> argparse.ArgumentParser:
              "--baseline LABEL' can diff against)",
     )
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the multi-tenant pipeline-as-a-service job server",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="API port (default 0 = ephemeral; the bound port is printed)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="long-lived pool worker processes shared across jobs "
+             "(default 2)",
+    )
+    serve_parser.add_argument(
+        "--slots", type=int, default=2,
+        help="concurrent job slots — leases that can be out at once "
+             "(default 2)",
+    )
+    serve_parser.add_argument(
+        "--capacity", type=int, default=16,
+        help="per-slot channel capacity (default 16)",
+    )
+    serve_parser.add_argument(
+        "--batch-size", type=int, default=8,
+        help="per-slot transport batch size (default 8)",
+    )
+    serve_parser.add_argument(
+        "--max-queued", type=int, default=16,
+        help="global queued-job bound; past it submissions get 429 "
+             "(default 16)",
+    )
+    serve_parser.add_argument(
+        "--tenant-quota", type=int, default=8,
+        help="queued jobs allowed per tenant (default 8)",
+    )
+    serve_parser.add_argument(
+        "--tenant-running", type=int, default=1,
+        help="running jobs allowed per tenant (default 1)",
+    )
+    serve_parser.add_argument(
+        "--weight", action="append", default=[], metavar="TENANT=N",
+        help="fair-scheduler weight for a tenant (repeatable; default 1)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="seconds running jobs get to finish after SIGTERM/SIGINT "
+             "before cooperative cancellation (default 10)",
+    )
+    serve_parser.add_argument(
+        "--history", metavar="PATH", default=None, dest="history_path",
+        help="append one history record per finished job to PATH",
+    )
+
     history_parser = sub.add_parser(
         "history",
         help="diff the latest recorded run against a baseline from the "
@@ -562,7 +618,72 @@ def _run_exec(args) -> int:
         with open(args.json, "w") as handle:
             json.dump(result.metrics.to_json(), handle, indent=2)
         print(f"wrote {args.json}")
-    return 0 if identical else 1
+    return _exec_exit_code(identical, result.metrics)
+
+
+def _exec_exit_code(identical: bool, metrics) -> int:
+    """``exec``'s exit status: 0 clean, 1 output mismatch, 2 when the run
+    only finished by giving up on parallelism (watchdog degraded/aborted or
+    the engine fell back to sequential) — CI must not count those as green."""
+    if not identical:
+        return 1
+    watchdog = metrics.watchdog or {}
+    unhealthy = watchdog.get("health") in ("degraded", "aborted")
+    if unhealthy or metrics.degraded_to_sequential:
+        state = watchdog.get("health") or "degraded"
+        print(f"run completed {state}: exiting 2")
+        return 2
+    return 0
+
+
+def _run_serve(args) -> int:
+    """``serve``: the job server, until SIGTERM/SIGINT starts a drain."""
+    import signal
+    import threading
+
+    from repro.service import PipelineService, ServiceConfig
+
+    weights = {}
+    for item in args.weight:
+        name, sep, value = item.partition("=")
+        if not sep or not name or not value.isdigit() or int(value) < 1:
+            print(f"bad --weight {item!r}: expected TENANT=N with N >= 1",
+                  file=sys.stderr)
+            return 2
+        weights[name] = int(value)
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        pool_workers=args.workers,
+        slots=args.slots,
+        capacity=args.capacity,
+        batch_size=args.batch_size,
+        max_queued=args.max_queued,
+        tenant_queued_quota=args.tenant_quota,
+        tenant_running_quota=args.tenant_running,
+        weights=weights,
+        drain_timeout=args.drain_timeout,
+        history_path=args.history_path,
+    )
+    service = PipelineService(config).start()
+    # The smoke harness parses this exact line for the bound port.
+    print(f"serving on http://{args.host}:{service.port}", flush=True)
+
+    stop = threading.Event()
+
+    def _graceful(signum, frame):
+        service.request_drain()  # new submissions now get 503
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    while not stop.is_set():
+        stop.wait(0.2)
+    clean = service.drain_and_stop(args.drain_timeout)
+    print("drained cleanly" if clean else "drain timed out: jobs cancelled",
+          flush=True)
+    return 0 if clean else 1
 
 
 def _run_history(args) -> int:
@@ -632,6 +753,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "exec":
         return _run_exec(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "history":
         return _run_history(args)

@@ -509,6 +509,51 @@ class ProcessChannel:
             else:
                 items.append(raw)
 
+    # -- pooled reuse (repro.service) --------------------------------------------
+
+    def reset_local(self) -> None:
+        """Drop this *process's* local buffers: unflushed send items and
+        undecoded receive items.
+
+        The worker-pool runtime reuses one channel across many jobs; a
+        lease that ended with items still buffered locally (a flush that
+        timed out during teardown, results the committer never read) must
+        not leak those items into the next job's stream.  Dropped send
+        items never acquired credit and dropped receive items already
+        released theirs, so the shared counters stay consistent.
+        """
+        self._send_buffer.clear()
+        self._send_since = None
+        self._recv.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the shared produce/consume/flush counters.
+
+        Only legal while the channel is quiescent (no process is putting
+        or getting — the pool calls this between leases, after a full
+        drain).  Keeps per-job occupancy stats meaningful and the unsigned
+        counters from creeping toward wraparound over a long-lived server.
+
+        Raises :class:`ChannelTimeout` if a counter lock cannot be acquired
+        promptly — a process terminated mid-update orphans the lock, and a
+        blocking acquire would wedge the caller forever; the pool reacts by
+        quarantining the slot instead of reusing it.
+        """
+        for value in (self._produces, self._consumes, self._flushes):
+            lock = value.get_lock()
+            if not lock.acquire(timeout=1.0):
+                raise ChannelTimeout(
+                    f"channel {self.name or id(self)} counter lock wedged"
+                )
+            try:
+                value.value = 0
+            finally:
+                lock.release()
+        self._put_index = 0
+        self.max_occupancy_seen = 0
+        self.occupancy_samples = 0
+        self.occupancy_total = 0
+
     def flush_and_close(self, flush_timeout: float = 2.0) -> None:
         """Flush this process's pending items to the pipe, then close.
 

@@ -193,6 +193,31 @@ class ExecutionEngine:
     engine already uses for dead pipelines, post-mortem trace included.
     After the run the watchdog's summary is on ``metrics.watchdog`` and the
     bound HTTP port (if any) on :attr:`live_server_port`.
+
+    ``runtime`` (default: none) runs the pipeline against a *pre-existing*
+    worker-pool lease (:class:`repro.service.pool.LeaseRuntime`) instead of
+    forking a fresh producer/worker tree: the runtime supplies the
+    channels, shutdown event, watermark/window values, metrics registry,
+    producer handle, and leased worker processes, and takes over respawn,
+    teardown, halt, and cancellation.  The committer loop, speculation
+    validation, throttling, and degradation machinery are identical in
+    both modes — only process lifecycle is delegated.  The duck-typed
+    contract the runtime must satisfy:
+
+    - attributes ``work``/``done`` (:class:`ProcessChannel`), ``shutdown``
+      (cleared event), ``watermark``/``window`` (shared ``Value("l")``),
+      ``registry`` (:class:`MetricsRegistry` or None), and
+      ``job_throttle`` (a :class:`SpeculationThrottle`-shaped controller
+      or None — per-tenant persistent in the service);
+    - ``start_producer(spec, start, batch_size, fault_plan)`` returning a
+      process-like handle (``is_alive``/``exitcode``/``terminate``/
+      ``join``);
+    - ``workers()`` returning ``{wid: handle}`` for the leased workers;
+    - ``respawn()`` returning ``(wid, handle)`` for a replacement worker
+      already leased to this job;
+    - ``cancelled()`` polled by the committer loop;
+    - ``teardown(producer, processes, done, join_timeout)`` (cooperative)
+      and ``halt(producer, processes, join_timeout)`` (emergency).
     """
 
     def __init__(
@@ -210,6 +235,7 @@ class ExecutionEngine:
         flush_interval: float = 0.005,
         trace: Optional[TraceConfig] = None,
         live: Optional[LiveConfig] = None,
+        runtime: Optional[Any] = None,
     ) -> None:
         if plan is not None:
             workers = max(1, plan.replication_width)
@@ -237,6 +263,7 @@ class ExecutionEngine:
         self.trace_config = trace
         self.live_config = live
         self._start_method = start_method
+        self.external_runtime = runtime
         self.metrics = EngineMetrics()
         self.checkpoint_manager: Optional[CheckpointManager] = None
         #: The last run's live monitor (None when ``live`` is off) and the
@@ -311,25 +338,33 @@ class ExecutionEngine:
         policy = self.policy
         metrics = self.metrics
         manager = self.checkpoint_manager
+        rt = self.external_runtime
         ctx = (
             multiprocessing.get_context(self._start_method)
             if self._start_method
             else multiprocessing.get_context()
         )
-        work = ProcessChannel(
-            self.capacity, name="work", ctx=ctx, chaos=self.channel_chaos,
-            batch_size=self.batch_size, flush_interval=self.flush_interval,
-        )
-        # Worst-case in-flight done traffic: a claim and a result for every
-        # item in the transport plus every item held in a worker's chunk,
-        # plus one "stopped" per worker.
-        done = ProcessChannel(
-            2 * (self.capacity + self.workers * self.batch_size)
-            + self.workers + 8,
-            name="done", ctx=ctx,
-            batch_size=self.batch_size, flush_interval=self.flush_interval,
-        )
-        shutdown = ctx.Event()
+        if rt is not None:
+            # Pool mode: the lease supplies channels, shutdown, and shared
+            # values — all created once at pool start and reused per job.
+            work = rt.work
+            done = rt.done
+            shutdown = rt.shutdown
+        else:
+            work = ProcessChannel(
+                self.capacity, name="work", ctx=ctx, chaos=self.channel_chaos,
+                batch_size=self.batch_size, flush_interval=self.flush_interval,
+            )
+            # Worst-case in-flight done traffic: a claim and a result for
+            # every item in the transport plus every item held in a worker's
+            # chunk, plus one "stopped" per worker.
+            done = ProcessChannel(
+                2 * (self.capacity + self.workers * self.batch_size)
+                + self.workers + 8,
+                name="done", ctx=ctx,
+                batch_size=self.batch_size, flush_interval=self.flush_interval,
+            )
+            shutdown = ctx.Event()
         # The committer's own spool: claims, commits, conflicts, robustness
         # events, TASK_C spans, and its done-channel get waits.
         tracer = open_tracer(self.trace_config, "committer")
@@ -343,50 +378,78 @@ class ExecutionEngine:
 
         # Adaptive speculation throttling: the committer is the controller;
         # workers observe the watermark/window pair through shared memory.
-        throttle = (
-            SpeculationThrottle(
-                self.throttle_config,
-                max_window_for(self.workers, self.capacity, self.batch_size),
+        # Pool mode may supply a persistent (per-tenant) controller so one
+        # tenant's storm carries a shrunk window into its next lease.
+        if rt is not None:
+            throttle = rt.job_throttle
+            watermark_value = rt.watermark
+            window_value = rt.window
+            watermark_value.value = start
+            window_value.value = (
+                throttle.window if throttle else _UNTHROTTLED_WINDOW
             )
-            if self.throttle_config.enabled
-            else None
-        )
-        watermark_value = ctx.Value("l", start)
-        window_value = ctx.Value(
-            "l", throttle.window if throttle else _UNTHROTTLED_WINDOW
-        )
+        else:
+            throttle = (
+                SpeculationThrottle(
+                    self.throttle_config,
+                    max_window_for(
+                        self.workers, self.capacity, self.batch_size
+                    ),
+                )
+                if self.throttle_config.enabled
+                else None
+            )
+            watermark_value = ctx.Value("l", start)
+            window_value = ctx.Value(
+                "l", throttle.window if throttle else _UNTHROTTLED_WINDOW
+            )
 
         # Live telemetry: the shared-memory registry must exist before any
         # child is spawned (the shared arrays travel through process args).
+        # Pool mode inherits the slot's registry — reset by the pool before
+        # the lease, already mapped in every pool worker.
         live_cfg = self.live_config
         live_abort = threading.Event()
         registry: Optional[MetricsRegistry] = None
         monitor: Optional[LiveMonitor] = None
         server: Optional[MetricsServer] = None
-        if live_cfg is not None:
+        if rt is not None:
+            registry = rt.registry
+        elif live_cfg is not None:
             registry = MetricsRegistry.create(
                 ctx, writers_for(self.workers, policy.max_respawns)
             )
+        if registry is not None:
             registry.set_gauge("iterations", spec.iterations)
             registry.set_gauge("watermark", start)
             registry.set_gauge("window", window_value.value)
             registry.set_gauge("workers_alive", self.workers)
 
-        producer = ctx.Process(
-            target=producer_main,
-            args=(work, spec.iterations, spec.produce, self.fault_plan,
-                  shutdown, start, self.batch_size, self.trace_config,
-                  registry, WRITER_PRODUCER),
-            name="exec-A",
-            daemon=True,
-        )
-        producer.start()
+        if rt is not None:
+            producer = rt.start_producer(
+                spec, start=start, batch_size=self.batch_size,
+                fault_plan=self.fault_plan,
+            )
+        else:
+            producer = ctx.Process(
+                target=producer_main,
+                args=(work, spec.iterations, spec.produce, self.fault_plan,
+                      shutdown, start, self.batch_size, self.trace_config,
+                      registry, WRITER_PRODUCER),
+                name="exec-A",
+                daemon=True,
+            )
+            producer.start()
 
         processes: Dict[int, Any] = {}
         next_worker_id = 0
 
-        def spawn_worker() -> None:
+        def spawn_worker() -> int:
             nonlocal next_worker_id
+            if rt is not None:
+                wid, proc = rt.respawn()
+                processes[wid] = proc
+                return wid
             wid = next_worker_id
             next_worker_id += 1
             # Every worker that ever exists gets its own counter row;
@@ -406,11 +469,15 @@ class ExecutionEngine:
             )
             proc.start()
             processes[wid] = proc
+            return wid
 
-        for _ in range(self.workers):
-            spawn_worker()
+        if rt is not None:
+            processes.update(rt.workers())
+        else:
+            for _ in range(self.workers):
+                spawn_worker()
 
-        if registry is not None:
+        if registry is not None and live_cfg is not None:
             monitor = LiveMonitor(
                 registry, live_cfg,
                 capacity=self.capacity,
@@ -456,8 +523,7 @@ class ExecutionEngine:
             metrics.respawns += 1
             if registry is not None:
                 registry.add(WRITER_COMMITTER, "respawns")
-            spawn_worker()
-            new_wid = next_worker_id - 1
+            new_wid = spawn_worker()
             logger.info(
                 "respawned worker %d (replacing %d after %s, %d respawns "
                 "left)", new_wid, wid, reason, respawns_left,
@@ -745,6 +811,15 @@ class ExecutionEngine:
                 advance_commits()
                 if next_commit >= spec.iterations:
                     break
+                if rt is not None and rt.cancelled():
+                    # Job cancellation (repro.service): stop committing and
+                    # take the cooperative teardown path — the committed
+                    # prefix stays valid, pool workers stay alive.
+                    metrics.cancelled = True
+                    logger.info(
+                        "run cancelled at commit watermark %d", next_commit
+                    )
+                    break
                 wait_started = time.monotonic()
                 try:
                     message = done.get(timeout=policy.poll_interval)
@@ -798,8 +873,9 @@ class ExecutionEngine:
             shutdown.set()
             stop_live()  # before channel.close(): the final sample reads them
             self._halt(producer, processes)
-            for channel in (work, done):
-                channel.close()
+            if rt is None:
+                for channel in (work, done):
+                    channel.close()
             if tracer is not None:
                 tracer.close()
             raise
@@ -833,7 +909,8 @@ class ExecutionEngine:
             metrics.final_window = throttle.window
         for channel in (work, done):
             metrics.channel_stats[channel.name] = channel.occupancy_stats()
-            channel.close()
+            if rt is None:
+                channel.close()  # pool channels outlive the job
         if tracer is not None:
             tracer.close()
         return EngineResult(
@@ -867,12 +944,19 @@ class ExecutionEngine:
         metrics = self.metrics
         manager = self.checkpoint_manager
         metrics.degraded_to_sequential = True
-        for proc in [producer] + list(processes.values()):
-            if proc is not None and proc.is_alive():
-                proc.terminate()
-        for proc in [producer] + list(processes.values()):
-            if proc is not None:
-                proc.join(self.policy.join_timeout)
+        if self.external_runtime is not None:
+            # The pool replaces killed leased workers on release; the
+            # sequential finish below is identical in both modes.
+            self.external_runtime.halt(
+                producer, processes, self.policy.join_timeout
+            )
+        else:
+            for proc in [producer] + list(processes.values()):
+                if proc is not None and proc.is_alive():
+                    proc.terminate()
+            for proc in [producer] + list(processes.values()):
+                if proc is not None:
+                    proc.join(self.policy.join_timeout)
 
         def committed(i: int) -> None:
             metrics.commits += 1
@@ -913,6 +997,11 @@ class ExecutionEngine:
         outright and joined — nothing may outlive the run and keep
         touching its shared state.
         """
+        if self.external_runtime is not None:
+            self.external_runtime.halt(
+                producer, processes, self.policy.join_timeout
+            )
+            return
         procs = [producer] + list(processes.values())
         for proc in procs:
             if proc is not None and proc.is_alive():
@@ -926,6 +1015,13 @@ class ExecutionEngine:
 
     def _teardown(self, producer, processes, done: ProcessChannel) -> None:
         """Normal completion: let children observe shutdown and exit."""
+        if self.external_runtime is not None:
+            # Pool workers observe the slot shutdown event, flush, send
+            # their release, and go idle — they are not joined or killed.
+            self.external_runtime.teardown(
+                producer, processes, done, self.policy.join_timeout
+            )
+            return
         deadline = time.monotonic() + self.policy.join_timeout
         procs = [producer] + [p for p in processes.values() if p is not None]
         while time.monotonic() < deadline:

@@ -64,6 +64,9 @@ class EngineMetrics:
     retries: int = 0
     producer_crashed: bool = False
     degraded_to_sequential: bool = False
+    #: the run was cancelled mid-flight (repro.service job cancellation);
+    #: the committed prefix is valid but the output is partial
+    cancelled: bool = False
 
     # -- resilience: checkpoint/resume -------------------------------------------
     checkpoints_taken: int = 0
@@ -164,6 +167,7 @@ class EngineMetrics:
             "retries": self.retries,
             "producer_crashed": self.producer_crashed,
             "degraded_to_sequential": self.degraded_to_sequential,
+            "cancelled": self.cancelled,
             "checkpoints_taken": self.checkpoints_taken,
             "resumed_from": self.resumed_from,
             "throttle_shrinks": self.throttle_shrinks,
@@ -212,6 +216,7 @@ class EngineMetrics:
             f"{self.respawns} respawns, {self.retries} retries"
             + (", producer crashed" if self.producer_crashed else "")
             + (", DEGRADED to sequential" if self.degraded_to_sequential else "")
+            + (", CANCELLED" if self.cancelled else "")
         )
         resilience_bits = []
         if self.resumed_from:

@@ -90,6 +90,7 @@ def producer_main(
     trace: Optional[TraceConfig] = None,
     registry=None,
     writer: int = 0,
+    close_channel: bool = True,
 ) -> None:
     """Phase A: run ``produce`` per iteration, dispatch chunks downstream.
 
@@ -101,6 +102,10 @@ def producer_main(
     ``registry``/``writer`` (live telemetry, may be None/unused): the
     ``produced`` counter advances once per *flushed* chunk — the same
     batch-amortized discipline as the channel's credit counters.
+
+    ``close_channel=False`` skips the final ``flush_and_close`` — required
+    when the channel outlives this producer (the worker-pool runtime runs
+    phase A as a thread against a slot channel reused across jobs).
     """
     tracer = open_tracer(trace, "producer")
     work.tracer = tracer
@@ -154,7 +159,8 @@ def producer_main(
         if not _drain_flush(work, shutdown):
             return
         count_staged()
-        work.flush_and_close()
+        if close_channel:
+            work.flush_and_close()
     finally:
         if tracer is not None:
             tracer.close()

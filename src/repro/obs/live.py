@@ -173,6 +173,24 @@ class Watchdog:
         else:
             self.health = HealthState.OK
 
+    # -- current verdicts (read from any thread; plain attribute reads) ----------
+
+    @property
+    def stalled(self) -> bool:
+        """True while the commit frontier is frozen past the threshold —
+        the load-shedding input ``repro.service`` admission control reads."""
+        return self._stalled
+
+    @property
+    def storming(self) -> bool:
+        """True while a misspeculation storm is in progress."""
+        return self._storming
+
+    @property
+    def saturated(self) -> bool:
+        """True while work-channel saturation is flagged."""
+        return self._saturation_flagged
+
     # -- detectors ---------------------------------------------------------------
 
     def _check_stall(self, now: float, committed: int) -> None:

@@ -192,9 +192,11 @@ class MetricsRegistry:
     process addresses the same memory).
 
     Writers call :meth:`add`, :meth:`observe`, and :meth:`set_gauge` with
-    their own ``writer`` row; the sampler calls :meth:`snapshot`.  There is
-    deliberately no ``reset``: counters are monotone for the whole run so
-    Prometheus scrapes compose.
+    their own ``writer`` row; the sampler calls :meth:`snapshot`.  Counters
+    are monotone for the whole *run* so Prometheus scrapes compose; the
+    worker-pool runtime (``repro.service``) reuses one registry across
+    many runs and calls :meth:`reset` between leases, while the slot is
+    quiescent, so each job's watchdog sees counters that start at zero.
     """
 
     def __init__(self, counters, hist_buckets, hist_sums, gauges, writers: int):
@@ -232,6 +234,23 @@ class MetricsRegistry:
 
     def set_gauge(self, gauge: str, value: int) -> None:
         self._gauges[_GAUGE_INDEX[gauge]] = int(value)
+
+    def reset(self) -> None:
+        """Zero every counter, histogram, and gauge.
+
+        Only legal while no writer is active (the pool resets a slot's
+        registry after all leased workers have released and before the
+        next job starts).  Mid-run resets would tear the monotonicity
+        contract the snapshot read-order depends on.
+        """
+        for i in range(len(self._counters)):
+            self._counters[i] = 0
+        for i in range(len(self._hist_buckets)):
+            self._hist_buckets[i] = 0
+        for i in range(len(self._hist_sums)):
+            self._hist_sums[i] = 0.0
+        for i in range(len(self._gauges)):
+            self._gauges[i] = 0
 
     # -- sampling ----------------------------------------------------------------
 

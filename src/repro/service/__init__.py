@@ -1,0 +1,60 @@
+"""repro.service — multi-tenant pipeline-as-a-service.
+
+A long-lived job server over the A/B/C execution engine: JSON HTTP API
+(submit/status/result/cancel/list), bounded admission with per-tenant
+quotas, weighted round-robin fair scheduling, and a shared pool of
+long-lived worker processes leased per job instead of forked per job.
+Per-tenant persistent speculation throttles scope misspeculation storms
+to the tenant that caused them.
+
+Start one with ``python -m repro serve`` or in-process::
+
+    from repro.service import PipelineService, ServiceConfig
+
+    service = PipelineService(ServiceConfig(pool_workers=2)).start()
+    job, decision = service.submit("acme", "synthetic", {"iterations": 64})
+    ...
+    service.drain_and_stop()
+"""
+
+from repro.service.jobs import (  # noqa: F401
+    Job,
+    JobState,
+    SYNTHETIC,
+    TERMINAL_STATES,
+    compile_chaos,
+    known_workloads,
+)
+from repro.service.pool import LeaseRuntime, WorkerPool  # noqa: F401
+from repro.service.queue import (  # noqa: F401
+    Admission,
+    AdmissionConfig,
+    AdmissionController,
+)
+from repro.service.scheduler import FairScheduler  # noqa: F401
+from repro.service.server import PipelineService, ServiceConfig  # noqa: F401
+from repro.service.tenants import (  # noqa: F401
+    TenantDirectory,
+    TenantState,
+    TenantThrottle,
+)
+
+__all__ = [
+    "Admission",
+    "AdmissionConfig",
+    "AdmissionController",
+    "FairScheduler",
+    "Job",
+    "JobState",
+    "LeaseRuntime",
+    "PipelineService",
+    "ServiceConfig",
+    "SYNTHETIC",
+    "TERMINAL_STATES",
+    "TenantDirectory",
+    "TenantState",
+    "TenantThrottle",
+    "WorkerPool",
+    "compile_chaos",
+    "known_workloads",
+]

@@ -1,0 +1,250 @@
+"""Job model and request resolution for the service.
+
+A job is one pipeline run requested over the API: a workload name plus
+parameters, owned by a tenant, moving through ``queued -> running ->
+done | failed | cancelled``.  Two workload families are accepted:
+
+- any suite benchmark with a real ``exec_spec`` (``164.gzip``,
+  ``197.parser``, ``256.bzip2``, ...) — the paper's analogs on the engine;
+- ``synthetic`` — a deterministic spin-work pipeline whose ``iterations``
+  and ``spin`` parameters make it the natural load/chaos generator for
+  tests and smoke scripts.
+
+``params.chaos`` (``{"conflicts": k, "errors": m, "crashes": c, "seed": s}``)
+compiles to a seeded :class:`~repro.exec.faults.FaultPlan`.  Storm seeding
+is the point: forced conflicts/errors drive the serial-re-execution rate up
+until the tenant's watchdog flags a misspeculation storm and its persistent
+throttle clamps the window — all without changing the job's *output*, which
+stays bit-identical to a sequential run (the isolation tests depend on
+exactly this property).  ``producer_crash_at`` is structurally impossible
+here: phase A runs as a thread in the server process (see
+:mod:`repro.service.pool`), so requests cannot express it and the lease
+runtime rejects it defensively.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from repro.exec.engine import PipelineSpec
+from repro.exec.faults import FaultPlan
+from repro.workloads.suite import SUITE, exec_names
+
+#: The non-benchmark workload: parameterized deterministic spin work.
+SYNTHETIC = "synthetic"
+
+_MAX_ITERATIONS = 200_000
+_MAX_SPIN = 1_000_000
+#: Crash injections per job are capped below the engine's default respawn
+#: budget so a single chaotic job cannot push itself into degradation.
+_MAX_CRASHES = 2
+
+
+class JobState(str, Enum):
+    """Lifecycle of a submitted job; the string values are the API's."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States a job can never leave.
+TERMINAL_STATES = (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+def _synthetic_produce(i: int) -> int:
+    return i
+
+
+class _SpinWork:
+    """Deterministic LCG spin — CPU-bound, value-dependent, picklable."""
+
+    def __init__(self, spin: int) -> None:
+        self.spin = spin
+
+    def __call__(self, i: int, value: int) -> int:
+        acc = 0
+        for k in range(self.spin):
+            acc = (acc * 1664525 + value + k + 1013904223) % (1 << 32)
+        return acc
+
+
+def _synthetic_spec(iterations: int, spin: int) -> PipelineSpec:
+    def commit(i: int, result: int, acc: dict) -> None:
+        acc["checksum"] = (acc.get("checksum", 0) * 31 + result) % (1 << 32)
+        acc["items"] = acc.get("items", 0) + 1
+
+    return PipelineSpec(
+        iterations=iterations,
+        produce=_synthetic_produce,
+        work=_SpinWork(spin),
+        commit=commit,
+    )
+
+
+def known_workloads() -> list:
+    """Workload names the service accepts."""
+    return [SYNTHETIC] + exec_names()
+
+
+def compile_chaos(
+    chaos: Optional[Dict[str, Any]], iterations: int
+) -> Optional[FaultPlan]:
+    """A seeded fault plan from request parameters (None = clean run).
+
+    Iteration targets are sampled without replacement per fault kind from
+    one seeded stream, so a given ``(chaos, iterations)`` pair always
+    injects the same schedule — reproducible storms.
+    """
+    if not chaos:
+        return None
+    if not isinstance(chaos, dict):
+        raise ValueError("chaos must be an object")
+    conflicts = int(chaos.get("conflicts", 0))
+    errors = int(chaos.get("errors", 0))
+    crashes = int(chaos.get("crashes", 0))
+    seed = int(chaos.get("seed", 0))
+    unknown = set(chaos) - {"conflicts", "errors", "crashes", "seed"}
+    if unknown:
+        raise ValueError(f"unknown chaos keys: {sorted(unknown)}")
+    if min(conflicts, errors, crashes) < 0:
+        raise ValueError("chaos counts cannot be negative")
+    if crashes > _MAX_CRASHES:
+        raise ValueError(f"at most {_MAX_CRASHES} crash injections per job")
+    if conflicts + errors > iterations:
+        raise ValueError("more chaos injections than iterations")
+    if conflicts + errors + crashes == 0:
+        return None
+    rng = random.Random(seed)
+    population = list(range(iterations))
+    rng.shuffle(population)
+    cursor = 0
+
+    def take(count: int) -> frozenset:
+        nonlocal cursor
+        chosen = frozenset(population[cursor:cursor + count])
+        cursor += count
+        return chosen
+
+    conflict_set = take(conflicts)
+    error_set = take(errors)
+    crash_set = frozenset(
+        population[cursor + k] for k in range(min(crashes, iterations - cursor))
+    )
+    return FaultPlan(
+        conflict_iterations=conflict_set,
+        error_iterations=error_set,
+        crash_iterations=crash_set,
+    )
+
+
+class Job:
+    """One submitted pipeline run.  Field mutation happens only under the
+    service lock; ``lease``/``engine`` are live-run handles (never
+    serialized) used for cancellation and live health."""
+
+    def __init__(
+        self,
+        job_id: str,
+        tenant: str,
+        workload: str,
+        params: Dict[str, Any],
+        iterations: int,
+        fault_plan: Optional[FaultPlan],
+    ) -> None:
+        self.id = job_id
+        self.tenant = tenant
+        self.workload = workload
+        self.params = params
+        self.iterations = iterations
+        self.fault_plan = fault_plan
+        self.state = JobState.QUEUED
+        self.submitted_unix = time.time()
+        self.started_unix: Optional[float] = None
+        self.finished_unix: Optional[float] = None
+        self.cancel_requested = False
+        self.output: Any = None
+        self.metrics: Optional[dict] = None
+        self.error: Optional[str] = None
+        self.lease = None
+        self.engine = None
+
+    @property
+    def queue_wait_s(self) -> Optional[float]:
+        """Seconds between admission and dispatch (None while queued)."""
+        if self.started_unix is not None:
+            return self.started_unix - self.submitted_unix
+        if self.state is JobState.CANCELLED and self.finished_unix is not None:
+            return self.finished_unix - self.submitted_unix
+        return None
+
+    def build_spec(self) -> PipelineSpec:
+        """A fresh spec for this job — fresh, because suite producers are
+        stateful and must start from their initial state every run."""
+        return build_spec(self.workload, self.params)
+
+    def to_json(self, full: bool = False) -> dict:
+        data = {
+            "id": self.id,
+            "tenant": self.tenant,
+            "workload": self.workload,
+            "state": self.state.value,
+            "iterations": self.iterations,
+            "submitted_unix": round(self.submitted_unix, 3),
+            "started_unix": (
+                round(self.started_unix, 3) if self.started_unix else None
+            ),
+            "finished_unix": (
+                round(self.finished_unix, 3) if self.finished_unix else None
+            ),
+            "cancel_requested": self.cancel_requested,
+            "error": self.error,
+        }
+        wait = self.queue_wait_s
+        data["queue_wait_s"] = round(wait, 6) if wait is not None else None
+        if full:
+            data["params"] = self.params
+            data["metrics"] = self.metrics
+        return data
+
+
+def resolve_iterations(workload: str, params: Dict[str, Any]) -> int:
+    """Validate a request and return its iteration count (raises
+    ``ValueError`` on anything malformed — the API maps that to 400)."""
+    if not isinstance(params, dict):
+        raise ValueError("params must be an object")
+    if workload == SYNTHETIC:
+        iterations = int(params.get("iterations", 48))
+        spin = int(params.get("spin", 2000))
+        if not 1 <= iterations <= _MAX_ITERATIONS:
+            raise ValueError(
+                f"iterations must be in [1, {_MAX_ITERATIONS}]"
+            )
+        if not 1 <= spin <= _MAX_SPIN:
+            raise ValueError(f"spin must be in [1, {_MAX_SPIN}]")
+        unknown = set(params) - {"iterations", "spin", "chaos"}
+        if unknown:
+            raise ValueError(f"unknown params: {sorted(unknown)}")
+        return iterations
+    factory = SUITE.get(workload)
+    if factory is None or not factory.has_exec_spec:
+        raise ValueError(
+            f"unknown workload {workload!r}; known: {known_workloads()}"
+        )
+    unknown = set(params) - {"chaos"}
+    if unknown:
+        raise ValueError(f"unknown params: {sorted(unknown)}")
+    return factory().exec_spec().iterations
+
+
+def build_spec(workload: str, params: Dict[str, Any]) -> PipelineSpec:
+    if workload == SYNTHETIC:
+        return _synthetic_spec(
+            int(params.get("iterations", 48)), int(params.get("spin", 2000))
+        )
+    return SUITE[workload]().exec_spec()

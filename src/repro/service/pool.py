@@ -1,0 +1,673 @@
+"""The shared worker pool: long-lived phase-B processes leased across jobs.
+
+Fork-per-job pays a process spawn, a channel allocation, and a shared-memory
+mapping for every pipeline run — fine for one run, ruinous for a job server.
+This pool amortizes all of it: a fixed set of worker processes is spawned
+once, every process inherits every *slot* (one slot = the channel pair,
+shutdown event, watermark/window values, and metrics registry for one
+concurrent job), and a job *leases* workers into a slot instead of forking.
+
+The split matters because of multiprocessing's inheritance rule: shared
+primitives (queues, ``Value``/``RawArray``, events) can only reach a child
+through its spawn-time arguments, never over a pipe afterwards.  So the
+shareable skeleton of every future job must exist *before* the first worker
+starts — hence slots — while the job-specific, plain-picklable payload
+(work function, state snapshot, fault plan) travels over each worker's
+control pipe at lease time.
+
+:class:`LeaseRuntime` implements the external-runtime contract documented
+on :class:`repro.exec.engine.ExecutionEngine`: the engine runs its normal
+committer loop against the slot's channels, and delegates process lifecycle
+(respawn, teardown, halt, cancellation) here.  Phase A runs as a *thread*
+in the server process (:class:`_ThreadProducer`) — the producer is cheap,
+sequential, and stateful, and a thread spares a fork per job.  Consequence:
+fault plans with ``producer_crash_at`` are rejected (``os._exit`` in a
+thread would kill the server).
+
+Between leases a slot is scrubbed: channels are drained until the shared
+credit counters agree, local buffers and counters are reset, and the
+registry is zeroed so each job's watchdog sees counters that start at zero.
+Workers that died mid-job (chaos, hung-task kills) are retired at release
+and the pool respawns replacements to hold its configured size.
+
+One staleness caveat, by design: a worker respawned *mid-job* is leased the
+job's initial state snapshot, not the committed prefix (the prefix lives in
+the committer and can be large).  Speculative tasks it runs may therefore
+conflict more often — commit-time validation catches every such case and
+the serial re-execution path preserves exactness.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exec.channels import ChannelTimeout, ProcessChannel
+from repro.exec.faults import FaultPlan, RobustnessPolicy
+from repro.exec.rollback import CommittedStore
+from repro.exec.workers import _worker_loop, producer_main
+from repro.obs.registry import MetricsRegistry, WRITER_PRODUCER, WRITER_WORKER0
+
+logger = logging.getLogger(__name__)
+
+#: How often an idle pool worker re-checks its control pipe / the pool
+#: shutdown event (seconds).
+_CONTROL_POLL = 0.2
+
+#: How long a between-lease settle waits for in-flight frames to drain
+#: before giving up on a slot's counters agreeing (seconds).
+_SETTLE_TIMEOUT = 2.0
+
+
+def _done_capacity(capacity: int, workers: int, batch_size: int) -> int:
+    """Worst-case in-flight done traffic — same formula as the engine:
+    a claim and a result per item in the transport or held in a chunk,
+    plus one "stopped" per worker."""
+    return 2 * (capacity + workers * batch_size) + workers + 8
+
+
+class _Slot:
+    """The inheritable skeleton of one concurrent job.
+
+    Everything here crosses into pool workers through their spawn-time
+    arguments (the multiprocessing inheritance rule), so slots are created
+    before any worker starts and reused for the pool's whole life.
+    """
+
+    def __init__(
+        self, index: int, ctx, capacity: int, workers: int,
+        batch_size: int, flush_interval: float, writer_rows: int,
+    ) -> None:
+        self.index = index
+        self.work = ProcessChannel(
+            capacity, name="work", ctx=ctx,
+            batch_size=batch_size, flush_interval=flush_interval,
+        )
+        self.done = ProcessChannel(
+            _done_capacity(capacity, workers, batch_size),
+            name="done", ctx=ctx,
+            batch_size=batch_size, flush_interval=flush_interval,
+        )
+        self.watermark = ctx.Value("l", 0)
+        self.window = ctx.Value("l", 0)
+        self.shutdown = ctx.Event()
+        self.registry = MetricsRegistry.create(ctx, writer_rows)
+
+
+def pool_worker_main(
+    worker_id: int, control, slots: Tuple[_Slot, ...], pool_shutdown, row: int
+) -> None:
+    """A pool worker's whole life: idle on the control pipe, run one lease
+    at a time through the engine's own :func:`_worker_loop`, release, idle.
+
+    ``row`` is this process's registry writer row — fixed at spawn, valid
+    in every slot's registry (all are sized for the pool's row budget).
+    """
+    while not pool_shutdown.is_set():
+        if not control.poll(_CONTROL_POLL):
+            continue
+        try:
+            message = control.recv()
+        except (EOFError, OSError):
+            return
+        if message[0] == "stop":
+            return
+        if message[0] != "lease":
+            continue
+        (_, slot_index, work_fn, speculative, snapshot, fault_plan,
+         max_chunk) = message
+        slot = slots[slot_index]
+        # A previous lease of this slot may have left stale frames in this
+        # process's local buffers (a flush that timed out at teardown);
+        # they must never leak into this job's stream.
+        slot.work.reset_local()
+        slot.done.reset_local()
+        registry = slot.registry
+        writer = min(row, registry.writers - 1)
+
+        def stop(done=slot.done, wid=worker_id) -> None:
+            done.put(("stopped", wid))
+            try:
+                done.flush(timeout=1.0)
+            except ChannelTimeout:
+                pass
+
+        try:
+            _worker_loop(
+                worker_id, slot.work, slot.done, work_fn, speculative,
+                snapshot, fault_plan, slot.shutdown, slot.watermark,
+                slot.window, max_chunk, stop, None, registry, writer,
+            )
+        except (EOFError, OSError):
+            pass
+        try:
+            control.send(("released", worker_id, slot_index))
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _ThreadProducer:
+    """Phase A on a thread, satisfying the engine's process-handle contract
+    (``is_alive``/``exitcode``/``terminate``/``join``).
+
+    ``terminate`` is a no-op: a thread can only be stopped cooperatively,
+    which the slot's shutdown event already does (``producer_main``
+    re-checks it at every bounded flush)."""
+
+    def __init__(
+        self, work: ProcessChannel, iterations: int, produce, fault_plan,
+        shutdown, start: int, max_chunk: int, registry,
+    ) -> None:
+        self._exit = 0
+        self._thread = threading.Thread(
+            target=self._run,
+            args=(work, iterations, produce, fault_plan, shutdown, start,
+                  max_chunk, registry),
+            name="pool-A",
+            daemon=True,
+        )
+
+    def _run(self, work, iterations, produce, fault_plan, shutdown, start,
+             max_chunk, registry) -> None:
+        try:
+            producer_main(
+                work, iterations, produce, fault_plan, shutdown,
+                start=start, max_chunk=max_chunk, trace=None,
+                registry=registry, writer=WRITER_PRODUCER,
+                close_channel=False,
+            )
+        except BaseException:
+            logger.exception("pool producer thread failed")
+            self._exit = 1
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
+
+    @property
+    def exitcode(self) -> Optional[int]:
+        return None if self._thread.is_alive() else self._exit
+
+    def terminate(self) -> None:
+        pass
+
+    def kill(self) -> None:
+        pass
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout)
+
+
+class _PoolWorker:
+    """Parent-side record of one pool worker process."""
+
+    def __init__(self, wid: int, process, conn, row_index: int) -> None:
+        self.wid = wid
+        self.process = process
+        self.conn = conn
+        self.row_index = row_index
+        self.leased_to: Optional["LeaseRuntime"] = None
+
+
+class LeaseRuntime:
+    """One job's claim on a slot plus some pool workers — the object the
+    engine's ``runtime=`` parameter takes (see the contract documented on
+    :class:`repro.exec.engine.ExecutionEngine`)."""
+
+    def __init__(
+        self, pool: "WorkerPool", slot: _Slot, members: List[_PoolWorker]
+    ) -> None:
+        self._pool = pool
+        self.slot = slot
+        self._members: Dict[int, _PoolWorker] = {w.wid: w for w in members}
+        self._cancel = threading.Event()
+        self._job: Optional[tuple] = None
+        self._producer: Optional[_ThreadProducer] = None
+        #: Per-tenant persistent speculation controller, set by the service
+        #: before the engine is constructed (None = unthrottled).
+        self.job_throttle: Any = None
+        self.released = False
+
+    # -- engine contract: shared primitives --------------------------------------
+
+    @property
+    def work(self) -> ProcessChannel:
+        return self.slot.work
+
+    @property
+    def done(self) -> ProcessChannel:
+        return self.slot.done
+
+    @property
+    def shutdown(self):
+        return self.slot.shutdown
+
+    @property
+    def watermark(self):
+        return self.slot.watermark
+
+    @property
+    def window(self):
+        return self.slot.window
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self.slot.registry
+
+    # -- engine contract: lifecycle ----------------------------------------------
+
+    def start_producer(self, spec, *, start: int, batch_size: int,
+                       fault_plan: Optional[FaultPlan]):
+        if fault_plan is not None and fault_plan.producer_crash_at is not None:
+            raise ValueError(
+                "pool mode runs phase A as a thread in the server process; "
+                "producer_crash_at would take the whole service down"
+            )
+        snapshot = CommittedStore(spec.shared_state).snapshot()
+        self._job = (
+            spec.work, spec.speculative, snapshot, fault_plan, batch_size
+        )
+        for worker in self._members.values():
+            self._pool._send_lease(worker, self.slot, self._job)
+        self._producer = _ThreadProducer(
+            self.slot.work, spec.iterations, spec.produce, fault_plan,
+            self.slot.shutdown, start, batch_size, self.slot.registry,
+        )
+        self._producer.start()
+        return self._producer
+
+    def workers(self) -> Dict[int, Any]:
+        return {wid: w.process for wid, w in self._members.items()}
+
+    def respawn(self) -> Tuple[int, Any]:
+        worker = self._pool._respawn_into(self)
+        self._members[worker.wid] = worker
+        return worker.wid, worker.process
+
+    def cancelled(self) -> bool:
+        return self._cancel.is_set()
+
+    def teardown(self, producer, processes, done, join_timeout: float) -> None:
+        self._pool._teardown_lease(self, producer, join_timeout)
+
+    def halt(self, producer, processes, join_timeout: float) -> None:
+        self._pool._halt_lease(self, producer, join_timeout)
+
+    # -- service API --------------------------------------------------------------
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation; the committer loop observes it
+        at its next poll and takes the normal teardown path."""
+        self._cancel.set()
+
+    @property
+    def worker_ids(self) -> List[int]:
+        return sorted(self._members)
+
+    @property
+    def worker_pids(self) -> List[int]:
+        return sorted(
+            w.process.pid for w in self._members.values()
+            if w.process.pid is not None
+        )
+
+
+class WorkerPool:
+    """A fixed-size pool of reusable phase-B processes with ``slots``
+    concurrent job lanes.
+
+    Thread-safe: the service's scheduler and several job-runner threads
+    call in concurrently.  ``try_lease``/``release`` are the lifecycle;
+    :class:`LeaseRuntime` handles everything mid-job.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        slots: int = 2,
+        capacity: int = 16,
+        batch_size: int = 8,
+        policy: Optional[RobustnessPolicy] = None,
+        start_method: Optional[str] = None,
+        flush_interval: float = 0.005,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one pool worker")
+        if slots < 1:
+            raise ValueError("need at least one slot")
+        self.policy = policy or RobustnessPolicy()
+        self.capacity = capacity
+        self.batch_size = min(batch_size, capacity)
+        self.flush_interval = flush_interval
+        self.size = workers
+        self._ctx = (
+            multiprocessing.get_context(start_method)
+            if start_method
+            else multiprocessing.get_context()
+        )
+        # Registry rows every slot must be able to seat: the whole pool
+        # plus every replacement the respawn budget could ever create.
+        self._row_budget = workers + self.policy.max_respawns * slots + 2
+        writer_rows = WRITER_WORKER0 + self._row_budget
+        self._slots: List[_Slot] = [
+            _Slot(k, self._ctx, capacity, workers, self.batch_size,
+                  flush_interval, writer_rows)
+            for k in range(slots)
+        ]
+        self._free_slots: List[int] = list(range(slots))
+        self._quarantined: List[int] = []
+        self._slot_producers: Dict[int, Optional[_ThreadProducer]] = {}
+        self._pool_shutdown = self._ctx.Event()
+        self._workers: Dict[int, _PoolWorker] = {}
+        self._free_rows = set(range(self._row_budget))
+        self._next_wid = 0
+        self._lock = threading.RLock()
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        with self._lock:
+            if self._started:
+                return self
+            for _ in range(self.size):
+                self._spawn_worker()
+            self._started = True
+        return self
+
+    def shutdown(self, join_timeout: float = 5.0) -> None:
+        """Stop every worker and close the slot channels.  Idempotent."""
+        with self._lock:
+            if not self._started:
+                return
+            self._started = False
+            self._pool_shutdown.set()
+            for slot in self._slots:
+                slot.shutdown.set()
+            for worker in self._workers.values():
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            deadline = time.monotonic() + join_timeout
+            for worker in self._workers.values():
+                worker.process.join(max(0.0, deadline - time.monotonic()))
+            for worker in self._workers.values():
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(1.0)
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+            self._workers.clear()
+            for slot in self._slots:
+                slot.work.close()
+                slot.done.close()
+
+    # -- leasing ------------------------------------------------------------------
+
+    def can_lease(self) -> bool:
+        with self._lock:
+            if not self._started or not self._free_slots:
+                return False
+            return any(
+                w.leased_to is None and w.process.is_alive()
+                for w in self._workers.values()
+            )
+
+    def try_lease(self, workers: Optional[int] = None) -> Optional[LeaseRuntime]:
+        """Claim a free slot and up to ``workers`` idle pool workers for one
+        job; None when no slot or no idle worker is available (not an
+        error — the scheduler retries)."""
+        with self._lock:
+            if not self._started:
+                raise RuntimeError("pool is not started")
+            self._maintain_size()
+            idle = [
+                w for w in self._workers.values()
+                if w.leased_to is None and w.process.is_alive()
+            ]
+            if not idle:
+                return None
+            slot = self._claim_slot()
+            if slot is None:
+                return None
+            count = len(idle) if workers is None else max(
+                1, min(workers, len(idle))
+            )
+            members = idle[:count]
+            lease = LeaseRuntime(self, slot, members)
+            for worker in members:
+                worker.leased_to = lease
+            return lease
+
+    def release(self, lease: LeaseRuntime) -> None:
+        """Return a finished lease's workers and slot to the pool.
+
+        Scrubs the slot for reuse: joins the producer thread, settles the
+        channels until the shared credit counters agree, zeroes counters
+        and the registry, retires dead members, and tops the pool back up
+        to its configured size.  A slot whose counters cannot be reset
+        (a worker killed mid-update orphaned a counter lock — vanishingly
+        rare) is quarantined rather than reused.
+        """
+        with self._lock:
+            if lease.released:
+                return
+            lease.released = True
+            slot = lease.slot
+            producer = lease._producer
+            if producer is not None:
+                producer.join(0.5)
+            self._settle_channel(slot.work)
+            self._settle_channel(slot.done)
+            for wid, worker in lease._members.items():
+                if self._workers.get(wid) is not worker:
+                    continue
+                if worker.process.is_alive():
+                    worker.leased_to = None
+                else:
+                    self._retire(worker)
+            self._maintain_size()
+            self._slot_producers[slot.index] = producer
+            try:
+                slot.work.reset_counters()
+                slot.done.reset_counters()
+                slot.registry.reset()
+            except ChannelTimeout:
+                logger.error(
+                    "slot %d counters wedged (worker killed mid-update?); "
+                    "quarantining the slot", slot.index,
+                )
+                self._quarantined.append(slot.index)
+                return
+            self._free_slots.append(slot.index)
+
+    def _settle_channel(self, channel: ProcessChannel) -> None:
+        """Drain until the shared credit counters agree (every flushed item
+        consumed) — transport feeder threads lag their senders, so frames
+        can surface shortly *after* all writers have exited.  Bounded: a
+        worker killed between acquiring credit and enqueueing leaves the
+        counters permanently apart, and the reset handles that."""
+        deadline = time.monotonic() + _SETTLE_TIMEOUT
+        while time.monotonic() < deadline:
+            channel.drain()
+            if channel.produces <= channel.consumes:
+                break
+            time.sleep(0.005)
+        channel.reset_local()
+
+    # -- internals (called by LeaseRuntime) ---------------------------------------
+
+    def _send_lease(self, worker: _PoolWorker, slot: _Slot, job: tuple) -> None:
+        work_fn, speculative, snapshot, fault_plan, max_chunk = job
+        # Drop any stale "released" a prior lease's teardown never consumed
+        # so this lease's teardown cannot mistake it for its own.
+        try:
+            while worker.conn.poll(0):
+                worker.conn.recv()
+        except (EOFError, OSError):
+            pass
+        worker.conn.send(
+            ("lease", slot.index, work_fn, speculative, snapshot,
+             fault_plan, max_chunk)
+        )
+
+    def _respawn_into(self, lease: LeaseRuntime) -> _PoolWorker:
+        """A replacement for a worker that died mid-job: spawn fresh, lease
+        immediately with the job's *initial* snapshot (see the module
+        docstring's staleness note)."""
+        with self._lock:
+            worker = self._spawn_worker()
+            worker.leased_to = lease
+            self._send_lease(worker, lease.slot, lease._job)
+            return worker
+
+    def _teardown_lease(
+        self, lease: LeaseRuntime, producer, join_timeout: float
+    ) -> None:
+        """Cooperative end-of-job: wait for every live member to send its
+        release, draining the channels so none of them wedges on a full
+        pipe; stragglers (a cancelled job's long task) are terminated and
+        replaced at release time."""
+        slot = lease.slot
+        deadline = time.monotonic() + max(join_timeout, 1.0)
+        if producer is not None:
+            producer.join(max(0.0, deadline - time.monotonic()))
+        pending = {
+            wid: w for wid, w in lease._members.items()
+            if w.process.is_alive()
+        }
+        while pending and time.monotonic() < deadline:
+            slot.done.drain()
+            slot.work.drain()
+            for wid, worker in list(pending.items()):
+                try:
+                    while worker.conn.poll(0):
+                        message = worker.conn.recv()
+                        if message[0] == "released":
+                            pending.pop(wid, None)
+                            break
+                except (EOFError, OSError):
+                    pending.pop(wid, None)
+            if pending:
+                time.sleep(0.01)
+        for worker in pending.values():
+            logger.warning(
+                "pool worker %d did not release slot %d in time; "
+                "terminating", worker.wid, slot.index,
+            )
+            worker.process.terminate()
+            worker.process.join(1.0)
+
+    def _halt_lease(
+        self, lease: LeaseRuntime, producer, join_timeout: float
+    ) -> None:
+        """Emergency stop (degradation, committer crash): kill the leased
+        workers outright; the pool replaces them at release."""
+        slot = lease.slot
+        slot.shutdown.set()
+        members = [
+            w for w in lease._members.values() if w.process.is_alive()
+        ]
+        for worker in members:
+            worker.process.terminate()
+        for worker in members:
+            worker.process.join(join_timeout)
+        if producer is not None:
+            producer.join(join_timeout)
+        slot.done.drain()
+        slot.work.drain()
+
+    # -- roster management ---------------------------------------------------------
+
+    def _spawn_worker(self) -> _PoolWorker:
+        wid = self._next_wid
+        self._next_wid += 1
+        row_index = (
+            min(self._free_rows) if self._free_rows else self._row_budget - 1
+        )
+        self._free_rows.discard(row_index)
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=pool_worker_main,
+            args=(wid, child_conn, tuple(self._slots), self._pool_shutdown,
+                  WRITER_WORKER0 + row_index),
+            name=f"pool-B{wid}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _PoolWorker(wid, process, parent_conn, row_index)
+        self._workers[wid] = worker
+        return worker
+
+    def _retire(self, worker: _PoolWorker) -> None:
+        worker.process.join(0)
+        self._free_rows.add(worker.row_index)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        self._workers.pop(worker.wid, None)
+
+    def _maintain_size(self) -> None:
+        """Retire dead idle workers and top back up to the configured size."""
+        for worker in list(self._workers.values()):
+            if worker.leased_to is None and not worker.process.is_alive():
+                self._retire(worker)
+        alive = sum(
+            1 for w in self._workers.values() if w.process.is_alive()
+        )
+        for _ in range(max(0, self.size - alive)):
+            self._spawn_worker()
+
+    def _claim_slot(self) -> Optional[_Slot]:
+        """Pop a free slot whose previous producer thread has exited, and
+        arm it for the next job."""
+        for position, index in enumerate(self._free_slots):
+            previous = self._slot_producers.get(index)
+            if previous is not None and previous.is_alive():
+                continue  # stale phase-A thread still unwinding; skip
+            self._free_slots.pop(position)
+            slot = self._slots[index]
+            slot.work.reset_local()
+            slot.done.reset_local()
+            slot.shutdown.clear()
+            slot.watermark.value = 0
+            slot.window.value = 0
+            return slot
+        return None
+
+    # -- introspection -------------------------------------------------------------
+
+    def worker_pids(self) -> Dict[int, int]:
+        with self._lock:
+            return {
+                wid: w.process.pid
+                for wid, w in self._workers.items()
+                if w.process.is_alive()
+            }
+
+    def stats(self) -> dict:
+        with self._lock:
+            alive = [
+                w for w in self._workers.values() if w.process.is_alive()
+            ]
+            return {
+                "size": self.size,
+                "pids": sorted(w.process.pid for w in alive),
+                "alive": len(alive),
+                "idle": sum(1 for w in alive if w.leased_to is None),
+                "leased": sum(1 for w in alive if w.leased_to is not None),
+                "slots": len(self._slots),
+                "slots_free": len(self._free_slots),
+                "slots_quarantined": len(self._quarantined),
+                "spawned_total": self._next_wid,
+            }

@@ -1,0 +1,119 @@
+"""Admission control: who gets into the queue, and who gets a 429.
+
+Pure decision logic — the service feeds it the current depths and flags
+under its lock; no state lives here beyond the configured limits, which
+keeps every boundary unit-testable without a server.
+
+Order of checks (first refusal wins):
+
+1. **draining** — the server is shutting down: 503, no retry hint (clients
+   should fail over, not wait);
+2. **load shedding** — a running job's watchdog reports a commit stall:
+   the machine is not keeping up with what it already accepted, so new
+   work waits out the stall (429 + Retry-After);
+3. **global depth** — the bounded queue is full (429 + Retry-After scaled
+   to the backlog);
+4. **per-tenant quotas** — queued and queued+running caps so one noisy
+   tenant cannot occupy the whole queue (429).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Admission:
+    """One admission verdict, pre-shaped for the HTTP layer."""
+
+    accepted: bool
+    status: int  # 202 accepted, 429 over a limit, 503 draining
+    reason: str = ""
+    retry_after: Optional[float] = None
+
+    def to_json(self) -> dict:
+        data = {"accepted": self.accepted, "reason": self.reason}
+        if self.retry_after is not None:
+            data["retry_after_s"] = self.retry_after
+        return data
+
+
+ACCEPTED = Admission(accepted=True, status=202)
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """The queue's shape: global bound plus per-tenant quotas."""
+
+    max_queued: int = 16
+    tenant_queued_quota: int = 8
+    tenant_running_quota: int = 1
+
+    def __post_init__(self):
+        if self.max_queued < 1:
+            raise ValueError("max_queued must be >= 1")
+        if self.tenant_queued_quota < 1:
+            raise ValueError("tenant_queued_quota must be >= 1")
+        if self.tenant_running_quota < 1:
+            raise ValueError("tenant_running_quota must be >= 1")
+
+
+class AdmissionController:
+    """Applies :class:`AdmissionConfig` to one submission at a time."""
+
+    def __init__(self, config: AdmissionConfig) -> None:
+        self.config = config
+
+    def admit(
+        self,
+        *,
+        depth: int,
+        tenant_queued: int,
+        tenant_running: int,
+        draining: bool = False,
+        shedding: bool = False,
+    ) -> Admission:
+        """Decide one submission given the queue's current occupancy."""
+        config = self.config
+        if draining:
+            return Admission(
+                accepted=False, status=503,
+                reason="server is draining; not accepting new jobs",
+            )
+        if shedding:
+            return Admission(
+                accepted=False, status=429,
+                reason="load shedding: a running job is stalled",
+                retry_after=self._retry_after(depth),
+            )
+        if depth >= config.max_queued:
+            return Admission(
+                accepted=False, status=429,
+                reason=f"queue full ({depth}/{config.max_queued})",
+                retry_after=self._retry_after(depth),
+            )
+        if tenant_queued >= config.tenant_queued_quota:
+            return Admission(
+                accepted=False, status=429,
+                reason=(
+                    f"tenant queued quota reached "
+                    f"({tenant_queued}/{config.tenant_queued_quota})"
+                ),
+                retry_after=self._retry_after(tenant_queued),
+            )
+        if tenant_queued + tenant_running >= (
+            config.tenant_queued_quota + config.tenant_running_quota
+        ):
+            return Admission(
+                accepted=False, status=429,
+                reason="tenant in-flight quota reached",
+                retry_after=self._retry_after(tenant_queued + tenant_running),
+            )
+        return ACCEPTED
+
+    @staticmethod
+    def _retry_after(backlog: int) -> float:
+        """A coarse hint that grows with the backlog; precision is not the
+        point, giving impatient clients *some* spacing is."""
+        return float(max(1, min(30, backlog)))

@@ -1,0 +1,119 @@
+"""Weighted round-robin across tenants, FIFO within a tenant.
+
+Plain data structure, no locking: the service serializes every call under
+its own lock, which keeps this independently unit-testable.
+
+The discipline: tenants rotate in first-seen order; while the rotation
+points at a tenant, it may dequeue up to ``weight`` jobs (its *credit*)
+before the cursor advances; within a tenant jobs leave strictly in
+submission order.  A tenant that is empty or ineligible (its running quota
+is full) is skipped without consuming credit, so one tenant's saturation
+never costs another its turn — the fairness half of the isolation story
+(:mod:`repro.service.tenants` is the speculation half).
+
+Cancelled queued jobs are lazily skipped at dequeue time — cancellation
+just flips the job's state, no queue surgery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.service.jobs import Job, JobState
+
+
+class FairScheduler:
+    """The queued-job store plus the weighted round-robin dequeue policy."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, Deque[Job]] = {}
+        self._ring: List[str] = []  # tenant rotation, first-seen order
+        self._cursor = 0
+        self._credit = 0  # dequeues left for the cursor's tenant this turn
+
+    # -- enqueue side ------------------------------------------------------------
+
+    def enqueue(self, job: Job) -> None:
+        queue = self._queues.get(job.tenant)
+        if queue is None:
+            queue = self._queues[job.tenant] = deque()
+            self._ring.append(job.tenant)
+        queue.append(job)
+
+    def push_front(self, job: Job) -> None:
+        """Return a job taken but not dispatched (a lease race) to the head
+        of its tenant's queue, preserving FIFO order."""
+        queue = self._queues.get(job.tenant)
+        if queue is None:
+            queue = self._queues[job.tenant] = deque()
+            self._ring.append(job.tenant)
+        queue.appendleft(job)
+
+    # -- dequeue side ------------------------------------------------------------
+
+    def take(
+        self,
+        eligible: Callable[[str], bool],
+        weight_of: Callable[[str], int],
+    ) -> Optional[Job]:
+        """The next job to dispatch under weighted round-robin, or None.
+
+        ``eligible(tenant)`` gates tenants whose running quota is full;
+        ``weight_of(tenant)`` is the tenant's credit per rotation turn.
+        """
+        if not self._ring:
+            return None
+        scanned = 0
+        while scanned <= len(self._ring):
+            if self._cursor >= len(self._ring):
+                self._cursor = 0
+            tenant = self._ring[self._cursor]
+            queue = self._prune(tenant)
+            if queue and eligible(tenant):
+                if self._credit <= 0:
+                    self._credit = max(1, weight_of(tenant))
+                job = queue.popleft()
+                self._credit -= 1
+                if self._credit <= 0:
+                    self._advance()
+                return job
+            self._advance()
+            scanned += 1
+        return None
+
+    def _advance(self) -> None:
+        self._cursor += 1
+        self._credit = 0
+        if self._cursor >= len(self._ring):
+            self._cursor = 0
+
+    def _prune(self, tenant: str) -> Deque[Job]:
+        """Drop cancelled jobs from the head so FIFO peeks see live work."""
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = self._queues[tenant] = deque()
+        while queue and queue[0].state is not JobState.QUEUED:
+            queue.popleft()
+        return queue
+
+    # -- introspection -----------------------------------------------------------
+
+    def depth(self, tenant: Optional[str] = None) -> int:
+        """Live queued jobs, overall or for one tenant (cancelled jobs
+        awaiting lazy removal are not counted)."""
+        if tenant is not None:
+            return sum(
+                1 for job in self._queues.get(tenant, ())
+                if job.state is JobState.QUEUED
+            )
+        return sum(
+            1 for queue in self._queues.values()
+            for job in queue if job.state is JobState.QUEUED
+        )
+
+    def queued_jobs(self) -> List[Job]:
+        return [
+            job for queue in self._queues.values()
+            for job in queue if job.state is JobState.QUEUED
+        ]

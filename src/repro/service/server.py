@@ -1,0 +1,614 @@
+"""The job server: queue, fair dispatch, shared pool, drain, telemetry.
+
+:class:`PipelineService` is the long-lived object behind ``python -m repro
+serve``.  One dispatcher thread pulls jobs from the weighted round-robin
+scheduler whenever the pool can lease, and each dispatched job runs in its
+own runner thread: lease workers, run the engine against the lease, release
+the lease, settle the books.  Admission, per-tenant state, and job records
+all live under one lock + condition; the pool has its own lock (always
+acquired *after* the service lock — that ordering is the no-deadlock rule).
+
+Telemetry is three-layered, matching the rest of the repo:
+
+- ``/metrics`` — service-level Prometheus exposition (per-tenant job
+  counters, queue depth, pool occupancy, throttle windows) built with the
+  same escaping helpers as :mod:`repro.obs.serve`;
+- ``/health`` — per-tenant verdicts: a tenant is ``degraded`` while its
+  persistent throttle sits at the serial floor, its last job stormed, or a
+  *running* job's watchdog is currently storming/stalled; other tenants
+  stay ``ok`` — tenant-scoped degradation, never service-wide panic;
+- the watchdog's stall verdict on running jobs doubles as the admission
+  controller's load-shedding input (429 + Retry-After while stalled).
+
+Graceful shutdown (``request_drain``): new submissions get 503, queued
+jobs are cancelled, running jobs get up to ``drain_timeout`` seconds to
+finish (then cooperative cancellation), history is flushed, the pool and
+HTTP server stop.  SIGTERM/SIGINT wiring lives in the CLI.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exec.engine import ExecutionEngine
+from repro.exec.faults import RobustnessPolicy
+from repro.obs.history import append_record, make_record
+from repro.obs.live import LiveConfig
+from repro.obs.serve import escape_help, escape_label_value
+from repro.service.jobs import (
+    Job,
+    JobState,
+    TERMINAL_STATES,
+    resolve_iterations,
+    compile_chaos,
+)
+from repro.service.pool import LeaseRuntime, WorkerPool
+from repro.service.queue import Admission, AdmissionConfig, AdmissionController
+from repro.service.scheduler import FairScheduler
+from repro.service.tenants import TenantDirectory, TenantState
+
+logger = logging.getLogger(__name__)
+
+#: How often the dispatcher re-checks for runnable work when idle.
+_DISPATCH_POLL = 0.05
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``python -m repro serve`` exposes as flags."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    pool_workers: int = 2
+    slots: int = 2
+    #: Workers leased per job.  None = an even split of the pool across
+    #: the job slots (so concurrent jobs actually run concurrently); the
+    #: pool clamps to what is idle either way.
+    workers_per_job: Optional[int] = None
+    capacity: int = 16
+    batch_size: int = 8
+    max_queued: int = 16
+    tenant_queued_quota: int = 8
+    tenant_running_quota: int = 1
+    default_weight: int = 1
+    weights: Dict[str, int] = field(default_factory=dict)
+    drain_timeout: float = 10.0
+    history_path: Optional[str] = None
+    live_interval: float = 0.05
+    policy: Optional[RobustnessPolicy] = None
+    start_method: Optional[str] = None
+
+
+class PipelineService:
+    """The multi-tenant pipeline-as-a-service core (HTTP face in
+    :mod:`repro.service.api`)."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        cfg = self.config
+        self.policy = cfg.policy or RobustnessPolicy()
+        self.pool = WorkerPool(
+            workers=cfg.pool_workers,
+            slots=cfg.slots,
+            capacity=cfg.capacity,
+            batch_size=cfg.batch_size,
+            policy=self.policy,
+            start_method=cfg.start_method,
+        )
+        self.scheduler = FairScheduler()
+        self.admission = AdmissionController(
+            AdmissionConfig(
+                max_queued=cfg.max_queued,
+                tenant_queued_quota=cfg.tenant_queued_quota,
+                tenant_running_quota=cfg.tenant_running_quota,
+            )
+        )
+        self.tenants = TenantDirectory(
+            pool_workers=cfg.pool_workers,
+            capacity=cfg.capacity,
+            batch_size=cfg.batch_size,
+            default_weight=cfg.default_weight,
+            weights=cfg.weights,
+        )
+        self.workers_per_job = cfg.workers_per_job or max(
+            1, cfg.pool_workers // max(1, cfg.slots)
+        )
+        self.jobs: Dict[str, Job] = {}
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._job_seq = 0
+        self._draining = False
+        self._stopping = False
+        self._drained = threading.Event()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._runners: List[threading.Thread] = []
+        self._api_server = None
+        self.started_unix: Optional[float] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self, serve_http: bool = True) -> "PipelineService":
+        self.pool.start()
+        self.started_unix = time.time()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="service-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+        if serve_http:
+            from repro.service.api import ApiServer
+
+            self._api_server = ApiServer(
+                self, host=self.config.host, port=self.config.port
+            ).start()
+        return self
+
+    @property
+    def port(self) -> Optional[int]:
+        return self._api_server.port if self._api_server else None
+
+    def request_drain(self) -> None:
+        """Flip into draining: refuse new work, cancel the queue, let
+        running jobs finish.  Idempotent, signal-handler safe."""
+        with self._wake:
+            if self._draining:
+                return
+            self._draining = True
+            for job in self.scheduler.queued_jobs():
+                self._finish_cancelled_queued(job, reason="server draining")
+            self._wake.notify_all()
+        logger.info("drain requested: rejecting new submissions")
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every running job has finished (True) or the drain
+        timeout passed (False) — in which case stragglers are cancelled
+        cooperatively and given a short grace period."""
+        self.request_drain()
+        deadline = time.monotonic() + (
+            timeout if timeout is not None else self.config.drain_timeout
+        )
+        clean = self._await_idle(deadline)
+        if not clean:
+            # Not clean — jobs had to be cancelled.  Still wait out the
+            # cancellations so teardown never races running leases.
+            with self._wake:
+                for job in self._running_jobs():
+                    logger.warning(
+                        "drain timeout: cancelling running job %s", job.id
+                    )
+                    job.cancel_requested = True
+                    if job.lease is not None:
+                        job.lease.cancel()
+            self._await_idle(time.monotonic() + 5.0)
+        return clean
+
+    def _await_idle(self, deadline: float) -> bool:
+        with self._wake:
+            while self._running_jobs():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._wake.wait(min(remaining, 0.1))
+            return True
+
+    def stop(self) -> None:
+        """Stop everything (after a drain for graceful paths).  Idempotent."""
+        with self._wake:
+            if self._stopping:
+                return
+            self._stopping = True
+            self._wake.notify_all()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=5.0)
+        for runner in list(self._runners):
+            runner.join(timeout=5.0)
+        if self._api_server is not None:
+            self._api_server.stop()
+            self._api_server = None
+        self.pool.shutdown()
+        self._drained.set()
+
+    def drain_and_stop(self, timeout: Optional[float] = None) -> bool:
+        clean = self.drain(timeout)
+        self.stop()
+        return clean
+
+    # -- submissions ----------------------------------------------------------------
+
+    def submit(
+        self, tenant_name: str, workload: str, params: Optional[dict] = None
+    ) -> Tuple[Optional[Job], Admission]:
+        """Admit one job (or refuse it).  Raises ``ValueError`` on a
+        malformed request — the API layer maps that to 400."""
+        params = params or {}
+        if not tenant_name or not isinstance(tenant_name, str):
+            raise ValueError("tenant must be a non-empty string")
+        iterations = resolve_iterations(workload, params)
+        fault_plan = compile_chaos(params.get("chaos"), iterations)
+        with self._wake:
+            tenant = self.tenants.get_or_create(tenant_name)
+            decision = self.admission.admit(
+                depth=self.scheduler.depth(),
+                tenant_queued=self.scheduler.depth(tenant_name),
+                tenant_running=tenant.running,
+                draining=self._draining or self._stopping,
+                shedding=self._shedding(),
+            )
+            if not decision.accepted:
+                tenant.rejected += 1
+                return None, decision
+            self._job_seq += 1
+            job = Job(
+                job_id=f"j{self._job_seq:05d}",
+                tenant=tenant_name,
+                workload=workload,
+                params=params,
+                iterations=iterations,
+                fault_plan=fault_plan,
+            )
+            self.jobs[job.id] = job
+            tenant.submitted += 1
+            self.scheduler.enqueue(job)
+            self._wake.notify_all()
+            return job, decision
+
+    def cancel(self, job_id: str) -> Optional[str]:
+        """Cancel a job: queued jobs die immediately, running jobs get the
+        cooperative flag (the committer observes it at its next poll).
+        Returns the resulting state string, or None for an unknown id."""
+        with self._wake:
+            job = self.jobs.get(job_id)
+            if job is None:
+                return None
+            if job.state is JobState.QUEUED:
+                self._finish_cancelled_queued(job, reason="cancelled by client")
+                self._wake.notify_all()
+                return job.state.value
+            if job.state is JobState.RUNNING:
+                job.cancel_requested = True
+                if job.lease is not None:
+                    job.lease.cancel()
+                return "cancelling"
+            return job.state.value
+
+    def get_job(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self.jobs.get(job_id)
+
+    def list_jobs(self, tenant: Optional[str] = None) -> List[Job]:
+        with self._lock:
+            return [
+                job for job in self.jobs.values()
+                if tenant is None or job.tenant == tenant
+            ]
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _eligible(self, tenant_name: str) -> bool:
+        tenant = self.tenants.get(tenant_name)
+        if tenant is None:
+            return False
+        return tenant.running < self.config.tenant_running_quota
+
+    def _weight_of(self, tenant_name: str) -> int:
+        tenant = self.tenants.get(tenant_name)
+        return tenant.weight if tenant is not None else 1
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._wake:
+                if self._stopping:
+                    return
+                job = None
+                if self.pool.can_lease():
+                    job = self.scheduler.take(self._eligible, self._weight_of)
+                if job is None:
+                    self._wake.wait(_DISPATCH_POLL)
+                    continue
+            lease = self.pool.try_lease(self.workers_per_job)
+            with self._wake:
+                if lease is None:
+                    # Lost the race for the last slot; retry shortly.
+                    self.scheduler.push_front(job)
+                    self._wake.wait(_DISPATCH_POLL)
+                    continue
+                if job.cancel_requested or job.state is not JobState.QUEUED:
+                    self.pool.release(lease)
+                    continue
+                tenant = self.tenants.get_or_create(job.tenant)
+                job.state = JobState.RUNNING
+                job.started_unix = time.time()
+                job.lease = lease
+                tenant.running += 1
+                tenant.record_queue_wait(job.queue_wait_s or 0.0)
+                runner = threading.Thread(
+                    target=self._run_job, args=(job, lease),
+                    name=f"service-{job.id}", daemon=True,
+                )
+                self._runners.append(runner)
+                self._runners = [t for t in self._runners if t.is_alive()]
+            runner.start()
+
+    def _run_job(self, job: Job, lease: LeaseRuntime) -> None:
+        tenant = self.tenants.get_or_create(job.tenant)
+        lease.job_throttle = tenant.throttle
+        error: Optional[str] = None
+        result = None
+        try:
+            engine = ExecutionEngine(
+                workers=max(1, len(lease.worker_ids)),
+                capacity=self.config.capacity,
+                batch_size=self.config.batch_size,
+                policy=self.policy,
+                fault_plan=job.fault_plan,
+                live=LiveConfig(interval=self.config.live_interval),
+                runtime=lease,
+            )
+            job.engine = engine
+            result = engine.run(job.build_spec())
+        except BaseException as exc:  # a job must never kill the server
+            logger.exception("job %s failed", job.id)
+            error = repr(exc)
+        finally:
+            self.pool.release(lease)
+        with self._wake:
+            job.finished_unix = time.time()
+            job.lease = None
+            job.engine = None
+            tenant.running -= 1
+            if error is not None:
+                job.state = JobState.FAILED
+                job.error = error
+                tenant.failed += 1
+            else:
+                metrics = result.metrics
+                job.metrics = metrics.to_json()
+                if metrics.cancelled or job.cancel_requested:
+                    job.state = JobState.CANCELLED
+                    tenant.cancelled += 1
+                else:
+                    job.state = JobState.DONE
+                    job.output = result.output
+                    tenant.completed += 1
+                tenant.committed += metrics.commits
+                tenant.conflicts += metrics.conflicts
+                tenant.serial_reexec += metrics.serial_reexecutions
+                watchdog = metrics.watchdog or {}
+                # A storm is either what the live watchdog flagged or a
+                # job whose end-to-end misspeculation rate crossed the
+                # storm threshold (short jobs can finish between watchdog
+                # samples — the rate check is sampling-independent).
+                misspec = metrics.conflicts + metrics.serial_reexecutions
+                storm_rate = (
+                    metrics.commits > 0
+                    and misspec >= max(4, metrics.commits // 3)
+                )
+                stormed = watchdog.get("storms", 0) > 0 or storm_rate
+                if stormed:
+                    tenant.storms += 1
+                # Tenant-scoped degradation: sticky while storms continue
+                # or the throttle is pinned serial; cleared by a clean job.
+                tenant.degraded = stormed or tenant.throttle.at_floor
+            self._wake.notify_all()
+        if error is None and self.config.history_path:
+            self._append_history(job, result)
+
+    def _finish_cancelled_queued(self, job: Job, reason: str) -> None:
+        """Terminal bookkeeping for a job cancelled before dispatch.
+        Caller holds the lock; the scheduler drops it lazily."""
+        job.state = JobState.CANCELLED
+        job.finished_unix = time.time()
+        job.error = reason
+        tenant = self.tenants.get_or_create(job.tenant)
+        tenant.cancelled += 1
+
+    def _running_jobs(self) -> List[Job]:
+        return [
+            job for job in self.jobs.values()
+            if job.state is JobState.RUNNING
+        ]
+
+    def _shedding(self) -> bool:
+        """Load-shedding input: is any running job's watchdog stalled?"""
+        for job in self._running_jobs():
+            engine = job.engine
+            monitor = engine.live_monitor if engine is not None else None
+            if monitor is not None and monitor.watchdog.stalled:
+                return True
+        return False
+
+    def _append_history(self, job: Job, result) -> None:
+        try:
+            record = make_record(
+                name=f"service:{job.workload}",
+                metrics=result.metrics,
+                label=job.id,
+                ok=job.state is JobState.DONE,
+                watchdog=result.metrics.watchdog,
+                extra={"tenant": job.tenant, "job_state": job.state.value},
+            )
+            append_record(self.config.history_path, record)
+        except Exception:
+            logger.exception("history append failed for job %s", job.id)
+
+    # -- telemetry ----------------------------------------------------------------
+
+    def health_json(self) -> Tuple[int, dict]:
+        """``(http_status, body)`` for ``/health``: per-tenant verdicts,
+        degradation scoped to the tenant that earned it."""
+        with self._lock:
+            live_degraded = self._live_degraded_tenants()
+            tenants = {}
+            any_degraded = False
+            for name, tenant in sorted(self.tenants.all().items()):
+                degraded = tenant.degraded or name in live_degraded
+                any_degraded = any_degraded or degraded
+                tenants[name] = {
+                    "status": "degraded" if degraded else "ok",
+                    "running": tenant.running,
+                    "queued": self.scheduler.depth(name),
+                    "window": tenant.throttle.window,
+                    "storms": tenant.storms,
+                }
+            pool = self.pool.stats()
+            if self._draining or self._stopping:
+                status = "draining"
+            elif pool["alive"] == 0 or pool["slots_quarantined"] >= pool["slots"]:
+                status = "failed"  # service-wide: nothing can run
+            elif self._shedding():
+                status = "shedding"
+            else:
+                # Tenant degradation is tenant-scoped by design: the
+                # service stays "ok" so healthy tenants keep submitting.
+                status = "ok"
+            body = {
+                "status": status,
+                "draining": self._draining,
+                "queue_depth": self.scheduler.depth(),
+                "running": len(self._running_jobs()),
+                "tenants": tenants,
+                "pool": pool,
+            }
+            http = 200 if status in ("ok", "shedding") else 503
+            return http, body
+
+    def _live_degraded_tenants(self) -> set:
+        flagged = set()
+        for job in self._running_jobs():
+            engine = job.engine
+            monitor = engine.live_monitor if engine is not None else None
+            if monitor is None:
+                continue
+            watchdog = monitor.watchdog
+            if watchdog.storming or watchdog.stalled:
+                flagged.add(job.tenant)
+        return flagged
+
+    def snapshot_json(self) -> dict:
+        with self._lock:
+            return {
+                "jobs": [
+                    job.to_json() for job in self.jobs.values()
+                ],
+                "tenants": {
+                    name: tenant.to_json()
+                    for name, tenant in sorted(self.tenants.all().items())
+                },
+                "pool": self.pool.stats(),
+                "queue_depth": self.scheduler.depth(),
+                "draining": self._draining,
+            }
+
+    def metrics_text(self) -> str:
+        """Service-level Prometheus exposition (per-tenant labels), in the
+        same 0.0.4 text format as :func:`repro.obs.serve.prometheus_exposition`."""
+        with self._lock:
+            lines: List[str] = []
+
+            def header(name: str, kind: str, help_text: str) -> None:
+                lines.append(f"# HELP {name} {escape_help(help_text)}")
+                lines.append(f"# TYPE {name} {kind}")
+
+            def tenant_label(name: str, extra: str = "") -> str:
+                label = f'tenant="{escape_label_value(name)}"'
+                return "{" + label + (("," + extra) if extra else "") + "}"
+
+            tenants = sorted(self.tenants.all().items())
+            header(
+                "repro_service_jobs_total", "counter",
+                "Job lifecycle events per tenant.",
+            )
+            for name, tenant in tenants:
+                for event, value in (
+                    ("submitted", tenant.submitted),
+                    ("rejected", tenant.rejected),
+                    ("completed", tenant.completed),
+                    ("failed", tenant.failed),
+                    ("cancelled", tenant.cancelled),
+                ):
+                    lines.append(
+                        "repro_service_jobs_total"
+                        + tenant_label(name, f'event="{event}"')
+                        + f" {value}"
+                    )
+            for metric, help_text, getter in (
+                ("repro_service_committed_total",
+                 "Iterations committed across a tenant's finished jobs.",
+                 lambda t: t.committed),
+                ("repro_service_conflicts_total",
+                 "Misspeculations across a tenant's finished jobs.",
+                 lambda t: t.conflicts),
+                ("repro_service_serial_reexec_total",
+                 "Serial re-executions across a tenant's finished jobs.",
+                 lambda t: t.serial_reexec),
+                ("repro_service_storms_total",
+                 "Finished jobs whose watchdog flagged a storm.",
+                 lambda t: t.storms),
+            ):
+                header(metric, "counter", help_text)
+                for name, tenant in tenants:
+                    lines.append(
+                        metric + tenant_label(name) + f" {getter(tenant)}"
+                    )
+            header(
+                "repro_service_queue_wait_seconds", "summary",
+                "Admission-to-dispatch wait per tenant.",
+            )
+            for name, tenant in tenants:
+                lines.append(
+                    "repro_service_queue_wait_seconds_sum"
+                    + tenant_label(name)
+                    + f" {tenant.queue_wait_total:.9g}"
+                )
+                lines.append(
+                    "repro_service_queue_wait_seconds_count"
+                    + tenant_label(name)
+                    + f" {tenant.queue_wait_count}"
+                )
+            for metric, help_text, getter in (
+                ("repro_service_tenant_running",
+                 "Running jobs per tenant.", lambda t: t.running),
+                ("repro_service_tenant_queued",
+                 "Queued jobs per tenant.",
+                 lambda t: self.scheduler.depth(t.name)),
+                ("repro_service_tenant_window",
+                 "Current speculative window of the tenant's throttle.",
+                 lambda t: t.throttle.window),
+                ("repro_service_tenant_degraded",
+                 "1 while the tenant is degraded (storming or serialized).",
+                 lambda t: 1 if t.degraded else 0),
+            ):
+                header(metric, "gauge", help_text)
+                for name, tenant in tenants:
+                    lines.append(
+                        metric + tenant_label(name) + f" {getter(tenant)}"
+                    )
+            pool = self.pool.stats()
+            for metric, help_text, value in (
+                ("repro_service_queue_depth",
+                 "Live queued jobs.", self.scheduler.depth()),
+                ("repro_service_running_jobs",
+                 "Jobs currently running.", len(self._running_jobs())),
+                ("repro_service_draining",
+                 "1 while the server is draining.",
+                 1 if self._draining else 0),
+                ("repro_service_pool_workers_idle",
+                 "Idle pool workers.", pool["idle"]),
+                ("repro_service_pool_workers_leased",
+                 "Leased pool workers.", pool["leased"]),
+                ("repro_service_pool_slots_free",
+                 "Free job slots.", pool["slots_free"]),
+            ):
+                header(metric, "gauge", help_text)
+                lines.append(f"{metric} {value}")
+            header(
+                "repro_service_pool_spawned_total", "counter",
+                "Pool worker processes spawned since start (respawns included).",
+            )
+            lines.append(
+                f"repro_service_pool_spawned_total {pool['spawned_total']}"
+            )
+            return "\n".join(lines) + "\n"

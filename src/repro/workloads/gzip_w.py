@@ -28,6 +28,7 @@ blocking costs a little compression (smaller dictionaries), which
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 from repro.annotations.ybranch import ybranch
@@ -80,6 +81,33 @@ class GzipWorkload(Workload):
     @property
     def uses_ybranch(self) -> bool:
         return True
+
+    has_exec_spec = True
+
+    def exec_spec(self):
+        """Run fixed-boundary deflate for real on the engine: A slices the
+        input at ``block_interval`` boundaries, B compresses a block with a
+        fresh dictionary, C accumulates bits and the rolling checksum.
+
+        This is the interval policy made concrete — exactly the pigz
+        transformation Section 4.4.1 describes: forcing predictable block
+        starts removes the boundary dependence, so blocks compress in
+        parallel with no speculation.  The Y-branch's staleness heuristic is
+        *not* consulted (its rare firings are what the simulator-side run
+        speculates on); the cost is the same slightly smaller dictionaries
+        ``compare_outputs`` bounds at 1%.
+        """
+        from repro.exec.engine import PipelineSpec
+
+        interval = self.block_interval
+        iterations = (len(self.text) + interval - 1) // interval
+        return PipelineSpec(
+            iterations=iterations,
+            produce=partial(_exec_produce, self.text, interval),
+            work=_exec_work,
+            init=_exec_init,
+            commit=_exec_commit,
+        )
 
     def run(self, tracer: Tracer):
         self.ybranch.reset()
@@ -195,14 +223,80 @@ class GzipWorkload(Workload):
         return len(data), bits, checksum, work, False
 
     def compare_outputs(self, sequential, parallel) -> OutputComparison:
-        if sequential == parallel:
-            return OutputComparison(True, True, "bit-identical")
-        seq_bits = sequential["compressed_bits"]
-        par_bits = parallel["compressed_bits"]
-        loss = (par_bits - seq_bits) / seq_bits
-        note = f"compression loss {loss:.2%} (paper observed < 1%)"
-        return OutputComparison(
-            equivalent=False,
-            acceptable=loss < 0.01,
-            note=note,
-        )
+        return compare_gzip_outputs(sequential, parallel)
+
+
+# -- picklable pipeline stages for repro.exec --------------------------------------
+
+
+def deflate_fixed_block(block: bytes) -> Tuple[int, int]:
+    """(output bits, checksum) for one fixed-boundary block.
+
+    Same match finder and token costs as :meth:`GzipWorkload._deflate_block`
+    but with the dictionary scoped to the block and no restart decisions —
+    the whole point of fixed boundaries is that nothing mid-block can move
+    the boundary, so phase B is a pure function of its slice.
+    """
+    heads: Dict[bytes, int] = {}
+    position = 0
+    bits = 0
+    checksum = 0
+    while position < len(block):
+        if position + _MIN_MATCH <= len(block):
+            key = block[position:position + _MIN_MATCH]
+            candidate = heads.get(key, -1)
+            heads[key] = position
+        else:
+            candidate = -1
+
+        length = 0
+        if candidate >= 0 and position - candidate <= _WINDOW:
+            limit = min(_MAX_MATCH, len(block) - position)
+            while (
+                length < limit
+                and block[candidate + length] == block[position + length]
+            ):
+                length += 1
+
+        if length >= _MIN_MATCH:
+            bits += _MATCH_BITS
+            checksum = (checksum * 131 + length) % (1 << 32)
+            position += length
+        else:
+            bits += _LITERAL_BITS
+            checksum = (checksum * 131 + block[position]) % (1 << 32)
+            position += 1
+    return bits, checksum
+
+
+def _exec_produce(text: bytes, interval: int, i: int) -> bytes:
+    return text[i * interval:(i + 1) * interval]
+
+
+def _exec_work(i: int, block: bytes) -> Tuple[int, int]:
+    return deflate_fixed_block(block)
+
+
+def _exec_init() -> dict:
+    return {"compressed_bits": 0, "checksum": 0, "blocks": 0}
+
+
+def _exec_commit(i: int, result: Tuple[int, int], acc: dict) -> None:
+    bits, block_checksum = result
+    acc["compressed_bits"] += bits
+    acc["checksum"] = (acc["checksum"] * 31 + block_checksum) % (1 << 32)
+    acc["blocks"] += 1
+
+
+def compare_gzip_outputs(sequential, parallel) -> OutputComparison:
+    if sequential == parallel:
+        return OutputComparison(True, True, "bit-identical")
+    seq_bits = sequential["compressed_bits"]
+    par_bits = parallel["compressed_bits"]
+    loss = (par_bits - seq_bits) / seq_bits
+    note = f"compression loss {loss:.2%} (paper observed < 1%)"
+    return OutputComparison(
+        equivalent=False,
+        acceptable=loss < 0.01,
+        note=note,
+    )

@@ -86,6 +86,50 @@ class TestExecCommand:
         with pytest.raises(SystemExit):
             main(["exec", "186.crafty"])
 
+    def test_exec_gzip_has_real_spec(self, capsys):
+        assert main(["exec", "164.gzip", "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "bit-identical to sequential execution" in output
+
+
+class TestExecExitCode:
+    """``exec`` must not exit 0 when the run only finished by giving up
+    on parallelism."""
+
+    def test_clean_run_is_zero(self):
+        from repro.__main__ import _exec_exit_code
+
+        metrics = EngineMetrics()
+        metrics.watchdog = {"health": "ok"}
+        assert _exec_exit_code(True, metrics) == 0
+
+    def test_mismatch_wins_over_health(self):
+        from repro.__main__ import _exec_exit_code
+
+        metrics = EngineMetrics()
+        metrics.watchdog = {"health": "degraded"}
+        assert _exec_exit_code(False, metrics) == 1
+
+    def test_degraded_watchdog_is_two(self, capsys):
+        from repro.__main__ import _exec_exit_code
+
+        for health in ("degraded", "aborted"):
+            metrics = EngineMetrics()
+            metrics.watchdog = {"health": health}
+            assert _exec_exit_code(True, metrics) == 2
+
+    def test_degraded_to_sequential_is_two(self):
+        from repro.__main__ import _exec_exit_code
+
+        metrics = EngineMetrics()
+        metrics.degraded_to_sequential = True
+        assert _exec_exit_code(True, metrics) == 2
+
+    def test_no_watchdog_stays_zero(self):
+        from repro.__main__ import _exec_exit_code
+
+        assert _exec_exit_code(True, EngineMetrics()) == 0
+
 
 class TestExecLiveFlags:
     """The live-telemetry and output-path flags of ``exec``."""
