@@ -12,14 +12,23 @@ operator would, as a real subprocess over real HTTP.
 4. cancel one job mid-flight and assert it lands ``cancelled``;
 5. scrape ``/metrics`` for the per-tenant counters;
 6. SIGTERM the server and assert a clean drain (exit 0, "drained
-   cleanly" on stdout).
+   cleanly" on stdout);
+7. kill-and-recover: a *durable* server (``--state-dir``) is SIGKILLed
+   mid-job on a seeded :func:`repro.resilience.server_kill_plan`
+   schedule (replay with ``SMOKE_KILL_SEED``), restarted on the same
+   state dir, and must resume the interrupted job from its checkpoint to
+   a bit-identical result, honor the idempotency key from before the
+   crash, and dead-letter a poison job after bounded retries — the
+   journal and a recovery ``/metrics`` snapshot are saved as CI
+   artifacts.
 
-Usage: ``PYTHONPATH=src python benchmarks/service_smoke.py``
+Usage: ``PYTHONPATH=src python benchmarks/service_smoke.py [artifact_dir]``
 """
 
 import json
 import os
 import re
+import shutil
 import signal
 import subprocess
 import sys
@@ -27,7 +36,7 @@ import time
 import urllib.error
 import urllib.request
 
-DEADLINE_S = 240.0
+DEADLINE_S = 420.0
 QUIET_PARAMS = {"iterations": 48, "spin": 400}
 STORM_PARAMS = {
     "iterations": 64, "spin": 400,
@@ -68,7 +77,7 @@ def submit(base, tenant, params):
 def wait_done(base, job_id, expect="done"):
     while True:
         _, body = request("GET", f"{base}/jobs/{job_id}")
-        if body["state"] in ("done", "failed", "cancelled"):
+        if body["state"] in ("done", "failed", "cancelled", "dead_letter"):
             assert body["state"] == expect, f"{job_id}: {body}"
             return body
         remaining()
@@ -80,6 +89,134 @@ def pool_pids(base):
     return snapshot["pool"]["pids"]
 
 
+def launch(extra_args=()):
+    """Start ``python -m repro serve`` and parse the banner for the base
+    URL (skipping any recovery summary a durable restart prints first)."""
+    env = dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--workers", "2", "--slots", "2", "--drain-timeout", "30",
+         *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=env, text=True,
+    )
+    while True:
+        remaining()
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"server exited before its banner (rc={proc.poll()})"
+            )
+        match = re.search(r"serving on (http://[\d.]+:\d+)", line)
+        if match:
+            return proc, match.group(1)
+        print(f"  server: {line.strip()}")
+
+
+def kill_and_recover(artifact_dir: str) -> None:
+    """Phase 7: SIGKILL a durable server mid-job, restart, lose nothing."""
+    from repro.exec.engine import run_sequential
+    from repro.resilience import server_kill_plan
+    from repro.service.jobs import build_spec
+
+    seed = int(os.environ.get("SMOKE_KILL_SEED", "0")) or int.from_bytes(
+        os.urandom(4), "big"
+    )
+    plan = server_kill_plan(seed)
+    print(f"{plan.format_summary()}  (replay with SMOKE_KILL_SEED={seed})")
+
+    params = {"iterations": 400, "spin": 30000}
+    expected, _seconds = run_sequential(build_spec("synthetic", params))
+    state_dir = os.path.join(artifact_dir, "state")
+    serve_args = ("--state-dir", state_dir, "--checkpoint-interval", "4",
+                  "--retry-max", "1")
+
+    # -- incarnation 1: submit, wait for a durable checkpoint, SIGKILL ---
+    proc, base = launch(serve_args)
+    try:
+        status, body = request(
+            "POST", f"{base}/jobs",
+            {"tenant": "acme", "workload": "synthetic", "params": params,
+             "idempotency_key": "smoke-kill-1"},
+        )
+        assert status == 202, (status, body)
+        job_id = body["id"]
+        checkpoint = os.path.join(
+            state_dir, "artifacts", job_id, "checkpoint.pkl"
+        )
+        while not os.path.exists(checkpoint):
+            assert proc.poll() is None, "server died before the kill"
+            remaining()
+            time.sleep(0.02)
+        time.sleep(min(plan.delays[0], 0.5))
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=remaining())
+        print(f"SIGKILLed server mid-job ({job_id} had a checkpoint)")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=10)
+
+    # -- incarnation 2: recover, resume, finish bit-identical ------------
+    proc, base = launch(serve_args)
+    try:
+        # the client's crash-retry resubmit hits the idempotency key
+        status, body = request(
+            "POST", f"{base}/jobs",
+            {"tenant": "acme", "workload": "synthetic", "params": params,
+             "idempotency_key": "smoke-kill-1"},
+        )
+        assert status == 200 and body["id"] == job_id, (status, body)
+        assert body.get("deduplicated") is True, body
+
+        # a poison job rides along: bounded retries, then dead-letter,
+        # while the recovered job keeps making progress
+        status, body = request(
+            "POST", f"{base}/jobs",
+            {"tenant": "evil", "workload": "synthetic",
+             "params": {"iterations": 48, "fail_at": 5,
+                        "retry": {"max_attempts": 2,
+                                  "backoff_base": 0.05}}},
+        )
+        assert status == 202, (status, body)
+        poison_id = body["id"]
+
+        final = wait_done(base, job_id)
+        assert final.get("recovered") is True, final
+        assert final.get("resumed_from", 0) > 0, final
+        _, result = request("GET", f"{base}/jobs/{job_id}/result")
+        assert result["output"] == expected, "recovered output diverged"
+        poison = wait_done(base, poison_id, expect="dead_letter")
+        assert poison["attempts"] == 2, poison
+
+        with urllib.request.urlopen(f"{base}/metrics", timeout=15) as resp:
+            metrics = resp.read().decode()
+        for needle in (
+            "repro_service_durable 1",
+            'repro_service_recovery_total{outcome="resumed"} 1',
+            'repro_service_jobs_total{tenant="evil",event="dead_letter"} 1',
+        ):
+            assert needle in metrics, f"missing from /metrics: {needle}"
+
+        # the CI artifacts: recovery metrics snapshot + the journal itself
+        with open(os.path.join(artifact_dir, "recovery-metrics.prom"),
+                  "w") as handle:
+            handle.write(metrics)
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=remaining())
+        assert proc.returncode == 0, f"exit {proc.returncode}:\n{out}"
+        shutil.copy(
+            os.path.join(state_dir, "journal.jsonl"),
+            os.path.join(artifact_dir, "journal.jsonl"),
+        )
+        print("kill-and-recover ok: checkpoint resume, bit-identical "
+              "output, idempotent resubmit, poison dead-lettered")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=10)
+
+
 def main() -> int:
     # the solo-run reference the quiet tenant is compared against
     from repro.exec.engine import run_sequential
@@ -89,18 +226,11 @@ def main() -> int:
         build_spec("synthetic", QUIET_PARAMS)
     )
 
-    env = dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1")
-    proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve",
-         "--workers", "2", "--slots", "2", "--drain-timeout", "30"],
-        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
-        env=env, text=True,
-    )
+    artifact_dir = sys.argv[1] if len(sys.argv) > 1 else "/tmp/service-smoke"
+    os.makedirs(artifact_dir, exist_ok=True)
+
+    proc, base = launch()
     try:
-        banner = proc.stdout.readline().strip()
-        match = re.search(r"serving on (http://[\d.]+:\d+)", banner)
-        assert match, f"unparseable banner: {banner!r}"
-        base = match.group(1)
         print(f"server up at {base}")
 
         # -- shared-pool reuse: 3 consecutive jobs, PIDs frozen ----------
@@ -165,12 +295,15 @@ def main() -> int:
         assert proc.returncode == 0, f"exit {proc.returncode}:\n{out}"
         assert "drained cleanly" in out, out
         print("SIGTERM drained cleanly")
-        print("SERVICE SMOKE PASSED")
-        return 0
     finally:
         if proc.poll() is None:
             proc.kill()
             proc.communicate(timeout=10)
+
+    # -- durable server: SIGKILL mid-job, restart, lose nothing ----------
+    kill_and_recover(artifact_dir)
+    print("SERVICE SMOKE PASSED")
+    return 0
 
 
 if __name__ == "__main__":

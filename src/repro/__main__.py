@@ -276,6 +276,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--history", metavar="PATH", default=None, dest="history_path",
         help="append one history record per finished job to PATH",
     )
+    serve_parser.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="durability root: write-ahead job journal + on-disk artifact "
+             "store; restarting with the same DIR re-admits queued jobs, "
+             "resumes interrupted ones from their checkpoint, and honors "
+             "idempotency keys across the crash (default: in-memory only)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-interval", type=int, default=8, metavar="K",
+        help="commits between engine checkpoints for durable jobs — the "
+             "resumable committed prefix is at most K commits stale "
+             "(default 8; needs --state-dir)",
+    )
+    serve_parser.add_argument(
+        "--retry-max", type=int, default=1, metavar="N",
+        help="default max attempts for jobs that do not set params.retry "
+             "(default 1 = a failure is terminal; jobs whose bounded "
+             "retries exhaust are dead-lettered)",
+    )
 
     history_parser = sub.add_parser(
         "history",
@@ -665,8 +684,14 @@ def _run_serve(args) -> int:
         weights=weights,
         drain_timeout=args.drain_timeout,
         history_path=args.history_path,
+        state_dir=args.state_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        default_max_attempts=args.retry_max,
     )
     service = PipelineService(config).start()
+    if service.durable and service.recovery.recovered:
+        print(f"recovered from {args.state_dir}: "
+              f"{service.recovery.to_json()}", flush=True)
     # The smoke harness parses this exact line for the bound port.
     print(f"serving on http://{args.host}:{service.port}", flush=True)
 

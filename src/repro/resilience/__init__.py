@@ -13,7 +13,8 @@ PR 1's engine made misspeculation survivable; this package makes it
   paper's profile-driven misspeculation-as-serialization;
 - :mod:`repro.resilience.chaos`      — seeded, reproducible randomized
   fault schedules (crash/hang/soft-fault/forced-conflict/latency/
-  duplicate/drop, worker- and channel-side), every run replayable from its
+  duplicate/drop, worker- and channel-side, plus whole-server SIGKILL
+  schedules for the durable job plane), every run replayable from its
   printed seed;
 - :mod:`repro.resilience.invariants` — cross-layer checkers (exactly-once
   in-order commit, sequential-oracle output fidelity, bounded queue
@@ -32,9 +33,11 @@ from repro.resilience.chaos import (
     CHAOS_POLICY,
     ChaosConfig,
     ChaosReport,
+    ServerKillPlan,
     chaos_channel_plan,
     chaos_plan,
     run_chaos,
+    server_kill_plan,
 )
 from repro.resilience.invariants import (
     InvariantError,
@@ -61,6 +64,7 @@ __all__ = [
     "InvariantError",
     "InvariantKind",
     "InvariantViolation",
+    "ServerKillPlan",
     "SpeculationThrottle",
     "ThrottleConfig",
     "assert_run",
@@ -70,5 +74,6 @@ __all__ = [
     "check_run",
     "max_window_for",
     "run_chaos",
+    "server_kill_plan",
     "spec_fingerprint",
 ]

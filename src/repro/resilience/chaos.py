@@ -185,6 +185,57 @@ def chaos_plan(
     )
 
 
+@dataclass(frozen=True)
+class ServerKillPlan:
+    """A seeded schedule of hard server kills (SIGKILL — no drain, no
+    goodbye) for the durable job plane.  Each entry in :attr:`delays` is
+    how long one server incarnation runs before the harness kills it; the
+    incarnation after the last kill runs to completion.  The plan only
+    *times* the kills — recovery correctness (journal replay, checkpoint
+    resume, bit-identical output) is asserted by the harness that consumes
+    it (``benchmarks/service_smoke.py``, the durability tests)."""
+
+    seed: int
+    #: Seconds each doomed server incarnation lives after jobs land.
+    delays: tuple
+    #: Floor each delay waits for at least one engine checkpoint to hit
+    #: disk before killing (harnesses poll for ``checkpoint.pkl`` first).
+    min_delay: float
+
+    def format_summary(self) -> str:
+        spaced = ", ".join(f"{d:.2f}s" for d in self.delays)
+        return (
+            f"server-kill plan (seed {self.seed}): "
+            f"{len(self.delays)} kill(s) at [{spaced}] after submit"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "delays": list(self.delays),
+            "min_delay": self.min_delay,
+        }
+
+
+def server_kill_plan(
+    seed: int,
+    kills: int = 1,
+    min_delay: float = 0.4,
+    max_delay: float = 1.5,
+) -> ServerKillPlan:
+    """Draw a reproducible :class:`ServerKillPlan` from ``seed`` (distinct
+    stream offset, so the same seed's worker/channel chaos is unchanged)."""
+    if kills < 1:
+        raise ValueError("kills must be >= 1")
+    if not 0 < min_delay <= max_delay:
+        raise ValueError("need 0 < min_delay <= max_delay")
+    rng = random.Random(f"{seed}/server-kill")
+    delays = tuple(
+        round(rng.uniform(min_delay, max_delay), 3) for _ in range(kills)
+    )
+    return ServerKillPlan(seed=seed, delays=delays, min_delay=min_delay)
+
+
 def chaos_channel_plan(
     iterations: int, seed: int, config: Optional[ChaosConfig] = None
 ) -> Optional[ChannelChaos]:

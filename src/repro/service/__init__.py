@@ -5,7 +5,12 @@ A long-lived job server over the A/B/C execution engine: JSON HTTP API
 quotas, weighted round-robin fair scheduling, and a shared pool of
 long-lived worker processes leased per job instead of forked per job.
 Per-tenant persistent speculation throttles scope misspeculation storms
-to the tenant that caused them.
+to the tenant that caused them.  With ``state_dir`` set the job plane is
+durable (:mod:`repro.service.durability`): a write-ahead journal plus an
+on-disk artifact store let a restarted server re-admit queued jobs,
+resume interrupted ones from their committed-prefix checkpoint, retry
+transient failures with bounded backoff (poison jobs dead-letter), and
+honor idempotency keys exactly-once across crashes.
 
 Start one with ``python -m repro serve`` or in-process::
 
@@ -17,6 +22,14 @@ Start one with ``python -m repro serve`` or in-process::
     service.drain_and_stop()
 """
 
+from repro.service.durability import (  # noqa: F401
+    ArtifactStore,
+    JobJournal,
+    JournalStats,
+    RecoveryReport,
+    ReplayedJob,
+    fold_records,
+)
 from repro.service.jobs import (  # noqa: F401
     Job,
     JobState,
@@ -24,6 +37,7 @@ from repro.service.jobs import (  # noqa: F401
     TERMINAL_STATES,
     compile_chaos,
     known_workloads,
+    retry_delay,
 )
 from repro.service.pool import LeaseRuntime, WorkerPool  # noqa: F401
 from repro.service.queue import (  # noqa: F401
@@ -43,11 +57,16 @@ __all__ = [
     "Admission",
     "AdmissionConfig",
     "AdmissionController",
+    "ArtifactStore",
     "FairScheduler",
     "Job",
+    "JobJournal",
     "JobState",
+    "JournalStats",
     "LeaseRuntime",
     "PipelineService",
+    "RecoveryReport",
+    "ReplayedJob",
     "ServiceConfig",
     "SYNTHETIC",
     "TERMINAL_STATES",
@@ -56,5 +75,7 @@ __all__ = [
     "TenantThrottle",
     "WorkerPool",
     "compile_chaos",
+    "fold_records",
     "known_workloads",
+    "retry_delay",
 ]

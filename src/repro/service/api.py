@@ -18,8 +18,13 @@ Routes::
     GET    /snapshot             full JSON state dump
 
 Admission refusals carry the controller's verdict: 429 responses include
-a ``Retry-After`` header, 503 means the server is draining.  The tenant
-may come from the body or the ``X-Tenant`` header (body wins).
+a ``Retry-After`` header (derived from the observed dispatch rate and
+backlog when the server has seen recent dispatches), 503 means the server
+is draining.  The tenant may come from the body or the ``X-Tenant``
+header (body wins); an idempotency key (body ``idempotency_key`` or the
+``Idempotency-Key`` header) makes the submission exactly-once per tenant —
+a resubmit with the same key returns the existing job with 200 instead of
+creating a duplicate, including across durable-server restarts.
 """
 
 from __future__ import annotations
@@ -154,8 +159,13 @@ class _ApiHandler(BaseHTTPRequestHandler):
             self._error(400, "workload required")
             return
         params = body.get("params") or {}
+        idempotency_key = (
+            body.get("idempotency_key") or self.headers.get("Idempotency-Key")
+        )
         try:
-            job, decision = self.service.submit(tenant, workload, params)
+            job, decision = self.service.submit(
+                tenant, workload, params, idempotency_key=idempotency_key
+            )
         except ValueError as exc:
             self._error(400, str(exc))
             return
@@ -169,7 +179,10 @@ class _ApiHandler(BaseHTTPRequestHandler):
                 headers,
             )
             return
-        self._json(decision.status, job.to_json())
+        payload = job.to_json()
+        if decision.deduplicated:
+            payload["deduplicated"] = True
+        self._json(decision.status, payload)
 
     def _job_status(self, job_id: str) -> None:
         job = self.service.get_job(job_id)
@@ -198,7 +211,8 @@ class _ApiHandler(BaseHTTPRequestHandler):
             return
         self._json(
             200,
-            {"id": job.id, "state": job.state.value, "output": job.output,
+            {"id": job.id, "state": job.state.value,
+             "output": self.service.job_output(job),
              "metrics": job.metrics},
         )
 

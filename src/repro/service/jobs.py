@@ -27,7 +27,7 @@ from __future__ import annotations
 import random
 import time
 from enum import Enum
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.exec.engine import PipelineSpec
 from repro.exec.faults import FaultPlan
@@ -51,10 +51,22 @@ class JobState(str, Enum):
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    #: A poison job: its bounded retries exhausted without a clean run.
+    #: Terminal like FAILED, but distinguishable so operators can see
+    #: "this job was *retried* and still failed" at a glance.
+    DEAD_LETTER = "dead_letter"
 
 
 #: States a job can never leave.
-TERMINAL_STATES = (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+TERMINAL_STATES = (
+    JobState.DONE, JobState.FAILED, JobState.CANCELLED, JobState.DEAD_LETTER,
+)
+
+#: Retry policy bounds: attempts are bounded (a poison job must land in
+#: dead-letter, not loop forever) and backoff is capped.
+_MAX_ATTEMPTS_LIMIT = 10
+_MAX_BACKOFF_S = 30.0
+_MAX_DEADLINE_S = 24 * 3600.0
 
 
 def _synthetic_produce(i: int) -> int:
@@ -74,8 +86,33 @@ class _SpinWork:
         return acc
 
 
-def _synthetic_spec(iterations: int, spin: int) -> PipelineSpec:
+def _synthetic_spec(
+    iterations: int,
+    spin: int,
+    fail_at: Optional[int] = None,
+    fail_attempts: Optional[int] = None,
+    attempt: int = 1,
+) -> PipelineSpec:
+    """The synthetic spin pipeline, optionally poisoned.
+
+    ``fail_at`` makes the *commit* of that iteration raise — the in-order
+    committer dies exactly there, so everything before it is committed
+    (checkpointable) and nothing after it is.  ``fail_attempts`` bounds the
+    poison to the first k attempts (a *transient* fault: retry k+1 resumes
+    from the checkpoint and completes); None poisons every attempt, which
+    is how a job earns its way into dead-letter.  Deterministic by
+    construction — the retry/dead-letter tests replay these exactly.
+    """
+    inject = fail_at is not None and (
+        fail_attempts is None or attempt <= fail_attempts
+    )
+
     def commit(i: int, result: int, acc: dict) -> None:
+        if inject and i == fail_at:
+            raise RuntimeError(
+                f"injected commit failure at iteration {i} "
+                f"(attempt {attempt})"
+            )
         acc["checksum"] = (acc.get("checksum", 0) * 31 + result) % (1 << 32)
         acc["items"] = acc.get("items", 0) + 1
 
@@ -143,6 +180,59 @@ def compile_chaos(
     )
 
 
+def resolve_retry(params: Dict[str, Any]) -> Tuple[int, float]:
+    """``(max_attempts, backoff_base_s)`` from ``params.retry``.
+
+    Default is ``(1, 0)`` — a failure is terminal, exactly the pre-retry
+    behavior; jobs opt in explicitly.  Raises ``ValueError`` (→ 400) on
+    anything malformed.
+    """
+    retry = params.get("retry")
+    if retry is None:
+        return 1, 0.0
+    if not isinstance(retry, dict):
+        raise ValueError("retry must be an object")
+    unknown = set(retry) - {"max_attempts", "backoff_base"}
+    if unknown:
+        raise ValueError(f"unknown retry keys: {sorted(unknown)}")
+    max_attempts = int(retry.get("max_attempts", 3))
+    if not 1 <= max_attempts <= _MAX_ATTEMPTS_LIMIT:
+        raise ValueError(
+            f"retry.max_attempts must be in [1, {_MAX_ATTEMPTS_LIMIT}]"
+        )
+    backoff = float(retry.get("backoff_base", 0.2))
+    if not 0.0 <= backoff <= _MAX_BACKOFF_S:
+        raise ValueError(
+            f"retry.backoff_base must be in [0, {_MAX_BACKOFF_S}]"
+        )
+    return max_attempts, backoff
+
+
+def resolve_deadline(params: Dict[str, Any]) -> Optional[float]:
+    """``params.deadline_s`` validated (None = no deadline)."""
+    deadline = params.get("deadline_s")
+    if deadline is None:
+        return None
+    deadline = float(deadline)
+    if not 0.0 < deadline <= _MAX_DEADLINE_S:
+        raise ValueError(f"deadline_s must be in (0, {_MAX_DEADLINE_S}]")
+    return deadline
+
+
+def retry_delay(job_id: str, attempt: int, backoff_base: float) -> float:
+    """Exponential backoff with deterministic jitter.
+
+    Jitter is seeded from ``(job_id, attempt)`` so a replayed recovery
+    schedules the same waits — the service keeps the engine's discipline
+    that randomness is always replayable from its seed.
+    """
+    if backoff_base <= 0.0:
+        return 0.0
+    base = min(_MAX_BACKOFF_S, backoff_base * (2 ** (attempt - 1)))
+    jitter = random.Random(f"{job_id}/retry/{attempt}").uniform(0.0, 0.5)
+    return min(_MAX_BACKOFF_S, base * (1.0 + jitter))
+
+
 class Job:
     """One submitted pipeline run.  Field mutation happens only under the
     service lock; ``lease``/``engine`` are live-run handles (never
@@ -156,6 +246,8 @@ class Job:
         params: Dict[str, Any],
         iterations: int,
         fault_plan: Optional[FaultPlan],
+        idempotency_key: Optional[str] = None,
+        submitted_unix: Optional[float] = None,
     ) -> None:
         self.id = job_id
         self.tenant = tenant
@@ -163,8 +255,11 @@ class Job:
         self.params = params
         self.iterations = iterations
         self.fault_plan = fault_plan
+        self.idempotency_key = idempotency_key
         self.state = JobState.QUEUED
-        self.submitted_unix = time.time()
+        self.submitted_unix = (
+            submitted_unix if submitted_unix is not None else time.time()
+        )
         self.started_unix: Optional[float] = None
         self.finished_unix: Optional[float] = None
         self.cancel_requested = False
@@ -173,6 +268,22 @@ class Job:
         self.error: Optional[str] = None
         self.lease = None
         self.engine = None
+        # -- durability plane ----------------------------------------------
+        self.max_attempts, self.retry_backoff = resolve_retry(params)
+        deadline_s = resolve_deadline(params)
+        self.deadline_unix: Optional[float] = (
+            self.submitted_unix + deadline_s if deadline_s else None
+        )
+        #: Attempts *started* (1 on the first dispatch).
+        self.attempts = 0
+        #: Committed-prefix iteration the last run resumed from (0 = fresh).
+        self.resumed_from = 0
+        #: True once the output lives in the artifact store, not in memory.
+        self.output_spilled = False
+        #: True if this job object was rebuilt from the journal at startup.
+        self.recovered = False
+        #: True when the deadline (not a client) requested the cancel.
+        self.deadline_fired = False
 
     @property
     def queue_wait_s(self) -> Optional[float]:
@@ -183,10 +294,19 @@ class Job:
             return self.finished_unix - self.submitted_unix
         return None
 
+    @property
+    def deadline_exceeded(self) -> bool:
+        return (
+            self.deadline_unix is not None
+            and time.time() > self.deadline_unix
+        )
+
     def build_spec(self) -> PipelineSpec:
         """A fresh spec for this job — fresh, because suite producers are
-        stateful and must start from their initial state every run."""
-        return build_spec(self.workload, self.params)
+        stateful and must start from their initial state every run.
+        ``attempts`` feeds the synthetic fault injection so transient
+        poisons stop firing after their configured attempt."""
+        return build_spec(self.workload, self.params, attempt=max(1, self.attempts))
 
     def to_json(self, full: bool = False) -> dict:
         data = {
@@ -207,6 +327,18 @@ class Job:
         }
         wait = self.queue_wait_s
         data["queue_wait_s"] = round(wait, 6) if wait is not None else None
+        if self.attempts > 1 or self.max_attempts > 1:
+            data["attempts"] = self.attempts
+            data["max_attempts"] = self.max_attempts
+        if self.deadline_unix is not None:
+            data["deadline_unix"] = round(self.deadline_unix, 3)
+            data["deadline_fired"] = self.deadline_fired
+        if self.idempotency_key is not None:
+            data["idempotency_key"] = self.idempotency_key
+        if self.recovered:
+            data["recovered"] = True
+        if self.resumed_from:
+            data["resumed_from"] = self.resumed_from
         if full:
             data["params"] = self.params
             data["metrics"] = self.metrics
@@ -218,6 +350,11 @@ def resolve_iterations(workload: str, params: Dict[str, Any]) -> int:
     ``ValueError`` on anything malformed — the API maps that to 400)."""
     if not isinstance(params, dict):
         raise ValueError("params must be an object")
+    # Durability-plane params, valid for every workload; validated for
+    # side effects (each raises ValueError on malformed input).
+    resolve_retry(params)
+    resolve_deadline(params)
+    common = {"chaos", "retry", "deadline_s"}
     if workload == SYNTHETIC:
         iterations = int(params.get("iterations", 48))
         spin = int(params.get("spin", 2000))
@@ -227,7 +364,15 @@ def resolve_iterations(workload: str, params: Dict[str, Any]) -> int:
             )
         if not 1 <= spin <= _MAX_SPIN:
             raise ValueError(f"spin must be in [1, {_MAX_SPIN}]")
-        unknown = set(params) - {"iterations", "spin", "chaos"}
+        fail_at = params.get("fail_at")
+        if fail_at is not None and not 0 <= int(fail_at) < iterations:
+            raise ValueError("fail_at must be in [0, iterations)")
+        fail_attempts = params.get("fail_attempts")
+        if fail_attempts is not None and int(fail_attempts) < 1:
+            raise ValueError("fail_attempts must be >= 1")
+        unknown = set(params) - common - {
+            "iterations", "spin", "fail_at", "fail_attempts",
+        }
         if unknown:
             raise ValueError(f"unknown params: {sorted(unknown)}")
         return iterations
@@ -236,15 +381,25 @@ def resolve_iterations(workload: str, params: Dict[str, Any]) -> int:
         raise ValueError(
             f"unknown workload {workload!r}; known: {known_workloads()}"
         )
-    unknown = set(params) - {"chaos"}
+    unknown = set(params) - common
     if unknown:
         raise ValueError(f"unknown params: {sorted(unknown)}")
     return factory().exec_spec().iterations
 
 
-def build_spec(workload: str, params: Dict[str, Any]) -> PipelineSpec:
+def build_spec(
+    workload: str, params: Dict[str, Any], attempt: int = 1
+) -> PipelineSpec:
     if workload == SYNTHETIC:
+        fail_at = params.get("fail_at")
+        fail_attempts = params.get("fail_attempts")
         return _synthetic_spec(
-            int(params.get("iterations", 48)), int(params.get("spin", 2000))
+            int(params.get("iterations", 48)),
+            int(params.get("spin", 2000)),
+            fail_at=int(fail_at) if fail_at is not None else None,
+            fail_attempts=(
+                int(fail_attempts) if fail_attempts is not None else None
+            ),
+            attempt=attempt,
         )
     return SUITE[workload]().exec_spec()

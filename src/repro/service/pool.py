@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+import os
 import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
@@ -97,6 +98,24 @@ class _Slot:
         self.registry = MetricsRegistry.create(ctx, writer_rows)
 
 
+class _OrphanGuard:
+    """The slot's shutdown event, plus parent-death detection.
+
+    A server killed with SIGKILL cannot tell its workers anything: the
+    control pipe never EOFs (sibling workers inherited the other end at
+    fork) and the shutdown event is never set, so an orphaned worker
+    would idle — or spin inside ``_worker_loop`` — forever.  Exposing
+    parent death through ``is_set()`` makes the engine's existing
+    cooperative-exit path double as the orphan reaper."""
+
+    def __init__(self, shutdown, parent_pid: int) -> None:
+        self._shutdown = shutdown
+        self._parent = parent_pid
+
+    def is_set(self) -> bool:
+        return self._shutdown.is_set() or os.getppid() != self._parent
+
+
 def pool_worker_main(
     worker_id: int, control, slots: Tuple[_Slot, ...], pool_shutdown, row: int
 ) -> None:
@@ -106,7 +125,10 @@ def pool_worker_main(
     ``row`` is this process's registry writer row — fixed at spawn, valid
     in every slot's registry (all are sized for the pool's row budget).
     """
+    parent = os.getppid()
     while not pool_shutdown.is_set():
+        if os.getppid() != parent:
+            return  # orphaned: the server died without a goodbye
         if not control.poll(_CONTROL_POLL):
             continue
         try:
@@ -138,8 +160,9 @@ def pool_worker_main(
         try:
             _worker_loop(
                 worker_id, slot.work, slot.done, work_fn, speculative,
-                snapshot, fault_plan, slot.shutdown, slot.watermark,
-                slot.window, max_chunk, stop, None, registry, writer,
+                snapshot, fault_plan, _OrphanGuard(slot.shutdown, parent),
+                slot.watermark, slot.window, max_chunk, stop, None,
+                registry, writer,
             )
         except (EOFError, OSError):
             pass
@@ -540,6 +563,34 @@ class WorkerPool:
         deadline = time.monotonic() + max(join_timeout, 1.0)
         if producer is not None:
             producer.join(max(0.0, deadline - time.monotonic()))
+        self._await_released(lease, deadline)
+
+    def _halt_lease(
+        self, lease: LeaseRuntime, producer, join_timeout: float
+    ) -> None:
+        """Emergency stop (degradation, committer crash, a poison job's
+        commit raising).  Cooperative first: shutdown is set and live
+        members get the join window to exit ``_worker_loop`` on their own.
+        Terminating a worker that is blocked inside a channel ``get``
+        would orphan the channel's shared read lock and silently wedge the
+        slot for every later lease (each subsequent job stalls at commit
+        frontier zero until its watchdog degrades it to sequential) — so
+        only members that fail to exit in time are terminated, and the
+        release-time counter reset quarantines the slot if they wedged it.
+        """
+        slot = lease.slot
+        slot.shutdown.set()
+        deadline = time.monotonic() + max(join_timeout, 1.0)
+        self._await_released(lease, deadline)
+        if producer is not None:
+            producer.join(max(0.1, deadline - time.monotonic()))
+        slot.done.drain()
+        slot.work.drain()
+
+    def _await_released(self, lease: LeaseRuntime, deadline: float) -> None:
+        """Drain the slot while waiting for every live member's "released"
+        control message; terminate whoever misses the deadline."""
+        slot = lease.slot
         pending = {
             wid: w for wid, w in lease._members.items()
             if w.process.is_alive()
@@ -565,25 +616,6 @@ class WorkerPool:
             )
             worker.process.terminate()
             worker.process.join(1.0)
-
-    def _halt_lease(
-        self, lease: LeaseRuntime, producer, join_timeout: float
-    ) -> None:
-        """Emergency stop (degradation, committer crash): kill the leased
-        workers outright; the pool replaces them at release."""
-        slot = lease.slot
-        slot.shutdown.set()
-        members = [
-            w for w in lease._members.values() if w.process.is_alive()
-        ]
-        for worker in members:
-            worker.process.terminate()
-        for worker in members:
-            worker.process.join(join_timeout)
-        if producer is not None:
-            producer.join(join_timeout)
-        slot.done.drain()
-        slot.work.drain()
 
     # -- roster management ---------------------------------------------------------
 

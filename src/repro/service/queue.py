@@ -28,18 +28,28 @@ class Admission:
     """One admission verdict, pre-shaped for the HTTP layer."""
 
     accepted: bool
-    status: int  # 202 accepted, 429 over a limit, 503 draining
+    status: int  # 202 accepted, 200 deduplicated, 429 over a limit, 503 draining
     reason: str = ""
     retry_after: Optional[float] = None
+    #: True when an idempotency key matched an existing job — the caller
+    #: gets that job back (200, not 202) instead of a duplicate.
+    deduplicated: bool = False
 
     def to_json(self) -> dict:
         data = {"accepted": self.accepted, "reason": self.reason}
         if self.retry_after is not None:
             data["retry_after_s"] = self.retry_after
+        if self.deduplicated:
+            data["deduplicated"] = True
         return data
 
 
 ACCEPTED = Admission(accepted=True, status=202)
+#: An idempotent resubmit: the key matched, the existing job is returned.
+DEDUPLICATED = Admission(
+    accepted=True, status=200, reason="idempotency key matched existing job",
+    deduplicated=True,
+)
 
 
 @dataclass(frozen=True)
@@ -73,8 +83,14 @@ class AdmissionController:
         tenant_running: int,
         draining: bool = False,
         shedding: bool = False,
+        dispatch_rate: Optional[float] = None,
     ) -> Admission:
-        """Decide one submission given the queue's current occupancy."""
+        """Decide one submission given the queue's current occupancy.
+
+        ``dispatch_rate`` (jobs/second actually dispatched recently, None
+        when unknown) turns ``Retry-After`` from a guess into a measured
+        estimate of when the backlog will have drained.
+        """
         config = self.config
         if draining:
             return Admission(
@@ -85,13 +101,13 @@ class AdmissionController:
             return Admission(
                 accepted=False, status=429,
                 reason="load shedding: a running job is stalled",
-                retry_after=self._retry_after(depth),
+                retry_after=self._retry_after(depth, dispatch_rate),
             )
         if depth >= config.max_queued:
             return Admission(
                 accepted=False, status=429,
                 reason=f"queue full ({depth}/{config.max_queued})",
-                retry_after=self._retry_after(depth),
+                retry_after=self._retry_after(depth, dispatch_rate),
             )
         if tenant_queued >= config.tenant_queued_quota:
             return Admission(
@@ -100,7 +116,7 @@ class AdmissionController:
                     f"tenant queued quota reached "
                     f"({tenant_queued}/{config.tenant_queued_quota})"
                 ),
-                retry_after=self._retry_after(tenant_queued),
+                retry_after=self._retry_after(tenant_queued, dispatch_rate),
             )
         if tenant_queued + tenant_running >= (
             config.tenant_queued_quota + config.tenant_running_quota
@@ -108,12 +124,22 @@ class AdmissionController:
             return Admission(
                 accepted=False, status=429,
                 reason="tenant in-flight quota reached",
-                retry_after=self._retry_after(tenant_queued + tenant_running),
+                retry_after=self._retry_after(
+                    tenant_queued + tenant_running, dispatch_rate
+                ),
             )
         return ACCEPTED
 
     @staticmethod
-    def _retry_after(backlog: int) -> float:
-        """A coarse hint that grows with the backlog; precision is not the
-        point, giving impatient clients *some* spacing is."""
+    def _retry_after(backlog: int, dispatch_rate: Optional[float] = None) -> float:
+        """Seconds until the backlog plausibly drains.
+
+        With a measured dispatch rate, that's literally ``backlog / rate``
+        (clamped to [1, 60] so a burst never tells a client "come back in
+        an hour").  Without one — cold start, or nothing has dispatched
+        recently — fall back to the coarse backlog-proportional hint.
+        """
+        if dispatch_rate is not None and dispatch_rate > 0.0:
+            estimate = max(1, backlog) / dispatch_rate
+            return float(max(1.0, min(60.0, round(estimate, 1))))
         return float(max(1, min(30, backlog)))

@@ -11,8 +11,11 @@ is full) is skipped without consuming credit, so one tenant's saturation
 never costs another its turn — the fairness half of the isolation story
 (:mod:`repro.service.tenants` is the speculation half).
 
-Cancelled queued jobs are lazily skipped at dequeue time — cancellation
-just flips the job's state, no queue surgery.
+Cancelled queued jobs are removed eagerly via :meth:`FairScheduler.remove`
+(so a tenant at its queued quota can resubmit the instant a cancel is
+acknowledged, and the deques never accumulate dead entries between
+dispatches); the lazy head-prune at dequeue time remains as a second line
+of defense for any state flip that bypasses removal.
 """
 
 from __future__ import annotations
@@ -49,6 +52,20 @@ class FairScheduler:
             queue = self._queues[job.tenant] = deque()
             self._ring.append(job.tenant)
         queue.appendleft(job)
+
+    def remove(self, job: Job) -> bool:
+        """Eagerly remove a job (cancelled while queued) from its tenant's
+        deque.  O(queue length), but cancels are rare and the payoff is
+        immediate quota release plus no dead entries lingering until the
+        next dispatch scan.  Returns True if the job was present."""
+        queue = self._queues.get(job.tenant)
+        if not queue:
+            return False
+        try:
+            queue.remove(job)
+        except ValueError:
+            return False
+        return True
 
     # -- dequeue side ------------------------------------------------------------
 

@@ -21,33 +21,63 @@ Telemetry is three-layered, matching the rest of the repo:
   controller's load-shedding input (429 + Retry-After while stalled).
 
 Graceful shutdown (``request_drain``): new submissions get 503, queued
-jobs are cancelled, running jobs get up to ``drain_timeout`` seconds to
-finish (then cooperative cancellation), history is flushed, the pool and
-HTTP server stop.  SIGTERM/SIGINT wiring lives in the CLI.
+jobs are cancelled (kept, when durable — the journal will re-admit them),
+running jobs get up to ``drain_timeout`` seconds to finish (then
+cooperative cancellation), history is flushed, the pool and HTTP server
+stop.  SIGTERM/SIGINT wiring lives in the CLI.
+
+With ``state_dir`` set the service is *durable*
+(:mod:`repro.service.durability`): every job transition is journaled
+(submissions fsynced before the 202 is acknowledged), outputs and engine
+checkpoints spill to an on-disk artifact store, and ``start()`` replays
+the journal — re-admitting queued jobs in submission order and restarting
+interrupted jobs from their committed-prefix checkpoint, bit-identical to
+an uninterrupted run.  The durability plane also carries per-job retry
+policy (bounded attempts, exponential backoff + deterministic jitter,
+dead-letter for poison jobs), per-job deadlines cancelled through the
+engine's cooperative path, and idempotency keys making client resubmits
+after a crash exactly-once.
 """
 
 from __future__ import annotations
 
 import logging
+import os
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.exec.engine import ExecutionEngine
 from repro.exec.faults import RobustnessPolicy
 from repro.obs.history import append_record, make_record
 from repro.obs.live import LiveConfig
 from repro.obs.serve import escape_help, escape_label_value
+from repro.resilience.checkpoint import CheckpointConfig, CheckpointError
+from repro.service.durability import (
+    ARTIFACT_DIR,
+    ArtifactStore,
+    JOURNAL_NAME,
+    JobJournal,
+    RecoveryReport,
+    fold_records,
+)
 from repro.service.jobs import (
     Job,
     JobState,
     TERMINAL_STATES,
     resolve_iterations,
     compile_chaos,
+    retry_delay,
 )
 from repro.service.pool import LeaseRuntime, WorkerPool
-from repro.service.queue import Admission, AdmissionConfig, AdmissionController
+from repro.service.queue import (
+    Admission,
+    AdmissionConfig,
+    AdmissionController,
+    DEDUPLICATED,
+)
 from repro.service.scheduler import FairScheduler
 from repro.service.tenants import TenantDirectory, TenantState
 
@@ -81,6 +111,18 @@ class ServiceConfig:
     live_interval: float = 0.05
     policy: Optional[RobustnessPolicy] = None
     start_method: Optional[str] = None
+    #: Durability root (``--state-dir``).  None = the pre-durability
+    #: in-memory server: no journal, no artifact spill, no recovery.
+    state_dir: Optional[str] = None
+    #: Commits between engine checkpoints for durable jobs; the committed
+    #: prefix a restart can resume is at most this many commits stale.
+    checkpoint_interval: int = 8
+    #: Default ``max_attempts`` for jobs that do not set ``params.retry``
+    #: (1 = a failure is terminal, the pre-durability behavior).
+    default_max_attempts: int = 1
+    #: Journal records at startup beyond which recovery compacts the
+    #: journal to a snapshot (0 = auto: ``max(256, 8 * live jobs)``).
+    compact_threshold: int = 0
 
 
 class PipelineService:
@@ -128,10 +170,25 @@ class PipelineService:
         self._runners: List[threading.Thread] = []
         self._api_server = None
         self.started_unix: Optional[float] = None
+        # -- durability plane ----------------------------------------------
+        self.durable = cfg.state_dir is not None
+        self.journal: Optional[JobJournal] = None
+        self.artifacts: Optional[ArtifactStore] = None
+        self.recovery = RecoveryReport()
+        #: ``(tenant, key) -> job_id`` — rebuilt from the journal on start.
+        self._idempotency: Dict[Tuple[str, str], str] = {}
+        #: Retry waits: ``(eta_unix, job)``; promoted into the scheduler by
+        #: the dispatcher once the backoff elapses.
+        self._retries: List[Tuple[float, Job]] = []
+        #: Recent dispatch instants (monotonic) → observed dispatch rate
+        #: feeding Retry-After on 429.
+        self._dispatch_times: Deque[float] = deque(maxlen=32)
 
     # -- lifecycle ----------------------------------------------------------------
 
     def start(self, serve_http: bool = True) -> "PipelineService":
+        if self.durable:
+            self._open_state()  # replay before anything can dispatch
         self.pool.start()
         self.started_unix = time.time()
         self._dispatcher = threading.Thread(
@@ -151,14 +208,20 @@ class PipelineService:
         return self._api_server.port if self._api_server else None
 
     def request_drain(self) -> None:
-        """Flip into draining: refuse new work, cancel the queue, let
-        running jobs finish.  Idempotent, signal-handler safe."""
+        """Flip into draining: refuse new work, let running jobs finish.
+        Queued jobs are cancelled in the in-memory server (they would be
+        lost anyway); a durable server *keeps* them — they are safe in the
+        journal and the next start re-admits them in order.  Idempotent,
+        signal-handler safe."""
         with self._wake:
             if self._draining:
                 return
             self._draining = True
-            for job in self.scheduler.queued_jobs():
-                self._finish_cancelled_queued(job, reason="server draining")
+            if not self.durable:
+                for job in self.scheduler.queued_jobs():
+                    self._finish_cancelled_queued(
+                        job, reason="server draining"
+                    )
             self._wake.notify_all()
         logger.info("drain requested: rejecting new submissions")
 
@@ -209,6 +272,8 @@ class PipelineService:
             self._api_server.stop()
             self._api_server = None
         self.pool.shutdown()
+        if self.journal is not None:
+            self.journal.close()
         self._drained.set()
 
     def drain_and_stop(self, timeout: Optional[float] = None) -> bool:
@@ -216,19 +281,225 @@ class PipelineService:
         self.stop()
         return clean
 
+    # -- durability: open + recover ---------------------------------------------
+
+    def _open_state(self) -> None:
+        """Open the journal + artifact store and replay prior state.
+
+        Runs before the dispatcher exists, so no lock games: queued and
+        interrupted jobs land back in the scheduler in their original
+        submission order, interrupted jobs carrying a checkpoint resume
+        from their committed prefix at next dispatch.
+        """
+        state_dir = self.config.state_dir
+        os.makedirs(state_dir, exist_ok=True)
+        self.artifacts = ArtifactStore(os.path.join(state_dir, ARTIFACT_DIR))
+        self.journal, records = JobJournal.open(
+            os.path.join(state_dir, JOURNAL_NAME)
+        )
+        self.recovery.journal = self.journal.stats
+        replayed = fold_records(records)
+        for entry in replayed:
+            try:
+                self._recover_one(entry)
+            except Exception:
+                self.recovery.errors += 1
+                logger.exception(
+                    "recovery: could not rebuild job %s", entry.job_id
+                )
+        if self.recovery.recovered or self.recovery.terminal:
+            logger.info(
+                "recovery: %d requeued, %d resumable, %d restarted, "
+                "%d terminal reloaded, %d errors",
+                self.recovery.requeued, self.recovery.resumed,
+                self.recovery.restarted, self.recovery.terminal,
+                self.recovery.errors,
+            )
+        threshold = self.config.compact_threshold or max(
+            256, 8 * max(1, len(self.jobs))
+        )
+        if self.journal.stats.records > threshold:
+            self._compact_journal()
+
+    def _recover_one(self, entry) -> None:
+        """Rebuild one journaled job into live state."""
+        payload = entry.payload
+        tenant_name = payload["tenant"]
+        workload = payload["workload"]
+        params = payload.get("params") or {}
+        iterations = resolve_iterations(workload, params)
+        job = Job(
+            job_id=entry.job_id,
+            tenant=tenant_name,
+            workload=workload,
+            params=params,
+            iterations=iterations,
+            fault_plan=compile_chaos(params.get("chaos"), iterations),
+            idempotency_key=payload.get("idempotency_key"),
+            submitted_unix=payload.get("submitted_unix"),
+        )
+        self._apply_default_retry(job)
+        job.attempts = entry.attempts
+        self._job_seq = max(self._job_seq, self._parse_seq(entry.job_id))
+        tenant = self.tenants.get_or_create(tenant_name)
+        tenant.submitted += 1
+        if job.idempotency_key:
+            self._idempotency[(tenant_name, job.idempotency_key)] = job.id
+        self.jobs[job.id] = job
+        if entry.terminal:
+            self._recover_terminal(job, tenant, entry)
+            return
+        # Queued or interrupted: both go back into the scheduler, in the
+        # order this method is called (= original submission order).
+        job.recovered = True
+        tenant.recovered += 1
+        interrupted = entry.interrupted
+        if job.deadline_exceeded:
+            self.journal.append(
+                "cancelled", job.id,
+                {"reason": "deadline exceeded during downtime"}, fsync=True,
+            )
+            job.deadline_fired = True
+            self._finish_cancelled_queued(
+                job, reason="deadline exceeded during downtime",
+                journal=False,
+            )
+            tenant.deadline_cancelled += 1
+            return
+        if interrupted:
+            if self.artifacts.has_checkpoint(job.id):
+                self.recovery.resumed += 1
+            else:
+                self.recovery.restarted += 1
+        else:
+            self.recovery.requeued += 1
+        self.journal.append(
+            "queued", job.id,
+            {"recovered": True, "interrupted": interrupted,
+             "attempt": job.attempts},
+        )
+        self.scheduler.enqueue(job)
+
+    def _recover_terminal(self, job: Job, tenant: TenantState, entry) -> None:
+        """Reload a finished job's record so status/result survive restarts."""
+        state = {
+            "completed": JobState.DONE,
+            "failed": JobState.FAILED,
+            "cancelled": JobState.CANCELLED,
+            "dead_letter": JobState.DEAD_LETTER,
+        }[entry.last_event]
+        job.state = state
+        job.error = entry.error
+        job.finished_unix = job.submitted_unix  # best effort; not journaled
+        job.resumed_from = entry.resumed_from or 0
+        if state is JobState.DONE:
+            if not self.artifacts.has_result(job.id):
+                # WAL ordering says this cannot happen (artifact lands
+                # before the completed record); treat it as a failed job
+                # rather than serve a missing result.
+                job.state = JobState.FAILED
+                job.error = "output artifact missing after recovery"
+                tenant.failed += 1
+                self.recovery.errors += 1
+                return
+            job.output_spilled = True
+            job.metrics = self.artifacts.load_metrics(job.id)
+            tenant.completed += 1
+        elif state is JobState.FAILED:
+            tenant.failed += 1
+        elif state is JobState.CANCELLED:
+            tenant.cancelled += 1
+        else:
+            tenant.dead_letter += 1
+        self.recovery.terminal += 1
+
+    def _compact_journal(self) -> None:
+        """Rewrite the journal as a snapshot of current job state."""
+        snapshot: List[Tuple[str, str, dict]] = []
+        terminal_event = {
+            JobState.DONE: "completed",
+            JobState.FAILED: "failed",
+            JobState.CANCELLED: "cancelled",
+            JobState.DEAD_LETTER: "dead_letter",
+        }
+        for job in self.jobs.values():
+            snapshot.append(("submitted", job.id, self._journal_payload(job)))
+            if job.state in TERMINAL_STATES:
+                data = {}
+                if job.error:
+                    data["error"] = job.error
+                if job.resumed_from:
+                    data["resumed_from"] = job.resumed_from
+                snapshot.append((terminal_event[job.state], job.id, data))
+            elif job.state is JobState.RUNNING or job.attempts:
+                snapshot.append(
+                    ("queued", job.id,
+                     {"recovered": True, "attempt": job.attempts})
+                )
+        self.journal.compact(snapshot)
+        logger.info(
+            "journal compacted to %d record(s)", len(snapshot)
+        )
+
+    @staticmethod
+    def _parse_seq(job_id: str) -> int:
+        try:
+            return int(job_id.lstrip("j"))
+        except ValueError:
+            return 0
+
+    @staticmethod
+    def _journal_payload(job: Job) -> dict:
+        payload = {
+            "tenant": job.tenant,
+            "workload": job.workload,
+            "params": job.params,
+            "submitted_unix": job.submitted_unix,
+        }
+        if job.idempotency_key:
+            payload["idempotency_key"] = job.idempotency_key
+        return payload
+
+    def _apply_default_retry(self, job: Job) -> None:
+        if "retry" not in job.params and self.config.default_max_attempts > 1:
+            job.max_attempts = self.config.default_max_attempts
+
     # -- submissions ----------------------------------------------------------------
 
     def submit(
-        self, tenant_name: str, workload: str, params: Optional[dict] = None
+        self,
+        tenant_name: str,
+        workload: str,
+        params: Optional[dict] = None,
+        idempotency_key: Optional[str] = None,
     ) -> Tuple[Optional[Job], Admission]:
         """Admit one job (or refuse it).  Raises ``ValueError`` on a
-        malformed request — the API layer maps that to 400."""
+        malformed request — the API layer maps that to 400.
+
+        ``idempotency_key`` makes the submission exactly-once per tenant:
+        a resubmit with the same key (e.g. a client retrying after a
+        server crash) returns the existing job instead of a duplicate —
+        the key→job mapping survives restarts via the journal.
+        """
         params = params or {}
         if not tenant_name or not isinstance(tenant_name, str):
             raise ValueError("tenant must be a non-empty string")
+        if idempotency_key is not None and (
+            not isinstance(idempotency_key, str)
+            or not idempotency_key or len(idempotency_key) > 256
+        ):
+            raise ValueError(
+                "idempotency_key must be a non-empty string (<= 256 chars)"
+            )
         iterations = resolve_iterations(workload, params)
         fault_plan = compile_chaos(params.get("chaos"), iterations)
         with self._wake:
+            if idempotency_key is not None:
+                existing_id = self._idempotency.get(
+                    (tenant_name, idempotency_key)
+                )
+                if existing_id is not None:
+                    return self.jobs[existing_id], DEDUPLICATED
             tenant = self.tenants.get_or_create(tenant_name)
             decision = self.admission.admit(
                 depth=self.scheduler.depth(),
@@ -236,6 +507,7 @@ class PipelineService:
                 tenant_running=tenant.running,
                 draining=self._draining or self._stopping,
                 shedding=self._shedding(),
+                dispatch_rate=self._dispatch_rate(),
             )
             if not decision.accepted:
                 tenant.rejected += 1
@@ -248,8 +520,20 @@ class PipelineService:
                 params=params,
                 iterations=iterations,
                 fault_plan=fault_plan,
+                idempotency_key=idempotency_key,
             )
+            self._apply_default_retry(job)
+            if self.journal is not None:
+                # WAL: the submission is on stable storage before the
+                # client sees its 202 — a crash one instruction after the
+                # acknowledgment loses nothing.
+                self.journal.append(
+                    "submitted", job.id, self._journal_payload(job),
+                    fsync=True,
+                )
             self.jobs[job.id] = job
+            if idempotency_key is not None:
+                self._idempotency[(tenant_name, idempotency_key)] = job.id
             tenant.submitted += 1
             self.scheduler.enqueue(job)
             self._wake.notify_all()
@@ -285,6 +569,17 @@ class PipelineService:
                 if tenant is None or job.tenant == tenant
             ]
 
+    def job_output(self, job: Job):
+        """A finished job's output, loading it back from the artifact
+        store if it was spilled out of memory."""
+        if job.output_spilled and self.artifacts is not None:
+            try:
+                return self.artifacts.load_output(job.id)
+            except Exception:
+                logger.exception("job %s: artifact read failed", job.id)
+                return None
+        return job.output
+
     # -- dispatch ----------------------------------------------------------------
 
     def _eligible(self, tenant_name: str) -> bool:
@@ -302,8 +597,9 @@ class PipelineService:
             with self._wake:
                 if self._stopping:
                     return
+                self._tick()
                 job = None
-                if self.pool.can_lease():
+                if not self._draining and self.pool.can_lease():
                     job = self.scheduler.take(self._eligible, self._weight_of)
                 if job is None:
                     self._wake.wait(_DISPATCH_POLL)
@@ -322,8 +618,16 @@ class PipelineService:
                 job.state = JobState.RUNNING
                 job.started_unix = time.time()
                 job.lease = lease
+                job.attempts += 1
                 tenant.running += 1
                 tenant.record_queue_wait(job.queue_wait_s or 0.0)
+                self._dispatch_times.append(time.monotonic())
+                if self.journal is not None:
+                    self.journal.append(
+                        "leased", job.id,
+                        {"workers": list(lease.worker_ids),
+                         "attempt": job.attempts},
+                    )
                 runner = threading.Thread(
                     target=self._run_job, args=(job, lease),
                     name=f"service-{job.id}", daemon=True,
@@ -332,47 +636,157 @@ class PipelineService:
                 self._runners = [t for t in self._runners if t.is_alive()]
             runner.start()
 
+    def _tick(self) -> None:
+        """Dispatcher housekeeping, under the lock: promote retries whose
+        backoff elapsed, enforce deadlines on queued and running jobs."""
+        now = time.time()
+        if self._retries:
+            due = [(eta, job) for eta, job in self._retries if eta <= now]
+            if due:
+                self._retries = [
+                    entry for entry in self._retries if entry[0] > now
+                ]
+                for _, job in due:
+                    if job.state is JobState.QUEUED and not job.cancel_requested:
+                        self.scheduler.enqueue(job)
+        for job in list(self.jobs.values()):
+            if job.deadline_unix is None or now <= job.deadline_unix:
+                continue
+            if job.state is JobState.QUEUED and not job.cancel_requested:
+                job.deadline_fired = True
+                self._finish_cancelled_queued(job, reason="deadline exceeded")
+                self.tenants.get_or_create(job.tenant).deadline_cancelled += 1
+            elif job.state is JobState.RUNNING and not job.cancel_requested:
+                # Cooperative: the committer observes the cancel at its
+                # next poll and the job finishes CANCELLED, not killed.
+                logger.info("job %s passed its deadline; cancelling", job.id)
+                job.deadline_fired = True
+                job.cancel_requested = True
+                if job.lease is not None:
+                    job.lease.cancel()
+
+    def _dispatch_rate(self) -> Optional[float]:
+        """Observed dispatches/second over the recent window (None until
+        at least two dispatches landed within the last 30 s)."""
+        now = time.monotonic()
+        recent = [t for t in self._dispatch_times if now - t <= 30.0]
+        if len(recent) < 2:
+            return None
+        span = now - recent[0]
+        if span <= 0.0:
+            return None
+        return len(recent) / span
+
+    def _run_engine(
+        self, job: Job, lease: LeaseRuntime, allow_resume: bool = True
+    ):
+        """One engine attempt for a job.  Durable servers checkpoint the
+        committed prefix into the job's artifact directory and resume from
+        an existing checkpoint (a prior attempt's, or a prior *server's*)."""
+        checkpoints = None
+        resume_from = None
+        if self.durable:
+            path = self.artifacts.checkpoint_path(job.id)
+            checkpoints = CheckpointConfig(
+                interval=self.config.checkpoint_interval, path=path, keep=1
+            )
+            if allow_resume and os.path.exists(path):
+                resume_from = path
+        engine = ExecutionEngine(
+            workers=max(1, len(lease.worker_ids)),
+            capacity=self.config.capacity,
+            batch_size=self.config.batch_size,
+            policy=self.policy,
+            fault_plan=job.fault_plan,
+            live=LiveConfig(interval=self.config.live_interval),
+            checkpoints=checkpoints,
+            runtime=lease,
+        )
+        job.engine = engine
+        return engine.run(job.build_spec(), resume_from=resume_from)
+
     def _run_job(self, job: Job, lease: LeaseRuntime) -> None:
         tenant = self.tenants.get_or_create(job.tenant)
         lease.job_throttle = tenant.throttle
         error: Optional[str] = None
         result = None
         try:
-            engine = ExecutionEngine(
-                workers=max(1, len(lease.worker_ids)),
-                capacity=self.config.capacity,
-                batch_size=self.config.batch_size,
-                policy=self.policy,
-                fault_plan=job.fault_plan,
-                live=LiveConfig(interval=self.config.live_interval),
-                runtime=lease,
-            )
-            job.engine = engine
-            result = engine.run(job.build_spec())
+            try:
+                result = self._run_engine(job, lease)
+            except CheckpointError as exc:
+                # A stale or incompatible checkpoint must cost one fresh
+                # run, never wedge the job.
+                logger.warning(
+                    "job %s: checkpoint unusable (%s); running fresh",
+                    job.id, exc,
+                )
+                self.artifacts.discard_checkpoint(job.id)
+                result = self._run_engine(job, lease, allow_resume=False)
         except BaseException as exc:  # a job must never kill the server
             logger.exception("job %s failed", job.id)
             error = repr(exc)
         finally:
             self.pool.release(lease)
+        spilled = False
+        if (
+            error is None
+            and self.artifacts is not None
+            and not result.metrics.cancelled
+        ):
+            # WAL ordering: the output artifact is durable *before* the
+            # journal's completed record — replay never acknowledges a
+            # result that is not on disk.
+            try:
+                self.artifacts.put_result(
+                    job.id, result.output, result.metrics.to_json()
+                )
+                spilled = True
+            except Exception:
+                logger.exception("job %s: artifact write failed", job.id)
         with self._wake:
             job.finished_unix = time.time()
             job.lease = None
             job.engine = None
             tenant.running -= 1
             if error is not None:
-                job.state = JobState.FAILED
-                job.error = error
-                tenant.failed += 1
+                self._finish_failed(job, tenant, error)
             else:
                 metrics = result.metrics
                 job.metrics = metrics.to_json()
+                job.resumed_from = getattr(metrics, "resumed_from", 0) or 0
                 if metrics.cancelled or job.cancel_requested:
                     job.state = JobState.CANCELLED
                     tenant.cancelled += 1
+                    if job.deadline_fired:
+                        tenant.deadline_cancelled += 1
+                    if self.journal is not None:
+                        self.journal.append(
+                            "cancelled", job.id,
+                            {"reason": "deadline exceeded"
+                             if job.deadline_fired else "cancelled by client"},
+                            fsync=True,
+                        )
+                    if self.artifacts is not None:
+                        self.artifacts.discard_checkpoint(job.id)
                 else:
                     job.state = JobState.DONE
-                    job.output = result.output
+                    if spilled:
+                        # The artifact store owns the output now; the
+                        # server's resident set stays flat under history.
+                        job.output = None
+                        job.output_spilled = True
+                    else:
+                        job.output = result.output
                     tenant.completed += 1
+                    if self.journal is not None:
+                        self.journal.append(
+                            "completed", job.id,
+                            {"attempt": job.attempts,
+                             "resumed_from": job.resumed_from},
+                            fsync=True,
+                        )
+                    if self.artifacts is not None:
+                        self.artifacts.discard_checkpoint(job.id)
                 tenant.committed += metrics.commits
                 tenant.conflicts += metrics.conflicts
                 tenant.serial_reexec += metrics.serial_reexecutions
@@ -396,14 +810,80 @@ class PipelineService:
         if error is None and self.config.history_path:
             self._append_history(job, result)
 
-    def _finish_cancelled_queued(self, job: Job, reason: str) -> None:
+    def _finish_failed(
+        self, job: Job, tenant: TenantState, error: str
+    ) -> None:
+        """Route a failed attempt: retry (bounded, backed off), dead-letter
+        (retries exhausted), or plain FAILED (no retry policy).  Caller
+        holds the lock."""
+        job.error = error
+        retryable = (
+            not job.cancel_requested
+            and not job.deadline_exceeded
+            and job.attempts < job.max_attempts
+        )
+        if retryable:
+            delay = retry_delay(job.id, job.attempts, job.retry_backoff)
+            job.state = JobState.QUEUED
+            job.started_unix = None
+            job.finished_unix = None
+            tenant.retries += 1
+            if self.journal is not None:
+                self.journal.append(
+                    "retry_scheduled", job.id,
+                    {"attempt": job.attempts, "delay_s": round(delay, 3),
+                     "error": error},
+                )
+            # The checkpoint (if any) is deliberately kept: the retry
+            # resumes from the committed prefix, it does not redo work.
+            self._retries.append((time.time() + delay, job))
+            logger.info(
+                "job %s: attempt %d/%d failed; retrying in %.2fs",
+                job.id, job.attempts, job.max_attempts, delay,
+            )
+            return
+        if job.max_attempts > 1:
+            job.state = JobState.DEAD_LETTER
+            tenant.dead_letter += 1
+            if self.journal is not None:
+                self.journal.append(
+                    "dead_letter", job.id,
+                    {"attempt": job.attempts, "error": error}, fsync=True,
+                )
+            logger.warning(
+                "job %s: poison — %d attempt(s) exhausted, dead-lettered",
+                job.id, job.attempts,
+            )
+        else:
+            job.state = JobState.FAILED
+            tenant.failed += 1
+            if self.journal is not None:
+                self.journal.append(
+                    "failed", job.id, {"error": error}, fsync=True
+                )
+        if self.artifacts is not None:
+            self.artifacts.discard_checkpoint(job.id)
+
+    def _finish_cancelled_queued(
+        self, job: Job, reason: str, journal: bool = True
+    ) -> None:
         """Terminal bookkeeping for a job cancelled before dispatch.
-        Caller holds the lock; the scheduler drops it lazily."""
+        Caller holds the lock.  The job is removed from the scheduler
+        *eagerly* so its tenant's queued quota frees immediately — a
+        tenant at quota can resubmit the moment its cancel returns."""
+        self.scheduler.remove(job)
+        self._retries = [(eta, j) for eta, j in self._retries if j is not job]
         job.state = JobState.CANCELLED
         job.finished_unix = time.time()
         job.error = reason
         tenant = self.tenants.get_or_create(job.tenant)
         tenant.cancelled += 1
+        if journal and self.journal is not None:
+            self.journal.append(
+                "cancelled", job.id, {"reason": reason}, fsync=True
+            )
+        if self.artifacts is not None:
+            self.artifacts.discard_checkpoint(job.id)
 
     def _running_jobs(self) -> List[Job]:
         return [
@@ -472,6 +952,22 @@ class PipelineService:
                 "tenants": tenants,
                 "pool": pool,
             }
+            durability = {"enabled": self.durable}
+            if self.durable:
+                durability.update(
+                    {
+                        "state_dir": self.config.state_dir,
+                        "recovery": self.recovery.to_json(),
+                        "journal_appended": (
+                            self.journal.appended if self.journal else 0
+                        ),
+                        "retries_pending": len(self._retries),
+                        "artifacts": (
+                            self.artifacts.stats() if self.artifacts else {}
+                        ),
+                    }
+                )
+            body["durability"] = durability
             http = 200 if status in ("ok", "shedding") else 503
             return http, body
 
@@ -528,6 +1024,7 @@ class PipelineService:
                     ("completed", tenant.completed),
                     ("failed", tenant.failed),
                     ("cancelled", tenant.cancelled),
+                    ("dead_letter", tenant.dead_letter),
                 ):
                     lines.append(
                         "repro_service_jobs_total"
@@ -547,6 +1044,15 @@ class PipelineService:
                 ("repro_service_storms_total",
                  "Finished jobs whose watchdog flagged a storm.",
                  lambda t: t.storms),
+                ("repro_service_retries_total",
+                 "Retry attempts scheduled after failed runs.",
+                 lambda t: t.retries),
+                ("repro_service_deadline_cancelled_total",
+                 "Jobs cancelled because their deadline passed.",
+                 lambda t: t.deadline_cancelled),
+                ("repro_service_recovered_jobs_total",
+                 "Jobs re-admitted or resumed by crash recovery.",
+                 lambda t: t.recovered),
             ):
                 header(metric, "counter", help_text)
                 for name, tenant in tenants:
@@ -611,4 +1117,49 @@ class PipelineService:
             lines.append(
                 f"repro_service_pool_spawned_total {pool['spawned_total']}"
             )
+            header(
+                "repro_service_durable", "gauge",
+                "1 when the server runs with a durable state dir.",
+            )
+            lines.append(f"repro_service_durable {1 if self.durable else 0}")
+            if self.durable:
+                recovery = self.recovery
+                header(
+                    "repro_service_recovery_total", "counter",
+                    "Jobs handled by the last restart's journal replay.",
+                )
+                for outcome, value in (
+                    ("requeued", recovery.requeued),
+                    ("resumed", recovery.resumed),
+                    ("restarted", recovery.restarted),
+                    ("terminal", recovery.terminal),
+                    ("errors", recovery.errors),
+                ):
+                    lines.append(
+                        "repro_service_recovery_total"
+                        f'{{outcome="{outcome}"}} {value}'
+                    )
+                journal_stats = recovery.journal
+                for metric, help_text, value in (
+                    ("repro_service_journal_records",
+                     "Journal records replayed at the last start.",
+                     journal_stats.records),
+                    ("repro_service_journal_appended_total",
+                     "Journal records appended since start.",
+                     self.journal.appended if self.journal else 0),
+                    ("repro_service_journal_torn_tail",
+                     "1 if the last replay truncated a torn tail.",
+                     journal_stats.torn_tail),
+                    ("repro_service_journal_corrupt_records",
+                     "Corrupt journal records skipped at the last replay.",
+                     journal_stats.corrupt_records),
+                    ("repro_service_journal_seq_gaps",
+                     "Sequence gaps seen at the last replay.",
+                     journal_stats.seq_gaps),
+                    ("repro_service_retries_pending",
+                     "Jobs waiting out a retry backoff.",
+                     len(self._retries)),
+                ):
+                    header(metric, "gauge", help_text)
+                    lines.append(f"{metric} {value}")
             return "\n".join(lines) + "\n"

@@ -88,6 +88,15 @@ class TenantState:
         self.failed = 0
         self.cancelled = 0
         self.running = 0
+        # durability-plane counters
+        #: retry attempts scheduled after a failed run
+        self.retries = 0
+        #: jobs whose bounded retries exhausted (poison jobs)
+        self.dead_letter = 0
+        #: jobs cancelled because their deadline passed
+        self.deadline_cancelled = 0
+        #: jobs re-admitted or resumed by crash recovery
+        self.recovered = 0
         # aggregated engine counters across finished jobs
         self.committed = 0
         self.conflicts = 0
@@ -119,6 +128,10 @@ class TenantState:
             "failed": self.failed,
             "cancelled": self.cancelled,
             "running": self.running,
+            "retries": self.retries,
+            "dead_letter": self.dead_letter,
+            "deadline_cancelled": self.deadline_cancelled,
+            "recovered": self.recovered,
             "committed": self.committed,
             "conflicts": self.conflicts,
             "serial_reexec": self.serial_reexec,

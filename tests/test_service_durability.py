@@ -1,0 +1,534 @@
+"""Tests for the durable job plane (repro.service.durability + wiring).
+
+Three layers:
+
+- unit: the write-ahead journal's crash discipline (torn-tail truncation,
+  corrupt-interior skip, seq-gap audit, compaction), the artifact store,
+  and journal-replay folding;
+- in-process service: restart recovery (terminal reload, queued re-admit,
+  idempotent resubmit across restart), bounded retry with checkpoint
+  resume, poison-job dead-lettering, deadlines, eager quota release on
+  cancel, and the rate-derived ``Retry-After``;
+- subprocess: SIGKILL the real server mid-job, restart on the same
+  ``--state-dir``, and assert the job resumes from its checkpoint and
+  finishes bit-identical to a sequential run.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.exec import RobustnessPolicy
+from repro.exec.engine import run_sequential
+from repro.resilience import server_kill_plan
+from repro.service import (
+    AdmissionConfig,
+    AdmissionController,
+    ArtifactStore,
+    JobJournal,
+    PipelineService,
+    ServiceConfig,
+    fold_records,
+    retry_delay,
+)
+from repro.service.durability import JournalError
+from repro.service.jobs import JobState, TERMINAL_STATES, build_spec
+
+FAST_POLICY = RobustnessPolicy(
+    task_timeout=5.0, stall_timeout=10.0, poll_interval=0.01
+)
+
+
+def wait_terminal(jobs, timeout=90.0):
+    jobs = jobs if isinstance(jobs, list) else [jobs]
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if all(j.state in TERMINAL_STATES for j in jobs):
+            return
+        time.sleep(0.05)
+    states = {j.id: j.state.value for j in jobs}
+    raise AssertionError(f"jobs never finished: {states}")
+
+
+def durable_service(state_dir, **overrides):
+    kwargs = dict(
+        pool_workers=2, slots=2, capacity=8, batch_size=4,
+        policy=FAST_POLICY, state_dir=str(state_dir),
+        checkpoint_interval=4,
+    )
+    kwargs.update(overrides)
+    return PipelineService(ServiceConfig(**kwargs)).start(serve_http=False)
+
+
+class TestJobJournal:
+    def test_append_replay_roundtrip(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal, records = JobJournal.open(path)
+        assert records == []
+        journal.append("submitted", "j1", {"tenant": "t"}, fsync=True)
+        journal.append("queued", "j1")
+        journal.append("completed", "j1", fsync=True)
+        journal.close()
+        journal2, records = JobJournal.open(path)
+        assert [(r["seq"], r["event"]) for r in records] == [
+            (0, "submitted"), (1, "queued"), (2, "completed"),
+        ]
+        assert records[0]["data"] == {"tenant": "t"}
+        assert journal2.stats.records == 3
+        assert journal2.stats.torn_tail == 0
+        # appends continue the sequence, never reuse it
+        assert journal2.append("submitted", "j2") == 3
+        journal2.close()
+
+    def test_torn_tail_truncated_in_place(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal, _ = JobJournal.open(path)
+        journal.append("submitted", "j1")
+        journal.append("queued", "j1")
+        journal.close()
+        intact_size = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(b'{"seq":2,"event":"lea')  # crash mid-record
+        journal2, records = JobJournal.open(path)
+        assert len(records) == 2
+        assert journal2.stats.torn_tail == 1
+        # truncated *in place*: the next append starts on a clean line
+        assert os.path.getsize(path) == intact_size
+        journal2.append("leased", "j1")
+        journal2.close()
+        _, records = JobJournal.open(path)
+        assert [r["event"] for r in records] == [
+            "submitted", "queued", "leased",
+        ]
+
+    def test_corrupt_interior_line_skipped_and_gap_counted(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal, _ = JobJournal.open(path)
+        journal.append("submitted", "j1")
+        journal.append("queued", "j1")
+        journal.append("completed", "j1")
+        journal.close()
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        lines[1] = b"#### not json ####\n"
+        with open(path, "wb") as handle:
+            handle.writelines(lines)
+        journal2, records = JobJournal.open(path)
+        assert [r["event"] for r in records] == ["submitted", "completed"]
+        assert journal2.stats.corrupt_records == 1
+        assert journal2.stats.seq_gaps == 1
+        journal2.close()
+
+    def test_unknown_event_rejected(self, tmp_path):
+        journal, _ = JobJournal.open(str(tmp_path / "j.jsonl"))
+        with pytest.raises(JournalError):
+            journal.append("exploded", "j1")
+        journal.close()
+        with pytest.raises(JournalError):
+            journal.append("submitted", "j1")
+
+    def test_compaction_preserves_replay_state(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal, _ = JobJournal.open(path)
+        for _ in range(3):
+            journal.append("submitted", "j1", {"tenant": "t"})
+            journal.append("queued", "j1")
+        journal.compact([
+            ("submitted", "j1", {"tenant": "t"}),
+            ("completed", "j1", {}),
+        ])
+        journal.append("submitted", "j2", {"tenant": "t"})
+        journal.close()
+        journal2, records = JobJournal.open(path)
+        folded = fold_records(records)
+        assert [(j.job_id, j.last_event) for j in folded] == [
+            ("j1", "completed"), ("j2", "submitted"),
+        ]
+        assert journal2.stats.seq_gaps == 0
+        journal2.close()
+
+
+class TestArtifactStore:
+    def test_result_roundtrip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "artifacts"))
+        output = {"sum": 123, "items": [1, 2, 3]}
+        store.put_result("j1", output, {"committed": 3})
+        assert store.has_result("j1")
+        assert store.load_output("j1") == output
+        assert store.load_metrics("j1") == {"committed": 3}
+        assert not store.has_result("j2")
+        assert store.load_metrics("j2") is None
+
+    def test_checkpoint_lifecycle(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "artifacts"))
+        path = store.checkpoint_path("j1")
+        assert not store.has_checkpoint("j1")
+        with open(path, "wb") as handle:
+            handle.write(b"checkpoint")
+        assert store.has_checkpoint("j1")
+        store.discard_checkpoint("j1")
+        assert not store.has_checkpoint("j1")
+        store.discard_checkpoint("j1")  # idempotent
+
+    def test_path_traversal_rejected(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "artifacts"))
+        for bad in ("", "../escape", "a/b", ".hidden"):
+            with pytest.raises(ValueError):
+                store.checkpoint_path(bad)
+
+    def test_stats_counts_jobs_and_bytes(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "artifacts"))
+        store.put_result("j1", {"x": 1}, {})
+        store.put_result("j2", {"x": 2}, {})
+        stats = store.stats()
+        assert stats["jobs"] == 2 and stats["bytes"] > 0
+
+
+class TestFoldRecords:
+    def test_last_event_wins_in_submission_order(self):
+        records = [
+            {"seq": 0, "event": "submitted", "job": "a", "data": {"t": 1}},
+            {"seq": 1, "event": "submitted", "job": "b", "data": {"t": 2}},
+            {"seq": 2, "event": "leased", "job": "b", "data": {"attempt": 1}},
+            {"seq": 3, "event": "queued", "job": "a"},
+            {"seq": 4, "event": "completed", "job": "b"},
+        ]
+        folded = fold_records(records)
+        assert [j.job_id for j in folded] == ["a", "b"]
+        a, b = folded
+        assert a.queued and not a.terminal
+        assert b.terminal and b.attempts == 1
+        assert a.payload == {"t": 1}
+
+    def test_orphaned_records_dropped(self):
+        folded = fold_records([
+            {"seq": 0, "event": "queued", "job": "ghost"},
+            {"seq": 1, "event": "submitted", "job": "real", "data": {}},
+        ])
+        assert [j.job_id for j in folded] == ["real"]
+
+    def test_interrupted_detection(self):
+        folded = fold_records([
+            {"seq": 0, "event": "submitted", "job": "a", "data": {}},
+            {"seq": 1, "event": "leased", "job": "a",
+             "data": {"attempt": 1}},
+        ])
+        assert folded[0].interrupted
+
+
+class TestRetryDelay:
+    def test_bounded_exponential_with_deterministic_jitter(self):
+        d1 = retry_delay("j1", 1, 0.2)
+        d2 = retry_delay("j1", 2, 0.2)
+        d3 = retry_delay("j1", 1, 0.2)
+        assert d1 == d3  # same job + attempt -> same jitter
+        assert d2 > d1  # exponential growth
+        assert retry_delay("j1", 30, 0.2) <= 30.0 * 1.5  # capped
+        assert retry_delay("j2", 1, 0.2) != d1  # jitter decorrelates jobs
+
+
+class TestRetryAfterFromRate:
+    """Satellite: 429 Retry-After derived from the observed dispatch rate."""
+
+    def controller(self):
+        return AdmissionController(AdmissionConfig(max_queued=4))
+
+    def test_rate_turns_backlog_into_seconds(self):
+        decision = self.controller().admit(
+            depth=4, tenant_queued=0, tenant_running=0, dispatch_rate=2.0
+        )
+        assert decision.status == 429
+        assert decision.retry_after == pytest.approx(2.0)  # 4 jobs / 2 per s
+
+    def test_rate_estimate_clamped(self):
+        fast = self.controller().admit(
+            depth=4, tenant_queued=0, tenant_running=0, dispatch_rate=100.0
+        )
+        assert fast.retry_after == 1.0
+        slow = self.controller().admit(
+            depth=4, tenant_queued=0, tenant_running=0, dispatch_rate=0.01
+        )
+        assert slow.retry_after == 60.0
+
+    def test_no_rate_falls_back_to_backlog_heuristic(self):
+        decision = self.controller().admit(
+            depth=4, tenant_queued=0, tenant_running=0, dispatch_rate=None
+        )
+        assert decision.retry_after == 4.0
+
+
+class TestDurableRestart:
+    def test_terminal_jobs_and_idempotency_survive_restart(self, tmp_path):
+        svc = durable_service(tmp_path / "state")
+        try:
+            job, decision = svc.submit(
+                "acme", "synthetic", {"iterations": 16, "spin": 100},
+                idempotency_key="req-1",
+            )
+            assert decision.status == 202
+            dup, dedup = svc.submit(
+                "acme", "synthetic", {"iterations": 16, "spin": 100},
+                idempotency_key="req-1",
+            )
+            assert dedup.deduplicated and dup is job
+            wait_terminal(job)
+            assert job.state is JobState.DONE
+            expected = svc.job_output(job)
+        finally:
+            svc.drain_and_stop()
+
+        svc2 = durable_service(tmp_path / "state")
+        try:
+            reloaded = svc2.get_job(job.id)
+            assert reloaded is not None
+            assert reloaded.state is JobState.DONE
+            assert svc2.job_output(reloaded) == expected
+            assert svc2.recovery.terminal == 1
+            assert svc2.recovery.errors == 0
+            # the idempotency key still points at the finished job
+            dup, dedup = svc2.submit(
+                "acme", "synthetic", {"iterations": 16, "spin": 100},
+                idempotency_key="req-1",
+            )
+            assert dedup.deduplicated and dup.id == job.id
+        finally:
+            svc2.drain_and_stop()
+
+    def test_queued_jobs_requeued_in_order_after_restart(self, tmp_path):
+        svc = durable_service(tmp_path / "state", slots=1)
+        try:
+            running, _ = svc.submit(
+                "acme", "synthetic", {"iterations": 64, "spin": 2000}
+            )
+            # these two never dispatch: one slot, and we drain right away
+            q1, _ = svc.submit("acme", "synthetic", {"iterations": 8})
+            q2, _ = svc.submit("acme", "synthetic", {"iterations": 8})
+            svc.request_drain()  # durable drain keeps queued jobs
+            wait_terminal(running)
+        finally:
+            svc.drain_and_stop()
+        assert q1.state is JobState.QUEUED
+        assert q2.state is JobState.QUEUED
+
+        svc2 = durable_service(tmp_path / "state", slots=1)
+        try:
+            assert svc2.recovery.requeued == 2
+            r1, r2 = svc2.get_job(q1.id), svc2.get_job(q2.id)
+            assert r1.recovered and r2.recovered
+            wait_terminal([r1, r2])
+            assert r1.state is JobState.DONE and r2.state is JobState.DONE
+            # original submission order preserved
+            assert r1.started_unix <= r2.started_unix
+            tenant = svc2.tenants.get("acme")
+            assert tenant.recovered == 2
+        finally:
+            svc2.drain_and_stop()
+
+
+class TestRetryDeadlineDeadLetter:
+    def test_transient_retry_resumes_and_poison_dead_letters(self, tmp_path):
+        svc = durable_service(tmp_path / "state")
+        try:
+            ref, _ = svc.submit("acme", "synthetic", {"iterations": 48})
+            transient, _ = svc.submit("acme", "synthetic", {
+                "iterations": 48, "fail_at": 20, "fail_attempts": 1,
+                "retry": {"max_attempts": 3, "backoff_base": 0.05},
+            })
+            poison, _ = svc.submit("evil", "synthetic", {
+                "iterations": 48, "fail_at": 5,
+                "retry": {"max_attempts": 3, "backoff_base": 0.05},
+            })
+            wait_terminal([ref, transient, poison])
+
+            assert ref.state is JobState.DONE
+            # transient: failed once, resumed from the checkpointed prefix
+            assert transient.state is JobState.DONE
+            assert transient.attempts == 2
+            assert transient.resumed_from > 0
+            assert svc.job_output(transient) == svc.job_output(ref)
+            # poison: bounded attempts, then dead-lettered (not retried
+            # forever, not reported as a plain failure)
+            assert poison.state is JobState.DEAD_LETTER
+            assert poison.attempts == 3
+            assert svc.tenants.get("evil").dead_letter == 1
+            assert svc.tenants.get("acme").retries == 1
+        finally:
+            svc.drain_and_stop()
+
+    def test_deadline_cancels_running_job(self, tmp_path):
+        svc = durable_service(tmp_path / "state")
+        try:
+            job, _ = svc.submit("slow", "synthetic", {
+                "iterations": 20000, "spin": 50000, "deadline_s": 1.0,
+            })
+            wait_terminal(job, timeout=30.0)
+            assert job.state is JobState.CANCELLED
+            assert job.deadline_fired
+            assert svc.tenants.get("slow").deadline_cancelled == 1
+        finally:
+            svc.drain_and_stop()
+
+    def test_default_max_attempts_config_applies(self, tmp_path):
+        svc = durable_service(
+            tmp_path / "state", default_max_attempts=2
+        )
+        try:
+            job, _ = svc.submit("acme", "synthetic", {
+                "iterations": 32, "fail_at": 4, "fail_attempts": 1,
+            })
+            wait_terminal(job)
+            assert job.state is JobState.DONE
+            assert job.attempts == 2
+        finally:
+            svc.drain_and_stop()
+
+
+class TestEagerQuotaRelease:
+    """Satellite: cancelling a queued job frees the tenant's queued quota
+    immediately — the next submit must not 429 against a ghost entry."""
+
+    def test_cancel_then_resubmit_within_quota(self, tmp_path):
+        svc = durable_service(
+            tmp_path / "state", slots=1, tenant_queued_quota=1,
+        )
+        try:
+            running, _ = svc.submit(
+                "acme", "synthetic", {"iterations": 64, "spin": 2000}
+            )
+            deadline = time.monotonic() + 15
+            while running.state is JobState.QUEUED:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            queued, decision = svc.submit(
+                "acme", "synthetic", {"iterations": 8}
+            )
+            assert decision.status == 202
+            refused, decision = svc.submit(
+                "acme", "synthetic", {"iterations": 8}
+            )
+            assert refused is None and decision.status == 429
+            assert svc.cancel(queued.id) == "cancelled"
+            # quota released eagerly: the very next submit is admitted
+            replacement, decision = svc.submit(
+                "acme", "synthetic", {"iterations": 8}
+            )
+            assert decision.status == 202, decision.reason
+            wait_terminal([running, replacement])
+        finally:
+            svc.drain_and_stop()
+
+
+KILL_PARAMS = {"iterations": 400, "spin": 30000}
+
+
+def _start_server(state_dir, env):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--workers", "2", "--slots", "2",
+         "--state-dir", str(state_dir), "--checkpoint-interval", "4",
+         "--drain-timeout", "60"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=env, text=True,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = re.search(r"serving on (http://[\d.]+:\d+)", line)
+        if match:
+            return proc, match.group(1)
+    proc.kill()
+    raise AssertionError("server banner never appeared")
+
+
+def _request(method, url, body=None, timeout=15):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if data:
+        req.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read() or b"{}")
+
+
+class TestKillAndRecover:
+    """The acceptance story: SIGKILL the real server mid-job, restart on
+    the same ``--state-dir``, and no acknowledged work is lost."""
+
+    def test_sigkill_mid_job_resumes_bit_identical(self, tmp_path):
+        expected, _ = run_sequential(build_spec("synthetic", KILL_PARAMS))
+        state_dir = tmp_path / "state"
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env = dict(
+            os.environ,
+            PYTHONPATH=os.path.abspath(src), PYTHONUNBUFFERED="1",
+        )
+        plan = server_kill_plan(1234, kills=1)
+
+        proc, base = _start_server(state_dir, env)
+        try:
+            status, body = _request(
+                "POST", f"{base}/jobs",
+                {"tenant": "acme", "workload": "synthetic",
+                 "params": KILL_PARAMS, "idempotency_key": "kill-1"},
+            )
+            assert status == 202, body
+            job_id = body["id"]
+            # wait until at least one checkpoint is durable, then let the
+            # seeded plan decide how much longer the server lives
+            checkpoint = state_dir / "artifacts" / job_id / "checkpoint.pkl"
+            deadline = time.monotonic() + 30
+            while not checkpoint.exists():
+                assert time.monotonic() < deadline, "no checkpoint appeared"
+                assert proc.poll() is None, "server died on its own"
+                time.sleep(0.02)
+            time.sleep(min(plan.delays[0], 0.5))
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10)
+
+        proc, base = _start_server(state_dir, env)
+        try:
+            # idempotent resubmit after the crash: same job, no duplicate
+            status, body = _request(
+                "POST", f"{base}/jobs",
+                {"tenant": "acme", "workload": "synthetic",
+                 "params": KILL_PARAMS, "idempotency_key": "kill-1"},
+            )
+            assert status == 200 and body["id"] == job_id, body
+            assert body.get("deduplicated") is True
+
+            deadline = time.monotonic() + 90
+            while True:
+                status, body = _request("GET", f"{base}/jobs/{job_id}")
+                if body["state"] in ("done", "failed", "cancelled",
+                                     "dead_letter"):
+                    break
+                assert time.monotonic() < deadline, body
+                time.sleep(0.1)
+            assert body["state"] == "done", body
+            assert body.get("recovered") is True
+            assert body.get("resumed_from", 0) > 0, body
+
+            status, result = _request("GET", f"{base}/jobs/{job_id}/result")
+            assert status == 200
+            assert result["output"] == expected
+
+            with urllib.request.urlopen(f"{base}/metrics", timeout=15) as r:
+                metrics = r.read().decode()
+            assert 'repro_service_recovery_total{outcome="resumed"} 1' \
+                in metrics, metrics
+            assert "repro_service_durable 1" in metrics
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+                proc.communicate(timeout=60)
