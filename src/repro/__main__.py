@@ -117,6 +117,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "(default 0.005)",
     )
     exec_parser.add_argument(
+        "--transport", default="pipe", choices=("pipe", "shm", "thread"),
+        help="channel wire backend: 'pipe' (mp.Queue, the default), 'shm' "
+             "(shared-memory ring buffer — the zero-copy fast path), or "
+             "'thread' (in-process workers, no pickling; for debugging "
+             "and as a GIL-bound upper bound)",
+    )
+    exec_parser.add_argument(
         "--inject-faults", action="store_true",
         help="kill one worker mid-task and raise in another, proving "
              "recovery; the plan is drawn from --seed (printed, so any run "
@@ -251,6 +258,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-slot transport batch size (default 8)",
     )
     serve_parser.add_argument(
+        "--transport", default="pipe", choices=("pipe", "shm"),
+        help="per-slot channel wire backend (default pipe; 'thread' is "
+             "not available — pool workers are processes)",
+    )
+    serve_parser.add_argument(
         "--max-queued", type=int, default=16,
         help="global queued-job bound; past it submissions get 429 "
              "(default 16)",
@@ -294,6 +306,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="default max attempts for jobs that do not set params.retry "
              "(default 1 = a failure is terminal; jobs whose bounded "
              "retries exhaust are dead-lettered)",
+    )
+
+    audit_parser = sub.add_parser(
+        "shm-audit",
+        help="scan /dev/shm for orphaned repro ring segments and exit "
+             "nonzero if any survive the wait window",
+    )
+    audit_parser.add_argument(
+        "--timeout", type=float, default=5.0,
+        help="seconds to wait for lagging resource-tracker reclaims "
+             "before declaring segments orphaned (default 5)",
+    )
+    audit_parser.add_argument(
+        "--unlink", action="store_true",
+        help="unlink whatever the audit finds after reporting it "
+             "(cleanup mode for CI teardown)",
     )
 
     history_parser = sub.add_parser(
@@ -513,6 +541,7 @@ def _run_chaos(args) -> int:
         checkpoint_config=checkpoint_config,
         batch_size=args.batch_size,
         flush_interval=args.flush_interval,
+        transport=args.transport,
         trace=trace_config,
         live=_live_config(args),
     )
@@ -569,6 +598,7 @@ def _run_exec(args) -> int:
         checkpoints=checkpoint_config,
         batch_size=args.batch_size,
         flush_interval=args.flush_interval,
+        transport=args.transport,
         trace=trace_config,
         live=_live_config(args),
     )
@@ -678,6 +708,7 @@ def _run_serve(args) -> int:
         slots=args.slots,
         capacity=args.capacity,
         batch_size=args.batch_size,
+        transport=args.transport,
         max_queued=args.max_queued,
         tenant_queued_quota=args.tenant_quota,
         tenant_running_quota=args.tenant_running,
@@ -709,6 +740,37 @@ def _run_serve(args) -> int:
     print("drained cleanly" if clean else "drain timed out: jobs cancelled",
           flush=True)
     return 0 if clean else 1
+
+
+def _run_shm_audit(args) -> int:
+    """``shm-audit``: fail loudly when a run leaked shared-memory rings."""
+    from repro.exec.transport import reap_stale_segments, wait_for_reclaim
+
+    leaked = wait_for_reclaim(timeout=args.timeout)
+    if not leaked:
+        print("shm-audit: clean (no repro segments in /dev/shm)")
+        return 0
+    print(f"shm-audit: {len(leaked)} orphaned segment(s) after "
+          f"{args.timeout:.1f}s:", file=sys.stderr)
+    for name in leaked:
+        print(f"  /dev/shm/{name}", file=sys.stderr)
+    if args.unlink:
+        from multiprocessing import shared_memory
+
+        reaped = reap_stale_segments()
+        for name in reaped:
+            print(f"  unlinked {name} (creator dead)", file=sys.stderr)
+        for name in leaked:
+            if name in reaped:
+                continue
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+                segment.close()
+                segment.unlink()
+                print(f"  unlinked {name}", file=sys.stderr)
+            except FileNotFoundError:
+                pass
+    return 1
 
 
 def _run_history(args) -> int:
@@ -781,6 +843,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "shm-audit":
+        return _run_shm_audit(args)
 
     if args.command == "history":
         return _run_history(args)

@@ -6,8 +6,11 @@ produce *blocks* while the channel is full and a consume *blocks* while it
 is empty — the synchronization-array behaviour the simulator models on its
 256 32-entry queues, realized on real OS pipes.
 
-The transport is :class:`multiprocessing.Queue`; the wrapper adds what the
-engine needs on top:
+The wire beneath the channel is pluggable (:mod:`repro.exec.transport`):
+the classic ``multiprocessing.Queue`` pipe, a zero-copy shared-memory ring
+(``transport="shm"``), or an in-process deque for thread-mode pipelines
+(``transport="thread"``).  The channel layer adds what the engine needs on
+top of any wire:
 
 **Batched framed transport (the fast path).**  The paper's synchronization
 array moves a value between cores in a handful of cycles; a naive
@@ -52,13 +55,17 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import pickle
-import queue as _queue_module
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional
 
 from repro.obs.events import CHANNEL_IDS, ChaosCode, EventKind
+from repro.exec.transport import (
+    TransportEmpty,
+    TransportFull,
+    make_transport,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -78,7 +85,11 @@ STOP = ("__repro.exec.stop__",)
 _FRAME_TAG = "__repro.exec.frame__"
 _RAW_TAG = "__repro.exec.frame.raw__"
 
-#: How often a credit-starved flush re-checks the consume counter.
+#: How often a credit-starved flush re-checks the consume counter.  A
+#: flat 1 ms sleep, on purpose: finer-grained polling (and event-driven
+#: wakeups) both measured *slower* end-to-end on oversubscribed boxes —
+#: the extra wakeups steal cycles from the pipeline processes that would
+#: free the credit.
 _CREDIT_POLL = 0.001
 
 #: Queue waits shorter than this are not traced: they are scheduling
@@ -167,6 +178,7 @@ class ProcessChannel:
         chaos: Optional[ChannelChaos] = None,
         batch_size: int = 1,
         flush_interval: float = 0.005,
+        transport: Any = "pipe",
     ) -> None:
         if capacity < 1:
             raise ValueError("channel capacity must be positive")
@@ -176,7 +188,7 @@ class ProcessChannel:
             raise ValueError("flush interval must be positive")
         ctx = ctx or multiprocessing.get_context()
         self.capacity = capacity
-        #: Frames never outnumber their items, so a frame-count maxsize of
+        #: Frames never outnumber their items, so a frame-count bound of
         #: ``capacity`` can never bound tighter than the item credit does;
         #: the credit check below is the real full/empty discipline.
         self.batch_size = min(batch_size, capacity)
@@ -184,11 +196,18 @@ class ProcessChannel:
         self.name = name
         self.chaos = chaos
         self._put_index = 0  # per-process; see ChannelChaos determinism note
-        self._queue = ctx.Queue(maxsize=capacity)
+        #: The wire (see :mod:`repro.exec.transport`): a backend name or a
+        #: pre-built transport instance (tests inject custom rings).
+        self._transport = (
+            transport
+            if not isinstance(transport, str)
+            else make_transport(transport, ctx, capacity)
+        )
         self._produces = ctx.Value("L", 0)
         self._consumes = ctx.Value("L", 0)
         self._flushes = ctx.Value("L", 0)
         self._serialize_seconds = ctx.Value("d", 0.0)
+        self._deserialize_seconds = ctx.Value("d", 0.0)
         self._serialize_local = 0.0
         self._send_buffer: List[Any] = []
         self._send_since: Optional[float] = None
@@ -330,24 +349,28 @@ class ProcessChannel:
     def _send_frame(
         self, items: List[Any], deadline: Optional[float], framed: bool
     ) -> None:
-        if framed:
-            started = time.perf_counter()
-            payload = encode_frame(items)
-            self._serialize_local += time.perf_counter() - started
-        else:
-            payload = items[0]
         self._acquire_credit(len(items), deadline)
+        # Credit guarantees a frame slot on the pipe wire (frames <= items
+        # <= capacity) but not ring *bytes* on the shm wire, so the send
+        # timeout is a real bound there and a defensive one elsewhere;
+        # either way the deadline the caller set caps the wait.
+        wait = (
+            5.0
+            if deadline is None
+            else max(0.0, min(5.0, deadline - time.monotonic()))
+        )
         try:
-            # Credit guarantees a frame slot (frames <= items <= capacity),
-            # so this put cannot block on maxsize in practice; the timeout
-            # is a defensive bound against a torn-down queue.
-            self._queue.put(payload, block=True, timeout=5.0)
-        except _queue_module.Full:
+            self._serialize_local += self._transport.send(items, framed, wait)
+        except TransportFull:
             with self._produces.get_lock():
                 self._produces.value -= len(items)
             raise ChannelTimeout(
                 f"channel {self.name or id(self)} transport full"
             ) from None
+        except Exception:
+            with self._produces.get_lock():
+                self._produces.value -= len(items)
+            raise
         with self._flushes.get_lock():
             self._flushes.value += 1
             if self._serialize_local:
@@ -383,21 +406,20 @@ class ProcessChannel:
 
     # -- consume side -----------------------------------------------------------
 
-    def get(self, timeout: Optional[float] = None) -> Any:
-        """Consume the oldest item; block while empty (raise on timeout).
+    def _recv_frame(self, timeout: Optional[float]) -> tuple:
+        """One blocking transport read -> ``(items, single)``.
 
-        Frames are decoded transparently: one queue read replenishes the
-        local receive buffer with up to ``batch_size`` items, and the
-        consume counter advances once per frame, not once per item.
+        Exactly one of the pair is meaningful (``items is None`` marks an
+        unframed message).  Advances the consume counter once per frame
+        and accounts the decode time — the receive-side mirror of the
+        sender's ``serialize_seconds``.
         """
-        if self._recv:
-            return self._recv.popleft()
         wait_started_ns = (
             time.perf_counter_ns() if self.tracer is not None else 0
         )
         try:
-            raw = self._queue.get(block=True, timeout=timeout)
-        except _queue_module.Empty:
+            items, single, deserialize_seconds = self._transport.recv(timeout)
+        except TransportEmpty:
             # Idle polls (the committer's poll_interval heartbeat) are not
             # queue waits; only a successful get records one.
             raise ChannelTimeout(
@@ -409,18 +431,30 @@ class ProcessChannel:
                 wait_started_ns,
                 time.perf_counter_ns(),
             )
-        items = decode_frame(raw)
-        if items is None:
-            with self._consumes.get_lock():
-                self._consumes.value += 1
-            return raw
+        if deserialize_seconds:
+            with self._deserialize_seconds.get_lock():
+                self._deserialize_seconds.value += deserialize_seconds
         with self._consumes.get_lock():
-            self._consumes.value += len(items)
+            self._consumes.value += 1 if items is None else len(items)
+        return items, single
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        """Consume the oldest item; block while empty (raise on timeout).
+
+        Frames are decoded transparently: one transport read replenishes
+        the local receive buffer with up to ``batch_size`` items, and the
+        consume counter advances once per frame, not once per item.
+        """
+        if self._recv:
+            return self._recv.popleft()
+        items, single = self._recv_frame(timeout)
+        if items is None:
+            return single
         self._recv.extend(items)
         return self._recv.popleft()
 
     def get_many(self, max_items: int, timeout: Optional[float] = None) -> list:
-        """Consume up to ``max_items`` with a single blocking queue read.
+        """Consume up to ``max_items`` with a single blocking transport read.
 
         Returns at least one item (blocking like :meth:`get` for the
         first), then drains the already-decoded frame from the local buffer
@@ -428,17 +462,30 @@ class ProcessChannel:
         chunk on the worker that claimed it.  STOP is never mixed into a
         batch: it is returned alone, and a buffered STOP ends the batch
         early (left for the next call).
+
+        Fast path: when the receive buffer is empty and one whole frame
+        fits the request (no buried STOP — the producer never frames one,
+        this is defense in depth), the decoded frame is handed back as-is,
+        with no per-item deque round-trip.
         """
-        items = [self.get(timeout=timeout)]
-        if items[0] == STOP:
-            return items
-        while (
-            len(items) < max_items
-            and self._recv
-            and self._recv[0] != STOP
-        ):
-            items.append(self._recv.popleft())
-        return items
+        recv = self._recv
+        if not recv:
+            items, single = self._recv_frame(timeout)
+            if items is None:
+                return [single]
+            if len(items) <= max_items:
+                for item in items:
+                    if item == STOP:
+                        break
+                else:
+                    return items
+            recv.extend(items)
+        out = [recv.popleft()]
+        if out[0] == STOP:
+            return out
+        while len(out) < max_items and recv and recv[0] != STOP:
+            out.append(recv.popleft())
+        return out
 
     @property
     def produces(self) -> int:
@@ -473,6 +520,7 @@ class ProcessChannel:
         return {
             "capacity": self.capacity,
             "batch_size": self.batch_size,
+            "transport": self.transport_kind,
             "produces": self.produces,
             "consumes": self.consumes,
             "max_occupancy": self.max_occupancy_seen,
@@ -483,6 +531,9 @@ class ProcessChannel:
                 round(self.produces / flushes, 3) if flushes else 0.0
             ),
             "serialize_seconds": round(self._serialize_seconds.value, 6),
+            "deserialize_seconds": round(
+                self._deserialize_seconds.value, 6
+            ),
         }
 
     def drain(self) -> list:
@@ -496,18 +547,17 @@ class ProcessChannel:
         self._recv.clear()
         while True:
             try:
-                raw = self._queue.get_nowait()
-            except _queue_module.Empty:
+                decoded, single, _ = self._transport.recv_nowait()
+            except TransportEmpty:
                 return items
             except (EOFError, OSError):
                 return items
-            decoded = decode_frame(raw)
             with self._consumes.get_lock():
-                self._consumes.value += len(decoded) if decoded else 1
-            if decoded:
-                items.extend(decoded)
+                self._consumes.value += 1 if decoded is None else len(decoded)
+            if decoded is None:
+                items.append(single)
             else:
-                items.append(raw)
+                items.extend(decoded)
 
     # -- pooled reuse (repro.service) --------------------------------------------
 
@@ -549,37 +599,77 @@ class ProcessChannel:
                 value.value = 0
             finally:
                 lock.release()
+        for value in (self._serialize_seconds, self._deserialize_seconds):
+            lock = value.get_lock()
+            if not lock.acquire(timeout=1.0):
+                raise ChannelTimeout(
+                    f"channel {self.name or id(self)} counter lock wedged"
+                )
+            try:
+                value.value = 0.0
+            finally:
+                lock.release()
+        self._serialize_local = 0.0
         self._put_index = 0
         self.max_occupancy_seen = 0
         self.occupancy_samples = 0
         self.occupancy_total = 0
 
     def flush_and_close(self, flush_timeout: float = 2.0) -> None:
-        """Flush this process's pending items to the pipe, then close.
+        """Flush this process's pending items to the wire, then close.
 
         A process about to hard-exit (``os._exit``) must call this first:
-        batched items live in the send buffer and queued puts are serviced
-        by a feeder thread, so an immediate exit could drop messages that
-        the committer's crash recovery depends on.
+        batched items live in the send buffer and (on the pipe wire)
+        queued puts are serviced by a feeder thread, so an immediate exit
+        could drop messages that the committer's crash recovery depends
+        on.  Closing only releases *this process's* side: an shm segment
+        is unlinked solely by its owning (creating) process.
         """
         try:
             self.flush(timeout=flush_timeout)
         except ChannelTimeout:
             pass  # full channel with no consumer left; don't wedge the exit
-        self._queue.close()
-        self._queue.join_thread()
+        self._transport.close(join=True)
 
     def close(self) -> None:
-        """Close the transport without waiting for the feeder thread.
+        """Close the transport without waiting on peers.
 
-        Called on teardown paths where child processes may already be dead;
-        ``cancel_join_thread`` keeps an unflushed feeder from wedging exit.
+        Called on teardown paths where child processes may already be
+        dead; must never wedge.  In the creating process this also unlinks
+        an shm ring, so even ``_halt()`` after a crashed run leaves no
+        ``/dev/shm`` segment behind.
         """
-        self._queue.cancel_join_thread()
-        self._queue.close()
+        self._transport.close(join=False)
+
+    @property
+    def transport_kind(self) -> str:
+        return self._transport.kind
+
+    def for_caller(self) -> "ProcessChannel":
+        """A thread-local view of this channel: shared wire, counters, and
+        chaos schedule, but private send/receive buffers and put index.
+
+        Thread-mode pipelines hand each producer/worker thread its own
+        view — the same isolation a process gets implicitly from fork
+        (which copies the local buffers) — so concurrent stages never race
+        on ``_send_buffer``/``_recv``.
+        """
+        clone = object.__new__(ProcessChannel)
+        clone.__dict__.update(self.__dict__)
+        clone._put_index = 0
+        clone._serialize_local = 0.0
+        clone._send_buffer = []
+        clone._send_since = None
+        clone._recv = deque()
+        clone.max_occupancy_seen = 0
+        clone.occupancy_samples = 0
+        clone.occupancy_total = 0
+        clone.tracer = None
+        return clone
 
     def __repr__(self) -> str:
         return (
             f"ProcessChannel({self.name!r}, capacity={self.capacity}, "
-            f"batch_size={self.batch_size})"
+            f"batch_size={self.batch_size}, "
+            f"transport={self.transport_kind!r})"
         )

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -52,7 +53,14 @@ from repro.exec.channels import ChannelChaos, ChannelTimeout, ProcessChannel
 from repro.exec.faults import FaultPlan, RobustnessPolicy
 from repro.exec.metrics import EngineMetrics
 from repro.exec.rollback import CommittedStore, Location, WriteBuffer
-from repro.exec.workers import producer_main, worker_main
+from repro.exec.transport import TRANSPORT_KINDS
+from repro.exec.workers import (
+    HardExit,
+    ShutdownGuard,
+    producer_main,
+    raise_hard_exit,
+    worker_main,
+)
 from repro.obs.clock import now_ns
 from repro.obs.events import EventKind, TraceConfig
 from repro.obs.live import LiveConfig, LiveMonitor
@@ -87,6 +95,55 @@ _UNTHROTTLED_WINDOW = 2 ** 30
 
 def _identity(accumulator: Any) -> Any:
     return accumulator
+
+
+class _ThreadHandle:
+    """A process-like facade over a pipeline stage running as a thread.
+
+    The ``thread`` transport keeps every stage in the calling process, but
+    the committer's health machinery speaks the ``multiprocessing.Process``
+    dialect — ``is_alive``/``exitcode``/``terminate``/``join``.  Injected
+    crashes arrive as :class:`HardExit` (raised by the injected
+    ``hard_exit``) and land in ``exitcode`` exactly as ``os._exit`` codes
+    would, so crash accounting and respawn budgets behave identically
+    across transports.  ``terminate`` is necessarily a no-op: a hung
+    thread cannot be killed, only abandoned — it is daemonic and any late
+    duplicate results it sends are dropped by the committer.
+    """
+
+    def __init__(self, target, args, name: str) -> None:
+        self.exitcode: Optional[int] = None
+        self._thread = threading.Thread(
+            target=self._run, args=(target, args), name=name, daemon=True
+        )
+
+    def _run(self, target, args) -> None:
+        code = 0
+        try:
+            target(*args)
+        except HardExit as stop:
+            code = stop.code
+        except BaseException:
+            logger.exception(
+                "pipeline thread %s died", self._thread.name
+            )
+            code = 1
+        self.exitcode = code
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def terminate(self) -> None:
+        pass
+
+    def kill(self) -> None:
+        pass
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout)
 
 
 def _dict_accumulator() -> dict:
@@ -174,6 +231,15 @@ class ExecutionEngine:
     restores the classic unbatched wire format.  ``flush_interval`` bounds
     how long a partial batch may wait before it is flushed anyway.
 
+    ``transport`` selects the wire beneath both channels (see
+    :mod:`repro.exec.transport`): ``"pipe"`` (the default, a
+    ``multiprocessing.Queue``), ``"shm"`` (the zero-copy shared-memory
+    ring — the high-throughput data plane), or ``"thread"`` (stages run
+    as threads of the calling process; items move by reference, injected
+    crashes unwind via :class:`HardExit` instead of ``os._exit``, and
+    hung stages are abandoned rather than killed).  Output is bit
+    identical across all three.
+
     ``trace`` (default: off) attaches the structured tracing layer of
     :mod:`repro.obs`: the producer, every worker, and the committer write
     timestamped span/event records into per-process ring spools under
@@ -233,6 +299,7 @@ class ExecutionEngine:
         channel_chaos: Optional[ChannelChaos] = None,
         batch_size: int = 16,
         flush_interval: float = 0.005,
+        transport: str = "pipe",
         trace: Optional[TraceConfig] = None,
         live: Optional[LiveConfig] = None,
         runtime: Optional[Any] = None,
@@ -247,6 +314,12 @@ class ExecutionEngine:
             raise ValueError("batch size must be positive")
         if flush_interval <= 0:
             raise ValueError("flush interval must be positive")
+        if transport not in TRANSPORT_KINDS:
+            raise ValueError(
+                f"unknown transport {transport!r}; "
+                f"expected one of {TRANSPORT_KINDS}"
+            )
+        self.transport = transport
         self.workers = workers
         self.capacity = capacity
         self.batch_size = min(batch_size, capacity)
@@ -344,16 +417,19 @@ class ExecutionEngine:
             if self._start_method
             else multiprocessing.get_context()
         )
+        threaded = self.transport == "thread" and rt is None
         if rt is not None:
             # Pool mode: the lease supplies channels, shutdown, and shared
             # values — all created once at pool start and reused per job.
             work = rt.work
             done = rt.done
             shutdown = rt.shutdown
+            child_shutdown = shutdown
         else:
             work = ProcessChannel(
                 self.capacity, name="work", ctx=ctx, chaos=self.channel_chaos,
                 batch_size=self.batch_size, flush_interval=self.flush_interval,
+                transport=self.transport,
             )
             # Worst-case in-flight done traffic: a claim and a result for
             # every item in the transport plus every item held in a worker's
@@ -363,8 +439,18 @@ class ExecutionEngine:
                 + self.workers + 8,
                 name="done", ctx=ctx,
                 batch_size=self.batch_size, flush_interval=self.flush_interval,
+                transport=self.transport,
             )
             shutdown = ctx.Event()
+            # Children see parent death as shutdown, so a SIGKILLed engine
+            # cannot strand orphans spinning on channel credit — and the
+            # last orphan's exit is what lets the resource tracker unlink
+            # any shm segments the run mapped.
+            child_shutdown = (
+                shutdown if threaded
+                else ShutdownGuard(shutdown, os.getpid())
+            )
+        metrics.transport = work.transport_kind
         # The committer's own spool: claims, commits, conflicts, robustness
         # events, TASK_C spans, and its done-channel get waits.
         tracer = open_tracer(self.trace_config, "committer")
@@ -431,14 +517,27 @@ class ExecutionEngine:
                 fault_plan=self.fault_plan,
             )
         else:
-            producer = ctx.Process(
-                target=producer_main,
-                args=(work, spec.iterations, spec.produce, self.fault_plan,
-                      shutdown, start, self.batch_size, self.trace_config,
-                      registry, WRITER_PRODUCER),
-                name="exec-A",
-                daemon=True,
-            )
+            if threaded:
+                # Thread stages share the channel objects; each gets its
+                # own per-caller view so send buffers never interleave.
+                producer = _ThreadHandle(
+                    producer_main,
+                    (work.for_caller(), spec.iterations, spec.produce,
+                     self.fault_plan, child_shutdown, start, self.batch_size,
+                     self.trace_config, registry, WRITER_PRODUCER, True,
+                     raise_hard_exit),
+                    name="exec-A",
+                )
+            else:
+                producer = ctx.Process(
+                    target=producer_main,
+                    args=(work, spec.iterations, spec.produce,
+                          self.fault_plan, child_shutdown, start,
+                          self.batch_size, self.trace_config, registry,
+                          WRITER_PRODUCER),
+                    name="exec-A",
+                    daemon=True,
+                )
             producer.start()
 
         processes: Dict[int, Any] = {}
@@ -458,15 +557,26 @@ class ExecutionEngine:
             row = WRITER_WORKER0 + wid
             if registry is not None and row >= registry.writers:
                 row = registry.writers - 1
-            proc = ctx.Process(
-                target=worker_main,
-                args=(wid, work, done, spec.work, spec.speculative,
-                      store.snapshot(), self.fault_plan, shutdown,
-                      watermark_value, window_value, self.batch_size,
-                      self.trace_config, registry, row),
-                name=f"exec-B{wid}",
-                daemon=True,
-            )
+            if threaded:
+                proc = _ThreadHandle(
+                    worker_main,
+                    (wid, work.for_caller(), done.for_caller(), spec.work,
+                     spec.speculative, store.snapshot(), self.fault_plan,
+                     child_shutdown, watermark_value, window_value,
+                     self.batch_size, self.trace_config, registry, row,
+                     raise_hard_exit),
+                    name=f"exec-B{wid}",
+                )
+            else:
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(wid, work, done, spec.work, spec.speculative,
+                          store.snapshot(), self.fault_plan, child_shutdown,
+                          watermark_value, window_value, self.batch_size,
+                          self.trace_config, registry, row),
+                    name=f"exec-B{wid}",
+                    daemon=True,
+                )
             proc.start()
             processes[wid] = proc
             return wid

@@ -34,6 +34,8 @@ class EngineMetrics:
     iterations: int = 0
     #: effective transport batch size (1 = classic unbatched wire format)
     batch_size: int = 1
+    #: channel wire backend the run used: "pipe", "shm", or "thread"
+    transport: str = "pipe"
 
     # -- wall-clock observability ------------------------------------------------
     wall_seconds: float = 0.0
@@ -125,6 +127,8 @@ class EngineMetrics:
                 "flushes": stats.get("flushes", 0),
                 "mean_frame_items": stats.get("mean_frame_items", 0.0),
                 "serialize_seconds": stats.get("serialize_seconds", 0.0),
+                "deserialize_seconds": stats.get("deserialize_seconds", 0.0),
+                "transport": stats.get("transport", "pipe"),
             }
         return overhead
 
@@ -134,6 +138,7 @@ class EngineMetrics:
             "capacity": self.capacity,
             "iterations": self.iterations,
             "batch_size": self.batch_size,
+            "transport": self.transport,
             "wall_seconds": round(self.wall_seconds, 6),
             "sequential_seconds": (
                 round(self.sequential_seconds, 6)
@@ -190,7 +195,7 @@ class EngineMetrics:
         """Human-readable run summary for the CLI."""
         lines = [
             f"exec: {self.iterations} iterations on {self.workers} worker(s), "
-            f"channel capacity {self.capacity}",
+            f"channel capacity {self.capacity}, {self.transport} transport",
             f"wall clock        {self.wall_seconds:.3f}s  "
             f"(A {self.stage_seconds['A']:.3f}s, B {self.stage_seconds['B']:.3f}s, "
             f"C {self.stage_seconds['C']:.3f}s busy)",
@@ -262,7 +267,8 @@ class EngineMetrics:
             bits = ", ".join(
                 f"{name}: {info['flushes']} flushes x "
                 f"{info['mean_frame_items']:.1f} items, "
-                f"{info['serialize_seconds'] * 1e3:.1f}ms serialize"
+                f"{info['serialize_seconds'] * 1e3:.1f}ms serialize / "
+                f"{info['deserialize_seconds'] * 1e3:.1f}ms deserialize"
                 for name, info in overhead.items()
             )
             lines.append(

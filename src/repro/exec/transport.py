@@ -1,0 +1,721 @@
+"""Pluggable wire transports beneath :class:`~repro.exec.channels.ProcessChannel`.
+
+The channel layer owns the *protocol*: framing policy, credit-based flow
+control, STOP discipline, chaos injection, and occupancy statistics.  This
+module owns the *wire* — how an encoded frame physically crosses between
+processes — behind a small duck-typed interface:
+
+``send(items, framed, timeout) -> serialize_seconds``
+    Deliver one message (a frame of items, or a single unframed object when
+    ``framed`` is false).  Returns the seconds spent serializing so the
+    channel can account comm overhead.  Raises :class:`TransportFull` when
+    the wire cannot accept the message within ``timeout`` — the channel
+    refunds the frame's credit and surfaces a ``ChannelTimeout``.
+
+``recv(timeout) -> (items, single, deserialize_seconds)``
+    Block up to ``timeout`` for one message.  Exactly one of ``items``
+    (a decoded frame) and ``single`` (an unframed object) is meaningful:
+    ``items is None`` marks the unframed case.  Raises
+    :class:`TransportEmpty` on timeout.
+
+``recv_nowait()``
+    Non-blocking :meth:`recv` for drain paths; must never wedge, even when
+    a peer died holding a transport lock.
+
+``close(join=False)``
+    Release wire resources.  ``join=True`` is the cooperative variant (a
+    child about to hard-exit flushing its side); ``join=False`` is the
+    teardown variant that must not block on dead peers.
+
+Three backends:
+
+:class:`PipeTransport`
+    The PR 3 wire: a ``multiprocessing.Queue`` carrying pickled frames.
+    Portable, kernel-buffered, but every item pays pickle + pipe write +
+    kernel copy.
+
+:class:`ShmRingTransport`
+    A shared-memory ring buffer (``multiprocessing.shared_memory``) of
+    fixed-size slots with an aligned-int64 seq-number publication
+    discipline — the crash-safe ring proven in :mod:`repro.obs.spool`,
+    here with blocking flow control instead of overwrite.  Messages are
+    written directly into the mapped segment (homogeneous ``bytes``
+    frames entirely pickle-free) and decoded straight out of it, so the
+    kernel never copies payload bytes at all.
+
+:class:`ThreadTransport`
+    An in-process deque for thread-mode pipelines: items move by
+    reference, no serialization, no copies — the fastest wire when the
+    workload is I/O-bound or the interpreter is free-threaded.
+
+Shared-memory lifecycle: the creating process owns the segment.  Only the
+owner's :meth:`~ShmRingTransport.close` unlinks; attached processes merely
+unmap.  The owner stays registered with ``multiprocessing.resource_tracker``
+so even a SIGKILLed run leaks nothing — the tracker unlinks the segment once
+every process that mapped it has died.  Segments are named
+``repro-shm-<pid>-<hex>`` so :func:`orphaned_segments` can audit ``/dev/shm``
+for leaks (``python -m repro shm-audit``).
+
+Publication ordering relies on the writer storing the slot's seq *after*
+its payload, and on aligned 8-byte stores being atomic — true on every
+platform CPython supports; on weakly-ordered ISAs the interpreter's own
+synchronization has kept this discipline sound for :mod:`repro.obs.spool`
+as well.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as _queue_module
+import struct
+import time
+from collections import deque
+from threading import Condition
+from typing import Any, List, Optional, Tuple
+
+#: Prefix for every shared-memory segment this package creates — the
+#: auditable namespace ``repro shm-audit`` scans for leaks.
+SHM_PREFIX = "repro-shm-"
+
+#: Where POSIX named shared memory surfaces as files (Linux).  Platforms
+#: without it simply audit clean.
+_SHM_DIR = "/dev/shm"
+
+#: Ring slot header: message seq (int64, written last — the publication
+#: point), payload length (u32), flags (u32).
+_SLOT_HEADER = struct.Struct("<qII")
+
+#: Slot flags.
+_FLAG_SINGLE = 0  #: pickled single object (unframed message)
+_FLAG_FRAME = 1  #: pickled list of items
+_FLAG_RAW = 2  #: homogeneous bytes frame, written in place (no pickle)
+_FLAG_WRAP = 3  #: marker: rest of the ring lap is skipped, message at slot 0
+
+#: An int64 cursor cell in the ring header.
+_I64 = struct.Struct("<q")
+
+#: Ring header cell offsets (all 8-byte aligned).  ``head_slot`` is the
+#: reader's cumulative freed-slot count — the one cell writers read without
+#: the recv lock, so it sits alone; the reader's cursors live beside it and
+#: the writer's cursors a cache line away.
+_OFF_HEAD = 0
+_OFF_READ_SLOT = 8
+_OFF_READ_SEQ = 16
+_OFF_DATA_WAIT = 24
+_OFF_TAIL_SLOT = 64
+_OFF_NEXT_SEQ = 72
+_OFF_SPACE_WAIT = 80
+_RING_BASE = 128
+
+#: Defensive cap on one event wait: wakeups are event-driven (set/clear),
+#: the timeout only bounds the damage of a peer that died between
+#: publishing and signalling.
+_WAIT_SLICE = 0.05
+
+
+class TransportFull(Exception):
+    """The wire could not accept a message within its timeout."""
+
+
+class TransportEmpty(Exception):
+    """No message arrived within the timeout."""
+
+
+class PipeTransport:
+    """The PR 3 wire: one ``multiprocessing.Queue`` of pickled frames."""
+
+    kind = "pipe"
+
+    def __init__(self, ctx, capacity: int) -> None:
+        # Frames never outnumber their items, so a frame-count maxsize of
+        # ``capacity`` can never bound tighter than the channel's item
+        # credit does; the credit check is the real full/empty discipline.
+        self._queue = ctx.Queue(maxsize=capacity)
+
+    def send(
+        self, items: List[Any], framed: bool, timeout: Optional[float]
+    ) -> float:
+        from repro.exec.channels import encode_frame
+
+        serialize_seconds = 0.0
+        if framed:
+            started = time.perf_counter()
+            payload = encode_frame(items)
+            serialize_seconds = time.perf_counter() - started
+        else:
+            payload = items[0]
+        try:
+            self._queue.put(payload, block=True, timeout=timeout)
+        except _queue_module.Full:
+            raise TransportFull("pipe transport full") from None
+        return serialize_seconds
+
+    def recv(
+        self, timeout: Optional[float]
+    ) -> Tuple[Optional[List[Any]], Any, float]:
+        try:
+            raw = self._queue.get(block=True, timeout=timeout)
+        except _queue_module.Empty:
+            raise TransportEmpty("pipe transport empty") from None
+        return self._decode(raw)
+
+    def recv_nowait(self) -> Tuple[Optional[List[Any]], Any, float]:
+        try:
+            raw = self._queue.get_nowait()
+        except _queue_module.Empty:
+            raise TransportEmpty("pipe transport empty") from None
+        return self._decode(raw)
+
+    @staticmethod
+    def _decode(raw: Any) -> Tuple[Optional[List[Any]], Any, float]:
+        from repro.exec.channels import decode_frame
+
+        started = time.perf_counter()
+        items = decode_frame(raw)
+        deserialize_seconds = time.perf_counter() - started
+        if items is None:
+            return None, raw, deserialize_seconds
+        return items, None, deserialize_seconds
+
+    def close(self, join: bool = False) -> None:
+        if join:
+            self._queue.close()
+            self._queue.join_thread()
+        else:
+            self._queue.cancel_join_thread()
+            self._queue.close()
+
+
+class ShmRingTransport:
+    """A blocking MPMC ring of fixed-size slots in named shared memory.
+
+    Layout: a 128-byte header of aligned-int64 cursors, then ``slots``
+    cells of ``slot_bytes`` each.  A message occupies one or more
+    *contiguous* cells — the first carries the 16-byte slot header (seq,
+    length, flags), the payload runs through the rest.  A message that
+    would straddle the ring end is preceded by a WRAP marker that skips
+    the remainder of the lap, so payload bytes are always one contiguous
+    span (decode is a single ``pickle.loads``/slice over the mapping).
+
+    Publication is torn-write safe the :mod:`repro.obs.spool` way: the
+    writer fills payload, length, and flags first and stores the slot's
+    seq *last*; a reader polling the head slot treats any seq other than
+    the one it expects as "not yet published" — a crashed writer leaves a
+    stale seq, never a half-read frame.
+
+    Concurrency: senders serialize on ``send_lock``, receivers on
+    ``recv_lock`` (both channels are multi-producer — N workers share the
+    done channel, and crashed workers hand chunks back to the work
+    channel — and the work channel is multi-consumer).  The writer-side
+    cursors (``tail_slot``, ``next_seq``) and reader-side cursors
+    (``read_slot``, ``read_seq``) live *in the segment* under their
+    respective locks so every process sees one truth; ``head_slot`` (the
+    reader's cumulative freed count) is published with a plain aligned
+    store and read locklessly by writers for flow control — a stale read
+    only makes a writer wait one poll longer.
+
+    Frames decode inside the recv lock, straight out of the mapping
+    (``pickle.loads`` on a memoryview slice; raw frames slice ``bytes``
+    per item) — the slot cannot be reused until the reader publishes the
+    new ``head_slot``, so the zero-copy view is stable for exactly as
+    long as it is read.
+    """
+
+    kind = "shm"
+
+    #: Defaults: 256 slots x 8 KiB = a 2 MiB ring per channel.  A frame of
+    #: 64 protocol tuples pickles to ~2 KiB (one slot); the largest single
+    #: message may span the whole ring minus one header.
+    DEFAULT_SLOTS = 256
+    DEFAULT_SLOT_BYTES = 8192
+
+    def __init__(
+        self,
+        ctx,
+        slots: int = DEFAULT_SLOTS,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+    ) -> None:
+        from multiprocessing import shared_memory
+
+        if slots < 2:
+            raise ValueError("shm ring needs at least 2 slots")
+        if slot_bytes < _SLOT_HEADER.size + 8:
+            raise ValueError("shm ring slots too small for a header")
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        name = f"{SHM_PREFIX}{os.getpid()}-{os.urandom(4).hex()}"
+        self._shm = shared_memory.SharedMemory(
+            create=True, name=name, size=_RING_BASE + slots * slot_bytes
+        )
+        self.name = self._shm.name
+        #: Only the creating process unlinks the segment (attachers merely
+        #: unmap); the owner's resource_tracker registration doubles as the
+        #: SIGKILL backstop — the tracker unlinks once every mapper died.
+        self._owner_pid = os.getpid()
+        buf = self._shm.buf
+        buf[:_RING_BASE] = b"\0" * _RING_BASE
+        for k in range(slots):
+            _SLOT_HEADER.pack_into(
+                buf, _RING_BASE + k * slot_bytes, -1, 0, 0
+            )
+        self.send_lock = ctx.Lock()
+        self.recv_lock = ctx.Lock()
+        #: Wakeups are raw semaphore tokens, not ``ctx.Event``s: an Event
+        #: is a Condition over a Lock, and a peer SIGKILLed inside that
+        #: lock would wedge every later ``set()`` forever.  ``sem_post``
+        #: can never block and ``sem_timedwait`` needs no helper lock, so
+        #: the wake path survives any peer death.  Waiters declare
+        #: themselves in the header first (the ``*_WAIT`` flag words), so
+        #: the steady-state fast path pays no semaphore traffic at all;
+        #: drain-then-recheck-then-wait keeps the handoff lossless.
+        self.data_sem = ctx.Semaphore(0)
+        self.space_sem = ctx.Semaphore(0)
+        self._closed = False
+
+    # -- pickling (spawn start method) --------------------------------------------
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_shm"] = None
+        return state
+
+    def __setstate__(self, state):
+        from multiprocessing import resource_tracker, shared_memory
+
+        self.__dict__.update(state)
+        self._shm = shared_memory.SharedMemory(name=self.name)
+        # Attaching registers with the resource tracker on some Python
+        # versions; unregister so a child exiting cannot unlink the ring
+        # out from under the rest of the pipeline (bpo-39959).
+        try:
+            resource_tracker.unregister(self._shm._name, "shared_memory")
+        except Exception:
+            pass
+
+    # -- helpers ------------------------------------------------------------------
+
+    @property
+    def max_payload(self) -> int:
+        return self.slots * self.slot_bytes - _SLOT_HEADER.size
+
+    def _cells(self, payload_len: int) -> int:
+        """Contiguous slots a message of ``payload_len`` bytes occupies."""
+        return -(-(payload_len + _SLOT_HEADER.size) // self.slot_bytes)
+
+    @staticmethod
+    def _deadline(timeout: Optional[float]) -> Optional[float]:
+        return None if timeout is None else time.monotonic() + timeout
+
+    def _wait_space(self, buf, tail: int, cells: int, deadline) -> None:
+        """Block (holding the send lock) until ``cells`` slots are free."""
+        if tail + cells - _I64.unpack_from(buf, _OFF_HEAD)[0] <= self.slots:
+            return
+        # Declare the wait in the header first (a plain aligned store the
+        # reader polls instead of paying a semaphore signal per message),
+        # then drain-then-recheck so a slot freed in between leaves a
+        # token the timed wait below consumes immediately.
+        _I64.pack_into(buf, _OFF_SPACE_WAIT, 1)
+        try:
+            while (
+                tail + cells - _I64.unpack_from(buf, _OFF_HEAD)[0]
+                > self.slots
+            ):
+                while self.space_sem.acquire(False):
+                    pass
+                if (
+                    tail + cells - _I64.unpack_from(buf, _OFF_HEAD)[0]
+                    <= self.slots
+                ):
+                    return
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TransportFull("shm ring full")
+                    self.space_sem.acquire(True, min(remaining, _WAIT_SLICE))
+                else:
+                    self.space_sem.acquire(True, _WAIT_SLICE)
+        finally:
+            _I64.pack_into(buf, _OFF_SPACE_WAIT, 0)
+
+    # -- send ---------------------------------------------------------------------
+
+    def send(
+        self, items: List[Any], framed: bool, timeout: Optional[float]
+    ) -> float:
+        if self._closed:
+            raise OSError("shm ring transport is closed")
+        deadline = self._deadline(timeout)
+        raw = (
+            framed
+            and len(items) > 1
+            and all(type(item) is bytes for item in items)
+        )
+        serialize_seconds = 0.0
+        if raw:
+            # Vectored in-place write: sizes computed here, bytes land
+            # directly in the mapped segment below — zero intermediate
+            # copies, no pickle on the fast path.
+            lengths = [len(item) for item in items]
+            payload_len = 4 + 4 * len(items) + sum(lengths)
+            data = None
+        else:
+            started = time.perf_counter()
+            data = pickle.dumps(
+                list(items) if framed else items[0],
+                pickle.HIGHEST_PROTOCOL,
+            )
+            serialize_seconds = time.perf_counter() - started
+            payload_len = len(data)
+        if payload_len > self.max_payload:
+            raise ValueError(
+                f"message of {payload_len} bytes exceeds shm ring capacity "
+                f"({self.max_payload} bytes); construct the channel with a "
+                f"larger ring or use the pipe transport"
+            )
+        cells = self._cells(payload_len)
+        acquire_timeout = (
+            -1 if deadline is None else max(0.0, deadline - time.monotonic())
+        )
+        if not self.send_lock.acquire(
+            timeout=None if acquire_timeout == -1 else acquire_timeout
+        ):
+            raise TransportFull("shm ring send lock busy")
+        try:
+            buf = self._shm.buf
+            tail = _I64.unpack_from(buf, _OFF_TAIL_SLOT)[0]
+            seq = _I64.unpack_from(buf, _OFF_NEXT_SEQ)[0]
+            index = tail % self.slots
+            if index + cells > self.slots:
+                # The message will not fit before the ring end: publish a
+                # WRAP marker (it consumes one seq and the rest of the
+                # lap) and restart at slot 0.  A timeout after this point
+                # leaves a consistent ring — the marker is simply skipped
+                # by the reader and the message retries on fresh credit.
+                skip = self.slots - index
+                self._wait_space(buf, tail, skip, deadline)
+                offset = _RING_BASE + index * self.slot_bytes
+                struct.pack_into("<II", buf, offset + 8, 0, _FLAG_WRAP)
+                _I64.pack_into(buf, offset, seq)
+                tail += skip
+                seq += 1
+                index = 0
+                _I64.pack_into(buf, _OFF_TAIL_SLOT, tail)
+                _I64.pack_into(buf, _OFF_NEXT_SEQ, seq)
+                # Wake a waiting reader now: the payload wait below may
+                # itself block on the reader skipping this marker and
+                # freeing the tail of the lap.
+                if _I64.unpack_from(buf, _OFF_DATA_WAIT)[0]:
+                    self.data_sem.release()
+            self._wait_space(buf, tail, cells, deadline)
+            offset = _RING_BASE + index * self.slot_bytes
+            body = offset + _SLOT_HEADER.size
+            if raw:
+                started = time.perf_counter()
+                count = len(items)
+                struct.pack_into(
+                    f"<I{count}I", buf, body, count, *lengths
+                )
+                cursor = body + 4 + 4 * count
+                for item in items:
+                    end = cursor + len(item)
+                    buf[cursor:end] = item
+                    cursor = end
+                serialize_seconds = time.perf_counter() - started
+                flags = _FLAG_RAW
+            else:
+                buf[body : body + payload_len] = data
+                flags = _FLAG_FRAME if framed else _FLAG_SINGLE
+            struct.pack_into("<II", buf, offset + 8, payload_len, flags)
+            _I64.pack_into(buf, offset, seq)  # publication point
+            _I64.pack_into(buf, _OFF_TAIL_SLOT, tail + cells)
+            _I64.pack_into(buf, _OFF_NEXT_SEQ, seq + 1)
+            # Signal only a declared waiter: a steady-state reader never
+            # sleeps, and an unconditional wake per message would cost
+            # more semaphore traffic than the copy itself.
+            wake = _I64.unpack_from(buf, _OFF_DATA_WAIT)[0]
+        finally:
+            self.send_lock.release()
+        if wake:
+            self.data_sem.release()
+        return serialize_seconds
+
+    # -- recv ---------------------------------------------------------------------
+
+    def recv(
+        self, timeout: Optional[float]
+    ) -> Tuple[Optional[List[Any]], Any, float]:
+        deadline = self._deadline(timeout)
+        if not self.recv_lock.acquire(timeout=timeout):
+            raise TransportEmpty("shm ring recv lock busy") from None
+        try:
+            return self._read_locked(deadline)
+        finally:
+            self.recv_lock.release()
+
+    def recv_nowait(self) -> Tuple[Optional[List[Any]], Any, float]:
+        # Bounded acquire: a peer killed while holding the lock must not
+        # wedge drain/teardown paths — they treat "busy" as "empty".
+        if not self.recv_lock.acquire(timeout=0.01):
+            raise TransportEmpty("shm ring recv lock busy") from None
+        try:
+            return self._read_locked(time.monotonic())
+        finally:
+            self.recv_lock.release()
+
+    def _read_locked(
+        self, deadline: Optional[float]
+    ) -> Tuple[Optional[List[Any]], Any, float]:
+        if self._closed:
+            raise OSError("shm ring transport is closed")
+        buf = self._shm.buf
+        read_slot = _I64.unpack_from(buf, _OFF_READ_SLOT)[0]
+        read_seq = _I64.unpack_from(buf, _OFF_READ_SEQ)[0]
+        while True:
+            index = read_slot % self.slots
+            offset = _RING_BASE + index * self.slot_bytes
+            seq, length, flags = _SLOT_HEADER.unpack_from(buf, offset)
+            if seq != read_seq:
+                # Unpublished (or torn: a writer died mid-fill leaves the
+                # stale seq of a previous lap) — nothing to consume yet.
+                # Declare the wait (plain store writers poll), then
+                # drain-then-recheck: a publication landing after the
+                # drain leaves a token the timed wait consumes at once,
+                # so no wakeup is ever lost.
+                _I64.pack_into(buf, _OFF_DATA_WAIT, 1)
+                try:
+                    while self.data_sem.acquire(False):
+                        pass
+                    if _I64.unpack_from(buf, offset)[0] == read_seq:
+                        continue
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise TransportEmpty("shm ring empty")
+                        self.data_sem.acquire(True, min(remaining, _WAIT_SLICE))
+                    else:
+                        self.data_sem.acquire(True, _WAIT_SLICE)
+                finally:
+                    _I64.pack_into(buf, _OFF_DATA_WAIT, 0)
+                continue
+            if flags == _FLAG_WRAP:
+                read_slot += self.slots - index
+                read_seq += 1
+                self._publish_read(buf, read_slot, read_seq)
+                continue
+            body = offset + _SLOT_HEADER.size
+            started = time.perf_counter()
+            items: Optional[List[Any]] = None
+            single: Any = None
+            if flags == _FLAG_RAW:
+                (count,) = struct.unpack_from("<I", buf, body)
+                lengths = struct.unpack_from(f"<{count}I", buf, body + 4)
+                cursor = body + 4 + 4 * count
+                items = []
+                for item_len in lengths:
+                    end = cursor + item_len
+                    items.append(bytes(buf[cursor:end]))
+                    cursor = end
+            elif flags == _FLAG_FRAME:
+                items = pickle.loads(buf[body : body + length])
+            else:
+                single = pickle.loads(buf[body : body + length])
+            deserialize_seconds = time.perf_counter() - started
+            read_slot += self._cells(length)
+            read_seq += 1
+            self._publish_read(buf, read_slot, read_seq)
+            return items, single, deserialize_seconds
+
+    def _publish_read(self, buf, read_slot: int, read_seq: int) -> None:
+        _I64.pack_into(buf, _OFF_READ_SLOT, read_slot)
+        _I64.pack_into(buf, _OFF_READ_SEQ, read_seq)
+        # Freed slots become visible to writers last (aligned store).
+        _I64.pack_into(buf, _OFF_HEAD, read_slot)
+        if _I64.unpack_from(buf, _OFF_SPACE_WAIT)[0]:
+            self.space_sem.release()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self, join: bool = False) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        owner = os.getpid() == self._owner_pid
+        try:
+            self._shm.close()
+        except BufferError:
+            # A live memoryview pins the mapping (an interrupted decode);
+            # leave it mapped — unlink below still reclaims the name.
+            pass
+        if owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ShmRingTransport({self.name!r}, slots={self.slots}, "
+            f"slot_bytes={self.slot_bytes})"
+        )
+
+
+class ThreadTransport:
+    """In-process wire for thread-mode pipelines: items move by reference.
+
+    No serialization, no copies, no kernel — the channel's credit counters
+    still bound occupancy, STOP and chaos semantics are unchanged.  Not
+    picklable: a thread transport cannot cross a process boundary.
+    """
+
+    kind = "thread"
+
+    def __init__(self) -> None:
+        self._messages: deque = deque()
+        self._ready = Condition()
+
+    def send(
+        self, items: List[Any], framed: bool, timeout: Optional[float]
+    ) -> float:
+        message = (list(items), framed)
+        with self._ready:
+            self._messages.append(message)
+            self._ready.notify()
+        return 0.0
+
+    def recv(
+        self, timeout: Optional[float]
+    ) -> Tuple[Optional[List[Any]], Any, float]:
+        with self._ready:
+            if not self._messages and not self._ready.wait_for(
+                lambda: self._messages, timeout
+            ):
+                raise TransportEmpty("thread transport empty")
+            items, framed = self._messages.popleft()
+        if framed:
+            return items, None, 0.0
+        return None, items[0], 0.0
+
+    def recv_nowait(self) -> Tuple[Optional[List[Any]], Any, float]:
+        with self._ready:
+            if not self._messages:
+                raise TransportEmpty("thread transport empty")
+            items, framed = self._messages.popleft()
+        if framed:
+            return items, None, 0.0
+        return None, items[0], 0.0
+
+    def close(self, join: bool = False) -> None:
+        # Shared by every thread of the pipeline; a "crashing" worker
+        # thread closing its channel must not sever the others.
+        pass
+
+    def __reduce__(self):
+        raise TypeError(
+            "ThreadTransport is in-process only and cannot be pickled; "
+            "use the 'pipe' or 'shm' transport for process workers"
+        )
+
+
+#: The transport axis ``--transport`` exposes.
+TRANSPORT_KINDS = ("pipe", "shm", "thread")
+
+
+def make_transport(
+    kind: str,
+    ctx,
+    capacity: int,
+    *,
+    ring_slots: int = ShmRingTransport.DEFAULT_SLOTS,
+    ring_slot_bytes: int = ShmRingTransport.DEFAULT_SLOT_BYTES,
+):
+    """Build a transport backend by name (see :data:`TRANSPORT_KINDS`)."""
+    if kind == "pipe":
+        return PipeTransport(ctx, capacity)
+    if kind == "shm":
+        return ShmRingTransport(
+            ctx, slots=ring_slots, slot_bytes=ring_slot_bytes
+        )
+    if kind == "thread":
+        return ThreadTransport()
+    raise ValueError(
+        f"unknown transport {kind!r}; expected one of {TRANSPORT_KINDS}"
+    )
+
+
+# -- /dev/shm leak auditing -------------------------------------------------------
+
+
+def orphaned_segments(include_generic: bool = False) -> List[str]:
+    """Names of shared-memory segments this package (or, with
+    ``include_generic``, any ``multiprocessing.shared_memory`` user)
+    currently holds in ``/dev/shm``.
+
+    On platforms without a ``/dev/shm`` the audit is vacuously clean.
+    """
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:
+        return []
+    ours = [name for name in sorted(entries) if name.startswith(SHM_PREFIX)]
+    if include_generic:
+        ours += [name for name in sorted(entries) if name.startswith("psm_")]
+    return ours
+
+
+def reap_stale_segments() -> List[str]:
+    """Unlink ring segments whose creating process no longer exists.
+
+    A SIGKILL of the whole process *group* takes the resource tracker down
+    with the run, so nobody is left to unlink — the one crash shape no
+    in-flight backstop can cover.  Segment names embed the creator pid
+    (``repro-shm-<pid>-<hex>``), so a later process can prove staleness
+    and reclaim the name.  Unlinking only removes the name: a straggling
+    child still unwinding keeps its mapping until it exits.
+    """
+    from multiprocessing import shared_memory
+
+    reaped = []
+    for name in orphaned_segments():
+        try:
+            pid = int(name.split("-")[2])
+        except (IndexError, ValueError):
+            continue
+        try:
+            os.kill(pid, 0)
+            continue  # creator alive: the segment may be in flight
+        except ProcessLookupError:
+            pass
+        except PermissionError:
+            continue  # pid reused by another user's process
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+            segment.close()
+            segment.unlink()
+            reaped.append(name)
+        except FileNotFoundError:
+            pass
+    return reaped
+
+
+def wait_for_reclaim(timeout: float = 5.0) -> List[str]:
+    """Segments still present after giving lagging reclaims ``timeout``
+    seconds — after a SIGKILL the resource tracker unlinks a segment only
+    once every mapping process has died, which takes up to one
+    orphan-guard poll interval.  Empty list = clean."""
+    deadline = time.monotonic() + timeout
+    leaked = orphaned_segments()
+    while leaked and time.monotonic() < deadline:
+        time.sleep(0.05)
+        leaked = orphaned_segments()
+    return leaked
+
+
+def assert_no_orphans(timeout: float = 5.0) -> None:
+    """Fail loudly if orphaned ``repro-shm-*`` segments persist past the
+    reclaim wait window."""
+    leaked = wait_for_reclaim(timeout)
+    if leaked:
+        raise AssertionError(
+            f"orphaned shared-memory segments in {_SHM_DIR}: {leaked}"
+        )

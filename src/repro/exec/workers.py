@@ -67,6 +67,52 @@ _IDLE_POLL = 0.2
 _GATE_POLL = 0.005
 
 
+class HardExit(BaseException):
+    """A fault injection's process death, expressed as control flow.
+
+    Process-mode stages die with ``os._exit(code)``; thread-mode stages
+    (the ``thread`` transport) cannot take the whole interpreter with
+    them, so the engine injects a ``hard_exit`` that raises this instead —
+    the thread handle catches it and records ``code`` as the exitcode,
+    keeping the committer's crash accounting identical across transports.
+    ``BaseException`` so no worker-side ``except Exception`` can swallow
+    an injected death.
+    """
+
+    def __init__(self, code: int) -> None:
+        super().__init__(f"hard exit with code {code}")
+        self.code = code
+
+
+def raise_hard_exit(code: int) -> None:
+    """The thread-mode ``hard_exit``: unwind instead of killing the
+    interpreter."""
+    raise HardExit(code)
+
+
+class ShutdownGuard:
+    """The engine's shutdown event, plus parent-death detection.
+
+    An engine parent killed with SIGKILL never sets the shutdown event,
+    so its children would idle (or spin on channel credit) forever —
+    keeping shared-memory segments mapped and therefore leaked.  Exposing
+    parent death through ``is_set()`` makes every existing cooperative
+    exit check double as the orphan reaper: once the last mapper exits,
+    the resource tracker unlinks the segments even for SIGKILLed runs.
+    Picklable (an event and a pid) so it rides the spawn args.
+    """
+
+    def __init__(self, shutdown, parent_pid: int) -> None:
+        self._shutdown = shutdown
+        self._parent = parent_pid
+
+    def is_set(self) -> bool:
+        return self._shutdown.is_set() or os.getppid() != self._parent
+
+    def set(self) -> None:
+        self._shutdown.set()
+
+
 def _drain_flush(channel: ProcessChannel, shutdown) -> bool:
     """Blockingly flush everything pending, re-checking ``shutdown``
     between bounded attempts; False when interrupted by shutdown."""
@@ -91,6 +137,7 @@ def producer_main(
     registry=None,
     writer: int = 0,
     close_channel: bool = True,
+    hard_exit: Callable[[int], None] = os._exit,
 ) -> None:
     """Phase A: run ``produce`` per iteration, dispatch chunks downstream.
 
@@ -138,7 +185,7 @@ def producer_main(
                         EventKind.CHAOS, arg=i, detail=int(ChaosCode.CRASH)
                     )
                     tracer.flush()
-                os._exit(3)
+                hard_exit(3)
             # One clock pair serves both the metrics (a_seconds) and the
             # trace span — tracing adds zero clock calls on this path.
             t0_ns = now_ns()
@@ -181,6 +228,7 @@ def worker_main(
     trace: Optional[TraceConfig] = None,
     registry=None,
     writer: int = 0,
+    hard_exit: Callable[[int], None] = os._exit,
 ) -> None:
     """Phase B replica: claim a chunk, gate on the throttle window, execute
     speculatively, report in batched frames.
@@ -194,7 +242,9 @@ def worker_main(
     done.tracer = tracer
 
     def stop() -> None:
-        done.put(("stopped", worker_id))
+        # Buffer (never blocks), then a bounded flush: the committer may
+        # already be gone, and a goodbye must not wedge the exit.
+        done.put_buffered(("stopped", worker_id))
         try:
             done.flush(timeout=1.0)
         except ChannelTimeout:
@@ -204,7 +254,7 @@ def worker_main(
         _worker_loop(
             worker_id, work, done, work_fn, speculative, snapshot,
             fault_plan, shutdown, watermark, window, max_chunk, stop, tracer,
-            registry, writer,
+            registry, writer, hard_exit,
         )
     finally:
         if tracer is not None:
@@ -227,6 +277,7 @@ def _worker_loop(
     tracer,
     registry=None,
     writer: int = 0,
+    hard_exit: Callable[[int], None] = os._exit,
 ) -> None:
     while True:
         _drain_flush(done, shutdown)  # bound result latency before blocking
@@ -317,7 +368,7 @@ def _worker_loop(
                             detail=int(ChaosCode.CRASH),
                         )
                         tracer.flush()
-                    os._exit(1)
+                    hard_exit(1)
                 if i in fault_plan.hang_iterations:
                     logger.info(
                         "injected hang in worker %d at iteration %d "
@@ -426,7 +477,15 @@ def _worker_loop(
                         )
                     continue  # the result message is lost on the wire
             message = ("result", worker_id, i, result, reads, writes, elapsed)
-            done.put(message)
+            # Bounded, shutdown-aware send: an unbounded put would spin in
+            # the credit wait forever if the committer died mid-chunk (the
+            # one exit path a SIGKILLed parent cannot set the shutdown
+            # event for — the orphan guard is the only way out).
+            try:
+                done.put(message, timeout=_IDLE_POLL)
+            except ChannelTimeout:
+                if not _drain_flush(done, shutdown):
+                    return  # orphaned: nobody is left to read results
             if (
                 fault_plan is not None
                 and i in fault_plan.duplicate_result_iterations
@@ -438,5 +497,9 @@ def _worker_loop(
                         EventKind.CHAOS, arg=i, arg2=worker_id,
                         detail=int(ChaosCode.RESULT_DUPLICATE),
                     )
-                done.put(message)
+                try:
+                    done.put(message, timeout=_IDLE_POLL)
+                except ChannelTimeout:
+                    if not _drain_flush(done, shutdown):
+                        return
         _drain_flush(done, shutdown)

@@ -83,6 +83,7 @@ def make_record(
         "workers": metrics.workers,
         "capacity": metrics.capacity,
         "batch_size": metrics.batch_size,
+        "transport": getattr(metrics, "transport", "pipe"),
         "iterations": metrics.iterations,
         "wall_seconds": round(wall, 6),
         "items_per_sec": round(metrics.commits / wall, 1) if wall else 0.0,
@@ -153,6 +154,10 @@ def load_history(path: str) -> List[dict]:
 
 
 def _comparable(a: dict, b: dict) -> bool:
+    # transport defaults to "pipe" so pre-transport records stay
+    # comparable with pipe runs (they are the same configuration).
+    if a.get("transport", "pipe") != b.get("transport", "pipe"):
+        return False
     return all(
         a.get(key) == b.get(key)
         for key in ("name", "workers", "batch_size")
@@ -344,6 +349,7 @@ def format_history_diff(diff: HistoryDiff) -> str:
             f"{record.get('name', '?')}{label_text} "
             f"({record.get('workers', '?')}w batch "
             f"{record.get('batch_size', '?')}, "
+            f"{record.get('transport', 'pipe')} transport, "
             f"{record.get('iterations', '?')} iterations)"
         )
 
@@ -375,6 +381,7 @@ def format_history_list(records: List[dict], limit: int = 10) -> str:
             f"{time.strftime('%Y-%m-%d %H:%M:%S', time.localtime(record.get('ts', 0)))}  "
             f"{record.get('name', '?'):<12} "
             f"{record.get('workers', '?')}w b{record.get('batch_size', '?'):<3} "
+            f"{record.get('transport', 'pipe'):<6} "
             f"{record.get('items_per_sec', 0):>10,.1f}/s  "
             f"misspec {record.get('misspec_rate', 0):.1%}  "
             f"health {health:<8} "

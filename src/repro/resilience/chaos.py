@@ -328,6 +328,7 @@ def run_chaos(
     start_method: Optional[str] = None,
     batch_size: Optional[int] = None,
     flush_interval: Optional[float] = None,
+    transport: Optional[str] = None,
     trace: Optional[TraceConfig] = None,
     live=None,
 ) -> ChaosReport:
@@ -361,6 +362,8 @@ def run_chaos(
         engine_kwargs["batch_size"] = batch_size
     if flush_interval is not None:
         engine_kwargs["flush_interval"] = flush_interval
+    if transport is not None:
+        engine_kwargs["transport"] = transport
     engine = ExecutionEngine(
         workers=workers,
         capacity=capacity,

@@ -81,16 +81,19 @@ class _Slot:
     def __init__(
         self, index: int, ctx, capacity: int, workers: int,
         batch_size: int, flush_interval: float, writer_rows: int,
+        transport: str = "pipe",
     ) -> None:
         self.index = index
         self.work = ProcessChannel(
             capacity, name="work", ctx=ctx,
             batch_size=batch_size, flush_interval=flush_interval,
+            transport=transport,
         )
         self.done = ProcessChannel(
             _done_capacity(capacity, workers, batch_size),
             name="done", ctx=ctx,
             batch_size=batch_size, flush_interval=flush_interval,
+            transport=transport,
         )
         self.watermark = ctx.Value("l", 0)
         self.window = ctx.Value("l", 0)
@@ -151,7 +154,9 @@ def pool_worker_main(
         writer = min(row, registry.writers - 1)
 
         def stop(done=slot.done, wid=worker_id) -> None:
-            done.put(("stopped", wid))
+            # Buffer (never blocks), then a bounded flush: the server may
+            # already be gone, and a goodbye must not wedge the exit.
+            done.put_buffered(("stopped", wid))
             try:
                 done.flush(timeout=1.0)
             except ChannelTimeout:
@@ -358,15 +363,23 @@ class WorkerPool:
         policy: Optional[RobustnessPolicy] = None,
         start_method: Optional[str] = None,
         flush_interval: float = 0.005,
+        transport: str = "pipe",
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one pool worker")
         if slots < 1:
             raise ValueError("need at least one slot")
+        if transport not in ("pipe", "shm"):
+            # Pool workers are separate processes by definition; the
+            # in-process thread transport cannot reach them.
+            raise ValueError(
+                f"pool transport must be 'pipe' or 'shm', not {transport!r}"
+            )
         self.policy = policy or RobustnessPolicy()
         self.capacity = capacity
         self.batch_size = min(batch_size, capacity)
         self.flush_interval = flush_interval
+        self.transport = transport
         self.size = workers
         self._ctx = (
             multiprocessing.get_context(start_method)
@@ -379,7 +392,7 @@ class WorkerPool:
         writer_rows = WRITER_WORKER0 + self._row_budget
         self._slots: List[_Slot] = [
             _Slot(k, self._ctx, capacity, workers, self.batch_size,
-                  flush_interval, writer_rows)
+                  flush_interval, writer_rows, transport)
             for k in range(slots)
         ]
         self._free_slots: List[int] = list(range(slots))
@@ -694,6 +707,7 @@ class WorkerPool:
             ]
             return {
                 "size": self.size,
+                "transport": self.transport,
                 "pids": sorted(w.process.pid for w in alive),
                 "alive": len(alive),
                 "idle": sum(1 for w in alive if w.leased_to is None),

@@ -111,6 +111,9 @@ class ServiceConfig:
     live_interval: float = 0.05
     policy: Optional[RobustnessPolicy] = None
     start_method: Optional[str] = None
+    #: Channel wire backend for every slot: "pipe" or "shm" (pool workers
+    #: are processes, so the in-process thread transport is rejected).
+    transport: str = "pipe"
     #: Durability root (``--state-dir``).  None = the pre-durability
     #: in-memory server: no journal, no artifact spill, no recovery.
     state_dir: Optional[str] = None
@@ -140,6 +143,7 @@ class PipelineService:
             batch_size=cfg.batch_size,
             policy=self.policy,
             start_method=cfg.start_method,
+            transport=cfg.transport,
         )
         self.scheduler = FairScheduler()
         self.admission = AdmissionController(

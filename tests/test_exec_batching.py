@@ -12,8 +12,15 @@ Covers the batching-specific contracts on top of ``tests/test_exec_engine``:
   32-entry semantics no matter how items are framed;
 - engine output is bit-identical across batch sizes 1 / 16 / 64;
 - the chaos seed matrix stays green with batching enabled;
-- ``comm_overhead`` (flushes, mean frame occupancy, serialize seconds)
-  lands in the metrics JSON.
+- ``comm_overhead`` (flushes, mean frame occupancy, serialize and
+  deserialize seconds, transport kind) lands in the metrics JSON.
+
+Every channel-level contract here is parametrized across all three wire
+backends (``pipe`` / ``shm`` / ``thread``): the channel layer owns framing,
+credit, STOP discipline, and chaos memoization, so each invariant must hold
+regardless of what carries the bytes.  Shm-ring *internals* (torn writes,
+wrap markers, full-ring backpressure) are covered in
+``tests/test_exec_transport.py``.
 """
 
 import time
@@ -31,10 +38,14 @@ from repro.exec.channels import (
     encode_frame,
 )
 from repro.exec.engine import ExecutionEngine
+from repro.exec.transport import TRANSPORT_KINDS
 from repro.resilience import ChaosConfig, run_chaos
 
 #: The CI chaos matrix, run here with batching explicitly on.
 SEED_MATRIX = (1337, 20071209, 424242)
+
+#: Every channel contract must hold on every wire backend.
+TRANSPORTS = TRANSPORT_KINDS
 
 
 # -- module-level stage functions (picklable across processes) ---------------------
@@ -99,13 +110,18 @@ class TestFraming:
         for obj in (17, "plain", ("claim", 1, 2), None, b"raw"):
             assert decode_frame(obj) is None
 
+    @pytest.mark.parametrize("transport", TRANSPORTS)
     @given(
         st.lists(st.integers(), min_size=1, max_size=30),
         st.integers(min_value=1, max_value=8),
     )
     @settings(deadline=None, max_examples=15)
-    def test_channel_fifo_across_frame_boundaries(self, items, batch_size):
-        channel = ProcessChannel(capacity=64, batch_size=batch_size)
+    def test_channel_fifo_across_frame_boundaries(
+        self, transport, items, batch_size
+    ):
+        channel = ProcessChannel(
+            capacity=64, batch_size=batch_size, transport=transport
+        )
         try:
             channel.put_many(list(items), timeout=2.0)
             received = []
@@ -121,9 +137,12 @@ class TestFraming:
 # -- STOP discipline ---------------------------------------------------------------
 
 
+@pytest.mark.parametrize("transport", TRANSPORTS)
 class TestStopSentinel:
-    def test_stop_flushes_batch_and_travels_alone(self):
-        channel = ProcessChannel(capacity=16, batch_size=4)
+    def test_stop_flushes_batch_and_travels_alone(self, transport):
+        channel = ProcessChannel(
+            capacity=16, batch_size=4, transport=transport
+        )
         try:
             for value in ("a", "b", "c"):
                 channel.put_buffered(value)
@@ -135,8 +154,10 @@ class TestStopSentinel:
         finally:
             channel.close()
 
-    def test_stop_first_is_returned_alone(self):
-        channel = ProcessChannel(capacity=4, batch_size=4)
+    def test_stop_first_is_returned_alone(self, transport):
+        channel = ProcessChannel(
+            capacity=4, batch_size=4, transport=transport
+        )
         try:
             channel.put(STOP, timeout=2.0)
             assert channel.get_many(4, timeout=2.0) == [STOP]
@@ -147,10 +168,15 @@ class TestStopSentinel:
 # -- chaos memoization: timed-out puts retry idempotently --------------------------
 
 
+@pytest.mark.parametrize("transport", TRANSPORTS)
 class TestChaosPutRetry:
-    def test_duplicate_survives_timeout_retry_with_exactly_two_copies(self):
+    def test_duplicate_survives_timeout_retry_with_exactly_two_copies(
+        self, transport
+    ):
         chaos = ChannelChaos(duplicate_indices=frozenset({0}))
-        channel = ProcessChannel(capacity=1, batch_size=1, chaos=chaos)
+        channel = ProcessChannel(
+            capacity=1, batch_size=1, chaos=chaos, transport=transport
+        )
         try:
             # Two copies buffered, capacity one: the first flushes, the
             # second starves for credit and the put times out.
@@ -166,9 +192,11 @@ class TestChaosPutRetry:
         finally:
             channel.close()
 
-    def test_latency_not_reapplied_on_retry(self):
+    def test_latency_not_reapplied_on_retry(self, transport):
         chaos = ChannelChaos(latency_by_index={1: 0.2})
-        channel = ProcessChannel(capacity=1, batch_size=1, chaos=chaos)
+        channel = ProcessChannel(
+            capacity=1, batch_size=1, chaos=chaos, transport=transport
+        )
         try:
             channel.put("first", timeout=2.0)  # fills the channel
             started = time.monotonic()
@@ -189,9 +217,12 @@ class TestChaosPutRetry:
 # -- item-granular occupancy -------------------------------------------------------
 
 
+@pytest.mark.parametrize("transport", TRANSPORTS)
 class TestOccupancy:
-    def test_occupancy_counts_items_not_frames(self):
-        channel = ProcessChannel(capacity=8, batch_size=4)
+    def test_occupancy_counts_items_not_frames(self, transport):
+        channel = ProcessChannel(
+            capacity=8, batch_size=4, transport=transport
+        )
         try:
             channel.put_many(list(range(8)), timeout=2.0)  # two frames
             deadline = time.monotonic() + 2.0
@@ -209,8 +240,10 @@ class TestOccupancy:
         finally:
             channel.close()
 
-    def test_credit_blocks_at_item_capacity(self):
-        channel = ProcessChannel(capacity=4, batch_size=4)
+    def test_credit_blocks_at_item_capacity(self, transport):
+        channel = ProcessChannel(
+            capacity=4, batch_size=4, transport=transport
+        )
         try:
             channel.put_many(list(range(4)), timeout=2.0)
             with pytest.raises(ChannelTimeout):
@@ -226,23 +259,32 @@ class TestOccupancy:
 
 
 class TestEngineBatching:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
     @pytest.mark.parametrize("batch_size", [1, 16, 64])
-    def test_output_bit_identical_across_batch_sizes(self, batch_size):
+    def test_output_bit_identical_across_batch_sizes(
+        self, batch_size, transport
+    ):
         sequential_output, _ = run_sequential(batch_spec())
         engine = ExecutionEngine(
-            workers=2, capacity=64, batch_size=batch_size
+            workers=2, capacity=64, batch_size=batch_size,
+            transport=transport,
         )
         result = engine.run(batch_spec())
         assert result.output == sequential_output
         assert result.metrics.commits == 60
         assert result.metrics.in_order_commits == 60
         assert result.metrics.batch_size == batch_size
+        assert result.metrics.transport == transport
 
-    def test_comm_overhead_exposed_in_metrics_json(self):
-        engine = ExecutionEngine(workers=2, capacity=32, batch_size=8)
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_comm_overhead_exposed_in_metrics_json(self, transport):
+        engine = ExecutionEngine(
+            workers=2, capacity=32, batch_size=8, transport=transport
+        )
         result = engine.run(batch_spec(40))
         data = result.metrics.to_json()
         assert data["batch_size"] == 8
+        assert data["transport"] == transport
         # One canonical shape: channel stats live under "channels" only
         # (the old export duplicated a subset under "comm_overhead").
         assert "comm_overhead" not in data
@@ -251,7 +293,14 @@ class TestEngineBatching:
             assert stats["flushes"] >= 1
             assert stats["mean_frame_items"] >= 1.0
             assert stats["serialize_seconds"] >= 0.0
-        assert "comm overhead" in result.metrics.format_summary()
+            # Satellite of the transport plane: the get path's decode time
+            # is measured too, so comm accounting is no longer one-sided.
+            assert stats["deserialize_seconds"] >= 0.0
+            assert stats["transport"] == transport
+        summary = result.metrics.format_summary()
+        assert "comm overhead" in summary
+        assert "deserialize" in summary
+        assert f"{transport} transport" in summary
 
     def test_format_summary_survives_partial_channel_stats(self):
         from repro.exec.metrics import EngineMetrics
@@ -288,3 +337,24 @@ class TestChaosWithBatching:
         report.raise_on_violation()
         assert report.output_identical
         assert report.result.metrics.batch_size == 8
+
+    @pytest.mark.parametrize("transport", ("shm", "thread"))
+    def test_chaos_identical_on_alternate_transports(self, transport):
+        """The same seeded injection schedule commits the same output on
+        every wire backend — retries, crash hand-backs, and duplicate
+        drops are transport-invariant."""
+        seed = SEED_MATRIX[0]
+        baseline = run_chaos(
+            lambda: batch_spec(40), seed, workers=3, capacity=8,
+            config=ChaosConfig(latency_seconds=0.01), batch_size=8,
+            transport="pipe",
+        )
+        report = run_chaos(
+            lambda: batch_spec(40), seed, workers=3, capacity=8,
+            config=ChaosConfig(latency_seconds=0.01), batch_size=8,
+            transport=transport,
+        )
+        report.raise_on_violation()
+        assert report.output_identical
+        assert report.result.output == baseline.result.output
+        assert report.result.metrics.transport == transport

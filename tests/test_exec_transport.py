@@ -1,0 +1,320 @@
+"""The shared-memory ring transport's internals and the transport plane.
+
+``tests/test_exec_batching`` proves the *channel* contracts hold on every
+backend; this file covers what only the shm ring can get wrong:
+
+- publication ordering: a slot whose seq is not yet published (a writer
+  died mid-fill, leaving a torn write) is never consumed;
+- wrap markers: messages that would straddle the ring end skip to slot 0
+  and FIFO order survives arbitrary payload-size mixes (property-based);
+- full-ring backpressure: a stuffed ring raises ``TransportFull`` at the
+  deadline and recovers once the reader frees slots;
+- the raw-bytes fast path: homogeneous byte frames travel without pickle
+  and round-trip exactly;
+- segment lifecycle: the owner unlinks on close, attached copies never
+  unlink, pickling attaches by name, a SIGKILLed run leaks nothing the
+  resource tracker cannot reclaim, and ``reap_stale_segments`` reclaims
+  the one shape nothing in-flight can (the whole group died at once);
+- the thread backend is deliberately unpicklable, and pool/engine reject
+  transports that cannot reach their workers.
+"""
+
+import multiprocessing
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exec.channels import ProcessChannel
+from repro.exec.engine import ExecutionEngine
+from repro.exec.transport import (
+    SHM_PREFIX,
+    ShmRingTransport,
+    ThreadTransport,
+    TransportEmpty,
+    TransportFull,
+    make_transport,
+    orphaned_segments,
+    reap_stale_segments,
+    wait_for_reclaim,
+)
+
+CTX = multiprocessing.get_context()
+
+
+def tiny_ring(slots=4, slot_bytes=64):
+    return ShmRingTransport(CTX, slots=slots, slot_bytes=slot_bytes)
+
+
+# -- publication ordering / torn writes --------------------------------------------
+
+
+class TestTornWrites:
+    def test_unpublished_slot_is_never_consumed(self):
+        ring = tiny_ring()
+        try:
+            ring.send([b"live"], True, timeout=1.0)
+            assert ring.recv(timeout=1.0)[0] == [b"live"]
+            # A writer that died mid-fill: payload bytes land but the slot
+            # seq was never published (it still holds a stale lap's value).
+            import struct
+
+            buf = ring._shm.buf
+            offset = 128 + (1 % ring.slots) * ring.slot_bytes
+            struct.pack_into("<II", buf, offset + 8, 4, 1)  # length, FRAME
+            struct.pack_into("<q", buf, offset, -7)  # seq never published
+            with pytest.raises(TransportEmpty):
+                ring.recv(timeout=0.1)
+        finally:
+            ring.close()
+
+    def test_stale_previous_lap_seq_is_not_consumed(self):
+        """After a full lap, a slot still holding last lap's seq must read
+        as empty, not as a duplicate of the old message."""
+        ring = tiny_ring()
+        try:
+            for lap in range(3):  # several laps over the same slots
+                for k in range(2):
+                    ring.send([b"x%d" % (lap * 2 + k)], True, timeout=1.0)
+                    items, _, _ = ring.recv(timeout=1.0)
+                    assert items == [b"x%d" % (lap * 2 + k)]
+            with pytest.raises(TransportEmpty):
+                ring.recv(timeout=0.05)
+        finally:
+            ring.close()
+
+
+# -- wrap handling (property-based) ------------------------------------------------
+
+
+class TestWrap:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=90),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(deadline=None, max_examples=30)
+    def test_fifo_survives_arbitrary_wraps(self, sizes):
+        """Messages sized to force wrap markers at unpredictable offsets
+        still arrive complete and in order."""
+        ring = tiny_ring(slots=4, slot_bytes=64)
+        try:
+            for n, size in enumerate(sizes):
+                payload = bytes([n % 251]) * size
+                ring.send([payload, b"t"], True, timeout=2.0)
+                items, single, _ = ring.recv(timeout=2.0)
+                assert single is None
+                assert items == [payload, b"t"]
+        finally:
+            ring.close()
+
+    def test_wrap_marker_skips_to_slot_zero(self):
+        ring = tiny_ring(slots=4, slot_bytes=64)
+        try:
+            # Two sends leave the tail mid-ring; the third is sized so it
+            # cannot fit before the ring end and must wrap.
+            ring.send([b"a" * 30], True, timeout=1.0)
+            ring.send([b"b" * 30], True, timeout=1.0)
+            assert ring.recv(timeout=1.0)[0] == [b"a" * 30]
+            assert ring.recv(timeout=1.0)[0] == [b"b" * 30]
+            ring.send([b"c" * 80], True, timeout=1.0)  # needs 2 slots
+            assert ring.recv(timeout=1.0)[0] == [b"c" * 80]
+        finally:
+            ring.close()
+
+
+# -- full-ring backpressure --------------------------------------------------------
+
+
+class TestBackpressure:
+    def test_full_ring_raises_transport_full_then_recovers(self):
+        ring = tiny_ring(slots=4, slot_bytes=64)
+        try:
+            sent = 0
+            with pytest.raises(TransportFull):
+                for _ in range(10):
+                    ring.send([b"z" * 40], True, timeout=0.05)
+                    sent += 1
+            assert sent >= 1
+            for _ in range(sent):  # reader frees slots
+                ring.recv(timeout=1.0)
+            ring.send([b"recovered"], True, timeout=1.0)
+            assert ring.recv(timeout=1.0)[0] == [b"recovered"]
+        finally:
+            ring.close()
+
+    def test_oversize_message_rejected_with_guidance(self):
+        ring = tiny_ring(slots=4, slot_bytes=64)
+        try:
+            with pytest.raises(ValueError, match="larger ring"):
+                ring.send([b"x" * 4096], True, timeout=1.0)
+        finally:
+            ring.close()
+
+
+# -- the raw-bytes fast path -------------------------------------------------------
+
+
+class TestRawFastPath:
+    def test_homogeneous_bytes_round_trip_without_pickle(self):
+        ring = ShmRingTransport(CTX)
+        try:
+            frame = [os.urandom(64) for _ in range(16)]
+            ring.send(frame, True, timeout=1.0)
+            items, single, deser = ring.recv(timeout=1.0)
+            assert single is None
+            assert items == frame
+            assert deser >= 0.0
+        finally:
+            ring.close()
+
+    @given(st.lists(st.binary(min_size=0, max_size=128), min_size=2,
+                    max_size=24))
+    @settings(deadline=None, max_examples=25)
+    def test_raw_mode_preserves_every_length_mix(self, frame):
+        ring = ShmRingTransport(CTX)
+        try:
+            ring.send(frame, True, timeout=2.0)
+            assert ring.recv(timeout=2.0)[0] == frame
+        finally:
+            ring.close()
+
+
+# -- segment lifecycle -------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_owner_close_unlinks_segment(self):
+        ring = ShmRingTransport(CTX)
+        name = ring.name
+        assert name in orphaned_segments()
+        ring.close()
+        assert name not in orphaned_segments()
+        ring.close()  # idempotent
+
+    def test_state_copy_attaches_and_non_owner_close_keeps_segment(self):
+        # mp locks refuse to pickle outside a real Process spawn, so drive
+        # the state protocol directly — exactly what spawn would do.
+        ring = ShmRingTransport(CTX)
+        try:
+            state = ring.__getstate__()
+            assert state["_shm"] is None  # only the name crosses
+            attached = ShmRingTransport.__new__(ShmRingTransport)
+            attached.__setstate__(dict(state))
+            attached._owner_pid = -1  # what a child's pid check sees
+            ring.send([b"through the copy"], True, timeout=1.0)
+            assert attached.recv(timeout=1.0)[0] == [b"through the copy"]
+            attached.close()  # not the owner: the name must survive
+            assert ring.name in orphaned_segments()
+        finally:
+            ring.close()
+        assert ring.name not in orphaned_segments()
+
+    def test_cross_process_round_trip(self):
+        channel = ProcessChannel(capacity=64, batch_size=8, transport="shm")
+
+        def child(chan):
+            chan.put_many([(k, bytes([k])) for k in range(40)], timeout=5.0)
+            chan.flush_and_close(timeout=5.0)
+
+        process = CTX.Process(target=child, args=(channel.for_caller(),))
+        process.start()
+        try:
+            received = []
+            while len(received) < 40:
+                received.extend(channel.get_many(8, timeout=5.0))
+            assert received == [(k, bytes([k])) for k in range(40)]
+        finally:
+            process.join(5.0)
+            channel.close()
+        assert not orphaned_segments()
+
+    def test_reap_stale_segments_reclaims_dead_creators(self):
+        from multiprocessing import shared_memory
+
+        # A pid that provably no longer exists: a child that already exited.
+        child = subprocess.Popen([sys.executable, "-c", "pass"])
+        child.wait()
+        name = f"{SHM_PREFIX}{child.pid}-deadbeef"
+        segment = shared_memory.SharedMemory(name=name, create=True, size=64)
+        segment.close()
+        try:
+            reaped = reap_stale_segments()
+            assert name in reaped
+            assert name not in orphaned_segments()
+        finally:
+            try:
+                shared_memory.SharedMemory(name=name).unlink()
+            except FileNotFoundError:
+                pass
+
+    def test_sigkilled_run_leaks_no_segments(self):
+        """SIGKILL the engine parent mid-flight: children notice
+        orphanhood and exit, and the resource tracker unlinks both rings.
+        The acceptance gate for the whole lifecycle design."""
+        child_src = (
+            "import sys, time\n"
+            f"sys.path.insert(0, {os.path.abspath('src')!r})\n"
+            "from repro.exec.engine import ExecutionEngine, PipelineSpec\n"
+            "def produce(i): return i\n"
+            "def work(i, v):\n"
+            "    time.sleep(0.02)\n"
+            "    return v + 1\n"
+            "def commit(i, r, acc): acc.setdefault('xs', []).append(r)\n"
+            "spec = PipelineSpec(iterations=5000, produce=produce,\n"
+            "                    work=work, commit=commit,\n"
+            "                    finalize=lambda acc: None)\n"
+            "print('starting', flush=True)\n"
+            "ExecutionEngine(workers=2, capacity=32, batch_size=8,\n"
+            "                transport='shm').run(spec)\n"
+        )
+        before = set(orphaned_segments())
+        proc = subprocess.Popen(
+            [sys.executable, "-c", child_src],
+            stdout=subprocess.PIPE, start_new_session=True,
+        )
+        try:
+            proc.stdout.readline()  # engine is up
+            time.sleep(0.8)  # mid-flight: segments exist
+            assert set(orphaned_segments()) - before
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=10.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        leaked = [
+            name for name in wait_for_reclaim(timeout=15.0)
+            if name not in before
+        ]
+        assert not leaked, f"SIGKILLed run leaked {leaked}"
+
+
+# -- backend registry and rejections -----------------------------------------------
+
+
+class TestRegistry:
+    def test_make_transport_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            make_transport("carrier-pigeon", CTX, 16)
+
+    def test_thread_transport_is_unpicklable_by_design(self):
+        transport = ThreadTransport()
+        with pytest.raises(TypeError):
+            pickle.dumps(transport)
+
+    def test_engine_rejects_unknown_transport(self):
+        with pytest.raises(ValueError, match="transport"):
+            ExecutionEngine(transport="bogus")
+
+    def test_pool_rejects_thread_transport(self):
+        from repro.service.pool import WorkerPool
+
+        with pytest.raises(ValueError, match="pipe.*shm"):
+            WorkerPool(transport="thread")

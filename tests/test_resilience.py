@@ -43,6 +43,16 @@ from repro.resilience import (
 #: CI's chaos job sweeps this through a fixed seed matrix.
 CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "1337"))
 
+
+@pytest.fixture(autouse=True, scope="module")
+def _no_shm_orphans():
+    """Chaos runs kill processes on purpose; none of that may leak a
+    shared-memory segment.  Fails the module loudly if one survives."""
+    from repro.exec.transport import assert_no_orphans
+
+    yield
+    assert_no_orphans(timeout=10.0)
+
 FAST_POLICY = RobustnessPolicy(
     task_timeout=5.0, stall_timeout=10.0, poll_interval=0.01
 )
