@@ -11,9 +11,13 @@ operator would, as a real subprocess over real HTTP.
    solo run of the same spec while ``/health`` degrades only ``storm``;
 4. cancel one job mid-flight and assert it lands ``cancelled``;
 5. scrape ``/metrics`` for the per-tenant counters;
-6. SIGTERM the server and assert a clean drain (exit 0, "drained
+6. run one *traced* job (``params.trace``) under seeded chaos, fetch
+   ``GET /jobs/<id>/trace`` + ``/timeline``, validate the Chrome trace
+   structurally, and assert the service stages are present — the merged
+   trace is saved as a CI artifact;
+7. SIGTERM the server and assert a clean drain (exit 0, "drained
    cleanly" on stdout);
-7. kill-and-recover: a *durable* server (``--state-dir``) is SIGKILLed
+8. kill-and-recover: a *durable* server (``--state-dir``) is SIGKILLed
    mid-job on a seeded :func:`repro.resilience.server_kill_plan`
    schedule (replay with ``SMOKE_KILL_SEED``), restarted on the same
    state dir, and must resume the interrupted job from its checkpoint to
@@ -128,6 +132,9 @@ def kill_and_recover(artifact_dir: str) -> None:
     params = {"iterations": 400, "spin": 30000}
     expected, _seconds = run_sequential(build_spec("synthetic", params))
     state_dir = os.path.join(artifact_dir, "state")
+    # A stale journal from a previous smoke run would replay its jobs (and
+    # claim this phase's idempotency key) — this phase assumes fresh state.
+    shutil.rmtree(state_dir, ignore_errors=True)
     serve_args = ("--state-dir", state_dir, "--checkpoint-interval", "4",
                   "--retry-max", "1")
 
@@ -288,6 +295,46 @@ def main() -> int:
         ):
             assert needle in text, f"missing from /metrics: {needle}"
         print("per-tenant /metrics counters ok")
+
+        # -- traced job: fetch + validate the merged Chrome trace --------
+        from repro.obs.export import validate_chrome_trace
+
+        traced_params = dict(STORM_PARAMS, trace=True)
+        traced_id = submit(base, "traced", traced_params)
+        wait_done(base, traced_id)
+        # The merge runs just after the terminal transition; a 409 here
+        # means "merge in flight — retry", so poll briefly.
+        deadline = time.monotonic() + 15.0
+        while True:
+            status, trace = request("GET", f"{base}/jobs/{traced_id}/trace")
+            if status != 409 or time.monotonic() >= deadline:
+                break
+            time.sleep(0.1)
+        assert status == 200, (status, trace)
+        problems = validate_chrome_trace(trace)
+        assert problems == [], problems
+        span_names = {
+            event["name"] for event in trace["traceEvents"]
+            if event.get("ph") == "X"
+        }
+        for needle in ("admit", "queue_wait", "sched_pick",
+                       "lease_dispatch", "A", "B", "C"):
+            assert needle in span_names, f"missing span {needle}"
+        status, timeline = request(
+            "GET", f"{base}/jobs/{traced_id}/timeline"
+        )
+        assert status == 200 and timeline["job"] == traced_id, timeline
+        stages = [phase["stage"] for phase in timeline["phases"]]
+        assert stages[0] == "admit", stages
+        with urllib.request.urlopen(f"{base}/metrics", timeout=15) as resp:
+            text = resp.read().decode()
+        needle = 'repro_service_queue_wait_seconds_bucket{tenant="traced"'
+        assert needle in text, "queue-wait histogram missing from /metrics"
+        with open(os.path.join(artifact_dir, "traced-job.trace.json"),
+                  "w") as handle:
+            json.dump(trace, handle)
+        print(f"traced job ok: {len(trace['traceEvents'])} events, "
+              f"stages {stages}")
 
         # -- SIGTERM => clean drain --------------------------------------
         proc.send_signal(signal.SIGTERM)

@@ -14,6 +14,7 @@ than ``MAX_OVERHEAD`` of throughput.
 import gc
 import os
 import tempfile
+import time
 
 import pytest
 
@@ -267,4 +268,146 @@ def test_live_overhead(benchmark, results_sink):
     else:
         assert overhead <= 0.5, (
             f"live telemetry costs {overhead:.1%} of items/sec"
+        )
+
+
+# -- job-plane causal tracing (service path, ``--trace-jobs``) ----------------------
+
+
+#: Jobs submitted per measured round; batched so the scheduler/dispatch
+#: path — the part job tracing instruments — is actually contended.
+SERVICE_BATCH = 3
+SERVICE_ITERATIONS = 48
+#: Job tracing rides the same bound as engine tracing: the extra work per
+#: job is a handful of service spans, one spool merge, and one Chrome
+#: export, amortized over a full pipeline run.
+MAX_SERVICE_OVERHEAD = 0.10
+#: Fewer rounds than the engine gates: each round runs two 3-job batches
+#: through a live worker pool, so a round is seconds, not milliseconds.
+SERVICE_ROUNDS = 3
+
+
+def _service_batch_rate(svc, wait_terminal, traced: bool) -> float:
+    """Submit one batch and return jobs/sec from first submit to the last
+    job's terminal state — trace merge + artifact export included, since
+    that is exactly what ``--trace-jobs`` adds to the service path."""
+    params = {"iterations": SERVICE_ITERATIONS, "spin": 200}
+    if traced:
+        params["trace"] = True
+    t0 = time.perf_counter()
+    jobs = []
+    for _ in range(SERVICE_BATCH):
+        job, decision = svc.submit("perf", "synthetic", dict(params))
+        assert job is not None, decision
+        jobs.append(job)
+    wait_terminal(jobs)
+    elapsed = time.perf_counter() - t0
+    for job in jobs:
+        assert job.state.value == "done", (job.id, job.state, job.error)
+        if traced:
+            # The runner finalizes the trace just after the terminal
+            # transition (outside the service lock) — allow it to land.
+            deadline = time.monotonic() + 5.0
+            trace = svc.job_trace_json(job)
+            while trace is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+                trace = svc.job_trace_json(job)
+            assert trace is not None and trace["traceEvents"]
+    return SERVICE_BATCH / elapsed
+
+
+def _measure_service_rounds(rates, svc, wait_terminal, rounds) -> None:
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            rates["off"].append(
+                _service_batch_rate(svc, wait_terminal, traced=False)
+            )
+            rates["on"].append(
+                _service_batch_rate(svc, wait_terminal, traced=True)
+            )
+    finally:
+        gc.enable()
+
+
+def test_service_trace_overhead(benchmark, results_sink):
+    """Job throughput through the full service path (admission →
+    scheduler → lease → engine → terminal) with per-job tracing on vs
+    off, same estimator discipline as the engine gates above.  One
+    service instance serves every round so the worker pool stays warm and
+    only the per-job trace work differs between modes."""
+    from repro.exec import RobustnessPolicy
+    from repro.service import PipelineService, ServiceConfig
+    from repro.service.jobs import TERMINAL_STATES
+
+    def wait_terminal(jobs, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if all(j.state in TERMINAL_STATES for j in jobs):
+                return
+            time.sleep(0.01)
+        raise AssertionError(
+            f"jobs never finished: {[(j.id, j.state.value) for j in jobs]}"
+        )
+
+    policy = RobustnessPolicy(
+        task_timeout=10.0, stall_timeout=20.0, poll_interval=0.01
+    )
+    svc = PipelineService(ServiceConfig(
+        pool_workers=2, slots=2, capacity=16, batch_size=8, policy=policy,
+    )).start(serve_http=False)
+    rates = {"off": [], "on": []}
+    try:
+
+        def sweep():
+            # Warmup pair: first jobs pay pool spawn + import cold start.
+            _service_batch_rate(svc, wait_terminal, traced=False)
+            _service_batch_rate(svc, wait_terminal, traced=True)
+            _measure_service_rounds(rates, svc, wait_terminal, SERVICE_ROUNDS)
+            return rates
+
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+        best_of, paired_median, overhead = _estimate(rates)
+
+        batches = 1
+        while overhead > MAX_SERVICE_OVERHEAD and batches < 3:
+            batches += 1
+            _measure_service_rounds(rates, svc, wait_terminal, SERVICE_ROUNDS)
+            best_of, paired_median, overhead = _estimate(rates)
+    finally:
+        svc.drain_and_stop(10.0)
+
+    best_off = max(rates["off"])
+    best_on = max(rates["on"])
+    print(
+        f"\nservice-trace-overhead  off:{best_off:,.2f} jobs/s  "
+        f"on:{best_on:,.2f} jobs/s  overhead {overhead:+.1%} "
+        f"(best-of {best_of:+.1%}, paired median {paired_median:+.1%}) "
+        f"on {_cpu_count()} CPU(s)"
+    )
+
+    results_sink["service_trace_overhead"] = {
+        "batch_jobs": SERVICE_BATCH,
+        "iterations_per_job": SERVICE_ITERATIONS,
+        "pool_workers": 2,
+        "cpus": _cpu_count(),
+        "rounds": len(rates["off"]),
+        "jobs_per_sec_untraced": round(best_off, 3),
+        "jobs_per_sec_traced": round(best_on, 3),
+        "overhead_fraction": round(overhead, 4),
+        "overhead_best_of": round(best_of, 4),
+        "overhead_paired_median": round(paired_median, 4),
+        "max_overhead_gate": MAX_SERVICE_OVERHEAD,
+    }
+
+    if PERF_GATE:
+        assert overhead <= MAX_SERVICE_OVERHEAD, (
+            f"job tracing costs {overhead:.1%} of jobs/sec, "
+            f"gate is {MAX_SERVICE_OVERHEAD:.0%}"
+        )
+    else:
+        # Sanity bound for untuned local machines: job tracing must never
+        # halve service throughput.
+        assert overhead <= 0.5, (
+            f"job tracing costs {overhead:.1%} of jobs/sec"
         )

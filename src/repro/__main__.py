@@ -307,6 +307,38 @@ def _build_parser() -> argparse.ArgumentParser:
              "(default 1 = a failure is terminal; jobs whose bounded "
              "retries exhaust are dead-lettered)",
     )
+    serve_parser.add_argument(
+        "--trace-jobs", action="store_true",
+        help="trace every job end to end (admission -> scheduler pick -> "
+             "lease -> engine phases -> artifact persist) and serve the "
+             "merged Chrome trace at GET /jobs/<id>/trace; individual "
+             "jobs can opt in with params.trace without this flag",
+    )
+    serve_parser.add_argument(
+        "--postmortem-keep", type=int, default=8, metavar="N",
+        help="post-mortem bundles retained per tenant, LRU by mtime "
+             "(default 8; bundles are written on failure, dead-letter, "
+             "and tenant degradation)",
+    )
+
+    obs_parser = sub.add_parser(
+        "obs",
+        help="offline observability tools over stored service artifacts",
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    report_parser = obs_sub.add_parser(
+        "report",
+        help="aggregate per-tenant per-stage latency percentiles across "
+             "every stored job trace artifact",
+    )
+    report_parser.add_argument(
+        "state_dir", metavar="STATE_DIR",
+        help="a serve --state-dir (or its artifacts/ directory)",
+    )
+    report_parser.add_argument(
+        "--tenant", default=None,
+        help="restrict the report to one tenant",
+    )
 
     audit_parser = sub.add_parser(
         "shm-audit",
@@ -718,6 +750,8 @@ def _run_serve(args) -> int:
         state_dir=args.state_dir,
         checkpoint_interval=args.checkpoint_interval,
         default_max_attempts=args.retry_max,
+        trace_jobs=args.trace_jobs,
+        postmortem_keep=args.postmortem_keep,
     )
     service = PipelineService(config).start()
     if service.durable and service.recovery.recovered:
@@ -843,6 +877,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "obs":
+        import os
+
+        from repro.obs.jobtrace import run_report
+
+        text, code = run_report(args.state_dir, tenant=args.tenant)
+        try:
+            print(text)
+        except BrokenPipeError:  # report piped through e.g. ``| head``
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return code
 
     if args.command == "shm-audit":
         return _run_shm_audit(args)

@@ -986,6 +986,7 @@ class ExecutionEngine:
             if rt is None:
                 for channel in (work, done):
                     channel.close()
+            done.tracer = None  # pool channels outlive the job
             if tracer is not None:
                 tracer.close()
             raise
@@ -1021,6 +1022,7 @@ class ExecutionEngine:
             metrics.channel_stats[channel.name] = channel.occupancy_stats()
             if rt is None:
                 channel.close()  # pool channels outlive the job
+        done.tracer = None
         if tracer is not None:
             tracer.close()
         return EngineResult(

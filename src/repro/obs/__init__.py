@@ -39,6 +39,7 @@ from repro.obs.events import (
     ChaosCode,
     EventKind,
     Instant,
+    SERVICE_KINDS,
     Span,
     TraceConfig,
 )
@@ -66,6 +67,16 @@ from repro.obs.live import (
     Watchdog,
     WatchdogConfig,
 )
+from repro.obs.jobtrace import (
+    FlightRecorder,
+    JobTrace,
+    TraceContext,
+    aggregate_report,
+    build_timeline,
+    iter_job_traces,
+    open_job_trace,
+    run_report,
+)
 from repro.obs.merge import MergedTrace, merge_spool_dir, merge_spools
 from repro.obs.registry import (
     MetricsRegistry,
@@ -85,10 +96,12 @@ __all__ = [
     "ChaosCode",
     "ClockAnchor",
     "EventKind",
+    "FlightRecorder",
     "HISTORY_SCHEMA",
     "HealthState",
     "HistoryDiff",
     "Instant",
+    "JobTrace",
     "LatencyHistogram",
     "LiveConfig",
     "LiveMonitor",
@@ -97,27 +110,34 @@ __all__ = [
     "MetricsServer",
     "PhaseComparison",
     "RegistrySnapshot",
+    "SERVICE_KINDS",
     "Span",
     "SpoolData",
     "SpoolError",
     "SpoolWriter",
     "TraceConfig",
+    "TraceContext",
     "Watchdog",
     "WatchdogConfig",
+    "aggregate_report",
     "append_record",
+    "build_timeline",
     "compare_phases",
     "diff_records",
     "format_history_diff",
     "format_report",
     "format_seconds",
+    "iter_job_traces",
     "load_and_validate",
     "load_history",
     "make_record",
     "merge_spool_dir",
     "merge_spools",
     "now_ns",
+    "open_job_trace",
     "open_tracer",
     "percentile",
+    "run_report",
     "prometheus_exposition",
     "read_spool",
     "render_measured_timeline",

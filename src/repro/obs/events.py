@@ -53,6 +53,14 @@ class EventKind(IntEnum):
     THROTTLE = 37        # window changed (detail: 0=shrink 1=grow, arg=new window)
     CHAOS = 38           # an injection fired (detail=ChaosCode, arg=iteration/index)
 
+    # -- job-plane service stages (spans; arg=attempt unless noted) --------------
+    ADMIT = 40            # POST /jobs validate + journal + enqueue
+    QUEUE_WAIT = 41       # admission fsync -> scheduler pick (arg=attempt)
+    SCHED_PICK = 42       # one FairScheduler.take decision   (arg=queue depth)
+    LEASE_DISPATCH = 43   # pool lease -> engine construction (arg=attempt, arg2=workers)
+    ARTIFACT_PERSIST = 44 # result -> artifact store fsync    (arg=attempt)
+    RETRY_BACKOFF = 45    # failure -> next attempt's enqueue (arg=attempt)
+
 
 class ChaosCode(IntEnum):
     """``detail`` values for :attr:`EventKind.CHAOS` records."""
@@ -80,6 +88,25 @@ SPAN_KINDS = frozenset(
         EventKind.QUEUE_PUT_WAIT,
         EventKind.QUEUE_GET_WAIT,
         EventKind.GATE_WAIT,
+        EventKind.ADMIT,
+        EventKind.QUEUE_WAIT,
+        EventKind.SCHED_PICK,
+        EventKind.LEASE_DISPATCH,
+        EventKind.ARTIFACT_PERSIST,
+        EventKind.RETRY_BACKOFF,
+    }
+)
+
+#: The job-plane stages the service spool records around an engine run —
+#: the vocabulary :mod:`repro.obs.jobtrace` stitches onto A/B/C spans.
+SERVICE_KINDS = frozenset(
+    {
+        EventKind.ADMIT,
+        EventKind.QUEUE_WAIT,
+        EventKind.SCHED_PICK,
+        EventKind.LEASE_DISPATCH,
+        EventKind.ARTIFACT_PERSIST,
+        EventKind.RETRY_BACKOFF,
     }
 )
 
@@ -119,6 +146,12 @@ CATEGORY_BY_KIND = {
     EventKind.CHECKPOINT: "resilience",
     EventKind.THROTTLE: "throttle",
     EventKind.CHAOS: "chaos",
+    EventKind.ADMIT: "service",
+    EventKind.QUEUE_WAIT: "service",
+    EventKind.SCHED_PICK: "service",
+    EventKind.LEASE_DISPATCH: "service",
+    EventKind.ARTIFACT_PERSIST: "service",
+    EventKind.RETRY_BACKOFF: "service",
 }
 
 #: ``detail`` channel ids for queue-wait records.

@@ -48,6 +48,12 @@ _SPAN_NAMES = {
     EventKind.TASK_C: "C",
     EventKind.SERIAL_REEXEC: "reexec",
     EventKind.GATE_WAIT: "wait:gate",
+    EventKind.ADMIT: "admit",
+    EventKind.QUEUE_WAIT: "queue_wait",
+    EventKind.SCHED_PICK: "sched_pick",
+    EventKind.LEASE_DISPATCH: "lease_dispatch",
+    EventKind.ARTIFACT_PERSIST: "artifact_persist",
+    EventKind.RETRY_BACKOFF: "retry_backoff",
 }
 
 
@@ -88,9 +94,35 @@ def to_chrome_trace(merged: MergedTrace) -> Dict[str, Any]:
             }
         )
 
+    # Track assignment: one tid per (pid, role).  Engine processes each own
+    # exactly one spool, so they keep tid 0 and the output is byte-for-byte
+    # what it was; the job server hosts several spools in one pid (service,
+    # phase-A thread, committer), which fan out onto sibling threads of the
+    # same Perfetto process instead of colliding on one track.
+    ordered = sorted(merged.spools, key=lambda s: s.role)
+    tids: Dict[tuple, int] = {}
+    roles_by_pid: Dict[int, List[str]] = defaultdict(list)
+    for spool in ordered:
+        tids[(spool.pid, spool.role)] = len(roles_by_pid[spool.pid])
+        roles_by_pid[spool.pid].append(spool.role)
+
+    def track(pid: int, role: str) -> int:
+        return tids.get((pid, role), 0)
+
     metadata(COMMITTED_ORDER_PID, "committed order", 0)
-    for index, spool in enumerate(sorted(merged.spools, key=lambda s: s.role)):
-        metadata(spool.pid, spool.role, index + 1)
+    for index, spool in enumerate(ordered):
+        tid = track(spool.pid, spool.role)
+        if tid == 0:
+            roles = roles_by_pid[spool.pid]
+            name = "service" if "service" in roles else spool.role
+            metadata(spool.pid, name, index + 1)
+        if len(roles_by_pid[spool.pid]) > 1:
+            events.append(
+                {
+                    "ph": "M", "name": "thread_name", "pid": spool.pid,
+                    "tid": tid, "args": {"name": spool.role},
+                }
+            )
 
     # Per-track payload events, emitted in timestamp order per (pid, tid):
     # the spec does not require sorting, but sorted tracks make the file
@@ -102,7 +134,8 @@ def to_chrome_trace(merged: MergedTrace) -> Dict[str, Any]:
             args["worker"] = span.arg2
         if span.aborted:
             args["aborted"] = True
-        per_track[(span.pid, 0)].append(
+        tid = track(span.pid, span.role)
+        per_track[(span.pid, tid)].append(
             {
                 "name": _span_name(span),
                 "cat": "aborted" if span.aborted else CATEGORY_BY_KIND[span.kind],
@@ -110,12 +143,13 @@ def to_chrome_trace(merged: MergedTrace) -> Dict[str, Any]:
                 "ts": span.start_ns / 1000.0,
                 "dur": span.duration_ns / 1000.0,
                 "pid": span.pid,
-                "tid": 0,
+                "tid": tid,
                 "args": args,
             }
         )
     for instant in merged.instants:
-        per_track[(instant.pid, 0)].append(
+        tid = track(instant.pid, instant.role)
+        per_track[(instant.pid, tid)].append(
             {
                 "name": _instant_name(instant),
                 "cat": CATEGORY_BY_KIND.get(instant.kind, "event"),
@@ -123,7 +157,7 @@ def to_chrome_trace(merged: MergedTrace) -> Dict[str, Any]:
                 "s": "t",
                 "ts": instant.ts_ns / 1000.0,
                 "pid": instant.pid,
-                "tid": 0,
+                "tid": tid,
                 "args": {"arg": instant.arg, "arg2": instant.arg2},
             }
         )

@@ -43,6 +43,12 @@ _SPAN_SERIES = {
     EventKind.TASK_C: "task_c",
     EventKind.SERIAL_REEXEC: "serial_reexec",
     EventKind.GATE_WAIT: "gate_wait",
+    EventKind.ADMIT: "admit",
+    EventKind.QUEUE_WAIT: "queue_wait",
+    EventKind.SCHED_PICK: "sched_pick",
+    EventKind.LEASE_DISPATCH: "lease_dispatch",
+    EventKind.ARTIFACT_PERSIST: "artifact_persist",
+    EventKind.RETRY_BACKOFF: "retry_backoff",
 }
 
 

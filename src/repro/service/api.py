@@ -11,6 +11,9 @@ Routes::
     GET    /jobs?tenant=NAME     list (optionally per tenant)
     GET    /jobs/<id>            status (full record: params + metrics)
     GET    /jobs/<id>/result     output of a finished job (409 until done)
+    GET    /jobs/<id>/trace      merged Chrome trace JSON (409 until done)
+    GET    /jobs/<id>/timeline   compact per-stage timeline (409 until done)
+    GET    /jobs/<id>/postmortem post-mortem bundle, if one was snapshotted
     POST   /jobs/<id>/cancel     cancel queued or running
     DELETE /jobs/<id>            alias for cancel
     GET    /health               service + per-tenant verdicts
@@ -117,6 +120,10 @@ class _ApiHandler(BaseHTTPRequestHandler):
                 self._job_status(parts[1])
             elif len(parts) == 3 and parts[:1] == ["jobs"] and parts[2] == "result":
                 self._job_result(parts[1])
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] in (
+                "trace", "timeline", "postmortem"
+            ):
+                self._job_trace(parts[1], parts[2])
             else:
                 self._error(404, f"no route for GET {url.path}")
         except Exception as exc:  # pragma: no cover - defensive
@@ -215,6 +222,42 @@ class _ApiHandler(BaseHTTPRequestHandler):
              "output": self.service.job_output(job),
              "metrics": job.metrics},
         )
+
+    def _job_trace(self, job_id: str, kind: str) -> None:
+        """Trace artifacts: the merged Chrome trace, the compact timeline,
+        or the post-mortem bundle.  404 for an untraced job, 409 while the
+        trace is still being recorded (it merges at the terminal state)."""
+        job = self.service.get_job(job_id)
+        if job is None:
+            self._error(404, f"unknown job {job_id!r}")
+            return
+        if kind == "postmortem":
+            bundle = self.service.job_postmortem_json(job)
+            if bundle is None:
+                self._error(404, f"no post-mortem bundle for job {job_id}")
+                return
+            self._json(200, bundle)
+            return
+        if job.trace is not None:
+            # Still recording, or terminal with the merge in flight (the
+            # runner finalizes outside the service lock) — retryable.
+            self._error(
+                409, f"job {job_id} is {job.state.value}; "
+                "trace merges when it finishes",
+            )
+            return
+        payload = (
+            self.service.job_trace_json(job) if kind == "trace"
+            else self.service.job_timeline_json(job)
+        )
+        if payload is None:
+            self._error(
+                404,
+                f"no {kind} for job {job_id} (submit with params.trace "
+                "or serve with --trace-jobs)",
+            )
+            return
+        self._json(200, payload)
 
     def _cancel(self, job_id: str) -> None:
         outcome = self.service.cancel(job_id)

@@ -310,6 +310,14 @@ class ArtifactStore:
     OUTPUT = "output.pkl"
     METRICS = "metrics.json"
     CHECKPOINT = "checkpoint.pkl"
+    TRACE = "trace.json"
+    TIMELINE = "timeline.json"
+    #: Per-job spool directory (the engine's and the service's ring spools
+    #: for one traced job live here until they are merged and exported).
+    TRACE_SPOOL_DIR = "trace"
+    #: Post-mortem bundles, grouped per tenant.  Dot-prefixed so the name
+    #: can never collide with a job directory (job ids reject dots).
+    POSTMORTEM_DIR = ".postmortem"
 
     def __init__(self, root: str) -> None:
         self.root = root
@@ -374,6 +382,126 @@ class ArtifactStore:
         except (OSError, ValueError):
             return None
 
+    # -- trace artifacts ----------------------------------------------------------
+
+    def trace_spool_dir(self, job_id: str) -> str:
+        """The per-job spool directory every traced stage writes into."""
+        path = os.path.join(
+            self._job_dir(job_id, create=True), self.TRACE_SPOOL_DIR
+        )
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    def put_trace(self, job_id: str, trace: dict, timeline: dict) -> None:
+        """Persist a job's merged Chrome trace and compact timeline."""
+        directory = self._job_dir(job_id, create=True)
+        self._atomic_write(
+            os.path.join(directory, self.TRACE),
+            json.dumps(trace, default=str).encode(),
+        )
+        self._atomic_write(
+            os.path.join(directory, self.TIMELINE),
+            json.dumps(timeline, default=str).encode(),
+        )
+
+    def load_trace(self, job_id: str) -> Optional[dict]:
+        return self._load_json(os.path.join(self._job_dir(job_id), self.TRACE))
+
+    def load_timeline(self, job_id: str) -> Optional[dict]:
+        return self._load_json(
+            os.path.join(self._job_dir(job_id), self.TIMELINE)
+        )
+
+    @staticmethod
+    def _load_json(path: str) -> Optional[dict]:
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    # -- post-mortem bundles -------------------------------------------------------
+
+    @staticmethod
+    def _safe_tenant(tenant: str) -> str:
+        """A filesystem-safe tenant directory name.  Dots are dropped too,
+        so a hostile tenant string can never traverse out of the store."""
+        safe = "".join(
+            c if c.isalnum() or c in "-_" else "_" for c in tenant
+        )
+        return safe or "_"
+
+    def _postmortem_dir(self, tenant: str, create: bool = False) -> str:
+        path = os.path.join(
+            self.root, self.POSTMORTEM_DIR, self._safe_tenant(tenant)
+        )
+        if create:
+            os.makedirs(path, exist_ok=True)
+        return path
+
+    def put_postmortem(
+        self, tenant: str, name: str, payload: dict, keep: int = 8
+    ) -> str:
+        """Write one post-mortem bundle; enforce the per-tenant LRU cap.
+
+        ``keep`` bounds how many bundles a tenant retains (oldest by mtime
+        evicted first) so a crash-looping tenant cannot fill the store.
+        """
+        directory = self._postmortem_dir(tenant, create=True)
+        safe_name = "".join(
+            c if c.isalnum() or c in "-_" else "_" for c in name
+        ) or "bundle"
+        path = os.path.join(directory, f"{safe_name}.json")
+        self._atomic_write(
+            path, json.dumps(payload, default=str, indent=1).encode()
+        )
+        self._prune_postmortems(directory, max(1, keep))
+        return path
+
+    @staticmethod
+    def _prune_postmortems(directory: str, keep: int) -> int:
+        """Evict oldest-by-mtime bundles beyond ``keep``; returns evictions."""
+        try:
+            with os.scandir(directory) as entries:
+                bundles = [
+                    (entry.stat().st_mtime, entry.path)
+                    for entry in entries
+                    if entry.is_file() and entry.name.endswith(".json")
+                ]
+        except OSError:
+            return 0
+        bundles.sort(reverse=True)
+        evicted = 0
+        for _, path in bundles[keep:]:
+            try:
+                os.unlink(path)
+                evicted += 1
+            except OSError:
+                pass
+        return evicted
+
+    def list_postmortems(self, tenant: str) -> List[str]:
+        """Bundle paths for one tenant, newest first."""
+        directory = self._postmortem_dir(tenant)
+        try:
+            with os.scandir(directory) as entries:
+                bundles = [
+                    (entry.stat().st_mtime, entry.path)
+                    for entry in entries
+                    if entry.is_file() and entry.name.endswith(".json")
+                ]
+        except OSError:
+            return []
+        bundles.sort(reverse=True)
+        return [path for _, path in bundles]
+
+    def load_postmortem(self, path: str) -> Optional[dict]:
+        real = os.path.realpath(path)
+        store = os.path.realpath(os.path.join(self.root, self.POSTMORTEM_DIR))
+        if not real.startswith(store + os.sep):
+            return None
+        return self._load_json(real)
+
     # -- checkpoints --------------------------------------------------------------
 
     def checkpoint_path(self, job_id: str) -> str:
@@ -406,7 +534,7 @@ class ArtifactStore:
             return {"jobs": 0, "bytes": 0}
         with entries:
             for entry in entries:
-                if not entry.is_dir():
+                if not entry.is_dir() or entry.name.startswith("."):
                     continue
                 jobs += 1
                 try:

@@ -284,6 +284,24 @@ class Job:
         self.recovered = False
         #: True when the deadline (not a client) requested the cancel.
         self.deadline_fired = False
+        # -- tracing plane (repro.obs.jobtrace) -----------------------------
+        #: Live :class:`~repro.obs.jobtrace.JobTrace` while the job is
+        #: traced and in flight; dropped once the trace is finalized.
+        self.trace = None
+        #: Per-job spool directory (service + engine spools).
+        self.trace_dir: Optional[str] = None
+        #: True when ``trace_dir`` is a temp dir (in-memory server) that
+        #: must be deleted after the merge.
+        self.trace_ephemeral = False
+        #: Merged Chrome trace / compact timeline.  Durable servers drop
+        #: the (large) Chrome trace after spilling it to the artifact
+        #: store; the in-memory server keeps both here.
+        self.trace_data: Optional[dict] = None
+        self.timeline_data: Optional[dict] = None
+        #: Post-mortem bundle: artifact path when durable, the bundle
+        #: itself when the server has no artifact store.
+        self.postmortem_path: Optional[str] = None
+        self.postmortem_data: Optional[dict] = None
 
     @property
     def queue_wait_s(self) -> Optional[float]:
@@ -339,6 +357,14 @@ class Job:
             data["recovered"] = True
         if self.resumed_from:
             data["resumed_from"] = self.resumed_from
+        if (
+            self.trace is not None
+            or self.trace_data is not None
+            or self.timeline_data is not None
+        ):
+            data["traced"] = True
+        if self.postmortem_path or self.postmortem_data:
+            data["postmortem"] = True
         if full:
             data["params"] = self.params
             data["metrics"] = self.metrics
@@ -354,7 +380,9 @@ def resolve_iterations(workload: str, params: Dict[str, Any]) -> int:
     # side effects (each raises ValueError on malformed input).
     resolve_retry(params)
     resolve_deadline(params)
-    common = {"chaos", "retry", "deadline_s"}
+    if not isinstance(params.get("trace", False), bool):
+        raise ValueError("trace must be a boolean")
+    common = {"chaos", "retry", "deadline_s", "trace"}
     if workload == SYNTHETIC:
         iterations = int(params.get("iterations", 48))
         spin = int(params.get("spin", 2000))

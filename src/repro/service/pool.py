@@ -50,7 +50,9 @@ from repro.exec.channels import ChannelTimeout, ProcessChannel
 from repro.exec.faults import FaultPlan, RobustnessPolicy
 from repro.exec.rollback import CommittedStore
 from repro.exec.workers import _worker_loop, producer_main
+from repro.obs.events import TraceConfig
 from repro.obs.registry import MetricsRegistry, WRITER_PRODUCER, WRITER_WORKER0
+from repro.obs.spool import open_tracer
 
 logger = logging.getLogger(__name__)
 
@@ -143,7 +145,7 @@ def pool_worker_main(
         if message[0] != "lease":
             continue
         (_, slot_index, work_fn, speculative, snapshot, fault_plan,
-         max_chunk) = message
+         max_chunk, trace) = message
         slot = slots[slot_index]
         # A previous lease of this slot may have left stale frames in this
         # process's local buffers (a flush that timed out at teardown);
@@ -152,6 +154,14 @@ def pool_worker_main(
         slot.done.reset_local()
         registry = slot.registry
         writer = min(row, registry.writers - 1)
+        # Per-lease tracing: the job's spool directory arrives as plain
+        # picklable data in the lease message (the slot skeleton cannot
+        # carry it — it predates every job), and the spool lives exactly
+        # as long as the lease.  Role is the *pool* worker id, so a trace
+        # names the same process across every job it serves.
+        tracer = open_tracer(trace, f"worker-{worker_id}")
+        slot.work.tracer = tracer
+        slot.done.tracer = tracer
 
         def stop(done=slot.done, wid=worker_id) -> None:
             # Buffer (never blocks), then a bounded flush: the server may
@@ -166,11 +176,16 @@ def pool_worker_main(
             _worker_loop(
                 worker_id, slot.work, slot.done, work_fn, speculative,
                 snapshot, fault_plan, _OrphanGuard(slot.shutdown, parent),
-                slot.watermark, slot.window, max_chunk, stop, None,
+                slot.watermark, slot.window, max_chunk, stop, tracer,
                 registry, writer,
             )
         except (EOFError, OSError):
             pass
+        finally:
+            slot.work.tracer = None
+            slot.done.tracer = None
+            if tracer is not None:
+                tracer.close()
         try:
             control.send(("released", worker_id, slot_index))
         except (BrokenPipeError, OSError):
@@ -188,28 +203,33 @@ class _ThreadProducer:
     def __init__(
         self, work: ProcessChannel, iterations: int, produce, fault_plan,
         shutdown, start: int, max_chunk: int, registry,
+        trace: Optional[TraceConfig] = None,
     ) -> None:
         self._exit = 0
         self._thread = threading.Thread(
             target=self._run,
             args=(work, iterations, produce, fault_plan, shutdown, start,
-                  max_chunk, registry),
+                  max_chunk, registry, trace),
             name="pool-A",
             daemon=True,
         )
 
     def _run(self, work, iterations, produce, fault_plan, shutdown, start,
-             max_chunk, registry) -> None:
+             max_chunk, registry, trace) -> None:
         try:
             producer_main(
                 work, iterations, produce, fault_plan, shutdown,
-                start=start, max_chunk=max_chunk, trace=None,
+                start=start, max_chunk=max_chunk, trace=trace,
                 registry=registry, writer=WRITER_PRODUCER,
                 close_channel=False,
             )
         except BaseException:
             logger.exception("pool producer thread failed")
             self._exit = 1
+        finally:
+            # The slot's work channel outlives this job; a closed tracer
+            # must not ride into the next lease.
+            work.tracer = None
 
     def start(self) -> None:
         self._thread.start()
@@ -259,6 +279,10 @@ class LeaseRuntime:
         #: Per-tenant persistent speculation controller, set by the service
         #: before the engine is constructed (None = unthrottled).
         self.job_throttle: Any = None
+        #: Per-job spool configuration, set by the service before the
+        #: engine is constructed (None = untraced, the default).  Plain
+        #: picklable data: it rides the lease message to every member.
+        self.trace_config: Optional[TraceConfig] = None
         self.released = False
 
     # -- engine contract: shared primitives --------------------------------------
@@ -298,13 +322,15 @@ class LeaseRuntime:
             )
         snapshot = CommittedStore(spec.shared_state).snapshot()
         self._job = (
-            spec.work, spec.speculative, snapshot, fault_plan, batch_size
+            spec.work, spec.speculative, snapshot, fault_plan, batch_size,
+            self.trace_config,
         )
         for worker in self._members.values():
             self._pool._send_lease(worker, self.slot, self._job)
         self._producer = _ThreadProducer(
             self.slot.work, spec.iterations, spec.produce, fault_plan,
             self.slot.shutdown, start, batch_size, self.slot.registry,
+            trace=self.trace_config,
         )
         self._producer.start()
         return self._producer
@@ -542,7 +568,7 @@ class WorkerPool:
     # -- internals (called by LeaseRuntime) ---------------------------------------
 
     def _send_lease(self, worker: _PoolWorker, slot: _Slot, job: tuple) -> None:
-        work_fn, speculative, snapshot, fault_plan, max_chunk = job
+        work_fn, speculative, snapshot, fault_plan, max_chunk, trace = job
         # Drop any stale "released" a prior lease's teardown never consumed
         # so this lease's teardown cannot mistake it for its own.
         try:
@@ -552,7 +578,7 @@ class WorkerPool:
             pass
         worker.conn.send(
             ("lease", slot.index, work_fn, speculative, snapshot,
-             fault_plan, max_chunk)
+             fault_plan, max_chunk, trace)
         )
 
     def _respawn_into(self, lease: LeaseRuntime) -> _PoolWorker:

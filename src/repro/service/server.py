@@ -43,6 +43,8 @@ from __future__ import annotations
 
 import logging
 import os
+import shutil
+import tempfile
 import threading
 import time
 from collections import deque
@@ -51,8 +53,14 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.exec.engine import ExecutionEngine
 from repro.exec.faults import RobustnessPolicy
+from repro.obs.clock import now_ns
+from repro.obs.events import EventKind
+from repro.obs.export import to_chrome_trace
 from repro.obs.history import append_record, make_record
+from repro.obs.jobtrace import FlightRecorder, build_timeline, open_job_trace
 from repro.obs.live import LiveConfig
+from repro.obs.merge import merge_spool_dir
+from repro.obs.registry import BUCKET_BOUNDS
 from repro.obs.serve import escape_help, escape_label_value
 from repro.resilience.checkpoint import CheckpointConfig, CheckpointError
 from repro.service.durability import (
@@ -126,6 +134,14 @@ class ServiceConfig:
     #: Journal records at startup beyond which recovery compacts the
     #: journal to a snapshot (0 = auto: ``max(256, 8 * live jobs)``).
     compact_threshold: int = 0
+    #: Trace *every* job end to end (``--trace-jobs``).  Off by default —
+    #: spools cost a file per role per job; individual jobs opt in with
+    #: ``params.trace`` regardless of this flag.
+    trace_jobs: bool = False
+    #: Post-mortem bundles retained per tenant (LRU by mtime).
+    postmortem_keep: int = 8
+    #: Flight-recorder ring capacity (recent job-plane events).
+    flight_capacity: int = 256
 
 
 class PipelineService:
@@ -187,6 +203,13 @@ class PipelineService:
         #: Recent dispatch instants (monotonic) → observed dispatch rate
         #: feeding Retry-After on 429.
         self._dispatch_times: Deque[float] = deque(maxlen=32)
+        # -- tracing plane -------------------------------------------------
+        #: Bounded ring of recent job-plane events; snapshotted into every
+        #: post-mortem bundle.
+        self.flight = FlightRecorder(cfg.flight_capacity)
+        #: Recent journal records (mirrored even when not durable) — the
+        #: "journal tail" a post-mortem bundle carries.
+        self._journal_tail: Deque[dict] = deque(maxlen=64)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -359,7 +382,7 @@ class PipelineService:
         tenant.recovered += 1
         interrupted = entry.interrupted
         if job.deadline_exceeded:
-            self.journal.append(
+            self._journal(
                 "cancelled", job.id,
                 {"reason": "deadline exceeded during downtime"}, fsync=True,
             )
@@ -377,10 +400,14 @@ class PipelineService:
                 self.recovery.restarted += 1
         else:
             self.recovery.requeued += 1
-        self.journal.append(
+        self._journal(
             "queued", job.id,
             {"recovered": True, "interrupted": interrupted,
              "attempt": job.attempts},
+        )
+        self._maybe_open_trace(job)
+        self.flight.note(
+            "recovered", job.id, tenant_name, interrupted=interrupted
         )
         self.scheduler.enqueue(job)
 
@@ -468,6 +495,160 @@ class PipelineService:
         if "retry" not in job.params and self.config.default_max_attempts > 1:
             job.max_attempts = self.config.default_max_attempts
 
+    def _journal(
+        self, event: str, job_id: str, data: dict, fsync: bool = False
+    ) -> None:
+        """Append one journal record (when durable) and mirror it into the
+        in-memory tail that post-mortem bundles capture — so even the
+        in-memory server has a transition history to bundle."""
+        record = {"event": event, "job": job_id, "unix_s": round(time.time(), 3)}
+        if data:
+            record["data"] = data
+        self._journal_tail.append(record)
+        if self.journal is not None:
+            self.journal.append(event, job_id, data, fsync=fsync)
+
+    # -- tracing plane ------------------------------------------------------------
+
+    #: ADMIT span ``detail`` codes — how the traced job ended.
+    _ADMIT_DETAIL = {
+        JobState.DONE: 0,
+        JobState.FAILED: 1,
+        JobState.CANCELLED: 2,
+        JobState.DEAD_LETTER: 3,
+    }
+
+    def _trace_requested(self, job: Job) -> bool:
+        return bool(job.params.get("trace", False)) or self.config.trace_jobs
+
+    def _maybe_open_trace(self, job: Job) -> None:
+        """Open the job's service spool at admission.  Tracing is strictly
+        best-effort: any failure logs and leaves the job untraced rather
+        than failing the submission."""
+        if not self._trace_requested(job):
+            return
+        try:
+            if self.artifacts is not None:
+                spool_dir = self.artifacts.trace_spool_dir(job.id)
+                ephemeral = False
+            else:
+                spool_dir = tempfile.mkdtemp(prefix=f"repro-{job.id}-trace-")
+                ephemeral = True
+            trace = open_job_trace(job.id, job.tenant, spool_dir)
+            if not trace.enabled:
+                return
+            job.trace = trace
+            job.trace_dir = spool_dir
+            job.trace_ephemeral = ephemeral
+            # ADMIT is the job-root span (admission -> terminal); each
+            # attempt's QUEUE_WAIT nests inside it, engine phases inside
+            # the lease window.
+            trace.begin("admit")
+            trace.begin("queue_wait")
+        except Exception:
+            logger.exception("job %s: trace setup failed", job.id)
+
+    def _finalize_trace(self, job: Job) -> None:
+        """Close the job's service spool and merge every spool in its
+        trace directory — service stages stitched onto engine phases —
+        into the Chrome trace + compact timeline artifacts."""
+        trace = job.trace
+        if trace is None:
+            return
+        try:
+            trace.end(
+                "admit", EventKind.ADMIT, arg=max(1, job.attempts),
+                detail=self._ADMIT_DETAIL.get(job.state, 0),
+            )
+            trace.close()
+            merged = merge_spool_dir(job.trace_dir)
+            chrome = to_chrome_trace(merged)
+            timeline = build_timeline(
+                merged, job_id=job.id, tenant=job.tenant,
+                attempts=job.attempts,
+            )
+            job.timeline_data = timeline
+            if self.artifacts is not None:
+                self.artifacts.put_trace(job.id, chrome, timeline)
+                # The artifact store owns the (large) Chrome trace now;
+                # only the compact timeline stays resident.
+                job.trace_data = None
+            else:
+                job.trace_data = chrome
+        except Exception:
+            logger.exception("job %s: trace finalize failed", job.id)
+        finally:
+            # Cleared last: readers treat a live ``job.trace`` as "merge
+            # in flight" (the API answers 409) until artifacts are ready.
+            job.trace = None
+            if job.trace_ephemeral and job.trace_dir:
+                shutil.rmtree(job.trace_dir, ignore_errors=True)
+
+    def _snapshot_postmortem(
+        self, job: Job, tenant: TenantState, reason: str
+    ) -> None:
+        """Bundle the crash context — flight-recorder ring, journal tail,
+        job + tenant snapshots, throttle state, pool occupancy, the job's
+        timeline — and persist it per tenant (LRU-capped)."""
+        throttle = tenant.throttle
+        with self._lock:
+            bundle = {
+                "reason": reason,
+                "captured_unix": round(time.time(), 3),
+                "job": job.to_json(full=True),
+                "tenant": tenant.to_json(),
+                "throttle": {
+                    "window": throttle.window,
+                    "max_window": throttle.max_window,
+                    "shrinks": throttle.shrinks,
+                    "grows": throttle.grows,
+                    "min_window_seen": throttle.min_window_seen,
+                    "at_floor": throttle.at_floor,
+                },
+                "flight_recorder": self.flight.snapshot(),
+                "journal_tail": list(self._journal_tail),
+                "queue_depth": self.scheduler.depth(),
+                "pool": self.pool.stats(),
+                "timeline": job.timeline_data,
+            }
+            tenant.postmortems += 1
+        if self.artifacts is None:
+            job.postmortem_data = bundle
+            self.flight.note("postmortem", job.id, tenant.name, reason=reason)
+            return
+        try:
+            name = f"{job.id}-a{max(1, job.attempts)}-" + reason.replace(" ", "-")
+            job.postmortem_path = self.artifacts.put_postmortem(
+                tenant.name, name, bundle, keep=self.config.postmortem_keep
+            )
+            self.flight.note("postmortem", job.id, tenant.name, reason=reason)
+        except Exception:
+            logger.exception("job %s: post-mortem snapshot failed", job.id)
+
+    def job_trace_json(self, job: Job) -> Optional[dict]:
+        """The job's merged Chrome trace (None until finalized)."""
+        if job.trace_data is not None:
+            return job.trace_data
+        if self.artifacts is not None:
+            return self.artifacts.load_trace(job.id)
+        return None
+
+    def job_timeline_json(self, job: Job) -> Optional[dict]:
+        """The job's compact timeline (None until finalized)."""
+        if job.timeline_data is not None:
+            return job.timeline_data
+        if self.artifacts is not None:
+            return self.artifacts.load_timeline(job.id)
+        return None
+
+    def job_postmortem_json(self, job: Job) -> Optional[dict]:
+        """The job's post-mortem bundle, if one was snapshotted."""
+        if job.postmortem_data is not None:
+            return job.postmortem_data
+        if job.postmortem_path and self.artifacts is not None:
+            return self.artifacts.load_postmortem(job.postmortem_path)
+        return None
+
     # -- submissions ----------------------------------------------------------------
 
     def submit(
@@ -515,6 +696,10 @@ class PipelineService:
             )
             if not decision.accepted:
                 tenant.rejected += 1
+                self.flight.note(
+                    "rejected", tenant=tenant_name,
+                    status=decision.status, reason=decision.reason,
+                )
                 return None, decision
             self._job_seq += 1
             job = Job(
@@ -527,18 +712,21 @@ class PipelineService:
                 idempotency_key=idempotency_key,
             )
             self._apply_default_retry(job)
-            if self.journal is not None:
-                # WAL: the submission is on stable storage before the
-                # client sees its 202 — a crash one instruction after the
-                # acknowledgment loses nothing.
-                self.journal.append(
-                    "submitted", job.id, self._journal_payload(job),
-                    fsync=True,
-                )
+            # WAL: the submission is on stable storage before the
+            # client sees its 202 — a crash one instruction after the
+            # acknowledgment loses nothing.
+            self._journal(
+                "submitted", job.id, self._journal_payload(job), fsync=True
+            )
             self.jobs[job.id] = job
             if idempotency_key is not None:
                 self._idempotency[(tenant_name, idempotency_key)] = job.id
             tenant.submitted += 1
+            self._maybe_open_trace(job)
+            self.flight.note(
+                "admitted", job.id, tenant_name,
+                workload=workload, traced=job.trace is not None,
+            )
             self.scheduler.enqueue(job)
             self._wake.notify_all()
             return job, decision
@@ -603,11 +791,15 @@ class PipelineService:
                     return
                 self._tick()
                 job = None
+                pick_t0 = now_ns()
                 if not self._draining and self.pool.can_lease():
                     job = self.scheduler.take(self._eligible, self._weight_of)
+                pick_t1 = now_ns()
                 if job is None:
                     self._wake.wait(_DISPATCH_POLL)
                     continue
+                depth = self.scheduler.depth()
+            lease_t0 = now_ns()
             lease = self.pool.try_lease(self.workers_per_job)
             with self._wake:
                 if lease is None:
@@ -624,14 +816,40 @@ class PipelineService:
                 job.lease = lease
                 job.attempts += 1
                 tenant.running += 1
-                tenant.record_queue_wait(job.queue_wait_s or 0.0)
-                self._dispatch_times.append(time.monotonic())
-                if self.journal is not None:
-                    self.journal.append(
-                        "leased", job.id,
-                        {"workers": list(lease.worker_ids),
-                         "attempt": job.attempts},
+                tenant.record_sched_pick((pick_t1 - pick_t0) / 1e9)
+                wait_s = job.queue_wait_s or 0.0
+                if job.trace is not None:
+                    job.trace.span(
+                        EventKind.SCHED_PICK, pick_t0, pick_t1,
+                        arg=job.attempts, arg2=depth,
                     )
+                    # QUEUE_WAIT ends exactly where SCHED_PICK begins —
+                    # contiguous stages, no overlap on the timeline.
+                    span_s = job.trace.end(
+                        "queue_wait", EventKind.QUEUE_WAIT,
+                        arg=job.attempts, at_ns=pick_t0,
+                    )
+                    if span_s > 0.0:
+                        # The same measurement feeds the trace span and
+                        # the /metrics histogram, so the two agree.
+                        wait_s = span_s
+                tenant.record_queue_wait(wait_s)
+                self._dispatch_times.append(time.monotonic())
+                self._journal(
+                    "leased", job.id,
+                    {"workers": list(lease.worker_ids),
+                     "attempt": job.attempts},
+                )
+                if job.trace is not None:
+                    job.trace.span(
+                        EventKind.LEASE_DISPATCH, lease_t0, now_ns(),
+                        arg=job.attempts, arg2=len(lease.worker_ids),
+                    )
+                    job.trace.flush()
+                self.flight.note(
+                    "leased", job.id, job.tenant,
+                    attempt=job.attempts, workers=list(lease.worker_ids),
+                )
                 runner = threading.Thread(
                     target=self._run_job, args=(job, lease),
                     name=f"service-{job.id}", daemon=True,
@@ -652,6 +870,12 @@ class PipelineService:
                 ]
                 for _, job in due:
                     if job.state is JobState.QUEUED and not job.cancel_requested:
+                        if job.trace is not None:
+                            job.trace.end(
+                                "retry_backoff", EventKind.RETRY_BACKOFF,
+                                arg=job.attempts,
+                            )
+                            job.trace.begin("queue_wait")
                         self.scheduler.enqueue(job)
         for job in list(self.jobs.values()):
             if job.deadline_unix is None or now <= job.deadline_unix:
@@ -696,6 +920,13 @@ class PipelineService:
             )
             if allow_resume and os.path.exists(path):
                 resume_from = path
+        trace_config = None
+        if job.trace is not None and job.trace.enabled:
+            trace_config = job.trace.context.config
+        # Two consumers: the engine opens the in-server producer/committer
+        # spools from ``trace=``; the lease carries the config across the
+        # process boundary so pool workers spool into the same directory.
+        lease.trace_config = trace_config
         engine = ExecutionEngine(
             workers=max(1, len(lease.worker_ids)),
             capacity=self.config.capacity,
@@ -704,6 +935,7 @@ class PipelineService:
             fault_plan=job.fault_plan,
             live=LiveConfig(interval=self.config.live_interval),
             checkpoints=checkpoints,
+            trace=trace_config,
             runtime=lease,
         )
         job.engine = engine
@@ -740,6 +972,7 @@ class PipelineService:
             # WAL ordering: the output artifact is durable *before* the
             # journal's completed record — replay never acknowledges a
             # result that is not on disk.
+            persist_t0 = now_ns()
             try:
                 self.artifacts.put_result(
                     job.id, result.output, result.metrics.to_json()
@@ -747,11 +980,17 @@ class PipelineService:
                 spilled = True
             except Exception:
                 logger.exception("job %s: artifact write failed", job.id)
+            if job.trace is not None:
+                job.trace.span(
+                    EventKind.ARTIFACT_PERSIST, persist_t0, now_ns(),
+                    arg=job.attempts,
+                )
         with self._wake:
             job.finished_unix = time.time()
             job.lease = None
             job.engine = None
             tenant.running -= 1
+            was_degraded = tenant.degraded
             if error is not None:
                 self._finish_failed(job, tenant, error)
             else:
@@ -763,13 +1002,12 @@ class PipelineService:
                     tenant.cancelled += 1
                     if job.deadline_fired:
                         tenant.deadline_cancelled += 1
-                    if self.journal is not None:
-                        self.journal.append(
-                            "cancelled", job.id,
-                            {"reason": "deadline exceeded"
-                             if job.deadline_fired else "cancelled by client"},
-                            fsync=True,
-                        )
+                    self._journal(
+                        "cancelled", job.id,
+                        {"reason": "deadline exceeded"
+                         if job.deadline_fired else "cancelled by client"},
+                        fsync=True,
+                    )
                     if self.artifacts is not None:
                         self.artifacts.discard_checkpoint(job.id)
                 else:
@@ -782,13 +1020,12 @@ class PipelineService:
                     else:
                         job.output = result.output
                     tenant.completed += 1
-                    if self.journal is not None:
-                        self.journal.append(
-                            "completed", job.id,
-                            {"attempt": job.attempts,
-                             "resumed_from": job.resumed_from},
-                            fsync=True,
-                        )
+                    self._journal(
+                        "completed", job.id,
+                        {"attempt": job.attempts,
+                         "resumed_from": job.resumed_from},
+                        fsync=True,
+                    )
                     if self.artifacts is not None:
                         self.artifacts.discard_checkpoint(job.id)
                 tenant.committed += metrics.commits
@@ -811,6 +1048,20 @@ class PipelineService:
                 # or the throttle is pinned serial; cleared by a clean job.
                 tenant.degraded = stormed or tenant.throttle.at_floor
             self._wake.notify_all()
+        # -- trace + post-mortem, outside the lock (merging spools and
+        # writing bundles must never block admission or dispatch) --------
+        terminal = job.state in TERMINAL_STATES
+        if terminal:
+            self._finalize_trace(job)
+            self.flight.note(
+                "finished", job.id, job.tenant,
+                state=job.state.value, attempt=job.attempts,
+                error=(job.error or "")[:200],
+            )
+        if job.state in (JobState.FAILED, JobState.DEAD_LETTER):
+            self._snapshot_postmortem(job, tenant, reason=job.state.value)
+        elif tenant.degraded and not was_degraded:
+            self._snapshot_postmortem(job, tenant, reason="tenant degraded")
         if error is None and self.config.history_path:
             self._append_history(job, result)
 
@@ -832,12 +1083,18 @@ class PipelineService:
             job.started_unix = None
             job.finished_unix = None
             tenant.retries += 1
-            if self.journal is not None:
-                self.journal.append(
-                    "retry_scheduled", job.id,
-                    {"attempt": job.attempts, "delay_s": round(delay, 3),
-                     "error": error},
-                )
+            self._journal(
+                "retry_scheduled", job.id,
+                {"attempt": job.attempts, "delay_s": round(delay, 3),
+                 "error": error},
+            )
+            if job.trace is not None:
+                job.trace.begin("retry_backoff")
+            self.flight.note(
+                "retry_scheduled", job.id, tenant.name,
+                attempt=job.attempts, delay_s=round(delay, 3),
+                error=error[:200],
+            )
             # The checkpoint (if any) is deliberately kept: the retry
             # resumes from the committed prefix, it does not redo work.
             self._retries.append((time.time() + delay, job))
@@ -849,11 +1106,10 @@ class PipelineService:
         if job.max_attempts > 1:
             job.state = JobState.DEAD_LETTER
             tenant.dead_letter += 1
-            if self.journal is not None:
-                self.journal.append(
-                    "dead_letter", job.id,
-                    {"attempt": job.attempts, "error": error}, fsync=True,
-                )
+            self._journal(
+                "dead_letter", job.id,
+                {"attempt": job.attempts, "error": error}, fsync=True,
+            )
             logger.warning(
                 "job %s: poison — %d attempt(s) exhausted, dead-lettered",
                 job.id, job.attempts,
@@ -861,10 +1117,7 @@ class PipelineService:
         else:
             job.state = JobState.FAILED
             tenant.failed += 1
-            if self.journal is not None:
-                self.journal.append(
-                    "failed", job.id, {"error": error}, fsync=True
-                )
+            self._journal("failed", job.id, {"error": error}, fsync=True)
         if self.artifacts is not None:
             self.artifacts.discard_checkpoint(job.id)
 
@@ -882,12 +1135,14 @@ class PipelineService:
         job.error = reason
         tenant = self.tenants.get_or_create(job.tenant)
         tenant.cancelled += 1
-        if journal and self.journal is not None:
-            self.journal.append(
-                "cancelled", job.id, {"reason": reason}, fsync=True
-            )
+        if journal:
+            self._journal("cancelled", job.id, {"reason": reason}, fsync=True)
         if self.artifacts is not None:
             self.artifacts.discard_checkpoint(job.id)
+        self.flight.note("cancelled", job.id, job.tenant, reason=reason)
+        # Cancelled-while-queued is terminal: seal the (service-only)
+        # trace here — a handful of spans, cheap under the lock.
+        self._finalize_trace(job)
 
     def _running_jobs(self) -> List[Job]:
         return [
@@ -1063,20 +1318,55 @@ class PipelineService:
                     lines.append(
                         metric + tenant_label(name) + f" {getter(tenant)}"
                     )
-            header(
-                "repro_service_queue_wait_seconds", "summary",
+            def stage_histogram(metric: str, help_text: str, getter) -> None:
+                # Same golden format as repro.obs.serve: cumulative
+                # ``le`` buckets on the engine's power-of-two bounds, so
+                # job-plane and engine-plane latencies share one axis.
+                header(metric, "histogram", help_text)
+                for name, tenant in tenants:
+                    hist = getter(tenant)
+                    cumulative = 0
+                    for bound, bucket_count in zip(
+                        BUCKET_BOUNDS, hist.buckets
+                    ):
+                        cumulative += bucket_count
+                        lines.append(
+                            metric + "_bucket"
+                            + tenant_label(name, f'le="{bound!r}"')
+                            + f" {cumulative}"
+                        )
+                    lines.append(
+                        metric + "_bucket"
+                        + tenant_label(name, 'le="+Inf"')
+                        + f" {hist.count}"
+                    )
+                    lines.append(
+                        metric + "_sum" + tenant_label(name)
+                        + f" {hist.total:.9g}"
+                    )
+                    lines.append(
+                        metric + "_count" + tenant_label(name)
+                        + f" {hist.count}"
+                    )
+
+            stage_histogram(
+                "repro_service_queue_wait_seconds",
                 "Admission-to-dispatch wait per tenant.",
+                lambda t: t.queue_wait_hist,
+            )
+            stage_histogram(
+                "repro_service_sched_pick_seconds",
+                "One FairScheduler.take decision per dispatched job.",
+                lambda t: t.sched_pick_hist,
+            )
+            header(
+                "repro_service_postmortem_total", "counter",
+                "Post-mortem bundles snapshotted per tenant.",
             )
             for name, tenant in tenants:
                 lines.append(
-                    "repro_service_queue_wait_seconds_sum"
-                    + tenant_label(name)
-                    + f" {tenant.queue_wait_total:.9g}"
-                )
-                lines.append(
-                    "repro_service_queue_wait_seconds_count"
-                    + tenant_label(name)
-                    + f" {tenant.queue_wait_count}"
+                    "repro_service_postmortem_total" + tenant_label(name)
+                    + f" {tenant.postmortems}"
                 )
             for metric, help_text, getter in (
                 ("repro_service_tenant_running",
@@ -1120,6 +1410,13 @@ class PipelineService:
             )
             lines.append(
                 f"repro_service_pool_spawned_total {pool['spawned_total']}"
+            )
+            header(
+                "repro_service_flight_events_total", "counter",
+                "Job-plane events noted by the flight recorder.",
+            )
+            lines.append(
+                f"repro_service_flight_events_total {self.flight.events_noted}"
             )
             header(
                 "repro_service_durable", "gauge",

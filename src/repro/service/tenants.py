@@ -16,13 +16,38 @@ while its neighbours stay ``ok``.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from repro.obs.registry import BUCKET_BOUNDS, bucket_index
 from repro.resilience.throttle import (
     SpeculationThrottle,
     ThrottleConfig,
     max_window_for,
 )
+
+
+class StageHistogram:
+    """A fixed-bucket latency histogram for one job-plane stage.
+
+    Same power-of-two bucket bounds as the engine registry
+    (:data:`repro.obs.registry.BUCKET_BOUNDS`), so ``/metrics`` exposes
+    job-plane and engine-plane latencies on one comparable axis — and the
+    per-job trace spans can be checked against the scrape within sampling
+    error.  Mutated under the service lock; no locking of its own.
+    """
+
+    def __init__(self) -> None:
+        self.buckets: List[int] = [0] * (len(BUCKET_BOUNDS) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.max_value = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, seconds)
+        self.buckets[bucket_index(seconds)] += 1
+        self.total += seconds
+        self.count += 1
+        self.max_value = max(self.max_value, seconds)
 
 
 class TenantThrottle:
@@ -112,11 +137,21 @@ class TenantState:
         self.queue_wait_total = 0.0
         self.queue_wait_count = 0
         self.queue_wait_max = 0.0
+        #: full queue-wait distribution (cumulative-``le`` on /metrics)
+        self.queue_wait_hist = StageHistogram()
+        #: scheduler pick latency (one ``FairScheduler.take`` decision)
+        self.sched_pick_hist = StageHistogram()
+        #: post-mortem bundles snapshotted for this tenant
+        self.postmortems = 0
 
     def record_queue_wait(self, seconds: float) -> None:
         self.queue_wait_total += seconds
         self.queue_wait_count += 1
         self.queue_wait_max = max(self.queue_wait_max, seconds)
+        self.queue_wait_hist.observe(seconds)
+
+    def record_sched_pick(self, seconds: float) -> None:
+        self.sched_pick_hist.observe(seconds)
 
     def to_json(self) -> dict:
         return {
@@ -139,6 +174,7 @@ class TenantState:
             "degraded": self.degraded,
             "window": self.throttle.window,
             "queue_wait_max_s": round(self.queue_wait_max, 6),
+            "postmortems": self.postmortems,
         }
 
 
