@@ -1,0 +1,134 @@
+"""Sanity bound on the what-if profiler's batching projection.
+
+The critical-path analyzer (``repro.obs.analyze``) projects a
+``double_batch`` what-if by replaying the causal graph with
+serialization costs halved.  That projection is a *whole-run* speedup,
+so it must never exceed what batching actually buys on the raw wire —
+and the wire number is measured right here, with the same
+:func:`_throughput` harness ``test_channel_throughput`` gates in CI.
+
+Two bounds, Amdahl-shaped:
+
+- lower: the projection is a speedup, never a slowdown (>= ~1.0);
+- upper: halving serialization on a run whose critical path is only
+  fraction ``f`` serialization can at most yield ``1 / (1 - f/2)``
+  (perfect batching, zero residual).  The measured wire curve caps the
+  achievable per-item win, so the projection must also stay under the
+  batch-64-vs-1 wire speedup with slack.
+
+Plain runs assert sanity only; ``PERF_GATE=1`` (the CI perf job) arms
+the tight band.  Results land in ``benchmarks/results.json`` under
+``bottleneck_whatif`` — deliberately *not* a ``check_perf`` gated
+section (projection ratios swing with box load; the in-test bounds are
+the contract).
+"""
+
+import os
+import shutil
+import tempfile
+
+from test_channel_throughput import _throughput, _tuple_payload
+
+from repro.exec import ExecutionEngine, PipelineSpec
+from repro.obs import TraceConfig, analyze_trace, merge_spool_dir
+
+ITERATIONS = 1200
+PERF_GATE = os.environ.get("PERF_GATE") == "1"
+
+
+def whatif_produce(i):
+    # Wide tuples: enough pickle bytes per item that the unbatched wire
+    # (batch_size=1) pays visible serialization on the critical path.
+    return tuple(range(i & 15, (i & 15) + 24))
+
+
+def whatif_work(i, value):
+    return sum(value) ^ (i & 127)
+
+
+def whatif_commit(i, result, acc):
+    acc["sum"] = acc.get("sum", 0) + result
+
+
+def whatif_finalize(acc):
+    return acc.get("sum", 0)
+
+
+def _traced_unbatched_report():
+    """One real engine run at batch_size=1, analyzed from its trace."""
+    spool_dir = tempfile.mkdtemp(prefix="whatif-bound-")
+    try:
+        engine = ExecutionEngine(
+            workers=2, capacity=64, batch_size=1,
+            trace=TraceConfig(spool_dir=spool_dir),
+        )
+        result = engine.run(
+            PipelineSpec(
+                iterations=ITERATIONS,
+                produce=whatif_produce,
+                work=whatif_work,
+                commit=whatif_commit,
+                finalize=whatif_finalize,
+            )
+        )
+        merged = merge_spool_dir(spool_dir)
+        return analyze_trace(merged, metrics=result.metrics.to_json())
+    finally:
+        shutil.rmtree(spool_dir, ignore_errors=True)
+
+
+def test_whatif_batching_projection_is_bounded(benchmark, results_sink):
+    measured = {}
+
+    def sweep():
+        measured["wire_1"] = _throughput(1, _tuple_payload)
+        measured["wire_64"] = _throughput(64, _tuple_payload)
+        measured["report"] = _traced_unbatched_report()
+        return measured
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    report = measured["report"]
+    wire_speedup = measured["wire_64"] / measured["wire_1"]
+    what_ifs = {w["name"]: w for w in report.to_json()["what_ifs"]}
+    assert "double_batch" in what_ifs, (
+        f"unbatched run offered no batching what-if: {sorted(what_ifs)}"
+    )
+    projected = what_ifs["double_batch"]["projected_speedup"]
+    serialization_fraction = report.fractions.get("serialization", 0.0)
+    # Perfect batching removes at most half the serialization share of
+    # the critical path (the edit halves costs, it doesn't erase them).
+    amdahl_cap = 1.0 / max(1e-9, 1.0 - serialization_fraction / 2.0)
+
+    print(
+        f"\nwhatif/double_batch projected:{projected:.3f}x  "
+        f"amdahl-cap:{amdahl_cap:.3f}x  wire b64/b1:{wire_speedup:.2f}x  "
+        f"serialization fraction:{serialization_fraction:.1%}"
+    )
+
+    results_sink["bottleneck_whatif"] = {
+        "iterations": ITERATIONS,
+        "projected_double_batch_speedup": round(projected, 3),
+        "serialization_fraction": round(serialization_fraction, 4),
+        "amdahl_cap": round(amdahl_cap, 3),
+        "wire_speedup_batch64_vs_1": round(wire_speedup, 3),
+        "top_blame": report.top,
+    }
+
+    # Sanity everywhere: a what-if is a projected improvement, and no
+    # whole-run batching win can beat the raw wire win.
+    assert projected >= 0.95, (
+        f"double_batch projected a slowdown: {projected:.3f}x"
+    )
+    assert projected <= wire_speedup * 1.25, (
+        f"projection {projected:.2f}x beats the measured wire speedup "
+        f"{wire_speedup:.2f}x — the replay is over-crediting batching"
+    )
+    if PERF_GATE:
+        # Tight band: the projection must respect the Amdahl cap derived
+        # from its own blame split (with slack for replay residuals).
+        assert projected <= amdahl_cap * 1.20, (
+            f"projection {projected:.3f}x exceeds the Amdahl cap "
+            f"{amdahl_cap:.3f}x implied by a {serialization_fraction:.1%} "
+            "serialization share"
+        )

@@ -9,6 +9,9 @@ Commands:
   execution engine and print measured metrics;
 - ``history``                diff the latest recorded run against a baseline
   from the cross-run history store (``benchmarks/history.jsonl``);
+- ``obs report STATE_DIR``   aggregate persisted job traces offline;
+- ``obs analyze TRACE|JOB``  critical-path blame + what-if speedup
+  projections from a Chrome trace file or a stored job artifact;
 - ``list``                   list the available benchmarks.
 
 The ``exec`` command carries the observability surface: ``--trace out.json``
@@ -339,6 +342,40 @@ def _build_parser() -> argparse.ArgumentParser:
         "--tenant", default=None,
         help="restrict the report to one tenant",
     )
+    analyze_parser = obs_sub.add_parser(
+        "analyze",
+        help="critical-path analysis and what-if speedup projections over "
+             "a recorded trace (an exported Chrome trace file, or a job's "
+             "stored trace artifact via --state-dir)",
+    )
+    analyze_parser.add_argument(
+        "target", metavar="TRACE_OR_JOB", nargs="?", default=None,
+        help="a Chrome trace file written by --trace, or a JOB_ID when "
+             "--state-dir is given",
+    )
+    analyze_parser.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="a serve --state-dir (or its artifacts/ directory): analyze "
+             "the stored trace.json + metrics.json of job TRACE_OR_JOB",
+    )
+    analyze_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="the run's --metrics-out JSON (sharpens serialization blame "
+             "and pipeline geometry for trace-file mode)",
+    )
+    analyze_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="override the worker count when the trace/metrics do not "
+             "record it",
+    )
+    analyze_parser.add_argument(
+        "--capacity", type=int, default=None,
+        help="override the channel capacity used for what-if replay",
+    )
+    analyze_parser.add_argument(
+        "--json", default=None, metavar="PATH", dest="json_out",
+        help="also write the machine-readable bottleneck block to PATH",
+    )
 
     audit_parser = sub.add_parser(
         "shm-audit",
@@ -492,6 +529,21 @@ def _export_trace(args, spool_dir):
     return merged
 
 
+def _attach_trace_bottleneck(merged, metrics) -> None:
+    """Upgrade the engine's metrics-only bottleneck estimate to the real
+    critical-path analysis once the merged trace is at hand, and print the
+    analyzer's verdict."""
+    try:
+        from repro.obs import analyze_trace
+
+        report = analyze_trace(merged, metrics=metrics.to_json())
+        metrics.bottleneck = report.to_json()
+        print()
+        print(report.format_summary())
+    except Exception as error:  # diagnosis must never fail the run
+        print(f"bottleneck analysis failed: {error}", file=sys.stderr)
+
+
 def _ensure_parent(path: str) -> None:
     """An output flag must not fail an otherwise-successful run at the very
     end just because its directory does not exist yet."""
@@ -580,7 +632,8 @@ def _run_chaos(args) -> int:
     print(report.format_summary())
     print(report.result.metrics.format_summary())
     if spool_dir is not None:
-        _export_trace(args, spool_dir)
+        merged = _export_trace(args, spool_dir)
+        _attach_trace_bottleneck(merged, report.result.metrics)
     _write_metrics(args, report.result.metrics)
     _append_history(
         args, args.name, report.result.metrics,
@@ -651,6 +704,7 @@ def _run_exec(args) -> int:
     merged = None
     if spool_dir is not None:
         merged = _export_trace(args, spool_dir)
+        _attach_trace_bottleneck(merged, result.metrics)
 
     if args.calibrate:
         threads = args.workers + 2  # + phase-A core + phase-C core
@@ -881,9 +935,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "obs":
         import os
 
-        from repro.obs.jobtrace import run_report
+        if args.obs_command == "analyze":
+            from repro.obs.analyze import run_analyze
 
-        text, code = run_report(args.state_dir, tenant=args.tenant)
+            text, code = run_analyze(
+                args.target,
+                state_dir=args.state_dir,
+                metrics_path=args.metrics,
+                workers=args.workers,
+                capacity=args.capacity,
+                json_out=args.json_out,
+            )
+        else:
+            from repro.obs.jobtrace import run_report
+
+            text, code = run_report(args.state_dir, tenant=args.tenant)
         try:
             print(text)
         except BrokenPipeError:  # report piped through e.g. ``| head``

@@ -380,7 +380,20 @@ class ExecutionEngine:
         started = time.monotonic()
         result = self._run_pipeline(spec, start, checkpoint)
         self.metrics.wall_seconds = time.monotonic() - started
+        self._attach_bottleneck_estimate()
         return result
+
+    def _attach_bottleneck_estimate(self) -> None:
+        """Every run ships a bottleneck verdict, trace or not: the coarse
+        metrics-only estimate here; callers that recorded a trace replace
+        it with the critical-path analysis (``repro.obs.analyze``)."""
+        try:
+            from repro.obs.analyze import estimate_bottleneck
+
+            self.metrics.bottleneck = estimate_bottleneck(self.metrics)
+        except Exception:
+            # Diagnosis must never take down a successful run.
+            self.metrics.bottleneck = None
 
     def _resolve_resume(
         self, spec: PipelineSpec, resume_from: Union[Checkpoint, str, None]

@@ -92,6 +92,13 @@ class EngineMetrics:
     #: (``LiveConfig`` on the engine); ``None`` otherwise.
     watchdog: Optional[dict] = None
 
+    # -- bottleneck analysis -----------------------------------------------------
+    #: The analyzer's verdict for this run (``repro.obs.analyze``): top
+    #: blame category, blame fractions, and ranked what-if projections.
+    #: Trace-based when the run was traced; otherwise the coarse
+    #: metrics-only estimate the engine attaches at the end of ``run()``.
+    bottleneck: Optional[dict] = None
+
     # -- latency distributions ---------------------------------------------------
     #: Per-event latency histograms the committer populates live (no
     #: tracing required): ``task_a``/``task_b``/``task_c`` execution time
@@ -181,6 +188,7 @@ class EngineMetrics:
             "final_window": self.final_window,
             "channels": self.channel_stats,
             "watchdog": self.watchdog,
+            "bottleneck": self.bottleneck,
             "latency_histograms": {
                 name: _round_floats(summary)
                 for name, summary in summarize(self.latency).items()
@@ -245,6 +253,19 @@ class EngineMetrics:
                 f"{self.watchdog.get('saturations', 0)} saturations, "
                 f"{self.watchdog.get('storms', 0)} storms"
                 + (", ABORTED" if self.watchdog.get("aborted") else "")
+                + ")"
+            )
+        if self.bottleneck:
+            top = self.bottleneck.get("top", "?")
+            fractions = self.bottleneck.get("fractions") or {}
+            recommendation = self.bottleneck.get("recommendation")
+            lines.append(
+                f"bottleneck        {top} "
+                f"({fractions.get(top, 0.0):.0%} blame, "
+                f"{self.bottleneck.get('source', '?')}-based"
+                + (
+                    f"; try: {recommendation}" if recommendation else ""
+                )
                 + ")"
             )
         for name, histogram in sorted(self.latency.items()):

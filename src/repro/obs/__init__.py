@@ -28,6 +28,20 @@ thread with a stall/saturation/storm :class:`Watchdog`
 regression gate (:mod:`repro.obs.history`).
 """
 
+from repro.obs.analyze import (
+    BOTTLENECK_SCHEMA,
+    BottleneckReport,
+    ItemChain,
+    PathSegment,
+    analyze_trace,
+    compute_critical_path,
+    crosscheck_with_graph,
+    estimate_bottleneck,
+    extract_chains,
+    merged_from_chrome_trace,
+    run_analyze,
+    validate_bottleneck,
+)
 from repro.obs.clock import ClockAnchor, now_ns
 from repro.obs.compare import (
     PhaseComparison,
@@ -93,6 +107,8 @@ from repro.obs.spool import (
 )
 
 __all__ = [
+    "BOTTLENECK_SCHEMA",
+    "BottleneckReport",
     "ChaosCode",
     "ClockAnchor",
     "EventKind",
@@ -101,6 +117,7 @@ __all__ = [
     "HealthState",
     "HistoryDiff",
     "Instant",
+    "ItemChain",
     "JobTrace",
     "LatencyHistogram",
     "LiveConfig",
@@ -108,6 +125,7 @@ __all__ = [
     "MergedTrace",
     "MetricsRegistry",
     "MetricsServer",
+    "PathSegment",
     "PhaseComparison",
     "RegistrySnapshot",
     "SERVICE_KINDS",
@@ -120,10 +138,15 @@ __all__ = [
     "Watchdog",
     "WatchdogConfig",
     "aggregate_report",
+    "analyze_trace",
     "append_record",
     "build_timeline",
     "compare_phases",
+    "compute_critical_path",
+    "crosscheck_with_graph",
     "diff_records",
+    "estimate_bottleneck",
+    "extract_chains",
     "format_history_diff",
     "format_report",
     "format_seconds",
@@ -133,16 +156,19 @@ __all__ = [
     "make_record",
     "merge_spool_dir",
     "merge_spools",
+    "merged_from_chrome_trace",
     "now_ns",
     "open_job_trace",
     "open_tracer",
     "percentile",
+    "run_analyze",
     "run_report",
     "prometheus_exposition",
     "read_spool",
     "render_measured_timeline",
     "select_baseline",
     "to_chrome_trace",
+    "validate_bottleneck",
     "validate_chrome_trace",
     "write_chrome_trace",
 ]

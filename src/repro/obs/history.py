@@ -103,6 +103,17 @@ def make_record(
         "latency": latency,
         "watchdog": watchdog,
     }
+    bottleneck = getattr(metrics, "bottleneck", None)
+    if bottleneck:
+        # The analyzer's verdict, compacted: enough to see cross-run
+        # bottleneck drift in ``history list``/``diff`` without carrying
+        # the full segment-level analysis in every line.
+        record["bottleneck"] = {
+            "top": bottleneck.get("top"),
+            "source": bottleneck.get("source"),
+            "categories": bottleneck.get("categories") or {},
+            "recommendation": bottleneck.get("recommendation"),
+        }
     if extra:
         record.update(extra)
     return record
@@ -359,6 +370,15 @@ def format_history_diff(diff: HistoryDiff) -> str:
         f"tolerance {diff.tolerance:.0%}",
     ]
     lines += [row.format() for row in diff.rows]
+    base_bottleneck = diff.baseline.get("bottleneck") or {}
+    current_bottleneck = diff.current.get("bottleneck") or {}
+    if base_bottleneck or current_bottleneck:
+        base_top = base_bottleneck.get("top", "-")
+        current_top = current_bottleneck.get("top", "-")
+        drift = "" if base_top == current_top else "  (BOTTLENECK SHIFTED)"
+        lines.append(
+            f"bottleneck: {base_top} -> {current_top}{drift}"
+        )
     lines.append(
         "verdict: "
         + (
@@ -377,6 +397,8 @@ def format_history_list(records: List[dict], limit: int = 10) -> str:
         watchdog = record.get("watchdog") or {}
         health = watchdog.get("health", "-")
         label = record.get("label")
+        bottleneck = record.get("bottleneck") or {}
+        top = bottleneck.get("top")
         lines.append(
             f"{time.strftime('%Y-%m-%d %H:%M:%S', time.localtime(record.get('ts', 0)))}  "
             f"{record.get('name', '?'):<12} "
@@ -386,6 +408,7 @@ def format_history_list(records: List[dict], limit: int = 10) -> str:
             f"misspec {record.get('misspec_rate', 0):.1%}  "
             f"health {health:<8} "
             f"{'ok' if record.get('ok') else 'FAIL'}"
+            + (f"  bn:{top}" if top else "")
             + (f"  [{label}]" if label else "")
         )
     return "\n".join(lines) if lines else "history: no records"

@@ -294,29 +294,64 @@ class FlightRecorder:
 # -- cross-job report (``python -m repro obs report``) -------------------------------
 
 
-def iter_job_traces(artifact_root: str) -> Iterable[Tuple[str, dict, Optional[dict]]]:
+def iter_job_traces(
+    artifact_root: str, warnings: Optional[List[str]] = None
+) -> Iterable[Tuple[str, dict, Optional[dict]]]:
     """Yield ``(job_id, timeline, chrome_trace_or_None)`` for every stored
-    trace artifact under an artifact-store root, unreadable files skipped."""
+    trace artifact under an artifact-store root.
+
+    Untraced jobs (no timeline *and* no trace artifact) are skipped
+    silently — they share the artifact root.  A job whose artifacts exist
+    but cannot be read is skipped *loudly*: a message is appended to
+    ``warnings`` (when given) so ``obs report`` can surface per-job
+    corruption without aborting the whole aggregation.  A corrupt Chrome
+    trace next to a readable timeline degrades to timeline-only (warned).
+    """
     try:
         entries = sorted(os.scandir(artifact_root), key=lambda e: e.name)
     except OSError:
         return
+
+    def warn(message: str) -> None:
+        if warnings is not None:
+            warnings.append(message)
+
     for entry in entries:
-        if not entry.is_dir():
+        if not entry.is_dir() or entry.name.startswith("."):
             continue
         timeline_path = os.path.join(entry.path, "timeline.json")
         trace_path = os.path.join(entry.path, "trace.json")
-        try:
-            with open(timeline_path) as handle:
-                timeline = json.load(handle)
-        except (OSError, ValueError):
+        has_timeline = os.path.exists(timeline_path)
+        has_trace = os.path.exists(trace_path)
+        if not has_timeline and not has_trace:
+            continue  # untraced job
+        timeline = None
+        if has_timeline:
+            try:
+                with open(timeline_path) as handle:
+                    timeline = json.load(handle)
+            except (OSError, ValueError) as error:
+                warn(f"job {entry.name}: unreadable timeline.json ({error})")
+        if not isinstance(timeline, dict):
+            if has_timeline and timeline is not None:
+                warn(f"job {entry.name}: timeline.json is not an object")
+            elif not has_timeline:
+                warn(
+                    f"job {entry.name}: trace.json present but "
+                    "timeline.json missing"
+                )
             continue
         trace = None
-        try:
-            with open(trace_path) as handle:
-                trace = json.load(handle)
-        except (OSError, ValueError):
-            trace = None
+        if has_trace:
+            try:
+                with open(trace_path) as handle:
+                    trace = json.load(handle)
+            except (OSError, ValueError) as error:
+                warn(
+                    f"job {entry.name}: unreadable trace.json ({error}); "
+                    "falling back to timeline summaries"
+                )
+                trace = None
         yield entry.name, timeline, trace
 
 
@@ -408,7 +443,10 @@ def run_report(
     """The ``obs report`` entry point: returns (text, exit_code).
 
     Accepts either a service ``--state-dir`` (artifacts live under
-    ``artifacts/``) or an artifact root directly.
+    ``artifacts/``) or an artifact root directly.  Per-job artifact
+    corruption is reported as a warning, not an abort: the exit code is
+    nonzero only when *no* job could be aggregated (1), or the directory
+    itself is missing (2).
     """
     root = state_dir
     nested = os.path.join(state_dir, "artifacts")
@@ -416,5 +454,13 @@ def run_report(
         root = nested
     if not os.path.isdir(root):
         return (f"obs report: no such directory: {state_dir}", 2)
-    aggregate = aggregate_report(iter_job_traces(root), tenant_filter=tenant)
-    return (format_report(aggregate), 0 if aggregate["jobs"] else 1)
+    warnings: List[str] = []
+    aggregate = aggregate_report(
+        iter_job_traces(root, warnings), tenant_filter=tenant
+    )
+    text = format_report(aggregate)
+    if warnings:
+        text += "\n" + "\n".join(
+            f"warning: {message}" for message in warnings
+        )
+    return (text, 0 if aggregate["jobs"] else 1)

@@ -13,6 +13,7 @@ Routes::
     GET    /jobs/<id>/result     output of a finished job (409 until done)
     GET    /jobs/<id>/trace      merged Chrome trace JSON (409 until done)
     GET    /jobs/<id>/timeline   compact per-stage timeline (409 until done)
+    GET    /jobs/<id>/bottleneck critical-path bottleneck analysis (409 until done)
     GET    /jobs/<id>/postmortem post-mortem bundle, if one was snapshotted
     POST   /jobs/<id>/cancel     cancel queued or running
     DELETE /jobs/<id>            alias for cancel
@@ -121,7 +122,7 @@ class _ApiHandler(BaseHTTPRequestHandler):
             elif len(parts) == 3 and parts[:1] == ["jobs"] and parts[2] == "result":
                 self._job_result(parts[1])
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] in (
-                "trace", "timeline", "postmortem"
+                "trace", "timeline", "postmortem", "bottleneck"
             ):
                 self._job_trace(parts[1], parts[2])
             else:
@@ -225,8 +226,9 @@ class _ApiHandler(BaseHTTPRequestHandler):
 
     def _job_trace(self, job_id: str, kind: str) -> None:
         """Trace artifacts: the merged Chrome trace, the compact timeline,
-        or the post-mortem bundle.  404 for an untraced job, 409 while the
-        trace is still being recorded (it merges at the terminal state)."""
+        the bottleneck analysis, or the post-mortem bundle.  404 for an
+        untraced job, 409 while the trace is still being recorded (it
+        merges at the terminal state)."""
         job = self.service.get_job(job_id)
         if job is None:
             self._error(404, f"unknown job {job_id!r}")
@@ -246,10 +248,12 @@ class _ApiHandler(BaseHTTPRequestHandler):
                 "trace merges when it finishes",
             )
             return
-        payload = (
-            self.service.job_trace_json(job) if kind == "trace"
-            else self.service.job_timeline_json(job)
-        )
+        if kind == "trace":
+            payload = self.service.job_trace_json(job)
+        elif kind == "bottleneck":
+            payload = self.service.job_bottleneck_json(job)
+        else:
+            payload = self.service.job_timeline_json(job)
         if payload is None:
             self._error(
                 404,

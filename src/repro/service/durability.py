@@ -312,6 +312,7 @@ class ArtifactStore:
     CHECKPOINT = "checkpoint.pkl"
     TRACE = "trace.json"
     TIMELINE = "timeline.json"
+    BOTTLENECK = "bottleneck.json"
     #: Per-job spool directory (the engine's and the service's ring spools
     #: for one traced job live here until they are merged and exported).
     TRACE_SPOOL_DIR = "trace"
@@ -410,6 +411,18 @@ class ArtifactStore:
     def load_timeline(self, job_id: str) -> Optional[dict]:
         return self._load_json(
             os.path.join(self._job_dir(job_id), self.TIMELINE)
+        )
+
+    def put_bottleneck(self, job_id: str, analysis: dict) -> None:
+        """Persist a traced job's critical-path bottleneck analysis."""
+        self._atomic_write(
+            os.path.join(self._job_dir(job_id, create=True), self.BOTTLENECK),
+            json.dumps(analysis, default=str).encode(),
+        )
+
+    def load_bottleneck(self, job_id: str) -> Optional[dict]:
+        return self._load_json(
+            os.path.join(self._job_dir(job_id), self.BOTTLENECK)
         )
 
     @staticmethod

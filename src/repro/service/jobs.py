@@ -298,6 +298,9 @@ class Job:
         #: store; the in-memory server keeps both here.
         self.trace_data: Optional[dict] = None
         self.timeline_data: Optional[dict] = None
+        #: Critical-path bottleneck analysis (``repro.obs.analyze``) for a
+        #: traced job; durable servers also persist it as an artifact.
+        self.bottleneck_data: Optional[dict] = None
         #: Post-mortem bundle: artifact path when durable, the bundle
         #: itself when the server has no artifact store.
         self.postmortem_path: Optional[str] = None

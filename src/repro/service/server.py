@@ -53,6 +53,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.exec.engine import ExecutionEngine
 from repro.exec.faults import RobustnessPolicy
+from repro.obs.analyze import analyze_trace
 from repro.obs.clock import now_ns
 from repro.obs.events import EventKind
 from repro.obs.export import to_chrome_trace
@@ -568,8 +569,16 @@ class PipelineService:
                 attempts=job.attempts,
             )
             job.timeline_data = timeline
+            try:
+                analysis = analyze_trace(merged, metrics=job.metrics)
+                job.bottleneck_data = analysis.to_json()
+            except Exception:
+                # Diagnosis is best-effort; the trace itself still ships.
+                logger.exception("job %s: bottleneck analysis failed", job.id)
             if self.artifacts is not None:
                 self.artifacts.put_trace(job.id, chrome, timeline)
+                if job.bottleneck_data is not None:
+                    self.artifacts.put_bottleneck(job.id, job.bottleneck_data)
                 # The artifact store owns the (large) Chrome trace now;
                 # only the compact timeline stays resident.
                 job.trace_data = None
@@ -578,11 +587,13 @@ class PipelineService:
         except Exception:
             logger.exception("job %s: trace finalize failed", job.id)
         finally:
-            # Cleared last: readers treat a live ``job.trace`` as "merge
-            # in flight" (the API answers 409) until artifacts are ready.
-            job.trace = None
+            # Spool dir first (the merge already consumed it), then clear
+            # ``job.trace`` last: readers treat a live ``job.trace`` as
+            # "merge in flight" (the API answers 409) until artifacts —
+            # and the cleanup — are ready.
             if job.trace_ephemeral and job.trace_dir:
                 shutil.rmtree(job.trace_dir, ignore_errors=True)
+            job.trace = None
 
     def _snapshot_postmortem(
         self, job: Job, tenant: TenantState, reason: str
@@ -610,6 +621,7 @@ class PipelineService:
                 "queue_depth": self.scheduler.depth(),
                 "pool": self.pool.stats(),
                 "timeline": job.timeline_data,
+                "bottleneck": job.bottleneck_data,
             }
             tenant.postmortems += 1
         if self.artifacts is None:
@@ -639,6 +651,15 @@ class PipelineService:
             return job.timeline_data
         if self.artifacts is not None:
             return self.artifacts.load_timeline(job.id)
+        return None
+
+    def job_bottleneck_json(self, job: Job) -> Optional[dict]:
+        """The job's critical-path bottleneck analysis (None until a
+        traced job finalizes; survives restarts via the artifact store)."""
+        if job.bottleneck_data is not None:
+            return job.bottleneck_data
+        if self.artifacts is not None:
+            return self.artifacts.load_bottleneck(job.id)
         return None
 
     def job_postmortem_json(self, job: Job) -> Optional[dict]:

@@ -1,0 +1,539 @@
+"""Critical-path analyzer & what-if causal profiler (PR 10).
+
+The acceptance contract (ISSUE 10):
+
+- per-item causal chains and the critical path reconstruct correctly from
+  hand-built traces with known timings, and blame lands in the right
+  category (compute per stage, queue wait, serialization, commit lag,
+  misspeculation);
+- the what-if replay projects virtual speedups that track the §3.1
+  analytic bound, and the bottleneck block validates against its schema;
+- a stored Chrome trace round-trips back into the analyzer with the same
+  verdict as the in-memory merged trace;
+- on a seeded chaos run with a deliberately undersized stage B, the
+  analyzer names stage-B compute as the top blame category AND its
+  "+1 B replica" projection lands within 25% of the *measured* speedup
+  from actually rerunning with one more worker;
+- degenerate inputs (empty trace, service-only spans, metrics without a
+  trace) produce valid reports, never exceptions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.exec.metrics import EngineMetrics
+from repro.obs import (
+    BottleneckReport,
+    EventKind,
+    TraceConfig,
+    analyze_trace,
+    compute_critical_path,
+    estimate_bottleneck,
+    extract_chains,
+    merged_from_chrome_trace,
+    run_analyze,
+    to_chrome_trace,
+    validate_bottleneck,
+)
+from repro.obs.analyze import ChainCosts, analytic_wall, replay
+from repro.obs.compare import PhaseComparison
+from repro.obs.events import Instant, Span
+from repro.obs.merge import MergedTrace
+from repro.obs.spool import SpoolWriter
+from repro.resilience import ChaosConfig, run_chaos
+
+MS = 1_000_000  # ns
+
+
+# -- hand-built traces with known timings ------------------------------------------
+
+
+def _b_bound_trace(items=4, b_ms=5, workers=1):
+    """Producer instant As, one serial worker with ``b_ms`` tasks, prompt
+    commits: compute:B owns the critical path by construction."""
+    merged = MergedTrace()
+    for i in range(items):
+        merged.spans.append(
+            Span(kind=EventKind.TASK_A, role="producer", pid=1,
+                 start_ns=i * MS, duration_ns=MS // 2, arg=i)
+        )
+    cursor = MS
+    for i in range(items):
+        merged.spans.append(
+            Span(kind=EventKind.TASK_B, role="worker-0", pid=2,
+                 start_ns=cursor, duration_ns=b_ms * MS, arg=i, arg2=0)
+        )
+        end = cursor + b_ms * MS
+        merged.instants.append(
+            Instant(kind=EventKind.CLAIM, role="committer", pid=3,
+                    ts_ns=cursor, arg=i)  # claim-then-execute
+        )
+        merged.spans.append(
+            Span(kind=EventKind.TASK_C, role="committer", pid=3,
+                 start_ns=end + MS // 10, duration_ns=MS // 5, arg=i)
+        )
+        merged.instants.append(
+            Instant(kind=EventKind.COMMIT, role="committer", pid=3,
+                    ts_ns=end + MS // 10 + MS // 5, arg=i)
+        )
+        cursor = end
+    merged.spans.sort(key=lambda s: s.start_ns)
+    merged.instants.sort(key=lambda s: s.ts_ns)
+    return merged
+
+
+class TestChains:
+    def test_chains_reconstruct_stages(self):
+        merged = _b_bound_trace()
+        chains = extract_chains(merged)
+        assert sorted(chains) == [0, 1, 2, 3]
+        for i, chain in chains.items():
+            assert chain.produce is not None
+            assert chain.work is not None
+            assert chain.commit_span is not None
+            assert chain.commit_ns is not None
+            assert chain.claim_ns is not None
+            assert chain.work.arg == i
+
+    def test_aborted_b_span_is_wasted_not_committed(self):
+        merged = _b_bound_trace()
+        merged.spans.append(
+            Span(kind=EventKind.TASK_B, role="worker-1", pid=4,
+                 start_ns=MS, duration_ns=2 * MS, arg=0, arg2=1,
+                 aborted=True)
+        )
+        chains = extract_chains(merged)
+        assert chains[0].work.role == "worker-0"
+        assert [s.role for s in chains[0].wasted_work] == ["worker-1"]
+
+
+class TestCriticalPath:
+    def test_path_covers_wall_clock_without_gaps(self):
+        merged = _b_bound_trace()
+        segments = compute_critical_path(merged)
+        assert segments, "B-bound trace must yield a path"
+        # Gap-free, monotone cover ending at the last commit.
+        for earlier, later in zip(segments, segments[1:]):
+            assert earlier.end_ns == later.start_ns
+        assert segments[0].start_ns == 0
+        last_commit = max(
+            i.ts_ns for i in merged.instants if i.kind == EventKind.COMMIT
+        )
+        assert segments[-1].end_ns == last_commit
+
+    def test_b_bound_blame_names_stage_b(self):
+        report = analyze_trace(_b_bound_trace())
+        assert report.top == "compute:B"
+        assert report.fractions["compute:B"] > 0.8
+        # Blame fractions are a partition of the path.
+        assert sum(report.fractions.values()) == pytest.approx(1.0)
+
+    def test_queue_wait_reclassifies_worker_starvation(self):
+        """A slow producer starves the worker; the worker's recorded
+        get-wait span claims that gap for queue_wait."""
+        merged = MergedTrace()
+        for i in range(3):
+            merged.spans.append(
+                Span(kind=EventKind.TASK_A, role="producer", pid=1,
+                     start_ns=i * 10 * MS, duration_ns=8 * MS, arg=i)
+            )
+            a_end = i * 10 * MS + 8 * MS
+            b_start = a_end + MS
+            # The worker's blocking get ends exactly when the item arrives
+            # and execution starts.
+            merged.spans.append(
+                Span(kind=EventKind.QUEUE_GET_WAIT, role="worker-0", pid=2,
+                     start_ns=max(0, b_start - 7 * MS), duration_ns=7 * MS,
+                     detail=0)
+            )
+            merged.spans.append(
+                Span(kind=EventKind.TASK_B, role="worker-0", pid=2,
+                     start_ns=b_start, duration_ns=MS, arg=i, arg2=0)
+            )
+            b_end = a_end + 2 * MS
+            merged.spans.append(
+                Span(kind=EventKind.TASK_C, role="committer", pid=3,
+                     start_ns=b_end, duration_ns=MS // 2, arg=i)
+            )
+            merged.instants.append(
+                Instant(kind=EventKind.COMMIT, role="committer", pid=3,
+                        ts_ns=b_end + MS // 2, arg=i)
+            )
+        merged.spans.sort(key=lambda s: s.start_ns)
+        report = analyze_trace(merged)
+        assert report.top == "compute:A"
+        assert report.blame_seconds["queue_wait"] > 0
+
+    def test_misspeculation_blame_from_reexec(self):
+        merged = _b_bound_trace(items=2, b_ms=2)
+        last_commit = max(
+            i.ts_ns for i in merged.instants if i.kind == EventKind.COMMIT
+        )
+        # A serial re-execution dominating the tail of the run.
+        merged.spans.append(
+            Span(kind=EventKind.SERIAL_REEXEC, role="committer", pid=3,
+                 start_ns=last_commit, duration_ns=30 * MS, arg=2)
+        )
+        merged.spans.append(
+            Span(kind=EventKind.TASK_C, role="committer", pid=3,
+                 start_ns=last_commit + 30 * MS, duration_ns=MS // 5, arg=2)
+        )
+        merged.instants.append(
+            Instant(kind=EventKind.COMMIT, role="committer", pid=3,
+                    ts_ns=last_commit + 30 * MS + MS // 5, arg=2)
+        )
+        merged.spans.sort(key=lambda s: s.start_ns)
+        report = analyze_trace(merged)
+        assert report.top == "misspeculation"
+        assert report.categories["misspeculation"] > 0.5
+
+    def test_empty_trace_degrades_gracefully(self):
+        report = analyze_trace(MergedTrace())
+        assert report.top == "other"
+        assert report.what_ifs == []
+        assert report.notes
+        assert validate_bottleneck(report.to_json()) == []
+
+    def test_service_only_trace_degrades_gracefully(self):
+        merged = MergedTrace()
+        merged.spans.append(
+            Span(kind=EventKind.ADMIT, role="service", pid=9,
+                 start_ns=0, duration_ns=5 * MS)
+        )
+        merged.spans.append(
+            Span(kind=EventKind.QUEUE_WAIT, role="service", pid=9,
+                 start_ns=0, duration_ns=2 * MS)
+        )
+        report = analyze_trace(merged)
+        assert report.iterations == 0
+        assert report.what_ifs == []
+        assert validate_bottleneck(report.to_json()) == []
+
+
+# -- the what-if replay ------------------------------------------------------------
+
+
+def _uniform_costs(n=32, a=0.001, b=0.010, c=0.001):
+    return ChainCosts(
+        a=[a] * n, b=[b] * n, c=[c] * n, reexec=[0.0] * n, gate=[0.0] * n,
+        s_prod=[0.0] * n, s_done=[0.0] * n,
+    )
+
+
+class TestReplay:
+    def test_b_bound_wall_matches_serial_sum(self):
+        costs = _uniform_costs(n=10, a=0.0, b=0.010, c=0.0)
+        assert replay(costs, workers=1) == pytest.approx(0.100, rel=0.01)
+
+    def test_extra_worker_halves_b_bound_wall(self):
+        costs = _uniform_costs(n=32)
+        one = replay(costs, workers=1)
+        two = replay(costs, workers=1, extra_workers=1)
+        assert one / two == pytest.approx(2.0, rel=0.15)
+
+    def test_capacity_credit_is_monotone(self):
+        # Tightening the work-channel bound can only throttle the
+        # producer, never help it; loosening it can only help.
+        costs = _uniform_costs(n=16, a=0.005, b=0.010, c=0.0)
+        tight = replay(costs, workers=4, capacity=1)
+        loose = replay(costs, workers=4, capacity=64)
+        assert tight >= loose
+        assert replay(
+            costs, workers=4, capacity=1, capacity_scale=8.0
+        ) <= tight
+
+    def test_serialization_scale_edit_shrinks_serialization_bound_wall(self):
+        costs = ChainCosts(
+            a=[0.001] * 16, b=[0.001] * 16, c=[0.001] * 16,
+            reexec=[0.0] * 16, gate=[0.0] * 16,
+            s_prod=[0.010] * 16, s_done=[0.0] * 16,
+        )
+        base = replay(costs, workers=2)
+        batched = replay(costs, workers=2, serialization_scale=0.5)
+        assert base / batched > 1.3
+
+    def test_drop_misspeculation_removes_reexec_and_gate(self):
+        costs = _uniform_costs(n=8)
+        costs.reexec = [0.010] * 8
+        costs.gate = [0.005] * 8
+        base = replay(costs, workers=2)
+        clean = replay(costs, workers=2, drop_misspeculation=True)
+        assert clean < base
+
+    def test_analytic_bound_never_exceeds_replay(self):
+        """The §3.1 slowest-stage bound is a lower bound on the replayed
+        wall: the simulation adds pipeline fill/drain the bound ignores."""
+        costs = _uniform_costs(n=24, a=0.002, b=0.008, c=0.001)
+        for workers in (1, 2, 4):
+            assert analytic_wall(costs, workers) <= replay(
+                costs, workers
+            ) + 1e-9
+
+
+class TestBottleneckBlock:
+    def test_block_is_schema_valid_and_ranked(self):
+        report = analyze_trace(_b_bound_trace(items=6, b_ms=4))
+        block = report.to_json()
+        assert validate_bottleneck(block) == []
+        assert block["recommendation"] == "add_worker"
+        speedups = [w["projected_speedup"] for w in block["what_ifs"]]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_validate_rejects_malformed_blocks(self):
+        good = analyze_trace(_b_bound_trace()).to_json()
+        assert validate_bottleneck("nope") != []
+        assert validate_bottleneck({}) != []
+        bad_schema = dict(good, schema=999)
+        assert any("schema" in p for p in validate_bottleneck(bad_schema))
+        bad_fraction = json.loads(json.dumps(good))
+        bad_fraction["fractions"]["compute:B"] = 7.0
+        assert validate_bottleneck(bad_fraction) != []
+        unranked = json.loads(json.dumps(good))
+        unranked["what_ifs"] = list(reversed(unranked["what_ifs"]))
+        if len(unranked["what_ifs"]) > 1:
+            assert any(
+                "ranked" in p for p in validate_bottleneck(unranked)
+            )
+
+    def test_crosscheck_agreement_on_clean_pipeline(self):
+        """Replay and the analytic model must agree on a clean B-bound
+        what-if (the cross-check the CI sanity bound leans on)."""
+        report = analyze_trace(_b_bound_trace(items=8, b_ms=5))
+        add_worker = next(
+            w for w in report.what_ifs if w["name"] == "add_worker"
+        )
+        assert add_worker["agreement"] == pytest.approx(1.0, abs=0.25)
+
+    def test_crosscheck_with_graph_reuses_compare(self):
+        from repro.core.framework import (
+            FrameworkConfig, ParallelizationFramework,
+        )
+        from repro.obs import crosscheck_with_graph
+        from repro.workloads.suite import make_workload
+
+        evaluation = ParallelizationFramework(
+            FrameworkConfig().with_(thread_counts=(1, 4))
+        ).evaluate(make_workload("256.bzip2"))
+        report = analyze_trace(_b_bound_trace())
+        rows = crosscheck_with_graph(report, evaluation.graph)
+        assert rows and all(
+            isinstance(row, PhaseComparison) for row in rows
+        )
+
+
+# -- metrics-only estimation -------------------------------------------------------
+
+
+class TestEstimateBottleneck:
+    def test_b_bound_metrics_name_stage_b(self):
+        metrics = EngineMetrics(
+            workers=2, capacity=8, iterations=50, commits=50,
+            wall_seconds=1.0,
+        )
+        metrics.stage_seconds = {"A": 0.05, "B": 1.8, "C": 0.05}
+        block = estimate_bottleneck(metrics)
+        assert block["source"] == "metrics"
+        assert block["top"] == "compute:B"
+        assert validate_bottleneck(block) == []
+        assert any(w["name"] == "add_worker" for w in block["what_ifs"])
+
+    def test_zero_commit_run_is_safe(self):
+        block = estimate_bottleneck(EngineMetrics())
+        assert validate_bottleneck(block) == []
+        assert block["what_ifs"] == []
+
+    def test_engine_attaches_estimate_to_json(self):
+        metrics = EngineMetrics(
+            workers=1, capacity=4, iterations=10, commits=10,
+            wall_seconds=0.5,
+        )
+        metrics.stage_seconds = {"A": 0.01, "B": 0.45, "C": 0.01}
+        metrics.bottleneck = estimate_bottleneck(metrics)
+        data = metrics.to_json()
+        assert data["bottleneck"]["top"] == "compute:B"
+        assert "bottleneck" in metrics.format_summary()
+
+
+# -- Chrome-trace round-trip -------------------------------------------------------
+
+
+class TestChromeRoundTrip:
+    def test_exported_trace_reanalyzes_identically(self, tmp_path):
+        config = TraceConfig(spool_dir=str(tmp_path), max_events=256)
+        producer = SpoolWriter(config, "producer")
+        worker = SpoolWriter(config, "worker-0")
+        committer = SpoolWriter(config, "committer")
+        base = producer.anchor.perf_ns
+        cursor = base + MS
+        for i in range(5):
+            producer.span(
+                EventKind.TASK_A, base + i * MS, base + i * MS + MS // 2,
+                arg=i,
+            )
+            worker.span(
+                EventKind.TASK_B, cursor, cursor + 4 * MS, arg=i, arg2=0
+            )
+            end = cursor + 4 * MS
+            committer.record(
+                EventKind.CLAIM, cursor, cursor, arg=i, arg2=0
+            )
+            committer.span(
+                EventKind.TASK_C, end + MS // 10, end + MS // 3, arg=i
+            )
+            committer.record(
+                EventKind.COMMIT, end + MS // 3, end + MS // 3, arg=i
+            )
+            cursor = end
+        for writer in (producer, worker, committer):
+            writer.close()
+        from repro.obs import merge_spool_dir
+
+        merged = merge_spool_dir(str(tmp_path))
+        direct = analyze_trace(merged)
+        rebuilt = merged_from_chrome_trace(to_chrome_trace(merged))
+        roundtrip = analyze_trace(rebuilt)
+        assert roundtrip.top == direct.top == "compute:B"
+        assert roundtrip.iterations == direct.iterations == 5
+        for key in direct.fractions:
+            assert roundtrip.fractions[key] == pytest.approx(
+                direct.fractions[key], abs=0.02
+            )
+
+    def test_run_analyze_cli_on_trace_file(self, tmp_path):
+        config = TraceConfig(spool_dir=str(tmp_path / "spools"),
+                             max_events=64)
+        (tmp_path / "spools").mkdir()
+        writer = SpoolWriter(config, "worker-0")
+        base = writer.anchor.perf_ns
+        committer = SpoolWriter(config, "committer")
+        for i in range(3):
+            writer.span(
+                EventKind.TASK_B, base + i * 5 * MS,
+                base + (i * 5 + 4) * MS, arg=i, arg2=0,
+            )
+            committer.record(
+                EventKind.COMMIT, base + (i * 5 + 4) * MS,
+                base + (i * 5 + 4) * MS, arg=i,
+            )
+        writer.close()
+        committer.close()
+        from repro.obs import merge_spool_dir, write_chrome_trace
+
+        merged = merge_spool_dir(str(tmp_path / "spools"))
+        trace_path = str(tmp_path / "trace.json")
+        write_chrome_trace(merged, trace_path)
+        json_out = str(tmp_path / "bottleneck.json")
+        text, code = run_analyze(trace_path, json_out=json_out)
+        assert code == 0
+        assert "bottleneck: compute:B" in text
+        with open(json_out) as handle:
+            assert validate_bottleneck(json.load(handle)) == []
+
+    def test_run_analyze_missing_inputs_exit_2(self, tmp_path):
+        _, code = run_analyze(str(tmp_path / "nope.json"))
+        assert code == 2
+        _, code = run_analyze(None)
+        assert code == 2
+        _, code = run_analyze(
+            "job-x", state_dir=str(tmp_path)
+        )
+        assert code == 2
+
+
+# -- the acceptance run: undersized stage B under seeded chaos ---------------------
+
+
+def sleepy_produce(i):
+    return i
+
+
+class SleepyWork:
+    """Stage B that *sleeps*: parallelizes on a single-core CI box, so
+    adding a replica genuinely speeds the measured run up."""
+
+    def __init__(self, seconds):
+        self.seconds = seconds
+
+    def __call__(self, i, value):
+        time.sleep(self.seconds)
+        return value * 3 + 1
+
+
+def record_commit(i, result, acc):
+    acc.setdefault("out", []).append((i, result))
+
+
+def take_out(acc):
+    return acc.get("out", [])
+
+
+def sleepy_spec(iterations=48, b_seconds=0.012):
+    from repro.exec import PipelineSpec
+
+    return PipelineSpec(
+        iterations=iterations,
+        produce=sleepy_produce,
+        work=SleepyWork(b_seconds),
+        commit=record_commit,
+        finalize=take_out,
+    )
+
+
+#: Mild chaos: enough injections to exercise the analyzer's robustness
+#: categories (the ISSUE asks for a *seeded chaos run*) without the
+#: timing noise of crashes/hangs/latencies that would swamp the 25%
+#: acceptance band.
+MILD_CHAOS = ChaosConfig(
+    crashes=0, hangs=0, soft_faults=2, conflicts=2, latencies=0,
+    duplicates=1, drops=0, channel_latencies=0, channel_duplicates=0,
+    channel_drops=0,
+)
+
+
+@pytest.mark.slow
+class TestUndersizedStageB:
+    def test_analyzer_names_stage_b_and_projects_within_band(self, tmp_path):
+        trace_config = TraceConfig(
+            spool_dir=str(tmp_path / "spool"), max_events=4096
+        )
+        (tmp_path / "spool").mkdir()
+        undersized = run_chaos(
+            sleepy_spec, seed=1234, workers=1, capacity=8,
+            config=MILD_CHAOS, trace=trace_config,
+        )
+        assert undersized.ok, undersized.violations
+        from repro.obs import merge_spool_dir
+
+        merged = merge_spool_dir(str(tmp_path / "spool"))
+        report = analyze_trace(
+            merged, metrics=undersized.result.metrics.to_json()
+        )
+        # (a) the analyzer names stage-B compute outright
+        assert report.top == "compute:B", report.format_summary()
+        assert report.categories["compute"] > 0.5
+
+        add_worker = next(
+            w for w in report.what_ifs if w["name"] == "add_worker"
+        )
+        projected = add_worker["projected_speedup"]
+
+        # (b) rerun with the extra worker for the *measured* speedup
+        resized = run_chaos(
+            sleepy_spec, seed=1234, workers=2, capacity=8,
+            config=MILD_CHAOS,
+        )
+        assert resized.ok, resized.violations
+        measured = (
+            undersized.result.metrics.wall_seconds
+            / resized.result.metrics.wall_seconds
+        )
+        assert measured > 1.0, "extra worker must actually help"
+        assert projected == pytest.approx(measured, rel=0.25), (
+            f"projected {projected:.2f}x vs measured {measured:.2f}x "
+            f"(undersized {undersized.result.metrics.wall_seconds:.3f}s, "
+            f"resized {resized.result.metrics.wall_seconds:.3f}s)"
+        )

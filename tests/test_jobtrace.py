@@ -256,8 +256,32 @@ class TestTraceHttp:
         assert timeline["job"] == job.id
         assert [p["stage"] for p in timeline["phases"]][0] == "admit"
 
+    def test_bottleneck_roundtrip_is_schema_valid(
+        self, traced_service, traced_jobs
+    ):
+        from repro.obs.analyze import validate_bottleneck
+
+        job = traced_jobs["alpha"]
+        status, analysis = self._get(
+            traced_service, f"/jobs/{job.id}/bottleneck"
+        )
+        assert status == 200
+        assert validate_bottleneck(analysis) == []
+        assert analysis["source"] == "trace"
+        assert analysis["iterations"] == 48
+        # The verdict is also persisted beside the trace artifacts.
+        path = os.path.join(
+            traced_service.config.state_dir, "artifacts", job.id,
+            "bottleneck.json",
+        )
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert json.load(handle)["top"] == analysis["top"]
+
     def test_unknown_job_404(self, traced_service, traced_jobs):
         status, body = self._get(traced_service, "/jobs/zzz/trace")
+        assert status == 404
+        status, body = self._get(traced_service, "/jobs/zzz/bottleneck")
         assert status == 404
 
     def test_untraced_job_404(self, traced_service):
@@ -384,6 +408,49 @@ class TestObsReport:
         assert code == 0
         out = capsys.readouterr().out
         assert "jobs with trace artifacts:" in out
+
+    def test_corrupt_timeline_warns_but_keeps_other_jobs(self, tmp_path):
+        """One damaged job's artifacts must not take down the report —
+        skip it loudly, aggregate the rest, exit 0."""
+        good = tmp_path / "j-good"
+        good.mkdir()
+        (good / "timeline.json").write_text(json.dumps({
+            "job": "j-good", "tenant": "acme", "attempts": 1,
+            "phases": [
+                {"stage": "admit", "start_s": 0.0, "duration_s": 0.001},
+            ],
+        }))
+        bad = tmp_path / "j-bad"
+        bad.mkdir()
+        (bad / "timeline.json").write_text("{not json")
+        text, code = run_report(str(tmp_path))
+        assert code == 0
+        assert "tenant acme:" in text
+        assert "warning: job j-bad: unreadable timeline.json" in text
+
+    def test_corrupt_trace_falls_back_to_timeline(self, tmp_path):
+        job_dir = tmp_path / "j-halftraced"
+        job_dir.mkdir()
+        (job_dir / "timeline.json").write_text(json.dumps({
+            "job": "j-halftraced", "tenant": "acme", "attempts": 1,
+            "phases": [
+                {"stage": "admit", "start_s": 0.0, "duration_s": 0.001},
+            ],
+        }))
+        (job_dir / "trace.json").write_text("\x00garbage")
+        text, code = run_report(str(tmp_path))
+        assert code == 0
+        assert "tenant acme:" in text
+        assert "falling back to timeline summaries" in text
+
+    def test_all_jobs_corrupt_is_nonzero(self, tmp_path):
+        for name in ("j-1", "j-2"):
+            job_dir = tmp_path / name
+            job_dir.mkdir()
+            (job_dir / "timeline.json").write_text("{not json")
+        text, code = run_report(str(tmp_path))
+        assert code == 1
+        assert text.count("warning:") == 2
 
 
 class TestJobTraceUnit:

@@ -300,6 +300,44 @@ class TestDurableRestart:
         finally:
             svc2.drain_and_stop()
 
+    def test_bottleneck_verdict_survives_restart(self, tmp_path):
+        """A traced job's critical-path analysis is persisted beside its
+        trace artifacts and stays retrievable after a restart."""
+        from repro.obs.analyze import validate_bottleneck
+
+        svc = durable_service(tmp_path / "state", trace_jobs=True)
+        try:
+            job, _ = svc.submit(
+                "acme", "synthetic", {"iterations": 24, "spin": 200}
+            )
+            wait_terminal(job)
+            assert job.state is JobState.DONE
+            # The trace (and the analysis riding on it) merges in the
+            # runner thread just after the terminal transition.
+            deadline = time.monotonic() + 10.0
+            while job.trace is not None and time.monotonic() < deadline:
+                time.sleep(0.02)
+            original = svc.job_bottleneck_json(job)
+            assert original is not None
+            assert validate_bottleneck(original) == []
+        finally:
+            svc.drain_and_stop()
+
+        svc2 = durable_service(tmp_path / "state", trace_jobs=True)
+        try:
+            reloaded = svc2.get_job(job.id)
+            assert reloaded is not None
+            # Nothing in memory for a recovered job: this exercises the
+            # artifact-store fallback.
+            assert reloaded.bottleneck_data is None
+            recovered = svc2.job_bottleneck_json(reloaded)
+            assert recovered is not None
+            assert validate_bottleneck(recovered) == []
+            assert recovered["top"] == original["top"]
+            assert recovered["iterations"] == 24
+        finally:
+            svc2.drain_and_stop()
+
     def test_queued_jobs_requeued_in_order_after_restart(self, tmp_path):
         svc = durable_service(tmp_path / "state", slots=1)
         try:
